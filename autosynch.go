@@ -1,0 +1,111 @@
+// Package autosynch is a Go implementation of AutoSynch, the
+// automatic-signal monitor of Hung & Garg, "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (PLDI 2013).
+//
+// A Monitor provides mutual exclusion plus conditional synchronization
+// without condition variables: instead of declaring conditions and calling
+// signal/signalAll, a thread states the predicate it is waiting for —
+//
+//	m := autosynch.New()
+//	count := m.NewInt("count", 0)
+//	capacity := m.NewInt("cap", 64)
+//	_ = capacity
+//
+//	// producer
+//	m.Enter()
+//	m.Await("count < cap")
+//	count.Add(1)
+//	m.Exit()
+//
+//	// consumer taking num items (a complex predicate with a local)
+//	m.Enter()
+//	m.Await("count >= num", autosynch.Bind("num", num))
+//	count.Add(-num)
+//	m.Exit()
+//
+// and the runtime signals the right thread at the right time. Three
+// mechanisms from the paper make this efficient:
+//
+//   - Globalization (§4.1): local variables are bound at the moment Await
+//     starts, turning a complex predicate into a shared one that any thread
+//     can evaluate on the waiter's behalf — a thread is only woken when its
+//     predicate is actually true.
+//   - Relay invariance (§4.2): whenever a thread exits the monitor or goes
+//     to sleep, it signals one waiter whose predicate has become true, so
+//     signalAll is never needed.
+//   - Predicate tagging (§4.3): waiting predicates are indexed by
+//     equivalence tags (hash tables) and threshold tags (min/max heaps) on
+//     canonical shared expressions, so the waiter to relay to is found
+//     without scanning every predicate.
+//
+// The package also exports the paper's comparison mechanisms — Baseline
+// (one condition variable + signalAll) and Explicit (instrumented manual
+// condition variables) — and the AutoSynch-T variant (WithoutTagging), so
+// the evaluation experiments can be reproduced; see EXPERIMENTS.md.
+package autosynch
+
+import (
+	"repro/internal/core"
+)
+
+// Monitor is an automatic-signal monitor; see the package documentation.
+type Monitor = core.Monitor
+
+// Baseline is the single-condition signalAll automatic monitor used as the
+// reference point in the paper's evaluation (§6.2).
+type Baseline = core.Baseline
+
+// Explicit is the instrumented explicit-signal monitor (mutex + manually
+// signaled condition variables).
+type Explicit = core.Explicit
+
+// Cond is an explicit condition variable created by Explicit.NewCond.
+type Cond = core.Cond
+
+// IntCell is a shared integer monitor variable.
+type IntCell = core.IntCell
+
+// BoolCell is a shared boolean monitor variable.
+type BoolCell = core.BoolCell
+
+// Binding supplies one thread-local variable value to Await.
+type Binding = core.Binding
+
+// Stats is the instrumentation snapshot shared by all mechanisms.
+type Stats = core.Stats
+
+// Option configures New, NewBaseline, or NewExplicit.
+type Option = core.Option
+
+// ErrNeverTrue is returned by Await when the globalized predicate is
+// constant false (waiting would deadlock).
+var ErrNeverTrue = core.ErrNeverTrue
+
+// New constructs an automatic-signal monitor (the full AutoSynch
+// mechanism; use WithoutTagging for the AutoSynch-T variant).
+func New(opts ...Option) *Monitor { return core.New(opts...) }
+
+// NewBaseline constructs the signalAll reference monitor.
+func NewBaseline(opts ...Option) *Baseline { return core.NewBaseline(opts...) }
+
+// NewExplicit constructs an explicit-signal monitor.
+func NewExplicit(opts ...Option) *Explicit { return core.NewExplicit(opts...) }
+
+// Bind binds a local integer variable for the duration of an Await.
+func Bind(name string, v int64) Binding { return core.BindInt(name, v) }
+
+// BindBool binds a local boolean variable for the duration of an Await.
+func BindBool(name string, v bool) Binding { return core.BindBool(name, v) }
+
+// WithoutTagging disables predicate tagging (the AutoSynch-T mechanism).
+func WithoutTagging() Option { return core.WithoutTagging() }
+
+// WithProfiling enables the Table 1 phase timers (await / lock /
+// relaySignal / tag manager).
+func WithProfiling() Option { return core.WithProfiling() }
+
+// WithInactiveLimit bounds the inactive predicate cache (§5.2).
+func WithInactiveLimit(n int) Option { return core.WithInactiveLimit(n) }
+
+// WithDNFLimit bounds the DNF blow-up allowed per predicate.
+func WithDNFLimit(n int) Option { return core.WithDNFLimit(n) }

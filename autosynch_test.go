@@ -1,0 +1,87 @@
+package autosynch_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	autosynch "repro"
+)
+
+// TestQuickstart exercises the package-documentation example end to end.
+func TestQuickstart(t *testing.T) {
+	m := autosynch.New()
+	count := m.NewInt("count", 0)
+	m.NewInt("cap", 4)
+
+	var wg sync.WaitGroup
+	const items = 100
+	wg.Add(2)
+	go func() { // producer
+		defer wg.Done()
+		for i := 0; i < items; i++ {
+			m.Enter()
+			if err := m.Await("count < cap"); err != nil {
+				t.Error(err)
+			}
+			count.Add(1)
+			m.Exit()
+		}
+	}()
+	go func() { // consumer taking 2 at a time
+		defer wg.Done()
+		for i := 0; i < items/2; i++ {
+			m.Enter()
+			if err := m.Await("count >= num", autosynch.Bind("num", 2)); err != nil {
+				t.Error(err)
+			}
+			count.Add(-2)
+			m.Exit()
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("quickstart deadlocked")
+	}
+	if s := m.Stats(); s.Broadcasts != 0 {
+		t.Errorf("AutoSynch used %d broadcasts; the public API must never signalAll", s.Broadcasts)
+	}
+}
+
+func TestFacadeReExports(t *testing.T) {
+	if err := func() error {
+		m := autosynch.New(autosynch.WithoutTagging(), autosynch.WithInactiveLimit(4), autosynch.WithDNFLimit(16))
+		m.NewInt("x", 0)
+		m.Enter()
+		defer m.Exit()
+		return m.Await("x >= n", autosynch.Bind("n", 0))
+	}(); err != nil {
+		t.Fatal(err)
+	}
+
+	m := autosynch.New()
+	m.NewBool("flagged", true)
+	m.Enter()
+	if err := m.Await("ok", autosynch.BindBool("ok", true)); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Await("never", autosynch.BindBool("never", false))
+	if !errors.Is(err, autosynch.ErrNeverTrue) {
+		t.Errorf("err = %v, want ErrNeverTrue", err)
+	}
+	m.Exit()
+
+	b := autosynch.NewBaseline()
+	b.Do(func() {})
+	e := autosynch.NewExplicit(autosynch.WithProfiling())
+	c := e.NewCond()
+	e.Do(func() { c.Signal(); c.Broadcast() })
+	if s := e.Stats(); s.Signals != 1 || s.Broadcasts != 1 {
+		t.Errorf("explicit stats = %s", s)
+	}
+}

@@ -1,0 +1,114 @@
+package autosynch_test
+
+import (
+	"testing"
+	"time"
+
+	autosynch "repro"
+	"repro/internal/problems"
+)
+
+// benchTagShape parks waiters whose predicates share one shape and whose
+// keys are unsatisfiable, then drives empty monitor operations. Every exit
+// runs the relay search over the parked predicates, so the measured cost
+// is exactly what predicate tagging prunes: an equivalence probe misses in
+// O(1), a threshold heap stops at a false root, and untaggable predicates
+// are evaluated exhaustively. A done flag releases the waiters afterwards.
+func benchTagShape(b *testing.B, pred string) {
+	b.Helper()
+	const waiters = 32
+	const driverOps = 2000
+	m := autosynch.New()
+	m.NewInt("x", 0) // stays 0: no key in 1..waiters is ever satisfied
+	done := m.NewBool("done", false)
+	finished := make(chan struct{}, waiters)
+	for w := 1; w <= waiters; w++ {
+		go func(k int64) {
+			m.Enter()
+			if err := m.Await(pred+" || done", autosynch.Bind("k", k)); err != nil {
+				panic(err)
+			}
+			m.Exit()
+			finished <- struct{}{}
+		}(int64(w))
+	}
+	// Let every waiter park before measuring the relay cost.
+	for m.Stats().Awaits < waiters {
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < driverOps; i++ {
+		m.Do(func() {})
+	}
+	m.Do(func() { done.Set(true) })
+	for w := 0; w < waiters; w++ {
+		<-finished
+	}
+}
+
+// benchParamBBLimit runs the parameterized buffer with a custom inactive
+// list limit and returns the result for counter reporting.
+func benchParamBBLimit(limit int) problems.Result {
+	m := autosynch.New(autosynch.WithInactiveLimit(limit))
+	count := m.NewInt("count", 0)
+	m.NewInt("cap", problems.ParamBufferCap)
+	stop := m.NewBool("stop", false)
+
+	const consumers = 8
+	const takesEach = 200
+	prodDone := make(chan struct{})
+	go func() {
+		defer close(prodDone)
+		seed := uint64(11)
+		for {
+			seed ^= seed << 13
+			seed ^= seed >> 7
+			seed ^= seed << 17
+			k := int64(seed%problems.MaxBatch) + 1
+			m.Enter()
+			if err := m.Await("count + k <= cap || stop", autosynch.Bind("k", k)); err != nil {
+				panic(err)
+			}
+			if stop.Get() {
+				m.Exit()
+				return
+			}
+			count.Add(k)
+			m.Exit()
+		}
+	}()
+	done := make(chan struct{}, consumers)
+	for c := 0; c < consumers; c++ {
+		go func(seed uint64) {
+			for i := 0; i < takesEach; i++ {
+				seed ^= seed << 13
+				seed ^= seed >> 7
+				seed ^= seed << 17
+				num := int64(seed%problems.MaxBatch) + 1
+				m.Enter()
+				if err := m.Await("count >= num", autosynch.Bind("num", num)); err != nil {
+					panic(err)
+				}
+				count.Add(-num)
+				m.Exit()
+			}
+			done <- struct{}{}
+		}(uint64(c)*7 + 3)
+	}
+	for c := 0; c < consumers; c++ {
+		<-done
+	}
+	m.Do(func() { stop.Set(true) })
+	<-prodDone
+	return problems.Result{Stats: m.Stats(), Ops: consumers * takesEach}
+}
+
+// TestBenchHelpers keeps the helpers honest under plain `go test`.
+func TestBenchHelpers(t *testing.T) {
+	r := benchParamBBLimit(128)
+	if r.Stats.Registrations == 0 {
+		t.Error("no registrations recorded")
+	}
+	if r.Stats.Broadcasts != 0 {
+		t.Error("AutoSynch broadcast in bench helper")
+	}
+}

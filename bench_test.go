@@ -1,0 +1,178 @@
+// Benchmarks reproducing every table and figure of the paper's evaluation
+// (§6). Each BenchmarkFigNN runs the corresponding workload once per
+// b.N at a representative thread count and reports the custom metrics the
+// paper plots (runtime is b's own metric; wake-ups, futile wake-ups, and
+// signals are reported as per-op metrics). The full multi-point sweeps —
+// the actual figure series — are produced by cmd/autosynch-bench; these
+// benches make every experiment reachable through `go test -bench`.
+//
+// Sub-benchmarks are named by mechanism so benchstat can compare them:
+//
+//	go test -bench 'Fig14' -benchmem
+package autosynch_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/problems"
+)
+
+// benchOps is the per-iteration operation budget. Small enough that -bench
+// finishes quickly, large enough that signaling dominates setup.
+const benchOps = 5000
+
+// benchProblem runs one problem/mechanism pair under b.N and reports the
+// paper's counters as per-op metrics.
+func benchProblem(b *testing.B, runner problems.Runner, mech problems.Mechanism, threads int) {
+	b.Helper()
+	var wakeups, futile, signals, broadcasts float64
+	var ops int64
+	for i := 0; i < b.N; i++ {
+		r := runner(mech, threads, benchOps)
+		if r.Check != 0 {
+			b.Fatalf("conservation check failed: %d", r.Check)
+		}
+		wakeups += float64(r.Stats.Wakeups)
+		futile += float64(r.Stats.FutileWakeups)
+		signals += float64(r.Stats.Signals)
+		broadcasts += float64(r.Stats.Broadcasts)
+		ops += r.Ops
+	}
+	perOp := float64(ops)
+	if perOp == 0 {
+		perOp = 1
+	}
+	b.ReportMetric(wakeups/perOp, "wakeups/op")
+	b.ReportMetric(futile/perOp, "futile/op")
+	b.ReportMetric(signals/perOp, "signals/op")
+	b.ReportMetric(broadcasts/perOp, "broadcasts/op")
+}
+
+func benchMechs(b *testing.B, runner problems.Runner, mechs []problems.Mechanism, threads int) {
+	b.Helper()
+	for _, mech := range mechs {
+		mech := mech
+		b.Run(fmt.Sprintf("%s/threads=%d", mech, threads), func(b *testing.B) {
+			benchProblem(b, runner, mech, threads)
+		})
+	}
+}
+
+var (
+	fourMechs  = []problems.Mechanism{problems.Explicit, problems.Baseline, problems.AutoSynchT, problems.AutoSynch}
+	threeMechs = []problems.Mechanism{problems.Explicit, problems.AutoSynchT, problems.AutoSynch}
+	twoMechs   = []problems.Mechanism{problems.Explicit, problems.AutoSynch}
+)
+
+// BenchmarkFig08BoundedBuffer: the classical bounded buffer (Fig. 8).
+func BenchmarkFig08BoundedBuffer(b *testing.B) {
+	benchMechs(b, problems.RunBoundedBuffer, fourMechs, 32)
+}
+
+// BenchmarkFig09H2O: the water-building problem (Fig. 9).
+func BenchmarkFig09H2O(b *testing.B) {
+	benchMechs(b, problems.RunH2O, fourMechs, 32)
+}
+
+// BenchmarkFig10Barber: the sleeping barber (Fig. 10).
+func BenchmarkFig10Barber(b *testing.B) {
+	benchMechs(b, problems.RunBarber, fourMechs, 32)
+}
+
+// BenchmarkFig11RoundRobin: the round-robin access pattern (Fig. 11); the
+// complex-predicate workload where tagging recovers O(1) signaling.
+func BenchmarkFig11RoundRobin(b *testing.B) {
+	benchMechs(b, problems.RunRoundRobin, threeMechs, 32)
+}
+
+// BenchmarkFig11RoundRobinWide: the right end of Fig. 11's x-axis, where
+// AutoSynch-T's linear scan separates from AutoSynch.
+func BenchmarkFig11RoundRobinWide(b *testing.B) {
+	benchMechs(b, problems.RunRoundRobin, threeMechs, 128)
+}
+
+// BenchmarkFig12ReadersWriters: ticket-ordered readers/writers (Fig. 12)
+// at the 8-writers/40-readers point.
+func BenchmarkFig12ReadersWriters(b *testing.B) {
+	benchMechs(b, problems.RunReadersWriters, threeMechs, 8)
+}
+
+// BenchmarkFig13Philosophers: dining philosophers (Fig. 13).
+func BenchmarkFig13Philosophers(b *testing.B) {
+	benchMechs(b, problems.RunPhilosophers, threeMechs, 32)
+}
+
+// BenchmarkFig14ParamBoundedBuffer: the parameterized bounded buffer
+// (Fig. 14) — the workload where the explicit mechanism needs signalAll
+// and AutoSynch wins.
+func BenchmarkFig14ParamBoundedBuffer(b *testing.B) {
+	benchMechs(b, problems.RunParamBoundedBuffer, twoMechs, 32)
+}
+
+// BenchmarkFig15ContextSwitches: the same workload reported through the
+// wake-up counters (Fig. 15); read the wakeups/op metric.
+func BenchmarkFig15ContextSwitches(b *testing.B) {
+	benchMechs(b, problems.RunParamBoundedBuffer, twoMechs, 64)
+}
+
+// BenchmarkTable1CPUBreakdown: the profiled round-robin run behind
+// Table 1; reports the relaySignal and tag-manager shares as metrics.
+func BenchmarkTable1CPUBreakdown(b *testing.B) {
+	for _, mech := range threeMechs {
+		mech := mech
+		b.Run(mech.String(), func(b *testing.B) {
+			var relayNs, tagNs, awaitNs float64
+			for i := 0; i < b.N; i++ {
+				r := problems.RunRoundRobinProfiled(mech, 128, benchOps)
+				if r.Check != 0 {
+					b.Fatalf("check failed: %d", r.Check)
+				}
+				relayNs += float64(r.Stats.RelayNs)
+				tagNs += float64(r.Stats.TagMgmtNs)
+				awaitNs += float64(r.Stats.AwaitNs)
+			}
+			n := float64(b.N)
+			b.ReportMetric(relayNs/n, "relay-ns/run")
+			b.ReportMetric(tagNs/n, "tagmgr-ns/run")
+			b.ReportMetric(awaitNs/n, "await-ns/run")
+		})
+	}
+}
+
+// BenchmarkAblationTagKinds isolates the relay search cost by predicate
+// shape: an equivalence-taggable predicate (hash probe), a threshold-
+// taggable one (heap root), and an untaggable one (exhaustive scan).
+func BenchmarkAblationTagKinds(b *testing.B) {
+	shapes := []struct{ name, pred string }{
+		{"equivalence", "x == k"},
+		{"threshold", "x >= k"},
+		{"none", "x * x >= k"},
+	}
+	for _, sh := range shapes {
+		sh := sh
+		b.Run(sh.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchTagShape(b, sh.pred)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationInactiveList compares predicate-cache settings on the
+// parameterized buffer, whose 128 batch predicates recur constantly.
+func BenchmarkAblationInactiveList(b *testing.B) {
+	for _, limit := range []int{0, 128} {
+		limit := limit
+		b.Run(fmt.Sprintf("limit=%d", limit), func(b *testing.B) {
+			var regs, reuses float64
+			for i := 0; i < b.N; i++ {
+				r := benchParamBBLimit(limit)
+				regs += float64(r.Stats.Registrations)
+				reuses += float64(r.Stats.Reuses)
+			}
+			b.ReportMetric(regs/float64(b.N), "registrations/run")
+			b.ReportMetric(reuses/float64(b.N), "reuses/run")
+		})
+	}
+}

@@ -1,0 +1,75 @@
+// Command autosynch-bench regenerates the tables and figures of the
+// paper's evaluation section (§6) as text.
+//
+// Usage:
+//
+//	autosynch-bench -list
+//	autosynch-bench -experiment fig14 -trials 5 -ops 50000 -maxthreads 256
+//	autosynch-bench -experiment all -quick
+//
+// Absolute runtimes will differ from the paper (goroutines on modern
+// hardware vs. Java threads on 2009 Xeons); the shapes — which mechanism
+// wins, how each scales with thread count, where the crossovers are — are
+// the reproduction target. See EXPERIMENTS.md for recorded outputs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list experiments and exit")
+		experiment = flag.String("experiment", "all", "experiment id (see -list) or 'all'")
+		trials     = flag.Int("trials", 5, "trials per configuration (paper: 25)")
+		drop       = flag.Int("drop", 1, "best/worst trials dropped per side (paper: 1)")
+		ops        = flag.Int("ops", 20000, "operation budget per configuration point")
+		maxThreads = flag.Int("maxthreads", 256, "top of the doubling thread axis")
+		quick      = flag.Bool("quick", false, "small smoke configuration (1 trial, 2000 ops, 32 threads)")
+		paper      = flag.Bool("paper", false, "the full §6.1 protocol (25 trials, drop best+worst)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := harness.Config{
+		Protocol:   harness.Protocol{Trials: *trials, Drop: *drop},
+		TotalOps:   *ops,
+		MaxThreads: *maxThreads,
+	}
+	if *quick {
+		cfg = harness.Config{Protocol: harness.Quick, TotalOps: 2000, MaxThreads: 32}
+		cfg.Protocol.Trials = 1
+	}
+	if *paper {
+		cfg.Protocol = harness.Paper
+	}
+
+	ids := []string{*experiment}
+	if *experiment == "all" {
+		ids = harness.IDs()
+	}
+	for _, id := range ids {
+		e, ok := harness.Find(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		out := e.Run(cfg)
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %v]\n\n%s\n", e.ID, time.Since(start).Round(time.Millisecond),
+			strings.Repeat("-", 72))
+	}
+}

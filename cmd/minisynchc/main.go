@@ -1,0 +1,84 @@
+// Command minisynchc is the MiniSynch preprocessor: it translates a
+// monitor-class dialect with waituntil statements into plain Go code that
+// targets the autosynch runtime — the role the JavaCC preprocessor plays
+// in the paper's framework (Fig. 2).
+//
+// Usage:
+//
+//	minisynchc -pkg mypkg -o buffer_gen.go buffer.ms
+//	minisynchc buffer.ms            # writes <input>_gen.go next to the input
+//	cat buffer.ms | minisynchc -    # reads stdin, writes stdout
+//	minisynchc -fmt buffer.ms       # canonical formatting to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/preproc"
+)
+
+func main() {
+	var (
+		pkg    = flag.String("pkg", "main", "package name for the generated file")
+		out    = flag.String("o", "", "output path (default: <input>_gen.go, or stdout for stdin input)")
+		format = flag.Bool("fmt", false, "format the MiniSynch source to stdout instead of compiling")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minisynchc [-pkg name] [-o file] <input.ms | ->")
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+
+	var src []byte
+	var err error
+	if in == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(in)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "minisynchc: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *format {
+		formatted, err := preproc.FormatSource(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "minisynchc: %s: %v\n", in, err)
+			os.Exit(1)
+		}
+		fmt.Print(formatted)
+		return
+	}
+
+	code, err := preproc.Generate(string(src), *pkg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "minisynchc: %s: %v\n", in, err)
+		os.Exit(1)
+	}
+
+	dest := *out
+	if dest == "" {
+		if in == "-" {
+			fmt.Print(code)
+			return
+		}
+		base := strings.TrimSuffix(filepath.Base(in), filepath.Ext(in))
+		dest = filepath.Join(filepath.Dir(in), base+"_gen.go")
+	}
+	if dest == "-" {
+		fmt.Print(code)
+		return
+	}
+	if err := os.WriteFile(dest, []byte(code), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "minisynchc: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "minisynchc: wrote %s\n", dest)
+}

@@ -1,0 +1,96 @@
+// The H2O (water building) problem (§6.3.1 of the paper): hydrogen
+// threads offer atoms and wait to be bonded; an oxygen thread waits for
+// two hydrogens and forms a molecule. The synchronization uses only
+// shared predicates, so every waituntil condition is registered once and
+// reused for the whole run — the workload where automatic signaling
+// matches explicit signaling step for step.
+//
+// Termination is part of the conditional synchronization: a hydrogen
+// waits for "hBonded > 0 || done", so when the oxygen finishes its last
+// molecule and sets done, the relay chain releases every straggler, which
+// retracts its unpaired offer and leaves.
+//
+// Run with:
+//
+//	go run ./examples/h2o
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	autosynch "repro"
+)
+
+func main() {
+	const (
+		hydrogens = 16
+		molecules = 2000
+	)
+	m := autosynch.New()
+	hAvail := m.NewInt("hAvail", 0)
+	hBonded := m.NewInt("hBonded", 0)
+	done := m.NewBool("done", false)
+
+	var consumed int64
+	var mu sync.Mutex
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the oxygen thread
+		defer wg.Done()
+		for w := 0; w < molecules; w++ {
+			m.Enter()
+			if err := m.Await("hAvail >= 2"); err != nil {
+				panic(err)
+			}
+			hAvail.Add(-2)
+			hBonded.Add(2)
+			m.Exit()
+		}
+		m.Do(func() { done.Set(true) })
+	}()
+	for h := 0; h < hydrogens; h++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m.Enter()
+				if done.Get() && hBonded.Get() == 0 {
+					m.Exit()
+					return
+				}
+				hAvail.Add(1)
+				if err := m.Await("hBonded > 0 || done"); err != nil {
+					panic(err)
+				}
+				if hBonded.Get() > 0 {
+					hBonded.Add(-1)
+					mu.Lock()
+					consumed++
+					mu.Unlock()
+					m.Exit()
+					continue
+				}
+				hAvail.Add(-1) // closing time: retract the unpaired offer
+				m.Exit()
+				return
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := m.Stats()
+	fmt.Printf("built %d water molecules; %d hydrogen atoms bonded\n", molecules, consumed)
+	fmt.Printf("signals=%d broadcasts=%d wakeups=%d futile=%d registrations=%d\n",
+		s.Signals, s.Broadcasts, s.Wakeups, s.FutileWakeups, s.Registrations)
+	m.Do(func() {
+		if hAvail.Get() != 0 || hBonded.Get() != 0 {
+			panic("atoms left over")
+		}
+	})
+	if consumed != 2*molecules {
+		panic("bonding slots leaked")
+	}
+	fmt.Println("only three predicates were ever registered: hAvail >= 2, hBonded > 0 || done, and the fast paths.")
+}

@@ -1,0 +1,130 @@
+// Quickstart: the paper's Fig. 1 parameterized bounded buffer, written
+// with waituntil-style predicates instead of condition variables.
+//
+// Producers put batches of random size, consumers take batches of the
+// same sizes, and nobody ever calls signal or signalAll: the runtime's
+// relay signaling wakes exactly the threads whose conditions have become
+// true.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	autosynch "repro"
+)
+
+// BoundedBuffer is the automatic-signal version of Fig. 1: compare the
+// explicit-signal Java on the figure's left, with its two condition
+// variables and signalAll calls.
+type BoundedBuffer struct {
+	mon   *autosynch.Monitor
+	buf   []int
+	put   int
+	take  int
+	count *autosynch.IntCell
+}
+
+// NewBoundedBuffer creates a buffer with capacity n.
+func NewBoundedBuffer(n int) *BoundedBuffer {
+	b := &BoundedBuffer{mon: autosynch.New(), buf: make([]int, n)}
+	b.count = b.mon.NewInt("count", 0)
+	b.mon.NewInt("cap", int64(n))
+	return b
+}
+
+// Put stores items, waiting until the buffer has room for all of them.
+func (b *BoundedBuffer) Put(items []int) {
+	b.mon.Enter()
+	defer b.mon.Exit()
+	// waituntil(count + len(items) <= cap)
+	if err := b.mon.Await("count + k <= cap", autosynch.Bind("k", int64(len(items)))); err != nil {
+		panic(err)
+	}
+	for _, it := range items {
+		b.buf[b.put] = it
+		b.put = (b.put + 1) % len(b.buf)
+	}
+	b.count.Add(int64(len(items)))
+}
+
+// Take removes and returns num items, waiting until they exist.
+func (b *BoundedBuffer) Take(num int) []int {
+	b.mon.Enter()
+	defer b.mon.Exit()
+	// waituntil(count >= num)
+	if err := b.mon.Await("count >= num", autosynch.Bind("num", int64(num))); err != nil {
+		panic(err)
+	}
+	out := make([]int, num)
+	for i := range out {
+		out[i] = b.buf[b.take]
+		b.take = (b.take + 1) % len(b.buf)
+	}
+	b.count.Add(int64(-num))
+	return out
+}
+
+func main() {
+	const (
+		producers = 4
+		consumers = 4
+		batches   = 500
+	)
+	b := NewBoundedBuffer(64)
+
+	// Producers announce each batch size on a channel; consumers take
+	// exactly those sizes, so production and consumption balance and the
+	// program terminates deterministically.
+	sizes := make(chan int, producers*batches)
+	var produced, consumed int64
+	var mu sync.Mutex
+
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(seed int64) {
+			defer pwg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < batches; i++ {
+				n := rng.Intn(16) + 1
+				b.Put(make([]int, n))
+				mu.Lock()
+				produced += int64(n)
+				mu.Unlock()
+				sizes <- n
+			}
+		}(int64(p))
+	}
+	go func() { pwg.Wait(); close(sizes) }()
+
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for n := range sizes {
+				b.Take(n)
+				mu.Lock()
+				consumed += int64(n)
+				mu.Unlock()
+			}
+		}()
+	}
+	cwg.Wait()
+
+	s := b.mon.Stats()
+	fmt.Printf("produced %d items, consumed %d items, left in buffer %d\n",
+		produced, consumed, produced-consumed)
+	fmt.Printf("signals=%d broadcasts=%d wakeups=%d futile=%d\n",
+		s.Signals, s.Broadcasts, s.Wakeups, s.FutileWakeups)
+	if s.Broadcasts != 0 {
+		panic("AutoSynch must never broadcast")
+	}
+	fmt.Println("no signal or signalAll call appears anywhere in this program.")
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// Baseline is the reference automatic-signal monitor of the paper's
+// evaluation (§6.2): one condition variable for the whole monitor, a
+// signalAll whenever the state may have changed, and every woken thread
+// re-evaluating its own predicate after re-acquiring the lock. It is the
+// design whose measured 10–50× slowdowns (Buhr et al.) created the belief
+// that automatic-signal monitors are inherently expensive.
+type Baseline struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	profile bool
+	in      bool
+	stats   Stats
+}
+
+// NewBaseline constructs a baseline monitor. Profiling enables the lock
+// and await phase timers.
+func NewBaseline(opts ...Option) *Baseline {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	b := &Baseline{profile: cfg.profile}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Enter acquires the monitor.
+func (b *Baseline) Enter() {
+	if b.profile {
+		t0 := time.Now()
+		b.mu.Lock()
+		b.stats.LockNs += time.Since(t0).Nanoseconds()
+	} else {
+		b.mu.Lock()
+	}
+	b.in = true
+}
+
+// Exit broadcasts (the state may have changed) and releases the monitor.
+func (b *Baseline) Exit() {
+	if !b.in {
+		panic("autosynch: Exit without Enter")
+	}
+	b.stats.Broadcasts++
+	b.cond.Broadcast()
+	b.in = false
+	b.mu.Unlock()
+}
+
+// Do runs f inside the monitor.
+func (b *Baseline) Do(f func()) {
+	b.Enter()
+	defer b.Exit()
+	f()
+}
+
+// Await blocks until pred() is true. pred must read only monitor-guarded
+// state and the caller's locals. Before each wait the monitor broadcasts,
+// because the caller may have changed the state since entering.
+func (b *Baseline) Await(pred func() bool) {
+	if !b.in {
+		panic("autosynch: Await outside the monitor; call Enter first")
+	}
+	b.stats.Awaits++
+	if pred() {
+		b.stats.FastPath++
+		return
+	}
+	for {
+		b.stats.Broadcasts++
+		b.cond.Broadcast()
+		if b.profile {
+			t0 := time.Now()
+			b.cond.Wait()
+			b.stats.AwaitNs += time.Since(t0).Nanoseconds()
+		} else {
+			b.cond.Wait()
+		}
+		b.stats.Wakeups++
+		if pred() {
+			break
+		}
+		b.stats.FutileWakeups++
+	}
+	b.in = true
+}
+
+// Stats returns a snapshot of the counters.
+func (b *Baseline) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// ResetStats zeroes the counters.
+func (b *Baseline) ResetStats() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stats = Stats{}
+}

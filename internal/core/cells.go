@@ -1,0 +1,66 @@
+package core
+
+import "repro/internal/expr"
+
+// IntCell is a shared integer monitor variable. Cells may be read or
+// written only while holding their monitor (between Enter and Exit, or
+// inside Do); the monitor lock is the sole synchronization for cell state,
+// exactly as fields of a Java monitor object are guarded by its lock.
+type IntCell struct{ v int64 }
+
+// Get returns the current value. Caller must hold the monitor.
+func (c *IntCell) Get() int64 { return c.v }
+
+// Set stores v. Caller must hold the monitor.
+func (c *IntCell) Set(v int64) { c.v = v }
+
+// Add adds d and returns the new value. Caller must hold the monitor.
+func (c *IntCell) Add(d int64) int64 {
+	c.v += d
+	return c.v
+}
+
+// BoolCell is a shared boolean monitor variable; see IntCell for the
+// locking discipline.
+type BoolCell struct{ v bool }
+
+// Get returns the current value. Caller must hold the monitor.
+func (c *BoolCell) Get() bool { return c.v }
+
+// Set stores v. Caller must hold the monitor.
+func (c *BoolCell) Set(v bool) { c.v = v }
+
+// varSlot records one declared shared variable of a monitor.
+type varSlot struct {
+	typ  expr.Type
+	get  expr.Getter // reads the cell; bools encode as 0/1
+	ic   *IntCell
+	bc   *BoolCell
+	name string
+}
+
+func (s *varSlot) value() expr.Value {
+	if s.typ == expr.TypeBool {
+		return expr.BoolValue(s.bc.Get())
+	}
+	return expr.IntValue(s.ic.Get())
+}
+
+// Binding supplies the value of one thread-local variable to Await. The
+// bound values are the ~a_t of Definition 2: they are captured at the
+// moment waituntil begins and globalize the predicate for the duration of
+// the wait.
+type Binding struct {
+	Name string
+	Val  expr.Value
+}
+
+// BindInt binds a local integer variable for the duration of an Await.
+func BindInt(name string, v int64) Binding {
+	return Binding{Name: name, Val: expr.IntValue(v)}
+}
+
+// BindBool binds a local boolean variable for the duration of an Await.
+func BindBool(name string, v bool) Binding {
+	return Binding{Name: name, Val: expr.BoolValue(v)}
+}

@@ -1,0 +1,17 @@
+// Package core implements the AutoSynch runtime: the condition manager, the
+// relay-signaling rule, predicate registration with tagging, and the four
+// monitor mechanisms compared in the paper's evaluation (§6.2):
+//
+//   - Monitor (AutoSynch): automatic signaling with globalization, relay
+//     invariance, and predicate tagging — the paper's contribution.
+//   - Monitor with WithoutTagging (AutoSynch-T): identical, but the search
+//     for a true waiter scans every registered predicate linearly.
+//   - Baseline: a single condition variable; every state change broadcasts
+//     (signalAll) and each woken thread re-evaluates its own predicate.
+//   - Explicit: an instrumented mutex + condition-variable monitor, the
+//     java.util.concurrent analog, where the programmer signals manually.
+//
+// All four share the Stats instrumentation so experiments can compare
+// signals, wake-ups, and futile wake-ups (the context-switch proxy of
+// Fig. 15) on equal footing.
+package core

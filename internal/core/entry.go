@@ -1,0 +1,94 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/dnf"
+	"repro/internal/expr"
+	"repro/internal/tag"
+)
+
+// entry is one registered (globalized) predicate with its condition
+// variable — a row of the predicate table in Fig. 7. Threads waiting on
+// syntactically equivalent predicates share an entry (§5.2).
+type entry struct {
+	canon  string // canonical globalized DNF string; identity key
+	static bool   // shared predicate: registered once, never evicted
+	active bool
+
+	cond     *sync.Cond
+	waiters  int // threads currently waiting on this entry
+	signaled int // signals issued to this entry not yet consumed
+
+	evalFn   func() bool // whole-predicate evaluation against the cells
+	conjTags []tag.Tag   // tag analysis per conjunction (for registration)
+
+	nodes   []*tagNode // tag nodes the entry is registered in (deduplicated)
+	noneIdx int        // index in the None scan list, -1 when absent
+
+	lruElem *list.Element // position in the inactive LRU, nil while active
+
+	funcOnly bool // one-shot AwaitFunc entry; never cached
+}
+
+// newCond creates a condition variable bound to the monitor lock.
+func newCond(m *Monitor) *sync.Cond { return sync.NewCond(&m.mu) }
+
+// signalable reports whether the entry has a waiter that has not already
+// been signaled. Entries whose every waiter has a pending signal are
+// skipped by the relay search: signaling them again could only produce a
+// futile wake-up.
+func (e *entry) signalable() bool { return e.waiters > e.signaled }
+
+// buildEntry compiles the globalized predicate and analyzes its tags.
+// Called under the monitor lock.
+func (m *Monitor) buildEntry(canon string, glob dnf.DNF, static bool) (*entry, error) {
+	e := &entry{
+		canon:   canon,
+		static:  static,
+		cond:    sync.NewCond(&m.mu),
+		noneIdx: -1,
+	}
+	conjFns := make([]expr.BoolFn, len(glob.Conjs))
+	resolver := func(name string) (expr.Getter, expr.Type, bool) {
+		s, ok := m.vars[name]
+		if !ok {
+			return nil, expr.TypeInvalid, false
+		}
+		return s.get, s.typ, true
+	}
+	for i, c := range glob.Conjs {
+		fn, err := expr.CompileBool(expr.And(c.Atoms...), resolver)
+		if err != nil {
+			return nil, predErrf(canon, "compile conjunction %q: %v", c.String(), err)
+		}
+		conjFns[i] = fn
+	}
+	e.evalFn = func() bool {
+		for _, fn := range conjFns {
+			if fn() {
+				return true
+			}
+		}
+		return false
+	}
+	e.conjTags = tag.Analyze(glob)
+	return e, nil
+}
+
+// funcEntry wraps a closure predicate from AwaitFunc. The closure may
+// capture the calling goroutine's locals: they cannot change while it
+// waits (Proposition 1), so evaluation by other threads under the monitor
+// lock is sound. Closure predicates are opaque, so they always carry the
+// None tag and are scanned exhaustively.
+func (m *Monitor) funcEntry(f func() bool) *entry {
+	return &entry{
+		canon:    "<func>",
+		cond:     sync.NewCond(&m.mu),
+		evalFn:   f,
+		conjTags: []tag.Tag{{Kind: tag.None}},
+		noneIdx:  -1,
+		funcOnly: true,
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// Explicit is the instrumented explicit-signal monitor: a mutex with
+// programmer-managed condition variables, the java.util.concurrent
+// Lock/Condition analog used as the principal comparison point in the
+// paper's evaluation. The programmer associates predicates with conditions
+// and must signal the right condition at the right time — exactly the
+// burden (and bug source) AutoSynch removes.
+type Explicit struct {
+	mu      sync.Mutex
+	profile bool
+	in      bool
+	stats   Stats
+}
+
+// NewExplicit constructs an explicit-signal monitor.
+func NewExplicit(opts ...Option) *Explicit {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Explicit{profile: cfg.profile}
+}
+
+// Enter acquires the monitor.
+func (e *Explicit) Enter() {
+	if e.profile {
+		t0 := time.Now()
+		e.mu.Lock()
+		e.stats.LockNs += time.Since(t0).Nanoseconds()
+	} else {
+		e.mu.Lock()
+	}
+	e.in = true
+}
+
+// Exit releases the monitor. No signaling happens implicitly.
+func (e *Explicit) Exit() {
+	if !e.in {
+		panic("autosynch: Exit without Enter")
+	}
+	e.in = false
+	e.mu.Unlock()
+}
+
+// Do runs f inside the monitor.
+func (e *Explicit) Do(f func()) {
+	e.Enter()
+	defer e.Exit()
+	f()
+}
+
+// Stats returns a snapshot of the counters.
+func (e *Explicit) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// ResetStats zeroes the counters.
+func (e *Explicit) ResetStats() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats = Stats{}
+}
+
+// Cond is an explicit condition variable bound to its monitor's lock.
+type Cond struct {
+	m    *Explicit
+	cond *sync.Cond
+}
+
+// NewCond creates a condition variable on the monitor.
+func (e *Explicit) NewCond() *Cond {
+	return &Cond{m: e, cond: sync.NewCond(&e.mu)}
+}
+
+// Await blocks until pred() holds, re-checking after every wake-up — the
+// standard while-loop idiom around Condition.await.
+func (c *Cond) Await(pred func() bool) {
+	if !c.m.in {
+		panic("autosynch: Cond.Await outside the monitor; call Enter first")
+	}
+	c.m.stats.Awaits++
+	if pred() {
+		c.m.stats.FastPath++
+		return
+	}
+	for {
+		if c.m.profile {
+			t0 := time.Now()
+			c.cond.Wait()
+			c.m.stats.AwaitNs += time.Since(t0).Nanoseconds()
+		} else {
+			c.cond.Wait()
+		}
+		c.m.stats.Wakeups++
+		if pred() {
+			break
+		}
+		c.m.stats.FutileWakeups++
+	}
+	c.m.in = true
+}
+
+// Signal wakes one thread waiting on the condition.
+func (c *Cond) Signal() {
+	c.m.stats.Signals++
+	c.cond.Signal()
+}
+
+// Broadcast wakes every thread waiting on the condition (signalAll).
+func (c *Cond) Broadcast() {
+	c.m.stats.Broadcasts++
+	c.cond.Broadcast()
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"container/list"
+
+	"repro/internal/expr"
+	"repro/internal/tag"
+)
+
+// condManager owns the predicate table, the tag structures, and the
+// inactive list of one monitor (§5.2, Fig. 7). Every method runs under the
+// monitor lock.
+type condManager struct {
+	m *Monitor
+
+	table    map[string]*entry // active entries by canonical string
+	inactive map[string]*entry // parked entries by canonical string
+	lru      *list.List        // inactive entries, most recently parked at the front
+
+	groups map[string]*sharedGroup // tag structures by canonical shared expression
+	none   []*entry                // entries needing exhaustive search
+
+	pending int // signals issued and not yet consumed by a woken waiter
+}
+
+func newCondManager(m *Monitor) *condManager {
+	return &condManager{
+		m:        m,
+		table:    map[string]*entry{},
+		inactive: map[string]*entry{},
+		lru:      list.New(),
+		groups:   map[string]*sharedGroup{},
+	}
+}
+
+// getEntry finds or creates the entry for a globalized predicate,
+// reactivating a parked entry when the same canonical predicate was used
+// before (predicate reuse, §5.2). build constructs the entry on a miss.
+func (cm *condManager) getEntry(canon string, build func() (*entry, error)) (*entry, error) {
+	if e, ok := cm.table[canon]; ok {
+		return e, nil
+	}
+	if e, ok := cm.inactive[canon]; ok {
+		delete(cm.inactive, canon)
+		cm.lru.Remove(e.lruElem)
+		e.lruElem = nil
+		cm.m.stats.Reuses++
+		cm.activate(e)
+		return e, nil
+	}
+	e, err := build()
+	if err != nil {
+		return nil, err
+	}
+	cm.m.stats.Registrations++
+	cm.activate(e)
+	return e, nil
+}
+
+// activate registers the entry in the predicate table and in the tag
+// structures (or the None list when tagging is disabled).
+func (cm *condManager) activate(e *entry) {
+	start := cm.m.profileStart()
+	cm.table[e.canon] = e
+	e.active = true
+	seen := map[*tagNode]bool{}
+	inNone := false
+	for _, tg := range e.conjTags {
+		if !cm.m.cfg.tagging || tg.Kind == tag.None {
+			if !inNone {
+				e.noneIdx = len(cm.none)
+				cm.none = append(cm.none, e)
+				inNone = true
+			}
+			continue
+		}
+		node := cm.nodeFor(tg)
+		if node == nil {
+			// Shared-expression compilation failed (undeclared variable
+			// in a hand-built DNF); fall back to exhaustive search.
+			if !inNone {
+				e.noneIdx = len(cm.none)
+				cm.none = append(cm.none, e)
+				inNone = true
+			}
+			continue
+		}
+		if seen[node] {
+			continue
+		}
+		seen[node] = true
+		node.addEntry(e)
+		e.nodes = append(e.nodes, node)
+	}
+	cm.m.profileEndTag(start)
+}
+
+// nodeFor finds or creates the tag node for tg in its shared-expression
+// group, creating the group (with its compiled evaluator) on first use.
+func (cm *condManager) nodeFor(tg tag.Tag) *tagNode {
+	g, ok := cm.groups[tg.Expr]
+	if !ok {
+		eval, err := cm.m.compileForm(tg.Form)
+		if err != nil {
+			return nil
+		}
+		g = &sharedGroup{
+			exprStr: tg.Expr,
+			eval:    eval,
+			equiv:   map[int64]*tagNode{},
+			minHeap: tagHeap{min: true},
+			maxHeap: tagHeap{min: false},
+		}
+		cm.groups[tg.Expr] = g
+	}
+	if tg.Kind == tag.Equivalence {
+		if n, ok := g.equiv[tg.Key]; ok {
+			return n
+		}
+		n := &tagNode{group: g, kind: tag.Equivalence, key: tg.Key, op: tg.Op, heapIdx: -1}
+		g.equiv[tg.Key] = n
+		return n
+	}
+	h := g.heapFor(tg.Op)
+	for _, n := range h.items {
+		if n.key == tg.Key && n.op == tg.Op {
+			return n
+		}
+	}
+	n := &tagNode{group: g, kind: tag.Threshold, key: tg.Key, op: tg.Op}
+	h.push(n)
+	return n
+}
+
+// heapFor selects the heap for a threshold operator: {>, ≥} tags live in
+// the min-heap, {<, ≤} tags in the max-heap.
+func (g *sharedGroup) heapFor(op expr.Op) *tagHeap {
+	if op == expr.OpGt || op == expr.OpGe {
+		return &g.minHeap
+	}
+	return &g.maxHeap
+}
+
+// deactivate unregisters an entry with no remaining waiters. Static
+// (shared) predicates stay active forever; closure entries are discarded;
+// everything else is parked on the inactive list for reuse, evicting the
+// oldest entries past the configured limit.
+func (cm *condManager) deactivate(e *entry) {
+	if e.static || !e.active {
+		return
+	}
+	start := cm.m.profileStart()
+	delete(cm.table, e.canon)
+	e.active = false
+	for _, n := range e.nodes {
+		n.removeEntry(e)
+		if len(n.entries) == 0 {
+			g := n.group
+			if n.kind == tag.Equivalence {
+				delete(g.equiv, n.key)
+			} else if n.heapIdx >= 0 {
+				g.heapFor(n.op).remove(n)
+			}
+			if g.empty() {
+				delete(cm.groups, g.exprStr)
+			}
+		}
+	}
+	e.nodes = nil
+	if e.noneIdx >= 0 {
+		cm.removeNone(e)
+	}
+	if !e.funcOnly && cm.m.cfg.inactiveLimit > 0 {
+		e.lruElem = cm.lru.PushFront(e)
+		cm.inactive[e.canon] = e
+		for cm.lru.Len() > cm.m.cfg.inactiveLimit {
+			oldest := cm.lru.Remove(cm.lru.Back()).(*entry)
+			delete(cm.inactive, oldest.canon)
+			oldest.lruElem = nil
+			cm.m.stats.Evictions++
+		}
+	}
+	cm.m.profileEndTag(start)
+}
+
+func (cm *condManager) removeNone(e *entry) {
+	last := len(cm.none) - 1
+	moved := cm.none[last]
+	cm.none[e.noneIdx] = moved
+	moved.noneIdx = e.noneIdx
+	cm.none[last] = nil
+	cm.none = cm.none[:last]
+	e.noneIdx = -1
+}
+
+// relaySignal implements the relay signaling rule (§4.2): if no signal is
+// already pending, find one waiter whose globalized predicate is true and
+// signal it. A pending signal means an active thread already exists
+// (Definition 3 counts signaled threads as active), so relay invariance
+// holds without a second search — and the signaled thread itself relays
+// again before it re-waits (Fig. 6), keeping the chain alive.
+func (cm *condManager) relaySignal() {
+	cm.m.stats.RelayCalls++
+	if cm.pending > 0 {
+		return
+	}
+	start := cm.m.profileStart()
+	e := cm.findTrue()
+	if e != nil {
+		e.signaled++
+		cm.pending++
+		cm.m.stats.Signals++
+		e.cond.Signal()
+	}
+	cm.m.profileEndRelay(start)
+}
+
+// findTrue locates a signalable entry whose predicate currently holds.
+// With tagging, equivalence hash tables are probed first, then the
+// threshold heaps, and only then the None list (§4.3.2); without tagging
+// every entry in the None list (which then holds all of them) is scanned.
+func (cm *condManager) findTrue() *entry {
+	if cm.m.cfg.tagging {
+		for _, g := range cm.groups {
+			// Groups whose entries have no signalable waiters (e.g. the
+			// permanently registered static predicates of an idle
+			// problem) are skipped without evaluating the expression.
+			if g.waiters == 0 {
+				continue
+			}
+			v := g.eval()
+			if node, ok := g.equiv[v]; ok {
+				cm.m.stats.TagChecks++
+				if e := cm.firstTrue(node.entries); e != nil {
+					return e
+				}
+			}
+			if e := cm.searchHeap(&g.minHeap, v); e != nil {
+				return e
+			}
+			if e := cm.searchHeap(&g.maxHeap, v); e != nil {
+				return e
+			}
+		}
+	}
+	return cm.firstTrue(cm.none)
+}
+
+// addWaiter and removeWaiter keep the per-group waiter totals in sync with
+// an entry's waiter count. An entry's node set is stable while it has
+// waiters (deactivation requires waiters == 0), so the bookkeeping is
+// exact.
+func (cm *condManager) addWaiter(e *entry) {
+	e.waiters++
+	for _, n := range e.nodes {
+		n.group.waiters++
+	}
+}
+
+func (cm *condManager) removeWaiter(e *entry) {
+	e.waiters--
+	for _, n := range e.nodes {
+		n.group.waiters--
+	}
+}
+
+// firstTrue returns the first signalable entry whose predicate evaluates
+// to true.
+func (cm *condManager) firstTrue(entries []*entry) *entry {
+	for _, e := range entries {
+		if !e.signalable() {
+			continue
+		}
+		cm.m.stats.PredicateEvals++
+		if e.evalFn() {
+			return e
+		}
+	}
+	return nil
+}
+
+// searchHeap is the threshold search of Fig. 4: examine the root tag; if it
+// is false, every descendant is false and the search stops; if it is true
+// but none of its predicates has a signalable true waiter, pop it to a
+// backup list and look at the new root. Popped tags are reinserted before
+// returning so the heap stays complete.
+func (cm *condManager) searchHeap(h *tagHeap, v int64) *entry {
+	if h.Len() == 0 {
+		return nil
+	}
+	var backup []*tagNode
+	var found *entry
+	for h.Len() > 0 {
+		root := h.root()
+		cm.m.stats.TagChecks++
+		if !root.holds(v) {
+			break
+		}
+		if e := cm.firstTrue(root.entries); e != nil {
+			found = e
+			break
+		}
+		backup = append(backup, h.popRoot())
+	}
+	for _, b := range backup {
+		h.push(b)
+	}
+	return found
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/expr"
+)
+
+// ErrNeverTrue is returned by Await when the globalized predicate folds to
+// the constant false: the local bindings make the condition unsatisfiable
+// for every possible shared state, so waiting would deadlock the caller.
+var ErrNeverTrue = errors.New("autosynch: globalized predicate is constant false")
+
+// Monitor is an automatic-signal monitor. Member-function bodies run
+// between Enter and Exit (or inside Do); Await replaces the paper's
+// waituntil statement. There are no condition variables and no signal
+// calls in the client API — the condition manager signals the appropriate
+// thread when a waiter's predicate becomes true (relay signaling, §4.2).
+//
+// By default the monitor is the full AutoSynch mechanism with predicate
+// tagging; construct with WithoutTagging for the AutoSynch-T variant.
+type Monitor struct {
+	mu    sync.Mutex
+	cfg   config
+	vars  map[string]*varSlot
+	preds map[string]*parsedPred
+	cm    *condManager
+	in    bool // a thread is inside the monitor (diagnostics only)
+
+	stats Stats
+}
+
+// New constructs a monitor.
+func New(opts ...Option) *Monitor {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	m := &Monitor{
+		cfg:   cfg,
+		vars:  map[string]*varSlot{},
+		preds: map[string]*parsedPred{},
+	}
+	m.cm = newCondManager(m)
+	return m
+}
+
+// NewInt declares a shared integer variable. Declare every shared variable
+// before the monitor is used; redeclaring a name panics.
+func (m *Monitor) NewInt(name string, init int64) *IntCell {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := &IntCell{v: init}
+	m.declare(name, &varSlot{
+		typ:  expr.TypeInt,
+		get:  func() int64 { return c.v },
+		ic:   c,
+		name: name,
+	})
+	return c
+}
+
+// NewBool declares a shared boolean variable.
+func (m *Monitor) NewBool(name string, init bool) *BoolCell {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := &BoolCell{v: init}
+	m.declare(name, &varSlot{
+		typ: expr.TypeBool,
+		get: func() int64 {
+			if c.v {
+				return 1
+			}
+			return 0
+		},
+		bc:   c,
+		name: name,
+	})
+	return c
+}
+
+func (m *Monitor) declare(name string, s *varSlot) {
+	if !validVarName(name) {
+		panic(fmt.Sprintf("autosynch: invalid shared variable name %q", name))
+	}
+	if _, dup := m.vars[name]; dup {
+		panic(fmt.Sprintf("autosynch: shared variable %q declared twice", name))
+	}
+	m.vars[name] = s
+}
+
+func validVarName(name string) bool {
+	if name == "" || name == "true" || name == "false" {
+		return false
+	}
+	n, err := expr.Parse(name)
+	if err != nil {
+		return false
+	}
+	_, isVar := n.(expr.Var)
+	return isVar
+}
+
+// Enter acquires the monitor, like calling a member function of an
+// AutoSynch class. Monitors are not reentrant.
+func (m *Monitor) Enter() {
+	if m.cfg.profile {
+		t0 := time.Now()
+		m.mu.Lock()
+		m.stats.LockNs += time.Since(t0).Nanoseconds()
+	} else {
+		m.mu.Lock()
+	}
+	m.in = true
+}
+
+// Exit relays a signal to a waiter whose condition has become true (the
+// relay signaling rule runs on every monitor exit) and releases the
+// monitor.
+func (m *Monitor) Exit() {
+	if !m.in {
+		panic("autosynch: Exit without Enter")
+	}
+	m.cm.relaySignal()
+	m.in = false
+	m.mu.Unlock()
+}
+
+// Do runs f inside the monitor: Enter, f, Exit.
+func (m *Monitor) Do(f func()) {
+	m.Enter()
+	defer m.Exit()
+	f()
+}
+
+// Await blocks until the predicate holds — the paper's waituntil(P).
+//
+// The predicate source may reference the monitor's shared variables and
+// any local variables supplied through bindings. Await must be called
+// inside the monitor (between Enter and Exit); while the caller waits the
+// monitor is released, and when Await returns the caller holds the monitor
+// and the predicate is true.
+//
+// Errors report malformed predicates, binding mismatches, or a globalized
+// predicate that is constant false (ErrNeverTrue); no error paths block.
+func (m *Monitor) Await(pred string, binds ...Binding) error {
+	if !m.in {
+		panic("autosynch: Await outside the monitor; call Enter first")
+	}
+	m.stats.Awaits++
+	p, err := m.parsePred(pred, binds)
+	if err != nil {
+		return err
+	}
+	if err := p.setBinds(binds); err != nil {
+		return err
+	}
+	if p.fast() {
+		m.stats.FastPath++
+		return nil
+	}
+	if p.tmpl != nil {
+		// Globalization fast path: precompiled template + key vector.
+		return m.awaitTemplate(p)
+	}
+	// Generic slow path: globalize (Definition 2) by substitution and
+	// register the resulting predicate.
+	glob, err := p.d.Subst(p.bindEnv())
+	if err != nil {
+		return predErrf(pred, "globalize: %v", err)
+	}
+	if glob.IsTrue() {
+		// Possible only when folding knows more than the compiled
+		// evaluator (e.g. division-by-zero fallback); treat as satisfied.
+		m.stats.FastPath++
+		return nil
+	}
+	if glob.IsFalse() {
+		return fmt.Errorf("%w: %q with the given bindings", ErrNeverTrue, pred)
+	}
+	canon := glob.String()
+	e, err := m.cm.getEntry(canon, func() (*entry, error) {
+		return m.buildEntry(canon, glob, p.isShared())
+	})
+	if err != nil {
+		return err
+	}
+	m.wait(e)
+	return nil
+}
+
+// AwaitFunc blocks until the closure predicate returns true. The closure
+// is evaluated by other threads while they hold the monitor, so it must
+// only read state guarded by this monitor and the caller's own locals
+// (which cannot change while it waits — Proposition 1). Closure predicates
+// are opaque to tagging and are scanned exhaustively; prefer Await with a
+// predicate string where possible.
+func (m *Monitor) AwaitFunc(pred func() bool) {
+	if !m.in {
+		panic("autosynch: AwaitFunc outside the monitor; call Enter first")
+	}
+	m.stats.Awaits++
+	m.stats.PredicateEvals++
+	if pred() {
+		m.stats.FastPath++
+		return
+	}
+	e := m.funcEntry(pred)
+	e.noneIdx = len(m.cm.none)
+	m.cm.none = append(m.cm.none, e)
+	m.wait(e)
+}
+
+// wait is the waituntil loop of Fig. 6: relay a signal to some other
+// true-condition waiter, sleep, and on wake-up re-check the predicate.
+func (m *Monitor) wait(e *entry) {
+	m.cm.addWaiter(e)
+	for {
+		m.cm.relaySignal()
+		if m.cfg.profile {
+			t0 := time.Now()
+			e.cond.Wait()
+			m.stats.AwaitNs += time.Since(t0).Nanoseconds()
+		} else {
+			e.cond.Wait()
+		}
+		m.stats.Wakeups++
+		e.signaled--
+		m.cm.pending--
+		m.stats.PredicateEvals++
+		if e.evalFn() {
+			break
+		}
+		m.stats.FutileWakeups++
+	}
+	m.cm.removeWaiter(e)
+	if e.waiters == 0 {
+		if e.funcOnly {
+			if e.noneIdx >= 0 {
+				m.cm.removeNone(e)
+			}
+		} else {
+			m.cm.deactivate(e)
+		}
+	}
+	m.in = true
+}
+
+// Stats returns a snapshot of the monitor's counters.
+func (m *Monitor) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// ResetStats zeroes the counters (between benchmark warm-up and the
+// measured phase).
+func (m *Monitor) ResetStats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats = Stats{}
+}
+
+// Tagging reports whether predicate tagging is enabled (false for the
+// AutoSynch-T variant).
+func (m *Monitor) Tagging() bool { return m.cfg.tagging }
+
+// DebugCounts returns sizes of the internal structures: active predicate
+// entries, inactive (parked) entries, shared-expression groups, and
+// None-list length. Intended for tests and the ablation benchmarks.
+func (m *Monitor) DebugCounts() (active, inactive, groups, none int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.cm.table), len(m.cm.inactive), len(m.cm.groups), len(m.cm.none)
+}
+
+// profileStart returns the phase start time when profiling is on.
+func (m *Monitor) profileStart() time.Time {
+	if !m.cfg.profile {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (m *Monitor) profileEndTag(t0 time.Time) {
+	if !m.cfg.profile || t0.IsZero() {
+		return
+	}
+	m.stats.TagMgmtNs += time.Since(t0).Nanoseconds()
+}
+
+func (m *Monitor) profileEndRelay(t0 time.Time) {
+	if !m.cfg.profile || t0.IsZero() {
+		return
+	}
+	m.stats.RelayNs += time.Since(t0).Nanoseconds()
+}

@@ -1,0 +1,61 @@
+package core
+
+// DefaultInactiveLimit is the default length bound of the inactive
+// predicate list (§5.2: predicates with no waiting thread are parked for
+// reuse; the oldest are dropped when the list exceeds a threshold). The
+// default comfortably covers the key spaces of the paper's workloads
+// (the parameterized buffer cycles through ~260 distinct globalized
+// predicates); see the abl-inactive experiment for the sensitivity.
+const DefaultInactiveLimit = 512
+
+type config struct {
+	tagging       bool
+	profile       bool
+	inactiveLimit int
+	dnfLimit      int
+}
+
+func defaultConfig() config {
+	return config{
+		tagging:       true,
+		inactiveLimit: DefaultInactiveLimit,
+		dnfLimit:      0, // 0 → dnf.DefaultMaxConjunctions
+	}
+}
+
+// Option configures a Monitor at construction.
+type Option func(*config)
+
+// WithoutTagging disables predicate tagging: the relay search scans every
+// registered predicate linearly. This is the AutoSynch-T mechanism of the
+// paper's evaluation, kept as a first-class option because it doubles as
+// the ablation baseline for tagging.
+func WithoutTagging() Option {
+	return func(c *config) { c.tagging = false }
+}
+
+// WithProfiling enables the nanosecond phase accounting used to reproduce
+// Table 1 (await / lock / relaySignal / tag-manager). It adds two clock
+// reads around each phase, so leave it off in throughput benchmarks.
+func WithProfiling() Option {
+	return func(c *config) { c.profile = true }
+}
+
+// WithInactiveLimit bounds the inactive predicate list. Zero disables
+// caching entirely (every deactivated predicate is discarded).
+func WithInactiveLimit(n int) Option {
+	return func(c *config) {
+		if n >= 0 {
+			c.inactiveLimit = n
+		}
+	}
+}
+
+// WithDNFLimit bounds the DNF conversion blow-up per predicate.
+func WithDNFLimit(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.dnfLimit = n
+		}
+	}
+}

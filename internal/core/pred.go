@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dnf"
+	"repro/internal/expr"
+)
+
+// parsedPred is the per-source-string analysis of an Await predicate,
+// cached on the monitor. Parsing, DNF conversion, and fast-path compilation
+// happen once per distinct predicate text; subsequent Awaits only store the
+// current local bindings and call the compiled evaluator.
+type parsedPred struct {
+	src  string
+	node expr.Node
+	d    dnf.DNF // locals still symbolic
+
+	localNames []string
+	localIdx   map[string]int
+	localTypes []expr.Type
+	localVals  []int64 // current binding values, bools as 0/1; monitor-locked
+
+	fast expr.BoolFn // evaluates node against cells + current localVals
+
+	tmpl        *predTmpl // globalization fast path; nil → generic Subst path
+	staticEntry *entry    // cached entry for shared (local-free) predicates
+}
+
+// PredicateError reports a malformed predicate or binding mismatch.
+type PredicateError struct {
+	Src string
+	Msg string
+}
+
+func (e *PredicateError) Error() string {
+	return fmt.Sprintf("predicate %q: %s", e.Src, e.Msg)
+}
+
+func predErrf(src, format string, args ...any) error {
+	return &PredicateError{Src: src, Msg: fmt.Sprintf(format, args...)}
+}
+
+// parsePred analyzes src under the monitor lock. binds supplies the local
+// variables (and fixes their types on first use).
+func (m *Monitor) parsePred(src string, binds []Binding) (*parsedPred, error) {
+	if p, ok := m.preds[src]; ok {
+		return p, nil
+	}
+	node, err := expr.Parse(src)
+	if err != nil {
+		return nil, predErrf(src, "parse: %v", err)
+	}
+	p := &parsedPred{src: src, node: node, localIdx: map[string]int{}}
+
+	bindType := map[string]expr.Type{}
+	for _, b := range binds {
+		bindType[b.Name] = b.Val.Type
+	}
+	for _, name := range expr.Vars(node) {
+		if _, shared := m.vars[name]; shared {
+			if _, alsoBound := bindType[name]; alsoBound {
+				return nil, predErrf(src, "%q is a shared monitor variable and cannot be bound", name)
+			}
+			continue
+		}
+		t, ok := bindType[name]
+		if !ok {
+			return nil, predErrf(src, "variable %q is neither a shared monitor variable nor bound", name)
+		}
+		p.localIdx[name] = len(p.localNames)
+		p.localNames = append(p.localNames, name)
+		p.localTypes = append(p.localTypes, t)
+	}
+	p.localVals = make([]int64, len(p.localNames))
+
+	if err := expr.CheckBool(node, func(name string) (expr.Type, bool) {
+		if s, ok := m.vars[name]; ok {
+			return s.typ, true
+		}
+		if i, ok := p.localIdx[name]; ok {
+			return p.localTypes[i], true
+		}
+		return expr.TypeInvalid, false
+	}); err != nil {
+		return nil, predErrf(src, "%v", err)
+	}
+
+	limit := m.cfg.dnfLimit
+	if limit <= 0 {
+		limit = dnf.DefaultMaxConjunctions
+	}
+	intVar := func(name string) bool {
+		if s, ok := m.vars[name]; ok {
+			return s.typ == expr.TypeInt
+		}
+		if i, ok := p.localIdx[name]; ok {
+			return p.localTypes[i] == expr.TypeInt
+		}
+		return false
+	}
+	d, err := dnf.ConvertTyped(node, limit, intVar)
+	if err != nil {
+		return nil, predErrf(src, "%v", err)
+	}
+	p.d = d
+
+	fast, err := expr.CompileBool(node, func(name string) (expr.Getter, expr.Type, bool) {
+		if s, ok := m.vars[name]; ok {
+			return s.get, s.typ, true
+		}
+		if i, ok := p.localIdx[name]; ok {
+			slot := &p.localVals[i]
+			return func() int64 { return *slot }, p.localTypes[i], true
+		}
+		return nil, expr.TypeInvalid, false
+	})
+	if err != nil {
+		return nil, predErrf(src, "compile: %v", err)
+	}
+	p.fast = fast
+	p.tmpl = m.buildTemplate(p)
+
+	m.preds[src] = p
+	return p, nil
+}
+
+// setBinds stores the binding values for the current Await. The set of
+// bound names must exactly match the predicate's local variables, with the
+// types fixed at first use.
+func (p *parsedPred) setBinds(binds []Binding) error {
+	if len(binds) != len(p.localNames) {
+		return predErrf(p.src, "predicate has %d local variable(s) %v, got %d binding(s)",
+			len(p.localNames), p.localNames, len(binds))
+	}
+	for _, b := range binds {
+		i, ok := p.localIdx[b.Name]
+		if !ok {
+			return predErrf(p.src, "binding %q does not match any local variable (locals: %v)", b.Name, p.localNames)
+		}
+		if b.Val.Type != p.localTypes[i] {
+			return predErrf(p.src, "binding %q has type %s, predicate uses it as %s", b.Name, b.Val.Type, p.localTypes[i])
+		}
+		if b.Val.Type == expr.TypeBool {
+			if b.Val.B {
+				p.localVals[i] = 1
+			} else {
+				p.localVals[i] = 0
+			}
+		} else {
+			p.localVals[i] = b.Val.I
+		}
+	}
+	return nil
+}
+
+// bindEnv exposes the current binding values as a substitution environment
+// for globalization.
+func (p *parsedPred) bindEnv() expr.Env {
+	return func(name string) (expr.Value, bool) {
+		i, ok := p.localIdx[name]
+		if !ok {
+			return expr.Value{}, false
+		}
+		if p.localTypes[i] == expr.TypeBool {
+			return expr.BoolValue(p.localVals[i] != 0), true
+		}
+		return expr.IntValue(p.localVals[i]), true
+	}
+}
+
+// isShared reports whether the predicate mentions no local variables, in
+// which case its globalization is itself and the registered entry is static
+// (never evicted — §5.2).
+func (p *parsedPred) isShared() bool { return len(p.localNames) == 0 }

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stats counts signaling events inside a monitor. All fields are mutated
+// under the monitor lock; read a consistent copy with the monitor's Stats
+// method. The wake-up counters are the repo's context-switch proxy: every
+// wake-up is one unpark/park round trip of a goroutine, playing the role of
+// the thread context switches counted in Fig. 15 of the paper.
+type Stats struct {
+	// Await traffic.
+	Awaits   uint64 // Await/AwaitFunc calls
+	FastPath uint64 // predicate already true on entry; no wait
+
+	// Signaling.
+	Signals    uint64 // single-thread signals issued
+	Broadcasts uint64 // signalAll calls issued (baseline/explicit only)
+
+	// Wake-ups observed by waiters.
+	Wakeups       uint64 // returns from a condition wait
+	FutileWakeups uint64 // wake-ups that found the predicate still false
+
+	// Condition-manager work (automatic mechanisms only).
+	RelayCalls     uint64 // relaySignal invocations
+	PredicateEvals uint64 // globalized predicate evaluations during relay
+	TagChecks      uint64 // tag truth tests (hash probe hits and heap roots)
+	Registrations  uint64 // new predicate entries built
+	Reuses         uint64 // entries reactivated from the inactive list
+	Evictions      uint64 // inactive entries dropped by the LRU limit
+
+	// Profiling (populated only with WithProfiling): cumulative
+	// nanoseconds, the Table 1 breakdown.
+	AwaitNs   int64 // blocked in condition waits
+	LockNs    int64 // acquiring the monitor lock in Enter
+	RelayNs   int64 // inside relaySignal (search + signal)
+	TagMgmtNs int64 // maintaining tag structures (register/activate/deactivate)
+}
+
+// ContextSwitches returns the wake-up count, the Fig. 15 quantity.
+func (s Stats) ContextSwitches() uint64 { return s.Wakeups }
+
+// String renders a compact single-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"awaits=%d fast=%d signals=%d broadcasts=%d wakeups=%d futile=%d relay=%d evals=%d tags=%d reg=%d reuse=%d",
+		s.Awaits, s.FastPath, s.Signals, s.Broadcasts, s.Wakeups, s.FutileWakeups,
+		s.RelayCalls, s.PredicateEvals, s.TagChecks, s.Registrations, s.Reuses)
+}
+
+// Profile renders the Table 1 style time breakdown.
+func (s Stats) Profile() string {
+	return fmt.Sprintf("await=%v lock=%v relaySignal=%v tagMgr=%v",
+		time.Duration(s.AwaitNs), time.Duration(s.LockNs),
+		time.Duration(s.RelayNs), time.Duration(s.TagMgmtNs))
+}
+
+// Add returns the field-wise sum of two stats, used when aggregating
+// several monitors of one experiment.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Awaits:         s.Awaits + o.Awaits,
+		FastPath:       s.FastPath + o.FastPath,
+		Signals:        s.Signals + o.Signals,
+		Broadcasts:     s.Broadcasts + o.Broadcasts,
+		Wakeups:        s.Wakeups + o.Wakeups,
+		FutileWakeups:  s.FutileWakeups + o.FutileWakeups,
+		RelayCalls:     s.RelayCalls + o.RelayCalls,
+		PredicateEvals: s.PredicateEvals + o.PredicateEvals,
+		TagChecks:      s.TagChecks + o.TagChecks,
+		Registrations:  s.Registrations + o.Registrations,
+		Reuses:         s.Reuses + o.Reuses,
+		Evictions:      s.Evictions + o.Evictions,
+		AwaitNs:        s.AwaitNs + o.AwaitNs,
+		LockNs:         s.LockNs + o.LockNs,
+		RelayNs:        s.RelayNs + o.RelayNs,
+		TagMgmtNs:      s.TagMgmtNs + o.TagMgmtNs,
+	}
+}

@@ -1,0 +1,431 @@
+// Package dnf normalizes boolean predicates into disjunctive normal form.
+//
+// The AutoSynch runtime (§4 of the paper) assumes every waituntil predicate
+// P = ∨ᵢ cᵢ is a disjunction of conjunctions of atomic boolean expressions;
+// tags are assigned per conjunction. This package performs the conversion:
+// constant folding, negation normal form via De Morgan's laws (negations of
+// comparisons are absorbed into the comparison operator), distribution of ∧
+// over ∨, and canonicalization (sorted, de-duplicated, subsumption-pruned).
+package dnf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/linear"
+)
+
+// DefaultMaxConjunctions bounds the DNF blow-up. Distribution is worst-case
+// exponential; real synchronization predicates are tiny, so hitting this
+// limit almost certainly indicates a runaway predicate and is reported as an
+// error instead of silently consuming memory.
+const DefaultMaxConjunctions = 128
+
+// Conjunction is one conjunct c = a₁ ∧ … ∧ aₖ of a DNF predicate. Each atom
+// is a boolean expression with no ∧/∨ structure: a comparison, a boolean
+// variable, or the negation of a boolean variable. An empty conjunction is
+// the constant true.
+//
+// Atoms preserve source order (with duplicates removed): tagging picks the
+// first equivalence conjunct the programmer wrote (Fig. 3), and that order
+// carries signal — "serving == t && activeReaders == 0" should tag on the
+// discriminating serving == t, not on the constant-keyed second conjunct.
+// Canonical identity is order-independent: String() sorts the rendered
+// atoms.
+type Conjunction struct {
+	Atoms []expr.Node
+}
+
+// DNF is a predicate in disjunctive normal form: the disjunction of its
+// conjunctions. A DNF with no conjunctions is the constant false; the
+// constant true is represented by a single empty conjunction.
+type DNF struct {
+	Conjs []Conjunction
+
+	// intVar reports whether a variable holds an integer; comparison atoms
+	// whose variables are all integers are rewritten into canonical linear
+	// form (see normalizeAtom). Carried so Subst re-canonicalizes the same
+	// way. nil means "all variables are integers".
+	intVar func(string) bool
+}
+
+// ErrTooManyConjunctions is wrapped in errors returned when conversion
+// exceeds the conjunction limit.
+type ErrTooManyConjunctions struct {
+	Limit int
+	Pred  expr.Node
+}
+
+func (e *ErrTooManyConjunctions) Error() string {
+	return fmt.Sprintf("dnf: predicate %q exceeds %d conjunctions", e.Pred.String(), e.Limit)
+}
+
+// Convert normalizes n into DNF with the default blow-up limit, treating
+// every variable as an integer for atom normalization.
+func Convert(n expr.Node) (DNF, error) {
+	return ConvertTyped(n, DefaultMaxConjunctions, nil)
+}
+
+// ConvertLimit normalizes n into DNF, failing if more than limit
+// conjunctions would be produced.
+func ConvertLimit(n expr.Node, limit int) (DNF, error) {
+	return ConvertTyped(n, limit, nil)
+}
+
+// ConvertTyped normalizes n into DNF. intVar reports whether a variable is
+// an integer: comparison atoms over integer variables are rewritten into
+// the canonical linear form Σcᵢxᵢ op k (variables sorted, positive leading
+// coefficient), which realizes the paper's syntax equivalence — predicates
+// that globalize to the same condition get the same canonical string. A
+// nil intVar treats every variable as an integer.
+func ConvertTyped(n expr.Node, limit int, intVar func(string) bool) (DNF, error) {
+	folded := expr.Fold(n)
+	nnf := toNNF(folded, false)
+	conjs, err := distribute(nnf, limit, n)
+	if err != nil {
+		return DNF{}, err
+	}
+	d := canonicalize(conjs, intVar)
+	d.intVar = intVar
+	return d, nil
+}
+
+// MustConvert converts and panics on error; for static predicate tables.
+func MustConvert(n expr.Node) DNF {
+	d, err := Convert(n)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// toNNF pushes negations down to the leaves. neg tracks whether the current
+// subtree is under an odd number of negations.
+func toNNF(n expr.Node, neg bool) expr.Node {
+	switch n := n.(type) {
+	case expr.BoolLit:
+		return expr.B(n.Value != neg)
+	case expr.Var:
+		if neg {
+			return expr.Not(n)
+		}
+		return n
+	case expr.Unary:
+		if n.Op == expr.OpNot {
+			return toNNF(n.X, !neg)
+		}
+		return n // unary minus inside an atom; untouched
+	case expr.Binary:
+		switch n.Op {
+		case expr.OpAnd:
+			op := expr.OpAnd
+			if neg {
+				op = expr.OpOr
+			}
+			return expr.Bin(op, toNNF(n.L, neg), toNNF(n.R, neg))
+		case expr.OpOr:
+			op := expr.OpOr
+			if neg {
+				op = expr.OpAnd
+			}
+			return expr.Bin(op, toNNF(n.L, neg), toNNF(n.R, neg))
+		case expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe:
+			if neg {
+				return expr.Bin(n.Op.Negate(), n.L, n.R)
+			}
+			return n
+		case expr.OpEq, expr.OpNe:
+			// ==/!= may compare bools whose operands have internal
+			// boolean structure only via variables; either way the node
+			// is an atom and negation flips the operator.
+			if neg {
+				return expr.Bin(n.Op.Negate(), n.L, n.R)
+			}
+			return n
+		default:
+			return n // arithmetic inside an atom
+		}
+	}
+	return n
+}
+
+// distribute converts an NNF tree into conjunction lists.
+func distribute(n expr.Node, limit int, orig expr.Node) ([]Conjunction, error) {
+	switch t := n.(type) {
+	case expr.BoolLit:
+		if t.Value {
+			return []Conjunction{{}}, nil // true: one empty conjunction
+		}
+		return nil, nil // false: no conjunctions
+	case expr.Binary:
+		switch t.Op {
+		case expr.OpOr:
+			l, err := distribute(t.L, limit, orig)
+			if err != nil {
+				return nil, err
+			}
+			r, err := distribute(t.R, limit, orig)
+			if err != nil {
+				return nil, err
+			}
+			out := append(l, r...)
+			if len(out) > limit {
+				return nil, &ErrTooManyConjunctions{Limit: limit, Pred: orig}
+			}
+			return out, nil
+		case expr.OpAnd:
+			l, err := distribute(t.L, limit, orig)
+			if err != nil {
+				return nil, err
+			}
+			r, err := distribute(t.R, limit, orig)
+			if err != nil {
+				return nil, err
+			}
+			if len(l) > 0 && len(r) > 0 && len(l)*len(r) > limit {
+				return nil, &ErrTooManyConjunctions{Limit: limit, Pred: orig}
+			}
+			out := make([]Conjunction, 0, len(l)*len(r))
+			for _, cl := range l {
+				for _, cr := range r {
+					atoms := make([]expr.Node, 0, len(cl.Atoms)+len(cr.Atoms))
+					atoms = append(atoms, cl.Atoms...)
+					atoms = append(atoms, cr.Atoms...)
+					out = append(out, Conjunction{Atoms: atoms})
+				}
+			}
+			return out, nil
+		}
+	}
+	// Any other node is an atom.
+	return []Conjunction{{Atoms: []expr.Node{n}}}, nil
+}
+
+// normalizeAtom rewrites a comparison atom over integer variables into the
+// canonical linear form  Σcᵢxᵢ op k: variables sorted, constants moved to
+// the right, leading coefficient positive (flipping the operator when the
+// sign changes). Atoms that are nonlinear, non-comparisons, or involve
+// non-integer variables are returned unchanged. Ground comparisons fold to
+// a boolean literal.
+func normalizeAtom(a expr.Node, intVar func(string) bool) expr.Node {
+	cmp, ok := a.(expr.Binary)
+	if !ok || !cmp.Op.IsComparison() {
+		return a
+	}
+	if intVar != nil {
+		for _, v := range expr.Vars(a) {
+			if !intVar(v) {
+				return a
+			}
+		}
+	}
+	s, ok := linear.Decompose(expr.Bin(expr.OpSub, cmp.L, cmp.R), func(string) bool { return true })
+	if !ok || len(s.Residuals) != 0 {
+		return a
+	}
+	form, op := s.Shared, cmp.Op
+	key := -s.Const
+	if form.IsConst() {
+		return expr.Fold(expr.Bin(op, expr.I(0), expr.I(key)))
+	}
+	if _, lead, _ := form.Leading(); lead < 0 {
+		form = form.Scale(-1)
+		key = -key
+		op = op.Flip()
+	}
+	return expr.Bin(op, form.Node(), expr.I(key))
+}
+
+// canonicalize sorts and de-duplicates atoms and conjunctions, removes
+// contradictory and redundant structure where it is syntactically evident,
+// and prunes subsumed conjunctions (c ∨ (c ∧ d) ≡ c).
+func canonicalize(conjs []Conjunction, intVar func(string) bool) DNF {
+	type keyed struct {
+		conj Conjunction
+		keys []string
+	}
+	var ks []keyed
+	for _, c := range conjs {
+		seen := map[string]bool{}
+		var atoms []expr.Node
+		var keys []string
+		contradictory := false
+		for _, a := range c.Atoms {
+			a = normalizeAtom(a, intVar)
+			if lit, ok := a.(expr.BoolLit); ok {
+				if lit.Value {
+					continue // true conjunct is a no-op
+				}
+				contradictory = true
+				break
+			}
+			k := a.String()
+			if seen[k] {
+				continue
+			}
+			// a ∧ ¬a detection for bare boolean vars.
+			if v, ok := a.(expr.Var); ok && seen["!"+v.Name] {
+				contradictory = true
+				break
+			}
+			if u, ok := a.(expr.Unary); ok && u.Op == expr.OpNot {
+				if v, ok := u.X.(expr.Var); ok && seen[v.Name] {
+					contradictory = true
+					break
+				}
+			}
+			seen[k] = true
+			atoms = append(atoms, a)
+			keys = append(keys, k)
+		}
+		if contradictory {
+			continue
+		}
+		sort.Strings(keys) // identity keys are order-independent; atoms keep source order
+		ks = append(ks, keyed{Conjunction{Atoms: atoms}, keys})
+	}
+
+	// Subsumption: keep a conjunction only if no other conjunction's atom
+	// set is a strict subset of its own (and drop exact duplicates).
+	var out []Conjunction
+	seenConj := map[string]bool{}
+	for i, ci := range ks {
+		key := strings.Join(ci.keys, " && ")
+		if seenConj[key] {
+			continue
+		}
+		subsumed := false
+		for j, cj := range ks {
+			if i == j {
+				continue
+			}
+			// Only strict subsets subsume; equal sets are handled by the
+			// duplicate check above.
+			if len(cj.keys) < len(ci.keys) && isSubset(cj.keys, ci.keys) {
+				subsumed = true
+				break
+			}
+		}
+		if subsumed {
+			continue
+		}
+		seenConj[key] = true
+		out = append(out, ci.conj)
+		if len(ci.conj.Atoms) == 0 {
+			// A true conjunction makes the whole predicate true.
+			return DNF{Conjs: []Conjunction{{}}}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].String() < out[j].String()
+	})
+	return DNF{Conjs: out, intVar: intVar}
+}
+
+// isSubset reports whether sorted slice sub ⊆ sorted slice super.
+func isSubset(sub, super []string) bool {
+	i := 0
+	for _, s := range super {
+		if i < len(sub) && sub[i] == s {
+			i++
+		}
+	}
+	return i == len(sub)
+}
+
+// IsFalse reports whether the predicate is the constant false.
+func (d DNF) IsFalse() bool { return len(d.Conjs) == 0 }
+
+// IsTrue reports whether the predicate is the constant true.
+func (d DNF) IsTrue() bool {
+	return len(d.Conjs) == 1 && len(d.Conjs[0].Atoms) == 0
+}
+
+// String renders the predicate; the output is canonical (equal DNFs render
+// identically), which the condition manager uses for predicate identity.
+func (d DNF) String() string {
+	if d.IsFalse() {
+		return "false"
+	}
+	parts := make([]string, len(d.Conjs))
+	for i, c := range d.Conjs {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " || ")
+}
+
+// String renders one conjunction canonically: atom renderings are sorted,
+// so differently ordered spellings of the same conjunction are identical
+// strings (syntax equivalence, §5.2).
+func (c Conjunction) String() string {
+	if len(c.Atoms) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(c.Atoms))
+	for i, a := range c.Atoms {
+		parts[i] = a.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " && ")
+}
+
+// Node reconstructs an expression tree equivalent to the DNF.
+func (d DNF) Node() expr.Node {
+	if d.IsFalse() {
+		return expr.B(false)
+	}
+	disjuncts := make([]expr.Node, len(d.Conjs))
+	for i, c := range d.Conjs {
+		disjuncts[i] = expr.And(c.Atoms...)
+	}
+	return expr.Or(disjuncts...)
+}
+
+// Eval evaluates the predicate under env.
+func (d DNF) Eval(env expr.Env) (bool, error) {
+	for _, c := range d.Conjs {
+		ok, err := c.Eval(env)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Eval evaluates one conjunction under env.
+func (c Conjunction) Eval(env expr.Env) (bool, error) {
+	for _, a := range c.Atoms {
+		ok, err := expr.EvalBool(a, env)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Vars returns the sorted variable set of the whole predicate.
+func (d DNF) Vars() []string {
+	return expr.Vars(d.Node())
+}
+
+// Subst applies a substitution to every atom, returning a new DNF that is
+// re-canonicalized (substitution can collapse atoms to constants).
+func (d DNF) Subst(env expr.Env) (DNF, error) {
+	var conjs []Conjunction
+	for _, c := range d.Conjs {
+		atoms := make([]expr.Node, len(c.Atoms))
+		for i, a := range c.Atoms {
+			atoms[i] = expr.Fold(expr.Subst(a, env))
+		}
+		conjs = append(conjs, Conjunction{Atoms: atoms})
+	}
+	return canonicalize(conjs, d.intVar), nil
+}

@@ -1,0 +1,279 @@
+package dnf
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/expr"
+)
+
+func conv(t *testing.T, src string) DNF {
+	t.Helper()
+	d, err := Convert(expr.MustParse(src))
+	if err != nil {
+		t.Fatalf("Convert(%q): %v", src, err)
+	}
+	return d
+}
+
+func TestConvertBasics(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"x > 0", "x > 0"},
+		{"x > 0 && y < 2", "x > 0 && y < 2"},
+		{"x > 0 || y < 2", "x > 0 || y < 2"},
+		// The paper's DNF example: (x = 1) ∧ (y = 6) ∨ (z ≠ 8).
+		{"x == 1 && y == 6 || z != 8", "x == 1 && y == 6 || z != 8"},
+		// Distribution of ∧ over ∨.
+		{"(a > 0 || b > 0) && c > 0", "a > 0 && c > 0 || b > 0 && c > 0"},
+		{"(a>0 || b>0) && (c>0 || d>0)",
+			"a > 0 && c > 0 || a > 0 && d > 0 || b > 0 && c > 0 || b > 0 && d > 0"},
+		// De Morgan + comparison negation absorption.
+		{"!(x > 0 && y > 0)", "x <= 0 || y <= 0"},
+		{"!(x > 0 || y > 0)", "x <= 0 && y <= 0"},
+		{"!(x == 1)", "x != 1"},
+		{"!(x != 1)", "x == 1"},
+		{"!(p && q)", "!p || !q"},
+		{"!!(x > 0)", "x > 0"},
+		// Constants.
+		{"true", "true"},
+		{"false", "false"},
+		{"x > 0 || true", "true"},
+		{"x > 0 && false", "false"},
+		{"x > 0 || false", "x > 0"},
+		{"x > 0 && true", "x > 0"},
+		// Atom dedupe inside a conjunction.
+		{"x > 0 && x > 0", "x > 0"},
+		// p && !p is contradictory.
+		{"p && !p", "false"},
+		{"p && !p || x > 0", "x > 0"},
+		// Subsumption: c ∨ (c ∧ d) = c.
+		{"x > 0 || x > 0 && y > 0", "x > 0"},
+		// Duplicate conjunction dedupe.
+		{"x > 0 || x > 0", "x > 0"},
+	}
+	for _, c := range cases {
+		if got := conv(t, c.in).String(); got != c.want {
+			t.Errorf("Convert(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestConvertCanonicalOrder(t *testing.T) {
+	// Equal predicates written differently must produce identical strings:
+	// this is the syntax-equivalence relation of §5.2.
+	a := conv(t, "y < 2 && x > 0 || z == 1").String()
+	b := conv(t, "z == 1 || x > 0 && y < 2").String()
+	if a != b {
+		t.Errorf("canonical forms differ: %q vs %q", a, b)
+	}
+}
+
+func TestConvertLimit(t *testing.T) {
+	// (a1||b1) && (a2||b2) && ... grows as 2^n conjunctions.
+	var sb strings.Builder
+	for i := 0; i < 10; i++ {
+		if i > 0 {
+			sb.WriteString(" && ")
+		}
+		sb.WriteString("(a" + string(rune('0'+i)) + " > 0 || b" + string(rune('0'+i)) + " > 0)")
+	}
+	_, err := ConvertLimit(expr.MustParse(sb.String()), 64)
+	var tooMany *ErrTooManyConjunctions
+	if !errors.As(err, &tooMany) {
+		t.Fatalf("expected ErrTooManyConjunctions, got %v", err)
+	}
+	if tooMany.Limit != 64 {
+		t.Errorf("limit in error = %d, want 64", tooMany.Limit)
+	}
+}
+
+func TestIsTrueIsFalse(t *testing.T) {
+	if !conv(t, "true").IsTrue() || conv(t, "true").IsFalse() {
+		t.Error("true misclassified")
+	}
+	if !conv(t, "false").IsFalse() || conv(t, "false").IsTrue() {
+		t.Error("false misclassified")
+	}
+	if conv(t, "x > 0").IsTrue() || conv(t, "x > 0").IsFalse() {
+		t.Error("x > 0 misclassified")
+	}
+}
+
+func TestDNFEval(t *testing.T) {
+	d := conv(t, "x == 1 && y == 6 || z != 8")
+	e := expr.MapEnv(map[string]expr.Value{
+		"x": expr.IntValue(1), "y": expr.IntValue(6), "z": expr.IntValue(8),
+	})
+	got, err := d.Eval(e)
+	if err != nil || !got {
+		t.Errorf("Eval = (%t, %v), want (true, nil)", got, err)
+	}
+	e2 := expr.MapEnv(map[string]expr.Value{
+		"x": expr.IntValue(2), "y": expr.IntValue(6), "z": expr.IntValue(8),
+	})
+	got, err = d.Eval(e2)
+	if err != nil || got {
+		t.Errorf("Eval = (%t, %v), want (false, nil)", got, err)
+	}
+}
+
+func TestDNFNodeRoundTrip(t *testing.T) {
+	d := conv(t, "(a > 0 || b > 0) && c > 0")
+	d2, err := Convert(d.Node())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.String() != d2.String() {
+		t.Errorf("Node round trip changed DNF: %q vs %q", d, d2)
+	}
+	if conv(t, "false").Node().String() != "false" {
+		t.Error("false Node() wrong")
+	}
+	if conv(t, "true").Node().String() != "true" {
+		t.Error("true Node() wrong")
+	}
+}
+
+func TestDNFVars(t *testing.T) {
+	d := conv(t, "count >= num || stopped")
+	got := d.Vars()
+	want := []string{"count", "num", "stopped"}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDNFSubst(t *testing.T) {
+	d := conv(t, "count >= num")
+	g, err := d.Subst(expr.MapEnv(map[string]expr.Value{"num": expr.IntValue(48)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.String() != "count >= 48" {
+		t.Errorf("Subst = %q, want %q", g.String(), "count >= 48")
+	}
+	// Substitution that collapses a conjunction to a constant.
+	d2 := conv(t, "go1 && count > 0")
+	g2, err := d2.Subst(expr.MapEnv(map[string]expr.Value{"go1": expr.BoolValue(false)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.IsFalse() {
+		t.Errorf("Subst(false && ...) = %q, want false", g2.String())
+	}
+}
+
+func TestMustConvertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustConvert on exploding predicate did not panic")
+		}
+	}()
+	var sb strings.Builder
+	for i := 0; i < 20; i++ {
+		if i > 0 {
+			sb.WriteString(" && ")
+		}
+		sb.WriteString("(a" + string(rune('a'+i)) + " > 0 || b" + string(rune('a'+i)) + " > 0)")
+	}
+	MustConvert(expr.MustParse(sb.String()))
+}
+
+// Property: conversion preserves semantics over random environments.
+func TestPropertyConvertPreservesSemantics(t *testing.T) {
+	gen := func(seed int64) (expr.Node, expr.Env) {
+		s := seed
+		next := func() int64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			v := s >> 33
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		names := []string{"a", "b", "c", "d"}
+		var boolExpr func(depth int) expr.Node
+		intLeaf := func() expr.Node {
+			if next()%2 == 0 {
+				return expr.I(next() % 5)
+			}
+			return expr.V(names[next()%4])
+		}
+		boolExpr = func(depth int) expr.Node {
+			if depth <= 0 {
+				ops := []expr.Op{expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe, expr.OpEq, expr.OpNe}
+				return expr.Bin(ops[next()%6], intLeaf(), intLeaf())
+			}
+			switch next() % 4 {
+			case 0:
+				return expr.Not(boolExpr(depth - 1))
+			case 1:
+				return expr.Bin(expr.OpAnd, boolExpr(depth-1), boolExpr(depth-1))
+			case 2:
+				return expr.Bin(expr.OpOr, boolExpr(depth-1), boolExpr(depth-1))
+			default:
+				ops := []expr.Op{expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe, expr.OpEq, expr.OpNe}
+				return expr.Bin(ops[next()%6], intLeaf(), intLeaf())
+			}
+		}
+		n := boolExpr(3)
+		vals := map[string]expr.Value{}
+		for _, name := range names {
+			vals[name] = expr.IntValue(next() % 5)
+		}
+		return n, expr.MapEnv(vals)
+	}
+	f := func(seed int64) bool {
+		n, e := gen(seed)
+		want, err := expr.EvalBool(n, e)
+		if err != nil {
+			return true
+		}
+		d, err := Convert(n)
+		if err != nil {
+			t.Logf("Convert(%q): %v", n.String(), err)
+			return false
+		}
+		got, err := d.Eval(e)
+		if err != nil {
+			t.Logf("Eval of DNF %q: %v", d.String(), err)
+			return false
+		}
+		if got != want {
+			t.Logf("semantics changed: %q -> %q (want %t, got %t)", n.String(), d.String(), want, got)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: canonical strings are stable under re-conversion (idempotence).
+func TestPropertyConvertIdempotent(t *testing.T) {
+	srcs := []string{
+		"a > 0 && (b > 1 || c > 2) || !(d >= 3)",
+		"!(a > 0 && b > 0) || c == 1 && d != 2",
+		"(a == 1 || b == 2) && (c == 3 || d == 4)",
+		"p && (q || !r) || !p && r",
+	}
+	for _, src := range srcs {
+		d1 := conv(t, src)
+		d2, err := Convert(d1.Node())
+		if err != nil {
+			t.Errorf("re-Convert(%q): %v", src, err)
+			continue
+		}
+		if d1.String() != d2.String() {
+			t.Errorf("not idempotent for %q: %q vs %q", src, d1, d2)
+		}
+	}
+}

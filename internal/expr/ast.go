@@ -1,0 +1,331 @@
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Op identifies an operator in the AST. The zero value is invalid.
+type Op int
+
+// AST operators. Comparison, boolean, and arithmetic operators share one
+// enum so that Binary can represent all of them.
+const (
+	OpInvalid Op = iota
+
+	OpAdd // +
+	OpSub // -
+	OpMul // *
+	OpDiv // /
+	OpMod // %
+
+	OpLt // <
+	OpLe // <=
+	OpGt // >
+	OpGe // >=
+	OpEq // ==
+	OpNe // !=
+
+	OpAnd // &&
+	OpOr  // ||
+
+	OpNeg // unary -
+	OpNot // unary !
+)
+
+var opNames = map[Op]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=", OpEq: "==", OpNe: "!=",
+	OpAnd: "&&", OpOr: "||", OpNeg: "-", OpNot: "!",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// IsComparison reports whether o is one of < <= > >= == !=.
+func (o Op) IsComparison() bool {
+	switch o {
+	case OpLt, OpLe, OpGt, OpGe, OpEq, OpNe:
+		return true
+	}
+	return false
+}
+
+// IsOrdering reports whether o is one of the four threshold-forming
+// comparisons < <= > >= (Definition 7 in the paper).
+func (o Op) IsOrdering() bool {
+	switch o {
+	case OpLt, OpLe, OpGt, OpGe:
+		return true
+	}
+	return false
+}
+
+// Negate returns the comparison that is the logical negation of o
+// (e.g. the negation of < is >=). It panics if o is not a comparison.
+func (o Op) Negate() Op {
+	switch o {
+	case OpLt:
+		return OpGe
+	case OpLe:
+		return OpGt
+	case OpGt:
+		return OpLe
+	case OpGe:
+		return OpLt
+	case OpEq:
+		return OpNe
+	case OpNe:
+		return OpEq
+	}
+	panic("expr: Negate on non-comparison operator " + o.String())
+}
+
+// Flip returns the comparison with its operands exchanged
+// (a < b  ⇔  b > a). It panics if o is not a comparison.
+func (o Op) Flip() Op {
+	switch o {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	case OpEq, OpNe:
+		return o
+	}
+	panic("expr: Flip on non-comparison operator " + o.String())
+}
+
+// Node is an expression AST node. Nodes are immutable after construction;
+// transformation functions return new trees sharing unchanged subtrees.
+type Node interface {
+	// String renders the node with minimal parentheses; the output
+	// re-parses to an equal tree.
+	String() string
+	isNode()
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ Value int64 }
+
+// BoolLit is a boolean literal.
+type BoolLit struct{ Value bool }
+
+// Var is an unresolved identifier reference.
+type Var struct{ Name string }
+
+// Unary is a prefix operator application (OpNeg or OpNot).
+type Unary struct {
+	Op Op
+	X  Node
+}
+
+// Binary is an infix operator application.
+type Binary struct {
+	Op   Op
+	L, R Node
+}
+
+func (IntLit) isNode()  {}
+func (BoolLit) isNode() {}
+func (Var) isNode()     {}
+func (Unary) isNode()   {}
+func (Binary) isNode()  {}
+
+func (n IntLit) String() string { return strconv.FormatInt(n.Value, 10) }
+
+func (n BoolLit) String() string {
+	if n.Value {
+		return "true"
+	}
+	return "false"
+}
+
+func (n Var) String() string { return n.Name }
+
+// precedence returns the binding strength used for minimal-paren printing.
+func precedence(n Node) int {
+	switch n := n.(type) {
+	case Binary:
+		switch n.Op {
+		case OpOr:
+			return 1
+		case OpAnd:
+			return 2
+		case OpLt, OpLe, OpGt, OpGe, OpEq, OpNe:
+			return 3
+		case OpAdd, OpSub:
+			return 4
+		case OpMul, OpDiv, OpMod:
+			return 5
+		}
+	case Unary:
+		return 6
+	}
+	return 7 // literals, vars
+}
+
+func (n Unary) String() string {
+	inner := n.X.String()
+	if precedence(n.X) < precedence(n) {
+		inner = "(" + inner + ")"
+	}
+	// "--x" would lex as the decrement token; force "-(-x)".
+	if n.Op == OpNeg && len(inner) > 0 && inner[0] == '-' {
+		inner = "(" + inner + ")"
+	}
+	return n.Op.String() + inner
+}
+
+func (n Binary) String() string {
+	p := precedence(n)
+	l := n.L.String()
+	if precedence(n.L) < p {
+		l = "(" + l + ")"
+	}
+	r := n.R.String()
+	// Right child needs parens at equal precedence too, since all our
+	// binary operators associate to the left.
+	if precedence(n.R) <= p {
+		r = "(" + r + ")"
+	}
+	return l + " " + n.Op.String() + " " + r
+}
+
+// Equal reports structural equality of two trees.
+func Equal(a, b Node) bool {
+	switch a := a.(type) {
+	case IntLit:
+		b, ok := b.(IntLit)
+		return ok && a.Value == b.Value
+	case BoolLit:
+		b, ok := b.(BoolLit)
+		return ok && a.Value == b.Value
+	case Var:
+		b, ok := b.(Var)
+		return ok && a.Name == b.Name
+	case Unary:
+		b, ok := b.(Unary)
+		return ok && a.Op == b.Op && Equal(a.X, b.X)
+	case Binary:
+		b, ok := b.(Binary)
+		return ok && a.Op == b.Op && Equal(a.L, b.L) && Equal(a.R, b.R)
+	}
+	return false
+}
+
+// Walk calls f for n and every descendant in pre-order. If f returns false
+// the walk does not descend into that node's children.
+func Walk(n Node, f func(Node) bool) {
+	if !f(n) {
+		return
+	}
+	switch n := n.(type) {
+	case Unary:
+		Walk(n.X, f)
+	case Binary:
+		Walk(n.L, f)
+		Walk(n.R, f)
+	}
+}
+
+// Vars returns the sorted set of variable names referenced by n.
+func Vars(n Node) []string {
+	seen := map[string]bool{}
+	Walk(n, func(m Node) bool {
+		if v, ok := m.(Var); ok {
+			seen[v.Name] = true
+		}
+		return true
+	})
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HasVar reports whether n references the variable name.
+func HasVar(n Node, name string) bool {
+	found := false
+	Walk(n, func(m Node) bool {
+		if v, ok := m.(Var); ok && v.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// Size returns the number of nodes in the tree, a proxy for predicate
+// complexity used by DNF blow-up guards.
+func Size(n Node) int {
+	count := 0
+	Walk(n, func(Node) bool { count++; return true })
+	return count
+}
+
+// --- convenience constructors, used heavily in tests and by codegen ---
+
+// I returns an integer literal node.
+func I(v int64) Node { return IntLit{Value: v} }
+
+// B returns a boolean literal node.
+func B(v bool) Node { return BoolLit{Value: v} }
+
+// V returns a variable reference node.
+func V(name string) Node { return Var{Name: name} }
+
+// Bin returns a binary application node.
+func Bin(op Op, l, r Node) Node { return Binary{Op: op, L: l, R: r} }
+
+// Not returns the logical negation of x.
+func Not(x Node) Node { return Unary{Op: OpNot, X: x} }
+
+// Neg returns the arithmetic negation of x.
+func Neg(x Node) Node { return Unary{Op: OpNeg, X: x} }
+
+// And returns the conjunction of all xs (true for none).
+func And(xs ...Node) Node { return fold(OpAnd, B(true), xs) }
+
+// Or returns the disjunction of all xs (false for none).
+func Or(xs ...Node) Node { return fold(OpOr, B(false), xs) }
+
+func fold(op Op, unit Node, xs []Node) Node {
+	if len(xs) == 0 {
+		return unit
+	}
+	n := xs[0]
+	for _, x := range xs[1:] {
+		n = Binary{Op: op, L: n, R: x}
+	}
+	return n
+}
+
+// MustParse parses src and panics on error; for tests and static tables.
+func MustParse(src string) Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic("expr.MustParse(" + strconv.Quote(src) + "): " + err.Error())
+	}
+	return n
+}
+
+// Render joins the canonical strings of several nodes, used in diagnostics.
+func Render(ns []Node, sep string) string {
+	parts := make([]string, len(ns))
+	for i, n := range ns {
+		parts[i] = n.String()
+	}
+	return strings.Join(parts, sep)
+}

@@ -1,0 +1,210 @@
+package expr
+
+import "fmt"
+
+// This file compiles well-typed expressions into closure trees over resolved
+// variable accessors. The condition manager evaluates globalized predicates
+// on every relay-signal decision, so the hot path must not re-walk the AST
+// or hash variable names; compilation resolves each variable reference once.
+
+// Getter reads the current value of a variable. Booleans are encoded as
+// 0/1 in the int64 so one accessor shape serves both types; the compiler
+// consults the declared Type to keep the encoding honest.
+type Getter func() int64
+
+// Resolver maps a variable name to its accessor and declared type at
+// compile time. Returning ok=false fails the compilation.
+type Resolver func(name string) (get Getter, typ Type, ok bool)
+
+// BoolFn is a compiled boolean expression.
+type BoolFn func() bool
+
+// IntFn is a compiled integer expression.
+type IntFn func() int64
+
+// CompileError reports a compilation failure.
+type CompileError struct {
+	Node Node
+	Msg  string
+}
+
+func (e *CompileError) Error() string {
+	return fmt.Sprintf("compiling %q: %s", e.Node.String(), e.Msg)
+}
+
+func compileErrf(n Node, format string, args ...any) error {
+	return &CompileError{Node: n, Msg: fmt.Sprintf(format, args...)}
+}
+
+// CompileBool compiles a boolean expression. Division or modulus by zero in
+// a compiled predicate evaluates to false rather than panicking: a predicate
+// that cannot be evaluated is treated as "not yet true", which is the only
+// safe answer while holding the monitor lock.
+func CompileBool(n Node, resolve Resolver) (BoolFn, error) {
+	f, t, err := compile(n, resolve)
+	if err != nil {
+		return nil, err
+	}
+	if t != TypeBool {
+		return nil, compileErrf(n, "expected bool expression, got %s", t)
+	}
+	return func() bool { return f() != 0 }, nil
+}
+
+// CompileInt compiles an integer expression.
+func CompileInt(n Node, resolve Resolver) (IntFn, error) {
+	f, t, err := compile(n, resolve)
+	if err != nil {
+		return nil, err
+	}
+	if t != TypeInt {
+		return nil, compileErrf(n, "expected int expression, got %s", t)
+	}
+	return IntFn(f), nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func compile(n Node, resolve Resolver) (Getter, Type, error) {
+	switch n := n.(type) {
+	case IntLit:
+		v := n.Value
+		return func() int64 { return v }, TypeInt, nil
+	case BoolLit:
+		v := b2i(n.Value)
+		return func() int64 { return v }, TypeBool, nil
+	case Var:
+		get, t, ok := resolve(n.Name)
+		if !ok {
+			return nil, TypeInvalid, compileErrf(n, "unresolved variable %q", n.Name)
+		}
+		return get, t, nil
+	case Unary:
+		x, xt, err := compile(n.X, resolve)
+		if err != nil {
+			return nil, TypeInvalid, err
+		}
+		switch n.Op {
+		case OpNeg:
+			if xt != TypeInt {
+				return nil, TypeInvalid, compileErrf(n, "unary - on %s", xt)
+			}
+			return func() int64 { return -x() }, TypeInt, nil
+		case OpNot:
+			if xt != TypeBool {
+				return nil, TypeInvalid, compileErrf(n, "! on %s", xt)
+			}
+			return func() int64 { return 1 - x() }, TypeBool, nil
+		}
+		return nil, TypeInvalid, compileErrf(n, "invalid unary op %s", n.Op)
+	case Binary:
+		l, lt, err := compile(n.L, resolve)
+		if err != nil {
+			return nil, TypeInvalid, err
+		}
+		r, rt, err := compile(n.R, resolve)
+		if err != nil {
+			return nil, TypeInvalid, err
+		}
+		needInts := func() error {
+			if lt != TypeInt || rt != TypeInt {
+				return compileErrf(n, "%s on %s and %s", n.Op, lt, rt)
+			}
+			return nil
+		}
+		switch n.Op {
+		case OpAdd:
+			if err := needInts(); err != nil {
+				return nil, TypeInvalid, err
+			}
+			return func() int64 { return l() + r() }, TypeInt, nil
+		case OpSub:
+			if err := needInts(); err != nil {
+				return nil, TypeInvalid, err
+			}
+			return func() int64 { return l() - r() }, TypeInt, nil
+		case OpMul:
+			if err := needInts(); err != nil {
+				return nil, TypeInvalid, err
+			}
+			return func() int64 { return l() * r() }, TypeInt, nil
+		case OpDiv:
+			if err := needInts(); err != nil {
+				return nil, TypeInvalid, err
+			}
+			return func() int64 {
+				d := r()
+				if d == 0 {
+					return 0
+				}
+				return l() / d
+			}, TypeInt, nil
+		case OpMod:
+			if err := needInts(); err != nil {
+				return nil, TypeInvalid, err
+			}
+			return func() int64 {
+				d := r()
+				if d == 0 {
+					return 0
+				}
+				return l() % d
+			}, TypeInt, nil
+		case OpLt:
+			if err := needInts(); err != nil {
+				return nil, TypeInvalid, err
+			}
+			return func() int64 { return b2i(l() < r()) }, TypeBool, nil
+		case OpLe:
+			if err := needInts(); err != nil {
+				return nil, TypeInvalid, err
+			}
+			return func() int64 { return b2i(l() <= r()) }, TypeBool, nil
+		case OpGt:
+			if err := needInts(); err != nil {
+				return nil, TypeInvalid, err
+			}
+			return func() int64 { return b2i(l() > r()) }, TypeBool, nil
+		case OpGe:
+			if err := needInts(); err != nil {
+				return nil, TypeInvalid, err
+			}
+			return func() int64 { return b2i(l() >= r()) }, TypeBool, nil
+		case OpEq, OpNe:
+			if lt != rt {
+				return nil, TypeInvalid, compileErrf(n, "%s on %s and %s", n.Op, lt, rt)
+			}
+			if n.Op == OpEq {
+				return func() int64 { return b2i(l() == r()) }, TypeBool, nil
+			}
+			return func() int64 { return b2i(l() != r()) }, TypeBool, nil
+		case OpAnd:
+			if lt != TypeBool || rt != TypeBool {
+				return nil, TypeInvalid, compileErrf(n, "&& on %s and %s", lt, rt)
+			}
+			return func() int64 {
+				if l() == 0 {
+					return 0
+				}
+				return r()
+			}, TypeBool, nil
+		case OpOr:
+			if lt != TypeBool || rt != TypeBool {
+				return nil, TypeInvalid, compileErrf(n, "|| on %s and %s", lt, rt)
+			}
+			return func() int64 {
+				if l() != 0 {
+					return 1
+				}
+				return r()
+			}, TypeBool, nil
+		}
+		return nil, TypeInvalid, compileErrf(n, "invalid binary op %s", n.Op)
+	}
+	return nil, TypeInvalid, compileErrf(n, "unknown node kind %T", n)
+}

@@ -1,0 +1,140 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// cellResolver builds a Resolver over mutable int64 cells.
+func cellResolver(ints map[string]*int64, bools map[string]*bool) Resolver {
+	return func(name string) (Getter, Type, bool) {
+		if c, ok := ints[name]; ok {
+			return func() int64 { return *c }, TypeInt, true
+		}
+		if c, ok := bools[name]; ok {
+			return func() int64 {
+				if *c {
+					return 1
+				}
+				return 0
+			}, TypeBool, true
+		}
+		return nil, TypeInvalid, false
+	}
+}
+
+func TestCompileBoolTracksCells(t *testing.T) {
+	count := int64(10)
+	open := true
+	r := cellResolver(map[string]*int64{"count": &count}, map[string]*bool{"open": &open})
+	f, err := CompileBool(MustParse("open && count >= 32"), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f() {
+		t.Error("predicate true with count=10")
+	}
+	count = 40
+	if !f() {
+		t.Error("predicate false with count=40")
+	}
+	open = false
+	if f() {
+		t.Error("predicate true with open=false")
+	}
+}
+
+func TestCompileIntArithmetic(t *testing.T) {
+	x := int64(7)
+	r := cellResolver(map[string]*int64{"x": &x}, nil)
+	f, err := CompileInt(MustParse("2 * x + 1"), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f(); got != 15 {
+		t.Errorf("f() = %d, want 15", got)
+	}
+	x = -3
+	if got := f(); got != -5 {
+		t.Errorf("f() = %d, want -5", got)
+	}
+}
+
+func TestCompileDivModByZeroSafe(t *testing.T) {
+	d := int64(0)
+	r := cellResolver(map[string]*int64{"d": &d}, nil)
+	f, err := CompileBool(MustParse("10 / d > 2"), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f() {
+		t.Error("10/0 > 2 compiled predicate should be false, not panic")
+	}
+	g, err := CompileBool(MustParse("10 % d == 0"), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g() {
+		t.Error("10%0 == 0 should evaluate with the 0 fallback")
+	}
+	d = 5
+	if f() { // 10/5 = 2, not > 2
+		t.Error("10/5 > 2 should be false")
+	}
+	if !g() { // 10%5 == 0
+		t.Error("10%5 == 0 should be true")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	r := cellResolver(map[string]*int64{"x": new(int64)}, nil)
+	cases := []struct {
+		src     string
+		compile func(Node) error
+		errPart string
+	}{
+		{"y > 0", func(n Node) error { _, err := CompileBool(n, r); return err }, "unresolved variable"},
+		{"x + 1", func(n Node) error { _, err := CompileBool(n, r); return err }, "expected bool"},
+		{"x > 0", func(n Node) error { _, err := CompileInt(n, r); return err }, "expected int"},
+		{"!x", func(n Node) error { _, err := CompileBool(n, r); return err }, "! on int"},
+	}
+	for _, c := range cases {
+		err := c.compile(MustParse(c.src))
+		if err == nil {
+			t.Errorf("compile(%q): expected error containing %q", c.src, c.errPart)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.errPart) {
+			t.Errorf("compile(%q) error %q does not contain %q", c.src, err, c.errPart)
+		}
+	}
+}
+
+func TestPropertyCompileMatchesEval(t *testing.T) {
+	// Compiled evaluation must agree with tree-walking evaluation on all
+	// generated predicates whose tree evaluation succeeds (the compiled
+	// form differs only on division by zero, where Eval errors).
+	a, b, c, d := int64(3), int64(-7), int64(0), int64(12)
+	r := cellResolver(map[string]*int64{"a": &a, "b": &b, "c": &c, "d": &d}, nil)
+	e := MapEnv(map[string]Value{
+		"a": IntValue(a), "b": IntValue(b), "c": IntValue(c), "d": IntValue(d),
+	})
+	f := func(seed int64) bool {
+		g := &nodeGen{seed: seed}
+		n := g.boolExpr(3)
+		want, err := EvalBool(n, e)
+		if err != nil {
+			return true // division by zero path; compiled form is defined, Eval is not
+		}
+		fn, cerr := CompileBool(n, r)
+		if cerr != nil {
+			t.Logf("compile of %q failed: %v", n.String(), cerr)
+			return false
+		}
+		return fn() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,217 @@
+package expr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Value is a runtime value of the predicate language: an int64 or a bool.
+type Value struct {
+	Type Type
+	I    int64
+	B    bool
+}
+
+// IntValue wraps an int64.
+func IntValue(v int64) Value { return Value{Type: TypeInt, I: v} }
+
+// BoolValue wraps a bool.
+func BoolValue(v bool) Value { return Value{Type: TypeBool, B: v} }
+
+func (v Value) String() string {
+	switch v.Type {
+	case TypeInt:
+		return fmt.Sprintf("%d", v.I)
+	case TypeBool:
+		return fmt.Sprintf("%t", v.B)
+	}
+	return "<invalid>"
+}
+
+// Lit converts a value to its literal AST node.
+func (v Value) Lit() Node {
+	switch v.Type {
+	case TypeInt:
+		return IntLit{Value: v.I}
+	case TypeBool:
+		return BoolLit{Value: v.B}
+	}
+	panic("expr: Lit on invalid Value")
+}
+
+// Env resolves variable names to values during evaluation.
+type Env func(name string) (Value, bool)
+
+// MapEnv adapts a plain map to Env.
+func MapEnv(m map[string]Value) Env {
+	return func(name string) (Value, bool) {
+		v, ok := m[name]
+		return v, ok
+	}
+}
+
+// ErrDivByZero is returned when / or % is applied with a zero divisor.
+var ErrDivByZero = errors.New("expr: division by zero")
+
+// EvalError reports an evaluation failure.
+type EvalError struct {
+	Node Node
+	Err  error
+}
+
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("evaluating %q: %v", e.Node.String(), e.Err)
+}
+
+func (e *EvalError) Unwrap() error { return e.Err }
+
+func evalErrf(n Node, format string, args ...any) error {
+	return &EvalError{Node: n, Err: fmt.Errorf(format, args...)}
+}
+
+// Eval evaluates a (well-typed) expression under env. Evaluation of an
+// ill-typed tree returns an error rather than panicking, so the runtime can
+// surface user predicate mistakes cleanly.
+func Eval(n Node, env Env) (Value, error) {
+	switch n := n.(type) {
+	case IntLit:
+		return IntValue(n.Value), nil
+	case BoolLit:
+		return BoolValue(n.Value), nil
+	case Var:
+		v, ok := env(n.Name)
+		if !ok {
+			return Value{}, evalErrf(n, "unbound variable %q", n.Name)
+		}
+		return v, nil
+	case Unary:
+		x, err := Eval(n.X, env)
+		if err != nil {
+			return Value{}, err
+		}
+		switch n.Op {
+		case OpNeg:
+			if x.Type != TypeInt {
+				return Value{}, evalErrf(n, "unary - on %s", x.Type)
+			}
+			return IntValue(-x.I), nil
+		case OpNot:
+			if x.Type != TypeBool {
+				return Value{}, evalErrf(n, "! on %s", x.Type)
+			}
+			return BoolValue(!x.B), nil
+		}
+		return Value{}, evalErrf(n, "invalid unary op %s", n.Op)
+	case Binary:
+		l, err := Eval(n.L, env)
+		if err != nil {
+			return Value{}, err
+		}
+		// Short-circuit booleans before evaluating the right side.
+		if n.Op == OpAnd || n.Op == OpOr {
+			if l.Type != TypeBool {
+				return Value{}, evalErrf(n, "%s on %s", n.Op, l.Type)
+			}
+			if n.Op == OpAnd && !l.B {
+				return BoolValue(false), nil
+			}
+			if n.Op == OpOr && l.B {
+				return BoolValue(true), nil
+			}
+			r, err := Eval(n.R, env)
+			if err != nil {
+				return Value{}, err
+			}
+			if r.Type != TypeBool {
+				return Value{}, evalErrf(n, "%s on %s", n.Op, r.Type)
+			}
+			return r, nil
+		}
+		r, err := Eval(n.R, env)
+		if err != nil {
+			return Value{}, err
+		}
+		return applyBinary(n, n.Op, l, r)
+	}
+	return Value{}, evalErrf(n, "unknown node kind %T", n)
+}
+
+func applyBinary(n Node, op Op, l, r Value) (Value, error) {
+	switch op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+		if l.Type != TypeInt || r.Type != TypeInt {
+			return Value{}, evalErrf(n, "%s on %s and %s", op, l.Type, r.Type)
+		}
+		switch op {
+		case OpAdd:
+			return IntValue(l.I + r.I), nil
+		case OpSub:
+			return IntValue(l.I - r.I), nil
+		case OpMul:
+			return IntValue(l.I * r.I), nil
+		case OpDiv:
+			if r.I == 0 {
+				return Value{}, &EvalError{Node: n, Err: ErrDivByZero}
+			}
+			return IntValue(l.I / r.I), nil
+		default: // OpMod
+			if r.I == 0 {
+				return Value{}, &EvalError{Node: n, Err: ErrDivByZero}
+			}
+			return IntValue(l.I % r.I), nil
+		}
+	case OpLt, OpLe, OpGt, OpGe:
+		if l.Type != TypeInt || r.Type != TypeInt {
+			return Value{}, evalErrf(n, "%s on %s and %s", op, l.Type, r.Type)
+		}
+		switch op {
+		case OpLt:
+			return BoolValue(l.I < r.I), nil
+		case OpLe:
+			return BoolValue(l.I <= r.I), nil
+		case OpGt:
+			return BoolValue(l.I > r.I), nil
+		default: // OpGe
+			return BoolValue(l.I >= r.I), nil
+		}
+	case OpEq, OpNe:
+		if l.Type != r.Type {
+			return Value{}, evalErrf(n, "%s on %s and %s", op, l.Type, r.Type)
+		}
+		var eq bool
+		if l.Type == TypeInt {
+			eq = l.I == r.I
+		} else {
+			eq = l.B == r.B
+		}
+		if op == OpNe {
+			eq = !eq
+		}
+		return BoolValue(eq), nil
+	}
+	return Value{}, evalErrf(n, "invalid binary op %s", op)
+}
+
+// EvalBool evaluates n and requires a boolean result.
+func EvalBool(n Node, env Env) (bool, error) {
+	v, err := Eval(n, env)
+	if err != nil {
+		return false, err
+	}
+	if v.Type != TypeBool {
+		return false, evalErrf(n, "expected bool result, got %s", v.Type)
+	}
+	return v.B, nil
+}
+
+// EvalInt evaluates n and requires an integer result.
+func EvalInt(n Node, env Env) (int64, error) {
+	v, err := Eval(n, env)
+	if err != nil {
+		return 0, err
+	}
+	if v.Type != TypeInt {
+		return 0, evalErrf(n, "expected int result, got %s", v.Type)
+	}
+	return v.I, nil
+}

@@ -1,0 +1,289 @@
+package expr
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func env(m map[string]Value) Env { return MapEnv(m) }
+
+func TestEvalArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"1 + 2", 3},
+		{"2 * 3 + 4", 10},
+		{"2 * (3 + 4)", 14},
+		{"10 / 3", 3},
+		{"10 % 3", 1},
+		{"-10 / 3", -3}, // Go-style truncated division
+		{"-10 % 3", -1},
+		{"x + y", 11},
+		{"x - y * 2", -13},
+		{"-x", -3},
+	}
+	e := env(map[string]Value{"x": IntValue(3), "y": IntValue(8)})
+	for _, c := range cases {
+		got, err := EvalInt(MustParse(c.src), e)
+		if err != nil {
+			t.Errorf("EvalInt(%q): %v", c.src, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("EvalInt(%q) = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalBooleans(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"true", true},
+		{"false", false},
+		{"1 < 2", true},
+		{"2 <= 2", true},
+		{"2 > 2", false},
+		{"2 >= 2", true},
+		{"x == 3", true},
+		{"x = 3", true},
+		{"x != 3", false},
+		{"p && x == 3", true},
+		{"!p || x == 3", true},
+		{"!p", false},
+		{"p == true", true},
+		{"p != q", true},
+		{"x == 3 && y == 8 || x == 0", true},
+	}
+	e := env(map[string]Value{
+		"x": IntValue(3), "y": IntValue(8),
+		"p": BoolValue(true), "q": BoolValue(false),
+	})
+	for _, c := range cases {
+		got, err := EvalBool(MustParse(c.src), e)
+		if err != nil {
+			t.Errorf("EvalBool(%q): %v", c.src, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("EvalBool(%q) = %t, want %t", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalShortCircuit(t *testing.T) {
+	// The right side is unbound; short-circuiting must avoid touching it.
+	e := env(map[string]Value{"p": BoolValue(false), "q": BoolValue(true)})
+	if got, err := EvalBool(MustParse("p && missing == 1"), e); err != nil || got {
+		t.Errorf("false && _ = (%t, %v), want (false, nil)", got, err)
+	}
+	if got, err := EvalBool(MustParse("q || missing == 1"), e); err != nil || !got {
+		t.Errorf("true || _ = (%t, %v), want (true, nil)", got, err)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	e := env(map[string]Value{"x": IntValue(3), "p": BoolValue(true)})
+	cases := []struct {
+		src     string
+		errPart string
+	}{
+		{"y + 1", "unbound variable"},
+		{"1 / 0", "division by zero"},
+		{"1 % 0", "division by zero"},
+		{"x && p", "&& on int"},
+		{"p + 1", "+ on bool"},
+		{"p < p", "< on bool"},
+		{"x == p", "== on int and bool"},
+		{"-p", "unary - on bool"},
+		{"!x", "! on int"},
+	}
+	for _, c := range cases {
+		_, err := Eval(MustParse(c.src), e)
+		if err == nil {
+			t.Errorf("Eval(%q): expected error containing %q", c.src, c.errPart)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.errPart) {
+			t.Errorf("Eval(%q) error %q does not contain %q", c.src, err, c.errPart)
+		}
+	}
+}
+
+func TestEvalDivByZeroUnwraps(t *testing.T) {
+	_, err := Eval(MustParse("1 / 0"), env(nil))
+	if !errors.Is(err, ErrDivByZero) {
+		t.Errorf("errors.Is(err, ErrDivByZero) = false for %v", err)
+	}
+}
+
+func TestTypeCheck(t *testing.T) {
+	vars := MapTypes(map[string]Type{"x": TypeInt, "p": TypeBool})
+	good := []struct {
+		src  string
+		want Type
+	}{
+		{"x + 1", TypeInt},
+		{"x < 1", TypeBool},
+		{"p && x == 0", TypeBool},
+		{"p == p", TypeBool},
+		{"-x", TypeInt},
+		{"!p", TypeBool},
+	}
+	for _, c := range good {
+		got, err := TypeCheck(MustParse(c.src), vars)
+		if err != nil {
+			t.Errorf("TypeCheck(%q): %v", c.src, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("TypeCheck(%q) = %s, want %s", c.src, got, c.want)
+		}
+	}
+	bad := []string{"x + p", "p < p", "x && p", "!x", "-p", "x == p", "unknown + 1"}
+	for _, src := range bad {
+		if _, err := TypeCheck(MustParse(src), vars); err == nil {
+			t.Errorf("TypeCheck(%q): expected error", src)
+		}
+	}
+}
+
+func TestCheckBool(t *testing.T) {
+	vars := MapTypes(map[string]Type{"x": TypeInt})
+	if err := CheckBool(MustParse("x > 0"), vars); err != nil {
+		t.Errorf("CheckBool(x > 0): %v", err)
+	}
+	if err := CheckBool(MustParse("x + 1"), vars); err == nil {
+		t.Error("CheckBool(x + 1): expected error for int predicate")
+	}
+}
+
+func TestVarsAndHasVar(t *testing.T) {
+	n := MustParse("count + num <= cap && count >= 0")
+	got := Vars(n)
+	want := []string{"cap", "count", "num"}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", got, want)
+		}
+	}
+	if !HasVar(n, "cap") || HasVar(n, "zz") {
+		t.Error("HasVar misreported membership")
+	}
+}
+
+func TestSubstAndGlobalize(t *testing.T) {
+	// The paper's running example: take(num) waiting on count >= num with
+	// num = 48 globalizes to count >= 48.
+	n := MustParse("count >= num")
+	g := Globalize(n, env(map[string]Value{"num": IntValue(48)}))
+	if g.String() != "count >= 48" {
+		t.Errorf("Globalize = %q, want %q", g.String(), "count >= 48")
+	}
+	// Unbound variables stay symbolic.
+	s := Subst(n, env(map[string]Value{"other": IntValue(1)}))
+	if !Equal(s, n) {
+		t.Errorf("Subst with irrelevant binding changed the tree: %q", s)
+	}
+	// Bool substitution.
+	b := Globalize(MustParse("flag && count > 0"), env(map[string]Value{"flag": BoolValue(true)}))
+	if b.String() != "count > 0" {
+		t.Errorf("Globalize(flag && count > 0) = %q, want %q", b.String(), "count > 0")
+	}
+}
+
+func TestFold(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"1 + 2", "3"},
+		{"2 * 3 + x", "6 + x"},
+		{"x + 0", "x"},
+		{"0 + x", "x"},
+		{"x - 0", "x"},
+		{"x * 1", "x"},
+		{"1 * x", "x"},
+		{"x * 0", "0"},
+		{"!!p", "p"},
+		{"!(x < 3)", "x >= 3"},
+		{"!(x == 3)", "x != 3"},
+		{"true && p", "p"},
+		{"p && false", "false"},
+		{"false || p", "p"},
+		{"p || true", "true"},
+		{"p == true", "p"},
+		{"p == false", "!p"},
+		{"p != true", "!p"},
+		{"3 < 5", "true"},
+		{"3 == 5", "false"},
+		{"1 / 0", "1 / 0"}, // preserved for runtime error reporting
+		{"-(-x)", "x"},
+	}
+	for _, c := range cases {
+		got := Fold(MustParse(c.in)).String()
+		if got != c.want {
+			t.Errorf("Fold(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestValueLitAndString(t *testing.T) {
+	if IntValue(5).Lit().String() != "5" {
+		t.Error("IntValue(5).Lit() != 5")
+	}
+	if BoolValue(true).Lit().String() != "true" {
+		t.Error("BoolValue(true).Lit() != true")
+	}
+	if IntValue(5).String() != "5" || BoolValue(false).String() != "false" {
+		t.Error("Value.String misrendered")
+	}
+}
+
+func TestOpHelpers(t *testing.T) {
+	negs := map[Op]Op{OpLt: OpGe, OpLe: OpGt, OpGt: OpLe, OpGe: OpLt, OpEq: OpNe, OpNe: OpEq}
+	for op, want := range negs {
+		if got := op.Negate(); got != want {
+			t.Errorf("%s.Negate() = %s, want %s", op, got, want)
+		}
+	}
+	flips := map[Op]Op{OpLt: OpGt, OpLe: OpGe, OpGt: OpLt, OpGe: OpLe, OpEq: OpEq, OpNe: OpNe}
+	for op, want := range flips {
+		if got := op.Flip(); got != want {
+			t.Errorf("%s.Flip() = %s, want %s", op, got, want)
+		}
+	}
+	if !OpLt.IsComparison() || OpAdd.IsComparison() {
+		t.Error("IsComparison wrong")
+	}
+	if !OpLe.IsOrdering() || OpEq.IsOrdering() {
+		t.Error("IsOrdering wrong")
+	}
+}
+
+func TestSizeAndRender(t *testing.T) {
+	n := MustParse("a + b < c")
+	if got := Size(n); got != 5 {
+		t.Errorf("Size = %d, want 5", got)
+	}
+	if got := Render([]Node{MustParse("a"), MustParse("b + 1")}, ", "); got != "a, b + 1" {
+		t.Errorf("Render = %q", got)
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	n := And(Bin(OpGt, V("x"), I(0)), Or(B(false), Not(Bin(OpEq, V("y"), I(1)))))
+	want := "x > 0 && (false || !(y == 1))"
+	if n.String() != want {
+		t.Errorf("constructed tree = %q, want %q", n.String(), want)
+	}
+	if And().String() != "true" || Or().String() != "false" {
+		t.Error("empty And/Or units wrong")
+	}
+	if Neg(V("x")).String() != "-x" {
+		t.Error("Neg printing wrong")
+	}
+}

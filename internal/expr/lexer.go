@@ -1,0 +1,251 @@
+package expr
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Lexer tokenizes predicate and MiniSynch source text. It is shared between
+// the runtime predicate parser and the preprocessor's statement parser.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) advance(n int) {
+	for i := 0; i < n && l.pos < len(l.src); i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance(1)
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			start := l.token(EOF, "")
+			l.advance(2)
+			for {
+				if l.pos+1 >= len(l.src) {
+					return errAt(start, "unterminated block comment")
+				}
+				if l.src[l.pos] == '*' && l.src[l.pos+1] == '/' {
+					l.advance(2)
+					break
+				}
+				l.advance(1)
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (l *Lexer) token(k Kind, text string) Token {
+	return Token{Kind: k, Text: text, Pos: l.pos, Line: l.line, Col: l.col}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Next returns the next token, or an error on malformed input. At end of
+// input it returns a token with Kind EOF.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return l.token(EOF, ""), nil
+	}
+	tok := l.token(EOF, "")
+	c := l.src[l.pos]
+
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=":
+		tok.Kind = Le
+	case ">=":
+		tok.Kind = Ge
+	case "==":
+		tok.Kind = Eq
+	case "!=":
+		tok.Kind = Ne
+	case "&&":
+		tok.Kind = AndAnd
+	case "||":
+		tok.Kind = OrOr
+	case "+=":
+		tok.Kind = PlusEq
+	case "-=":
+		tok.Kind = MinusEq
+	case ":=":
+		tok.Kind = ColonEq
+	case "++":
+		tok.Kind = PlusPlus
+	case "--":
+		tok.Kind = MinusLess
+	}
+	if tok.Kind != EOF {
+		l.advance(2)
+		return tok, nil
+	}
+
+	switch c {
+	case '+':
+		tok.Kind = Plus
+	case '-':
+		tok.Kind = Minus
+	case '*':
+		tok.Kind = Star
+	case '/':
+		tok.Kind = Slash
+	case '%':
+		tok.Kind = Percent
+	case '<':
+		tok.Kind = Lt
+	case '>':
+		tok.Kind = Gt
+	case '=':
+		// A single '=' in expression position is the paper's equality;
+		// the MiniSynch statement parser reinterprets it as assignment.
+		tok.Kind = Eq
+	case '!':
+		tok.Kind = Bang
+	case '(':
+		tok.Kind = LParen
+	case ')':
+		tok.Kind = RParen
+	case '{':
+		tok.Kind = LBrace
+	case '}':
+		tok.Kind = RBrace
+	case '[':
+		tok.Kind = LBracket
+	case ']':
+		tok.Kind = RBracket
+	case ',':
+		tok.Kind = Comma
+	case ';':
+		tok.Kind = Semicolon
+	}
+	if tok.Kind != EOF || c == 0 {
+		if tok.Kind == EOF {
+			return Token{}, errAt(tok, "unexpected character %q", string(rune(c)))
+		}
+		l.advance(1)
+		return tok, nil
+	}
+
+	if c >= '0' && c <= '9' {
+		start := l.pos
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.advance(1)
+		}
+		// Reject identifiers glued to numbers, e.g. "12abc".
+		if l.pos < len(l.src) {
+			r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+			if isIdentStart(r) {
+				return Token{}, errAt(tok, "malformed number %q", l.src[start:l.pos+1])
+			}
+		}
+		tok.Kind = Int
+		tok.Text = l.src[start:l.pos]
+		return tok, nil
+	}
+
+	r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+	if isIdentStart(r) {
+		start := l.pos
+		l.advance(size)
+		for l.pos < len(l.src) {
+			r, size = utf8.DecodeRuneInString(l.src[l.pos:])
+			if !isIdentPart(r) {
+				break
+			}
+			l.advance(size)
+		}
+		text := l.src[start:l.pos]
+		switch text {
+		case "true":
+			tok.Kind = True
+		case "false":
+			tok.Kind = False
+		default:
+			tok.Kind = Ident
+			tok.Text = text
+		}
+		return tok, nil
+	}
+
+	return Token{}, errAt(tok, "unexpected character %q", string(r))
+}
+
+// Tokenize lexes the whole input, returning every token up to and including
+// the terminating EOF token.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+// quoteIdent reports whether s is a valid identifier, used by canonical
+// printing helpers elsewhere.
+func quoteIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if i == 0 && !isIdentStart(r) {
+			return false
+		}
+		if i > 0 && !isIdentPart(r) {
+			return false
+		}
+	}
+	return !strings.ContainsAny(s, " \t\n")
+}

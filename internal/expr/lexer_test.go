@@ -1,0 +1,123 @@
+package expr
+
+import "testing"
+
+func kinds(toks []Token) []Kind {
+	ks := make([]Kind, len(toks))
+	for i, t := range toks {
+		ks[i] = t.Kind
+	}
+	return ks
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	toks, err := Tokenize("+ - * / % < <= > >= == = != && || ! ( ) { } [ ] , ; += -= := ++ --")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{
+		Plus, Minus, Star, Slash, Percent,
+		Lt, Le, Gt, Ge, Eq, Eq, Ne,
+		AndAnd, OrOr, Bang,
+		LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+		Comma, Semicolon, PlusEq, MinusEq, ColonEq, PlusPlus, MinusLess,
+		EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeIdentifiersAndLiterals(t *testing.T) {
+	toks, err := Tokenize("count x_1 _tmp true false 042 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind Kind
+		text string
+	}{
+		{Ident, "count"}, {Ident, "x_1"}, {Ident, "_tmp"},
+		{True, ""}, {False, ""}, {Int, "042"}, {Int, "7"}, {EOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d: got (%s,%q), want (%s,%q)", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	toks, err := Tokenize("a // line comment\n + /* block\ncomment */ b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{Ident, Plus, Ident, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizePositions(t *testing.T) {
+	toks, err := Tokenize("a\n  bb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("first token at %d:%d, want 1:1", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("second token at %d:%d, want 2:3", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	cases := []string{"@", "12abc", "a /* unterminated", "#"}
+	for _, src := range cases {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q): expected error", src)
+		}
+	}
+}
+
+func TestSyntaxErrorHasPosition(t *testing.T) {
+	_, err := Tokenize("ab\n @")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("expected *SyntaxError, got %T", err)
+	}
+	if se.Line != 2 || se.Col != 2 {
+		t.Errorf("error at %d:%d, want 2:2", se.Line, se.Col)
+	}
+}
+
+func TestQuoteIdent(t *testing.T) {
+	for _, s := range []string{"a", "_x", "count9"} {
+		if !quoteIdent(s) {
+			t.Errorf("quoteIdent(%q) = false, want true", s)
+		}
+	}
+	for _, s := range []string{"", "9a", "a b", "a-b"} {
+		if quoteIdent(s) {
+			t.Errorf("quoteIdent(%q) = true, want false", s)
+		}
+	}
+}

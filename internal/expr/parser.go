@@ -1,0 +1,261 @@
+package expr
+
+// The predicate parser is a conventional Pratt (precedence-climbing) parser
+// over the token stream. Grammar, loosest to tightest binding:
+//
+//	expr   = or
+//	or     = and { "||" and }
+//	and    = cmp { "&&" cmp }
+//	cmp    = add [ ("<" | "<=" | ">" | ">=" | "==" | "=" | "!=") add ]
+//	add    = mul { ("+" | "-") mul }
+//	mul    = unary { ("*" | "/" | "%") unary }
+//	unary  = ("-" | "!") unary | primary
+//	primary = Int | "true" | "false" | Ident | "(" expr ")"
+//
+// Comparisons are non-associative (a < b < c is rejected), matching Go and
+// avoiding a classic source of silent predicate bugs.
+
+// Parser consumes tokens produced by a Lexer. It is also embedded by the
+// MiniSynch statement parser in internal/preproc.
+type Parser struct {
+	lex *Lexer
+	tok Token // current lookahead
+	err error
+}
+
+// NewParser returns a parser over src positioned at the first token.
+func NewParser(src string) (*Parser, error) {
+	p := &Parser{lex: NewLexer(src)}
+	if err := p.Advance(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Cur returns the current lookahead token.
+func (p *Parser) Cur() Token { return p.tok }
+
+// Advance moves to the next token.
+func (p *Parser) Advance() error {
+	t, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// Expect consumes a token of kind k or fails with a descriptive error.
+func (p *Parser) Expect(k Kind) (Token, error) {
+	t := p.tok
+	if t.Kind != k {
+		return t, errAt(t, "expected %s, found %s", k, t)
+	}
+	if err := p.Advance(); err != nil {
+		return t, err
+	}
+	return t, nil
+}
+
+// Got consumes the current token if it has kind k and reports whether it did.
+func (p *Parser) Got(k Kind) (bool, error) {
+	if p.tok.Kind != k {
+		return false, nil
+	}
+	return true, p.Advance()
+}
+
+// Parse parses src as a single expression and requires that the whole input
+// is consumed.
+func Parse(src string) (Node, error) {
+	p, err := NewParser(src)
+	if err != nil {
+		return nil, err
+	}
+	n, err := p.ParseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != EOF {
+		return nil, errAt(p.tok, "unexpected %s after expression", p.tok)
+	}
+	return n, nil
+}
+
+// ParseExpr parses one expression starting at the current token, leaving the
+// lookahead at the first token after it. Exported for the preprocessor.
+func (p *Parser) ParseExpr() (Node, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Node, error) {
+	n, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == OrOr {
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		n = Binary{Op: OpOr, L: n, R: r}
+	}
+	return n, nil
+}
+
+func (p *Parser) parseAnd() (Node, error) {
+	n, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == AndAnd {
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		n = Binary{Op: OpAnd, L: n, R: r}
+	}
+	return n, nil
+}
+
+var cmpOps = map[Kind]Op{
+	Lt: OpLt, Le: OpLe, Gt: OpGt, Ge: OpGe, Eq: OpEq, Ne: OpNe,
+}
+
+func (p *Parser) parseCmp() (Node, error) {
+	n, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	op, ok := cmpOps[p.tok.Kind]
+	if !ok {
+		return n, nil
+	}
+	if err := p.Advance(); err != nil {
+		return nil, err
+	}
+	r, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if _, chained := cmpOps[p.tok.Kind]; chained {
+		return nil, errAt(p.tok, "comparisons cannot be chained; parenthesize and combine with &&")
+	}
+	return Binary{Op: op, L: n, R: r}, nil
+}
+
+func (p *Parser) parseAdd() (Node, error) {
+	n, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == Plus || p.tok.Kind == Minus {
+		op := OpAdd
+		if p.tok.Kind == Minus {
+			op = OpSub
+		}
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		n = Binary{Op: op, L: n, R: r}
+	}
+	return n, nil
+}
+
+func (p *Parser) parseMul() (Node, error) {
+	n, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op Op
+		switch p.tok.Kind {
+		case Star:
+			op = OpMul
+		case Slash:
+			op = OpDiv
+		case Percent:
+			op = OpMod
+		default:
+			return n, nil
+		}
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		n = Binary{Op: op, L: n, R: r}
+	}
+}
+
+func (p *Parser) parseUnary() (Node, error) {
+	switch p.tok.Kind {
+	case Minus:
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: OpNeg, X: x}, nil
+	case Bang:
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: OpNot, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Node, error) {
+	t := p.tok
+	switch t.Kind {
+	case Int:
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		var v int64
+		for _, c := range t.Text {
+			d := int64(c - '0')
+			if v > (1<<62)/10 {
+				return nil, errAt(t, "integer literal %s overflows int64", t.Text)
+			}
+			v = v*10 + d
+		}
+		return IntLit{Value: v}, nil
+	case True:
+		return BoolLit{Value: true}, p.Advance()
+	case False:
+		return BoolLit{Value: false}, p.Advance()
+	case Ident:
+		return Var{Name: t.Text}, p.Advance()
+	case LParen:
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		n, err := p.ParseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.Expect(RParen); err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
+	return nil, errAt(t, "expected expression, found %s", t)
+}

@@ -1,0 +1,171 @@
+package expr
+
+// Subst returns n with every variable bound in env replaced by its literal
+// value. This is the syntactic half of globalization (Definition 2 in the
+// paper): substituting the thread-local variables of a complex predicate
+// with their values at the instant the waituntil statement runs yields a
+// shared predicate any thread can evaluate.
+func Subst(n Node, env Env) Node {
+	switch n := n.(type) {
+	case IntLit, BoolLit:
+		return n
+	case Var:
+		if v, ok := env(n.Name); ok {
+			return v.Lit()
+		}
+		return n
+	case Unary:
+		x := Subst(n.X, env)
+		if x == n.X {
+			return n
+		}
+		return Unary{Op: n.Op, X: x}
+	case Binary:
+		l := Subst(n.L, env)
+		r := Subst(n.R, env)
+		if l == n.L && r == n.R {
+			return n
+		}
+		return Binary{Op: n.Op, L: l, R: r}
+	}
+	return n
+}
+
+// Fold performs conservative constant folding and boolean simplification:
+// constant subtrees are evaluated, and boolean identities (true && p → p,
+// false && p → false, !!p → p, etc.) are applied. Division by zero is left
+// in place so the error surfaces at evaluation time with context.
+func Fold(n Node) Node {
+	switch n := n.(type) {
+	case IntLit, BoolLit, Var:
+		return n
+	case Unary:
+		x := Fold(n.X)
+		switch n.Op {
+		case OpNeg:
+			if lit, ok := x.(IntLit); ok {
+				return IntLit{Value: -lit.Value}
+			}
+			if neg, ok := x.(Unary); ok && neg.Op == OpNeg {
+				return neg.X // --x → x
+			}
+		case OpNot:
+			if lit, ok := x.(BoolLit); ok {
+				return BoolLit{Value: !lit.Value}
+			}
+			if not, ok := x.(Unary); ok && not.Op == OpNot {
+				return not.X // !!p → p
+			}
+			// Push negation through a comparison: !(a < b) → a >= b.
+			if cmp, ok := x.(Binary); ok && cmp.Op.IsComparison() {
+				return Binary{Op: cmp.Op.Negate(), L: cmp.L, R: cmp.R}
+			}
+		}
+		return Unary{Op: n.Op, X: x}
+	case Binary:
+		l := Fold(n.L)
+		r := Fold(n.R)
+		ll, lIsInt := l.(IntLit)
+		rl, rIsInt := r.(IntLit)
+		lb, lIsBool := l.(BoolLit)
+		rb, rIsBool := r.(BoolLit)
+
+		switch n.Op {
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+			if lIsInt && rIsInt {
+				if (n.Op == OpDiv || n.Op == OpMod) && rl.Value == 0 {
+					break // keep; evaluation reports the error
+				}
+				v, _ := applyBinary(n, n.Op, IntValue(ll.Value), IntValue(rl.Value))
+				return IntLit{Value: v.I}
+			}
+			// Arithmetic identities.
+			switch n.Op {
+			case OpAdd:
+				if lIsInt && ll.Value == 0 {
+					return r
+				}
+				if rIsInt && rl.Value == 0 {
+					return l
+				}
+			case OpSub:
+				if rIsInt && rl.Value == 0 {
+					return l
+				}
+			case OpMul:
+				if lIsInt && ll.Value == 1 {
+					return r
+				}
+				if rIsInt && rl.Value == 1 {
+					return l
+				}
+				if (lIsInt && ll.Value == 0) || (rIsInt && rl.Value == 0) {
+					return IntLit{Value: 0}
+				}
+			}
+		case OpLt, OpLe, OpGt, OpGe:
+			if lIsInt && rIsInt {
+				v, _ := applyBinary(n, n.Op, IntValue(ll.Value), IntValue(rl.Value))
+				return BoolLit{Value: v.B}
+			}
+		case OpEq, OpNe:
+			if lIsInt && rIsInt {
+				v, _ := applyBinary(n, n.Op, IntValue(ll.Value), IntValue(rl.Value))
+				return BoolLit{Value: v.B}
+			}
+			if lIsBool && rIsBool {
+				v, _ := applyBinary(n, n.Op, BoolValue(lb.Value), BoolValue(rb.Value))
+				return BoolLit{Value: v.B}
+			}
+			// p == true → p, p != false → p, and the negating variants.
+			if rIsBool {
+				if (n.Op == OpEq) == rb.Value {
+					return l
+				}
+				return Fold(Unary{Op: OpNot, X: l})
+			}
+			if lIsBool {
+				if (n.Op == OpEq) == lb.Value {
+					return r
+				}
+				return Fold(Unary{Op: OpNot, X: r})
+			}
+		case OpAnd:
+			if lIsBool {
+				if lb.Value {
+					return r
+				}
+				return BoolLit{Value: false}
+			}
+			if rIsBool {
+				if rb.Value {
+					return l
+				}
+				return BoolLit{Value: false}
+			}
+		case OpOr:
+			if lIsBool {
+				if lb.Value {
+					return BoolLit{Value: true}
+				}
+				return r
+			}
+			if rIsBool {
+				if rb.Value {
+					return BoolLit{Value: true}
+				}
+				return l
+			}
+		}
+		return Binary{Op: n.Op, L: l, R: r}
+	}
+	return n
+}
+
+// Globalize substitutes bindings into n and folds the result. Per
+// Proposition 1 the result is semantically equivalent to n for the duration
+// of the waituntil period, because only the waiting thread could have
+// changed the substituted locals.
+func Globalize(n Node, bindings Env) Node {
+	return Fold(Subst(n, bindings))
+}

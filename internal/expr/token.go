@@ -1,0 +1,144 @@
+// Package expr implements the predicate expression language used by the
+// AutoSynch monitor runtime and the MiniSynch preprocessor.
+//
+// The language is a side-effect-free subset of Go/Java boolean and integer
+// expressions: integer and boolean literals, identifiers, the arithmetic
+// operators + - * / %, the comparisons < <= > >= == != (with = accepted as a
+// synonym for ==, matching the paper's notation), and the boolean operators
+// && || !. Parenthesized grouping is supported.
+//
+// Identifiers are not resolved by this package; whether a variable is a
+// shared monitor variable or a thread-local variable (the distinction at the
+// heart of globalization, §4.1 of the paper) is decided by the caller through
+// a Resolver or a binding environment.
+package expr
+
+import "fmt"
+
+// Kind classifies a lexical token.
+type Kind int
+
+// Token kinds produced by the Lexer.
+const (
+	EOF Kind = iota
+	Ident
+	Int  // integer literal
+	True // the literal "true"
+	False
+
+	Plus    // +
+	Minus   // -
+	Star    // *
+	Slash   // /
+	Percent // %
+
+	Lt // <
+	Le // <=
+	Gt // >
+	Ge // >=
+	Eq // == (or =)
+	Ne // !=
+
+	AndAnd // &&
+	OrOr   // ||
+	Bang   // !
+
+	LParen // (
+	RParen // )
+
+	// Tokens below are used only by the MiniSynch preprocessor grammar,
+	// which shares this lexer.
+	LBrace    // {
+	RBrace    // }
+	LBracket  // [
+	RBracket  // ]
+	Comma     // ,
+	Semicolon // ;
+	Assign    // := or = in statement position (lexed as Eq; parser decides)
+	PlusEq    // +=
+	MinusEq   // -=
+	ColonEq   // :=
+	PlusPlus  // ++
+	MinusLess // --
+)
+
+var kindNames = map[Kind]string{
+	EOF:       "end of input",
+	Ident:     "identifier",
+	Int:       "integer",
+	True:      "true",
+	False:     "false",
+	Plus:      "+",
+	Minus:     "-",
+	Star:      "*",
+	Slash:     "/",
+	Percent:   "%",
+	Lt:        "<",
+	Le:        "<=",
+	Gt:        ">",
+	Ge:        ">=",
+	Eq:        "==",
+	Ne:        "!=",
+	AndAnd:    "&&",
+	OrOr:      "||",
+	Bang:      "!",
+	LParen:    "(",
+	RParen:    ")",
+	LBrace:    "{",
+	RBrace:    "}",
+	LBracket:  "[",
+	RBracket:  "]",
+	Comma:     ",",
+	Semicolon: ";",
+	PlusEq:    "+=",
+	MinusEq:   "-=",
+	ColonEq:   ":=",
+	PlusPlus:  "++",
+	MinusLess: "--",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Text string // literal text for Ident and Int
+	Pos  int    // byte offset in the input
+	Line int    // 1-based line number
+	Col  int    // 1-based column number
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, Int:
+		return t.Text
+	default:
+		return t.Kind.String()
+	}
+}
+
+// SyntaxError reports a lexing or parsing failure with position information.
+type SyntaxError struct {
+	Msg  string
+	Pos  int
+	Line int
+	Col  int
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(t Token, format string, args ...any) error {
+	return &SyntaxError{
+		Msg:  fmt.Sprintf(format, args...),
+		Pos:  t.Pos,
+		Line: t.Line,
+		Col:  t.Col,
+	}
+}

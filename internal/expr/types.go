@@ -1,0 +1,133 @@
+package expr
+
+import "fmt"
+
+// Type is the type of an expression: the language has exactly two.
+type Type int
+
+// The two value types of the predicate language.
+const (
+	TypeInvalid Type = iota
+	TypeInt
+	TypeBool
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeBool:
+		return "bool"
+	}
+	return "invalid"
+}
+
+// TypeError reports a type-checking failure.
+type TypeError struct {
+	Node Node
+	Msg  string
+}
+
+func (e *TypeError) Error() string {
+	return fmt.Sprintf("type error in %q: %s", e.Node.String(), e.Msg)
+}
+
+func typeErrf(n Node, format string, args ...any) error {
+	return &TypeError{Node: n, Msg: fmt.Sprintf(format, args...)}
+}
+
+// VarTypes resolves a variable name to its declared type. The second result
+// reports whether the variable is known.
+type VarTypes func(name string) (Type, bool)
+
+// TypeCheck infers the type of n given variable types, rejecting ill-typed
+// trees: arithmetic needs ints, && || ! need bools, < <= > >= compare ints,
+// and == != compare two ints or two bools.
+func TypeCheck(n Node, vars VarTypes) (Type, error) {
+	switch n := n.(type) {
+	case IntLit:
+		return TypeInt, nil
+	case BoolLit:
+		return TypeBool, nil
+	case Var:
+		t, ok := vars(n.Name)
+		if !ok {
+			return TypeInvalid, typeErrf(n, "undeclared variable %q", n.Name)
+		}
+		if t != TypeInt && t != TypeBool {
+			return TypeInvalid, typeErrf(n, "variable %q has invalid type", n.Name)
+		}
+		return t, nil
+	case Unary:
+		xt, err := TypeCheck(n.X, vars)
+		if err != nil {
+			return TypeInvalid, err
+		}
+		switch n.Op {
+		case OpNeg:
+			if xt != TypeInt {
+				return TypeInvalid, typeErrf(n, "operand of unary - must be int, got %s", xt)
+			}
+			return TypeInt, nil
+		case OpNot:
+			if xt != TypeBool {
+				return TypeInvalid, typeErrf(n, "operand of ! must be bool, got %s", xt)
+			}
+			return TypeBool, nil
+		}
+		return TypeInvalid, typeErrf(n, "invalid unary operator %s", n.Op)
+	case Binary:
+		lt, err := TypeCheck(n.L, vars)
+		if err != nil {
+			return TypeInvalid, err
+		}
+		rt, err := TypeCheck(n.R, vars)
+		if err != nil {
+			return TypeInvalid, err
+		}
+		switch n.Op {
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+			if lt != TypeInt || rt != TypeInt {
+				return TypeInvalid, typeErrf(n, "operands of %s must be int, got %s and %s", n.Op, lt, rt)
+			}
+			return TypeInt, nil
+		case OpLt, OpLe, OpGt, OpGe:
+			if lt != TypeInt || rt != TypeInt {
+				return TypeInvalid, typeErrf(n, "operands of %s must be int, got %s and %s", n.Op, lt, rt)
+			}
+			return TypeBool, nil
+		case OpEq, OpNe:
+			if lt != rt {
+				return TypeInvalid, typeErrf(n, "operands of %s must have the same type, got %s and %s", n.Op, lt, rt)
+			}
+			return TypeBool, nil
+		case OpAnd, OpOr:
+			if lt != TypeBool || rt != TypeBool {
+				return TypeInvalid, typeErrf(n, "operands of %s must be bool, got %s and %s", n.Op, lt, rt)
+			}
+			return TypeBool, nil
+		}
+		return TypeInvalid, typeErrf(n, "invalid binary operator %s", n.Op)
+	}
+	return TypeInvalid, typeErrf(n, "unknown node kind %T", n)
+}
+
+// CheckBool type-checks n and requires it to be a boolean predicate.
+func CheckBool(n Node, vars VarTypes) error {
+	t, err := TypeCheck(n, vars)
+	if err != nil {
+		return err
+	}
+	if t != TypeBool {
+		return typeErrf(n, "predicate must be bool, got %s", t)
+	}
+	return nil
+}
+
+// MapTypes adapts a plain map to the VarTypes interface.
+func MapTypes(m map[string]Type) VarTypes {
+	return func(name string) (Type, bool) {
+		t, ok := m[name]
+		return t, ok
+	}
+}

@@ -1,0 +1,143 @@
+// Package harness runs the paper's evaluation protocol (§6.1) and renders
+// figures and tables as text: every configuration is executed Trials
+// times, the best and worst Drop results are removed, and the mean of the
+// rest is reported. Each figure of the paper has a generator here that
+// produces the same series the paper plots.
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/problems"
+	"repro/internal/stats"
+)
+
+// Protocol is the repetition scheme for one measurement.
+type Protocol struct {
+	Trials int // runs per configuration
+	Drop   int // best/worst results discarded on each side
+}
+
+// Paper is the protocol of §6.1: 25 runs, best and worst removed.
+var Paper = Protocol{Trials: 25, Drop: 1}
+
+// Quick is a fast protocol for smoke runs and CI.
+var Quick = Protocol{Trials: 3, Drop: 0}
+
+// Measurement is the aggregated outcome of repeated runs.
+type Measurement struct {
+	MeanSeconds float64
+	MinSeconds  float64
+	MaxSeconds  float64
+	Last        problems.Result // per-run stats from the final trial
+	CheckFailed bool            // any trial finished with Check != 0
+}
+
+// Measure runs the workload Trials times and aggregates.
+func (p Protocol) Measure(run func() problems.Result) Measurement {
+	trials := p.Trials
+	if trials < 1 {
+		trials = 1
+	}
+	secs := make([]float64, 0, trials)
+	var m Measurement
+	for i := 0; i < trials; i++ {
+		r := run()
+		secs = append(secs, r.Elapsed.Seconds())
+		m.Last = r
+		if r.Check != 0 {
+			m.CheckFailed = true
+		}
+	}
+	m.MeanSeconds = stats.TrimmedMean(secs, p.Drop)
+	m.MinSeconds = stats.Min(secs)
+	m.MaxSeconds = stats.Max(secs)
+	return m
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Label  string
+	Points []float64 // aligned with the figure's XS
+}
+
+// Figure is a rendered-as-text reproduction of one of the paper's plots.
+type Figure struct {
+	ID     string // "fig8", …
+	Title  string
+	XLabel string
+	YLabel string
+	XS     []int
+	Series []Series
+	Notes  []string
+}
+
+// Render produces an aligned text table of the figure, one row per x.
+func (f *Figure) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(&sb, "y = %s\n", f.YLabel)
+
+	w := 14
+	fmt.Fprintf(&sb, "%*s", len(f.XLabel)+2, f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, "%*s", w, s.Label)
+	}
+	sb.WriteByte('\n')
+	for i, x := range f.XS {
+		fmt.Fprintf(&sb, "%*d", len(f.XLabel)+2, x)
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				fmt.Fprintf(&sb, "%*s", w, formatPoint(f.YLabel, s.Points[i]))
+			} else {
+				fmt.Fprintf(&sb, "%*s", w, "-")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+func formatPoint(ylabel string, v float64) string {
+	if strings.Contains(ylabel, "seconds") {
+		return stats.FormatSeconds(v)
+	}
+	if v >= 1000 {
+		return fmt.Sprintf("%.4g", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// doubling returns 2, 4, 8, … up to max.
+func doubling(from, max int) []int {
+	var xs []int
+	for x := from; x <= max; x *= 2 {
+		xs = append(xs, x)
+	}
+	return xs
+}
+
+// sweep fills one series per mechanism over xs.
+func sweep(p Protocol, runner problems.Runner, mechs []problems.Mechanism, xs []int, totalOps int,
+	y func(Measurement) float64) []Series {
+	series := make([]Series, len(mechs))
+	for i, mech := range mechs {
+		series[i].Label = mech.String()
+		for _, x := range xs {
+			mech, x := mech, x
+			m := p.Measure(func() problems.Result { return runner(mech, x, totalOps) })
+			val := y(m)
+			if m.CheckFailed {
+				val = -1 // sentinel: conservation violated; must never happen
+			}
+			series[i].Points = append(series[i].Points, val)
+		}
+	}
+	return series
+}
+
+func meanSeconds(m Measurement) float64 { return m.MeanSeconds }

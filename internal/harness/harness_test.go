@@ -1,0 +1,151 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/problems"
+)
+
+func TestProtocolMeasure(t *testing.T) {
+	calls := 0
+	m := Protocol{Trials: 5, Drop: 1}.Measure(func() problems.Result {
+		calls++
+		return problems.Result{Elapsed: time.Duration(calls) * time.Millisecond, Ops: 1}
+	})
+	if calls != 5 {
+		t.Fatalf("ran %d trials, want 5", calls)
+	}
+	// Trials are 1..5 ms; trimmed mean of {2,3,4} ms = 3 ms.
+	if m.MeanSeconds < 0.0029 || m.MeanSeconds > 0.0031 {
+		t.Errorf("trimmed mean = %f s, want ~0.003", m.MeanSeconds)
+	}
+	if m.MinSeconds >= m.MaxSeconds {
+		t.Errorf("min %f >= max %f", m.MinSeconds, m.MaxSeconds)
+	}
+	if m.CheckFailed {
+		t.Error("CheckFailed set with zero checks")
+	}
+}
+
+func TestProtocolMeasureFlagsCheckFailure(t *testing.T) {
+	m := Protocol{Trials: 1}.Measure(func() problems.Result {
+		return problems.Result{Elapsed: time.Millisecond, Check: 7}
+	})
+	if !m.CheckFailed {
+		t.Error("CheckFailed not set")
+	}
+}
+
+func TestProtocolMeasureClampsTrials(t *testing.T) {
+	calls := 0
+	Protocol{Trials: 0}.Measure(func() problems.Result {
+		calls++
+		return problems.Result{Elapsed: time.Millisecond}
+	})
+	if calls != 1 {
+		t.Errorf("ran %d trials, want 1", calls)
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := Figure{
+		ID: "figX", Title: "demo", XLabel: "# threads", YLabel: "runtime (seconds)",
+		XS: []int{2, 4},
+		Series: []Series{
+			{Label: "a", Points: []float64{0.5, 1.25}},
+			{Label: "b", Points: []float64{0.25}}, // short series renders "-"
+		},
+		Notes: []string{"hello"},
+	}
+	out := f.Render()
+	for _, want := range []string{"figX: demo", "# threads", "a", "b", "500ms", "1.250s", "-", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDoubling(t *testing.T) {
+	got := doubling(2, 16)
+	want := []int{2, 4, 8, 16}
+	if len(got) != len(want) {
+		t.Fatalf("doubling = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("doubling = %v, want %v", got, want)
+		}
+	}
+	if doubling(2, 1) != nil {
+		t.Error("doubling past max should be empty")
+	}
+}
+
+func TestExperimentsRegistryComplete(t *testing.T) {
+	want := []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table1", "abl-tags", "abl-inactive"}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("IDs = %v", ids)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Errorf("IDs[%d] = %q, want %q", i, ids[i], id)
+		}
+	}
+	for _, id := range want {
+		e, ok := Find(id)
+		if !ok {
+			t.Errorf("Find(%q) failed", id)
+			continue
+		}
+		if e.Run == nil || e.Title == "" {
+			t.Errorf("experiment %q incomplete", id)
+		}
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("Find(nope) succeeded")
+	}
+}
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config {
+	return Config{Protocol: Protocol{Trials: 1}, TotalOps: 300, MaxThreads: 4}
+}
+
+func TestAllExperimentsRunTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke runs are not short")
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			out := e.Run(tiny())
+			if !strings.Contains(out, e.ID[:3]) && !strings.Contains(out, e.ID) {
+				t.Errorf("%s output lacks its id:\n%s", e.ID, out)
+			}
+			if strings.Contains(out, "-1") && strings.Contains(out, "seconds") {
+				t.Errorf("%s reported a conservation failure:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestSweepSeriesShape(t *testing.T) {
+	xs := []int{2, 4}
+	series := sweep(Protocol{Trials: 1}, problems.RunBoundedBuffer,
+		[]problems.Mechanism{problems.AutoSynch}, xs, 100, meanSeconds)
+	if len(series) != 1 || len(series[0].Points) != 2 {
+		t.Fatalf("sweep shape wrong: %+v", series)
+	}
+	if series[0].Label != "autosynch" {
+		t.Errorf("label = %q", series[0].Label)
+	}
+	for _, p := range series[0].Points {
+		if p < 0 {
+			t.Errorf("conservation failure sentinel in points: %v", series[0].Points)
+		}
+	}
+}

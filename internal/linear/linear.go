@@ -1,0 +1,331 @@
+// Package linear decomposes integer expressions into linear forms over a
+// designated set of variables.
+//
+// The paper's tag construction (§4.3) rewrites comparisons so that shared
+// variables sit on the left and a constant on the right: the predicate
+// x − a = y + b (x, y shared; a, b local) becomes x − y = a + b, an
+// equivalence predicate whose shared expression is x − y and whose key is
+// the globalized value of a + b. This package supplies the rewriting: it
+// splits an expression into   Σ cᵢ·xᵢ  +  (residual)  + const,   where the
+// xᵢ are "split" variables (the shared ones), the coefficients are integer
+// constants, and the residual mentions only non-split variables.
+package linear
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// Form is a linear combination Σ Coeffs[v]·v + Const over int64 arithmetic.
+// Variables with coefficient zero are never stored.
+type Form struct {
+	Coeffs map[string]int64
+	Const  int64
+}
+
+// NewForm returns the zero form.
+func NewForm() Form { return Form{Coeffs: map[string]int64{}} }
+
+// Clone returns an independent copy of f.
+func (f Form) Clone() Form {
+	g := Form{Coeffs: make(map[string]int64, len(f.Coeffs)), Const: f.Const}
+	for v, c := range f.Coeffs {
+		g.Coeffs[v] = c
+	}
+	return g
+}
+
+// IsConst reports whether the form has no variable terms.
+func (f Form) IsConst() bool { return len(f.Coeffs) == 0 }
+
+// Add returns f + g.
+func (f Form) Add(g Form) Form {
+	out := f.Clone()
+	out.Const += g.Const
+	for v, c := range g.Coeffs {
+		out.addTerm(v, c)
+	}
+	return out
+}
+
+// Sub returns f − g.
+func (f Form) Sub(g Form) Form { return f.Add(g.Scale(-1)) }
+
+// Scale returns k·f.
+func (f Form) Scale(k int64) Form {
+	if k == 0 {
+		return NewForm()
+	}
+	out := Form{Coeffs: make(map[string]int64, len(f.Coeffs)), Const: f.Const * k}
+	for v, c := range f.Coeffs {
+		out.Coeffs[v] = c * k
+	}
+	return out
+}
+
+func (f *Form) addTerm(v string, c int64) {
+	n := f.Coeffs[v] + c
+	if n == 0 {
+		delete(f.Coeffs, v)
+	} else {
+		f.Coeffs[v] = n
+	}
+}
+
+// Vars returns the sorted variables with nonzero coefficients.
+func (f Form) Vars() []string {
+	vs := make([]string, 0, len(f.Coeffs))
+	for v := range f.Coeffs {
+		vs = append(vs, v)
+	}
+	sort.Strings(vs)
+	return vs
+}
+
+// Leading returns the lexicographically first variable and its coefficient;
+// ok is false for a constant form.
+func (f Form) Leading() (string, int64, bool) {
+	vs := f.Vars()
+	if len(vs) == 0 {
+		return "", 0, false
+	}
+	return vs[0], f.Coeffs[vs[0]], true
+}
+
+// Equal reports whether two forms are identical.
+func (f Form) Equal(g Form) bool {
+	if f.Const != g.Const || len(f.Coeffs) != len(g.Coeffs) {
+		return false
+	}
+	for v, c := range f.Coeffs {
+		if g.Coeffs[v] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the form canonically: variables in sorted order, unit
+// coefficients elided, e.g. "x - 2*y + 3". The zero form renders as "0".
+func (f Form) String() string {
+	var sb strings.Builder
+	vs := f.Vars()
+	for i, v := range vs {
+		c := f.Coeffs[v]
+		if i == 0 {
+			if c < 0 {
+				sb.WriteByte('-')
+				c = -c
+			}
+		} else {
+			if c < 0 {
+				sb.WriteString(" - ")
+				c = -c
+			} else {
+				sb.WriteString(" + ")
+			}
+		}
+		if c != 1 {
+			sb.WriteString(strconv.FormatInt(c, 10))
+			sb.WriteByte('*')
+		}
+		sb.WriteString(v)
+	}
+	if f.Const != 0 || len(vs) == 0 {
+		if len(vs) == 0 {
+			sb.WriteString(strconv.FormatInt(f.Const, 10))
+		} else if f.Const < 0 {
+			sb.WriteString(" - ")
+			sb.WriteString(strconv.FormatInt(-f.Const, 10))
+		} else {
+			sb.WriteString(" + ")
+			sb.WriteString(strconv.FormatInt(f.Const, 10))
+		}
+	}
+	return sb.String()
+}
+
+// Node reconstructs an expression tree for the form, in canonical term
+// order. Useful for evaluation and tests.
+func (f Form) Node() expr.Node {
+	var n expr.Node
+	for _, v := range f.Vars() {
+		c := f.Coeffs[v]
+		var term expr.Node = expr.V(v)
+		switch {
+		case c == 1:
+			// term as is
+		case c == -1:
+			term = expr.Neg(term)
+		default:
+			term = expr.Bin(expr.OpMul, expr.I(c), expr.V(v))
+		}
+		if n == nil {
+			n = term
+		} else if c < 0 && c != -1 {
+			// already folded the sign into the literal; plain add
+			n = expr.Bin(expr.OpAdd, n, term)
+		} else if c == -1 {
+			n = expr.Bin(expr.OpSub, n, expr.V(v))
+			continue
+		} else {
+			n = expr.Bin(expr.OpAdd, n, term)
+		}
+	}
+	if n == nil {
+		return expr.I(f.Const)
+	}
+	if f.Const != 0 {
+		if f.Const < 0 {
+			n = expr.Bin(expr.OpSub, n, expr.I(-f.Const))
+		} else {
+			n = expr.Bin(expr.OpAdd, n, expr.I(f.Const))
+		}
+	}
+	return n
+}
+
+// Split is the result of decomposing an integer expression with respect to
+// a variable classifier: expr = SharedPart + Σ Residuals + Const, where
+// SharedPart is linear over classifier-true variables with constant
+// coefficients and each residual term mentions only classifier-false
+// variables.
+type Split struct {
+	Shared    Form        // linear part over split (shared) variables; Const field unused (always 0)
+	Residuals []expr.Node // each summand references only non-split variables
+	Const     int64
+}
+
+// ResidualNode returns the residual sum as a single expression (0 if none).
+func (s Split) ResidualNode() expr.Node {
+	if len(s.Residuals) == 0 {
+		return expr.I(0)
+	}
+	n := s.Residuals[0]
+	for _, r := range s.Residuals[1:] {
+		n = expr.Bin(expr.OpAdd, n, r)
+	}
+	return n
+}
+
+// Decompose splits an integer expression n with respect to isSplit. It
+// fails (ok = false) when a split variable occurs non-linearly or with a
+// non-constant coefficient: products of two split variables, a split
+// variable multiplied by a non-split expression, or division/modulus
+// involving split variables.
+func Decompose(n expr.Node, isSplit func(string) bool) (Split, bool) {
+	s, ok := decompose(expr.Fold(n), isSplit)
+	if !ok {
+		return Split{}, false
+	}
+	return s, true
+}
+
+func decompose(n expr.Node, isSplit func(string) bool) (Split, bool) {
+	switch n := n.(type) {
+	case expr.IntLit:
+		return Split{Shared: NewForm(), Const: n.Value}, true
+	case expr.Var:
+		if isSplit(n.Name) {
+			f := NewForm()
+			f.Coeffs[n.Name] = 1
+			return Split{Shared: f}, true
+		}
+		return Split{Shared: NewForm(), Residuals: []expr.Node{n}}, true
+	case expr.Unary:
+		if n.Op != expr.OpNeg {
+			return Split{}, false
+		}
+		x, ok := decompose(n.X, isSplit)
+		if !ok {
+			return Split{}, false
+		}
+		return x.negate(), true
+	case expr.Binary:
+		switch n.Op {
+		case expr.OpAdd, expr.OpSub:
+			l, ok := decompose(n.L, isSplit)
+			if !ok {
+				return Split{}, false
+			}
+			r, ok := decompose(n.R, isSplit)
+			if !ok {
+				return Split{}, false
+			}
+			if n.Op == expr.OpSub {
+				r = r.negate()
+			}
+			return Split{
+				Shared:    l.Shared.Add(r.Shared),
+				Residuals: append(append([]expr.Node{}, l.Residuals...), r.Residuals...),
+				Const:     l.Const + r.Const,
+			}, true
+		case expr.OpMul:
+			l, lok := decompose(n.L, isSplit)
+			r, rok := decompose(n.R, isSplit)
+			if !lok || !rok {
+				return Split{}, false
+			}
+			lPure := l.Shared.IsConst() && len(l.Residuals) == 0 // integer constant
+			rPure := r.Shared.IsConst() && len(r.Residuals) == 0
+			lLocalOnly := l.Shared.IsConst() // no split vars (residual+const)
+			rLocalOnly := r.Shared.IsConst()
+			switch {
+			case lPure:
+				return r.scaleConst(l.Const), true
+			case rPure:
+				return l.scaleConst(r.Const), true
+			case lLocalOnly && rLocalOnly:
+				// Product of two purely non-split expressions: one residual.
+				return Split{Shared: NewForm(), Residuals: []expr.Node{n}}, true
+			default:
+				// A split variable multiplied by a non-constant: nonlinear.
+				return Split{}, false
+			}
+		case expr.OpDiv, expr.OpMod:
+			l, lok := decompose(n.L, isSplit)
+			r, rok := decompose(n.R, isSplit)
+			if !lok || !rok {
+				return Split{}, false
+			}
+			if l.Shared.IsConst() && r.Shared.IsConst() {
+				if len(l.Residuals) == 0 && len(r.Residuals) == 0 {
+					// Constant division: fold (guarding zero).
+					if r.Const == 0 {
+						return Split{}, false
+					}
+					if n.Op == expr.OpDiv {
+						return Split{Shared: NewForm(), Const: l.Const / r.Const}, true
+					}
+					return Split{Shared: NewForm(), Const: l.Const % r.Const}, true
+				}
+				// Purely non-split division/modulus: keep as residual.
+				return Split{Shared: NewForm(), Residuals: []expr.Node{n}}, true
+			}
+			return Split{}, false
+		}
+	}
+	return Split{}, false
+}
+
+func (s Split) negate() Split {
+	res := make([]expr.Node, len(s.Residuals))
+	for i, r := range s.Residuals {
+		res[i] = expr.Neg(r)
+	}
+	return Split{Shared: s.Shared.Scale(-1), Residuals: res, Const: -s.Const}
+}
+
+func (s Split) scaleConst(k int64) Split {
+	if k == 0 {
+		return Split{Shared: NewForm()}
+	}
+	res := make([]expr.Node, len(s.Residuals))
+	for i, r := range s.Residuals {
+		res[i] = expr.Bin(expr.OpMul, expr.I(k), r)
+	}
+	return Split{Shared: s.Shared.Scale(k), Residuals: res, Const: s.Const * k}
+}

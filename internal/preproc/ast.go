@@ -1,0 +1,143 @@
+// Package preproc implements the MiniSynch preprocessor, the repo's analog
+// of the paper's JavaCC source translator (Fig. 2): it parses a small
+// monitor-class dialect with waituntil statements and emits plain Go code
+// that targets the autosynch runtime library, performing the rewriting
+// sketched in Figs. 5 and 6 of the paper — a monitor lock around every
+// member function, shared variables registered in the constructor, and
+// each waituntil(P) turned into an Await call with its local variables
+// bound for globalization.
+//
+// The dialect:
+//
+//	monitor BoundedBuffer(n int) {
+//	    var count int
+//	    var cap int = n
+//
+//	    func Put(k int) {
+//	        waituntil(count + k <= cap)
+//	        count += k
+//	    }
+//	    func Take(k int) {
+//	        waituntil(count >= k)
+//	        count -= k
+//	    }
+//	    func Size() int {
+//	        return count
+//	    }
+//	}
+//
+// Statements: var declarations, := short declarations, assignments
+// (=, +=, -=, ++, --), waituntil(P), if/else, while, and return.
+// Expressions are the predicate language of internal/expr (int and bool,
+// no calls). Types are int (Go int64) and bool.
+package preproc
+
+import "repro/internal/expr"
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+// Program is a parsed MiniSynch source file: one or more monitors.
+type Program struct {
+	Monitors []*MonitorDecl
+}
+
+// MonitorDecl is one monitor class.
+type MonitorDecl struct {
+	Name   string
+	Params []Param // constructor parameters
+	Vars   []*VarDecl
+	Funcs  []*FuncDecl
+	Pos    Pos
+}
+
+// Param is a constructor or function parameter.
+type Param struct {
+	Name string
+	Type expr.Type
+	Pos  Pos
+}
+
+// VarDecl is a shared monitor variable, optionally initialized from an
+// expression over the constructor parameters.
+type VarDecl struct {
+	Name string
+	Type expr.Type
+	Init expr.Node // nil → zero value
+	Pos  Pos
+}
+
+// FuncDecl is a member function. Result is TypeInvalid for void.
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Result expr.Type
+	Body   []Stmt
+	Pos    Pos
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	stmtPos() Pos
+	isStmt()
+}
+
+// VarStmt declares a function-local variable: var x int = e, or x := e.
+type VarStmt struct {
+	Name string
+	Type expr.Type // inferred for :=
+	Init expr.Node // nil → zero value (var form only)
+	Pos  Pos
+}
+
+// AssignStmt assigns to a shared or local variable. Op is '=' (0), '+' for
+// +=, '-' for -=.
+type AssignStmt struct {
+	Name string
+	Op   byte // 0, '+', '-'
+	Expr expr.Node
+	Pos  Pos
+}
+
+// WaitStmt is waituntil(P).
+type WaitStmt struct {
+	Pred expr.Node
+	Pos  Pos
+}
+
+// IfStmt is if/else; Else may be nil, a block, or another IfStmt (else if).
+type IfStmt struct {
+	Cond expr.Node
+	Then []Stmt
+	Else []Stmt // nil when absent; an else-if chain parses as a 1-stmt slice
+	Pos  Pos
+}
+
+// WhileStmt is while C { … }.
+type WhileStmt struct {
+	Cond expr.Node
+	Body []Stmt
+	Pos  Pos
+}
+
+// ReturnStmt returns from a member function. Expr nil for void returns.
+type ReturnStmt struct {
+	Expr expr.Node
+	Pos  Pos
+}
+
+func (s *VarStmt) stmtPos() Pos    { return s.Pos }
+func (s *AssignStmt) stmtPos() Pos { return s.Pos }
+func (s *WaitStmt) stmtPos() Pos   { return s.Pos }
+func (s *IfStmt) stmtPos() Pos     { return s.Pos }
+func (s *WhileStmt) stmtPos() Pos  { return s.Pos }
+func (s *ReturnStmt) stmtPos() Pos { return s.Pos }
+
+func (*VarStmt) isStmt()    {}
+func (*AssignStmt) isStmt() {}
+func (*WaitStmt) isStmt()   {}
+func (*IfStmt) isStmt()     {}
+func (*WhileStmt) isStmt()  {}
+func (*ReturnStmt) isStmt() {}

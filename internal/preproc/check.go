@@ -1,0 +1,248 @@
+package preproc
+
+import (
+	"repro/internal/dnf"
+	"repro/internal/expr"
+)
+
+// Checked is the semantic analysis result consumed by the code generator.
+type Checked struct {
+	Program  *Program
+	Monitors []*CheckedMonitor
+}
+
+// CheckedMonitor carries the symbol tables of one monitor.
+type CheckedMonitor struct {
+	Decl   *MonitorDecl
+	Shared map[string]expr.Type // shared variable name → type
+	Ctor   map[string]expr.Type // constructor parameter name → type
+	Funcs  []*CheckedFunc
+}
+
+// CheckedFunc carries one member function's local symbol table (parameters
+// and every local declared anywhere in the body; MiniSynch has
+// function-level scoping, like early C).
+type CheckedFunc struct {
+	Decl   *FuncDecl
+	Locals map[string]expr.Type
+}
+
+// Check performs semantic analysis: declaration uniqueness, type checking
+// of every expression, assignment compatibility, waituntil predicate
+// sanity (boolean, DNF-convertible), and all-paths-return for value
+// functions.
+func Check(prog *Program) (*Checked, error) {
+	out := &Checked{Program: prog}
+	seenMonitors := map[string]bool{}
+	for _, m := range prog.Monitors {
+		if seenMonitors[m.Name] {
+			return nil, errAt(m.Pos, "monitor %q declared twice", m.Name)
+		}
+		seenMonitors[m.Name] = true
+		cm, err := checkMonitor(m)
+		if err != nil {
+			return nil, err
+		}
+		out.Monitors = append(out.Monitors, cm)
+	}
+	return out, nil
+}
+
+func checkMonitor(m *MonitorDecl) (*CheckedMonitor, error) {
+	cm := &CheckedMonitor{
+		Decl:   m,
+		Shared: map[string]expr.Type{},
+		Ctor:   map[string]expr.Type{},
+	}
+	for _, p := range m.Params {
+		if _, dup := cm.Ctor[p.Name]; dup {
+			return nil, errAt(p.Pos, "constructor parameter %q declared twice", p.Name)
+		}
+		cm.Ctor[p.Name] = p.Type
+	}
+	for _, v := range m.Vars {
+		if _, dup := cm.Shared[v.Name]; dup {
+			return nil, errAt(v.Pos, "shared variable %q declared twice", v.Name)
+		}
+		if _, clash := cm.Ctor[v.Name]; clash {
+			return nil, errAt(v.Pos, "shared variable %q shadows a constructor parameter", v.Name)
+		}
+		if v.Init != nil {
+			// Initializers run in the constructor: only parameters (and
+			// previously declared shared variables) are in scope.
+			t, err := expr.TypeCheck(v.Init, func(name string) (expr.Type, bool) {
+				if ty, ok := cm.Ctor[name]; ok {
+					return ty, true
+				}
+				ty, ok := cm.Shared[name]
+				return ty, ok
+			})
+			if err != nil {
+				return nil, errAt(v.Pos, "initializer of %q: %v", v.Name, err)
+			}
+			if t != v.Type {
+				return nil, errAt(v.Pos, "initializer of %q has type %s, want %s", v.Name, t, v.Type)
+			}
+		}
+		cm.Shared[v.Name] = v.Type
+	}
+	seenFuncs := map[string]bool{}
+	for _, f := range m.Funcs {
+		if seenFuncs[f.Name] {
+			return nil, errAt(f.Pos, "function %q declared twice", f.Name)
+		}
+		seenFuncs[f.Name] = true
+		cf, err := checkFunc(cm, f)
+		if err != nil {
+			return nil, err
+		}
+		cm.Funcs = append(cm.Funcs, cf)
+	}
+	return cm, nil
+}
+
+func checkFunc(cm *CheckedMonitor, f *FuncDecl) (*CheckedFunc, error) {
+	cf := &CheckedFunc{Decl: f, Locals: map[string]expr.Type{}}
+	for _, p := range f.Params {
+		if _, dup := cf.Locals[p.Name]; dup {
+			return nil, errAt(p.Pos, "parameter %q declared twice", p.Name)
+		}
+		if _, clash := cm.Shared[p.Name]; clash {
+			return nil, errAt(p.Pos, "parameter %q shadows a shared variable", p.Name)
+		}
+		cf.Locals[p.Name] = p.Type
+	}
+	if err := checkStmts(cm, cf, f.Body); err != nil {
+		return nil, err
+	}
+	if f.Result != expr.TypeInvalid && !allPathsReturn(f.Body) {
+		return nil, errAt(f.Pos, "function %q: missing return (not all paths return a %s)", f.Name, f.Result)
+	}
+	return cf, nil
+}
+
+// scope resolves a name inside a member function: locals shadow nothing
+// (shadowing is rejected at declaration), so the union is unambiguous.
+func scope(cm *CheckedMonitor, cf *CheckedFunc) expr.VarTypes {
+	return func(name string) (expr.Type, bool) {
+		if t, ok := cf.Locals[name]; ok {
+			return t, true
+		}
+		t, ok := cm.Shared[name]
+		return t, ok
+	}
+}
+
+func checkStmts(cm *CheckedMonitor, cf *CheckedFunc, stmts []Stmt) error {
+	for _, s := range stmts {
+		if err := checkStmt(cm, cf, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkStmt(cm *CheckedMonitor, cf *CheckedFunc, s Stmt) error {
+	vars := scope(cm, cf)
+	switch s := s.(type) {
+	case *VarStmt:
+		if _, dup := cf.Locals[s.Name]; dup {
+			return errAt(s.Pos, "local %q declared twice", s.Name)
+		}
+		if _, clash := cm.Shared[s.Name]; clash {
+			return errAt(s.Pos, "local %q shadows a shared variable", s.Name)
+		}
+		if s.Init == nil {
+			if s.Type == expr.TypeInvalid {
+				return errAt(s.Pos, "cannot infer type of %q without initializer", s.Name)
+			}
+			cf.Locals[s.Name] = s.Type
+			return nil
+		}
+		t, err := expr.TypeCheck(s.Init, vars)
+		if err != nil {
+			return errAt(s.Pos, "%v", err)
+		}
+		if s.Type == expr.TypeInvalid {
+			s.Type = t // := inference
+		} else if s.Type != t {
+			return errAt(s.Pos, "initializer of %q has type %s, want %s", s.Name, t, s.Type)
+		}
+		cf.Locals[s.Name] = s.Type
+		return nil
+	case *AssignStmt:
+		lt, ok := vars(s.Name)
+		if !ok {
+			return errAt(s.Pos, "assignment to undeclared variable %q", s.Name)
+		}
+		rt, err := expr.TypeCheck(s.Expr, vars)
+		if err != nil {
+			return errAt(s.Pos, "%v", err)
+		}
+		if rt != lt {
+			return errAt(s.Pos, "cannot assign %s to %q (%s)", rt, s.Name, lt)
+		}
+		if s.Op != 0 && lt != expr.TypeInt {
+			return errAt(s.Pos, "%c= requires an int variable, %q is %s", s.Op, s.Name, lt)
+		}
+		return nil
+	case *WaitStmt:
+		if err := expr.CheckBool(s.Pred, vars); err != nil {
+			return errAt(s.Pos, "waituntil: %v", err)
+		}
+		// Reject predicates the runtime would reject at registration.
+		if _, err := dnf.Convert(s.Pred); err != nil {
+			return errAt(s.Pos, "waituntil: %v", err)
+		}
+		return nil
+	case *IfStmt:
+		if err := expr.CheckBool(s.Cond, vars); err != nil {
+			return errAt(s.Pos, "if condition: %v", err)
+		}
+		if err := checkStmts(cm, cf, s.Then); err != nil {
+			return err
+		}
+		return checkStmts(cm, cf, s.Else)
+	case *WhileStmt:
+		if err := expr.CheckBool(s.Cond, vars); err != nil {
+			return errAt(s.Pos, "while condition: %v", err)
+		}
+		return checkStmts(cm, cf, s.Body)
+	case *ReturnStmt:
+		want := cf.Decl.Result
+		if s.Expr == nil {
+			if want != expr.TypeInvalid {
+				return errAt(s.Pos, "function %q must return a %s", cf.Decl.Name, want)
+			}
+			return nil
+		}
+		if want == expr.TypeInvalid {
+			return errAt(s.Pos, "function %q has no result; unexpected return value", cf.Decl.Name)
+		}
+		t, err := expr.TypeCheck(s.Expr, vars)
+		if err != nil {
+			return errAt(s.Pos, "%v", err)
+		}
+		if t != want {
+			return errAt(s.Pos, "return type %s, function %q returns %s", t, cf.Decl.Name, want)
+		}
+		return nil
+	}
+	return errAt(s.stmtPos(), "unknown statement kind %T", s)
+}
+
+// allPathsReturn reports whether every control path through stmts ends in
+// a return.
+func allPathsReturn(stmts []Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ReturnStmt:
+		return true
+	case *IfStmt:
+		return last.Else != nil && allPathsReturn(last.Then) && allPathsReturn(last.Else)
+	default:
+		return false
+	}
+}

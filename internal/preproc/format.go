@@ -1,0 +1,184 @@
+package preproc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// Format renders a parsed program back to canonical MiniSynch source:
+// tab-indented, one statement per line, normalized spacing inside
+// expressions. Formatting is idempotent (formatting formatted output is a
+// fixed point) and round-trips: the output parses to a structurally
+// identical program.
+func Format(p *Program) string {
+	f := &formatter{}
+	for i, m := range p.Monitors {
+		if i > 0 {
+			f.sb.WriteByte('\n')
+		}
+		f.monitor(m)
+	}
+	return f.sb.String()
+}
+
+// FormatSource parses and formats MiniSynch source text.
+func FormatSource(src string) (string, error) {
+	p, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return Format(p), nil
+}
+
+type formatter struct {
+	sb strings.Builder
+}
+
+func (f *formatter) pf(format string, args ...any) {
+	fmt.Fprintf(&f.sb, format, args...)
+}
+
+func typeWord(t expr.Type) string {
+	if t == expr.TypeBool {
+		return "bool"
+	}
+	return "int"
+}
+
+func formatParams(params []Param) string {
+	parts := make([]string, len(params))
+	for i, p := range params {
+		parts[i] = p.Name + " " + typeWord(p.Type)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (f *formatter) monitor(m *MonitorDecl) {
+	f.pf("monitor %s(%s) {\n", m.Name, formatParams(m.Params))
+	for _, v := range m.Vars {
+		f.varDecl(v, 1)
+	}
+	for i, fn := range m.Funcs {
+		if i > 0 || len(m.Vars) > 0 {
+			f.sb.WriteByte('\n')
+		}
+		f.fun(fn)
+	}
+	f.pf("}\n")
+}
+
+func (f *formatter) varDecl(v *VarDecl, depth int) {
+	f.indent(depth)
+	f.pf("var %s %s", v.Name, typeWord(v.Type))
+	if v.Init != nil {
+		f.pf(" = %s", v.Init.String())
+	}
+	f.sb.WriteByte('\n')
+}
+
+func (f *formatter) fun(fn *FuncDecl) {
+	f.indent(1)
+	f.pf("func %s(%s)", fn.Name, formatParams(fn.Params))
+	if fn.Result != expr.TypeInvalid {
+		f.pf(" %s", typeWord(fn.Result))
+	}
+	f.pf(" {\n")
+	f.stmts(fn.Body, 2)
+	f.indent(1)
+	f.pf("}\n")
+}
+
+func (f *formatter) indent(depth int) {
+	for i := 0; i < depth; i++ {
+		f.sb.WriteByte('\t')
+	}
+}
+
+func (f *formatter) stmts(stmts []Stmt, depth int) {
+	for _, s := range stmts {
+		f.stmt(s, depth)
+	}
+}
+
+func (f *formatter) stmt(s Stmt, depth int) {
+	switch s := s.(type) {
+	case *VarStmt:
+		f.indent(depth)
+		if s.Type == expr.TypeInvalid {
+			// A := declaration that has not been checked yet keeps its
+			// short form; checked programs carry the inferred type but
+			// the short form is canonical when there is an initializer.
+			f.pf("%s := %s\n", s.Name, s.Init.String())
+			return
+		}
+		if s.Init != nil {
+			f.pf("var %s %s = %s\n", s.Name, typeWord(s.Type), s.Init.String())
+		} else {
+			f.pf("var %s %s\n", s.Name, typeWord(s.Type))
+		}
+	case *AssignStmt:
+		f.indent(depth)
+		switch {
+		case s.Op == 0:
+			f.pf("%s = %s\n", s.Name, s.Expr.String())
+		case isOne(s.Expr) && s.Op == '+':
+			f.pf("%s++\n", s.Name)
+		case isOne(s.Expr) && s.Op == '-':
+			f.pf("%s--\n", s.Name)
+		default:
+			f.pf("%s %c= %s\n", s.Name, s.Op, s.Expr.String())
+		}
+	case *WaitStmt:
+		f.indent(depth)
+		f.pf("waituntil(%s)\n", s.Pred.String())
+	case *IfStmt:
+		f.indent(depth)
+		f.pf("if %s {\n", s.Cond.String())
+		f.stmts(s.Then, depth+1)
+		f.elseChain(s.Else, depth)
+		f.indent(depth)
+		f.pf("}\n")
+	case *WhileStmt:
+		f.indent(depth)
+		f.pf("while %s {\n", s.Cond.String())
+		f.stmts(s.Body, depth+1)
+		f.indent(depth)
+		f.pf("}\n")
+	case *ReturnStmt:
+		f.indent(depth)
+		if s.Expr != nil {
+			f.pf("return %s\n", s.Expr.String())
+		} else {
+			f.pf("return\n")
+		}
+	}
+}
+
+// elseChain renders else and else-if branches without closing the
+// enclosing block (the caller writes the final brace).
+func (f *formatter) elseChain(elseStmts []Stmt, depth int) {
+	if elseStmts == nil {
+		return
+	}
+	// An else-if chain parses as a single-element else block holding an
+	// IfStmt; render it flat.
+	if len(elseStmts) == 1 {
+		if elif, ok := elseStmts[0].(*IfStmt); ok {
+			f.indent(depth)
+			f.pf("} else if %s {\n", elif.Cond.String())
+			f.stmts(elif.Then, depth+1)
+			f.elseChain(elif.Else, depth)
+			return
+		}
+	}
+	f.indent(depth)
+	f.pf("} else {\n")
+	f.stmts(elseStmts, depth+1)
+}
+
+func isOne(n expr.Node) bool {
+	lit, ok := n.(expr.IntLit)
+	return ok && lit.Value == 1
+}

@@ -1,0 +1,169 @@
+package preproc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatCanonical(t *testing.T) {
+	src := `
+monitor   BoundedBuffer ( n int )  {
+  var count int;
+  var cap int=n
+
+  func Put( k int ){waituntil(count+k<=cap); count+=k}
+  func Take(k int) { waituntil(count >= k)
+      count -= k }
+  func Size() int { return count }
+}
+`
+	want := `monitor BoundedBuffer(n int) {
+	var count int
+	var cap int = n
+
+	func Put(k int) {
+		waituntil(count + k <= cap)
+		count += k
+	}
+
+	func Take(k int) {
+		waituntil(count >= k)
+		count -= k
+	}
+
+	func Size() int {
+		return count
+	}
+}
+`
+	got, err := FormatSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("FormatSource:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestFormatIdempotent(t *testing.T) {
+	srcs := []string{
+		bufferSrc,
+		`monitor M(a int, b bool) {
+			var x int = a * 2
+			var f bool = b
+			func G(k int) int {
+				y := k + 1
+				if x > y {
+					x--
+				} else if f {
+					while x < 10 { x++ }
+				} else {
+					return 0 - y
+				}
+				waituntil(x == k || f)
+				return x
+			}
+		}`,
+	}
+	for _, src := range srcs {
+		once, err := FormatSource(src)
+		if err != nil {
+			t.Fatalf("format: %v", err)
+		}
+		twice, err := FormatSource(once)
+		if err != nil {
+			t.Fatalf("reformat failed on:\n%s\nerror: %v", once, err)
+		}
+		if once != twice {
+			t.Errorf("formatting is not idempotent:\n--- once ---\n%s--- twice ---\n%s", once, twice)
+		}
+	}
+}
+
+func TestFormatRoundTripPreservesSemantics(t *testing.T) {
+	// Formatting then generating must produce the same Go code as
+	// generating directly — the formatter cannot change meaning.
+	direct, err := Generate(bufferSrc, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	formatted, err := FormatSource(bufferSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaFormat, err := Generate(formatted, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct != viaFormat {
+		t.Errorf("generation differs after formatting:\n--- direct ---\n%s--- via format ---\n%s", direct, viaFormat)
+	}
+}
+
+func TestFormatStatements(t *testing.T) {
+	src := `monitor M() {
+		var x int
+		func F() {
+			x = 5
+			x += 2
+			x -= 3
+			x++
+			x--
+			waituntil(x != 0)
+			while x > 0 { x -= 1 }
+			if x == 0 { x = 1 } else { x = 2 }
+			return
+		}
+	}`
+	got, err := FormatSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"x = 5\n", "x += 2\n", "x -= 3\n", "x++\n", "x--\n",
+		"waituntil(x != 0)\n", "while x > 0 {\n",
+		"if x == 0 {\n", "} else {\n", "return\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, got)
+		}
+	}
+	// x -= 1 canonicalizes to x--.
+	if !strings.Contains(got, "x--\n") {
+		t.Errorf("x -= 1 not canonicalized:\n%s", got)
+	}
+}
+
+func TestFormatElseIfChain(t *testing.T) {
+	src := `monitor M() {
+		var x int
+		func F() {
+			if x == 0 { x = 1 } else if x == 1 { x = 2 } else if x == 2 { x = 3 } else { x = 0 }
+		}
+	}`
+	got, err := FormatSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(got, "} else if") != 2 {
+		t.Errorf("else-if chain not rendered flat:\n%s", got)
+	}
+	out, err := FormatSource(got)
+	if err != nil || out != got {
+		t.Errorf("else-if formatting not idempotent (err=%v):\n%s\nvs\n%s", err, got, out)
+	}
+}
+
+func TestFormatMultipleMonitors(t *testing.T) {
+	src := `monitor A() { var x int } monitor B() { var y bool }`
+	got, err := FormatSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "monitor A() {") || !strings.Contains(got, "monitor B() {") {
+		t.Errorf("monitors missing:\n%s", got)
+	}
+	if !strings.Contains(got, "}\n\nmonitor B") {
+		t.Errorf("no blank line between monitors:\n%s", got)
+	}
+}

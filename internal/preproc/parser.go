@@ -1,0 +1,379 @@
+package preproc
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+)
+
+// Error is a preprocessor diagnostic with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Pos.Line, e.Pos.Col, e.Msg)
+}
+
+func errAt(p Pos, format string, args ...any) error {
+	return &Error{Pos: p, Msg: fmt.Sprintf(format, args...)}
+}
+
+func tokPos(t expr.Token) Pos { return Pos{Line: t.Line, Col: t.Col} }
+
+// parser wraps the shared expression parser with statement-level grammar.
+type parser struct {
+	*expr.Parser
+}
+
+// Parse parses a MiniSynch source file.
+func Parse(src string) (*Program, error) {
+	ep, err := expr.NewParser(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{Parser: ep}
+	prog := &Program{}
+	for p.Cur().Kind != expr.EOF {
+		m, err := p.monitorDecl()
+		if err != nil {
+			return nil, err
+		}
+		prog.Monitors = append(prog.Monitors, m)
+	}
+	if len(prog.Monitors) == 0 {
+		return nil, errAt(tokPos(p.Cur()), "no monitor declarations found")
+	}
+	return prog, nil
+}
+
+// ident consumes an identifier with a specific spelling (soft keyword).
+func (p *parser) keyword(word string) error {
+	t := p.Cur()
+	if t.Kind != expr.Ident || t.Text != word {
+		return errAt(tokPos(t), "expected %q, found %s", word, t)
+	}
+	return p.Advance()
+}
+
+func (p *parser) atKeyword(word string) bool {
+	t := p.Cur()
+	return t.Kind == expr.Ident && t.Text == word
+}
+
+func (p *parser) identName() (string, Pos, error) {
+	t := p.Cur()
+	if t.Kind != expr.Ident {
+		return "", tokPos(t), errAt(tokPos(t), "expected identifier, found %s", t)
+	}
+	if isReserved(t.Text) {
+		return "", tokPos(t), errAt(tokPos(t), "%q is a reserved word", t.Text)
+	}
+	return t.Text, tokPos(t), p.Advance()
+}
+
+var reserved = map[string]bool{
+	"monitor": true, "var": true, "func": true, "waituntil": true,
+	"if": true, "else": true, "while": true, "return": true,
+	"int": true, "bool": true,
+}
+
+func isReserved(s string) bool { return reserved[s] }
+
+func (p *parser) typeName() (expr.Type, error) {
+	t := p.Cur()
+	if t.Kind == expr.Ident {
+		switch t.Text {
+		case "int":
+			return expr.TypeInt, p.Advance()
+		case "bool":
+			return expr.TypeBool, p.Advance()
+		}
+	}
+	return expr.TypeInvalid, errAt(tokPos(t), "expected type (int or bool), found %s", t)
+}
+
+func (p *parser) monitorDecl() (*MonitorDecl, error) {
+	pos := tokPos(p.Cur())
+	if err := p.keyword("monitor"); err != nil {
+		return nil, err
+	}
+	name, _, err := p.identName()
+	if err != nil {
+		return nil, err
+	}
+	m := &MonitorDecl{Name: name, Pos: pos}
+	if m.Params, err = p.paramList(); err != nil {
+		return nil, err
+	}
+	if _, err := p.Expect(expr.LBrace); err != nil {
+		return nil, err
+	}
+	for p.Cur().Kind != expr.RBrace {
+		switch {
+		case p.atKeyword("var"):
+			v, err := p.varDecl()
+			if err != nil {
+				return nil, err
+			}
+			m.Vars = append(m.Vars, v)
+		case p.atKeyword("func"):
+			f, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			m.Funcs = append(m.Funcs, f)
+		default:
+			return nil, errAt(tokPos(p.Cur()), "expected var or func declaration, found %s", p.Cur())
+		}
+	}
+	return m, p.Advance() // consume }
+}
+
+func (p *parser) paramList() ([]Param, error) {
+	if _, err := p.Expect(expr.LParen); err != nil {
+		return nil, err
+	}
+	var params []Param
+	for p.Cur().Kind != expr.RParen {
+		if len(params) > 0 {
+			if _, err := p.Expect(expr.Comma); err != nil {
+				return nil, err
+			}
+		}
+		name, pos, err := p.identName()
+		if err != nil {
+			return nil, err
+		}
+		typ, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, Param{Name: name, Type: typ, Pos: pos})
+	}
+	return params, p.Advance() // consume )
+}
+
+func (p *parser) varDecl() (*VarDecl, error) {
+	pos := tokPos(p.Cur())
+	if err := p.keyword("var"); err != nil {
+		return nil, err
+	}
+	name, _, err := p.identName()
+	if err != nil {
+		return nil, err
+	}
+	typ, err := p.typeName()
+	if err != nil {
+		return nil, err
+	}
+	v := &VarDecl{Name: name, Type: typ, Pos: pos}
+	if ok, err := p.Got(expr.Eq); err != nil {
+		return nil, err
+	} else if ok {
+		if v.Init, err = p.ParseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	p.skipSemis()
+	return v, nil
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	pos := tokPos(p.Cur())
+	if err := p.keyword("func"); err != nil {
+		return nil, err
+	}
+	name, _, err := p.identName()
+	if err != nil {
+		return nil, err
+	}
+	f := &FuncDecl{Name: name, Pos: pos}
+	if f.Params, err = p.paramList(); err != nil {
+		return nil, err
+	}
+	if p.Cur().Kind == expr.Ident && (p.Cur().Text == "int" || p.Cur().Text == "bool") {
+		if f.Result, err = p.typeName(); err != nil {
+			return nil, err
+		}
+	}
+	if f.Body, err = p.block(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.Expect(expr.LBrace); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for p.Cur().Kind != expr.RBrace {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, p.Advance() // consume }
+}
+
+func (p *parser) skipSemis() {
+	for p.Cur().Kind == expr.Semicolon {
+		if p.Advance() != nil {
+			return
+		}
+	}
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.Cur()
+	pos := tokPos(t)
+	switch {
+	case p.atKeyword("var"):
+		v, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		return &VarStmt{Name: v.Name, Type: v.Type, Init: v.Init, Pos: v.Pos}, nil
+	case p.atKeyword("waituntil"):
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.Expect(expr.LParen); err != nil {
+			return nil, err
+		}
+		pred, err := p.ParseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.Expect(expr.RParen); err != nil {
+			return nil, err
+		}
+		p.skipSemis()
+		return &WaitStmt{Pred: pred, Pos: pos}, nil
+	case p.atKeyword("if"):
+		return p.ifStmt()
+	case p.atKeyword("while"):
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		cond, err := p.ParseExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSemis()
+		return &WhileStmt{Cond: cond, Body: body, Pos: pos}, nil
+	case p.atKeyword("return"):
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		r := &ReturnStmt{Pos: pos}
+		if p.Cur().Kind != expr.RBrace && p.Cur().Kind != expr.Semicolon {
+			var err error
+			if r.Expr, err = p.ParseExpr(); err != nil {
+				return nil, err
+			}
+		}
+		p.skipSemis()
+		return r, nil
+	case t.Kind == expr.Ident:
+		return p.assignOrShortDecl()
+	}
+	return nil, errAt(pos, "expected statement, found %s", t)
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	pos := tokPos(p.Cur())
+	if err := p.Advance(); err != nil { // consume "if"
+		return nil, err
+	}
+	cond, err := p.ParseExpr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then, Pos: pos}
+	if p.atKeyword("else") {
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		if p.atKeyword("if") {
+			elif, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = []Stmt{elif}
+		} else {
+			if s.Else, err = p.block(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	p.skipSemis()
+	return s, nil
+}
+
+func (p *parser) assignOrShortDecl() (Stmt, error) {
+	name, pos, err := p.identName()
+	if err != nil {
+		return nil, err
+	}
+	t := p.Cur()
+	switch t.Kind {
+	case expr.ColonEq:
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		init, err := p.ParseExpr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSemis()
+		// Type inferred during checking.
+		return &VarStmt{Name: name, Type: expr.TypeInvalid, Init: init, Pos: pos}, nil
+	case expr.Eq:
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.ParseExpr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSemis()
+		return &AssignStmt{Name: name, Op: 0, Expr: e, Pos: pos}, nil
+	case expr.PlusEq, expr.MinusEq:
+		op := byte('+')
+		if t.Kind == expr.MinusEq {
+			op = '-'
+		}
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.ParseExpr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSemis()
+		return &AssignStmt{Name: name, Op: op, Expr: e, Pos: pos}, nil
+	case expr.PlusPlus, expr.MinusLess:
+		op := byte('+')
+		if t.Kind == expr.MinusLess {
+			op = '-'
+		}
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		p.skipSemis()
+		return &AssignStmt{Name: name, Op: op, Expr: expr.I(1), Pos: pos}, nil
+	}
+	return nil, errAt(tokPos(t), "expected assignment after %q, found %s", name, t)
+}

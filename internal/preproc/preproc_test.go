@@ -1,0 +1,320 @@
+package preproc
+
+import (
+	goparser "go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+const bufferSrc = `
+// The paper's Fig. 1 bounded buffer, in MiniSynch.
+monitor BoundedBuffer(n int) {
+    var count int
+    var cap int = n
+
+    func Put(k int) {
+        waituntil(count + k <= cap)
+        count += k
+    }
+    func Take(k int) {
+        waituntil(count >= k)
+        count -= k
+    }
+    func Size() int {
+        return count
+    }
+}
+`
+
+func TestParseBuffer(t *testing.T) {
+	prog, err := Parse(bufferSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Monitors) != 1 {
+		t.Fatalf("monitors = %d", len(prog.Monitors))
+	}
+	m := prog.Monitors[0]
+	if m.Name != "BoundedBuffer" || len(m.Params) != 1 || len(m.Vars) != 2 || len(m.Funcs) != 3 {
+		t.Fatalf("shape: %+v", m)
+	}
+	if m.Params[0].Name != "n" || m.Params[0].Type != expr.TypeInt {
+		t.Errorf("param: %+v", m.Params[0])
+	}
+	if m.Vars[1].Init == nil || m.Vars[1].Init.String() != "n" {
+		t.Errorf("cap initializer: %+v", m.Vars[1])
+	}
+	put := m.Funcs[0]
+	if put.Name != "Put" || put.Result != expr.TypeInvalid || len(put.Body) != 2 {
+		t.Fatalf("Put: %+v", put)
+	}
+	if w, ok := put.Body[0].(*WaitStmt); !ok || w.Pred.String() != "count + k <= cap" {
+		t.Errorf("Put first stmt: %+v", put.Body[0])
+	}
+	size := m.Funcs[2]
+	if size.Result != expr.TypeInt {
+		t.Errorf("Size result: %v", size.Result)
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	src := `
+monitor M() {
+    var x int
+    var flag bool
+
+    func F(a int, b bool) int {
+        var y int = a + 1
+        z := y * 2
+        x = z
+        x += 1
+        x -= 2
+        x++
+        x--
+        flag = b
+        if x > 0 {
+            waituntil(x == a)
+        } else if flag {
+            while x < 10 {
+                x++
+            }
+        } else {
+            return 0
+        }
+        return x
+    }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(prog); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ src, errPart string }{
+		{"", "no monitor declarations"},
+		{"monitor {", "expected identifier"},
+		{"monitor M() { var }", "expected identifier"},
+		{"monitor M() { var x string }", "expected type"},
+		{"monitor M() { func f() { x & y } }", "unexpected character"},
+		{"monitor M() { func f() { 5 = 3 } }", "expected statement"},
+		{"monitor M() { func f() { waituntil x > 0 } }", "expected ("},
+		{"monitor M() { stray }", "expected var or func"},
+		{"monitor var() {}", "reserved word"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.errPart) {
+			t.Errorf("Parse(%q) error %v does not contain %q", c.src, err, c.errPart)
+		}
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct{ src, errPart string }{
+		{"monitor M() { var x int var x int }", "declared twice"},
+		{"monitor M(n int) { var n int }", "shadows a constructor parameter"},
+		{"monitor M() { var x bool = 3 }", "has type int, want bool"},
+		{"monitor M() { var x int = y }", "undeclared"},
+		{"monitor M() { var x int func f(x int) {} }", "shadows a shared variable"},
+		{"monitor M() { var x int func f() { x := 1 } }", "shadows a shared variable"},
+		{"monitor M() { func f() { y = 1 } }", "undeclared variable"},
+		{"monitor M() { var x int func f() { x = true } }", "cannot assign bool"},
+		{"monitor M() { var b bool func f() { b += true } }", "requires an int"},
+		{"monitor M(x int, x int) {}", "declared twice"},
+		{"monitor M() { var x int func f() { waituntil(x) } }", "must be bool"},
+		{"monitor M() { func f() int { var q int = 1 q = 2 } }", "missing return"},
+		{"monitor M() { func f() { return 3 } }", "no result"},
+		{"monitor M() { func f() int { return true } }", "return type bool"},
+		{"monitor M() { func f() int { } }", "missing return"},
+		{"monitor M() {} monitor M() {}", "monitor \"M\" declared twice"},
+		{"monitor M() { func f() {} func f() {} }", "declared twice"},
+		{"monitor M() { func f() { v := 1 v := 2 } }", "declared twice"},
+	}
+	for _, c := range cases {
+		prog, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q) failed early: %v", c.src, err)
+			continue
+		}
+		_, err = Check(prog)
+		if err == nil || !strings.Contains(err.Error(), c.errPart) {
+			t.Errorf("Check(%q) error %v does not contain %q", c.src, err, c.errPart)
+		}
+	}
+}
+
+func TestAllPathsReturn(t *testing.T) {
+	good := `
+monitor M() {
+    var x int
+    func f(a int) int {
+        if a > 0 {
+            return 1
+        } else {
+            return 2
+        }
+    }
+    func g() int {
+        while x < 5 {
+            x++
+        }
+        return x
+    }
+}
+`
+	prog, err := Parse(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	bad := `
+monitor M() {
+    func f(a int) int {
+        if a > 0 {
+            return 1
+        }
+    }
+}
+`
+	prog, err = Parse(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(prog); err == nil || !strings.Contains(err.Error(), "missing return") {
+		t.Errorf("want missing-return error, got %v", err)
+	}
+}
+
+func TestGenerateBufferCompiles(t *testing.T) {
+	code, err := Generate(bufferSrc, "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The generated file must be parseable Go.
+	fset := token.NewFileSet()
+	if _, err := goparser.ParseFile(fset, "gen.go", code, 0); err != nil {
+		t.Fatalf("generated code does not parse: %v\n%s", err, code)
+	}
+	for _, want := range []string{
+		"package demo",
+		"type BoundedBuffer struct",
+		"func NewBoundedBuffer(n int64) *BoundedBuffer",
+		`o.count = o.mon.NewInt("count", 0)`,
+		`o.cap = o.mon.NewInt("cap", n)`,
+		"o.mon.Enter()",
+		"defer o.mon.Exit()",
+		`o.mon.Await("count + k <= cap", autosynch.Bind("k", k))`,
+		"o.count.Set(o.count.Get() + (k))",
+		"func (o *BoundedBuffer) Size() int64",
+		"return o.count.Get()",
+		"MonitorStats",
+	} {
+		if !strings.Contains(code, want) {
+			t.Errorf("generated code missing %q:\n%s", want, code)
+		}
+	}
+}
+
+func TestGenerateStatements(t *testing.T) {
+	src := `
+monitor Counter(start int) {
+    var value int = start
+    var open bool = start > 0
+
+    func Bump(by int) int {
+        waituntil(open || value == 0)
+        if by > 0 {
+            value += by
+        } else {
+            value -= 0 - by
+        }
+        while value > 100 {
+            value -= 100
+        }
+        return value
+    }
+    func Toggle(b bool) {
+        open = b
+        waituntil(open == b)
+    }
+}
+`
+	code, err := Generate(src, "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	if _, err := goparser.ParseFile(fset, "gen.go", code, 0); err != nil {
+		t.Fatalf("generated code does not parse: %v\n%s", err, code)
+	}
+	for _, want := range []string{
+		`o.value = o.mon.NewInt("value", start)`,
+		`o.open = o.mon.NewBool("open", start > 0)`,
+		"for o.value.Get() > 100 {",
+		`autosynch.BindBool("b", b)`,
+		"if by > 0 {",
+		"} else {",
+	} {
+		if !strings.Contains(code, want) {
+			t.Errorf("generated code missing %q:\n%s", want, code)
+		}
+	}
+}
+
+func TestGenerateGoKeywordSanitized(t *testing.T) {
+	src := `
+monitor M() {
+    var type int
+    func Get() int {
+        return type
+    }
+}
+`
+	code, err := Generate(src, "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(code, "type_ *autosynch.IntCell") {
+		t.Errorf("keyword field not sanitized:\n%s", code)
+	}
+	if !strings.Contains(code, `o.mon.NewInt("type", 0)`) {
+		t.Errorf("shared name must stay unsanitized for predicates:\n%s", code)
+	}
+	fset := token.NewFileSet()
+	if _, err := goparser.ParseFile(fset, "gen.go", code, 0); err != nil {
+		t.Fatalf("generated code does not parse: %v\n%s", err, code)
+	}
+}
+
+func TestGenerateMultipleMonitors(t *testing.T) {
+	src := `
+monitor A() { var x int func F() { x = 1 } }
+monitor B() { var y bool func G() { y = true } }
+`
+	code, err := Generate(src, "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(code, "type A struct") || !strings.Contains(code, "type B struct") {
+		t.Errorf("missing monitors:\n%s", code)
+	}
+}
+
+func TestGenerateRejectsBadSource(t *testing.T) {
+	if _, err := Generate("monitor M() { func f() { y = 1 } }", "p"); err == nil {
+		t.Error("Generate accepted an undeclared variable")
+	}
+	if _, err := Generate("not minisynch", "p"); err == nil {
+		t.Error("Generate accepted garbage")
+	}
+}

@@ -1,0 +1,206 @@
+package problems
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// DefaultBarberChairs is the number of waiting chairs in the Fig. 10
+// workload.
+const DefaultBarberChairs = 8
+
+// RunBarber is the sleeping barber problem (§6.3.1, Fig. 10): one barber,
+// a bounded waiting room, customers that leave when no chair is free.
+// threads is the number of customer threads; totalOps the number of shop
+// visits attempted across all customers. Ops counts haircuts given; Check
+// is haircuts + balked visits − attempted visits (must be 0).
+func RunBarber(mech Mechanism, threads, totalOps int) Result {
+	return RunBarberChairs(mech, threads, totalOps, DefaultBarberChairs)
+}
+
+// RunBarberChairs is RunBarber with an explicit chair count.
+func RunBarberChairs(mech Mechanism, customers, totalOps, chairs int) Result {
+	visits := split(totalOps, customers)
+	switch mech {
+	case Explicit:
+		return runBarberExplicit(customers, visits, chairs)
+	case Baseline:
+		return runBarberBaseline(customers, visits, chairs)
+	default:
+		return runBarberAuto(mech, customers, visits, chairs)
+	}
+}
+
+// Shared state shape for all variants: waiting is the number of customers
+// in chairs, cuts the number of finished haircuts not yet collected by
+// their (fungible) customers, stop tells the barber to go home.
+
+func runBarberExplicit(customers int, visits []int, chairs int) Result {
+	m := core.NewExplicit()
+	customerArrived := m.NewCond() // barber waits for customers (or closing time)
+	cutReady := m.NewCond()        // waiting customers wait for a finished cut
+	waiting, cuts := 0, 0
+	stop := false
+	var haircuts, balked int64
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(1)
+	go func() { // the barber
+		defer wg.Done()
+		for {
+			m.Enter()
+			customerArrived.Await(func() bool { return waiting > 0 || stop })
+			if waiting == 0 && stop {
+				m.Exit()
+				return
+			}
+			waiting--
+			cuts++
+			haircuts++
+			cutReady.Signal()
+			m.Exit()
+		}
+	}()
+	var cwg sync.WaitGroup
+	for c := 0; c < customers; c++ {
+		cwg.Add(1)
+		go func(n int) {
+			defer cwg.Done()
+			for i := 0; i < n; i++ {
+				m.Enter()
+				if waiting == chairs {
+					balkedUnderLock(&balked)
+					m.Exit()
+					continue
+				}
+				waiting++
+				customerArrived.Signal()
+				cutReady.Await(func() bool { return cuts > 0 })
+				cuts--
+				m.Exit()
+			}
+		}(visits[c])
+	}
+	cwg.Wait()
+	m.Enter()
+	stop = true
+	customerArrived.Signal()
+	m.Exit()
+	wg.Wait()
+	elapsed := time.Since(start)
+	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: haircuts, Check: haircuts + balked - opsSum(visits)}
+}
+
+func runBarberBaseline(customers int, visits []int, chairs int) Result {
+	m := core.NewBaseline()
+	waiting, cuts := 0, 0
+	stop := false
+	var haircuts, balked int64
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			m.Enter()
+			m.Await(func() bool { return waiting > 0 || stop })
+			if waiting == 0 && stop {
+				m.Exit()
+				return
+			}
+			waiting--
+			cuts++
+			haircuts++
+			m.Exit()
+		}
+	}()
+	var cwg sync.WaitGroup
+	for c := 0; c < customers; c++ {
+		cwg.Add(1)
+		go func(n int) {
+			defer cwg.Done()
+			for i := 0; i < n; i++ {
+				m.Enter()
+				if waiting == chairs {
+					balkedUnderLock(&balked)
+					m.Exit()
+					continue
+				}
+				waiting++
+				m.Await(func() bool { return cuts > 0 })
+				cuts--
+				m.Exit()
+			}
+		}(visits[c])
+	}
+	cwg.Wait()
+	m.Do(func() { stop = true })
+	wg.Wait()
+	elapsed := time.Since(start)
+	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: haircuts, Check: haircuts + balked - opsSum(visits)}
+}
+
+func runBarberAuto(mech Mechanism, customers int, visits []int, chairs int) Result {
+	m := newAuto(mech)
+	waiting := m.NewInt("waiting", 0)
+	cuts := m.NewInt("cuts", 0)
+	stop := m.NewBool("stop", false)
+	var haircuts, balked int64
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			m.Enter()
+			if err := m.Await("waiting > 0 || stop"); err != nil {
+				panic(err)
+			}
+			if waiting.Get() == 0 && stop.Get() {
+				m.Exit()
+				return
+			}
+			waiting.Add(-1)
+			cuts.Add(1)
+			haircuts++
+			m.Exit()
+		}
+	}()
+	var cwg sync.WaitGroup
+	for c := 0; c < customers; c++ {
+		cwg.Add(1)
+		go func(n int) {
+			defer cwg.Done()
+			for i := 0; i < n; i++ {
+				m.Enter()
+				if waiting.Get() == int64(chairs) {
+					balkedUnderLock(&balked)
+					m.Exit()
+					continue
+				}
+				waiting.Add(1)
+				if err := m.Await("cuts > 0"); err != nil {
+					panic(err)
+				}
+				cuts.Add(-1)
+				m.Exit()
+			}
+		}(visits[c])
+	}
+	cwg.Wait()
+	m.Do(func() { stop.Set(true) })
+	wg.Wait()
+	elapsed := time.Since(start)
+	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: haircuts, Check: haircuts + balked - opsSum(visits)}
+}
+
+// balkedUnderLock increments the balk counter; callers hold the monitor.
+func balkedUnderLock(balked *int64) { *balked++ }

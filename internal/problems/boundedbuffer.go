@@ -1,0 +1,171 @@
+package problems
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// DefaultBufferCap is the buffer capacity used by the Fig. 8 workload.
+const DefaultBufferCap = 64
+
+// RunBoundedBuffer is the classical bounded-buffer problem (§6.3.1,
+// Fig. 8): producers wait while the buffer is full, consumers while it is
+// empty, one item per operation. threads is the total number of producers
+// plus consumers (half each, at least one each); totalOps is the number of
+// items pushed through the buffer. Check is the final buffer occupancy
+// (must be 0).
+func RunBoundedBuffer(mech Mechanism, threads, totalOps int) Result {
+	return RunBoundedBufferCap(mech, threads, totalOps, DefaultBufferCap)
+}
+
+// RunBoundedBufferCap is RunBoundedBuffer with an explicit capacity.
+func RunBoundedBufferCap(mech Mechanism, threads, totalOps, capacity int) Result {
+	producers := threads / 2
+	if producers == 0 {
+		producers = 1
+	}
+	consumers := threads - producers
+	if consumers == 0 {
+		consumers = 1
+	}
+	prodOps := split(totalOps, producers)
+	consOps := split(totalOps, consumers)
+
+	switch mech {
+	case Explicit:
+		return runBBExplicit(producers, consumers, prodOps, consOps, capacity)
+	case Baseline:
+		return runBBBaseline(producers, consumers, prodOps, consOps, capacity)
+	default:
+		return runBBAuto(mech, producers, consumers, prodOps, consOps, capacity)
+	}
+}
+
+func runBBExplicit(producers, consumers int, prodOps, consOps []int, capacity int) Result {
+	m := core.NewExplicit()
+	notFull := m.NewCond()
+	notEmpty := m.NewCond()
+	count := 0
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(ops int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				m.Enter()
+				notFull.Await(func() bool { return count < capacity })
+				count++
+				notEmpty.Signal()
+				m.Exit()
+			}
+		}(prodOps[p])
+	}
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(ops int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				m.Enter()
+				notEmpty.Await(func() bool { return count > 0 })
+				count--
+				notFull.Signal()
+				m.Exit()
+			}
+		}(consOps[c])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: opsSum(prodOps) + opsSum(consOps), Check: int64(count)}
+}
+
+func runBBBaseline(producers, consumers int, prodOps, consOps []int, capacity int) Result {
+	m := core.NewBaseline()
+	count := 0
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(ops int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				m.Enter()
+				m.Await(func() bool { return count < capacity })
+				count++
+				m.Exit()
+			}
+		}(prodOps[p])
+	}
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(ops int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				m.Enter()
+				m.Await(func() bool { return count > 0 })
+				count--
+				m.Exit()
+			}
+		}(consOps[c])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: opsSum(prodOps) + opsSum(consOps), Check: int64(count)}
+}
+
+func runBBAuto(mech Mechanism, producers, consumers int, prodOps, consOps []int, capacity int) Result {
+	m := newAuto(mech)
+	count := m.NewInt("count", 0)
+	m.NewInt("cap", int64(capacity))
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(ops int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				m.Enter()
+				if err := m.Await("count < cap"); err != nil {
+					panic(err)
+				}
+				count.Add(1)
+				m.Exit()
+			}
+		}(prodOps[p])
+	}
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(ops int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				m.Enter()
+				if err := m.Await("count > 0"); err != nil {
+					panic(err)
+				}
+				count.Add(-1)
+				m.Exit()
+			}
+		}(consOps[c])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var check int64
+	m.Do(func() { check = count.Get() })
+	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: opsSum(prodOps) + opsSum(consOps), Check: check}
+}
+
+func opsSum(ops []int) int64 {
+	var s int64
+	for _, o := range ops {
+		s += int64(o)
+	}
+	return s
+}

@@ -1,0 +1,214 @@
+package problems
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// RunH2O is the water-building problem (§6.3.1, Fig. 9): hydrogen threads
+// offer atoms and wait to be bonded; a single oxygen thread (as in the
+// paper's setup) waits for two hydrogens and forms a molecule.
+//
+// threads is the number of hydrogen threads (minimum 2 — a single
+// hydrogen can never have two offers outstanding, so one thread cannot
+// complete a molecule); totalOps is the number of hydrogen atoms to bond
+// (rounded up to even). Hydrogen threads draw work until the oxygen has
+// formed every molecule: a quota per hydrogen thread would deadlock at the
+// tail, when the one remaining thread cannot pair with itself, so the
+// termination condition lives in the waiting predicate itself
+// (hBonded > 0 || done) and stragglers retract their unpaired offers.
+// Ops counts molecules; Check verifies every bonding slot was consumed and
+// no offers leaked.
+func RunH2O(mech Mechanism, threads, totalOps int) Result {
+	if threads < 2 {
+		threads = 2
+	}
+	if totalOps%2 != 0 {
+		totalOps++
+	}
+	molecules := totalOps / 2
+	switch mech {
+	case Explicit:
+		return runH2OExplicit(threads, molecules)
+	case Baseline:
+		return runH2OBaseline(threads, molecules)
+	default:
+		return runH2OAuto(mech, threads, molecules)
+	}
+}
+
+// Shared state: hAvail hydrogens offered and unclaimed, hBonded bonding
+// slots produced by the oxygen and not yet collected, done set by the
+// oxygen after the last molecule.
+
+func runH2OExplicit(threads, molecules int) Result {
+	m := core.NewExplicit()
+	oxygenReady := m.NewCond() // oxygen waits for 2 hydrogens
+	bonded := m.NewCond()      // hydrogens wait to be bonded (or closing time)
+	hAvail, hBonded := 0, 0
+	doneFlag := false
+	var water, consumed int64
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(1)
+	go func() { // the oxygen thread
+		defer wg.Done()
+		for w := 0; w < molecules; w++ {
+			m.Enter()
+			oxygenReady.Await(func() bool { return hAvail >= 2 })
+			hAvail -= 2
+			hBonded += 2
+			water++
+			bonded.Signal()
+			bonded.Signal()
+			m.Exit()
+		}
+		m.Enter()
+		doneFlag = true
+		bonded.Broadcast() // release every straggler
+		m.Exit()
+	}()
+	for h := 0; h < threads; h++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m.Enter()
+				if doneFlag && hBonded == 0 {
+					m.Exit()
+					return
+				}
+				hAvail++
+				if hAvail >= 2 {
+					oxygenReady.Signal()
+				}
+				bonded.Await(func() bool { return hBonded > 0 || doneFlag })
+				if hBonded > 0 {
+					hBonded--
+					consumed++
+					m.Exit()
+					continue
+				}
+				hAvail-- // closing time: retract the unpaired offer
+				m.Exit()
+				return
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: water, Check: 2*water - consumed + int64(hAvail) + int64(hBonded)}
+}
+
+func runH2OBaseline(threads, molecules int) Result {
+	m := core.NewBaseline()
+	hAvail, hBonded := 0, 0
+	doneFlag := false
+	var water, consumed int64
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for w := 0; w < molecules; w++ {
+			m.Enter()
+			m.Await(func() bool { return hAvail >= 2 })
+			hAvail -= 2
+			hBonded += 2
+			water++
+			m.Exit()
+		}
+		m.Do(func() { doneFlag = true })
+	}()
+	for h := 0; h < threads; h++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m.Enter()
+				if doneFlag && hBonded == 0 {
+					m.Exit()
+					return
+				}
+				hAvail++
+				m.Await(func() bool { return hBonded > 0 || doneFlag })
+				if hBonded > 0 {
+					hBonded--
+					consumed++
+					m.Exit()
+					continue
+				}
+				hAvail--
+				m.Exit()
+				return
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: water, Check: 2*water - consumed + int64(hAvail) + int64(hBonded)}
+}
+
+func runH2OAuto(mech Mechanism, threads, molecules int) Result {
+	m := newAuto(mech)
+	hAvail := m.NewInt("hAvail", 0)
+	hBonded := m.NewInt("hBonded", 0)
+	done := m.NewBool("done", false)
+	var water, consumed int64
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for w := 0; w < molecules; w++ {
+			m.Enter()
+			if err := m.Await("hAvail >= 2"); err != nil {
+				panic(err)
+			}
+			hAvail.Add(-2)
+			hBonded.Add(2)
+			water++
+			m.Exit()
+		}
+		m.Do(func() { done.Set(true) })
+	}()
+	for h := 0; h < threads; h++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m.Enter()
+				if done.Get() && hBonded.Get() == 0 {
+					m.Exit()
+					return
+				}
+				hAvail.Add(1)
+				if err := m.Await("hBonded > 0 || done"); err != nil {
+					panic(err)
+				}
+				if hBonded.Get() > 0 {
+					hBonded.Add(-1)
+					consumed++
+					m.Exit()
+					continue
+				}
+				hAvail.Add(-1)
+				m.Exit()
+				return
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var leak int64
+	m.Do(func() { leak = hAvail.Get() + hBonded.Get() })
+	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: water, Check: 2*water - consumed + leak}
+}

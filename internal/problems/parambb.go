@@ -1,0 +1,206 @@
+package problems
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Parameters of the Fig. 14/15 workload: one producer putting a random
+// 1..MaxBatch items per call, N consumers each taking a random 1..MaxBatch
+// items per call, buffer capacity ParamBufferCap.
+//
+// The capacity must be at least 2·MaxBatch for liveness: whenever the
+// producer is blocked, count > cap − MaxBatch ≥ MaxBatch, so every
+// consumer's demand is satisfiable and the system cannot wedge with the
+// producer and all consumers waiting on each other.
+const (
+	MaxBatch       = 128
+	ParamBufferCap = 2 * MaxBatch
+)
+
+// RunParamBoundedBuffer is the parameterized bounded-buffer problem of
+// Fig. 1 and §6.3.3 — the workload where the explicit-signal mechanism
+// must resort to signalAll, because nobody knows which waiting consumer's
+// batch size is satisfiable. One producer keeps putting random batches
+// until every consumer finishes; threads is the number of consumers;
+// totalOps the total number of take operations. Ops counts takes; Check
+// is items produced − items consumed − final occupancy (must be 0).
+//
+// Only the explicit and AutoSynch mechanisms appear in Fig. 14/15; this
+// runner also supports the other two for completeness.
+func RunParamBoundedBuffer(mech Mechanism, threads, totalOps int) Result {
+	takes := split(totalOps, threads)
+	switch mech {
+	case Explicit:
+		return runPBBExplicit(threads, takes)
+	case Baseline:
+		return runPBBBaseline(threads, takes)
+	default:
+		return runPBBAuto(mech, threads, takes)
+	}
+}
+
+func runPBBExplicit(consumers int, takes []int) Result {
+	m := core.NewExplicit()
+	insufficientSpace := m.NewCond()
+	insufficientItem := m.NewCond()
+	count := 0
+	stop := false
+	var produced, consumed int64
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(1)
+	go func() { // the producer
+		defer wg.Done()
+		rng := newRand(1)
+		for {
+			k := int(rng.intn(MaxBatch))
+			m.Enter()
+			insufficientSpace.Await(func() bool { return count+k <= ParamBufferCap || stop })
+			if stop {
+				m.Exit()
+				return
+			}
+			count += k
+			produced += int64(k)
+			// Which consumers can proceed depends on their private batch
+			// sizes: the explicit version must wake them all (§3).
+			insufficientItem.Broadcast()
+			m.Exit()
+		}
+	}()
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func(c, ops int) {
+			defer cwg.Done()
+			rng := newRand(uint64(c) + 2)
+			for i := 0; i < ops; i++ {
+				num := int(rng.intn(MaxBatch))
+				m.Enter()
+				insufficientItem.Await(func() bool { return count >= num })
+				count -= num
+				consumed += int64(num)
+				insufficientSpace.Broadcast()
+				m.Exit()
+			}
+		}(c, takes[c])
+	}
+	cwg.Wait()
+	m.Enter()
+	stop = true
+	insufficientSpace.Broadcast()
+	m.Exit()
+	wg.Wait()
+	elapsed := time.Since(start)
+	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: opsSum(takes), Check: produced - consumed - int64(count)}
+}
+
+func runPBBBaseline(consumers int, takes []int) Result {
+	m := core.NewBaseline()
+	count := 0
+	stop := false
+	var produced, consumed int64
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := newRand(1)
+		for {
+			k := int(rng.intn(MaxBatch))
+			m.Enter()
+			m.Await(func() bool { return count+k <= ParamBufferCap || stop })
+			if stop {
+				m.Exit()
+				return
+			}
+			count += k
+			produced += int64(k)
+			m.Exit()
+		}
+	}()
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func(c, ops int) {
+			defer cwg.Done()
+			rng := newRand(uint64(c) + 2)
+			for i := 0; i < ops; i++ {
+				num := int(rng.intn(MaxBatch))
+				m.Enter()
+				m.Await(func() bool { return count >= num })
+				count -= num
+				consumed += int64(num)
+				m.Exit()
+			}
+		}(c, takes[c])
+	}
+	cwg.Wait()
+	m.Do(func() { stop = true })
+	wg.Wait()
+	elapsed := time.Since(start)
+	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: opsSum(takes), Check: produced - consumed - int64(count)}
+}
+
+func runPBBAuto(mech Mechanism, consumers int, takes []int) Result {
+	m := newAuto(mech)
+	count := m.NewInt("count", 0)
+	m.NewInt("cap", ParamBufferCap)
+	stop := m.NewBool("stop", false)
+	var produced, consumed int64
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := newRand(1)
+		for {
+			k := rng.intn(MaxBatch)
+			m.Enter()
+			if err := m.Await("count + k <= cap || stop", core.BindInt("k", k)); err != nil {
+				panic(err)
+			}
+			if stop.Get() {
+				m.Exit()
+				return
+			}
+			count.Add(k)
+			produced += k
+			m.Exit()
+		}
+	}()
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func(c, ops int) {
+			defer cwg.Done()
+			rng := newRand(uint64(c) + 2)
+			for i := 0; i < ops; i++ {
+				num := rng.intn(MaxBatch)
+				m.Enter()
+				if err := m.Await("count >= num", core.BindInt("num", num)); err != nil {
+					panic(err)
+				}
+				count.Add(-num)
+				consumed += num
+				m.Exit()
+			}
+		}(c, takes[c])
+	}
+	cwg.Wait()
+	m.Do(func() { stop.Set(true) })
+	wg.Wait()
+	elapsed := time.Since(start)
+	var final int64
+	m.Do(func() { final = count.Get() })
+	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: opsSum(takes), Check: produced - consumed - final}
+}

@@ -1,0 +1,156 @@
+package problems
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// RunPhilosophers is the dining philosophers problem (§6.3.2, Fig. 13):
+// each philosopher needs both adjacent chopsticks, picked up atomically
+// under the monitor, and contends only with two neighbours — which is why
+// the explicit mechanism's edge over automatic signaling stays small in
+// the paper's results. threads is the number of philosophers (≥ 2);
+// totalOps the total number of meals. Ops counts meals; Check must be 0
+// (all chopsticks back on the table).
+func RunPhilosophers(mech Mechanism, threads, totalOps int) Result {
+	if threads < 2 {
+		threads = 2
+	}
+	meals := split(totalOps, threads)
+	switch mech {
+	case Explicit:
+		return runPhilExplicit(threads, meals)
+	case Baseline:
+		return runPhilBaseline(threads, meals)
+	default:
+		return runPhilAuto(mech, threads, meals)
+	}
+}
+
+func runPhilExplicit(n int, meals []int) Result {
+	m := core.NewExplicit()
+	held := make([]bool, n) // held[i]: chopstick i is in use
+	conds := make([]*core.Cond, n)
+	for i := range conds {
+		conds[i] = m.NewCond()
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id, ops int) {
+			defer wg.Done()
+			left, right := id, (id+1)%n
+			for i := 0; i < ops; i++ {
+				m.Enter()
+				conds[id].Await(func() bool { return !held[left] && !held[right] })
+				held[left], held[right] = true, true
+				m.Exit()
+				// eat (empty: saturation test)
+				m.Enter()
+				held[left], held[right] = false, false
+				// Only the two neighbours can newly become eligible.
+				conds[(id+n-1)%n].Signal()
+				conds[(id+1)%n].Signal()
+				m.Exit()
+			}
+		}(id, meals[id])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var down int64
+	for _, h := range held {
+		if h {
+			down++
+		}
+	}
+	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: opsSum(meals), Check: down}
+}
+
+func runPhilBaseline(n int, meals []int) Result {
+	m := core.NewBaseline()
+	held := make([]bool, n)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id, ops int) {
+			defer wg.Done()
+			left, right := id, (id+1)%n
+			for i := 0; i < ops; i++ {
+				m.Enter()
+				m.Await(func() bool { return !held[left] && !held[right] })
+				held[left], held[right] = true, true
+				m.Exit()
+				m.Enter()
+				held[left], held[right] = false, false
+				m.Exit()
+			}
+		}(id, meals[id])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var down int64
+	for _, h := range held {
+		if h {
+			down++
+		}
+	}
+	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: opsSum(meals), Check: down}
+}
+
+func runPhilAuto(mech Mechanism, n int, meals []int) Result {
+	m := newAuto(mech)
+	held := make([]*core.BoolCell, n)
+	for i := range held {
+		held[i] = m.NewBool(fmt.Sprintf("c%d", i), false)
+	}
+	// Each philosopher's waiting condition is a static shared predicate
+	// over its two chopsticks; the runtime registers each exactly once.
+	preds := make([]string, n)
+	for i := range preds {
+		preds[i] = fmt.Sprintf("!c%d && !c%d", i, (i+1)%n)
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id, ops int) {
+			defer wg.Done()
+			left, right := id, (id+1)%n
+			for i := 0; i < ops; i++ {
+				m.Enter()
+				if err := m.Await(preds[id]); err != nil {
+					panic(err)
+				}
+				held[left].Set(true)
+				held[right].Set(true)
+				m.Exit()
+				m.Enter()
+				held[left].Set(false)
+				held[right].Set(false)
+				m.Exit()
+			}
+		}(id, meals[id])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var down int64
+	m.Do(func() {
+		for _, h := range held {
+			if h.Get() {
+				down++
+			}
+		}
+	})
+	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: opsSum(meals), Check: down}
+}

@@ -1,0 +1,131 @@
+// Package problems implements the seven conditional-synchronization
+// problems of the paper's evaluation (§6.3), each against the four
+// signaling mechanisms of §6.2 (explicit, baseline, AutoSynch-T,
+// AutoSynch). All workloads are saturation tests: the threads do nothing
+// but monitor operations, so the measured time is synchronization cost.
+package problems
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Mechanism selects a signaling mechanism for a problem run.
+type Mechanism int
+
+// The four mechanisms compared throughout the evaluation.
+const (
+	Explicit   Mechanism = iota // manual condition variables and signals
+	Baseline                    // one condition variable, signalAll everywhere
+	AutoSynchT                  // automatic signaling without predicate tags
+	AutoSynch                   // the full mechanism
+)
+
+// All lists every mechanism in presentation order.
+var All = []Mechanism{Explicit, Baseline, AutoSynchT, AutoSynch}
+
+// Automatic lists the two AutoSynch variants.
+var Automatic = []Mechanism{AutoSynchT, AutoSynch}
+
+func (m Mechanism) String() string {
+	switch m {
+	case Explicit:
+		return "explicit"
+	case Baseline:
+		return "baseline"
+	case AutoSynchT:
+		return "autosynch-t"
+	case AutoSynch:
+		return "autosynch"
+	}
+	return fmt.Sprintf("Mechanism(%d)", int(m))
+}
+
+// ParseMechanism is the inverse of String.
+func ParseMechanism(s string) (Mechanism, error) {
+	for _, m := range All {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown mechanism %q", s)
+}
+
+// newAuto builds the monitor for one of the two automatic variants.
+func newAuto(mech Mechanism, opts ...core.Option) *core.Monitor {
+	if mech == AutoSynchT {
+		opts = append(opts, core.WithoutTagging())
+	}
+	return core.New(opts...)
+}
+
+// Result is the outcome of one problem run.
+type Result struct {
+	Mechanism Mechanism
+	Elapsed   time.Duration
+	Stats     core.Stats
+	Ops       int64 // completed operations (problem-specific unit)
+	Check     int64 // problem-specific conservation value; see each problem
+}
+
+// Throughput returns operations per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// Runner runs a problem at a given scale: threads is the problem's
+// x-axis unit (see each problem's documentation) and totalOps the overall
+// amount of work, held constant across thread counts so runs are
+// comparable, as in the paper's saturation protocol.
+type Runner func(mech Mechanism, threads, totalOps int) Result
+
+// Registry maps experiment problem names to runners. Keys are the names
+// used by cmd/autosynch-bench and the EXPERIMENTS.md index.
+var Registry = map[string]Runner{
+	"bounded-buffer":       RunBoundedBuffer,
+	"sleeping-barber":      RunBarber,
+	"h2o":                  RunH2O,
+	"round-robin":          RunRoundRobin,
+	"readers-writers":      RunReadersWriters,
+	"dining-philosophers":  RunPhilosophers,
+	"parameterized-buffer": RunParamBoundedBuffer,
+}
+
+// split divides total into n near-equal positive parts.
+func split(total, n int) []int {
+	parts := make([]int, n)
+	base, rem := total/n, total%n
+	for i := range parts {
+		parts[i] = base
+		if i < rem {
+			parts[i]++
+		}
+	}
+	return parts
+}
+
+// xorshift64 is a tiny per-goroutine PRNG so random workloads do not
+// contend on a shared source.
+type xorshift64 uint64
+
+func newRand(seed uint64) xorshift64 {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return xorshift64(seed)
+}
+
+// intn returns a pseudo-random value in [1, n].
+func (x *xorshift64) intn(n int64) int64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift64(v)
+	return int64(v%uint64(n)) + 1
+}

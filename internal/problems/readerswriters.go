@@ -1,0 +1,252 @@
+package problems
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// DefaultReaderRatio is the readers-per-writer ratio of the Fig. 12
+// workload (2/10, 4/20, …, 64/320).
+const DefaultReaderRatio = 5
+
+// RunReadersWriters is the ticket-ordered readers/writers problem
+// (§6.3.2, Fig. 12), following Buhr & Harji: every arriving reader or
+// writer takes a ticket; admission is strictly in ticket order, readers
+// may overlap, writers are exclusive. Each waiter's condition mentions its
+// own ticket, making this a complex-predicate workload with an unbounded
+// key space — the stress case for predicate reuse and the inactive list.
+//
+// threads is the number of writers; readers are DefaultReaderRatio times
+// as many. totalOps is the total number of accesses (split between the
+// two classes in ratio). Ops counts accesses; Check must be 0 (no reader
+// or writer left inside).
+func RunReadersWriters(mech Mechanism, threads, totalOps int) Result {
+	writers := threads
+	readers := threads * DefaultReaderRatio
+	writerShare := totalOps / (DefaultReaderRatio + 1)
+	return RunReadersWritersN(mech, writers, readers, writerShare, totalOps-writerShare)
+}
+
+// RunReadersWritersN runs with explicit populations and operation totals.
+func RunReadersWritersN(mech Mechanism, writers, readers, writerOps, readerOps int) Result {
+	wOps := split(writerOps, writers)
+	rOps := split(readerOps, readers)
+	switch mech {
+	case Explicit:
+		return runRWExplicit(writers, readers, wOps, rOps)
+	case Baseline:
+		return runRWBaseline(writers, readers, wOps, rOps)
+	default:
+		return runRWAuto(mech, writers, readers, wOps, rOps)
+	}
+}
+
+// Shared state: tickets (next to hand out), serving (next to admit),
+// active readers count, writing flag. Admission advances serving, so the
+// successor can be admitted as soon as its class constraints allow.
+
+func runRWExplicit(writers, readers int, wOps, rOps []int) Result {
+	m := core.NewExplicit()
+	var tickets, serving int64
+	activeReaders := 0
+	writing := false
+	// The explicit-signal version of ticket ordering needs a condition
+	// per outstanding ticket — the "complicated code" §3 alludes to. A
+	// map from ticket to condition variable plays the array role.
+	conds := map[int64]*core.Cond{}
+	admitNext := func() {
+		if c, ok := conds[serving]; ok {
+			c.Signal()
+		}
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(ops int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				m.Enter()
+				t := tickets
+				tickets++
+				if !(serving == t && !writing && activeReaders == 0) {
+					c, ok := conds[t]
+					if !ok {
+						c = m.NewCond()
+						conds[t] = c
+					}
+					c.Await(func() bool { return serving == t && !writing && activeReaders == 0 })
+					delete(conds, t)
+				}
+				writing = true
+				serving++
+				m.Exit()
+				// write section (empty: saturation test)
+				m.Enter()
+				writing = false
+				admitNext()
+				m.Exit()
+			}
+		}(wOps[w])
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(ops int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				m.Enter()
+				t := tickets
+				tickets++
+				if !(serving == t && !writing) {
+					c, ok := conds[t]
+					if !ok {
+						c = m.NewCond()
+						conds[t] = c
+					}
+					c.Await(func() bool { return serving == t && !writing })
+					delete(conds, t)
+				}
+				activeReaders++
+				serving++
+				admitNext()
+				m.Exit()
+				// read section (empty)
+				m.Enter()
+				activeReaders--
+				if activeReaders == 0 {
+					admitNext()
+				}
+				m.Exit()
+			}
+		}(rOps[r])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	check := int64(activeReaders)
+	if writing {
+		check++
+	}
+	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: opsSum(wOps) + opsSum(rOps), Check: check}
+}
+
+func runRWBaseline(writers, readers int, wOps, rOps []int) Result {
+	m := core.NewBaseline()
+	var tickets, serving int64
+	activeReaders := 0
+	writing := false
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(ops int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				m.Enter()
+				t := tickets
+				tickets++
+				m.Await(func() bool { return serving == t && !writing && activeReaders == 0 })
+				writing = true
+				serving++
+				m.Exit()
+				m.Enter()
+				writing = false
+				m.Exit()
+			}
+		}(wOps[w])
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(ops int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				m.Enter()
+				t := tickets
+				tickets++
+				m.Await(func() bool { return serving == t && !writing })
+				activeReaders++
+				serving++
+				m.Exit()
+				m.Enter()
+				activeReaders--
+				m.Exit()
+			}
+		}(rOps[r])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	check := int64(activeReaders)
+	if writing {
+		check++
+	}
+	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: opsSum(wOps) + opsSum(rOps), Check: check}
+}
+
+func runRWAuto(mech Mechanism, writers, readers int, wOps, rOps []int) Result {
+	m := newAuto(mech)
+	tickets := m.NewInt("tickets", 0)
+	serving := m.NewInt("serving", 0)
+	activeReaders := m.NewInt("activeReaders", 0)
+	writing := m.NewBool("writing", false)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(ops int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				m.Enter()
+				t := tickets.Get()
+				tickets.Add(1)
+				if err := m.Await("serving == t && !writing && activeReaders == 0",
+					core.BindInt("t", t)); err != nil {
+					panic(err)
+				}
+				writing.Set(true)
+				serving.Add(1)
+				m.Exit()
+				m.Enter()
+				writing.Set(false)
+				m.Exit()
+			}
+		}(wOps[w])
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(ops int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				m.Enter()
+				t := tickets.Get()
+				tickets.Add(1)
+				if err := m.Await("serving == t && !writing",
+					core.BindInt("t", t)); err != nil {
+					panic(err)
+				}
+				activeReaders.Add(1)
+				serving.Add(1)
+				m.Exit()
+				m.Enter()
+				activeReaders.Add(-1)
+				m.Exit()
+			}
+		}(rOps[r])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var check int64
+	m.Do(func() {
+		check = activeReaders.Get()
+		if writing.Get() {
+			check++
+		}
+	})
+	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: opsSum(wOps) + opsSum(rOps), Check: check}
+}

@@ -1,0 +1,143 @@
+package problems
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// RunRoundRobin is the round-robin access pattern (§6.3.2, Fig. 11):
+// threads take turns entering the monitor in a fixed cyclic order. Each
+// thread's waiting condition turn == id mentions its thread-local id, so
+// this is the canonical complex-predicate workload: the explicit version
+// keeps an array of condition variables and signals exactly the next
+// thread; AutoSynch recovers the same O(1) behaviour through equivalence
+// tags on the shared expression turn, while AutoSynch-T degrades to a
+// linear scan — the contrast shown in Fig. 11 and Table 1.
+//
+// threads is the ring size; totalOps the total number of turns taken
+// (rounded down to a whole number of rounds). Ops counts turns taken;
+// Check is turn's final value, which is 0 when every thread completed all
+// of its rounds.
+func RunRoundRobin(mech Mechanism, threads, totalOps int) Result {
+	rounds := totalOps / threads
+	if rounds == 0 {
+		rounds = 1
+	}
+	switch mech {
+	case Explicit:
+		return runRRExplicit(threads, rounds)
+	case Baseline:
+		return runRRBaseline(threads, rounds)
+	default:
+		return runRRAuto(mech, threads, rounds)
+	}
+}
+
+// RunRoundRobinProfiled runs the automatic variants with the Table 1 phase
+// timers enabled, and the explicit variant with lock/await timing.
+func RunRoundRobinProfiled(mech Mechanism, threads, totalOps int) Result {
+	rounds := totalOps / threads
+	if rounds == 0 {
+		rounds = 1
+	}
+	switch mech {
+	case Explicit:
+		return runRRExplicitOpts(threads, rounds, core.WithProfiling())
+	case Baseline:
+		return runRRBaseline(threads, rounds)
+	default:
+		return runRRAutoOpts(mech, threads, rounds, core.WithProfiling())
+	}
+}
+
+func runRRExplicit(threads, rounds int) Result {
+	return runRRExplicitOpts(threads, rounds)
+}
+
+func runRRExplicitOpts(threads, rounds int, opts ...core.Option) Result {
+	m := core.NewExplicit(opts...)
+	conds := make([]*core.Cond, threads)
+	for i := range conds {
+		conds[i] = m.NewCond()
+	}
+	turn := 0
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for id := 0; id < threads; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				m.Enter()
+				conds[id].Await(func() bool { return turn == id })
+				turn = (turn + 1) % threads
+				conds[turn].Signal()
+				m.Exit()
+			}
+		}(id)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: int64(threads) * int64(rounds), Check: int64(turn)}
+}
+
+func runRRBaseline(threads, rounds int) Result {
+	m := core.NewBaseline()
+	turn := 0
+	var wg sync.WaitGroup
+	start := time.Now()
+	for id := 0; id < threads; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				m.Enter()
+				m.Await(func() bool { return turn == id })
+				turn = (turn + 1) % threads
+				m.Exit()
+			}
+		}(id)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: int64(threads) * int64(rounds), Check: int64(turn)}
+}
+
+func runRRAuto(mech Mechanism, threads, rounds int) Result {
+	return runRRAutoOpts(mech, threads, rounds)
+}
+
+func runRRAutoOpts(mech Mechanism, threads, rounds int, opts ...core.Option) Result {
+	m := newAuto(mech, opts...)
+	turn := m.NewInt("turn", 0)
+	n := int64(threads)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for id := 0; id < threads; id++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				m.Enter()
+				if err := m.Await("turn == id", core.BindInt("id", id)); err != nil {
+					panic(fmt.Sprintf("round-robin waiter %d: %v", id, err))
+				}
+				turn.Set((turn.Get() + 1) % n)
+				m.Exit()
+			}
+		}(int64(id))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var finalTurn int64
+	m.Do(func() { finalTurn = turn.Get() })
+	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: int64(threads) * int64(rounds), Check: finalTurn}
+}

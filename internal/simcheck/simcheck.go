@@ -1,0 +1,318 @@
+// Package simcheck model-checks the AutoSynch signaling algorithm.
+//
+// The production runtime (internal/core) rides on sync.Mutex and
+// sync.Cond, whose scheduling cannot be controlled from a test, so its
+// correctness arguments — Proposition 1 (globalization is sound),
+// Proposition 2 (the relay rule preserves relay invariance), and the
+// no-lost-wakeup liveness that follows — are exercised there only
+// probabilistically. This package re-implements the monitor discipline as
+// a deterministic state machine over virtual threads and exhaustively
+// explores every interleaving of small programs (DFS over scheduler
+// choices), checking after every step:
+//
+//   - mutual exclusion: monitor sections are atomic by construction;
+//   - signal soundness: relays target only waiters whose globalized
+//     predicate is true at signal time; a signaled thread that finds its
+//     predicate falsified by a barging thread re-waits through the
+//     Fig. 6 do-while (modeled as a futile wake), never proceeds;
+//   - relay invariance (Definition 4): if some waiter's predicate is
+//     true, at least one thread is active (running, ready, or signaled);
+//   - deadlock freedom: if any thread can still move, some thread moves,
+//     and all programs that should terminate do, on every schedule.
+//
+// Threads are written as sequences of atomic monitor sections
+// (Step/Wait), mirroring how member functions decompose around waituntil.
+// The scheduler is the adversary: at every decision point it forks one
+// branch per runnable thread.
+package simcheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// State is the shared monitor state of a simulated program: a fixed set
+// of integer variables (booleans are 0/1 by convention).
+type State map[string]int64
+
+func (s State) clone() State {
+	c := make(State, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// key renders the state deterministically for memoization.
+func (s State) key() string {
+	names := make([]string, 0, len(s))
+	for n := range s {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&sb, "%s=%d;", n, s[n])
+	}
+	return sb.String()
+}
+
+// Pred is a globalized predicate over the shared state. Implementations
+// must be pure functions of the state.
+type Pred func(State) bool
+
+// Action is one atomic monitor section: it runs with the (virtual)
+// monitor held and mutates the shared state.
+type Action func(State)
+
+// Op is one step of a thread's program.
+type Op struct {
+	// Guard, when non-nil, is a waituntil: the thread blocks until the
+	// predicate holds, then atomically runs Body (still in the monitor).
+	Guard Pred
+	// Body mutates the state inside the monitor. May be nil.
+	Body Action
+	// Name labels the op in counterexample traces.
+	Name string
+}
+
+// Step is an unguarded atomic monitor section.
+func Step(name string, body Action) Op { return Op{Name: name, Body: body} }
+
+// Wait is a waituntil(P) followed by body, run atomically once P holds —
+// exactly the shape of a member function that waits and then acts.
+func Wait(name string, pred Pred, body Action) Op {
+	return Op{Name: name, Guard: pred, Body: body}
+}
+
+// Thread is a named sequence of ops.
+type Thread struct {
+	Name string
+	Ops  []Op
+}
+
+// Program is a set of threads over an initial state.
+type Program struct {
+	Init    State
+	Threads []Thread
+}
+
+// threadStatus tracks one virtual thread through the exploration.
+type threadStatus struct {
+	pc       int  // next op index
+	waiting  bool // parked on its current op's guard
+	signaled bool // woken by a relay, not yet re-entered
+}
+
+// config is one node of the interleaving tree.
+type config struct {
+	state   State
+	threads []threadStatus
+}
+
+func (c *config) clone() *config {
+	ts := make([]threadStatus, len(c.threads))
+	copy(ts, c.threads)
+	return &config{state: c.state.clone(), threads: ts}
+}
+
+func (c *config) key() string {
+	var sb strings.Builder
+	sb.WriteString(c.state.key())
+	for _, t := range c.threads {
+		fmt.Fprintf(&sb, "|%d,%t,%t", t.pc, t.waiting, t.signaled)
+	}
+	return sb.String()
+}
+
+// Violation describes a failed check with the schedule that produced it.
+type Violation struct {
+	Kind  string
+	Trace []string
+	State State
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("simcheck: %s violated\nstate: %s\ntrace:\n  %s",
+		v.Kind, v.State.key(), strings.Join(v.Trace, "\n  "))
+}
+
+// Options bound the exploration.
+type Options struct {
+	MaxDepth  int // maximum schedule length (default 10 000)
+	MaxStates int // memoized-state budget (default 1 000 000)
+}
+
+// Check exhaustively explores every interleaving of the program under the
+// relay-signaling discipline and returns the first violation found, or
+// nil if every schedule satisfies the invariants and terminates.
+func Check(p Program, opts Options) error {
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = 10000
+	}
+	if opts.MaxStates == 0 {
+		opts.MaxStates = 1_000_000
+	}
+	init := &config{state: p.Init.clone(), threads: make([]threadStatus, len(p.Threads))}
+	e := &explorer{prog: p, opts: opts, seen: map[string]bool{}}
+	return e.dfs(init, nil)
+}
+
+type explorer struct {
+	prog Program
+	opts Options
+	seen map[string]bool
+}
+
+// runnable reports whether thread i can take a step in c: it has ops left
+// and is not parked (parked threads move only via relay signals, which
+// happen inside steps, not as scheduler choices — matching the runtime,
+// where a signaled thread becomes ready).
+func (e *explorer) runnable(c *config, i int) bool {
+	t := c.threads[i]
+	if t.pc >= len(e.prog.Threads[i].Ops) {
+		return false
+	}
+	return !t.waiting || t.signaled
+}
+
+func (e *explorer) dfs(c *config, trace []string) error {
+	if len(trace) > e.opts.MaxDepth {
+		return &Violation{Kind: "depth bound exceeded (livelock?)", Trace: trace, State: c.state}
+	}
+	k := c.key()
+	if e.seen[k] {
+		return nil
+	}
+	if len(e.seen) >= e.opts.MaxStates {
+		return fmt.Errorf("simcheck: state budget (%d) exhausted", e.opts.MaxStates)
+	}
+	e.seen[k] = true
+
+	anyRunnable := false
+	anyUnfinished := false
+	for i := range c.threads {
+		if c.threads[i].pc < len(e.prog.Threads[i].Ops) {
+			anyUnfinished = true
+		}
+		if e.runnable(c, i) {
+			anyRunnable = true
+		}
+	}
+	if !anyUnfinished {
+		return nil // full termination on this schedule: success leaf
+	}
+	if !anyRunnable {
+		return &Violation{Kind: "deadlock (threads waiting, none signaled)", Trace: trace, State: c.state}
+	}
+
+	for i := range c.threads {
+		if !e.runnable(c, i) {
+			continue
+		}
+		next := c.clone()
+		label, err := e.step(next, i)
+		step := fmt.Sprintf("%s: %s", e.prog.Threads[i].Name, label)
+		if err != nil {
+			if v, ok := err.(*Violation); ok {
+				v.Trace = append(append([]string{}, trace...), step)
+				return v
+			}
+			return err
+		}
+		if err := e.dfs(next, append(trace, step)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// step executes one atomic move of thread i in c: entering the monitor,
+// evaluating its guard, running its body or parking, and applying the
+// relay-signaling rule on the way out. The entire move is atomic — the
+// monitor is held throughout — so scheduler choices happen only between
+// monitor sections, exactly as in the runtime.
+func (e *explorer) step(c *config, i int) (string, error) {
+	t := &c.threads[i]
+	op := e.prog.Threads[i].Ops[t.pc]
+
+	if t.waiting {
+		// The thread was signaled: it re-enters and re-checks its guard.
+		t.signaled = false
+		if !op.Guard(c.state) {
+			// Futile wake-up: the predicate was true when the signal was
+			// sent, but a thread that never blocked barged in first and
+			// falsified it. The Fig. 6 do-while handles this: relay (the
+			// pre-wait relay) and park again.
+			e.relay(c)
+			return op.Name + " (futile wake)", e.invariants(c)
+		}
+		t.waiting = false
+		if op.Body != nil {
+			op.Body(c.state)
+		}
+		t.pc++
+		e.relay(c)
+		return op.Name + " (resumed)", e.invariants(c)
+	}
+
+	if op.Guard != nil && !op.Guard(c.state) {
+		// waituntil with a false predicate: relay (the pre-wait relay of
+		// Fig. 6), then park.
+		t.waiting = true
+		e.relay(c)
+		return op.Name + " (parked)", e.invariants(c)
+	}
+	if op.Body != nil {
+		op.Body(c.state)
+	}
+	t.pc++
+	e.relay(c)
+	return op.Name, e.invariants(c)
+}
+
+// relay applies the relay-signaling rule: if no signal is pending and
+// some parked thread's guard is true, signal exactly one such thread.
+func (e *explorer) relay(c *config) {
+	for i := range c.threads {
+		if c.threads[i].waiting && c.threads[i].signaled {
+			return // a signal is already pending: an active thread exists
+		}
+	}
+	for i := range c.threads {
+		t := &c.threads[i]
+		if !t.waiting || t.signaled {
+			continue
+		}
+		if e.prog.Threads[i].Ops[t.pc].Guard(c.state) {
+			t.signaled = true
+			return
+		}
+	}
+}
+
+// invariants checks relay invariance (Definition 4): if any waiter's
+// predicate is true, some thread is active — not waiting, or signaled.
+func (e *explorer) invariants(c *config) error {
+	waiterTrue := false
+	active := false
+	for i := range c.threads {
+		t := c.threads[i]
+		done := t.pc >= len(e.prog.Threads[i].Ops)
+		switch {
+		case t.waiting && t.signaled:
+			active = true
+		case t.waiting:
+			if e.prog.Threads[i].Ops[t.pc].Guard(c.state) {
+				waiterTrue = true
+			}
+		case !done:
+			active = true
+		}
+	}
+	if waiterTrue && !active {
+		return &Violation{Kind: "relay invariance (Definition 4)", State: c.state.clone()}
+	}
+	return nil
+}

@@ -1,0 +1,249 @@
+package simcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// boundedBuffer builds a producer/consumer program over a buffer of the
+// given capacity: producers wait for space, consumers for items.
+func boundedBuffer(capacity int64, producers, consumers, opsEach int) Program {
+	p := Program{Init: State{"count": 0, "cap": capacity}}
+	space := func(s State) bool { return s["count"] < s["cap"] }
+	items := func(s State) bool { return s["count"] > 0 }
+	for i := 0; i < producers; i++ {
+		var ops []Op
+		for j := 0; j < opsEach; j++ {
+			ops = append(ops, Wait("put", space, func(s State) { s["count"]++ }))
+		}
+		p.Threads = append(p.Threads, Thread{Name: "producer", Ops: ops})
+	}
+	for i := 0; i < consumers; i++ {
+		var ops []Op
+		for j := 0; j < opsEach; j++ {
+			ops = append(ops, Wait("take", items, func(s State) { s["count"]-- }))
+		}
+		p.Threads = append(p.Threads, Thread{Name: "consumer", Ops: ops})
+	}
+	return p
+}
+
+func TestBoundedBufferAllInterleavings(t *testing.T) {
+	// 2 producers × 2 consumers × 3 ops each, capacity 1: the tightest
+	// coupling. Every interleaving must terminate with the invariants
+	// intact.
+	if err := Check(boundedBuffer(1, 2, 2, 3), Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundedBufferLargerCapacity(t *testing.T) {
+	if err := Check(boundedBuffer(2, 2, 2, 4), Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParameterizedHandoff(t *testing.T) {
+	// The paper's §4.2 running example: a consumer waits for 32 items
+	// while only 24 exist; a producer adds 16 and must relay the signal
+	// on exit. Every schedule must see the consumer released.
+	p := Program{
+		Init: State{"count": 24},
+		Threads: []Thread{
+			{Name: "consumer", Ops: []Op{
+				Wait("take32", func(s State) bool { return s["count"] >= 32 },
+					func(s State) { s["count"] -= 32 }),
+			}},
+			{Name: "producer", Ops: []Op{
+				Step("put16", func(s State) { s["count"] += 16 }),
+			}},
+		},
+	}
+	if err := Check(p, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundRobinRing(t *testing.T) {
+	// Three threads take turns twice each; termination on every schedule
+	// requires every relay to reach the unique eligible waiter.
+	mk := func(id int64, n int64) Thread {
+		var ops []Op
+		for j := 0; j < 2; j++ {
+			ops = append(ops, Wait("turn", func(s State) bool { return s["turn"] == id },
+				func(s State) { s["turn"] = (s["turn"] + 1) % n }))
+		}
+		return Thread{Name: "rr", Ops: ops}
+	}
+	p := Program{Init: State{"turn": 0}, Threads: []Thread{mk(0, 3), mk(1, 3), mk(2, 3)}}
+	if err := Check(p, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestH2OTrio(t *testing.T) {
+	// Two hydrogens and one oxygen forming one molecule, all schedules.
+	hOffer := func(s State) { s["hAvail"]++ }
+	hWait := func(s State) bool { return s["hBonded"] > 0 }
+	hTake := func(s State) { s["hBonded"]-- }
+	p := Program{
+		Init: State{"hAvail": 0, "hBonded": 0},
+		Threads: []Thread{
+			{Name: "H1", Ops: []Op{Step("offer", hOffer), Wait("bond", hWait, hTake)}},
+			{Name: "H2", Ops: []Op{Step("offer", hOffer), Wait("bond", hWait, hTake)}},
+			{Name: "O", Ops: []Op{
+				Wait("form", func(s State) bool { return s["hAvail"] >= 2 },
+					func(s State) { s["hAvail"] -= 2; s["hBonded"] += 2 }),
+			}},
+		},
+	}
+	if err := Check(p, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectsGenuineDeadlock(t *testing.T) {
+	// A waiter whose predicate can never become true must be reported as
+	// a deadlock, not explored forever.
+	p := Program{
+		Init: State{"x": 0},
+		Threads: []Thread{
+			{Name: "stuck", Ops: []Op{
+				Wait("never", func(s State) bool { return s["x"] > 0 }, nil),
+			}},
+		},
+	}
+	err := Check(p, Options{})
+	if err == nil {
+		t.Fatal("expected a deadlock violation")
+	}
+	if !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("wrong violation: %v", err)
+	}
+}
+
+func TestDetectsDeadlockFromMissedPairing(t *testing.T) {
+	// The bug the H2O rework fixed (one hydrogen cannot pair with
+	// itself): a single H thread with two sequential offer/bond rounds
+	// against an O needing two offers at once deadlocks on every
+	// schedule; the checker must find it.
+	hOffer := func(s State) { s["hAvail"]++ }
+	hWait := func(s State) bool { return s["hBonded"] > 0 }
+	hTake := func(s State) { s["hBonded"]-- }
+	p := Program{
+		Init: State{"hAvail": 0, "hBonded": 0},
+		Threads: []Thread{
+			{Name: "H", Ops: []Op{
+				Step("offer", hOffer), Wait("bond", hWait, hTake),
+				Step("offer", hOffer), Wait("bond", hWait, hTake),
+			}},
+			{Name: "O", Ops: []Op{
+				Wait("form", func(s State) bool { return s["hAvail"] >= 2 },
+					func(s State) { s["hAvail"] -= 2; s["hBonded"] += 2 }),
+			}},
+		},
+	}
+	err := Check(p, Options{})
+	if err == nil {
+		t.Fatal("expected a deadlock violation")
+	}
+	if !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("wrong violation: %v", err)
+	}
+}
+
+func TestViolationCarriesTrace(t *testing.T) {
+	p := Program{
+		Init: State{"x": 0},
+		Threads: []Thread{
+			{Name: "a", Ops: []Op{Step("bump", func(s State) { s["x"]++ })}},
+			{Name: "b", Ops: []Op{Wait("never", func(s State) bool { return s["x"] > 5 }, nil)}},
+		},
+	}
+	err := Check(p, Options{})
+	if err == nil {
+		t.Fatal("expected violation")
+	}
+	v, ok := err.(*Violation)
+	if !ok {
+		t.Fatalf("expected *Violation, got %T", err)
+	}
+	if len(v.Trace) == 0 {
+		t.Error("violation has no trace")
+	}
+	if !strings.Contains(v.Error(), "trace:") {
+		t.Errorf("Error() lacks trace: %s", v.Error())
+	}
+}
+
+func TestDepthBound(t *testing.T) {
+	// Two threads ping-ponging forever exceed any depth bound; the
+	// checker reports it instead of hanging. (State memoization would
+	// normally prune this; an ever-growing counter defeats it.)
+	p := Program{
+		Init: State{"x": 0},
+		Threads: []Thread{
+			{Name: "spin", Ops: func() []Op {
+				var ops []Op
+				for i := 0; i < 60; i++ {
+					ops = append(ops, Step("inc", func(s State) { s["x"]++ }))
+				}
+				return ops
+			}()},
+		},
+	}
+	err := Check(p, Options{MaxDepth: 10})
+	if err == nil || !strings.Contains(err.Error(), "depth bound") {
+		t.Fatalf("expected depth-bound violation, got %v", err)
+	}
+}
+
+func TestStateBudget(t *testing.T) {
+	p := boundedBuffer(2, 2, 2, 4)
+	err := Check(p, Options{MaxStates: 10})
+	if err == nil || !strings.Contains(err.Error(), "state budget") {
+		t.Fatalf("expected state-budget error, got %v", err)
+	}
+}
+
+func TestStateKeyDeterministic(t *testing.T) {
+	a := State{"x": 1, "y": 2}
+	b := State{"y": 2, "x": 1}
+	if a.key() != b.key() {
+		t.Errorf("keys differ: %q vs %q", a.key(), b.key())
+	}
+	c := a.clone()
+	c["x"] = 9
+	if a["x"] != 1 {
+		t.Error("clone aliases the original")
+	}
+}
+
+func TestBarberMini(t *testing.T) {
+	// One barber, two customers, one visit each; chairs unbounded at
+	// this scale. All interleavings must serve both.
+	p := Program{
+		Init: State{"waiting": 0, "cuts": 0, "stop": 0},
+		Threads: []Thread{
+			{Name: "barber", Ops: []Op{
+				Wait("serve", func(s State) bool { return s["waiting"] > 0 },
+					func(s State) { s["waiting"]--; s["cuts"]++ }),
+				Wait("serve", func(s State) bool { return s["waiting"] > 0 },
+					func(s State) { s["waiting"]--; s["cuts"]++ }),
+			}},
+			{Name: "cust1", Ops: []Op{
+				Step("sit", func(s State) { s["waiting"]++ }),
+				Wait("cut", func(s State) bool { return s["cuts"] > 0 },
+					func(s State) { s["cuts"]-- }),
+			}},
+			{Name: "cust2", Ops: []Op{
+				Step("sit", func(s State) { s["waiting"]++ }),
+				Wait("cut", func(s State) bool { return s["cuts"] > 0 },
+					func(s State) { s["cuts"]-- }),
+			}},
+		},
+	}
+	if err := Check(p, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}

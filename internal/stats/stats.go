@@ -1,0 +1,113 @@
+// Package stats provides the small statistics toolkit used by the
+// benchmark harness: the paper's protocol runs every configuration 25
+// times, removes the best and the worst result, and reports the mean of
+// the rest (§6.1).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// TrimmedMean drops the k smallest and k largest values and returns the
+// mean of the remainder. If trimming would remove everything, it falls
+// back to the plain mean. xs is not modified.
+func TrimmedMean(xs []float64, k int) float64 {
+	if k <= 0 || len(xs) <= 2*k {
+		return Mean(xs)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Mean(sorted[k : len(sorted)-k])
+}
+
+// Min returns the smallest value (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Median returns the middle value (mean of the two middles for even n).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// Durations converts a duration slice to seconds for the helpers above.
+func Durations(ds []time.Duration) []float64 {
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = d.Seconds()
+	}
+	return xs
+}
+
+// FormatSeconds renders a second count compactly ("1.234s", "56.7ms").
+func FormatSeconds(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.3fs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.3gms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3gµs", s*1e6)
+	}
+}

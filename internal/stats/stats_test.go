@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("Mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+}
+
+func TestTrimmedMean(t *testing.T) {
+	xs := []float64{100, 1, 2, 3, 0.001} // outliers at both ends
+	if got := TrimmedMean(xs, 1); !almost(got, 2) {
+		t.Errorf("TrimmedMean = %f, want 2", got)
+	}
+	// Not enough values to trim: fall back to the plain mean.
+	if got := TrimmedMean([]float64{1, 3}, 1); !almost(got, 2) {
+		t.Errorf("TrimmedMean fallback = %f, want 2", got)
+	}
+	// Input must not be reordered.
+	orig := []float64{5, 1, 4}
+	TrimmedMean(orig, 1)
+	if orig[0] != 5 || orig[1] != 1 || orig[2] != 4 {
+		t.Error("TrimmedMean mutated its input")
+	}
+}
+
+func TestMinMaxMedianStdDev(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if Min(xs) != 1 || Max(xs) != 4 {
+		t.Error("Min/Max wrong")
+	}
+	if !almost(Median(xs), 2.5) {
+		t.Errorf("Median = %f", Median(xs))
+	}
+	if !almost(Median([]float64{3, 1, 2}), 2) {
+		t.Error("odd Median wrong")
+	}
+	if !almost(StdDev([]float64{2, 2, 2}), 0) {
+		t.Error("StdDev of constants != 0")
+	}
+	if StdDev([]float64{1}) != 0 || Min(nil) != 0 || Max(nil) != 0 || Median(nil) != 0 {
+		t.Error("degenerate inputs mishandled")
+	}
+}
+
+func TestDurations(t *testing.T) {
+	xs := Durations([]time.Duration{time.Second, 500 * time.Millisecond})
+	if !almost(xs[0], 1) || !almost(xs[1], 0.5) {
+		t.Errorf("Durations = %v", xs)
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{1.2345, "1.234s"},
+		{0.0567, "56.7ms"},
+		{0.000012, "12µs"},
+	}
+	for _, c := range cases {
+		if got := FormatSeconds(c.in); got != c.want {
+			t.Errorf("FormatSeconds(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPropertyTrimmedMeanBounded(t *testing.T) {
+	// The trimmed mean always lies within [Min, Max].
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				// Bound the magnitude so the mean cannot overflow: the
+				// property under test is ordering, not float64 limits.
+				xs = append(xs, math.Remainder(x, 1e9))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		tm := TrimmedMean(xs, 1)
+		return tm >= Min(xs)-1e-9 && tm <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

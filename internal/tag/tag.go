@@ -1,0 +1,189 @@
+// Package tag assigns predicate tags to DNF conjunctions, implementing the
+// predicate-tagging scheme of §4.3 of the paper.
+//
+// A tag is a four-tuple (M, expr, key, op). For a conjunction containing an
+// equivalence conjunct SE == LE the tag is (Equivalence, SE, value(LE), ⊥);
+// for one containing a threshold conjunct SE op LE, op ∈ {<,≤,>,≥}, it is
+// (Threshold, SE, value(LE), op); otherwise the conjunction gets the None
+// tag. Equivalence has priority over Threshold (Fig. 3) because an
+// equivalence tag prunes the search space harder. Exactly one tag is
+// assigned per conjunction — the paper observes that additional tags cannot
+// accelerate the search.
+//
+// Tagging runs on *globalized* conjunctions: thread-local variables have
+// already been substituted with constants, so every remaining variable is a
+// shared monitor variable. The left-hand shared expression is put in the
+// canonical linear form produced by package linear (variables sorted, sign
+// normalized so the leading coefficient is positive), which makes
+// syntactically different spellings of the same comparison — x−2 ≥ y+1,
+// x ≥ y+3, −y ≥ 3−x — share one tag structure.
+package tag
+
+import (
+	"fmt"
+
+	"repro/internal/dnf"
+	"repro/internal/expr"
+	"repro/internal/linear"
+)
+
+// Kind classifies a tag.
+type Kind int
+
+// Tag kinds, in increasing pruning power: None < Threshold < Equivalence.
+const (
+	None Kind = iota
+	Threshold
+	Equivalence
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Equivalence:
+		return "Equivalence"
+	case Threshold:
+		return "Threshold"
+	}
+	return "None"
+}
+
+// Tag is the paper's four-tuple. Expr is the canonical rendering of Form
+// and identifies the shared-expression group (hash table or heap pair) the
+// tag lives in; Form is kept so the condition manager can compile an
+// evaluator for the group. Key and Op are meaningful only for Equivalence
+// (Op fixed to ==) and Threshold tags.
+type Tag struct {
+	Kind Kind
+	Expr string
+	Form linear.Form
+	Key  int64
+	Op   expr.Op
+}
+
+func (t Tag) String() string {
+	switch t.Kind {
+	case Equivalence:
+		return fmt.Sprintf("(Equivalence, %s, %d)", t.Expr, t.Key)
+	case Threshold:
+		return fmt.Sprintf("(Threshold, %s, %d, %s)", t.Expr, t.Key, t.Op)
+	}
+	return "(None)"
+}
+
+// Holds reports whether the tag is true when its shared expression
+// currently evaluates to v (§4.3: "a tag is true if the predicate
+// representing the tag is true" — this is the tag-level test, a necessary
+// condition for the tagged predicates).
+func (t Tag) Holds(v int64) bool {
+	switch t.Kind {
+	case Equivalence:
+		return v == t.Key
+	case Threshold:
+		switch t.Op {
+		case expr.OpLt:
+			return v < t.Key
+		case expr.OpLe:
+			return v <= t.Key
+		case expr.OpGt:
+			return v > t.Key
+		case expr.OpGe:
+			return v >= t.Key
+		}
+	}
+	return true // None tags prune nothing
+}
+
+// AnalyzeConjunction derives the single tag for a globalized conjunction.
+// Atoms are examined left to right; the first equivalence atom wins, then
+// the first threshold atom, then None.
+//
+// Taggable atom shapes:
+//   - integer comparisons that are linear in the shared variables
+//     (x − 2 ≥ y + 1 tags as (Threshold, x−y, 3, ≥));
+//   - a bare boolean variable p, tagged (Equivalence, p, 1) using the 0/1
+//     encoding, and its negation !p, tagged (Equivalence, p, 0);
+//   - boolean equality p == q, which decomposes to (Equivalence, p−q, 0).
+//
+// Everything else (≠ comparisons, nonlinear arithmetic, divisions by a
+// shared variable) falls back to None, which is always sound: None-tagged
+// predicates are checked exhaustively.
+func AnalyzeConjunction(c dnf.Conjunction) Tag {
+	var threshold *Tag
+	for _, a := range c.Atoms {
+		t, ok := analyzeAtom(a)
+		if !ok {
+			continue
+		}
+		if t.Kind == Equivalence {
+			return t
+		}
+		if t.Kind == Threshold && threshold == nil {
+			tt := t
+			threshold = &tt
+		}
+	}
+	if threshold != nil {
+		return *threshold
+	}
+	return Tag{Kind: None}
+}
+
+// Analyze tags every conjunction of a globalized DNF predicate.
+func Analyze(d dnf.DNF) []Tag {
+	tags := make([]Tag, len(d.Conjs))
+	for i, c := range d.Conjs {
+		tags[i] = AnalyzeConjunction(c)
+	}
+	return tags
+}
+
+// everySplit marks every variable as a split (shared) variable: tagging
+// runs post-globalization, where no local variables remain.
+func everySplit(string) bool { return true }
+
+func analyzeAtom(a expr.Node) (Tag, bool) {
+	switch n := a.(type) {
+	case expr.Var:
+		// Bare boolean variable: p  ⇔  p == 1 in the 0/1 encoding.
+		f := linear.NewForm()
+		f.Coeffs[n.Name] = 1
+		return Tag{Kind: Equivalence, Expr: f.String(), Form: f, Key: 1, Op: expr.OpEq}, true
+	case expr.Unary:
+		if n.Op == expr.OpNot {
+			if v, ok := n.X.(expr.Var); ok {
+				f := linear.NewForm()
+				f.Coeffs[v.Name] = 1
+				return Tag{Kind: Equivalence, Expr: f.String(), Form: f, Key: 0, Op: expr.OpEq}, true
+			}
+		}
+		return Tag{}, false
+	case expr.Binary:
+		if !n.Op.IsComparison() || n.Op == expr.OpNe {
+			return Tag{}, false
+		}
+		s, ok := linear.Decompose(expr.Bin(expr.OpSub, n.L, n.R), everySplit)
+		if !ok || len(s.Residuals) != 0 {
+			return Tag{}, false
+		}
+		form := s.Shared
+		if form.IsConst() {
+			// Ground atom; constant folding should have removed it, and
+			// tagging it would be meaningless.
+			return Tag{}, false
+		}
+		// Atom ⇔ form + s.Const op 0 ⇔ form op −s.Const.
+		key := -s.Const
+		op := n.Op
+		if _, lead, _ := form.Leading(); lead < 0 {
+			form = form.Scale(-1)
+			key = -key
+			op = op.Flip()
+		}
+		kind := Threshold
+		if op == expr.OpEq {
+			kind = Equivalence
+		}
+		return Tag{Kind: kind, Expr: form.String(), Form: form, Key: key, Op: op}, true
+	}
+	return Tag{}, false
+}

@@ -1,0 +1,220 @@
+package tag
+
+import (
+	"testing"
+
+	"repro/internal/dnf"
+	"repro/internal/expr"
+)
+
+func conj(t *testing.T, src string) dnf.Conjunction {
+	t.Helper()
+	d, err := dnf.Convert(expr.MustParse(src))
+	if err != nil {
+		t.Fatalf("Convert(%q): %v", src, err)
+	}
+	if len(d.Conjs) != 1 {
+		t.Fatalf("Convert(%q) has %d conjunctions, want 1", src, len(d.Conjs))
+	}
+	return d.Conjs[0]
+}
+
+func TestAnalyzeConjunctionKinds(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind Kind
+		expr string
+		key  int64
+		op   expr.Op
+	}{
+		// Equivalence.
+		{"x == 8", Equivalence, "x", 8, expr.OpEq},
+		{"8 == x", Equivalence, "x", 8, expr.OpEq},
+		{"x - y == 5", Equivalence, "x - y", 5, expr.OpEq},
+		// The paper's example: x − a = y + b with a=11, b=2 globalized.
+		{"x - 11 == y + 2", Equivalence, "x - y", 13, expr.OpEq},
+		// Sign normalization: leading coefficient becomes positive.
+		{"y - x == 5", Equivalence, "x - y", -5, expr.OpEq},
+		// Threshold, all four operators.
+		{"x > 5", Threshold, "x", 5, expr.OpGt},
+		{"x >= 5", Threshold, "x", 5, expr.OpGe},
+		{"x < 5", Threshold, "x", 5, expr.OpLt},
+		{"x <= 5", Threshold, "x", 5, expr.OpLe},
+		// The paper's threshold example: x + b > 2y + a, a=11, b=2
+		// becomes (Threshold, x − 2y, 9, >).
+		{"x + 2 > 2*y + 11", Threshold, "x - 2*y", 9, expr.OpGt},
+		// Flipping via sign normalization: 5 > x ⇔ x < 5.
+		{"5 > x", Threshold, "x", 5, expr.OpLt},
+		{"-x >= 3", Threshold, "x", -3, expr.OpLe},
+		// Equivalence beats threshold regardless of order (Fig. 3).
+		{"x > 5 && y == 2", Equivalence, "y", 2, expr.OpEq},
+		{"y == 2 && x > 5", Equivalence, "y", 2, expr.OpEq},
+		// Boolean variables tag as 0/1 equivalences.
+		{"p", Equivalence, "p", 1, expr.OpEq},
+		{"!p", Equivalence, "p", 0, expr.OpEq},
+		{"p == q", Equivalence, "p - q", 0, expr.OpEq},
+		// None: ≠, nonlinear, shared division.
+		{"x != 5", None, "", 0, 0},
+		{"x * y > 5", None, "", 0, 0},
+		{"x / y == 2", None, "", 0, 0},
+		{"x % 2 == 0", None, "", 0, 0},
+		{"p != q", None, "", 0, 0},
+		// Threshold chosen when no equivalence exists.
+		{"x != 5 && x > 3", Threshold, "x", 3, expr.OpGt},
+	}
+	for _, c := range cases {
+		got := AnalyzeConjunction(conj(t, c.src))
+		if got.Kind != c.kind {
+			t.Errorf("AnalyzeConjunction(%q).Kind = %s, want %s", c.src, got.Kind, c.kind)
+			continue
+		}
+		if c.kind == None {
+			continue
+		}
+		if got.Expr != c.expr || got.Key != c.key {
+			t.Errorf("AnalyzeConjunction(%q) = %s, want expr %q key %d", c.src, got, c.expr, c.key)
+		}
+		if got.Op != c.op {
+			t.Errorf("AnalyzeConjunction(%q).Op = %s, want %s", c.src, got.Op, c.op)
+		}
+	}
+}
+
+func TestSharedTagAcrossPredicates(t *testing.T) {
+	// Predicates (x = 5) ∧ (z ≤ 4) and (x = 5) ∧ (y ≥ 4) share the
+	// equivalence tag (x = 5) — §4.3.1. With atoms sorted canonically the
+	// first equivalence atom in both is x == 5.
+	t1 := AnalyzeConjunction(conj(t, "x == 5 && z <= 4"))
+	t2 := AnalyzeConjunction(conj(t, "x == 5 && y >= 4"))
+	if t1.Kind != Equivalence || t2.Kind != Equivalence {
+		t.Fatalf("kinds = %s, %s; want Equivalence both", t1.Kind, t2.Kind)
+	}
+	if t1.Expr != t2.Expr || t1.Key != t2.Key {
+		t.Errorf("tags differ: %s vs %s", t1, t2)
+	}
+}
+
+func TestTagHolds(t *testing.T) {
+	cases := []struct {
+		tag  Tag
+		v    int64
+		want bool
+	}{
+		{Tag{Kind: Equivalence, Key: 8}, 8, true},
+		{Tag{Kind: Equivalence, Key: 8}, 7, false},
+		{Tag{Kind: Threshold, Key: 5, Op: expr.OpGt}, 6, true},
+		{Tag{Kind: Threshold, Key: 5, Op: expr.OpGt}, 5, false},
+		{Tag{Kind: Threshold, Key: 5, Op: expr.OpGe}, 5, true},
+		{Tag{Kind: Threshold, Key: 5, Op: expr.OpLt}, 4, true},
+		{Tag{Kind: Threshold, Key: 5, Op: expr.OpLt}, 5, false},
+		{Tag{Kind: Threshold, Key: 5, Op: expr.OpLe}, 5, true},
+		{Tag{Kind: None}, 123, true},
+	}
+	for _, c := range cases {
+		if got := c.tag.Holds(c.v); got != c.want {
+			t.Errorf("%s.Holds(%d) = %t, want %t", c.tag, c.v, got, c.want)
+		}
+	}
+}
+
+func TestAnalyzeWholePredicate(t *testing.T) {
+	// (x ≥ 8) ∨ (x = 3) from Fig. 7: one threshold and one equivalence tag.
+	d, err := dnf.Convert(expr.MustParse("x >= 8 || x == 3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := Analyze(d)
+	if len(tags) != 2 {
+		t.Fatalf("got %d tags, want 2", len(tags))
+	}
+	kinds := map[Kind]int{}
+	for _, tg := range tags {
+		kinds[tg.Kind]++
+		if tg.Expr != "x" {
+			t.Errorf("tag %s expr = %q, want x", tg, tg.Expr)
+		}
+	}
+	if kinds[Equivalence] != 1 || kinds[Threshold] != 1 {
+		t.Errorf("kind distribution = %v, want one Equivalence and one Threshold", kinds)
+	}
+}
+
+func TestTagStringAndKindString(t *testing.T) {
+	if Equivalence.String() != "Equivalence" || Threshold.String() != "Threshold" || None.String() != "None" {
+		t.Error("Kind.String wrong")
+	}
+	e := AnalyzeConjunction(conj(t, "x == 8"))
+	if e.String() != "(Equivalence, x, 8)" {
+		t.Errorf("String = %q", e.String())
+	}
+	th := AnalyzeConjunction(conj(t, "x > 5"))
+	if th.String() != "(Threshold, x, 5, >)" {
+		t.Errorf("String = %q", th.String())
+	}
+	n := AnalyzeConjunction(conj(t, "x != 5"))
+	if n.String() != "(None)" {
+		t.Errorf("String = %q", n.String())
+	}
+}
+
+// Property: whenever the conjunction is true under an environment, its tag
+// must hold for the shared expression's value under the same environment
+// (tag truth is a necessary condition — the pruning soundness invariant).
+func TestPropertyTagIsNecessaryCondition(t *testing.T) {
+	preds := []string{
+		"x == 8", "x > 5 && y <= 2", "x - y == 5 && x > 0",
+		"x + 2 > 2*y + 11", "2*x - 3*y >= 7", "y - x == 5",
+		"x <= -3", "x != 5 && x > 3", "x >= 8 || x == 3",
+		"3*x == 2*y && y > 1", "p && x > 0", "!p && x == 1",
+	}
+	for _, src := range preds {
+		d, err := dnf.Convert(expr.MustParse(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tags := Analyze(d)
+		for x := int64(-10); x <= 10; x++ {
+			for y := int64(-10); y <= 10; y += 2 {
+				for _, pv := range []bool{false, true} {
+					env := expr.MapEnv(map[string]expr.Value{
+						"x": expr.IntValue(x), "y": expr.IntValue(y),
+						"p": expr.BoolValue(pv),
+					})
+					for i, c := range d.Conjs {
+						ok, err := c.Eval(env)
+						if err != nil || !ok {
+							continue
+						}
+						tg := tags[i]
+						if tg.Kind == None {
+							continue
+						}
+						v, err := expr.EvalInt(tg.Form.Node(), boolAsInt(env))
+						if err != nil {
+							t.Fatalf("%s: eval shared expr: %v", src, err)
+						}
+						if !tg.Holds(v) {
+							t.Errorf("%s: conjunction %q true at x=%d y=%d p=%t but tag %s does not hold (v=%d)",
+								src, c.String(), x, y, pv, tg, v)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// boolAsInt adapts an environment so boolean values read as 0/1 integers,
+// matching the condition manager's evaluation of tag shared expressions.
+func boolAsInt(env expr.Env) expr.Env {
+	return func(name string) (expr.Value, bool) {
+		v, ok := env(name)
+		if ok && v.Type == expr.TypeBool {
+			if v.B {
+				return expr.IntValue(1), true
+			}
+			return expr.IntValue(0), true
+		}
+		return v, ok
+	}
+}
