@@ -6,6 +6,7 @@ import (
 
 	autosynch "repro"
 	"repro/internal/problems"
+	"repro/internal/testutil"
 )
 
 // benchTagShape parks waiters whose predicates share one shape and whose
@@ -33,9 +34,8 @@ func benchTagShape(b *testing.B, pred string) {
 		}(int64(w))
 	}
 	// Let every waiter park before measuring the relay cost.
-	for m.Stats().Awaits < waiters {
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitFor(b, 10*time.Second, 0, func() bool { return m.Waiting() == waiters },
+		"%d unsatisfiable waiters parked", waiters)
 	for i := 0; i < driverOps; i++ {
 		m.Do(func() {})
 	}

@@ -59,67 +59,40 @@ func benchMechs(b *testing.B, runner problems.Runner, mechs []problems.Mechanism
 	}
 }
 
-var (
-	fourMechs  = []problems.Mechanism{problems.Explicit, problems.Baseline, problems.AutoSynchT, problems.AutoSynch}
-	threeMechs = []problems.Mechanism{problems.Explicit, problems.AutoSynchT, problems.AutoSynch}
-	twoMechs   = []problems.Mechanism{problems.Explicit, problems.AutoSynch}
-)
-
-// BenchmarkFig08BoundedBuffer: the classical bounded buffer (Fig. 8).
-func BenchmarkFig08BoundedBuffer(b *testing.B) {
-	benchMechs(b, problems.RunBoundedBuffer, fourMechs, 32)
-}
-
-// BenchmarkFig09H2O: the water-building problem (Fig. 9).
-func BenchmarkFig09H2O(b *testing.B) {
-	benchMechs(b, problems.RunH2O, fourMechs, 32)
-}
-
-// BenchmarkFig10Barber: the sleeping barber (Fig. 10).
-func BenchmarkFig10Barber(b *testing.B) {
-	benchMechs(b, problems.RunBarber, fourMechs, 32)
-}
-
-// BenchmarkFig11RoundRobin: the round-robin access pattern (Fig. 11); the
-// complex-predicate workload where tagging recovers O(1) signaling.
-func BenchmarkFig11RoundRobin(b *testing.B) {
-	benchMechs(b, problems.RunRoundRobin, threeMechs, 32)
+// BenchmarkProblems iterates the scenario registry: one sub-benchmark
+// per registered scenario and mechanism at the scenario's representative
+// thread count, so every workload — the paper's seven and every later
+// addition — is reachable through `go test -bench` without a
+// hand-maintained list:
+//
+//	go test -bench 'Problems/river-crossing' -benchmem
+func BenchmarkProblems(b *testing.B) {
+	for _, spec := range problems.Specs() {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			benchMechs(b, spec.Runner, spec.Mechanisms(), spec.DefaultThreads)
+		})
+	}
 }
 
 // BenchmarkFig11RoundRobinWide: the right end of Fig. 11's x-axis, where
 // AutoSynch-T's linear scan separates from AutoSynch.
 func BenchmarkFig11RoundRobinWide(b *testing.B) {
-	benchMechs(b, problems.RunRoundRobin, threeMechs, 128)
+	rr := problems.MustLookup("round-robin")
+	benchMechs(b, rr.Runner, rr.Mechanisms(), 128)
 }
 
-// BenchmarkFig12ReadersWriters: ticket-ordered readers/writers (Fig. 12)
-// at the 8-writers/40-readers point.
-func BenchmarkFig12ReadersWriters(b *testing.B) {
-	benchMechs(b, problems.RunReadersWriters, threeMechs, 8)
-}
-
-// BenchmarkFig13Philosophers: dining philosophers (Fig. 13).
-func BenchmarkFig13Philosophers(b *testing.B) {
-	benchMechs(b, problems.RunPhilosophers, threeMechs, 32)
-}
-
-// BenchmarkFig14ParamBoundedBuffer: the parameterized bounded buffer
-// (Fig. 14) — the workload where the explicit mechanism needs signalAll
-// and AutoSynch wins.
-func BenchmarkFig14ParamBoundedBuffer(b *testing.B) {
-	benchMechs(b, problems.RunParamBoundedBuffer, twoMechs, 32)
-}
-
-// BenchmarkFig15ContextSwitches: the same workload reported through the
-// wake-up counters (Fig. 15); read the wakeups/op metric.
+// BenchmarkFig15ContextSwitches: the parameterized buffer reported
+// through the wake-up counters (Fig. 15); read the wakeups/op metric.
 func BenchmarkFig15ContextSwitches(b *testing.B) {
-	benchMechs(b, problems.RunParamBoundedBuffer, twoMechs, 64)
+	pb := problems.MustLookup("parameterized-buffer")
+	benchMechs(b, pb.Runner, pb.Mechanisms(), 64)
 }
 
 // BenchmarkTable1CPUBreakdown: the profiled round-robin run behind
 // Table 1; reports the relaySignal and tag-manager shares as metrics.
 func BenchmarkTable1CPUBreakdown(b *testing.B) {
-	for _, mech := range threeMechs {
+	for _, mech := range []problems.Mechanism{problems.Explicit, problems.AutoSynchT, problems.AutoSynch} {
 		mech := mech
 		b.Run(mech.String(), func(b *testing.B) {
 			var relayNs, tagNs, awaitNs float64

@@ -1,11 +1,14 @@
 // Command autosynch-bench regenerates the tables and figures of the
-// paper's evaluation section (§6) as text.
+// paper's evaluation section (§6) as text, and runs any scenario of the
+// problem registry directly.
 //
 // Usage:
 //
 //	autosynch-bench -list
 //	autosynch-bench -experiment fig14 -trials 5 -ops 50000 -maxthreads 256
 //	autosynch-bench -experiment all -quick
+//	autosynch-bench -problem river-crossing -ops 50000
+//	autosynch-bench -problem fifo-barrier -mech autosynch,explicit -threads 64
 //
 // Absolute runtimes will differ from the paper (goroutines on modern
 // hardware vs. Java threads on 2009 Xeons); the shapes — which mechanism
@@ -21,12 +24,16 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/problems"
 )
 
 func main() {
 	var (
-		list       = flag.Bool("list", false, "list experiments and exit")
-		experiment = flag.String("experiment", "all", "experiment id (see -list) or 'all'")
+		list       = flag.Bool("list", false, "list experiments and scenarios, then exit")
+		experiment = flag.String("experiment", "", "experiment id (see -list) or 'all'")
+		problem    = flag.String("problem", "", "run one registered scenario directly (see -list)")
+		mechList   = flag.String("mech", "", "comma-separated mechanisms for -problem (default: the scenario's lineup)")
+		threads    = flag.Int("threads", 0, "thread count for -problem (default: the scenario's representative count)")
 		trials     = flag.Int("trials", 5, "trials per configuration (paper: 25)")
 		drop       = flag.Int("drop", 1, "best/worst trials dropped per side (paper: 1)")
 		ops        = flag.Int("ops", 20000, "operation budget per configuration point")
@@ -37,8 +44,17 @@ func main() {
 	flag.Parse()
 
 	if *list {
+		fmt.Println("experiments (-experiment):")
 		for _, e := range harness.Experiments() {
-			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+			fmt.Printf("  %-26s %s\n", e.ID, e.Title)
+		}
+		fmt.Println("\nscenarios (-problem):")
+		for _, s := range problems.Specs() {
+			fig := s.Figure
+			if fig == "" {
+				fig = "beyond the paper"
+			}
+			fmt.Printf("  %-26s %s [%s]\n", s.Name, s.CheckDesc, fig)
 		}
 		return
 	}
@@ -56,8 +72,21 @@ func main() {
 		cfg.Protocol = harness.Paper
 	}
 
-	ids := []string{*experiment}
-	if *experiment == "all" {
+	if *problem != "" {
+		if *experiment != "" {
+			fmt.Fprintln(os.Stderr, "-problem and -experiment are mutually exclusive")
+			os.Exit(2)
+		}
+		runProblem(*problem, *mechList, *threads, cfg)
+		return
+	}
+
+	exp := *experiment
+	if exp == "" {
+		exp = "all"
+	}
+	ids := []string{exp}
+	if exp == "all" {
 		ids = harness.IDs()
 	}
 	for _, id := range ids {
@@ -71,5 +100,51 @@ func main() {
 		fmt.Println(out)
 		fmt.Printf("[%s completed in %v]\n\n%s\n", e.ID, time.Since(start).Round(time.Millisecond),
 			strings.Repeat("-", 72))
+	}
+}
+
+// runProblem executes one registered scenario at a single configuration
+// point and prints a per-mechanism result table.
+func runProblem(name, mechList string, threads int, cfg harness.Config) {
+	spec, ok := problems.Lookup(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scenario %q; use -list\n", name)
+		os.Exit(2)
+	}
+	mechs := spec.Mechanisms()
+	if mechList != "" {
+		mechs = nil
+		for _, s := range strings.Split(mechList, ",") {
+			m, err := problems.ParseMechanism(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%v (choose from explicit, baseline, autosynch-t, autosynch)\n", err)
+				os.Exit(2)
+			}
+			mechs = append(mechs, m)
+		}
+	}
+	if threads <= 0 {
+		threads = spec.DefaultThreads
+	}
+	fmt.Printf("%s: %d threads, %d ops, %d trials (check: %s)\n",
+		spec.Name, threads, cfg.TotalOps, cfg.Protocol.Trials, spec.CheckDesc)
+	fmt.Printf("%-12s %12s %12s %10s %10s %10s %10s\n",
+		"mechanism", "mean", "ops/s", "wakeups", "futile", "signals", "bcasts")
+	for _, mech := range mechs {
+		mech := mech
+		m := cfg.Protocol.Measure(func() problems.Result {
+			return spec.Runner(mech, threads, cfg.TotalOps)
+		})
+		if m.CheckFailed {
+			fmt.Fprintf(os.Stderr, "%s/%s: conservation check FAILED\n", spec.Name, mech)
+			os.Exit(1)
+		}
+		// The counters and the throughput both come from the final trial,
+		// so numerator and denominator stay consistent even when a
+		// scenario's op count varies with scheduling (OpsVary).
+		r := m.Last
+		fmt.Printf("%-12s %12s %12.0f %10d %10d %10d %10d\n",
+			mech, time.Duration(m.MeanSeconds*float64(time.Second)).Round(time.Microsecond),
+			r.Throughput(), r.Stats.Wakeups, r.Stats.FutileWakeups, r.Stats.Signals, r.Stats.Broadcasts)
 	}
 }

@@ -16,6 +16,7 @@ type Baseline struct {
 	cond    *sync.Cond
 	profile bool
 	in      bool
+	waiting int // goroutines currently parked in Await
 	stats   Stats
 }
 
@@ -73,6 +74,7 @@ func (b *Baseline) Await(pred func() bool) {
 		b.stats.FastPath++
 		return
 	}
+	b.waiting++
 	for {
 		b.stats.Broadcasts++
 		b.cond.Broadcast()
@@ -89,6 +91,7 @@ func (b *Baseline) Await(pred func() bool) {
 		}
 		b.stats.FutileWakeups++
 	}
+	b.waiting--
 	b.in = true
 }
 
@@ -104,4 +107,12 @@ func (b *Baseline) ResetStats() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.stats = Stats{}
+}
+
+// Waiting returns the number of goroutines currently parked in Await;
+// tests poll it instead of sleeping to know waiters have parked.
+func (b *Baseline) Waiting() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.waiting
 }

@@ -15,6 +15,7 @@ type Explicit struct {
 	mu      sync.Mutex
 	profile bool
 	in      bool
+	waiting int // goroutines currently parked in Cond.Await
 	stats   Stats
 }
 
@@ -69,6 +70,15 @@ func (e *Explicit) ResetStats() {
 	e.stats = Stats{}
 }
 
+// Waiting returns the number of goroutines currently parked in Cond.Await
+// across all of the monitor's conditions; tests poll it instead of
+// sleeping to know waiters have parked.
+func (e *Explicit) Waiting() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.waiting
+}
+
 // Cond is an explicit condition variable bound to its monitor's lock.
 type Cond struct {
 	m    *Explicit
@@ -91,6 +101,7 @@ func (c *Cond) Await(pred func() bool) {
 		c.m.stats.FastPath++
 		return
 	}
+	c.m.waiting++
 	for {
 		if c.m.profile {
 			t0 := time.Now()
@@ -105,6 +116,7 @@ func (c *Cond) Await(pred func() bool) {
 		}
 		c.m.stats.FutileWakeups++
 	}
+	c.m.waiting--
 	c.m.in = true
 }
 

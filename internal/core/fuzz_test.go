@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
 
 // The tests in this file drive randomized mixed workloads — many
@@ -95,7 +97,11 @@ func TestFuzzMixedPredicateShapes(t *testing.T) {
 			}
 			// A pump keeps the system live: whatever the random mix did,
 			// eventually open the gate and raise the level so every
-			// waiter can get out.
+			// waiter can get out. The pump is event-driven in both
+			// directions: it fires only when a worker is actually parked,
+			// and after firing it yields until the wake-up lands, so it
+			// cannot monopolize the monitor and starve the very waiters
+			// it released.
 			stopPump := make(chan struct{})
 			var pump sync.WaitGroup
 			pump.Add(1)
@@ -107,12 +113,19 @@ func TestFuzzMixedPredicateShapes(t *testing.T) {
 						return
 					default:
 					}
+					if !testutil.Eventually(5*time.Millisecond, 50*time.Microsecond,
+						func() bool { return m.Waiting() > 0 }) {
+						continue // nobody parked; recheck the stop signal
+					}
+					woken := m.Stats().Wakeups
 					m.Enter()
 					open.Set(true)
 					level.Add(3)
 					phase.Set(int64(time.Now().UnixNano()) % 4)
 					m.Exit()
-					time.Sleep(100 * time.Microsecond)
+					testutil.Eventually(5*time.Millisecond, 50*time.Microsecond, func() bool {
+						return m.Stats().Wakeups > woken || m.Waiting() == 0
+					})
 				}
 			}()
 			waitTimeout(t, 60*time.Second, "fuzz workers", wg.Wait)
@@ -274,6 +287,9 @@ func TestFuzzWaiterChurn(t *testing.T) {
 			}
 		}(uint64(c)*13 + 7)
 	}
+	// The pump fires only while a churner is parked, and after each shove
+	// it yields until the wake-up lands (see TestFuzzMixedPredicateShapes
+	// for the rationale).
 	pumpStop := make(chan struct{})
 	var pump sync.WaitGroup
 	pump.Add(1)
@@ -285,8 +301,15 @@ func TestFuzzWaiterChurn(t *testing.T) {
 				return
 			default:
 			}
+			if !testutil.Eventually(5*time.Millisecond, 50*time.Microsecond,
+				func() bool { return m.Waiting() > 0 }) {
+				continue // nobody parked; recheck the stop signal
+			}
+			woken := m.Stats().Wakeups
 			m.Do(func() { x.Add(2) })
-			time.Sleep(50 * time.Microsecond)
+			testutil.Eventually(5*time.Millisecond, 50*time.Microsecond, func() bool {
+				return m.Stats().Wakeups > woken || m.Waiting() == 0
+			})
 		}
 	}()
 	waitTimeout(t, 60*time.Second, "churners", wg.Wait)

@@ -3,14 +3,20 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
 
 // startWaiter parks a goroutine on pred and returns a channel closed when
-// it gets through.
+// it gets through. It returns only once the waiter is actually parked
+// (the monitor's Waiting count has grown), so callers can immediately
+// drive state changes without racing the registration.
 func startWaiter(t *testing.T, m *Monitor, pred string, binds ...Binding) chan struct{} {
 	t.Helper()
+	before := m.Waiting()
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -20,7 +26,8 @@ func startWaiter(t *testing.T, m *Monitor, pred string, binds ...Binding) chan s
 		}
 		m.Exit()
 	}()
-	time.Sleep(5 * time.Millisecond) // let it park
+	testutil.WaitFor(t, 10*time.Second, 0, func() bool { return m.Waiting() > before },
+		"waiter on %q parked", pred)
 	return done
 }
 
@@ -182,8 +189,11 @@ func TestDisjunctionAcrossGroups(t *testing.T) {
 	m.Do(func() { y.Set(3) })
 	waitTimeout(t, 5*time.Second, "disjunction waiter (y route)", func() { <-d })
 
+	// Reset y first so the second waiter actually parks and must be woken
+	// through the x route (with y still 3 it would fast-path instead).
+	m.Do(func() { y.Set(0) })
 	d = startWaiter(t, m, "x >= 8 || y == 3")
-	m.Do(func() { y.Set(0); x.Set(8) })
+	m.Do(func() { x.Set(8) })
 	waitTimeout(t, 5*time.Second, "disjunction waiter (x route)", func() { <-d })
 }
 
@@ -284,6 +294,7 @@ func TestConcurrentDistinctPredicates(t *testing.T) {
 		}},
 	}
 	const rounds = 30
+	var completed atomic.Int64
 	for i := 1; i <= rounds; i++ {
 		for _, p := range preds {
 			wg.Add(1)
@@ -294,13 +305,19 @@ func TestConcurrentDistinctPredicates(t *testing.T) {
 					t.Errorf("Await(%q): %v", pred, err)
 				}
 				m.Exit()
+				completed.Add(1)
 			}(p.pred, p.binds(i))
 		}
 	}
 	waitTimeout(t, 20*time.Second, "mixed predicates", func() {
 		for v := int64(1); v <= rounds; v++ {
 			m.Do(func() { x.Set(v) })
-			time.Sleep(time.Millisecond)
+			// x == v is transient: hold it until all three round-v waiters
+			// (and every straggler of earlier rounds) have gotten through,
+			// so the equivalence waiter cannot miss its only true state.
+			testutil.WaitFor(t, 20*time.Second, 0, func() bool {
+				return completed.Load() >= 3*v
+			}, "round %d waiters released", v)
 		}
 		wg.Wait()
 	})
@@ -364,8 +381,12 @@ func TestHeapStressManyKeys(t *testing.T) {
 			m.Exit()
 		}(int64(i))
 	}
+	// Let every waiter park so the heap really holds all 64 keys, then
+	// release monotonically (x >= k stays true once true, so no wake-up
+	// can be lost even if a release overtakes a slow waiter).
+	testutil.WaitFor(t, 10*time.Second, 0, func() bool { return m.Waiting() == n },
+		"all %d threshold waiters parked", n)
 	waitTimeout(t, 20*time.Second, "heap stress", func() {
-		time.Sleep(20 * time.Millisecond)
 		for v := int64(1); v <= n; v++ {
 			m.Do(func() { x.Set(v) })
 		}
@@ -480,7 +501,8 @@ func TestExplicitBroadcast(t *testing.T) {
 			e.Exit()
 		}()
 	}
-	time.Sleep(10 * time.Millisecond)
+	testutil.WaitFor(t, 10*time.Second, 0, func() bool { return e.Waiting() == 5 },
+		"all 5 broadcast waiters parked")
 	e.Enter()
 	gate = true
 	c.Broadcast()

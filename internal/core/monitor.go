@@ -30,7 +30,8 @@ type Monitor struct {
 	cm    *condManager
 	in    bool // a thread is inside the monitor (diagnostics only)
 
-	stats Stats
+	waiting int // goroutines currently parked in Await/AwaitFunc
+	stats   Stats
 }
 
 // New constructs a monitor.
@@ -218,6 +219,7 @@ func (m *Monitor) AwaitFunc(pred func() bool) {
 // true-condition waiter, sleep, and on wake-up re-check the predicate.
 func (m *Monitor) wait(e *entry) {
 	m.cm.addWaiter(e)
+	m.waiting++
 	for {
 		m.cm.relaySignal()
 		if m.cfg.profile {
@@ -236,6 +238,7 @@ func (m *Monitor) wait(e *entry) {
 		}
 		m.stats.FutileWakeups++
 	}
+	m.waiting--
 	m.cm.removeWaiter(e)
 	if e.waiters == 0 {
 		if e.funcOnly {
@@ -262,6 +265,16 @@ func (m *Monitor) ResetStats() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.stats = Stats{}
+}
+
+// Waiting returns the number of goroutines currently parked in Await or
+// AwaitFunc. The count becomes visible only once the waiter is fully
+// registered (it is updated under the monitor lock), so tests can poll it
+// to know a waiter has parked instead of sleeping for a guessed duration.
+func (m *Monitor) Waiting() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.waiting
 }
 
 // Tagging reports whether predicate tagging is enabled (false for the

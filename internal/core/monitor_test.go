@@ -6,7 +6,19 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
+
+// waitParked blocks until exactly n goroutines are parked inside the
+// monitor — the event-driven replacement for "sleep and hope the waiter
+// parked". Waiting() is updated under the monitor lock, so once it reads
+// n the waiters are fully registered with the condition manager.
+func waitParked(t *testing.T, m *Monitor, n int) {
+	t.Helper()
+	testutil.WaitFor(t, 10*time.Second, 0, func() bool { return m.Waiting() == n },
+		"%d waiter(s) parked", n)
+}
 
 // waitTimeout runs f in a goroutine and fails the test if it does not
 // finish within the deadline — the standard guard against lost wake-ups.
@@ -54,9 +66,9 @@ func TestAwaitHandoff(t *testing.T) {
 		m.Exit()
 	}()
 
-	// Give the waiter time to park, then push count over the threshold in
+	// Wait for the waiter to park, then push count over the threshold in
 	// two steps; only the second should release it.
-	time.Sleep(10 * time.Millisecond)
+	waitParked(t, m, 1)
 	m.Do(func() { count.Add(3) })
 	select {
 	case v := <-released:
@@ -189,7 +201,7 @@ func TestAwaitFunc(t *testing.T) {
 		}
 		m.Exit()
 	}()
-	time.Sleep(10 * time.Millisecond)
+	waitParked(t, m, 1)
 	for i := 0; i < 3; i++ {
 		m.Do(func() { count.Add(1) })
 	}
@@ -215,7 +227,7 @@ func TestPredicateReuseAndInactiveList(t *testing.T) {
 			}
 			m.Exit()
 		}()
-		time.Sleep(5 * time.Millisecond)
+		waitParked(t, m, 1)
 		m.Do(func() { count.Set(n) })
 		waitTimeout(t, 5*time.Second, "waiter", func() { <-done })
 		m.Do(func() { count.Set(0) })
@@ -256,7 +268,7 @@ func TestInactiveListEviction(t *testing.T) {
 			}
 			m.Exit()
 		}(n)
-		time.Sleep(5 * time.Millisecond)
+		waitParked(t, m, 1)
 		m.Do(func() { count.Set(n * 100) })
 		waitTimeout(t, 5*time.Second, "waiter", func() { <-done })
 		m.Do(func() { count.Set(0) })
@@ -281,7 +293,7 @@ func TestSharedPredicateIsStatic(t *testing.T) {
 		}
 		m.Exit()
 	}()
-	time.Sleep(5 * time.Millisecond)
+	waitParked(t, m, 1)
 	m.Do(func() { count.Set(1) })
 	waitTimeout(t, 5*time.Second, "waiter", func() { <-done })
 	// Static predicates stay in the active table with no waiters.
@@ -387,7 +399,7 @@ func TestProfilingPopulatesTimers(t *testing.T) {
 		_ = m.Await("count >= 1")
 		m.Exit()
 	}()
-	time.Sleep(10 * time.Millisecond)
+	waitParked(t, m, 1)
 	m.Do(func() { count.Set(1) })
 	waitTimeout(t, 5*time.Second, "waiter", func() { <-done })
 	s := m.Stats()

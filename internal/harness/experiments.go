@@ -32,10 +32,13 @@ type Experiment struct {
 	Run   func(Config) string
 }
 
-// Experiments lists every experiment in paper order. IDs match the
-// EXPERIMENTS.md index.
+// Experiments lists every experiment: the paper's figures and tables in
+// paper order, the ablations, and one generic thread sweep per registered
+// scenario (prob-<name>), so any workload added to problems.Registry is
+// immediately reproducible from the CLI. IDs match the EXPERIMENTS.md
+// index.
 func Experiments() []Experiment {
-	return []Experiment{
+	exps := []Experiment{
 		{"fig8", "Bounded-buffer runtime vs. #producers+consumers (Fig. 8)", Fig8},
 		{"fig9", "H2O runtime vs. #H-atom threads (Fig. 9)", Fig9},
 		{"fig10", "Sleeping-barber runtime vs. #customers (Fig. 10)", Fig10},
@@ -48,6 +51,40 @@ func Experiments() []Experiment {
 		{"abl-tags", "Ablation: relay cost by tag kind (equivalence/threshold/none)", AblationTagKinds},
 		{"abl-inactive", "Ablation: inactive-list limit vs. registration churn", AblationInactiveList},
 	}
+	return append(exps, ProblemExperiments()...)
+}
+
+// ProblemExperiments builds one runtime-sweep experiment per registered
+// scenario, iterating problems.Registry instead of a hand-maintained
+// list.
+func ProblemExperiments() []Experiment {
+	var exps []Experiment
+	for _, spec := range problems.Specs() {
+		spec := spec
+		title := fmt.Sprintf("Scenario sweep: %s runtime vs. #threads", spec.Name)
+		if spec.Figure != "" {
+			title += fmt.Sprintf(" (cf. %s)", spec.Figure)
+		}
+		exps = append(exps, Experiment{
+			ID:    "prob-" + spec.Name,
+			Title: title,
+			Run:   func(cfg Config) string { return ProblemSweep(spec, cfg) },
+		})
+	}
+	return exps
+}
+
+// ProblemSweep renders the generic figure for one scenario: mean runtime
+// per mechanism over a doubling thread axis.
+func ProblemSweep(spec problems.Spec, cfg Config) string {
+	xs := doubling(2, cfg.MaxThreads)
+	f := Figure{
+		ID: "prob-" + spec.Name, Title: spec.Name, XLabel: "# threads",
+		YLabel: "runtime (seconds)", XS: xs,
+		Series: sweep(cfg.Protocol, spec.Runner, spec.Mechanisms(), xs, cfg.TotalOps, meanSeconds),
+		Notes:  []string{"check: " + spec.CheckDesc},
+	}
+	return f.Render()
 }
 
 // Find returns the experiment with the given ID.
@@ -60,22 +97,20 @@ func Find(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// fourMechs is the Fig. 8–10 lineup; the paper drops the baseline from
-// Fig. 11–13 because it is off-scale, and compares only explicit vs.
-// AutoSynch in Fig. 14–15.
-var (
-	fourMechs  = []problems.Mechanism{problems.Explicit, problems.Baseline, problems.AutoSynchT, problems.AutoSynch}
-	threeMechs = []problems.Mechanism{problems.Explicit, problems.AutoSynchT, problems.AutoSynch}
-	twoMechs   = []problems.Mechanism{problems.Explicit, problems.AutoSynch}
-)
+// spec fetches a registered scenario; the figure generators draw their
+// runners and mechanism lineups from the registry (the paper drops the
+// baseline from Fig. 11–13 as off-scale and compares only explicit vs.
+// AutoSynch in Fig. 14–15 — encoded in each scenario's Spec.Mechs).
+func spec(name string) problems.Spec { return problems.MustLookup(name) }
 
 // Fig8 reproduces the bounded-buffer series.
 func Fig8(cfg Config) string {
+	s := spec("bounded-buffer")
 	xs := doubling(2, cfg.MaxThreads)
 	f := Figure{
 		ID: "fig8", Title: "bounded-buffer problem", XLabel: "# producers/consumers",
 		YLabel: "runtime (seconds)", XS: xs,
-		Series: sweep(cfg.Protocol, problems.RunBoundedBuffer, fourMechs, xs, cfg.TotalOps, meanSeconds),
+		Series: sweep(cfg.Protocol, s.Runner, s.Mechanisms(), xs, cfg.TotalOps, meanSeconds),
 		Notes: []string{
 			"expected shape: baseline grows with thread count; explicit, autosynch-t and autosynch stay comparable (constant number of shared predicates).",
 		},
@@ -85,11 +120,12 @@ func Fig8(cfg Config) string {
 
 // Fig9 reproduces the H2O series.
 func Fig9(cfg Config) string {
+	s := spec("h2o")
 	xs := doubling(2, cfg.MaxThreads)
 	f := Figure{
 		ID: "fig9", Title: "H2O problem (one oxygen thread)", XLabel: "# H-atom threads",
 		YLabel: "runtime (seconds)", XS: xs,
-		Series: sweep(cfg.Protocol, problems.RunH2O, fourMechs, xs, cfg.TotalOps, meanSeconds),
+		Series: sweep(cfg.Protocol, s.Runner, s.Mechanisms(), xs, cfg.TotalOps, meanSeconds),
 		Notes: []string{
 			"expected shape: baseline degrades sharply; the other three stay comparable.",
 		},
@@ -99,11 +135,12 @@ func Fig9(cfg Config) string {
 
 // Fig10 reproduces the sleeping-barber series.
 func Fig10(cfg Config) string {
+	s := spec("sleeping-barber")
 	xs := doubling(2, cfg.MaxThreads)
 	f := Figure{
 		ID: "fig10", Title: "sleeping barber problem", XLabel: "# customers",
 		YLabel: "runtime (seconds)", XS: xs,
-		Series: sweep(cfg.Protocol, problems.RunBarber, fourMechs, xs, cfg.TotalOps, meanSeconds),
+		Series: sweep(cfg.Protocol, s.Runner, s.Mechanisms(), xs, cfg.TotalOps, meanSeconds),
 		Notes: []string{
 			"expected shape: all four comparable — the baseline's broadcasts rarely wake threads whose condition is false here (§6.4).",
 		},
@@ -113,11 +150,12 @@ func Fig10(cfg Config) string {
 
 // Fig11 reproduces the round-robin series.
 func Fig11(cfg Config) string {
+	s := spec("round-robin")
 	xs := doubling(2, cfg.MaxThreads)
 	f := Figure{
 		ID: "fig11", Title: "round-robin access pattern", XLabel: "# threads",
 		YLabel: "runtime (seconds)", XS: xs,
-		Series: sweep(cfg.Protocol, problems.RunRoundRobin, threeMechs, xs, cfg.TotalOps, meanSeconds),
+		Series: sweep(cfg.Protocol, s.Runner, s.Mechanisms(), xs, cfg.TotalOps, meanSeconds),
 		Notes: []string{
 			"expected shape: explicit steady; autosynch-t grows with thread count (linear predicate scan); autosynch within a small factor of explicit and steady.",
 			"baseline omitted as in the paper (off scale).",
@@ -129,6 +167,7 @@ func Fig11(cfg Config) string {
 // Fig12 reproduces the readers/writers series. The x-axis doubles the
 // writer count with five readers per writer (2/10 … 64/320).
 func Fig12(cfg Config) string {
+	s := spec("readers-writers")
 	maxW := cfg.MaxThreads / 4
 	if maxW < 2 {
 		maxW = 2
@@ -140,7 +179,7 @@ func Fig12(cfg Config) string {
 	f := Figure{
 		ID: "fig12", Title: "readers/writers problem (ticket order)", XLabel: "# writers (readers = 5x)",
 		YLabel: "runtime (seconds)", XS: xs,
-		Series: sweep(cfg.Protocol, problems.RunReadersWriters, threeMechs, xs, cfg.TotalOps, meanSeconds),
+		Series: sweep(cfg.Protocol, s.Runner, s.Mechanisms(), xs, cfg.TotalOps, meanSeconds),
 		Notes: []string{
 			"expected shape: explicit steady; autosynch-t grows; autosynch approaches explicit as the thread count grows (tag maintenance amortizes).",
 		},
@@ -150,11 +189,12 @@ func Fig12(cfg Config) string {
 
 // Fig13 reproduces the dining-philosophers series.
 func Fig13(cfg Config) string {
+	s := spec("dining-philosophers")
 	xs := doubling(2, cfg.MaxThreads)
 	f := Figure{
 		ID: "fig13", Title: "dining philosophers problem", XLabel: "# philosophers",
 		YLabel: "runtime (seconds)", XS: xs,
-		Series: sweep(cfg.Protocol, problems.RunPhilosophers, threeMechs, xs, cfg.TotalOps, meanSeconds),
+		Series: sweep(cfg.Protocol, s.Runner, s.Mechanisms(), xs, cfg.TotalOps, meanSeconds),
 		Notes: []string{
 			"expected shape: explicit's edge stays small — each philosopher competes with two neighbours regardless of table size (§6.4).",
 		},
@@ -164,11 +204,12 @@ func Fig13(cfg Config) string {
 
 // Fig14 reproduces the parameterized bounded-buffer runtime series.
 func Fig14(cfg Config) string {
+	s := spec("parameterized-buffer")
 	xs := doubling(2, cfg.MaxThreads)
 	f := Figure{
 		ID: "fig14", Title: "parameterized bounded-buffer (signalAll required in explicit)", XLabel: "# consumers",
 		YLabel: "runtime (seconds)", XS: xs,
-		Series: sweep(cfg.Protocol, problems.RunParamBoundedBuffer, twoMechs, xs, cfg.TotalOps, meanSeconds),
+		Series: sweep(cfg.Protocol, s.Runner, s.Mechanisms(), xs, cfg.TotalOps, meanSeconds),
 		Notes: []string{
 			"expected shape: explicit degrades as consumers multiply (broadcast storms); autosynch stays flat and wins big at the right end (paper: 26.9x at 256).",
 		},
@@ -180,11 +221,12 @@ func Fig14(cfg Config) string {
 // repo counts wake-ups (goroutine unpark→park round trips) as the
 // context-switch proxy.
 func Fig15(cfg Config) string {
+	s := spec("parameterized-buffer")
 	xs := doubling(2, cfg.MaxThreads)
 	f := Figure{
 		ID: "fig15", Title: "parameterized bounded-buffer context switches", XLabel: "# consumers",
 		YLabel: "wake-ups (K)", XS: xs,
-		Series: sweep(cfg.Protocol, problems.RunParamBoundedBuffer, twoMechs, xs, cfg.TotalOps,
+		Series: sweep(cfg.Protocol, s.Runner, s.Mechanisms(), xs, cfg.TotalOps,
 			func(m Measurement) float64 { return float64(m.Last.Stats.ContextSwitches()) / 1000 }),
 		Notes: []string{
 			"expected shape: explicit wake-ups grow steeply with consumers; autosynch stays near-flat (paper: ~2.7M vs ~5.4K at 256).",

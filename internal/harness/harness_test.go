@@ -84,17 +84,23 @@ func TestDoubling(t *testing.T) {
 }
 
 func TestExperimentsRegistryComplete(t *testing.T) {
-	want := []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table1", "abl-tags", "abl-inactive"}
+	paper := []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table1", "abl-tags", "abl-inactive"}
 	ids := IDs()
-	if len(ids) != len(want) {
-		t.Fatalf("IDs = %v", ids)
+	// Every registered scenario contributes a prob-* sweep on top of the
+	// paper experiments.
+	if want := len(paper) + len(problems.Registry); len(ids) != want {
+		t.Fatalf("got %d experiment IDs, want %d: %v", len(ids), want, ids)
 	}
-	for i, id := range want {
+	for i, id := range paper {
 		if ids[i] != id {
 			t.Errorf("IDs[%d] = %q, want %q", i, ids[i], id)
 		}
 	}
-	for _, id := range want {
+	var probe []string
+	for _, name := range problems.Names() {
+		probe = append(probe, "prob-"+name)
+	}
+	for _, id := range append(append([]string{}, paper...), probe...) {
 		e, ok := Find(id)
 		if !ok {
 			t.Errorf("Find(%q) failed", id)
@@ -106,6 +112,16 @@ func TestExperimentsRegistryComplete(t *testing.T) {
 	}
 	if _, ok := Find("nope"); ok {
 		t.Error("Find(nope) succeeded")
+	}
+}
+
+func TestProblemSweepRendersEveryMechanism(t *testing.T) {
+	s := problems.MustLookup("unisex-bathroom")
+	out := ProblemSweep(s, tiny())
+	for _, want := range []string{"prob-unisex-bathroom", "explicit", "baseline", "autosynch-t", "autosynch", "check: "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -1,0 +1,206 @@
+package problems
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Parameters of the resource-allocator stress: a pool of PoolSize
+// interchangeable units, requests of 1..MaxRequest units, and a periodic
+// quiesce operation that waits for utilization to fall to a random
+// waterline. MaxRequest ≤ PoolSize keeps every request satisfiable, and a
+// waiting thread never holds units, so the workload cannot wedge.
+const (
+	PoolSize   = 256
+	MaxRequest = 64
+	// quiescePeriod makes every fourth operation a waterline wait.
+	quiescePeriod = 4
+)
+
+func init() {
+	Register(Spec{
+		Name:           "resource-allocator",
+		Runner:         RunResourceAllocator,
+		DefaultThreads: 32,
+		CheckDesc:      "all pool units returned (free == PoolSize, used == 0)",
+	})
+}
+
+// RunResourceAllocator is a parameterized resource-allocator stress —
+// the §4.3 threshold-tag torture test. Threads repeatedly acquire a
+// random batch of units (waiting on free >= k, pruned by the min-heap
+// over free) and return it; every quiescePeriod-th operation instead
+// waits for utilization to drop to a random waterline (used <= w, pruned
+// by the max-heap over used). Both heaps of the tag manager stay
+// populated with constantly churning keys, and the explicit version must
+// broadcast on every release because the batch sizes are thread-local —
+// the Fig. 14 effect on a two-sided predicate mix.
+//
+// threads is the number of allocator threads; totalOps the total number
+// of operations (acquire/release cycles plus waterline waits). Ops counts
+// operations; Check is (PoolSize − free) + used (must be 0).
+func RunResourceAllocator(mech Mechanism, threads, totalOps int) Result {
+	return RunResourceAllocatorPool(mech, threads, totalOps, PoolSize, MaxRequest)
+}
+
+// RunResourceAllocatorPool is RunResourceAllocator with an explicit pool
+// size and maximum request; maxReq is clamped to the pool size.
+func RunResourceAllocatorPool(mech Mechanism, threads, totalOps, pool, maxReq int) Result {
+	if threads < 1 {
+		threads = 1
+	}
+	if maxReq > pool {
+		maxReq = pool
+	}
+	if maxReq < 1 {
+		maxReq = 1
+	}
+	ops := split(totalOps, threads)
+	switch mech {
+	case Explicit:
+		return runAllocExplicit(ops, pool, maxReq)
+	case Baseline:
+		return runAllocBaseline(ops, pool, maxReq)
+	default:
+		return runAllocAuto(mech, ops, pool, maxReq)
+	}
+}
+
+// Shared state shape for all variants: free counts unallocated units and
+// used allocated ones; free + used == pool is the conservation invariant.
+
+func runAllocExplicit(ops []int, pool, maxReq int) Result {
+	m := core.NewExplicit()
+	spaceCond := m.NewCond() // acquirers wait for free >= k (k is private)
+	drainCond := m.NewCond() // quiescers wait for used <= w (w is private)
+	free, used := pool, 0
+	var completed int64
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range ops {
+		wg.Add(1)
+		go func(seed uint64, n int) {
+			defer wg.Done()
+			rng := newRand(seed)
+			for op := 0; op < n; op++ {
+				m.Enter()
+				if op%quiescePeriod == quiescePeriod-1 {
+					w := int(rng.intn(int64(pool))) - 1 // 0..pool-1
+					drainCond.Await(func() bool { return used <= w })
+					completed++
+					m.Exit()
+					continue
+				}
+				k := int(rng.intn(int64(maxReq)))
+				spaceCond.Await(func() bool { return free >= k })
+				free -= k
+				used += k
+				m.Exit()
+				// hold the units (empty: saturation test)
+				m.Enter()
+				free += k
+				used -= k
+				// Which waiters can proceed depends on their private batch
+				// sizes and waterlines: the explicit version must wake all.
+				spaceCond.Broadcast()
+				drainCond.Broadcast()
+				completed++
+				m.Exit()
+			}
+		}(uint64(i)+1, ops[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: completed, Check: int64(pool-free) + int64(used)}
+}
+
+func runAllocBaseline(ops []int, pool, maxReq int) Result {
+	m := core.NewBaseline()
+	free, used := pool, 0
+	var completed int64
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range ops {
+		wg.Add(1)
+		go func(seed uint64, n int) {
+			defer wg.Done()
+			rng := newRand(seed)
+			for op := 0; op < n; op++ {
+				m.Enter()
+				if op%quiescePeriod == quiescePeriod-1 {
+					w := int(rng.intn(int64(pool))) - 1
+					m.Await(func() bool { return used <= w })
+					completed++
+					m.Exit()
+					continue
+				}
+				k := int(rng.intn(int64(maxReq)))
+				m.Await(func() bool { return free >= k })
+				free -= k
+				used += k
+				m.Exit()
+				m.Enter()
+				free += k
+				used -= k
+				completed++
+				m.Exit()
+			}
+		}(uint64(i)+1, ops[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: completed, Check: int64(pool-free) + int64(used)}
+}
+
+func runAllocAuto(mech Mechanism, ops []int, pool, maxReq int) Result {
+	m := newAuto(mech)
+	free := m.NewInt("free", int64(pool))
+	used := m.NewInt("used", 0)
+	var completed int64
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range ops {
+		wg.Add(1)
+		go func(seed uint64, n int) {
+			defer wg.Done()
+			rng := newRand(seed)
+			for op := 0; op < n; op++ {
+				m.Enter()
+				if op%quiescePeriod == quiescePeriod-1 {
+					w := rng.intn(int64(pool)) - 1
+					if err := m.Await("used <= w", core.BindInt("w", w)); err != nil {
+						panic(err)
+					}
+					completed++
+					m.Exit()
+					continue
+				}
+				k := rng.intn(int64(maxReq))
+				if err := m.Await("free >= k", core.BindInt("k", k)); err != nil {
+					panic(err)
+				}
+				free.Add(-k)
+				used.Add(k)
+				m.Exit()
+				m.Enter()
+				free.Add(k)
+				used.Add(-k)
+				completed++
+				m.Exit()
+			}
+		}(uint64(i)+1, ops[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var check int64
+	m.Do(func() { check = (int64(pool) - free.Get()) + used.Get() })
+	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: completed, Check: check}
+}

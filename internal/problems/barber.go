@@ -11,6 +11,17 @@ import (
 // workload.
 const DefaultBarberChairs = 8
 
+func init() {
+	Register(Spec{
+		Name:           "sleeping-barber",
+		Runner:         RunBarber,
+		DefaultThreads: 32,
+		CheckDesc:      "haircuts + balked visits equal attempted visits",
+		Figure:         "fig10",
+		OpsVary:        true, // haircuts vs. balks depend on scheduling
+	})
+}
+
 // RunBarber is the sleeping barber problem (§6.3.1, Fig. 10): one barber,
 // a bounded waiting room, customers that leave when no chair is free.
 // threads is the number of customer threads; totalOps the number of shop

@@ -1,0 +1,173 @@
+package problems
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// DefaultBathroomCap is the number of stalls in the unisex bathroom.
+const DefaultBathroomCap = 4
+
+func init() {
+	Register(Spec{
+		Name:           "unisex-bathroom",
+		Runner:         RunBathroom,
+		DefaultThreads: 32,
+		CheckDesc:      "nobody left inside the bathroom",
+	})
+}
+
+// RunBathroom is the unisex bathroom problem (Andrews): men and women
+// share a bathroom with DefaultBathroomCap stalls, but only one gender
+// may be inside at a time. Both waiting conditions are static shared
+// predicates (no thread-local variables), so all four mechanisms register
+// exactly two predicates — the contrast case to the unbounded-key
+// workloads. threads is the total number of users (half men, half women,
+// at least one each); totalOps the total number of visits. Ops counts
+// visits; Check is the number of occupants left inside (must be 0).
+func RunBathroom(mech Mechanism, threads, totalOps int) Result {
+	return RunBathroomCap(mech, threads, totalOps, DefaultBathroomCap)
+}
+
+// RunBathroomCap is RunBathroom with an explicit stall count.
+func RunBathroomCap(mech Mechanism, threads, totalOps, stalls int) Result {
+	menCount := threads / 2
+	if menCount == 0 {
+		menCount = 1
+	}
+	womenCount := threads - menCount
+	if womenCount == 0 {
+		womenCount = 1
+	}
+	menOps := split(totalOps/2, menCount)
+	womenOps := split(totalOps-totalOps/2, womenCount)
+	switch mech {
+	case Explicit:
+		return runBathroomExplicit(menOps, womenOps, stalls)
+	case Baseline:
+		return runBathroomBaseline(menOps, womenOps, stalls)
+	default:
+		return runBathroomAuto(mech, menOps, womenOps, stalls)
+	}
+}
+
+// Shared state shape for all variants: men and women count the occupants
+// of each gender; the invariant men == 0 || women == 0 is what the
+// waiting conditions enforce.
+
+func runBathroomExplicit(menOps, womenOps []int, stalls int) Result {
+	m := core.NewExplicit()
+	menWait := m.NewCond()
+	womenWait := m.NewCond()
+	men, women := 0, 0
+
+	// The explicit version uses cascading signals: an entering user passes
+	// the wake-up on while stalls remain, and the last user of a gender to
+	// leave hands the bathroom to the other gender's queue.
+	var wg sync.WaitGroup
+	start := time.Now()
+	user := func(ops int, mine, other *int, myCond, otherCond *core.Cond) {
+		defer wg.Done()
+		for i := 0; i < ops; i++ {
+			m.Enter()
+			myCond.Await(func() bool { return *other == 0 && *mine < stalls })
+			*mine++
+			if *other == 0 && *mine < stalls {
+				myCond.Signal() // cascade: another of my gender may enter
+			}
+			m.Exit()
+			// use a stall (empty: saturation test)
+			m.Enter()
+			*mine--
+			myCond.Signal() // a stall freed for my gender
+			if *mine == 0 {
+				otherCond.Signal() // bathroom handed to the other gender
+			}
+			m.Exit()
+		}
+	}
+	for _, ops := range menOps {
+		wg.Add(1)
+		go user(ops, &men, &women, menWait, womenWait)
+	}
+	for _, ops := range womenOps {
+		wg.Add(1)
+		go user(ops, &women, &men, womenWait, menWait)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: opsSum(menOps) + opsSum(womenOps), Check: int64(men + women)}
+}
+
+func runBathroomBaseline(menOps, womenOps []int, stalls int) Result {
+	m := core.NewBaseline()
+	men, women := 0, 0
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	user := func(ops int, mine, other *int) {
+		defer wg.Done()
+		for i := 0; i < ops; i++ {
+			m.Enter()
+			m.Await(func() bool { return *other == 0 && *mine < stalls })
+			*mine++
+			m.Exit()
+			m.Enter()
+			*mine--
+			m.Exit()
+		}
+	}
+	for _, ops := range menOps {
+		wg.Add(1)
+		go user(ops, &men, &women)
+	}
+	for _, ops := range womenOps {
+		wg.Add(1)
+		go user(ops, &women, &men)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: opsSum(menOps) + opsSum(womenOps), Check: int64(men + women)}
+}
+
+func runBathroomAuto(mech Mechanism, menOps, womenOps []int, stalls int) Result {
+	m := newAuto(mech)
+	men := m.NewInt("men", 0)
+	women := m.NewInt("women", 0)
+	m.NewInt("stalls", int64(stalls))
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	user := func(ops int, mine *core.IntCell, pred string) {
+		defer wg.Done()
+		for i := 0; i < ops; i++ {
+			m.Enter()
+			if err := m.Await(pred); err != nil {
+				panic(err)
+			}
+			mine.Add(1)
+			m.Exit()
+			m.Enter()
+			mine.Add(-1)
+			m.Exit()
+		}
+	}
+	for _, ops := range menOps {
+		wg.Add(1)
+		go user(ops, men, "women == 0 && men < stalls")
+	}
+	for _, ops := range womenOps {
+		wg.Add(1)
+		go user(ops, women, "men == 0 && women < stalls")
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var inside int64
+	m.Do(func() { inside = men.Get() + women.Get() })
+	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: opsSum(menOps) + opsSum(womenOps), Check: inside}
+}

@@ -10,6 +10,16 @@ import (
 // DefaultBufferCap is the buffer capacity used by the Fig. 8 workload.
 const DefaultBufferCap = 64
 
+func init() {
+	Register(Spec{
+		Name:           "bounded-buffer",
+		Runner:         RunBoundedBuffer,
+		DefaultThreads: 32,
+		CheckDesc:      "final buffer occupancy is zero",
+		Figure:         "fig8",
+	})
+}
+
 // RunBoundedBuffer is the classical bounded-buffer problem (§6.3.1,
 // Fig. 8): producers wait while the buffer is full, consumers while it is
 // empty, one item per operation. threads is the total number of producers

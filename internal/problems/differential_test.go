@@ -1,0 +1,97 @@
+package problems
+
+import (
+	"testing"
+)
+
+// TestDifferentialCrossMechanism runs every registered scenario under all
+// four mechanisms with identical parameters and cross-checks the results:
+// conservation must hold everywhere, the completed operation count must
+// match across mechanisms (unless the spec declares it schedule-dependent,
+// e.g. the balking barber), and the two AutoSynch variants must never
+// broadcast — the paper's headline property, differentially verified on
+// the whole suite.
+func TestDifferentialCrossMechanism(t *testing.T) {
+	const threads, totalOps = 6, 360
+	for _, spec := range Specs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			results := make(map[Mechanism]Result, len(All))
+			for _, mech := range All {
+				// runChecked supplies the deadlock watchdog and the
+				// per-result assertions (Check == 0, Ops > 0, label).
+				results[mech] = runChecked(t, spec.Name, mech, threads, totalOps)
+			}
+			if !spec.OpsVary {
+				base := results[Explicit].Ops
+				for _, mech := range All[1:] {
+					if got := results[mech].Ops; got != base {
+						t.Errorf("op count diverges: explicit=%d %s=%d", base, mech, got)
+					}
+				}
+			}
+			for _, mech := range Automatic {
+				if b := results[mech].Stats.Broadcasts; b != 0 {
+					t.Errorf("%s issued %d broadcasts; must be 0", mech, b)
+				}
+			}
+		})
+	}
+}
+
+// TestRegistryShape pins the registry's contract: the thirteen expected
+// scenarios are present, and every spec is complete enough for the
+// consumers that iterate the registry blindly.
+func TestRegistryShape(t *testing.T) {
+	want := []string{
+		"bounded-buffer", "h2o", "sleeping-barber", "round-robin",
+		"readers-writers", "dining-philosophers", "parameterized-buffer",
+		"cigarette-smokers", "unisex-bathroom", "river-crossing",
+		"fifo-barrier", "ticketed-elevator", "resource-allocator",
+	}
+	if len(Registry) < 13 {
+		t.Errorf("registry holds %d scenarios, want >= 13", len(Registry))
+	}
+	for _, name := range want {
+		spec, ok := Lookup(name)
+		if !ok {
+			t.Errorf("scenario %q missing from registry", name)
+			continue
+		}
+		if spec.Name != name || spec.Runner == nil || spec.DefaultThreads <= 0 || spec.CheckDesc == "" {
+			t.Errorf("scenario %q has an incomplete spec: %+v", name, spec)
+		}
+		if len(spec.Mechanisms()) == 0 {
+			t.Errorf("scenario %q has no mechanisms", name)
+		}
+	}
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names() not sorted: %v", names)
+			break
+		}
+	}
+	if specs := Specs(); len(specs) != len(names) {
+		t.Errorf("Specs() returned %d entries for %d names", len(specs), len(names))
+	}
+	if MustLookup("h2o").Figure != "fig9" {
+		t.Error("h2o spec lost its figure id")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	mustPanic := func(name string, s Spec) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		Register(s)
+	}
+	mustPanic("empty", Spec{})
+	mustPanic("no runner", Spec{Name: "x", DefaultThreads: 1})
+	mustPanic("no threads", Spec{Name: "x", Runner: RunH2O})
+	mustPanic("duplicate", Spec{Name: "h2o", Runner: RunH2O, DefaultThreads: 2})
+}

@@ -1,0 +1,257 @@
+package problems
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// DefaultElevatorCap is the cabin capacity of the ticketed elevator.
+const DefaultElevatorCap = 8
+
+func init() {
+	Register(Spec{
+		Name:           "ticketed-elevator",
+		Runner:         RunElevator,
+		DefaultThreads: 32,
+		CheckDesc:      "every ticket boarded and arrived, cabin empty",
+	})
+}
+
+// RunElevator is a ticketed elevator: riders take monotonically
+// increasing tickets and one elevator thread serves them in strict ticket
+// order, boarding up to DefaultElevatorCap riders per trip. Each ride is
+// a two-phase wait — first for the boarding watermark to pass the rider's
+// ticket, then for the arrival watermark — so every rider parks twice per
+// operation on threshold predicates with unbounded keys, while the
+// elevator alternates between waiting for calls and waiting for the cabin
+// to fill and drain.
+//
+// threads is the number of rider threads; totalOps the total number of
+// rides. Ops counts rides; Check is (tickets − arrivedUpTo) + inCabin
+// (must be 0: every ticket served, cabin empty).
+func RunElevator(mech Mechanism, threads, totalOps int) Result {
+	return RunElevatorCap(mech, threads, totalOps, DefaultElevatorCap)
+}
+
+// RunElevatorCap is RunElevator with an explicit cabin capacity.
+func RunElevatorCap(mech Mechanism, threads, totalOps, cabCap int) Result {
+	if threads < 1 {
+		threads = 1
+	}
+	if cabCap < 1 {
+		cabCap = 1
+	}
+	rides := split(totalOps, threads)
+	switch mech {
+	case Explicit:
+		return runElevatorExplicit(rides, totalOps, cabCap)
+	case Baseline:
+		return runElevatorBaseline(rides, totalOps, cabCap)
+	default:
+		return runElevatorAuto(mech, rides, totalOps, cabCap)
+	}
+}
+
+// Shared state shape for all variants: tickets is the monotone ticket
+// counter; boardedUpTo and arrivedUpTo are watermarks (tickets below them
+// may board / have arrived); inCabin counts riders currently aboard. The
+// elevator grants boarding in ticket order in batches of at most the
+// cabin capacity, waits for the batch to board, "moves", releases it, and
+// waits for the cabin to drain.
+
+func runElevatorExplicit(rides []int, totalRides, cabCap int) Result {
+	m := core.NewExplicit()
+	callCond := m.NewCond()  // elevator waits for outstanding tickets
+	cabinCond := m.NewCond() // elevator waits for the cabin to fill/drain
+	arriveCond := m.NewCond()
+	boardConds := map[int64]*core.Cond{} // ticket -> boarding condition
+	var tickets, boardedUpTo, arrivedUpTo int64
+	inCabin := 0
+	var completed int64
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(1)
+	go func() { // the elevator
+		defer wg.Done()
+		served := 0
+		for served < totalRides {
+			m.Enter()
+			callCond.Await(func() bool { return tickets > boardedUpTo })
+			grant := int(tickets - boardedUpTo)
+			if grant > cabCap {
+				grant = cabCap
+			}
+			lo := boardedUpTo
+			boardedUpTo += int64(grant)
+			for t := lo; t < boardedUpTo; t++ {
+				if c, ok := boardConds[t]; ok {
+					c.Signal()
+					delete(boardConds, t)
+				}
+			}
+			g := grant
+			cabinCond.Await(func() bool { return inCabin == g })
+			// travel (empty: saturation test)
+			arrivedUpTo = boardedUpTo
+			arriveCond.Broadcast() // doors open: the whole batch leaves
+			cabinCond.Await(func() bool { return inCabin == 0 })
+			m.Exit()
+			served += grant
+		}
+	}()
+	var rg sync.WaitGroup
+	for r := 0; r < len(rides); r++ {
+		rg.Add(1)
+		go func(ops int) {
+			defer rg.Done()
+			for i := 0; i < ops; i++ {
+				m.Enter()
+				t := tickets
+				tickets++
+				callCond.Signal()
+				if !(boardedUpTo > t) {
+					c, ok := boardConds[t]
+					if !ok {
+						c = m.NewCond()
+						boardConds[t] = c
+					}
+					c.Await(func() bool { return boardedUpTo > t })
+				}
+				inCabin++
+				cabinCond.Signal()
+				arriveCond.Await(func() bool { return arrivedUpTo > t })
+				inCabin--
+				cabinCond.Signal()
+				completed++
+				m.Exit()
+			}
+		}(rides[r])
+	}
+	rg.Wait()
+	wg.Wait()
+	elapsed := time.Since(start)
+	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: completed, Check: (tickets - arrivedUpTo) + int64(inCabin)}
+}
+
+func runElevatorBaseline(rides []int, totalRides, cabCap int) Result {
+	m := core.NewBaseline()
+	var tickets, boardedUpTo, arrivedUpTo int64
+	inCabin := 0
+	var completed int64
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		served := 0
+		for served < totalRides {
+			m.Enter()
+			m.Await(func() bool { return tickets > boardedUpTo })
+			grant := int(tickets - boardedUpTo)
+			if grant > cabCap {
+				grant = cabCap
+			}
+			boardedUpTo += int64(grant)
+			g := grant
+			m.Await(func() bool { return inCabin == g })
+			arrivedUpTo = boardedUpTo
+			m.Await(func() bool { return inCabin == 0 })
+			m.Exit()
+			served += grant
+		}
+	}()
+	var rg sync.WaitGroup
+	for r := 0; r < len(rides); r++ {
+		rg.Add(1)
+		go func(ops int) {
+			defer rg.Done()
+			for i := 0; i < ops; i++ {
+				m.Enter()
+				t := tickets
+				tickets++
+				m.Await(func() bool { return boardedUpTo > t })
+				inCabin++
+				m.Await(func() bool { return arrivedUpTo > t })
+				inCabin--
+				completed++
+				m.Exit()
+			}
+		}(rides[r])
+	}
+	rg.Wait()
+	wg.Wait()
+	elapsed := time.Since(start)
+	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: completed, Check: (tickets - arrivedUpTo) + int64(inCabin)}
+}
+
+func runElevatorAuto(mech Mechanism, rides []int, totalRides, cabCap int) Result {
+	m := newAuto(mech)
+	tickets := m.NewInt("tickets", 0)
+	boardedUpTo := m.NewInt("boardedUpTo", 0)
+	arrivedUpTo := m.NewInt("arrivedUpTo", 0)
+	inCabin := m.NewInt("inCabin", 0)
+	var completed int64
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		served := 0
+		for served < totalRides {
+			m.Enter()
+			if err := m.Await("tickets > boardedUpTo"); err != nil {
+				panic(err)
+			}
+			grant := int(tickets.Get() - boardedUpTo.Get())
+			if grant > cabCap {
+				grant = cabCap
+			}
+			boardedUpTo.Add(int64(grant))
+			if err := m.Await("inCabin == g", core.BindInt("g", int64(grant))); err != nil {
+				panic(err)
+			}
+			arrivedUpTo.Set(boardedUpTo.Get())
+			if err := m.Await("inCabin == 0"); err != nil {
+				panic(err)
+			}
+			m.Exit()
+			served += grant
+		}
+	}()
+	var rg sync.WaitGroup
+	for r := 0; r < len(rides); r++ {
+		rg.Add(1)
+		go func(ops int) {
+			defer rg.Done()
+			for i := 0; i < ops; i++ {
+				m.Enter()
+				t := tickets.Get()
+				tickets.Add(1)
+				if err := m.Await("boardedUpTo > t", core.BindInt("t", t)); err != nil {
+					panic(err)
+				}
+				inCabin.Add(1)
+				if err := m.Await("arrivedUpTo > t", core.BindInt("t", t)); err != nil {
+					panic(err)
+				}
+				inCabin.Add(-1)
+				completed++
+				m.Exit()
+			}
+		}(rides[r])
+	}
+	rg.Wait()
+	wg.Wait()
+	elapsed := time.Since(start)
+	var check int64
+	m.Do(func() { check = (tickets.Get() - arrivedUpTo.Get()) + inCabin.Get() })
+	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: completed, Check: check}
+}

@@ -7,6 +7,16 @@ import (
 	"repro/internal/core"
 )
 
+func init() {
+	Register(Spec{
+		Name:           "h2o",
+		Runner:         RunH2O,
+		DefaultThreads: 32,
+		CheckDesc:      "every bonding slot consumed, no hydrogen offers leaked",
+		Figure:         "fig9",
+	})
+}
+
 // RunH2O is the water-building problem (§6.3.1, Fig. 9): hydrogen threads
 // offer atoms and wait to be bonded; a single oxygen thread (as in the
 // paper's setup) waits for two hydrogens and forms a molecule.

@@ -20,6 +20,17 @@ const (
 	ParamBufferCap = 2 * MaxBatch
 )
 
+func init() {
+	Register(Spec{
+		Name:           "parameterized-buffer",
+		Runner:         RunParamBoundedBuffer,
+		DefaultThreads: 32,
+		Mechs:          HeadToHead,
+		CheckDesc:      "items produced equal items consumed plus final occupancy",
+		Figure:         "fig14",
+	})
+}
+
 // RunParamBoundedBuffer is the parameterized bounded-buffer problem of
 // Fig. 1 and §6.3.3 — the workload where the explicit-signal mechanism
 // must resort to signalAll, because nobody knows which waiting consumer's

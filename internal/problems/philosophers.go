@@ -8,6 +8,17 @@ import (
 	"repro/internal/core"
 )
 
+func init() {
+	Register(Spec{
+		Name:           "dining-philosophers",
+		Runner:         RunPhilosophers,
+		DefaultThreads: 32,
+		Mechs:          NoBaseline,
+		CheckDesc:      "all chopsticks back on the table",
+		Figure:         "fig13",
+	})
+}
+
 // RunPhilosophers is the dining philosophers problem (§6.3.2, Fig. 13):
 // each philosopher needs both adjacent chopsticks, picked up atomically
 // under the monitor, and contends only with two neighbours — which is why

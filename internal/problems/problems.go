@@ -1,8 +1,11 @@
-// Package problems implements the seven conditional-synchronization
-// problems of the paper's evaluation (§6.3), each against the four
-// signaling mechanisms of §6.2 (explicit, baseline, AutoSynch-T,
-// AutoSynch). All workloads are saturation tests: the threads do nothing
-// but monitor operations, so the measured time is synchronization cost.
+// Package problems implements a registry of conditional-synchronization
+// scenarios: the seven problems of the paper's evaluation (§6.3) plus
+// further classic workloads, each against the four signaling mechanisms
+// of §6.2 (explicit, baseline, AutoSynch-T, AutoSynch). All workloads are
+// saturation tests: the threads do nothing but monitor operations, so the
+// measured time is synchronization cost. Each problem file registers its
+// scenario in Registry (see registry.go); consumers iterate the registry
+// instead of keeping hand-maintained problem lists.
 package problems
 
 import (
@@ -28,6 +31,14 @@ var All = []Mechanism{Explicit, Baseline, AutoSynchT, AutoSynch}
 
 // Automatic lists the two AutoSynch variants.
 var Automatic = []Mechanism{AutoSynchT, AutoSynch}
+
+// NoBaseline is the Fig. 11–13 lineup: the baseline is omitted because it
+// is off the scale of those plots.
+var NoBaseline = []Mechanism{Explicit, AutoSynchT, AutoSynch}
+
+// HeadToHead is the Fig. 14–15 lineup: explicit signaling against the
+// full AutoSynch mechanism.
+var HeadToHead = []Mechanism{Explicit, AutoSynch}
 
 func (m Mechanism) String() string {
 	switch m {
@@ -83,18 +94,6 @@ func (r Result) Throughput() float64 {
 // amount of work, held constant across thread counts so runs are
 // comparable, as in the paper's saturation protocol.
 type Runner func(mech Mechanism, threads, totalOps int) Result
-
-// Registry maps experiment problem names to runners. Keys are the names
-// used by cmd/autosynch-bench and the EXPERIMENTS.md index.
-var Registry = map[string]Runner{
-	"bounded-buffer":       RunBoundedBuffer,
-	"sleeping-barber":      RunBarber,
-	"h2o":                  RunH2O,
-	"round-robin":          RunRoundRobin,
-	"readers-writers":      RunReadersWriters,
-	"dining-philosophers":  RunPhilosophers,
-	"parameterized-buffer": RunParamBoundedBuffer,
-}
 
 // split divides total into n near-equal positive parts.
 func split(total, n int) []int {

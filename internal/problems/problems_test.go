@@ -9,10 +9,11 @@ import (
 // verifies conservation and operation counts.
 func runChecked(t *testing.T, name string, mech Mechanism, threads, ops int) Result {
 	t.Helper()
-	runner, ok := Registry[name]
+	spec, ok := Lookup(name)
 	if !ok {
 		t.Fatalf("problem %q not in registry", name)
 	}
+	runner := spec.Runner
 	type outcome struct{ r Result }
 	ch := make(chan outcome, 1)
 	go func() { ch <- outcome{runner(mech, threads, ops)} }()

@@ -11,6 +11,17 @@ import (
 // workload (2/10, 4/20, …, 64/320).
 const DefaultReaderRatio = 5
 
+func init() {
+	Register(Spec{
+		Name:           "readers-writers",
+		Runner:         RunReadersWriters,
+		DefaultThreads: 8,
+		Mechs:          NoBaseline,
+		CheckDesc:      "no reader or writer left inside the resource",
+		Figure:         "fig12",
+	})
+}
+
 // RunReadersWriters is the ticket-ordered readers/writers problem
 // (§6.3.2, Fig. 12), following Buhr & Harji: every arriving reader or
 // writer takes a ticket; admission is strictly in ticket order, readers

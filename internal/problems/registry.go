@@ -1,0 +1,90 @@
+package problems
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Spec describes one registered scenario: how to run it, a representative
+// scale, which mechanisms the paper (or this repo) compares on it, what
+// its conservation check certifies, and which figure of the paper it
+// reproduces ("" for workloads that go beyond the paper's seven).
+//
+// Every consumer of the problem suite — the differential tests, the
+// `go test -bench` entry points, the harness experiment index, and
+// cmd/autosynch-bench — iterates this registry rather than keeping its
+// own list, so a new workload becomes benchable, testable, and runnable
+// everywhere by registering itself here.
+type Spec struct {
+	Name           string
+	Runner         Runner
+	DefaultThreads int         // representative thread count for single-point runs
+	Mechs          []Mechanism // presentation lineup; nil means All
+	CheckDesc      string      // what Check == 0 certifies
+	Figure         string      // paper figure/table id, "" for beyond-paper workloads
+	OpsVary        bool        // Ops legitimately differs across mechanisms (e.g. balking)
+}
+
+// Mechanisms returns the presentation lineup, defaulting to All.
+func (s Spec) Mechanisms() []Mechanism {
+	if len(s.Mechs) == 0 {
+		return All
+	}
+	return s.Mechs
+}
+
+// Registry maps scenario names to their specs. Problem files register
+// themselves in init; use Register to add scenarios from other packages.
+var Registry = map[string]Spec{}
+
+// Register adds a scenario to the registry. It panics on duplicate or
+// malformed specs, so misregistration fails loudly at init time.
+func Register(s Spec) {
+	if s.Name == "" || s.Runner == nil {
+		panic("problems: Register requires a name and a runner")
+	}
+	if s.DefaultThreads <= 0 {
+		panic(fmt.Sprintf("problems: scenario %q has no default thread count", s.Name))
+	}
+	if _, dup := Registry[s.Name]; dup {
+		panic(fmt.Sprintf("problems: scenario %q registered twice", s.Name))
+	}
+	Registry[s.Name] = s
+}
+
+// Lookup returns the spec registered under name.
+func Lookup(name string) (Spec, bool) {
+	s, ok := Registry[name]
+	return s, ok
+}
+
+// MustLookup is Lookup for names that are known to be registered; it
+// panics on a miss (a programming error, not an input error).
+func MustLookup(name string) Spec {
+	s, ok := Registry[name]
+	if !ok {
+		panic(fmt.Sprintf("problems: scenario %q not registered", name))
+	}
+	return s
+}
+
+// Names returns every registered scenario name in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(Registry))
+	for name := range Registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Specs returns every registered spec, sorted by name for deterministic
+// iteration.
+func Specs() []Spec {
+	names := Names()
+	specs := make([]Spec, len(names))
+	for i, name := range names {
+		specs[i] = Registry[name]
+	}
+	return specs
+}

@@ -1,0 +1,282 @@
+package problems
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// BoatSeats is the capacity of the river-crossing boat.
+const BoatSeats = 4
+
+func init() {
+	Register(Spec{
+		Name:           "river-crossing",
+		Runner:         RunRiverCrossing,
+		DefaultThreads: 32,
+		CheckDesc:      "every issued boarding pass consumed, no offers or passes leaked",
+	})
+}
+
+// RunRiverCrossing is the river crossing problem: hackers and serfs share
+// a four-seat boat, and a trip may carry four of one kind or two of each —
+// never three against one. A boat thread (playing the oxygen role of the
+// H2O pattern) waits for a legal combination of offers, converts them to
+// boarding passes, and the passengers collect the passes; stragglers
+// retract their unpaired offers at closing time, exactly as in RunH2O.
+//
+// threads is the number of passenger threads (at least 4, split evenly
+// between hackers and serfs with at least two of each so a legal
+// combination always remains formable); totalOps is the number of
+// passengers to carry (rounded up to a multiple of BoatSeats). Ops counts
+// passengers carried; Check verifies every pass was consumed and no
+// offers leaked.
+func RunRiverCrossing(mech Mechanism, threads, totalOps int) Result {
+	if threads < BoatSeats {
+		threads = BoatSeats
+	}
+	hackers := threads / 2
+	if hackers < 2 {
+		hackers = 2
+	}
+	serfs := threads - hackers
+	if serfs < 2 {
+		serfs = 2
+	}
+	for totalOps%BoatSeats != 0 {
+		totalOps++
+	}
+	trips := totalOps / BoatSeats
+	switch mech {
+	case Explicit:
+		return runRiverExplicit(hackers, serfs, trips)
+	case Baseline:
+		return runRiverBaseline(hackers, serfs, trips)
+	default:
+		return runRiverAuto(mech, hackers, serfs, trips)
+	}
+}
+
+// Shared state shape for all variants: hOff/sOff are outstanding offers,
+// hPass/sPass boarding passes issued by the boat and not yet collected,
+// done set by the boat after the last trip. canSail is the legal-load
+// condition over the offers.
+
+func canSail(hOff, sOff int) bool {
+	return (hOff >= 2 && sOff >= 2) || hOff >= BoatSeats || sOff >= BoatSeats
+}
+
+// loadBoat picks the crew for one trip, preferring the mixed load, and
+// returns how many hackers and serfs board.
+func loadBoat(hOff, sOff int) (h, s int) {
+	if hOff >= 2 && sOff >= 2 {
+		return 2, 2
+	}
+	if hOff >= BoatSeats {
+		return BoatSeats, 0
+	}
+	return 0, BoatSeats
+}
+
+func runRiverExplicit(hackers, serfs, trips int) Result {
+	m := core.NewExplicit()
+	boatReady := m.NewCond() // the boat waits for a legal load
+	hBoard := m.NewCond()    // hackers wait for a boarding pass
+	sBoard := m.NewCond()
+	hOff, sOff, hPass, sPass := 0, 0, 0, 0
+	doneFlag := false
+	var carried, consumed int64
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(1)
+	go func() { // the boat
+		defer wg.Done()
+		for tr := 0; tr < trips; tr++ {
+			m.Enter()
+			boatReady.Await(func() bool { return canSail(hOff, sOff) })
+			h, s := loadBoat(hOff, sOff)
+			hOff -= h
+			sOff -= s
+			hPass += h
+			sPass += s
+			carried += int64(h + s)
+			for i := 0; i < h; i++ {
+				hBoard.Signal()
+			}
+			for i := 0; i < s; i++ {
+				sBoard.Signal()
+			}
+			m.Exit()
+		}
+		m.Enter()
+		doneFlag = true
+		hBoard.Broadcast() // closing time: release every straggler
+		sBoard.Broadcast()
+		m.Exit()
+	}()
+	passenger := func(off, pass *int, board *core.Cond) {
+		defer wg.Done()
+		for {
+			m.Enter()
+			if doneFlag && *pass == 0 {
+				m.Exit()
+				return
+			}
+			*off++
+			if canSail(hOff, sOff) {
+				boatReady.Signal()
+			}
+			board.Await(func() bool { return *pass > 0 || doneFlag })
+			if *pass > 0 {
+				*pass--
+				consumed++
+				m.Exit()
+				continue
+			}
+			*off-- // closing time: retract the unboarded offer
+			m.Exit()
+			return
+		}
+	}
+	for i := 0; i < hackers; i++ {
+		wg.Add(1)
+		go passenger(&hOff, &hPass, hBoard)
+	}
+	for i := 0; i < serfs; i++ {
+		wg.Add(1)
+		go passenger(&sOff, &sPass, sBoard)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: carried, Check: carried - consumed + int64(hOff+sOff+hPass+sPass)}
+}
+
+func runRiverBaseline(hackers, serfs, trips int) Result {
+	m := core.NewBaseline()
+	hOff, sOff, hPass, sPass := 0, 0, 0, 0
+	doneFlag := false
+	var carried, consumed int64
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for tr := 0; tr < trips; tr++ {
+			m.Enter()
+			m.Await(func() bool { return canSail(hOff, sOff) })
+			h, s := loadBoat(hOff, sOff)
+			hOff -= h
+			sOff -= s
+			hPass += h
+			sPass += s
+			carried += int64(h + s)
+			m.Exit()
+		}
+		m.Do(func() { doneFlag = true })
+	}()
+	passenger := func(off, pass *int) {
+		defer wg.Done()
+		for {
+			m.Enter()
+			if doneFlag && *pass == 0 {
+				m.Exit()
+				return
+			}
+			*off++
+			m.Await(func() bool { return *pass > 0 || doneFlag })
+			if *pass > 0 {
+				*pass--
+				consumed++
+				m.Exit()
+				continue
+			}
+			*off--
+			m.Exit()
+			return
+		}
+	}
+	for i := 0; i < hackers; i++ {
+		wg.Add(1)
+		go passenger(&hOff, &hPass)
+	}
+	for i := 0; i < serfs; i++ {
+		wg.Add(1)
+		go passenger(&sOff, &sPass)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: carried, Check: carried - consumed + int64(hOff+sOff+hPass+sPass)}
+}
+
+func runRiverAuto(mech Mechanism, hackers, serfs, trips int) Result {
+	m := newAuto(mech)
+	hOff := m.NewInt("hOff", 0)
+	sOff := m.NewInt("sOff", 0)
+	hPass := m.NewInt("hPass", 0)
+	sPass := m.NewInt("sPass", 0)
+	done := m.NewBool("done", false)
+	var carried, consumed int64
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for tr := 0; tr < trips; tr++ {
+			m.Enter()
+			if err := m.Await("(hOff >= 2 && sOff >= 2) || hOff >= 4 || sOff >= 4"); err != nil {
+				panic(err)
+			}
+			h, s := loadBoat(int(hOff.Get()), int(sOff.Get()))
+			hOff.Add(int64(-h))
+			sOff.Add(int64(-s))
+			hPass.Add(int64(h))
+			sPass.Add(int64(s))
+			carried += int64(h + s)
+			m.Exit()
+		}
+		m.Do(func() { done.Set(true) })
+	}()
+	passenger := func(off, pass *core.IntCell, pred string) {
+		defer wg.Done()
+		for {
+			m.Enter()
+			if done.Get() && pass.Get() == 0 {
+				m.Exit()
+				return
+			}
+			off.Add(1)
+			if err := m.Await(pred); err != nil {
+				panic(err)
+			}
+			if pass.Get() > 0 {
+				pass.Add(-1)
+				consumed++
+				m.Exit()
+				continue
+			}
+			off.Add(-1)
+			m.Exit()
+			return
+		}
+	}
+	for i := 0; i < hackers; i++ {
+		wg.Add(1)
+		go passenger(hOff, hPass, "hPass > 0 || done")
+	}
+	for i := 0; i < serfs; i++ {
+		wg.Add(1)
+		go passenger(sOff, sPass, "sPass > 0 || done")
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var leak int64
+	m.Do(func() { leak = hOff.Get() + sOff.Get() + hPass.Get() + sPass.Get() })
+	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: carried, Check: carried - consumed + leak}
+}

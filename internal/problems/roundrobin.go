@@ -8,6 +8,17 @@ import (
 	"repro/internal/core"
 )
 
+func init() {
+	Register(Spec{
+		Name:           "round-robin",
+		Runner:         RunRoundRobin,
+		DefaultThreads: 32,
+		Mechs:          NoBaseline,
+		CheckDesc:      "turn variable returned to zero (every round completed)",
+		Figure:         "fig11",
+	})
+}
+
 // RunRoundRobin is the round-robin access pattern (§6.3.2, Fig. 11):
 // threads take turns entering the monitor in a fixed cyclic order. Each
 // thread's waiting condition turn == id mentions its thread-local id, so

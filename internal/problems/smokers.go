@@ -1,0 +1,210 @@
+package problems
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+func init() {
+	Register(Spec{
+		Name:           "cigarette-smokers",
+		Runner:         RunSmokers,
+		DefaultThreads: 32,
+		// The single-slot table makes the baseline's broadcast storms
+		// quadratic (minutes per run at 32 threads), so it is dropped
+		// from the presentation lineup as in Fig. 11–13; the
+		// differential test still exercises it at small scale.
+		Mechs:     NoBaseline,
+		CheckDesc: "every dealt ingredient pair was smoked and the table is clear",
+	})
+}
+
+// RunSmokers is Patil's cigarette smokers problem: an agent repeatedly
+// places two of the three ingredients on the table, and only the smoker
+// holding the third ingredient may take them. The table is modeled as a
+// single slot holding 0 (empty) or the ingredient type 1..3 that the
+// current deal is missing, so each smoker type waits on its own
+// equivalence-taggable condition (table == s) while the agent waits for
+// the table to clear — Parnas's restriction-free variant.
+//
+// threads is the number of smoker threads (at least 3, one per
+// ingredient, assigned round-robin); totalOps is the number of deals the
+// agent places. Ops counts cigarettes smoked; Check is deals − smoked
+// (must be 0: every deal consumed, table empty).
+func RunSmokers(mech Mechanism, threads, totalOps int) Result {
+	if threads < 3 {
+		threads = 3
+	}
+	switch mech {
+	case Explicit:
+		return runSmokersExplicit(threads, totalOps)
+	case Baseline:
+		return runSmokersBaseline(threads, totalOps)
+	default:
+		return runSmokersAuto(mech, threads, totalOps)
+	}
+}
+
+// Shared state shape for all variants: table holds the smoker type that
+// can complete the current deal (0 when empty) and done tells smokers the
+// agent has left. The agent only sets done with the table clear, so
+// table == 0 whenever done holds.
+
+func runSmokersExplicit(threads, deals int) Result {
+	m := core.NewExplicit()
+	tableEmpty := m.NewCond() // the agent waits for the table to clear
+	smokerReady := [3]*core.Cond{m.NewCond(), m.NewCond(), m.NewCond()}
+	table := 0
+	doneFlag := false
+	var smoked int64
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(1)
+	go func() { // the agent
+		defer wg.Done()
+		for d := 0; d < deals; d++ {
+			m.Enter()
+			tableEmpty.Await(func() bool { return table == 0 })
+			table = d%3 + 1
+			smokerReady[table-1].Signal()
+			m.Exit()
+		}
+		m.Enter()
+		tableEmpty.Await(func() bool { return table == 0 })
+		doneFlag = true
+		for _, c := range smokerReady {
+			c.Broadcast() // closing time for every smoker type
+		}
+		m.Exit()
+	}()
+	var sg sync.WaitGroup
+	for s := 0; s < threads; s++ {
+		sg.Add(1)
+		go func(typ int) {
+			defer sg.Done()
+			for {
+				m.Enter()
+				smokerReady[typ-1].Await(func() bool { return table == typ || doneFlag })
+				if table == typ {
+					table = 0
+					smoked++
+					tableEmpty.Signal()
+					m.Exit()
+					continue
+				}
+				m.Exit()
+				return
+			}
+		}(s%3 + 1)
+	}
+	sg.Wait()
+	wg.Wait()
+	elapsed := time.Since(start)
+	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: smoked, Check: int64(deals) - smoked}
+}
+
+func runSmokersBaseline(threads, deals int) Result {
+	m := core.NewBaseline()
+	table := 0
+	doneFlag := false
+	var smoked int64
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for d := 0; d < deals; d++ {
+			m.Enter()
+			m.Await(func() bool { return table == 0 })
+			table = d%3 + 1
+			m.Exit()
+		}
+		m.Enter()
+		m.Await(func() bool { return table == 0 })
+		doneFlag = true
+		m.Exit()
+	}()
+	var sg sync.WaitGroup
+	for s := 0; s < threads; s++ {
+		sg.Add(1)
+		go func(typ int) {
+			defer sg.Done()
+			for {
+				m.Enter()
+				m.Await(func() bool { return table == typ || doneFlag })
+				if table == typ {
+					table = 0
+					smoked++
+					m.Exit()
+					continue
+				}
+				m.Exit()
+				return
+			}
+		}(s%3 + 1)
+	}
+	sg.Wait()
+	wg.Wait()
+	elapsed := time.Since(start)
+	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: smoked, Check: int64(deals) - smoked}
+}
+
+func runSmokersAuto(mech Mechanism, threads, deals int) Result {
+	m := newAuto(mech)
+	table := m.NewInt("table", 0)
+	done := m.NewBool("done", false)
+	var smoked int64
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for d := 0; d < deals; d++ {
+			m.Enter()
+			if err := m.Await("table == 0"); err != nil {
+				panic(err)
+			}
+			table.Set(int64(d%3) + 1)
+			m.Exit()
+		}
+		m.Enter()
+		if err := m.Await("table == 0"); err != nil {
+			panic(err)
+		}
+		done.Set(true)
+		m.Exit()
+	}()
+	var sg sync.WaitGroup
+	for s := 0; s < threads; s++ {
+		sg.Add(1)
+		go func(typ int64) {
+			defer sg.Done()
+			for {
+				m.Enter()
+				if err := m.Await("table == typ || done", core.BindInt("typ", typ)); err != nil {
+					panic(err)
+				}
+				if table.Get() == typ {
+					table.Set(0)
+					smoked++
+					m.Exit()
+					continue
+				}
+				m.Exit()
+				return
+			}
+		}(int64(s%3) + 1)
+	}
+	sg.Wait()
+	wg.Wait()
+	elapsed := time.Since(start)
+	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(),
+		Ops: smoked, Check: int64(deals) - smoked}
+}

@@ -1,0 +1,49 @@
+// Package testutil provides event-driven synchronization helpers for
+// concurrency tests. The tests in this repository must coordinate with
+// goroutines that park inside monitors; polling an observable condition
+// with WaitFor replaces fixed time.Sleep pauses, so the tests are fast on
+// fast machines and correct on slow ones.
+package testutil
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// DefaultPoll is the polling interval used by WaitFor when the caller
+// passes a non-positive poll duration.
+const DefaultPoll = 200 * time.Microsecond
+
+// WaitFor repeatedly evaluates pred every poll interval until it returns
+// true, failing t if timeout expires first. Use this instead of
+// time.Sleep for event-driven testing: the predicate should observe state
+// that the awaited event makes true and keeps true (a parked-waiter
+// count, a monotonic counter, a flag).
+func WaitFor(t testing.TB, timeout, poll time.Duration, pred func() bool, format string, args ...any) {
+	t.Helper()
+	if !Eventually(timeout, poll, pred) {
+		t.Fatalf("WaitFor(%s): condition not met within %v", fmt.Sprintf(format, args...), timeout)
+	}
+}
+
+// Eventually is WaitFor without a test handle: it reports whether pred
+// became true before the timeout. Useful inside helper goroutines (e.g. a
+// liveness pump) that must not call testing methods.
+func Eventually(timeout, poll time.Duration, pred func() bool) bool {
+	if poll <= 0 {
+		poll = DefaultPoll
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		if pred() {
+			return true
+		}
+		if !time.Now().Before(deadline) {
+			// One final check so a condition that became true exactly at
+			// the deadline is not reported as a timeout.
+			return pred()
+		}
+		time.Sleep(poll)
+	}
+}

@@ -1,0 +1,68 @@
+package testutil
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWaitForImmediateTruth(t *testing.T) {
+	calls := 0
+	WaitFor(t, time.Second, time.Millisecond, func() bool { calls++; return true }, "already true")
+	if calls != 1 {
+		t.Errorf("pred called %d times, want 1", calls)
+	}
+}
+
+func TestWaitForEventualTruth(t *testing.T) {
+	var n atomic.Int64
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		n.Store(5)
+	}()
+	WaitFor(t, 5*time.Second, 0, func() bool { return n.Load() == 5 }, "counter reaches %d", 5)
+}
+
+func TestEventuallyTimesOut(t *testing.T) {
+	start := time.Now()
+	if Eventually(5*time.Millisecond, time.Millisecond, func() bool { return false }) {
+		t.Fatal("Eventually reported success for a never-true predicate")
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Error("Eventually returned before the timeout")
+	}
+}
+
+func TestEventuallyFinalCheck(t *testing.T) {
+	// A predicate that flips true exactly once the deadline has passed must
+	// still be honored by the final check.
+	deadline := time.Now().Add(3 * time.Millisecond)
+	if !Eventually(3*time.Millisecond, time.Millisecond, func() bool {
+		return !time.Now().Before(deadline)
+	}) {
+		t.Error("final check did not observe the late truth")
+	}
+}
+
+func TestWaitForFailsOnTimeout(t *testing.T) {
+	// Run against a throwaway T so the failure does not fail this test.
+	mock := &mockT{TB: t}
+	func() {
+		defer func() { recover() }() // Fatalf on the mock panics to stop the helper
+		WaitFor(mock, 2*time.Millisecond, time.Millisecond, func() bool { return false }, "never")
+	}()
+	if !mock.failed {
+		t.Error("WaitFor did not fail on timeout")
+	}
+}
+
+type mockT struct {
+	testing.TB
+	failed bool
+}
+
+func (m *mockT) Helper() {}
+func (m *mockT) Fatalf(format string, args ...any) {
+	m.failed = true
+	panic("fatalf")
+}
