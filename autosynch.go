@@ -4,27 +4,68 @@
 //
 // A Monitor provides mutual exclusion plus conditional synchronization
 // without condition variables: instead of declaring conditions and calling
-// signal/signalAll, a thread states the predicate it is waiting for —
+// signal/signalAll, a thread states the predicate it is waiting for and
+// the runtime signals the right thread at the right time.
+//
+// # Compiled predicates
+//
+// Predicates are compiled once, ahead of the wait path, and waited on any
+// number of times. Compile turns a predicate string into a *Predicate —
+// parsing, type inference, DNF canonicalization, and tag-template
+// derivation all happen at compile time — and each wait then only
+// validates and snapshots the thread-local bindings:
 //
 //	m := autosynch.New()
 //	count := m.NewInt("count", 0)
 //	capacity := m.NewInt("cap", 64)
 //	_ = capacity
 //
+//	hasRoom := m.MustCompile("count < cap")
+//	hasItems := m.MustCompile("count >= num")
+//
 //	// producer
 //	m.Enter()
-//	m.Await("count < cap")
+//	hasRoom.Await()
 //	count.Add(1)
 //	m.Exit()
 //
 //	// consumer taking num items (a complex predicate with a local)
 //	m.Enter()
-//	m.Await("count >= num", autosynch.Bind("num", num))
+//	hasItems.Await(autosynch.Bind("num", num))
 //	count.Add(-num)
 //	m.Exit()
 //
-// and the runtime signals the right thread at the right time. Three
-// mechanisms from the paper make this efficient:
+// The typed builder constructs the same compiled predicates without
+// strings — count.AtLeast(Local("num")) is "count >= num" — and lowers to
+// the identical IR, sharing the predicate cache:
+//
+//	hasItems := m.MustCompileExpr(count.AtLeast(autosynch.Local("num")))
+//	hasRoom := m.MustCompileExpr(
+//		autosynch.Or(count.Expr().Plus(autosynch.Local("k")).AtMost(capacity.Expr()),
+//			stop.IsTrue()))
+//
+// The string form Monitor.Await("count >= num", Bind("num", n)) remains as
+// convenience sugar: it consults the same predicate cache (compiling on
+// first use), so it costs one cache lookup per wait where AwaitPred costs
+// none.
+//
+// # Cancellation
+//
+// Every wait has a context-aware variant: Monitor.AwaitCtx/AwaitPredCtx/
+// AwaitFuncCtx, Predicate.AwaitCtx, Baseline.AwaitCtx, and Cond.AwaitCtx
+// return ctx.Err() when the context is done before the predicate becomes
+// true. A cancelled waiter returns holding the monitor — the usual
+// Enter/defer-Exit pairing stays valid — and is fully unregistered from
+// the predicate table and tag structures. Relay invariance survives the
+// abandonment: a signal that was in flight to the abandoned waiter is
+// reconciled and relayed onward, so the next waiter whose predicate holds
+// is signaled and no wake-up is lost. Cancellation takes priority once
+// observed; a waiter may still return nil if its predicate became true
+// before the cancellation was delivered.
+//
+// # Mechanisms
+//
+// Three mechanisms from the paper make automatic signaling efficient:
 //
 //   - Globalization (§4.1): local variables are bound at the moment Await
 //     starts, turning a complex predicate into a shared one that any thread
@@ -41,7 +82,9 @@
 // The package also exports the paper's comparison mechanisms — Baseline
 // (one condition variable + signalAll) and Explicit (instrumented manual
 // condition variables) — and the AutoSynch-T variant (WithoutTagging), so
-// the evaluation experiments can be reproduced; see EXPERIMENTS.md.
+// the evaluation experiments can be reproduced; see EXPERIMENTS.md. All
+// three monitor types implement the Mechanism interface, letting harnesses
+// and benchmarks drive any of them through one surface.
 package autosynch
 
 import (
@@ -50,6 +93,20 @@ import (
 
 // Monitor is an automatic-signal monitor; see the package documentation.
 type Monitor = core.Monitor
+
+// Predicate is a compiled waiting condition produced by Monitor.Compile or
+// Monitor.CompileExpr: analysis is paid once, waits only bind and enqueue.
+type Predicate = core.Predicate
+
+// PredicateError is the uniform error type for malformed predicates and
+// binding mismatches, from both compile time and wait time; use errors.As
+// to inspect it and errors.Is(err, ErrNeverTrue) for unsatisfiable waits.
+type PredicateError = core.PredicateError
+
+// Mechanism is the driving surface shared by Monitor, Baseline, and
+// Explicit: Enter/Exit/Do, closure waits with and without a context, and
+// the Stats/Waiting instrumentation.
+type Mechanism = core.Mechanism
 
 // Baseline is the single-condition signalAll automatic monitor used as the
 // reference point in the paper's evaluation (§6.2).
@@ -62,13 +119,21 @@ type Explicit = core.Explicit
 // Cond is an explicit condition variable created by Explicit.NewCond.
 type Cond = core.Cond
 
-// IntCell is a shared integer monitor variable.
+// IntCell is a shared integer monitor variable. Its comparison methods
+// (AtLeast, LessThan, …) build typed predicates over it.
 type IntCell = core.IntCell
 
 // BoolCell is a shared boolean monitor variable.
 type BoolCell = core.BoolCell
 
-// Binding supplies one thread-local variable value to Await.
+// IntExpr is an integer-valued subexpression of a typed predicate.
+type IntExpr = core.IntExpr
+
+// BoolExpr is a boolean-valued typed predicate expression, compiled with
+// Monitor.CompileExpr.
+type BoolExpr = core.BoolExpr
+
+// Binding supplies one thread-local variable value to a wait.
 type Binding = core.Binding
 
 // Stats is the instrumentation snapshot shared by all mechanisms.
@@ -77,8 +142,8 @@ type Stats = core.Stats
 // Option configures New, NewBaseline, or NewExplicit.
 type Option = core.Option
 
-// ErrNeverTrue is returned by Await when the globalized predicate is
-// constant false (waiting would deadlock).
+// ErrNeverTrue is the sentinel reported (inside a *PredicateError) when
+// the globalized predicate is constant false (waiting would deadlock).
 var ErrNeverTrue = core.ErrNeverTrue
 
 // New constructs an automatic-signal monitor (the full AutoSynch
@@ -91,11 +156,31 @@ func NewBaseline(opts ...Option) *Baseline { return core.NewBaseline(opts...) }
 // NewExplicit constructs an explicit-signal monitor.
 func NewExplicit(opts ...Option) *Explicit { return core.NewExplicit(opts...) }
 
-// Bind binds a local integer variable for the duration of an Await.
+// Bind binds a local integer variable for the duration of a wait.
 func Bind(name string, v int64) Binding { return core.BindInt(name, v) }
 
-// BindBool binds a local boolean variable for the duration of an Await.
+// BindBool binds a local boolean variable for the duration of a wait.
 func BindBool(name string, v bool) Binding { return core.BindBool(name, v) }
+
+// Lit is an integer literal in a typed predicate.
+func Lit(v int64) IntExpr { return core.Lit(v) }
+
+// Local references a thread-local integer variable in a typed predicate;
+// supply its value with Bind on every wait.
+func Local(name string) IntExpr { return core.Local(name) }
+
+// LocalBool references a thread-local boolean variable in a typed
+// predicate; supply its value with BindBool on every wait.
+func LocalBool(name string) BoolExpr { return core.LocalBool(name) }
+
+// And, Or, and Not combine typed predicates.
+func And(ps ...BoolExpr) BoolExpr { return core.And(ps...) }
+
+// Or is the disjunction of typed predicates.
+func Or(ps ...BoolExpr) BoolExpr { return core.Or(ps...) }
+
+// Not negates a typed predicate.
+func Not(p BoolExpr) BoolExpr { return core.Not(p) }
 
 // WithoutTagging disables predicate tagging (the AutoSynch-T mechanism).
 func WithoutTagging() Option { return core.WithoutTagging() }

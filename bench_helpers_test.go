@@ -22,11 +22,12 @@ func benchTagShape(b *testing.B, pred string) {
 	m := autosynch.New()
 	m.NewInt("x", 0) // stays 0: no key in 1..waiters is ever satisfied
 	done := m.NewBool("done", false)
+	shaped := m.MustCompile(pred + " || done")
 	finished := make(chan struct{}, waiters)
 	for w := 1; w <= waiters; w++ {
 		go func(k int64) {
 			m.Enter()
-			if err := m.Await(pred+" || done", autosynch.Bind("k", k)); err != nil {
+			if err := m.AwaitPred(shaped, autosynch.Bind("k", k)); err != nil {
 				panic(err)
 			}
 			m.Exit()
@@ -45,6 +46,52 @@ func benchTagShape(b *testing.B, pred string) {
 	}
 }
 
+// benchAwaitMode drives the no-park await path through one of the three
+// API forms — the string predicate (cache lookup per wait), the compiled
+// *Predicate (no lookup), or the typed builder lowered to the same
+// compiled predicate. The shared monitor state keeps the predicate true
+// throughout, so every iteration takes the fast path and the measured
+// ns/op is pure per-wait API overhead.
+func benchAwaitMode(b *testing.B, mode string, profile bool) {
+	b.Helper()
+	var opts []autosynch.Option
+	if profile {
+		opts = append(opts, autosynch.WithProfiling())
+	}
+	m := autosynch.New(opts...)
+	count := m.NewInt("count", 1)
+	capacity := m.NewInt("cap", 1<<40)
+	stop := m.NewBool("stop", false)
+	const pred = "count + k <= cap || stop"
+	var compiled *autosynch.Predicate
+	switch mode {
+	case "compiled":
+		compiled = m.MustCompile(pred)
+	case "builder":
+		compiled = m.MustCompileExpr(autosynch.Or(
+			count.Expr().Plus(autosynch.Local("k")).AtMost(capacity.Expr()),
+			stop.IsTrue()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Enter()
+		var err error
+		if compiled != nil {
+			err = m.AwaitPred(compiled, autosynch.Bind("k", int64(i&1023)))
+		} else {
+			err = m.Await(pred, autosynch.Bind("k", int64(i&1023)))
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Exit()
+	}
+	b.StopTimer()
+	if s := m.Stats(); s.FastPath != s.Awaits {
+		b.Fatalf("benchmark parked: %d awaits, %d fast-path", s.Awaits, s.FastPath)
+	}
+}
+
 // benchParamBBLimit runs the parameterized buffer with a custom inactive
 // list limit and returns the result for counter reporting.
 func benchParamBBLimit(limit int) problems.Result {
@@ -52,6 +99,8 @@ func benchParamBBLimit(limit int) problems.Result {
 	count := m.NewInt("count", 0)
 	m.NewInt("cap", problems.ParamBufferCap)
 	stop := m.NewBool("stop", false)
+	hasRoom := m.MustCompile("count + k <= cap || stop")
+	hasItems := m.MustCompile("count >= num")
 
 	const consumers = 8
 	const takesEach = 200
@@ -65,7 +114,7 @@ func benchParamBBLimit(limit int) problems.Result {
 			seed ^= seed << 17
 			k := int64(seed%problems.MaxBatch) + 1
 			m.Enter()
-			if err := m.Await("count + k <= cap || stop", autosynch.Bind("k", k)); err != nil {
+			if err := m.AwaitPred(hasRoom, autosynch.Bind("k", k)); err != nil {
 				panic(err)
 			}
 			if stop.Get() {
@@ -85,7 +134,7 @@ func benchParamBBLimit(limit int) problems.Result {
 				seed ^= seed << 17
 				num := int64(seed%problems.MaxBatch) + 1
 				m.Enter()
-				if err := m.Await("count >= num", autosynch.Bind("num", num)); err != nil {
+				if err := m.AwaitPred(hasItems, autosynch.Bind("num", num)); err != nil {
 					panic(err)
 				}
 				count.Add(-num)

@@ -113,6 +113,30 @@ func BenchmarkTable1CPUBreakdown(b *testing.B) {
 	}
 }
 
+// BenchmarkAwaitStringVsCompiled quantifies the per-wait savings of the
+// compiled-predicate API. The predicate is always satisfied, so no
+// iteration parks and ns/op is exactly the await-path overhead: the
+// string form re-hashes the source text against the predicate cache on
+// every wait, AwaitPred skips the lookup entirely, and the typed-builder
+// form compiles to the same *Predicate as the string. The profiled
+// variants run the same loop with the Table-1 phase timers enabled,
+// confirming the reduction shows up under profiling too:
+//
+//	go test -bench 'AwaitStringVsCompiled' -benchtime 2s
+func BenchmarkAwaitStringVsCompiled(b *testing.B) {
+	for _, profile := range []bool{false, true} {
+		for _, mode := range []string{"string", "compiled", "builder"} {
+			name := mode
+			if profile {
+				name += "-profiled"
+			}
+			b.Run(name, func(b *testing.B) {
+				benchAwaitMode(b, mode, profile)
+			})
+		}
+	}
+}
+
 // BenchmarkAblationTagKinds isolates the relay search cost by predicate
 // shape: an equivalence-taggable predicate (hash probe), a threshold-
 // taggable one (heap root), and an untaggable one (exhaustive scan).

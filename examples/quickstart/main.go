@@ -6,6 +6,13 @@
 // relay signaling wakes exactly the threads whose conditions have become
 // true.
 //
+// The waiting conditions are compiled once, at setup: Put's through the
+// typed predicate builder, Take's from a predicate string — both lower to
+// the same compiled representation, so each wait only binds its
+// thread-local batch size and enqueues. (Monitor.Await("…") with a string
+// per call also works and consults the same predicate cache; compiling
+// ahead just keeps even the cache lookup off the hot path.)
+//
 // Run with:
 //
 //	go run ./examples/quickstart
@@ -28,13 +35,23 @@ type BoundedBuffer struct {
 	put   int
 	take  int
 	count *autosynch.IntCell
+
+	hasRoom  *autosynch.Predicate // waituntil(count + k <= cap)
+	hasItems *autosynch.Predicate // waituntil(count >= num)
 }
 
 // NewBoundedBuffer creates a buffer with capacity n.
 func NewBoundedBuffer(n int) *BoundedBuffer {
 	b := &BoundedBuffer{mon: autosynch.New(), buf: make([]int, n)}
 	b.count = b.mon.NewInt("count", 0)
-	b.mon.NewInt("cap", int64(n))
+	capacity := b.mon.NewInt("cap", int64(n))
+
+	// Typed builder form: no strings, the cells themselves spell the
+	// condition.
+	b.hasRoom = b.mon.MustCompileExpr(
+		b.count.Expr().Plus(autosynch.Local("k")).AtMost(capacity.Expr()))
+	// String form: compiles to the same representation.
+	b.hasItems = b.mon.MustCompile("count >= num")
 	return b
 }
 
@@ -42,8 +59,8 @@ func NewBoundedBuffer(n int) *BoundedBuffer {
 func (b *BoundedBuffer) Put(items []int) {
 	b.mon.Enter()
 	defer b.mon.Exit()
-	// waituntil(count + len(items) <= cap)
-	if err := b.mon.Await("count + k <= cap", autosynch.Bind("k", int64(len(items)))); err != nil {
+	// waituntil(count + k <= cap)
+	if err := b.hasRoom.Await(autosynch.Bind("k", int64(len(items)))); err != nil {
 		panic(err)
 	}
 	for _, it := range items {
@@ -58,7 +75,7 @@ func (b *BoundedBuffer) Take(num int) []int {
 	b.mon.Enter()
 	defer b.mon.Exit()
 	// waituntil(count >= num)
-	if err := b.mon.Await("count >= num", autosynch.Bind("num", int64(num))); err != nil {
+	if err := b.hasItems.Await(autosynch.Bind("num", int64(num))); err != nil {
 		panic(err)
 	}
 	out := make([]int, num)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -66,13 +67,43 @@ func (b *Baseline) Do(f func()) {
 // state and the caller's locals. Before each wait the monitor broadcasts,
 // because the caller may have changed the state since entering.
 func (b *Baseline) Await(pred func() bool) {
+	_ = b.await(nil, pred)
+}
+
+// AwaitCtx is Await with cancellation: if ctx is done before the
+// predicate becomes true the waiter gives up and returns ctx.Err(), still
+// holding the monitor (the baseline's broadcast discipline needs no
+// further repair — every state change wakes every waiter anyway).
+func (b *Baseline) AwaitCtx(ctx context.Context, pred func() bool) error {
+	return b.await(ctx, pred)
+}
+
+// AwaitFunc and AwaitFuncCtx adapt Await to the Mechanism interface.
+func (b *Baseline) AwaitFunc(pred func() bool) { _ = b.await(nil, pred) }
+
+// AwaitFuncCtx is AwaitCtx under the Mechanism interface's name.
+func (b *Baseline) AwaitFuncCtx(ctx context.Context, pred func() bool) error {
+	return b.await(ctx, pred)
+}
+
+func (b *Baseline) await(ctx context.Context, pred func() bool) error {
 	if !b.in {
 		panic("autosynch: Await outside the monitor; call Enter first")
 	}
 	b.stats.Awaits++
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
 	if pred() {
 		b.stats.FastPath++
-		return
+		return nil
+	}
+	var cw *ctxWaiter
+	if ctx != nil && ctx.Done() != nil {
+		cw = &ctxWaiter{}
+		defer watchCtx(ctx, &b.mu, cw, b.cond)()
 	}
 	b.waiting++
 	for {
@@ -85,6 +116,12 @@ func (b *Baseline) Await(pred func() bool) {
 		} else {
 			b.cond.Wait()
 		}
+		if cw != nil && cw.cancelled {
+			b.stats.Abandons++
+			b.waiting--
+			b.in = true
+			return ctx.Err()
+		}
 		b.stats.Wakeups++
 		if pred() {
 			break
@@ -93,6 +130,10 @@ func (b *Baseline) Await(pred func() bool) {
 	}
 	b.waiting--
 	b.in = true
+	if cw != nil {
+		cw.finished = true
+	}
+	return nil
 }
 
 // Stats returns a snapshot of the counters.

@@ -1,0 +1,139 @@
+package core
+
+import "repro/internal/expr"
+
+// Typed predicate builders: a small combinator layer for constructing
+// waiting conditions without predicate strings. Expressions reference
+// shared variables through their cells (count.AtLeast(Local("num"))) and
+// thread-local variables through Local/LocalBool placeholders bound at
+// wait time, and lower — via Monitor.CompileExpr — to exactly the same
+// compiled IR as Monitor.Compile, so the typed and string forms share the
+// predicate cache, the tag templates, and the wait path.
+//
+// IntExpr and BoolExpr are immutable values; every combinator returns a
+// new expression, so subterms can be shared and reused freely.
+
+// IntExpr is an integer-valued predicate subexpression.
+type IntExpr struct{ n expr.Node }
+
+// BoolExpr is a boolean-valued predicate expression, ready to compile.
+type BoolExpr struct{ n expr.Node }
+
+// Lit is an integer literal.
+func Lit(v int64) IntExpr { return IntExpr{expr.I(v)} }
+
+// Local references a thread-local integer variable whose value is
+// supplied with Bind on every wait.
+func Local(name string) IntExpr { return IntExpr{expr.V(name)} }
+
+// LocalBool references a thread-local boolean variable, supplied with
+// BindBool on every wait.
+func LocalBool(name string) BoolExpr { return BoolExpr{expr.V(name)} }
+
+// Expr references the shared integer cell inside a larger expression.
+func (c *IntCell) Expr() IntExpr { return IntExpr{expr.V(c.name)} }
+
+// Expr references the shared boolean cell as a predicate.
+func (c *BoolCell) Expr() BoolExpr { return BoolExpr{expr.V(c.name)} }
+
+// IsTrue waits on the cell itself; IsFalse on its negation.
+func (c *BoolCell) IsTrue() BoolExpr  { return c.Expr() }
+func (c *BoolCell) IsFalse() BoolExpr { return Not(c.Expr()) }
+
+// --- arithmetic over integer expressions ---
+
+func bin(op expr.Op, l, r IntExpr) IntExpr { return IntExpr{expr.Bin(op, l.n, r.n)} }
+
+// Plus, Minus, and Times combine integer expressions.
+func (e IntExpr) Plus(o IntExpr) IntExpr  { return bin(expr.OpAdd, e, o) }
+func (e IntExpr) Minus(o IntExpr) IntExpr { return bin(expr.OpSub, e, o) }
+func (e IntExpr) Times(o IntExpr) IntExpr { return bin(expr.OpMul, e, o) }
+
+// --- comparisons, producing predicates ---
+
+func cmp(op expr.Op, l, r IntExpr) BoolExpr { return BoolExpr{expr.Bin(op, l.n, r.n)} }
+
+// AtLeast is >=, AtMost is <=, GreaterThan is >, LessThan is <,
+// EqualTo is ==, and NotEqualTo is !=.
+func (e IntExpr) AtLeast(o IntExpr) BoolExpr     { return cmp(expr.OpGe, e, o) }
+func (e IntExpr) AtMost(o IntExpr) BoolExpr      { return cmp(expr.OpLe, e, o) }
+func (e IntExpr) GreaterThan(o IntExpr) BoolExpr { return cmp(expr.OpGt, e, o) }
+func (e IntExpr) LessThan(o IntExpr) BoolExpr    { return cmp(expr.OpLt, e, o) }
+func (e IntExpr) EqualTo(o IntExpr) BoolExpr     { return cmp(expr.OpEq, e, o) }
+func (e IntExpr) NotEqualTo(o IntExpr) BoolExpr  { return cmp(expr.OpNe, e, o) }
+
+// Cell-level sugar: count.AtLeast(Local("num")) reads like the predicate
+// it builds.
+func (c *IntCell) AtLeast(o IntExpr) BoolExpr     { return c.Expr().AtLeast(o) }
+func (c *IntCell) AtMost(o IntExpr) BoolExpr      { return c.Expr().AtMost(o) }
+func (c *IntCell) GreaterThan(o IntExpr) BoolExpr { return c.Expr().GreaterThan(o) }
+func (c *IntCell) LessThan(o IntExpr) BoolExpr    { return c.Expr().LessThan(o) }
+func (c *IntCell) EqualTo(o IntExpr) BoolExpr     { return c.Expr().EqualTo(o) }
+func (c *IntCell) NotEqualTo(o IntExpr) BoolExpr  { return c.Expr().NotEqualTo(o) }
+
+// --- boolean connectives ---
+
+// And is the conjunction of its operands (true when given none).
+func And(ps ...BoolExpr) BoolExpr {
+	nodes := make([]expr.Node, len(ps))
+	for i, p := range ps {
+		nodes[i] = p.n
+	}
+	return BoolExpr{expr.And(nodes...)}
+}
+
+// Or is the disjunction of its operands (false when given none).
+func Or(ps ...BoolExpr) BoolExpr {
+	nodes := make([]expr.Node, len(ps))
+	for i, p := range ps {
+		nodes[i] = p.n
+	}
+	return BoolExpr{expr.Or(nodes...)}
+}
+
+// Not negates a predicate.
+func Not(p BoolExpr) BoolExpr { return BoolExpr{expr.Not(p.n)} }
+
+// EqualBool compares two boolean expressions (== over bools).
+func (e BoolExpr) EqualBool(o BoolExpr) BoolExpr {
+	return BoolExpr{expr.Bin(expr.OpEq, e.n, o.n)}
+}
+
+// Src renders the expression as predicate-language source; compiling the
+// rendering yields an equivalent predicate.
+func (e BoolExpr) Src() string {
+	if e.n == nil {
+		return ""
+	}
+	return e.n.String()
+}
+
+// CompileExpr lowers a builder predicate to the same compiled IR as
+// Compile, sharing the monitor's predicate cache (keyed by the canonical
+// rendering, so a builder expression and the equivalent string compile to
+// the same *Predicate). Cells from other monitors are resolved by name
+// against this monitor's variables.
+func (m *Monitor) CompileExpr(p BoolExpr) (*Predicate, error) {
+	if p.n == nil {
+		return nil, predErrf("", "empty builder predicate")
+	}
+	src := p.n.String()
+	for _, name := range expr.Vars(p.n) {
+		if !validVarName(name) {
+			return nil, predErrf(src, "invalid variable name %q (cell not created with NewInt/NewBool?)", name)
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.compileNodeCached(src, p.n)
+}
+
+// MustCompileExpr is CompileExpr for predicates that are known to be
+// well-formed; it panics on error.
+func (m *Monitor) MustCompileExpr(p BoolExpr) *Predicate {
+	q, err := m.CompileExpr(p)
+	if err != nil {
+		panic("autosynch: MustCompileExpr: " + err.Error())
+	}
+	return q
+}

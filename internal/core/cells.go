@@ -6,7 +6,12 @@ import "repro/internal/expr"
 // written only while holding their monitor (between Enter and Exit, or
 // inside Do); the monitor lock is the sole synchronization for cell state,
 // exactly as fields of a Java monitor object are guarded by its lock.
-type IntCell struct{ v int64 }
+// A cell knows its declared name, so the typed predicate builders
+// (builder.go) can reference it symbolically.
+type IntCell struct {
+	v    int64
+	name string
+}
 
 // Get returns the current value. Caller must hold the monitor.
 func (c *IntCell) Get() int64 { return c.v }
@@ -22,7 +27,10 @@ func (c *IntCell) Add(d int64) int64 {
 
 // BoolCell is a shared boolean monitor variable; see IntCell for the
 // locking discipline.
-type BoolCell struct{ v bool }
+type BoolCell struct {
+	v    bool
+	name string
+}
 
 // Get returns the current value. Caller must hold the monitor.
 func (c *BoolCell) Get() bool { return c.v }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -15,8 +16,16 @@ type Explicit struct {
 	mu      sync.Mutex
 	profile bool
 	in      bool
-	waiting int // goroutines currently parked in Cond.Await
+	waiting int // goroutines currently parked in Cond.Await or AwaitFunc
 	stats   Stats
+
+	// any is the condition behind the Mechanism-interface AwaitFunc: a
+	// generic waiter with no condition variable of its own parks here and
+	// is woken whenever the program signals or broadcasts any of the
+	// monitor's conditions. anyWaiters gates the extra broadcast so
+	// signal-heavy workloads that never use AwaitFunc pay nothing.
+	any        *sync.Cond
+	anyWaiters int
 }
 
 // NewExplicit constructs an explicit-signal monitor.
@@ -25,7 +34,9 @@ func NewExplicit(opts ...Option) *Explicit {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &Explicit{profile: cfg.profile}
+	e := &Explicit{profile: cfg.profile}
+	e.any = sync.NewCond(&e.mu)
+	return e
 }
 
 // Enter acquires the monitor.
@@ -54,6 +65,87 @@ func (e *Explicit) Do(f func()) {
 	e.Enter()
 	defer e.Exit()
 	f()
+}
+
+// notifyAny wakes the generic AwaitFunc waiters after a manual signal.
+func (e *Explicit) notifyAny() {
+	if e.anyWaiters > 0 {
+		e.any.Broadcast()
+	}
+}
+
+// AwaitFunc blocks until pred() holds, waking whenever the program signals
+// or broadcasts any condition of this monitor. It is the explicit
+// monitor's implementation of the Mechanism interface: generic drivers can
+// wait without owning a condition variable, while the program's own
+// signaling discipline stays manual. A waiter starves if nothing is ever
+// signaled — use NewCond and precise signals in real explicit-monitor
+// code.
+func (e *Explicit) AwaitFunc(pred func() bool) {
+	_ = e.awaitAny(nil, pred)
+}
+
+// AwaitFuncCtx is AwaitFunc with cancellation; on a done context the
+// waiter returns ctx.Err() still holding the monitor.
+func (e *Explicit) AwaitFuncCtx(ctx context.Context, pred func() bool) error {
+	return e.awaitAny(ctx, pred)
+}
+
+func (e *Explicit) awaitAny(ctx context.Context, pred func() bool) error {
+	if !e.in {
+		panic("autosynch: AwaitFunc outside the monitor; call Enter first")
+	}
+	e.stats.Awaits++
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if pred() {
+		e.stats.FastPath++
+		return nil
+	}
+	e.anyWaiters++
+	defer func() { e.anyWaiters-- }()
+	return e.waitLoop(ctx, e.any, pred)
+}
+
+// waitLoop is the shared wake/re-check loop for Cond.Await and AwaitFunc,
+// with optional context cancellation. Runs (and returns) with the monitor
+// lock held.
+func (e *Explicit) waitLoop(ctx context.Context, cond *sync.Cond, pred func() bool) error {
+	var cw *ctxWaiter
+	if ctx != nil && ctx.Done() != nil {
+		cw = &ctxWaiter{}
+		defer watchCtx(ctx, &e.mu, cw, cond)()
+	}
+	e.waiting++
+	for {
+		if e.profile {
+			t0 := time.Now()
+			cond.Wait()
+			e.stats.AwaitNs += time.Since(t0).Nanoseconds()
+		} else {
+			cond.Wait()
+		}
+		if cw != nil && cw.cancelled {
+			e.stats.Abandons++
+			e.waiting--
+			e.in = true
+			return ctx.Err()
+		}
+		e.stats.Wakeups++
+		if pred() {
+			break
+		}
+		e.stats.FutileWakeups++
+	}
+	e.waiting--
+	e.in = true
+	if cw != nil {
+		cw.finished = true
+	}
+	return nil
 }
 
 // Stats returns a snapshot of the counters.
@@ -93,41 +185,44 @@ func (e *Explicit) NewCond() *Cond {
 // Await blocks until pred() holds, re-checking after every wake-up — the
 // standard while-loop idiom around Condition.await.
 func (c *Cond) Await(pred func() bool) {
+	_ = c.await(nil, pred)
+}
+
+// AwaitCtx is Await with cancellation: a waiter whose context is done
+// gives up its spot on the condition and returns ctx.Err(), still holding
+// the monitor. The cancellation wakes the condition's other waiters too;
+// they re-check their predicates and park again, as after any broadcast.
+func (c *Cond) AwaitCtx(ctx context.Context, pred func() bool) error {
+	return c.await(ctx, pred)
+}
+
+func (c *Cond) await(ctx context.Context, pred func() bool) error {
 	if !c.m.in {
 		panic("autosynch: Cond.Await outside the monitor; call Enter first")
 	}
 	c.m.stats.Awaits++
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
 	if pred() {
 		c.m.stats.FastPath++
-		return
+		return nil
 	}
-	c.m.waiting++
-	for {
-		if c.m.profile {
-			t0 := time.Now()
-			c.cond.Wait()
-			c.m.stats.AwaitNs += time.Since(t0).Nanoseconds()
-		} else {
-			c.cond.Wait()
-		}
-		c.m.stats.Wakeups++
-		if pred() {
-			break
-		}
-		c.m.stats.FutileWakeups++
-	}
-	c.m.waiting--
-	c.m.in = true
+	return c.m.waitLoop(ctx, c.cond, pred)
 }
 
 // Signal wakes one thread waiting on the condition.
 func (c *Cond) Signal() {
 	c.m.stats.Signals++
 	c.cond.Signal()
+	c.m.notifyAny()
 }
 
 // Broadcast wakes every thread waiting on the condition (signalAll).
 func (c *Cond) Broadcast() {
 	c.m.stats.Broadcasts++
 	c.cond.Broadcast()
+	c.m.notifyAny()
 }

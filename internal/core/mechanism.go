@@ -1,0 +1,44 @@
+package core
+
+import "context"
+
+// Mechanism is the driving surface shared by the three monitor types —
+// Monitor (and its AutoSynch-T variant), Baseline, and Explicit — so
+// harnesses, benchmarks, and tests can run one workload against every
+// mechanism through a single interface instead of per-mechanism adapter
+// code.
+//
+// The closure wait is the portable common denominator: every mechanism
+// can park a waiter on an opaque predicate and re-check it on wake-up.
+// How wake-ups happen stays mechanism-specific — Monitor relays a signal
+// exactly when the predicate is true, Baseline broadcasts on every exit,
+// and Explicit wakes its generic waiters on any manual signal (see
+// Explicit.AwaitFunc). Monitor's string and compiled-predicate waits
+// (Await/AwaitPred) remain on the concrete type: they are what the other
+// mechanisms, by design, cannot offer.
+type Mechanism interface {
+	// Enter acquires the monitor and Exit releases it (relaying or
+	// broadcasting per the mechanism's discipline); Do wraps both.
+	Enter()
+	Exit()
+	Do(f func())
+
+	// AwaitFunc blocks inside the monitor until pred() holds; the ctx
+	// variant additionally abandons the wait and returns ctx.Err() when
+	// the context is done, still holding the monitor.
+	AwaitFunc(pred func() bool)
+	AwaitFuncCtx(ctx context.Context, pred func() bool) error
+
+	// Stats/ResetStats expose the shared instrumentation; Waiting reports
+	// the parked-waiter count tests poll instead of sleeping.
+	Stats() Stats
+	ResetStats()
+	Waiting() int
+}
+
+// The three mechanisms implement the interface.
+var (
+	_ Mechanism = (*Monitor)(nil)
+	_ Mechanism = (*Baseline)(nil)
+	_ Mechanism = (*Explicit)(nil)
+)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -9,9 +10,11 @@ import (
 	"repro/internal/expr"
 )
 
-// ErrNeverTrue is returned by Await when the globalized predicate folds to
-// the constant false: the local bindings make the condition unsatisfiable
-// for every possible shared state, so waiting would deadlock the caller.
+// ErrNeverTrue is the sentinel cause reported (wrapped in a
+// *PredicateError) when the globalized predicate folds to the constant
+// false: the local bindings make the condition unsatisfiable for every
+// possible shared state, so waiting would deadlock the caller. Test for it
+// with errors.Is(err, ErrNeverTrue).
 var ErrNeverTrue = errors.New("autosynch: globalized predicate is constant false")
 
 // Monitor is an automatic-signal monitor. Member-function bodies run
@@ -26,7 +29,7 @@ type Monitor struct {
 	mu    sync.Mutex
 	cfg   config
 	vars  map[string]*varSlot
-	preds map[string]*parsedPred
+	preds map[string]*Predicate
 	cm    *condManager
 	in    bool // a thread is inside the monitor (diagnostics only)
 
@@ -43,7 +46,7 @@ func New(opts ...Option) *Monitor {
 	m := &Monitor{
 		cfg:   cfg,
 		vars:  map[string]*varSlot{},
-		preds: map[string]*parsedPred{},
+		preds: map[string]*Predicate{},
 	}
 	m.cm = newCondManager(m)
 	return m
@@ -54,7 +57,7 @@ func New(opts ...Option) *Monitor {
 func (m *Monitor) NewInt(name string, init int64) *IntCell {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	c := &IntCell{v: init}
+	c := &IntCell{v: init, name: name}
 	m.declare(name, &varSlot{
 		typ:  expr.TypeInt,
 		get:  func() int64 { return c.v },
@@ -68,7 +71,7 @@ func (m *Monitor) NewInt(name string, init int64) *IntCell {
 func (m *Monitor) NewBool(name string, init bool) *BoolCell {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	c := &BoolCell{v: init}
+	c := &BoolCell{v: init, name: name}
 	m.declare(name, &varSlot{
 		typ: expr.TypeBool,
 		get: func() int64 {
@@ -145,16 +148,74 @@ func (m *Monitor) Do(f func()) {
 // monitor is released, and when Await returns the caller holds the monitor
 // and the predicate is true.
 //
-// Errors report malformed predicates, binding mismatches, or a globalized
-// predicate that is constant false (ErrNeverTrue); no error paths block.
+// The string form is convenience sugar over the compiled-predicate API: it
+// consults the monitor's predicate cache and otherwise compiles on first
+// use, so hot loops pay a map lookup per wait. Compile once and use
+// AwaitPred (or Predicate.Await) to hoist even that off the wait path.
+//
+// Errors are *PredicateError values reporting malformed predicates,
+// binding mismatches, or a globalized predicate that is constant false
+// (errors.Is(err, ErrNeverTrue)); no error paths block.
 func (m *Monitor) Await(pred string, binds ...Binding) error {
+	return m.await(nil, pred, binds)
+}
+
+// AwaitCtx is Await with cancellation: if ctx is done before the predicate
+// becomes true, the waiter is abandoned and AwaitCtx returns ctx.Err().
+//
+// Like Await, AwaitCtx returns holding the monitor — on cancellation too —
+// so the usual Enter/defer-Exit pairing stays valid. An abandoned waiter
+// is fully unregistered from the predicate table and the tag structures,
+// and relay invariance is preserved: before returning, the abandoning
+// thread reconciles any signal that was in flight to it and relays to the
+// next waiter whose predicate holds, so no wake-up is lost. Cancellation
+// takes priority once observed: a waiter woken by a cancellation returns
+// ctx.Err() even if its predicate has just become true.
+func (m *Monitor) AwaitCtx(ctx context.Context, pred string, binds ...Binding) error {
+	return m.await(ctx, pred, binds)
+}
+
+func (m *Monitor) await(ctx context.Context, pred string, binds []Binding) error {
+	if !m.in {
+		panic("autosynch: Await outside the monitor; call Enter first")
+	}
+	p, err := m.compile(pred)
+	if err != nil {
+		m.stats.Awaits++
+		return err
+	}
+	return m.awaitPred(ctx, p, binds)
+}
+
+// AwaitPred waits on a predicate compiled with Compile or CompileExpr.
+// All analysis was done at compile time; AwaitPred only validates and
+// snapshots the bindings, checks the fast path, and enqueues — this is
+// the hot-path form of Await.
+func (m *Monitor) AwaitPred(p *Predicate, binds ...Binding) error {
+	return m.awaitPred(nil, p, binds)
+}
+
+// AwaitPredCtx is AwaitPred with cancellation; see AwaitCtx for the
+// abandonment semantics.
+func (m *Monitor) AwaitPredCtx(ctx context.Context, p *Predicate, binds ...Binding) error {
+	return m.awaitPred(ctx, p, binds)
+}
+
+func (m *Monitor) awaitPred(ctx context.Context, p *Predicate, binds []Binding) error {
 	if !m.in {
 		panic("autosynch: Await outside the monitor; call Enter first")
 	}
 	m.stats.Awaits++
-	p, err := m.parsePred(pred, binds)
-	if err != nil {
-		return err
+	if p == nil {
+		return &PredicateError{Src: "<nil>", Msg: "nil predicate"}
+	}
+	if p.m != m {
+		return predErrf(p.src, "predicate was compiled by a different monitor")
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
 	if err := p.setBinds(binds); err != nil {
 		return err
@@ -163,34 +224,41 @@ func (m *Monitor) Await(pred string, binds ...Binding) error {
 		m.stats.FastPath++
 		return nil
 	}
-	if p.tmpl != nil {
-		// Globalization fast path: precompiled template + key vector.
-		return m.awaitTemplate(p)
-	}
-	// Generic slow path: globalize (Definition 2) by substitution and
-	// register the resulting predicate.
-	glob, err := p.d.Subst(p.bindEnv())
-	if err != nil {
-		return predErrf(pred, "globalize: %v", err)
-	}
-	if glob.IsTrue() {
-		// Possible only when folding knows more than the compiled
-		// evaluator (e.g. division-by-zero fallback); treat as satisfied.
-		m.stats.FastPath++
-		return nil
-	}
-	if glob.IsFalse() {
-		return fmt.Errorf("%w: %q with the given bindings", ErrNeverTrue, pred)
-	}
-	canon := glob.String()
-	e, err := m.cm.getEntry(canon, func() (*entry, error) {
-		return m.buildEntry(canon, glob, p.isShared())
-	})
+	e, err := m.entryFor(p)
 	if err != nil {
 		return err
 	}
-	m.wait(e)
-	return nil
+	if e == nil {
+		// Folding knew more than the compiled evaluator (e.g. a
+		// division-by-zero fallback); treat as satisfied.
+		m.stats.FastPath++
+		return nil
+	}
+	return m.wait(ctx, e)
+}
+
+// entryFor resolves the predicate plus its current bindings to a
+// registered entry: the template fast path when the predicate fits the
+// template shape, otherwise globalization by substitution (Definition 2).
+// A nil entry with a nil error means the globalization folded to true.
+func (m *Monitor) entryFor(p *Predicate) (*entry, error) {
+	if p.tmpl != nil {
+		return m.templateEntry(p)
+	}
+	glob, err := p.d.Subst(p.bindEnv())
+	if err != nil {
+		return nil, predErrf(p.src, "globalize: %v", err)
+	}
+	if glob.IsTrue() {
+		return nil, nil
+	}
+	if glob.IsFalse() {
+		return nil, errNeverTrue(p.src)
+	}
+	canon := glob.String()
+	return m.cm.getEntry(canon, func() (*entry, error) {
+		return m.buildEntry(canon, glob, p.isShared())
+	})
 }
 
 // AwaitFunc blocks until the closure predicate returns true. The closure
@@ -200,26 +268,84 @@ func (m *Monitor) Await(pred string, binds ...Binding) error {
 // are opaque to tagging and are scanned exhaustively; prefer Await with a
 // predicate string where possible.
 func (m *Monitor) AwaitFunc(pred func() bool) {
+	_ = m.awaitFunc(nil, pred)
+}
+
+// AwaitFuncCtx is AwaitFunc with cancellation; see AwaitCtx for the
+// abandonment semantics.
+func (m *Monitor) AwaitFuncCtx(ctx context.Context, pred func() bool) error {
+	return m.awaitFunc(ctx, pred)
+}
+
+func (m *Monitor) awaitFunc(ctx context.Context, pred func() bool) error {
 	if !m.in {
 		panic("autosynch: AwaitFunc outside the monitor; call Enter first")
 	}
 	m.stats.Awaits++
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
 	m.stats.PredicateEvals++
 	if pred() {
 		m.stats.FastPath++
-		return
+		return nil
 	}
 	e := m.funcEntry(pred)
 	e.noneIdx = len(m.cm.none)
 	m.cm.none = append(m.cm.none, e)
-	m.wait(e)
+	return m.wait(ctx, e)
+}
+
+// ctxWaiter is the cancellation state of one AwaitCtx waiter. Both fields
+// are written and read only under the monitor lock.
+type ctxWaiter struct {
+	cancelled bool // the watcher observed ctx.Done before the wait finished
+	finished  bool // the wait completed normally; the watcher must not act
+}
+
+// watchCtx spawns the cancellation watcher for one waiter, shared by all
+// three mechanisms: when ctx is done before the wait finishes, it marks
+// the waiter cancelled under mu and broadcasts wake (waking every waiter
+// of that condition; the cancelled one abandons, the rest re-check and
+// re-park). The returned stop function retires the watcher; the caller
+// defers it from the wait loop, where it runs holding mu — the watcher
+// then either loses the select race (and exits via stop) or observes
+// finished and does nothing.
+func watchCtx(ctx context.Context, mu *sync.Mutex, cw *ctxWaiter, wake *sync.Cond) (stop func()) {
+	ch := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			mu.Lock()
+			if !cw.finished {
+				cw.cancelled = true
+				wake.Broadcast()
+			}
+			mu.Unlock()
+		case <-ch:
+		}
+	}()
+	return func() { close(ch) }
 }
 
 // wait is the waituntil loop of Fig. 6: relay a signal to some other
 // true-condition waiter, sleep, and on wake-up re-check the predicate.
-func (m *Monitor) wait(e *entry) {
+// With a non-nil ctx the wait is cancelable: a watcher goroutine broadcasts
+// the entry's condition when ctx is done, and the abandoned waiter
+// unregisters itself and restores relay invariance before returning
+// ctx.Err().
+func (m *Monitor) wait(ctx context.Context, e *entry) error {
 	m.cm.addWaiter(e)
 	m.waiting++
+
+	var cw *ctxWaiter
+	if ctx != nil && ctx.Done() != nil {
+		cw = &ctxWaiter{}
+		defer watchCtx(ctx, &m.mu, cw, e.cond)()
+	}
+
 	for {
 		m.cm.relaySignal()
 		if m.cfg.profile {
@@ -228,6 +354,14 @@ func (m *Monitor) wait(e *entry) {
 			m.stats.AwaitNs += time.Since(t0).Nanoseconds()
 		} else {
 			e.cond.Wait()
+		}
+		if cw != nil && cw.cancelled {
+			return m.abandonWait(ctx, e)
+		}
+		if e.signaled == 0 {
+			// Woken by a cancellation broadcast aimed at another waiter of
+			// this entry, not by a relay signal: nothing to consume.
+			continue
 		}
 		m.stats.Wakeups++
 		e.signaled--
@@ -240,16 +374,52 @@ func (m *Monitor) wait(e *entry) {
 	}
 	m.waiting--
 	m.cm.removeWaiter(e)
-	if e.waiters == 0 {
-		if e.funcOnly {
-			if e.noneIdx >= 0 {
-				m.cm.removeNone(e)
-			}
-		} else {
-			m.cm.deactivate(e)
-		}
-	}
+	m.retireIfIdle(e)
 	m.in = true
+	if cw != nil {
+		cw.finished = true
+	}
+	return nil
+}
+
+// abandonWait unwinds a waiter whose context was cancelled. Called with
+// the monitor lock held, right after the cancellation broadcast woke the
+// waiter. The waiter is removed from the entry (and the entry, if now
+// waiterless, from the predicate table and tag structures); a signal that
+// was in flight to the abandoned waiter with no remaining consumer is
+// reconciled; and relaySignal runs so the signaling chain moves to the
+// next waiter whose predicate holds — relay invariance survives the
+// abandonment.
+func (m *Monitor) abandonWait(ctx context.Context, e *entry) error {
+	m.stats.Abandons++
+	m.waiting--
+	m.cm.removeWaiter(e)
+	if e.signaled > e.waiters {
+		// The abandoned waiter was signaled but never consumed it, and no
+		// remaining waiter of this entry can: drop the orphaned signal so
+		// the pending count cannot wedge the relay search.
+		orphans := e.signaled - e.waiters
+		e.signaled -= orphans
+		m.cm.pending -= orphans
+	}
+	m.retireIfIdle(e)
+	m.cm.relaySignal()
+	m.in = true
+	return ctx.Err()
+}
+
+// retireIfIdle parks or discards an entry that no longer has waiters.
+func (m *Monitor) retireIfIdle(e *entry) {
+	if e.waiters != 0 {
+		return
+	}
+	if e.funcOnly {
+		if e.noneIdx >= 0 {
+			m.cm.removeNone(e)
+		}
+		return
+	}
+	m.cm.deactivate(e)
 }
 
 // Stats returns a snapshot of the monitor's counters.

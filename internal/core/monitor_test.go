@@ -145,8 +145,10 @@ func TestAwaitErrors(t *testing.T) {
 		{"missing binding", "count >= num", nil, "neither a shared monitor variable nor bound"},
 		{"shared bound fresh", "count >= 0", []Binding{BindInt("count", 1)}, "shared monitor variable"},
 		{"unknown binding", "count > 0", []Binding{BindInt("x", 1)}, "binding(s)"},
-		{"shared bound cached", "count > 0", []Binding{BindInt("count", 1)}, "binding(s)"},
-		{"type mismatch binding", "count >= num", []Binding{BindBool("num", true)}, "operands of >= must be int"},
+		{"shared bound cached", "count > 0", []Binding{BindInt("count", 1)}, "shared monitor variable"},
+		{"duplicate binding", "count >= num", []Binding{BindInt("num", 1), BindInt("num", 2)}, "duplicate binding"},
+		{"extra binding", "count >= num", []Binding{BindInt("num", 1), BindInt("extra", 2)}, "does not match any local variable"},
+		{"type mismatch binding", "count >= num", []Binding{BindBool("num", true)}, "has type bool, predicate uses it as int"},
 		{"ill-typed", "count && count > 0", nil, "must be bool"},
 	}
 	for _, c := range cases {

@@ -1,17 +1,28 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/dnf"
 	"repro/internal/expr"
 )
 
-// parsedPred is the per-source-string analysis of an Await predicate,
-// cached on the monitor. Parsing, DNF conversion, and fast-path compilation
-// happen once per distinct predicate text; subsequent Awaits only store the
-// current local bindings and call the compiled evaluator.
-type parsedPred struct {
+// Predicate is a compiled waiting condition: the per-source analysis of an
+// Await predicate with parsing, type inference, canonicalization, DNF
+// conversion, fast-path compilation, and tag-template derivation all done
+// once, ahead of the wait path. Compile it once per scenario with
+// Monitor.Compile (or CompileExpr for the typed builder) and wait on it
+// any number of times with AwaitPred/Await; each wait only snapshots the
+// local bindings and enqueues.
+//
+// A Predicate is bound to the monitor that compiled it (its evaluators
+// read that monitor's cells); waiting on it from another monitor is an
+// error. Binding values are stored under the monitor lock, so one compiled
+// Predicate is safely shared by any number of waiting goroutines.
+type Predicate struct {
+	m    *Monitor
 	src  string
 	node expr.Node
 	d    dnf.DNF // locals still symbolic
@@ -27,23 +38,87 @@ type parsedPred struct {
 	staticEntry *entry    // cached entry for shared (local-free) predicates
 }
 
-// PredicateError reports a malformed predicate or binding mismatch.
+// Src returns the predicate's canonical source text.
+func (p *Predicate) Src() string { return p.src }
+
+// Locals returns the names of the thread-local variables the predicate
+// expects to be bound on every wait, in binding-slot order.
+func (p *Predicate) Locals() []string {
+	return append([]string(nil), p.localNames...)
+}
+
+// Await waits on the compiled predicate; see Monitor.AwaitPred.
+func (p *Predicate) Await(binds ...Binding) error {
+	return p.m.awaitPred(nil, p, binds)
+}
+
+// AwaitCtx is Await with cancellation; see Monitor.AwaitPredCtx.
+func (p *Predicate) AwaitCtx(ctx context.Context, binds ...Binding) error {
+	return p.m.awaitPred(ctx, p, binds)
+}
+
+// PredicateError reports a malformed predicate or a binding mismatch.
+// Every predicate-shaped failure — parse errors, type errors, DNF blow-up,
+// bind-time arity/name/type mismatches, and unsatisfiable globalizations —
+// is a *PredicateError, so callers can uniformly errors.As on it; Err
+// carries a sentinel cause (ErrNeverTrue) when one applies, reachable via
+// errors.Is.
 type PredicateError struct {
 	Src string
 	Msg string
+	Err error // sentinel cause (e.g. ErrNeverTrue); nil otherwise
 }
 
 func (e *PredicateError) Error() string {
 	return fmt.Sprintf("predicate %q: %s", e.Src, e.Msg)
 }
 
+// Unwrap exposes the sentinel cause to errors.Is.
+func (e *PredicateError) Unwrap() error { return e.Err }
+
 func predErrf(src, format string, args ...any) error {
 	return &PredicateError{Src: src, Msg: fmt.Sprintf(format, args...)}
 }
 
-// parsePred analyzes src under the monitor lock. binds supplies the local
-// variables (and fixes their types on first use).
-func (m *Monitor) parsePred(src string, binds []Binding) (*parsedPred, error) {
+// errNeverTrue builds the ErrNeverTrue failure for a predicate whose
+// globalization folded to constant false.
+func errNeverTrue(src string) error {
+	return &PredicateError{Src: src, Msg: "globalized predicate is constant false with the given bindings", Err: ErrNeverTrue}
+}
+
+// maxLocals bounds the number of local variables per predicate; the bind
+// validator tracks the bound set in one machine word.
+const maxLocals = 64
+
+// Compile analyzes src once and returns the reusable compiled predicate.
+// The predicate may reference the monitor's shared variables and any
+// thread-local variables; local types are inferred from usage at compile
+// time (an equality between two otherwise unconstrained locals defaults
+// them to int) and bindings are validated against them on every wait.
+//
+// Compile acquires the monitor internally: call it from setup code, not
+// between Enter and Exit. Compiling the same source twice returns the same
+// cached *Predicate; Await with a string predicate consults the same
+// cache, so the two forms can be mixed freely.
+func (m *Monitor) Compile(src string) (*Predicate, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.compile(src)
+}
+
+// MustCompile is Compile for predicates that are known to be well-formed;
+// it panics on error. Intended for scenario setup and static tables.
+func (m *Monitor) MustCompile(src string) *Predicate {
+	p, err := m.Compile(src)
+	if err != nil {
+		panic("autosynch: MustCompile: " + err.Error())
+	}
+	return p
+}
+
+// compile is Compile under the monitor lock (the Await string path enters
+// here directly).
+func (m *Monitor) compile(src string) (*Predicate, error) {
 	if p, ok := m.preds[src]; ok {
 		return p, nil
 	}
@@ -51,26 +126,52 @@ func (m *Monitor) parsePred(src string, binds []Binding) (*parsedPred, error) {
 	if err != nil {
 		return nil, predErrf(src, "parse: %v", err)
 	}
-	p := &parsedPred{src: src, node: node, localIdx: map[string]int{}}
+	return m.compileNodeCached(src, node)
+}
 
-	bindType := map[string]expr.Type{}
-	for _, b := range binds {
-		bindType[b.Name] = b.Val.Type
+// compileNodeCached is the shared cache path behind compile and
+// CompileExpr: the string and builder forms of one predicate resolve to
+// the same *Predicate because both store through here under the canonical
+// source key. Called under the monitor lock with the cache already missed
+// for src (a builder caller checks before rendering work; re-checking is
+// harmless).
+func (m *Monitor) compileNodeCached(src string, node expr.Node) (*Predicate, error) {
+	if p, ok := m.preds[src]; ok {
+		return p, nil
+	}
+	p, err := m.compileNode(src, node)
+	if err != nil {
+		return nil, err
+	}
+	m.preds[src] = p
+	return p, nil
+}
+
+// compileNode builds the compiled predicate for an already-parsed tree.
+// Called under the monitor lock.
+func (m *Monitor) compileNode(src string, node expr.Node) (*Predicate, error) {
+	p := &Predicate{m: m, src: src, node: node, localIdx: map[string]int{}}
+
+	sharedType := func(name string) (expr.Type, bool) {
+		if s, ok := m.vars[name]; ok {
+			return s.typ, true
+		}
+		return expr.TypeInvalid, false
+	}
+	localType, err := expr.Infer(node, sharedType)
+	if err != nil {
+		return nil, predErrf(src, "%v", err)
 	}
 	for _, name := range expr.Vars(node) {
 		if _, shared := m.vars[name]; shared {
-			if _, alsoBound := bindType[name]; alsoBound {
-				return nil, predErrf(src, "%q is a shared monitor variable and cannot be bound", name)
-			}
 			continue
-		}
-		t, ok := bindType[name]
-		if !ok {
-			return nil, predErrf(src, "variable %q is neither a shared monitor variable nor bound", name)
 		}
 		p.localIdx[name] = len(p.localNames)
 		p.localNames = append(p.localNames, name)
-		p.localTypes = append(p.localTypes, t)
+		p.localTypes = append(p.localTypes, localType[name])
+	}
+	if len(p.localNames) > maxLocals {
+		return nil, predErrf(src, "predicate has %d local variables; the limit is %d", len(p.localNames), maxLocals)
 	}
 	p.localVals = make([]int64, len(p.localNames))
 
@@ -120,24 +221,28 @@ func (m *Monitor) parsePred(src string, binds []Binding) (*parsedPred, error) {
 	}
 	p.fast = fast
 	p.tmpl = m.buildTemplate(p)
-
-	m.preds[src] = p
 	return p, nil
 }
 
-// setBinds stores the binding values for the current Await. The set of
-// bound names must exactly match the predicate's local variables, with the
-// types fixed at first use.
-func (p *parsedPred) setBinds(binds []Binding) error {
-	if len(binds) != len(p.localNames) {
-		return predErrf(p.src, "predicate has %d local variable(s) %v, got %d binding(s)",
-			len(p.localNames), p.localNames, len(binds))
-	}
+// setBinds validates the bindings against the compile-time local-variable
+// set — every local bound exactly once, no unknown or shared names, types
+// matching the inferred ones — and stores the values for the current wait.
+// Called under the monitor lock.
+func (p *Predicate) setBinds(binds []Binding) error {
+	var bound uint64
 	for _, b := range binds {
 		i, ok := p.localIdx[b.Name]
 		if !ok {
-			return predErrf(p.src, "binding %q does not match any local variable (locals: %v)", b.Name, p.localNames)
+			if _, shared := p.m.vars[b.Name]; shared {
+				return predErrf(p.src, "%q is a shared monitor variable and cannot be bound", b.Name)
+			}
+			return predErrf(p.src, "binding %q does not match any local variable (locals: %v) among %d binding(s)",
+				b.Name, p.localNames, len(binds))
 		}
+		if bound&(1<<uint(i)) != 0 {
+			return predErrf(p.src, "duplicate binding %q", b.Name)
+		}
+		bound |= 1 << uint(i)
 		if b.Val.Type != p.localTypes[i] {
 			return predErrf(p.src, "binding %q has type %s, predicate uses it as %s", b.Name, b.Val.Type, p.localTypes[i])
 		}
@@ -151,12 +256,22 @@ func (p *parsedPred) setBinds(binds []Binding) error {
 			p.localVals[i] = b.Val.I
 		}
 	}
+	if len(binds) != len(p.localNames) {
+		var missing []string
+		for i, name := range p.localNames {
+			if bound&(1<<uint(i)) == 0 {
+				missing = append(missing, name)
+			}
+		}
+		return predErrf(p.src, "local variable(s) %s neither a shared monitor variable nor bound (%d binding(s) for locals %v)",
+			strings.Join(missing, ", "), len(binds), p.localNames)
+	}
 	return nil
 }
 
 // bindEnv exposes the current binding values as a substitution environment
 // for globalization.
-func (p *parsedPred) bindEnv() expr.Env {
+func (p *Predicate) bindEnv() expr.Env {
 	return func(name string) (expr.Value, bool) {
 		i, ok := p.localIdx[name]
 		if !ok {
@@ -172,4 +287,4 @@ func (p *parsedPred) bindEnv() expr.Env {
 // isShared reports whether the predicate mentions no local variables, in
 // which case its globalization is itself and the registered entry is static
 // (never evicted — §5.2).
-func (p *parsedPred) isShared() bool { return len(p.localNames) == 0 }
+func (p *Predicate) isShared() bool { return len(p.localNames) == 0 }

@@ -22,6 +22,7 @@ type Stats struct {
 	// Wake-ups observed by waiters.
 	Wakeups       uint64 // returns from a condition wait
 	FutileWakeups uint64 // wake-ups that found the predicate still false
+	Abandons      uint64 // waiters that left early because their context was cancelled
 
 	// Condition-manager work (automatic mechanisms only).
 	RelayCalls     uint64 // relaySignal invocations
@@ -67,6 +68,7 @@ func (s Stats) Add(o Stats) Stats {
 		Broadcasts:     s.Broadcasts + o.Broadcasts,
 		Wakeups:        s.Wakeups + o.Wakeups,
 		FutileWakeups:  s.FutileWakeups + o.FutileWakeups,
+		Abandons:       s.Abandons + o.Abandons,
 		RelayCalls:     s.RelayCalls + o.RelayCalls,
 		PredicateEvals: s.PredicateEvals + o.PredicateEvals,
 		TagChecks:      s.TagChecks + o.TagChecks,

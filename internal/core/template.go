@@ -49,7 +49,7 @@ type predTmpl struct {
 
 // buildTemplate analyzes p's DNF into a template, or returns nil when the
 // predicate does not fit the template shape.
-func (m *Monitor) buildTemplate(p *parsedPred) *predTmpl {
+func (m *Monitor) buildTemplate(p *Predicate) *predTmpl {
 	if p.d.IsTrue() || p.d.IsFalse() {
 		// Constant predicates take the generic path, which resolves them
 		// to the fast path or ErrNeverTrue.
@@ -101,7 +101,7 @@ func (m *Monitor) buildTemplate(p *parsedPred) *predTmpl {
 // buildAtom analyzes one atom. The supported shapes are bare shared
 // boolean variables, their negations, and comparisons linear in the
 // shared variables with any local-only residual as the key.
-func (m *Monitor) buildAtom(p *parsedPred, t *predTmpl, a expr.Node) (atomTmpl, bool) {
+func (m *Monitor) buildAtom(p *Predicate, t *predTmpl, a expr.Node) (atomTmpl, bool) {
 	isShared := func(name string) bool {
 		_, ok := m.vars[name]
 		return ok
@@ -265,15 +265,14 @@ func (t *predTmpl) identity(keys []int64) string {
 	return string(buf)
 }
 
-// awaitTemplate is the template slow path of Await: compute keys, find or
-// build the entry, wait.
-func (m *Monitor) awaitTemplate(p *parsedPred) error {
+// templateEntry is the template slow path of Await: compute keys, then
+// find or build the entry from the precompiled pieces.
+func (m *Monitor) templateEntry(p *Predicate) (*entry, error) {
 	t := p.tmpl
 	// Static predicates short-circuit everything: the entry is registered
 	// once and never evicted.
 	if p.staticEntry != nil {
-		m.wait(p.staticEntry)
-		return nil
+		return p.staticEntry, nil
 	}
 	var keysArr [8]int64
 	var keys []int64
@@ -301,11 +300,10 @@ func (m *Monitor) awaitTemplate(p *parsedPred) error {
 		}, nil
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if p.isShared() {
 		p.staticEntry = e
 	}
-	m.wait(e)
-	return nil
+	return e, nil
 }

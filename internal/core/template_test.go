@@ -24,13 +24,16 @@ func TestTemplatePathChosen(t *testing.T) {
 		{"x >= a * a", []Binding{BindInt("a", 3)}}, // nonlinear in locals only: key = a²
 	}
 	for _, c := range templateable {
-		p, err := m.parsePred(c.pred, c.binds)
+		p, err := m.Compile(c.pred)
 		if err != nil {
-			t.Errorf("parsePred(%q): %v", c.pred, err)
+			t.Errorf("Compile(%q): %v", c.pred, err)
 			continue
 		}
 		if p.tmpl == nil {
 			t.Errorf("predicate %q did not get a template", c.pred)
+		}
+		if err := p.setBinds(c.binds); err != nil {
+			t.Errorf("setBinds(%q): %v", c.pred, err)
 		}
 	}
 
@@ -46,13 +49,16 @@ func TestTemplatePathChosen(t *testing.T) {
 		{"false", nil},
 	}
 	for _, c := range generic {
-		p, err := m.parsePred(c.pred, c.binds)
+		p, err := m.Compile(c.pred)
 		if err != nil {
-			t.Errorf("parsePred(%q): %v", c.pred, err)
+			t.Errorf("Compile(%q): %v", c.pred, err)
 			continue
 		}
 		if p.tmpl != nil {
 			t.Errorf("predicate %q unexpectedly got a template (canon %q)", c.pred, p.tmpl.canon)
+		}
+		if err := p.setBinds(c.binds); err != nil {
+			t.Errorf("setBinds(%q): %v", c.pred, err)
 		}
 	}
 }
@@ -183,7 +189,7 @@ func TestTemplateManyKeysFallbackBuffer(t *testing.T) {
 func TestTemplateIdentityDistinguishesKeys(t *testing.T) {
 	m := New()
 	m.NewInt("x", 0)
-	p, err := m.parsePred("x >= k", []Binding{BindInt("k", 0)})
+	p, err := m.Compile("x >= k")
 	if err != nil {
 		t.Fatal(err)
 	}

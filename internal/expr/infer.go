@@ -1,0 +1,195 @@
+package expr
+
+// Type inference for undeclared (thread-local) variables. The predicate
+// language is small enough that almost every occurrence of a variable pins
+// its type: operands of arithmetic and ordering comparisons are int,
+// operands of && || ! are bool. The one underdetermined position is == and
+// != between two unknowns, which only constrains the operands to have the
+// *same* type; Infer tracks those equalities with a union-find and lets a
+// constraint discovered anywhere in the tree propagate across them.
+// Variables left unconstrained after propagation default to int.
+//
+// Infer makes Monitor.Compile possible: a predicate can be compiled once,
+// before any Await supplies bindings, with every local variable's type
+// fixed at compile time. Bindings are then validated against the inferred
+// types instead of silently fixing them at first use.
+
+// inferState carries the union-find and the resolved types during a walk.
+type inferState struct {
+	known  VarTypes
+	parent map[string]string // union-find over unknown variable names
+	typ    map[string]Type   // resolved type per union-find root
+}
+
+// Infer returns the type of every variable in n that `known` does not
+// resolve. It fails with a *TypeError when an unknown variable is used at
+// two incompatible types.
+func Infer(n Node, known VarTypes) (map[string]Type, error) {
+	st := &inferState{
+		known:  known,
+		parent: map[string]string{},
+		typ:    map[string]Type{},
+	}
+	// Register every unknown variable so unconstrained ones still appear
+	// in the result (defaulted to int below).
+	for _, name := range Vars(n) {
+		if _, ok := known(name); !ok {
+			st.parent[name] = name
+		}
+	}
+	if err := st.constrain(n, TypeBool); err != nil {
+		return nil, err
+	}
+	out := make(map[string]Type, len(st.parent))
+	for name := range st.parent {
+		t := st.typ[st.find(name)]
+		if t == TypeInvalid {
+			t = TypeInt // unconstrained (e.g. `a == b` alone): default int
+		}
+		out[name] = t
+	}
+	return out, nil
+}
+
+func (st *inferState) find(name string) string {
+	for st.parent[name] != name {
+		st.parent[name] = st.parent[st.parent[name]]
+		name = st.parent[name]
+	}
+	return name
+}
+
+// setType records that the unknown variable name has type t, failing on a
+// conflict with an earlier constraint.
+func (st *inferState) setType(n Node, name string, t Type) error {
+	root := st.find(name)
+	if cur := st.typ[root]; cur != TypeInvalid && cur != t {
+		return typeErrf(n, "variable %q used as both %s and %s", name, cur, t)
+	}
+	st.typ[root] = t
+	return nil
+}
+
+// union merges the type classes of two unknown variables.
+func (st *inferState) union(n Node, a, b string) error {
+	ra, rb := st.find(a), st.find(b)
+	if ra == rb {
+		return nil
+	}
+	ta, tb := st.typ[ra], st.typ[rb]
+	if ta != TypeInvalid && tb != TypeInvalid && ta != tb {
+		return typeErrf(n, "variables %q and %q compared but used as %s and %s", a, b, ta, tb)
+	}
+	st.parent[ra] = rb
+	if tb == TypeInvalid {
+		st.typ[rb] = ta
+	}
+	delete(st.typ, ra)
+	return nil
+}
+
+// natural returns the type a subtree must have when it is determined by
+// the tree's own shape: literals, known variables, already-resolved
+// unknowns, and every operator except a bare unknown Var.
+func (st *inferState) natural(n Node) Type {
+	switch n := n.(type) {
+	case IntLit:
+		return TypeInt
+	case BoolLit:
+		return TypeBool
+	case Var:
+		if t, ok := st.known(n.Name); ok {
+			return t
+		}
+		return st.typ[st.find(n.Name)] // TypeInvalid while undetermined
+	case Unary:
+		if n.Op == OpNeg {
+			return TypeInt
+		}
+		return TypeBool
+	case Binary:
+		switch n.Op {
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+			return TypeInt
+		default:
+			return TypeBool
+		}
+	}
+	return TypeInvalid
+}
+
+// constrain walks n requiring it to have type want, recording constraints
+// on unknown variables as it goes.
+func (st *inferState) constrain(n Node, want Type) error {
+	switch n := n.(type) {
+	case IntLit, BoolLit:
+		return nil // TypeCheck validates literal positions later
+	case Var:
+		if _, ok := st.known(n.Name); ok {
+			return nil
+		}
+		return st.setType(n, n.Name, want)
+	case Unary:
+		if n.Op == OpNeg {
+			return st.constrain(n.X, TypeInt)
+		}
+		return st.constrain(n.X, TypeBool)
+	case Binary:
+		switch n.Op {
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpLt, OpLe, OpGt, OpGe:
+			if err := st.constrain(n.L, TypeInt); err != nil {
+				return err
+			}
+			return st.constrain(n.R, TypeInt)
+		case OpAnd, OpOr:
+			if err := st.constrain(n.L, TypeBool); err != nil {
+				return err
+			}
+			return st.constrain(n.R, TypeBool)
+		case OpEq, OpNe:
+			lv, lUnknown := asUnknownVar(n.L, st.known)
+			rv, rUnknown := asUnknownVar(n.R, st.known)
+			switch {
+			case lUnknown && rUnknown:
+				// Only an equality constraint; the shared type may be pinned
+				// elsewhere in the tree.
+				return st.union(n, lv, rv)
+			case lUnknown:
+				if t := st.natural(n.R); t != TypeInvalid {
+					if err := st.setType(n, lv, t); err != nil {
+						return err
+					}
+				}
+				return st.constrain(n.R, st.natural(n.R))
+			case rUnknown:
+				if t := st.natural(n.L); t != TypeInvalid {
+					if err := st.setType(n, rv, t); err != nil {
+						return err
+					}
+				}
+				return st.constrain(n.L, st.natural(n.L))
+			default:
+				// Both sides determined by shape: recurse with their own
+				// natural types (compound sides may still contain unknowns
+				// in pinned positions).
+				if err := st.constrain(n.L, st.natural(n.L)); err != nil {
+					return err
+				}
+				return st.constrain(n.R, st.natural(n.R))
+			}
+		}
+	}
+	return nil
+}
+
+// asUnknownVar reports whether n is a bare variable not resolved by known.
+func asUnknownVar(n Node, known VarTypes) (string, bool) {
+	v, ok := n.(Var)
+	if !ok {
+		return "", false
+	}
+	if _, isKnown := known(v.Name); isKnown {
+		return "", false
+	}
+	return v.Name, true
+}

@@ -1,0 +1,81 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInfer(t *testing.T) {
+	shared := MapTypes(map[string]Type{"count": TypeInt, "open": TypeBool})
+	cases := []struct {
+		src  string
+		want map[string]Type
+	}{
+		{"count >= num", map[string]Type{"num": TypeInt}},
+		{"count + k <= 64 || stop", map[string]Type{"k": TypeInt, "stop": TypeBool}},
+		{"b && count > 0", map[string]Type{"b": TypeBool}},
+		{"open == b", map[string]Type{"b": TypeBool}},
+		{"num == count", map[string]Type{"num": TypeInt}},
+		{"!p", map[string]Type{"p": TypeBool}},
+		{"-x > 0", map[string]Type{"x": TypeInt}},
+		// Equality between two unknowns propagates a constraint found
+		// anywhere else in the tree.
+		{"a == b && a > 0", map[string]Type{"a": TypeInt, "b": TypeInt}},
+		{"a == b && (b || open)", map[string]Type{"a": TypeBool, "b": TypeBool}},
+		// Fully unconstrained equality defaults to int.
+		{"a == b", map[string]Type{"a": TypeInt, "b": TypeInt}},
+		{"count > 0", map[string]Type{}},
+		// Compound sides of == pin their nested unknowns.
+		{"count + k == num", map[string]Type{"k": TypeInt, "num": TypeInt}},
+	}
+	for _, c := range cases {
+		n := MustParse(c.src)
+		got, err := Infer(n, shared)
+		if err != nil {
+			t.Errorf("Infer(%q): %v", c.src, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("Infer(%q) = %v, want %v", c.src, got, c.want)
+			continue
+		}
+		for name, wt := range c.want {
+			if got[name] != wt {
+				t.Errorf("Infer(%q)[%s] = %s, want %s", c.src, name, got[name], wt)
+			}
+		}
+		// The inferred types must satisfy the type checker.
+		all := func(name string) (Type, bool) {
+			if tt, ok := shared(name); ok {
+				return tt, true
+			}
+			tt, ok := got[name]
+			return tt, ok
+		}
+		if err := CheckBool(n, all); err != nil {
+			t.Errorf("Infer(%q) produced ill-typed assignment: %v", c.src, err)
+		}
+	}
+}
+
+func TestInferConflicts(t *testing.T) {
+	shared := MapTypes(map[string]Type{"open": TypeBool})
+	cases := []struct {
+		src     string
+		errPart string
+	}{
+		{"a && a > 0", "used as both"},
+		{"a == b && a > 0 && (b || open)", ""}, // conflict via the union
+		{"open == a && a > 0", "used as both"},
+	}
+	for _, c := range cases {
+		_, err := Infer(MustParse(c.src), shared)
+		if err == nil {
+			t.Errorf("Infer(%q) succeeded, want conflict error", c.src)
+			continue
+		}
+		if c.errPart != "" && !strings.Contains(err.Error(), c.errPart) {
+			t.Errorf("Infer(%q) error %q does not contain %q", c.src, err, c.errPart)
+		}
+	}
+}

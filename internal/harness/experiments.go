@@ -50,6 +50,7 @@ func Experiments() []Experiment {
 		{"table1", "CPU-usage breakdown, round-robin with 128 threads (Table 1)", Table1},
 		{"abl-tags", "Ablation: relay cost by tag kind (equivalence/threshold/none)", AblationTagKinds},
 		{"abl-inactive", "Ablation: inactive-list limit vs. registration churn", AblationInactiveList},
+		{"abl-compile", "Ablation: string Await vs compiled AwaitPred wait-path overhead", AblationCompiledPredicates},
 	}
 	return append(exps, ProblemExperiments()...)
 }
@@ -301,11 +302,12 @@ func runTagShape(pred string, waiters, totalOps int) problems.Result {
 	m := core.New()
 	m.NewInt("x", 0) // stays 0: keys 1..waiters never satisfied
 	done := m.NewBool("done", false)
+	shaped := m.MustCompile(pred + " || done")
 	finished := make(chan struct{}, waiters)
 	for w := 1; w <= waiters; w++ {
 		go func(k int64) {
 			m.Enter()
-			if err := m.Await(pred+" || done", core.BindInt("k", k)); err != nil {
+			if err := m.AwaitPred(shaped, core.BindInt("k", k)); err != nil {
 				panic(err)
 			}
 			m.Exit()
@@ -359,6 +361,8 @@ func runParamBBLimit(limit, consumers, totalOps int) problems.Result {
 	count := m.NewInt("count", 0)
 	m.NewInt("cap", problems.ParamBufferCap)
 	stop := m.NewBool("stop", false)
+	hasRoom := m.MustCompile("count + k <= cap || stop")
+	hasItems := m.MustCompile("count >= num")
 
 	takes := totalOps / consumers
 	if takes < 1 {
@@ -375,7 +379,7 @@ func runParamBBLimit(limit, consumers, totalOps int) problems.Result {
 			rng ^= rng << 17
 			k := int64(rng%problems.MaxBatch) + 1
 			m.Enter()
-			if err := m.Await("count + k <= cap || stop", core.BindInt("k", k)); err != nil {
+			if err := m.AwaitPred(hasRoom, core.BindInt("k", k)); err != nil {
 				panic(err)
 			}
 			if stop.Get() {
@@ -396,7 +400,7 @@ func runParamBBLimit(limit, consumers, totalOps int) problems.Result {
 				rng ^= rng << 17
 				num := int64(rng%problems.MaxBatch) + 1
 				m.Enter()
-				if err := m.Await("count >= num", core.BindInt("num", num)); err != nil {
+				if err := m.AwaitPred(hasItems, core.BindInt("num", num)); err != nil {
 					panic(err)
 				}
 				count.Add(-num)
@@ -412,6 +416,61 @@ func runParamBBLimit(limit, consumers, totalOps int) problems.Result {
 	<-prodDone
 	return problems.Result{Mechanism: problems.AutoSynch, Elapsed: time.Since(start),
 		Stats: m.Stats(), Ops: int64(consumers * takes)}
+}
+
+// AblationCompiledPredicates isolates the per-wait overhead of the
+// predicate API forms. The predicate is always true, so no wait ever
+// parks and each operation pays exactly the bind-and-check path: the
+// string form adds one predicate-cache lookup (hashing the source text)
+// per wait, the compiled form skips it, and the closure form is the
+// tag-opaque reference point. Profiling is enabled so the Table-1 phase
+// timers confirm the difference is in the await path, not lock traffic.
+func AblationCompiledPredicates(cfg Config) string {
+	const pred = "count + k <= cap || stop"
+	type mode struct {
+		name string
+		wait func(m *core.Monitor, p *core.Predicate, k int64) error
+	}
+	modes := []mode{
+		{"string", func(m *core.Monitor, _ *core.Predicate, k int64) error {
+			return m.Await(pred, core.BindInt("k", k))
+		}},
+		{"compiled", func(m *core.Monitor, p *core.Predicate, k int64) error {
+			return m.AwaitPred(p, core.BindInt("k", k))
+		}},
+		{"closure", func(m *core.Monitor, _ *core.Predicate, k int64) error {
+			m.AwaitFunc(func() bool { return true })
+			return nil
+		}},
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "abl-compile: per-wait API overhead on an always-true predicate (%d ops)\n", cfg.TotalOps)
+	fmt.Fprintf(&sb, "%-10s %12s %12s %10s\n", "mode", "runtime", "ns/op", "fastpath")
+	for _, md := range modes {
+		meas := cfg.Protocol.Measure(func() problems.Result {
+			m := core.New(core.WithProfiling())
+			m.NewInt("count", 1)
+			m.NewInt("cap", 1<<40)
+			m.NewBool("stop", false)
+			p := m.MustCompile(pred)
+			start := time.Now()
+			for i := 0; i < cfg.TotalOps; i++ {
+				m.Enter()
+				if err := md.wait(m, p, int64(i&1023)); err != nil {
+					panic(err)
+				}
+				m.Exit()
+			}
+			elapsed := time.Since(start)
+			return problems.Result{Mechanism: problems.AutoSynch, Elapsed: elapsed,
+				Stats: m.Stats(), Ops: int64(cfg.TotalOps)}
+		})
+		nsPerOp := meas.MeanSeconds * 1e9 / float64(cfg.TotalOps)
+		fmt.Fprintf(&sb, "%-10s %12s %12.1f %10d\n",
+			md.name, stats.FormatSeconds(meas.MeanSeconds), nsPerOp, meas.Last.Stats.FastPath)
+	}
+	sb.WriteString("expected shape: compiled < string (the gap is the per-wait predicate-cache lookup); see BenchmarkAwaitStringVsCompiled for the benchstat view.\n")
+	return sb.String()
 }
 
 // IDs returns all experiment IDs in paper order, for CLI listings.

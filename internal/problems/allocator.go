@@ -114,8 +114,7 @@ func runAllocExplicit(ops []int, pool, maxReq int) Result {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: completed, Check: int64(pool-free) + int64(used)}
+	return finish(Explicit, m, elapsed, completed, int64(pool-free)+int64(used))
 }
 
 func runAllocBaseline(ops []int, pool, maxReq int) Result {
@@ -154,14 +153,15 @@ func runAllocBaseline(ops []int, pool, maxReq int) Result {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: completed, Check: int64(pool-free) + int64(used)}
+	return finish(Baseline, m, elapsed, completed, int64(pool-free)+int64(used))
 }
 
 func runAllocAuto(mech Mechanism, ops []int, pool, maxReq int) Result {
 	m := newAuto(mech)
 	free := m.NewInt("free", int64(pool))
 	used := m.NewInt("used", 0)
+	drained := m.MustCompile("used <= w")
+	hasUnits := m.MustCompile("free >= k")
 	var completed int64
 
 	var wg sync.WaitGroup
@@ -175,17 +175,13 @@ func runAllocAuto(mech Mechanism, ops []int, pool, maxReq int) Result {
 				m.Enter()
 				if op%quiescePeriod == quiescePeriod-1 {
 					w := rng.intn(int64(pool)) - 1
-					if err := m.Await("used <= w", core.BindInt("w", w)); err != nil {
-						panic(err)
-					}
+					await(drained, core.BindInt("w", w))
 					completed++
 					m.Exit()
 					continue
 				}
 				k := rng.intn(int64(maxReq))
-				if err := m.Await("free >= k", core.BindInt("k", k)); err != nil {
-					panic(err)
-				}
+				await(hasUnits, core.BindInt("k", k))
 				free.Add(-k)
 				used.Add(k)
 				m.Exit()
@@ -201,6 +197,5 @@ func runAllocAuto(mech Mechanism, ops []int, pool, maxReq int) Result {
 	elapsed := time.Since(start)
 	var check int64
 	m.Do(func() { check = (int64(pool) - free.Get()) + used.Get() })
-	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: completed, Check: check}
+	return finish(mech, m, elapsed, completed, check)
 }

@@ -102,8 +102,7 @@ func runBarberExplicit(customers int, visits []int, chairs int) Result {
 	m.Exit()
 	wg.Wait()
 	elapsed := time.Since(start)
-	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: haircuts, Check: haircuts + balked - opsSum(visits)}
+	return finish(Explicit, m, elapsed, haircuts, haircuts+balked-opsSum(visits))
 }
 
 func runBarberBaseline(customers int, visits []int, chairs int) Result {
@@ -153,8 +152,7 @@ func runBarberBaseline(customers int, visits []int, chairs int) Result {
 	m.Do(func() { stop = true })
 	wg.Wait()
 	elapsed := time.Since(start)
-	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: haircuts, Check: haircuts + balked - opsSum(visits)}
+	return finish(Baseline, m, elapsed, haircuts, haircuts+balked-opsSum(visits))
 }
 
 func runBarberAuto(mech Mechanism, customers int, visits []int, chairs int) Result {
@@ -162,6 +160,8 @@ func runBarberAuto(mech Mechanism, customers int, visits []int, chairs int) Resu
 	waiting := m.NewInt("waiting", 0)
 	cuts := m.NewInt("cuts", 0)
 	stop := m.NewBool("stop", false)
+	customerReady := m.MustCompile("waiting > 0 || stop")
+	cutReady := m.MustCompile("cuts > 0")
 	var haircuts, balked int64
 
 	var wg sync.WaitGroup
@@ -171,9 +171,7 @@ func runBarberAuto(mech Mechanism, customers int, visits []int, chairs int) Resu
 		defer wg.Done()
 		for {
 			m.Enter()
-			if err := m.Await("waiting > 0 || stop"); err != nil {
-				panic(err)
-			}
+			await(customerReady)
 			if waiting.Get() == 0 && stop.Get() {
 				m.Exit()
 				return
@@ -197,9 +195,7 @@ func runBarberAuto(mech Mechanism, customers int, visits []int, chairs int) Resu
 					continue
 				}
 				waiting.Add(1)
-				if err := m.Await("cuts > 0"); err != nil {
-					panic(err)
-				}
+				await(cutReady)
 				cuts.Add(-1)
 				m.Exit()
 			}
@@ -209,8 +205,7 @@ func runBarberAuto(mech Mechanism, customers int, visits []int, chairs int) Resu
 	m.Do(func() { stop.Set(true) })
 	wg.Wait()
 	elapsed := time.Since(start)
-	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: haircuts, Check: haircuts + balked - opsSum(visits)}
+	return finish(mech, m, elapsed, haircuts, haircuts+balked-opsSum(visits))
 }
 
 // balkedUnderLock increments the balk counter; callers hold the monitor.

@@ -92,8 +92,7 @@ func runBarrierExplicit(parties, rounds int) Result {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: int64(parties) * int64(rounds), Check: arrivals - released}
+	return finish(Explicit, m, elapsed, int64(parties)*int64(rounds), arrivals-released)
 }
 
 func runBarrierBaseline(parties, rounds int) Result {
@@ -121,14 +120,14 @@ func runBarrierBaseline(parties, rounds int) Result {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: int64(parties) * int64(rounds), Check: arrivals - released}
+	return finish(Baseline, m, elapsed, int64(parties)*int64(rounds), arrivals-released)
 }
 
 func runBarrierAuto(mech Mechanism, parties, rounds int) Result {
 	m := newAuto(mech)
 	arrivals := m.NewInt("arrivals", 0)
 	released := m.NewInt("released", 0)
+	myRelease := m.MustCompile("released > t")
 	n := int64(parties)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -143,9 +142,7 @@ func runBarrierAuto(mech Mechanism, parties, rounds int) Result {
 				if arrivals.Get()%n == 0 {
 					released.Add(n)
 				} else {
-					if err := m.Await("released > t", core.BindInt("t", t)); err != nil {
-						panic(err)
-					}
+					await(myRelease, core.BindInt("t", t))
 				}
 				m.Exit()
 			}
@@ -155,6 +152,5 @@ func runBarrierAuto(mech Mechanism, parties, rounds int) Result {
 	elapsed := time.Since(start)
 	var check int64
 	m.Do(func() { check = arrivals.Get() - released.Get() })
-	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: int64(parties) * int64(rounds), Check: check}
+	return finish(mech, m, elapsed, int64(parties)*int64(rounds), check)
 }

@@ -98,8 +98,7 @@ func runBathroomExplicit(menOps, womenOps []int, stalls int) Result {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: opsSum(menOps) + opsSum(womenOps), Check: int64(men + women)}
+	return finish(Explicit, m, elapsed, opsSum(menOps)+opsSum(womenOps), int64(men+women))
 }
 
 func runBathroomBaseline(menOps, womenOps []int, stalls int) Result {
@@ -130,25 +129,30 @@ func runBathroomBaseline(menOps, womenOps []int, stalls int) Result {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: opsSum(menOps) + opsSum(womenOps), Check: int64(men + women)}
+	return finish(Baseline, m, elapsed, opsSum(menOps)+opsSum(womenOps), int64(men+women))
 }
 
 func runBathroomAuto(mech Mechanism, menOps, womenOps []int, stalls int) Result {
 	m := newAuto(mech)
 	men := m.NewInt("men", 0)
 	women := m.NewInt("women", 0)
-	m.NewInt("stalls", int64(stalls))
+	stallCells := m.NewInt("stalls", int64(stalls))
+
+	// Both waiting conditions through the typed builder: they lower to the
+	// same compiled predicates as the strings "women == 0 && men < stalls"
+	// and "men == 0 && women < stalls".
+	menEnter := m.MustCompileExpr(core.And(
+		women.EqualTo(core.Lit(0)), men.LessThan(stallCells.Expr())))
+	womenEnter := m.MustCompileExpr(core.And(
+		men.EqualTo(core.Lit(0)), women.LessThan(stallCells.Expr())))
 
 	var wg sync.WaitGroup
 	start := time.Now()
-	user := func(ops int, mine *core.IntCell, pred string) {
+	user := func(ops int, mine *core.IntCell, canEnter *core.Predicate) {
 		defer wg.Done()
 		for i := 0; i < ops; i++ {
 			m.Enter()
-			if err := m.Await(pred); err != nil {
-				panic(err)
-			}
+			await(canEnter)
 			mine.Add(1)
 			m.Exit()
 			m.Enter()
@@ -158,16 +162,15 @@ func runBathroomAuto(mech Mechanism, menOps, womenOps []int, stalls int) Result 
 	}
 	for _, ops := range menOps {
 		wg.Add(1)
-		go user(ops, men, "women == 0 && men < stalls")
+		go user(ops, men, menEnter)
 	}
 	for _, ops := range womenOps {
 		wg.Add(1)
-		go user(ops, women, "men == 0 && women < stalls")
+		go user(ops, women, womenEnter)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 	var inside int64
 	m.Do(func() { inside = men.Get() + women.Get() })
-	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: opsSum(menOps) + opsSum(womenOps), Check: inside}
+	return finish(mech, m, elapsed, opsSum(menOps)+opsSum(womenOps), inside)
 }

@@ -89,8 +89,7 @@ func runBBExplicit(producers, consumers int, prodOps, consOps []int, capacity in
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: opsSum(prodOps) + opsSum(consOps), Check: int64(count)}
+	return finish(Explicit, m, elapsed, opsSum(prodOps)+opsSum(consOps), int64(count))
 }
 
 func runBBBaseline(producers, consumers int, prodOps, consOps []int, capacity int) Result {
@@ -125,14 +124,15 @@ func runBBBaseline(producers, consumers int, prodOps, consOps []int, capacity in
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: opsSum(prodOps) + opsSum(consOps), Check: int64(count)}
+	return finish(Baseline, m, elapsed, opsSum(prodOps)+opsSum(consOps), int64(count))
 }
 
 func runBBAuto(mech Mechanism, producers, consumers int, prodOps, consOps []int, capacity int) Result {
 	m := newAuto(mech)
 	count := m.NewInt("count", 0)
 	m.NewInt("cap", int64(capacity))
+	notFull := m.MustCompile("count < cap")
+	notEmpty := m.MustCompile("count > 0")
 
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -142,9 +142,7 @@ func runBBAuto(mech Mechanism, producers, consumers int, prodOps, consOps []int,
 			defer wg.Done()
 			for i := 0; i < ops; i++ {
 				m.Enter()
-				if err := m.Await("count < cap"); err != nil {
-					panic(err)
-				}
+				await(notFull)
 				count.Add(1)
 				m.Exit()
 			}
@@ -156,9 +154,7 @@ func runBBAuto(mech Mechanism, producers, consumers int, prodOps, consOps []int,
 			defer wg.Done()
 			for i := 0; i < ops; i++ {
 				m.Enter()
-				if err := m.Await("count > 0"); err != nil {
-					panic(err)
-				}
+				await(notEmpty)
 				count.Add(-1)
 				m.Exit()
 			}
@@ -168,8 +164,7 @@ func runBBAuto(mech Mechanism, producers, consumers int, prodOps, consOps []int,
 	elapsed := time.Since(start)
 	var check int64
 	m.Do(func() { check = count.Get() })
-	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: opsSum(prodOps) + opsSum(consOps), Check: check}
+	return finish(mech, m, elapsed, opsSum(prodOps)+opsSum(consOps), check)
 }
 
 func opsSum(ops []int) int64 {

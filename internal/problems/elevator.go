@@ -133,8 +133,7 @@ func runElevatorExplicit(rides []int, totalRides, cabCap int) Result {
 	rg.Wait()
 	wg.Wait()
 	elapsed := time.Since(start)
-	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: completed, Check: (tickets - arrivedUpTo) + int64(inCabin)}
+	return finish(Explicit, m, elapsed, completed, (tickets-arrivedUpTo)+int64(inCabin))
 }
 
 func runElevatorBaseline(rides []int, totalRides, cabCap int) Result {
@@ -186,8 +185,7 @@ func runElevatorBaseline(rides []int, totalRides, cabCap int) Result {
 	rg.Wait()
 	wg.Wait()
 	elapsed := time.Since(start)
-	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: completed, Check: (tickets - arrivedUpTo) + int64(inCabin)}
+	return finish(Baseline, m, elapsed, completed, (tickets-arrivedUpTo)+int64(inCabin))
 }
 
 func runElevatorAuto(mech Mechanism, rides []int, totalRides, cabCap int) Result {
@@ -196,6 +194,11 @@ func runElevatorAuto(mech Mechanism, rides []int, totalRides, cabCap int) Result
 	boardedUpTo := m.NewInt("boardedUpTo", 0)
 	arrivedUpTo := m.NewInt("arrivedUpTo", 0)
 	inCabin := m.NewInt("inCabin", 0)
+	hasTickets := m.MustCompile("tickets > boardedUpTo")
+	cabinFull := m.MustCompile("inCabin == g")
+	cabinEmpty := m.MustCompile("inCabin == 0")
+	boarded := m.MustCompile("boardedUpTo > t")
+	arrived := m.MustCompile("arrivedUpTo > t")
 	var completed int64
 
 	var wg sync.WaitGroup
@@ -206,21 +209,15 @@ func runElevatorAuto(mech Mechanism, rides []int, totalRides, cabCap int) Result
 		served := 0
 		for served < totalRides {
 			m.Enter()
-			if err := m.Await("tickets > boardedUpTo"); err != nil {
-				panic(err)
-			}
+			await(hasTickets)
 			grant := int(tickets.Get() - boardedUpTo.Get())
 			if grant > cabCap {
 				grant = cabCap
 			}
 			boardedUpTo.Add(int64(grant))
-			if err := m.Await("inCabin == g", core.BindInt("g", int64(grant))); err != nil {
-				panic(err)
-			}
+			await(cabinFull, core.BindInt("g", int64(grant)))
 			arrivedUpTo.Set(boardedUpTo.Get())
-			if err := m.Await("inCabin == 0"); err != nil {
-				panic(err)
-			}
+			await(cabinEmpty)
 			m.Exit()
 			served += grant
 		}
@@ -234,13 +231,9 @@ func runElevatorAuto(mech Mechanism, rides []int, totalRides, cabCap int) Result
 				m.Enter()
 				t := tickets.Get()
 				tickets.Add(1)
-				if err := m.Await("boardedUpTo > t", core.BindInt("t", t)); err != nil {
-					panic(err)
-				}
+				await(boarded, core.BindInt("t", t))
 				inCabin.Add(1)
-				if err := m.Await("arrivedUpTo > t", core.BindInt("t", t)); err != nil {
-					panic(err)
-				}
+				await(arrived, core.BindInt("t", t))
 				inCabin.Add(-1)
 				completed++
 				m.Exit()
@@ -252,6 +245,5 @@ func runElevatorAuto(mech Mechanism, rides []int, totalRides, cabCap int) Result
 	elapsed := time.Since(start)
 	var check int64
 	m.Do(func() { check = (tickets.Get() - arrivedUpTo.Get()) + inCabin.Get() })
-	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: completed, Check: check}
+	return finish(mech, m, elapsed, completed, check)
 }

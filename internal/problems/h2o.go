@@ -110,8 +110,7 @@ func runH2OExplicit(threads, molecules int) Result {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: water, Check: 2*water - consumed + int64(hAvail) + int64(hBonded)}
+	return finish(Explicit, m, elapsed, water, 2*water-consumed+int64(hAvail)+int64(hBonded))
 }
 
 func runH2OBaseline(threads, molecules int) Result {
@@ -161,8 +160,7 @@ func runH2OBaseline(threads, molecules int) Result {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: water, Check: 2*water - consumed + int64(hAvail) + int64(hBonded)}
+	return finish(Baseline, m, elapsed, water, 2*water-consumed+int64(hAvail)+int64(hBonded))
 }
 
 func runH2OAuto(mech Mechanism, threads, molecules int) Result {
@@ -170,6 +168,8 @@ func runH2OAuto(mech Mechanism, threads, molecules int) Result {
 	hAvail := m.NewInt("hAvail", 0)
 	hBonded := m.NewInt("hBonded", 0)
 	done := m.NewBool("done", false)
+	twoHydrogens := m.MustCompile("hAvail >= 2")
+	bondReady := m.MustCompile("hBonded > 0 || done")
 	var water, consumed int64
 
 	var wg sync.WaitGroup
@@ -179,9 +179,7 @@ func runH2OAuto(mech Mechanism, threads, molecules int) Result {
 		defer wg.Done()
 		for w := 0; w < molecules; w++ {
 			m.Enter()
-			if err := m.Await("hAvail >= 2"); err != nil {
-				panic(err)
-			}
+			await(twoHydrogens)
 			hAvail.Add(-2)
 			hBonded.Add(2)
 			water++
@@ -200,9 +198,7 @@ func runH2OAuto(mech Mechanism, threads, molecules int) Result {
 					return
 				}
 				hAvail.Add(1)
-				if err := m.Await("hBonded > 0 || done"); err != nil {
-					panic(err)
-				}
+				await(bondReady)
 				if hBonded.Get() > 0 {
 					hBonded.Add(-1)
 					consumed++
@@ -219,6 +215,5 @@ func runH2OAuto(mech Mechanism, threads, molecules int) Result {
 	elapsed := time.Since(start)
 	var leak int64
 	m.Do(func() { leak = hAvail.Get() + hBonded.Get() })
-	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: water, Check: 2*water - consumed + leak}
+	return finish(mech, m, elapsed, water, 2*water-consumed+leak)
 }

@@ -107,8 +107,7 @@ func runPBBExplicit(consumers int, takes []int) Result {
 	m.Exit()
 	wg.Wait()
 	elapsed := time.Since(start)
-	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: opsSum(takes), Check: produced - consumed - int64(count)}
+	return finish(Explicit, m, elapsed, opsSum(takes), produced-consumed-int64(count))
 }
 
 func runPBBBaseline(consumers int, takes []int) Result {
@@ -156,8 +155,7 @@ func runPBBBaseline(consumers int, takes []int) Result {
 	m.Do(func() { stop = true })
 	wg.Wait()
 	elapsed := time.Since(start)
-	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: opsSum(takes), Check: produced - consumed - int64(count)}
+	return finish(Baseline, m, elapsed, opsSum(takes), produced-consumed-int64(count))
 }
 
 func runPBBAuto(mech Mechanism, consumers int, takes []int) Result {
@@ -165,6 +163,8 @@ func runPBBAuto(mech Mechanism, consumers int, takes []int) Result {
 	count := m.NewInt("count", 0)
 	m.NewInt("cap", ParamBufferCap)
 	stop := m.NewBool("stop", false)
+	hasRoom := m.MustCompile("count + k <= cap || stop")
+	hasItems := m.MustCompile("count >= num")
 	var produced, consumed int64
 
 	var wg sync.WaitGroup
@@ -176,9 +176,7 @@ func runPBBAuto(mech Mechanism, consumers int, takes []int) Result {
 		for {
 			k := rng.intn(MaxBatch)
 			m.Enter()
-			if err := m.Await("count + k <= cap || stop", core.BindInt("k", k)); err != nil {
-				panic(err)
-			}
+			await(hasRoom, core.BindInt("k", k))
 			if stop.Get() {
 				m.Exit()
 				return
@@ -197,9 +195,7 @@ func runPBBAuto(mech Mechanism, consumers int, takes []int) Result {
 			for i := 0; i < ops; i++ {
 				num := rng.intn(MaxBatch)
 				m.Enter()
-				if err := m.Await("count >= num", core.BindInt("num", num)); err != nil {
-					panic(err)
-				}
+				await(hasItems, core.BindInt("num", num))
 				count.Add(-num)
 				consumed += num
 				m.Exit()
@@ -212,6 +208,5 @@ func runPBBAuto(mech Mechanism, consumers int, takes []int) Result {
 	elapsed := time.Since(start)
 	var final int64
 	m.Do(func() { final = count.Get() })
-	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: opsSum(takes), Check: produced - consumed - final}
+	return finish(mech, m, elapsed, opsSum(takes), produced-consumed-final)
 }

@@ -79,8 +79,7 @@ func runPhilExplicit(n int, meals []int) Result {
 			down++
 		}
 	}
-	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: opsSum(meals), Check: down}
+	return finish(Explicit, m, elapsed, opsSum(meals), down)
 }
 
 func runPhilBaseline(n int, meals []int) Result {
@@ -113,8 +112,7 @@ func runPhilBaseline(n int, meals []int) Result {
 			down++
 		}
 	}
-	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: opsSum(meals), Check: down}
+	return finish(Baseline, m, elapsed, opsSum(meals), down)
 }
 
 func runPhilAuto(mech Mechanism, n int, meals []int) Result {
@@ -124,10 +122,11 @@ func runPhilAuto(mech Mechanism, n int, meals []int) Result {
 		held[i] = m.NewBool(fmt.Sprintf("c%d", i), false)
 	}
 	// Each philosopher's waiting condition is a static shared predicate
-	// over its two chopsticks; the runtime registers each exactly once.
-	preds := make([]string, n)
+	// over its two chopsticks, compiled once per table seat; the runtime
+	// registers each exactly once.
+	preds := make([]*core.Predicate, n)
 	for i := range preds {
-		preds[i] = fmt.Sprintf("!c%d && !c%d", i, (i+1)%n)
+		preds[i] = m.MustCompile(fmt.Sprintf("!c%d && !c%d", i, (i+1)%n))
 	}
 
 	var wg sync.WaitGroup
@@ -139,9 +138,7 @@ func runPhilAuto(mech Mechanism, n int, meals []int) Result {
 			left, right := id, (id+1)%n
 			for i := 0; i < ops; i++ {
 				m.Enter()
-				if err := m.Await(preds[id]); err != nil {
-					panic(err)
-				}
+				await(preds[id])
 				held[left].Set(true)
 				held[right].Set(true)
 				m.Exit()
@@ -162,6 +159,5 @@ func runPhilAuto(mech Mechanism, n int, meals []int) Result {
 			}
 		}
 	})
-	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: opsSum(meals), Check: down}
+	return finish(mech, m, elapsed, opsSum(meals), down)
 }

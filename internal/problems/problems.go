@@ -95,6 +95,24 @@ func (r Result) Throughput() float64 {
 // comparable, as in the paper's saturation protocol.
 type Runner func(mech Mechanism, threads, totalOps int) Result
 
+// finish assembles a Result for any monitor implementation: the runner
+// code is mechanism-specific (that is the comparison being made), but the
+// measurement plumbing drives every mechanism through the shared
+// core.Mechanism interface. elapsed is captured by the caller before any
+// final check reads, so the measurement excludes them.
+func finish(mech Mechanism, m core.Mechanism, elapsed time.Duration, ops, check int64) Result {
+	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(), Ops: ops, Check: check}
+}
+
+// await panics on a wait error: scenario predicates are statically known
+// to be well-formed, so an error here is a programming bug, not an input
+// condition.
+func await(p *core.Predicate, binds ...core.Binding) {
+	if err := p.Await(binds...); err != nil {
+		panic(err)
+	}
+}
+
 // split divides total into n near-equal positive parts.
 func split(total, n int) []int {
 	parts := make([]int, n)

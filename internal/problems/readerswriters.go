@@ -140,8 +140,7 @@ func runRWExplicit(writers, readers int, wOps, rOps []int) Result {
 	if writing {
 		check++
 	}
-	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: opsSum(wOps) + opsSum(rOps), Check: check}
+	return finish(Explicit, m, elapsed, opsSum(wOps)+opsSum(rOps), check)
 }
 
 func runRWBaseline(writers, readers int, wOps, rOps []int) Result {
@@ -194,8 +193,7 @@ func runRWBaseline(writers, readers int, wOps, rOps []int) Result {
 	if writing {
 		check++
 	}
-	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: opsSum(wOps) + opsSum(rOps), Check: check}
+	return finish(Baseline, m, elapsed, opsSum(wOps)+opsSum(rOps), check)
 }
 
 func runRWAuto(mech Mechanism, writers, readers int, wOps, rOps []int) Result {
@@ -204,6 +202,8 @@ func runRWAuto(mech Mechanism, writers, readers int, wOps, rOps []int) Result {
 	serving := m.NewInt("serving", 0)
 	activeReaders := m.NewInt("activeReaders", 0)
 	writing := m.NewBool("writing", false)
+	writerTurn := m.MustCompile("serving == t && !writing && activeReaders == 0")
+	readerTurn := m.MustCompile("serving == t && !writing")
 
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -215,10 +215,7 @@ func runRWAuto(mech Mechanism, writers, readers int, wOps, rOps []int) Result {
 				m.Enter()
 				t := tickets.Get()
 				tickets.Add(1)
-				if err := m.Await("serving == t && !writing && activeReaders == 0",
-					core.BindInt("t", t)); err != nil {
-					panic(err)
-				}
+				await(writerTurn, core.BindInt("t", t))
 				writing.Set(true)
 				serving.Add(1)
 				m.Exit()
@@ -236,10 +233,7 @@ func runRWAuto(mech Mechanism, writers, readers int, wOps, rOps []int) Result {
 				m.Enter()
 				t := tickets.Get()
 				tickets.Add(1)
-				if err := m.Await("serving == t && !writing",
-					core.BindInt("t", t)); err != nil {
-					panic(err)
-				}
+				await(readerTurn, core.BindInt("t", t))
 				activeReaders.Add(1)
 				serving.Add(1)
 				m.Exit()
@@ -258,6 +252,5 @@ func runRWAuto(mech Mechanism, writers, readers int, wOps, rOps []int) Result {
 			check++
 		}
 	})
-	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: opsSum(wOps) + opsSum(rOps), Check: check}
+	return finish(mech, m, elapsed, opsSum(wOps)+opsSum(rOps), check)
 }

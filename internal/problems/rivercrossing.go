@@ -150,8 +150,7 @@ func runRiverExplicit(hackers, serfs, trips int) Result {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: carried, Check: carried - consumed + int64(hOff+sOff+hPass+sPass)}
+	return finish(Explicit, m, elapsed, carried, carried-consumed+int64(hOff+sOff+hPass+sPass))
 }
 
 func runRiverBaseline(hackers, serfs, trips int) Result {
@@ -209,8 +208,7 @@ func runRiverBaseline(hackers, serfs, trips int) Result {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: carried, Check: carried - consumed + int64(hOff+sOff+hPass+sPass)}
+	return finish(Baseline, m, elapsed, carried, carried-consumed+int64(hOff+sOff+hPass+sPass))
 }
 
 func runRiverAuto(mech Mechanism, hackers, serfs, trips int) Result {
@@ -220,6 +218,9 @@ func runRiverAuto(mech Mechanism, hackers, serfs, trips int) Result {
 	hPass := m.NewInt("hPass", 0)
 	sPass := m.NewInt("sPass", 0)
 	done := m.NewBool("done", false)
+	boatReady := m.MustCompile("(hOff >= 2 && sOff >= 2) || hOff >= 4 || sOff >= 4")
+	hBoard := m.MustCompile("hPass > 0 || done")
+	sBoard := m.MustCompile("sPass > 0 || done")
 	var carried, consumed int64
 
 	var wg sync.WaitGroup
@@ -229,9 +230,7 @@ func runRiverAuto(mech Mechanism, hackers, serfs, trips int) Result {
 		defer wg.Done()
 		for tr := 0; tr < trips; tr++ {
 			m.Enter()
-			if err := m.Await("(hOff >= 2 && sOff >= 2) || hOff >= 4 || sOff >= 4"); err != nil {
-				panic(err)
-			}
+			await(boatReady)
 			h, s := loadBoat(int(hOff.Get()), int(sOff.Get()))
 			hOff.Add(int64(-h))
 			sOff.Add(int64(-s))
@@ -242,7 +241,7 @@ func runRiverAuto(mech Mechanism, hackers, serfs, trips int) Result {
 		}
 		m.Do(func() { done.Set(true) })
 	}()
-	passenger := func(off, pass *core.IntCell, pred string) {
+	passenger := func(off, pass *core.IntCell, board *core.Predicate) {
 		defer wg.Done()
 		for {
 			m.Enter()
@@ -251,9 +250,7 @@ func runRiverAuto(mech Mechanism, hackers, serfs, trips int) Result {
 				return
 			}
 			off.Add(1)
-			if err := m.Await(pred); err != nil {
-				panic(err)
-			}
+			await(board)
 			if pass.Get() > 0 {
 				pass.Add(-1)
 				consumed++
@@ -267,16 +264,15 @@ func runRiverAuto(mech Mechanism, hackers, serfs, trips int) Result {
 	}
 	for i := 0; i < hackers; i++ {
 		wg.Add(1)
-		go passenger(hOff, hPass, "hPass > 0 || done")
+		go passenger(hOff, hPass, hBoard)
 	}
 	for i := 0; i < serfs; i++ {
 		wg.Add(1)
-		go passenger(sOff, sPass, "sPass > 0 || done")
+		go passenger(sOff, sPass, sBoard)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 	var leak int64
 	m.Do(func() { leak = hOff.Get() + sOff.Get() + hPass.Get() + sPass.Get() })
-	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: carried, Check: carried - consumed + leak}
+	return finish(mech, m, elapsed, carried, carried-consumed+leak)
 }

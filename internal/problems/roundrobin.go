@@ -93,8 +93,7 @@ func runRRExplicitOpts(threads, rounds int, opts ...core.Option) Result {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: int64(threads) * int64(rounds), Check: int64(turn)}
+	return finish(Explicit, m, elapsed, int64(threads)*int64(rounds), int64(turn))
 }
 
 func runRRBaseline(threads, rounds int) Result {
@@ -116,8 +115,7 @@ func runRRBaseline(threads, rounds int) Result {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: int64(threads) * int64(rounds), Check: int64(turn)}
+	return finish(Baseline, m, elapsed, int64(threads)*int64(rounds), int64(turn))
 }
 
 func runRRAuto(mech Mechanism, threads, rounds int) Result {
@@ -128,6 +126,7 @@ func runRRAutoOpts(mech Mechanism, threads, rounds int, opts ...core.Option) Res
 	m := newAuto(mech, opts...)
 	turn := m.NewInt("turn", 0)
 	n := int64(threads)
+	myTurn := m.MustCompile("turn == id")
 
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -137,7 +136,7 @@ func runRRAutoOpts(mech Mechanism, threads, rounds int, opts ...core.Option) Res
 			defer wg.Done()
 			for r := 0; r < rounds; r++ {
 				m.Enter()
-				if err := m.Await("turn == id", core.BindInt("id", id)); err != nil {
+				if err := m.AwaitPred(myTurn, core.BindInt("id", id)); err != nil {
 					panic(fmt.Sprintf("round-robin waiter %d: %v", id, err))
 				}
 				turn.Set((turn.Get() + 1) % n)
@@ -149,6 +148,5 @@ func runRRAutoOpts(mech Mechanism, threads, rounds int, opts ...core.Option) Res
 	elapsed := time.Since(start)
 	var finalTurn int64
 	m.Do(func() { finalTurn = turn.Get() })
-	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: int64(threads) * int64(rounds), Check: finalTurn}
+	return finish(mech, m, elapsed, int64(threads)*int64(rounds), finalTurn)
 }

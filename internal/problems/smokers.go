@@ -103,8 +103,7 @@ func runSmokersExplicit(threads, deals int) Result {
 	sg.Wait()
 	wg.Wait()
 	elapsed := time.Since(start)
-	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: smoked, Check: int64(deals) - smoked}
+	return finish(Explicit, m, elapsed, smoked, int64(deals)-smoked)
 }
 
 func runSmokersBaseline(threads, deals int) Result {
@@ -151,14 +150,15 @@ func runSmokersBaseline(threads, deals int) Result {
 	sg.Wait()
 	wg.Wait()
 	elapsed := time.Since(start)
-	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: smoked, Check: int64(deals) - smoked}
+	return finish(Baseline, m, elapsed, smoked, int64(deals)-smoked)
 }
 
 func runSmokersAuto(mech Mechanism, threads, deals int) Result {
 	m := newAuto(mech)
 	table := m.NewInt("table", 0)
 	done := m.NewBool("done", false)
+	tableClear := m.MustCompile("table == 0")
+	myIngredients := m.MustCompile("table == typ || done")
 	var smoked int64
 
 	var wg sync.WaitGroup
@@ -168,16 +168,12 @@ func runSmokersAuto(mech Mechanism, threads, deals int) Result {
 		defer wg.Done()
 		for d := 0; d < deals; d++ {
 			m.Enter()
-			if err := m.Await("table == 0"); err != nil {
-				panic(err)
-			}
+			await(tableClear)
 			table.Set(int64(d%3) + 1)
 			m.Exit()
 		}
 		m.Enter()
-		if err := m.Await("table == 0"); err != nil {
-			panic(err)
-		}
+		await(tableClear)
 		done.Set(true)
 		m.Exit()
 	}()
@@ -188,9 +184,7 @@ func runSmokersAuto(mech Mechanism, threads, deals int) Result {
 			defer sg.Done()
 			for {
 				m.Enter()
-				if err := m.Await("table == typ || done", core.BindInt("typ", typ)); err != nil {
-					panic(err)
-				}
+				await(myIngredients, core.BindInt("typ", typ))
 				if table.Get() == typ {
 					table.Set(0)
 					smoked++
@@ -205,6 +199,5 @@ func runSmokersAuto(mech Mechanism, threads, deals int) Result {
 	sg.Wait()
 	wg.Wait()
 	elapsed := time.Since(start)
-	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(),
-		Ops: smoked, Check: int64(deals) - smoked}
+	return finish(mech, m, elapsed, smoked, int64(deals)-smoked)
 }
