@@ -49,6 +49,40 @@
 // first use), so it costs one cache lookup per wait where AwaitPred costs
 // none.
 //
+// # Select-composable wait handles
+//
+// Every blocking wait parks its goroutine, so a server multiplexing many
+// resources would pay one goroutine per armed predicate. The handle API
+// removes that cost: Predicate.Arm (and the per-mechanism ArmFunc)
+// registers the waiter without blocking and returns a first-class *Wait
+// whose Ready channel is closed when relay signaling finds the predicate
+// true. One goroutine can therefore drive any number of armed waits with
+// select:
+//
+//	wa, wb := notEmptyA.Arm(), notEmptyB.Arm()
+//	for {
+//		select {
+//		case <-wa.Ready():
+//			if err := wa.Claim(); err == nil { // monitor held, predicate true
+//				takeA()
+//				ma.Exit()
+//				wa = notEmptyA.Arm()
+//			} // ErrNotReady: falsified by a race; wa was re-armed
+//		case <-wb.Ready():
+//			...
+//		}
+//	}
+//
+// Claim re-enters the monitor and re-validates the predicate Mesa-style;
+// if a racing mutation falsified it the handle is transparently re-armed
+// (fresh Ready channel) and Claim returns ErrNotReady. Cancel abandons
+// the registration with the same relay-invariance repair as a context
+// cancellation. TryAwait/TryPred/TryFunc are the non-blocking degenerate
+// case — one in-monitor evaluation, no parking, no arming — and the
+// blocking waits themselves are thin wrappers that register the same
+// waiter object and park on its channel. Arms, Claims, and FutileClaims
+// are accounted in Stats uniformly across all three mechanisms.
+//
 // # Cancellation
 //
 // Every wait has a context-aware variant: Monitor.AwaitCtx/AwaitPredCtx/
@@ -133,6 +167,12 @@ type IntExpr = core.IntExpr
 // Monitor.CompileExpr.
 type BoolExpr = core.BoolExpr
 
+// Wait is a first-class armed waiter: Ready delivers the notification on
+// a channel, Claim re-enters the monitor and re-validates the predicate,
+// Cancel abandons the registration. Produced by Predicate.Arm, Cond.Arm,
+// and the ArmFunc of every mechanism.
+type Wait = core.Wait
+
 // Binding supplies one thread-local variable value to a wait.
 type Binding = core.Binding
 
@@ -145,6 +185,16 @@ type Option = core.Option
 // ErrNeverTrue is the sentinel reported (inside a *PredicateError) when
 // the globalized predicate is constant false (waiting would deadlock).
 var ErrNeverTrue = core.ErrNeverTrue
+
+// ErrNotReady is returned by Wait.Claim when a racing mutation falsified
+// the predicate; the handle has been re-armed with a fresh Ready channel.
+var ErrNotReady = core.ErrNotReady
+
+// ErrClaimed is returned by Wait.Claim on an already-claimed handle.
+var ErrClaimed = core.ErrClaimed
+
+// ErrCancelled is reported by Wait.Err and Wait.Claim after Wait.Cancel.
+var ErrCancelled = core.ErrCancelled
 
 // New constructs an automatic-signal monitor (the full AutoSynch
 // mechanism; use WithoutTagging for the AutoSynch-T variant).

@@ -13,9 +13,13 @@ package autosynch_test
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
+	"time"
 
+	autosynch "repro"
 	"repro/internal/problems"
+	"repro/internal/testutil"
 )
 
 // benchOps is the per-iteration operation budget. Small enough that -bench
@@ -135,6 +139,127 @@ func BenchmarkAwaitStringVsCompiled(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkMultiplexedWaiters is the scale proof of the handle redesign:
+// ONE goroutine drives 1024 concurrently armed waits. The handles variant
+// arms 1024 equivalence-tagged predicates (x == k) on one monitor and
+// multiplexes them with reflect.Select — no goroutine is parked anywhere;
+// the relay signal lands on the armed handle's channel and the claim
+// re-validates under the lock. The goroutines variant serves the exact
+// same traffic the pre-handle way, with 1024 goroutines each blocked in
+// AwaitPred, so the ns/op gap (and -benchmem allocation gap) is the cost
+// of goroutine-per-waiter multiplexing; EXPERIMENTS.md records the
+// comparison.
+func BenchmarkMultiplexedWaiters(b *testing.B) {
+	const waiters = 1024
+	b.Run(fmt.Sprintf("handles-select-%d", waiters), func(b *testing.B) {
+		m := autosynch.New()
+		x := m.NewInt("x", 0)
+		hit := m.MustCompile("x == k")
+		handles := make([]*autosynch.Wait, waiters)
+		cases := make([]reflect.SelectCase, waiters)
+		for k := range handles {
+			handles[k] = hit.Arm(autosynch.Bind("k", int64(k+1)))
+			cases[k] = reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(handles[k].Ready())}
+		}
+		if w := m.Waiting(); w != waiters {
+			b.Fatalf("armed %d waits, Waiting() = %d", waiters, w)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := int64(i%waiters) + 1
+			m.Do(func() { x.Set(k) })
+			idx, _, _ := reflect.Select(cases)
+			if err := handles[idx].Claim(); err != nil {
+				b.Fatalf("claim of handle %d: %v", idx, err)
+			}
+			x.Set(0)
+			m.Exit()
+			handles[idx] = hit.Arm(autosynch.Bind("k", int64(idx+1)))
+			cases[idx].Chan = reflect.ValueOf(handles[idx].Ready())
+		}
+		b.StopTimer()
+		for _, h := range handles {
+			h.Cancel()
+		}
+		if w := m.Waiting(); w != 0 {
+			b.Fatalf("%d handles leaked after Cancel", w)
+		}
+	})
+	// handles-direct isolates the handle machinery (arm, relay delivery,
+	// claim, re-arm) from reflect.Select's O(N) case walk: the same 1024
+	// armed waits, but the driver receives from the one channel it knows
+	// will fire. The gap between this and handles-select is pure
+	// reflect.Select cost.
+	b.Run(fmt.Sprintf("handles-direct-%d", waiters), func(b *testing.B) {
+		m := autosynch.New()
+		x := m.NewInt("x", 0)
+		hit := m.MustCompile("x == k")
+		handles := make([]*autosynch.Wait, waiters)
+		for k := range handles {
+			handles[k] = hit.Arm(autosynch.Bind("k", int64(k+1)))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := int64(i%waiters) + 1
+			m.Do(func() { x.Set(k) })
+			idx := int(k - 1)
+			<-handles[idx].Ready()
+			if err := handles[idx].Claim(); err != nil {
+				b.Fatalf("claim of handle %d: %v", idx, err)
+			}
+			x.Set(0)
+			m.Exit()
+			handles[idx] = hit.Arm(autosynch.Bind("k", int64(idx+1)))
+		}
+		b.StopTimer()
+		for _, h := range handles {
+			h.Cancel()
+		}
+		if w := m.Waiting(); w != 0 {
+			b.Fatalf("%d handles leaked after Cancel", w)
+		}
+	})
+	b.Run(fmt.Sprintf("goroutines-%d", waiters), func(b *testing.B) {
+		m := autosynch.New()
+		x := m.NewInt("x", 0)
+		stop := m.NewBool("stop", false)
+		hit := m.MustCompile("x == k || stop")
+		ack := make(chan struct{}, 1)
+		done := make(chan struct{}, waiters)
+		for k := 1; k <= waiters; k++ {
+			go func(k int64) {
+				for {
+					m.Enter()
+					if err := m.AwaitPred(hit, autosynch.Bind("k", k)); err != nil {
+						panic(err)
+					}
+					if stop.Get() {
+						m.Exit()
+						done <- struct{}{}
+						return
+					}
+					x.Set(0)
+					m.Exit()
+					ack <- struct{}{}
+				}
+			}(int64(k))
+		}
+		testutil.WaitFor(b, 30*time.Second, 0, func() bool { return m.Waiting() == waiters },
+			"%d goroutine waiters parked", waiters)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := int64(i%waiters) + 1
+			m.Do(func() { x.Set(k) })
+			<-ack
+		}
+		b.StopTimer()
+		m.Do(func() { stop.Set(true) })
+		for k := 0; k < waiters; k++ {
+			<-done
+		}
+	})
 }
 
 // BenchmarkAblationTagKinds isolates the relay search cost by predicate

@@ -6,9 +6,15 @@
 //
 //	autosynch-bench -list
 //	autosynch-bench -experiment fig14 -trials 5 -ops 50000 -maxthreads 256
-//	autosynch-bench -experiment all -quick
+//	autosynch-bench -experiment all -quick -json
 //	autosynch-bench -problem river-crossing -ops 50000
 //	autosynch-bench -problem fifo-barrier -mech autosynch,explicit -threads 64
+//
+// With -json every experiment additionally writes BENCH_<experiment>.json
+// (the harness.Report with its structured figure series), and -problem
+// writes BENCH_problem_<name>.json with the per-mechanism measurements,
+// so the perf trajectory is machine-readable; CI uploads the -quick -json
+// run as an artifact.
 //
 // Absolute runtimes will differ from the paper (goroutines on modern
 // hardware vs. Java threads on 2009 Xeons); the shapes — which mechanism
@@ -17,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,8 +47,29 @@ func main() {
 		maxThreads = flag.Int("maxthreads", 256, "top of the doubling thread axis")
 		quick      = flag.Bool("quick", false, "small smoke configuration (1 trial, 2000 ops, 32 threads)")
 		paper      = flag.Bool("paper", false, "the full §6.1 protocol (25 trials, drop best+worst)")
+		jsonOut    = flag.Bool("json", false, "additionally write BENCH_<experiment>.json files with the structured results")
 	)
 	flag.Parse()
+
+	// Conflicting flag combinations are usage errors, not silent
+	// preferences: the run that would have happened is ambiguous.
+	if *quick && *paper {
+		usageError("-quick and -paper are mutually exclusive: pick one protocol")
+	}
+	if *experiment != "" && *problem != "" {
+		usageError("-experiment and -problem are mutually exclusive: an experiment sweeps its own scenarios")
+	}
+	if *problem == "" {
+		if *mechList != "" {
+			usageError("-mech only applies to -problem runs")
+		}
+		if *threads != 0 {
+			usageError("-threads only applies to -problem runs (experiments sweep a thread axis; see -maxthreads)")
+		}
+	}
+	if flag.NArg() > 0 {
+		usageError(fmt.Sprintf("unexpected arguments: %s", strings.Join(flag.Args(), " ")))
+	}
 
 	if *list {
 		fmt.Println("experiments (-experiment):")
@@ -73,11 +101,7 @@ func main() {
 	}
 
 	if *problem != "" {
-		if *experiment != "" {
-			fmt.Fprintln(os.Stderr, "-problem and -experiment are mutually exclusive")
-			os.Exit(2)
-		}
-		runProblem(*problem, *mechList, *threads, cfg)
+		runProblem(*problem, *mechList, *threads, cfg, *jsonOut)
 		return
 	}
 
@@ -96,16 +120,59 @@ func main() {
 			os.Exit(2)
 		}
 		start := time.Now()
-		out := e.Run(cfg)
-		fmt.Println(out)
+		rep := e.Run(cfg)
+		fmt.Println(rep.Text)
+		if *jsonOut {
+			writeJSON("BENCH_"+e.ID+".json", rep)
+		}
 		fmt.Printf("[%s completed in %v]\n\n%s\n", e.ID, time.Since(start).Round(time.Millisecond),
 			strings.Repeat("-", 72))
 	}
 }
 
+// usageError reports a flag-combination error and exits with the
+// conventional usage status.
+func usageError(msg string) {
+	fmt.Fprintf(os.Stderr, "autosynch-bench: %s\n", msg)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// writeJSON marshals v into path, failing loudly: a missing artifact is a
+// broken contract with CI, not a cosmetic issue.
+func writeJSON(path string, v any) {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "marshal %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("[wrote %s]\n", path)
+}
+
+// problemReport is the -json shape of a single-scenario run: one
+// measurement per mechanism at one configuration point.
+type problemReport struct {
+	Scenario string              `json:"scenario"`
+	Threads  int                 `json:"threads"`
+	Ops      int                 `json:"ops"`
+	Trials   int                 `json:"trials"`
+	Check    string              `json:"check"`
+	Results  []problemMechResult `json:"results"`
+}
+
+type problemMechResult struct {
+	Mechanism   string              `json:"mechanism"`
+	Measurement harness.Measurement `json:"measurement"`
+}
+
 // runProblem executes one registered scenario at a single configuration
 // point and prints a per-mechanism result table.
-func runProblem(name, mechList string, threads int, cfg harness.Config) {
+func runProblem(name, mechList string, threads int, cfg harness.Config, jsonOut bool) {
 	spec, ok := problems.Lookup(name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown scenario %q; use -list\n", name)
@@ -130,6 +197,8 @@ func runProblem(name, mechList string, threads int, cfg harness.Config) {
 		spec.Name, threads, cfg.TotalOps, cfg.Protocol.Trials, spec.CheckDesc)
 	fmt.Printf("%-12s %12s %12s %10s %10s %10s %10s\n",
 		"mechanism", "mean", "ops/s", "wakeups", "futile", "signals", "bcasts")
+	report := problemReport{Scenario: spec.Name, Threads: threads, Ops: cfg.TotalOps,
+		Trials: cfg.Protocol.Trials, Check: spec.CheckDesc}
 	for _, mech := range mechs {
 		mech := mech
 		m := cfg.Protocol.Measure(func() problems.Result {
@@ -146,5 +215,9 @@ func runProblem(name, mechList string, threads int, cfg harness.Config) {
 		fmt.Printf("%-12s %12s %12.0f %10d %10d %10d %10d\n",
 			mech, time.Duration(m.MeanSeconds*float64(time.Second)).Round(time.Microsecond),
 			r.Throughput(), r.Stats.Wakeups, r.Stats.FutileWakeups, r.Stats.Signals, r.Stats.Broadcasts)
+		report.Results = append(report.Results, problemMechResult{Mechanism: mech.String(), Measurement: m})
+	}
+	if jsonOut {
+		writeJSON("BENCH_problem_"+spec.Name+".json", report)
 	}
 }

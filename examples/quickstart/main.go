@@ -13,6 +13,14 @@
 // per call also works and consults the same predicate cache; compiling
 // ahead just keeps even the cache lookup off the hot path.)
 //
+// The second act is select multiplexing: one dispatcher goroutine drains
+// TWO independent buffers at once by arming a wait handle on each
+// (Predicate.Arm) and selecting over the Ready channels — no goroutine is
+// parked per waiter; the relay signal lands on a channel instead. That is
+// the pattern a server multiplexing many resources scales with (see the
+// `dispatcher` scenario and BenchmarkMultiplexedWaiters for the 1024-way
+// version).
+//
 // Run with:
 //
 //	go run ./examples/quickstart
@@ -144,4 +152,66 @@ func main() {
 		panic("AutoSynch must never broadcast")
 	}
 	fmt.Println("no signal or signalAll call appears anywhere in this program.")
+
+	dispatchDemo()
+}
+
+// dispatchDemo multiplexes two buffers from one goroutine with armed wait
+// handles: the select-composable face of the same waituntil predicates.
+func dispatchDemo() {
+	const items = 200
+	a, b := NewBoundedBuffer(8), NewBoundedBuffer(8)
+
+	// Two producers fill their own buffers; nobody consumes but the
+	// dispatcher below.
+	for _, buf := range []*BoundedBuffer{a, b} {
+		go func(buf *BoundedBuffer) {
+			for i := 0; i < items; i++ {
+				buf.Put([]int{i})
+			}
+		}(buf)
+	}
+
+	// notEmpty is a shared (local-free) predicate: compiled once per
+	// buffer, armed over and over. Arm registers the waiter without
+	// parking a goroutine; Ready fires when relay signaling finds it
+	// true; Claim re-enters the monitor, re-validates, and hands the
+	// monitor over.
+	notEmptyA := a.mon.MustCompile("count >= 1")
+	notEmptyB := b.mon.MustCompile("count >= 1")
+	wa, wb := notEmptyA.Arm(), notEmptyB.Arm()
+	var fromA, fromB int
+	for fromA+fromB < 2*items {
+		select {
+		case <-wa.Ready():
+			if err := wa.Claim(); err == nil { // monitor held, count >= 1
+				a.takeOneLocked()
+				a.mon.Exit()
+				fromA++
+				wa = notEmptyA.Arm()
+			} else if err != autosynch.ErrNotReady {
+				panic(err) // ErrNotReady re-armed wa; anything else is a bug
+			}
+		case <-wb.Ready():
+			if err := wb.Claim(); err == nil {
+				b.takeOneLocked()
+				b.mon.Exit()
+				fromB++
+				wb = notEmptyB.Arm()
+			} else if err != autosynch.ErrNotReady {
+				panic(err)
+			}
+		}
+	}
+	wa.Cancel()
+	wb.Cancel()
+	fmt.Printf("dispatcher drained %d+%d items from two buffers with one goroutine and zero parked waiters\n",
+		fromA, fromB)
+}
+
+// takeOneLocked removes one item; the caller holds the monitor with
+// count >= 1 (a successful Claim).
+func (b *BoundedBuffer) takeOneLocked() {
+	b.take = (b.take + 1) % len(b.buf)
+	b.count.Add(-1)
 }

@@ -12,12 +12,20 @@ import (
 // re-evaluating its own predicate after re-acquiring the lock. It is the
 // design whose measured 10–50× slowdowns (Buhr et al.) created the belief
 // that automatic-signal monitors are inherently expensive.
+//
+// Blocking waits deliberately stay on the shared condition variable — the
+// broadcast storm they form under contention IS the strawman being
+// measured, and it has no per-waiter addressing to reify. Armed handles
+// (ArmFunc) ride alongside on a waiter list whose channels every
+// broadcast also closes, so the baseline still offers the full Mechanism
+// handle surface.
 type Baseline struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
+	armed   waitList // armed handles, notified on every broadcast
 	profile bool
 	in      bool
-	waiting int // goroutines currently parked in Await
+	waiting int // registered waiters: parked Awaits plus armed handles
 	stats   Stats
 }
 
@@ -50,10 +58,19 @@ func (b *Baseline) Exit() {
 	if !b.in {
 		panic("autosynch: Exit without Enter")
 	}
-	b.stats.Broadcasts++
-	b.cond.Broadcast()
+	b.broadcastLocked()
 	b.in = false
 	b.mu.Unlock()
+}
+
+// broadcastLocked is the baseline's signalAll: wake every parked waiter
+// and notify every armed handle.
+func (b *Baseline) broadcastLocked() {
+	b.stats.Broadcasts++
+	b.cond.Broadcast()
+	if len(b.armed.ws) > 0 {
+		b.armed.broadcast(nil)
+	}
 }
 
 // Do runs f inside the monitor.
@@ -86,6 +103,37 @@ func (b *Baseline) AwaitFuncCtx(ctx context.Context, pred func() bool) error {
 	return b.await(ctx, pred)
 }
 
+// ctxWaiter is the cancellation state of one baseline AwaitCtx waiter.
+// Both fields are written and read only under the monitor lock.
+type ctxWaiter struct {
+	cancelled bool // the watcher observed ctx.Done before the wait finished
+	finished  bool // the wait completed normally; the watcher must not act
+}
+
+// watchCtx spawns the cancellation watcher for one cond-parked waiter:
+// when ctx is done before the wait finishes, it marks the waiter
+// cancelled under mu and broadcasts (waking every waiter; the cancelled
+// one abandons, the rest re-check and re-park). The returned stop
+// function retires the watcher; the caller defers it from the wait loop,
+// where it runs holding mu — the watcher then either loses the select
+// race (and exits via stop) or observes finished and does nothing.
+func watchCtx(ctx context.Context, mu *sync.Mutex, cw *ctxWaiter, wake *sync.Cond) (stop func()) {
+	ch := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			mu.Lock()
+			if !cw.finished {
+				cw.cancelled = true
+				wake.Broadcast()
+			}
+			mu.Unlock()
+		case <-ch:
+		}
+	}()
+	return func() { close(ch) }
+}
+
 func (b *Baseline) await(ctx context.Context, pred func() bool) error {
 	if !b.in {
 		panic("autosynch: Await outside the monitor; call Enter first")
@@ -107,8 +155,7 @@ func (b *Baseline) await(ctx context.Context, pred func() bool) error {
 	}
 	b.waiting++
 	for {
-		b.stats.Broadcasts++
-		b.cond.Broadcast()
+		b.broadcastLocked()
 		if b.profile {
 			t0 := time.Now()
 			b.cond.Wait()
@@ -136,6 +183,63 @@ func (b *Baseline) await(ctx context.Context, pred func() bool) error {
 	return nil
 }
 
+// ArmFunc registers a closure-predicate waiter without blocking and
+// returns its handle: every broadcast (that is, every monitor exit)
+// notifies it, and Claim re-validates the closure under the lock. See
+// Wait for the select-composition contract. ArmFunc acquires the monitor
+// internally: call it outside Enter/Exit.
+func (b *Baseline) ArmFunc(pred func() bool) *Wait {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stats.Arms++
+	w := newWait(b)
+	w.pred = pred
+	b.armed.add(w)
+	b.waiting++
+	if pred() {
+		w.notify()
+	}
+	return w
+}
+
+// TryFunc is the non-blocking degenerate case of AwaitFunc: one
+// evaluation inside the monitor, no parking, no arming.
+func (b *Baseline) TryFunc(pred func() bool) bool {
+	if !b.in {
+		panic("autosynch: TryFunc outside the monitor; call Enter first")
+	}
+	return pred()
+}
+
+// lockWait and unlockWait expose the monitor lock to the handle methods.
+func (b *Baseline) lockWait()   { b.mu.Lock() }
+func (b *Baseline) unlockWait() { b.mu.Unlock() }
+
+// claimLocked re-validates a handle's closure; on success the claimer
+// holds the monitor, on failure the handle is re-armed for the next
+// broadcast.
+func (b *Baseline) claimLocked(w *Wait) error {
+	if w.pred() {
+		b.stats.Claims++
+		w.state = waitClaimed
+		b.armed.remove(w)
+		b.waiting--
+		b.in = true
+		return nil
+	}
+	b.stats.FutileClaims++
+	w.rearm()
+	return ErrNotReady
+}
+
+// cancelLocked drops a cancelled handle; the broadcast discipline needs
+// no further repair.
+func (b *Baseline) cancelLocked(w *Wait) {
+	b.stats.Abandons++
+	b.armed.remove(w)
+	b.waiting--
+}
+
 // Stats returns a snapshot of the counters.
 func (b *Baseline) Stats() Stats {
 	b.mu.Lock()
@@ -150,8 +254,9 @@ func (b *Baseline) ResetStats() {
 	b.stats = Stats{}
 }
 
-// Waiting returns the number of goroutines currently parked in Await;
-// tests poll it instead of sleeping to know waiters have parked.
+// Waiting returns the number of registered waiters (parked Awaits plus
+// armed handles); tests poll it instead of sleeping, and assert zero to
+// prove no handle leaked.
 func (b *Baseline) Waiting() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()

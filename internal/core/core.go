@@ -14,4 +14,14 @@
 // All four share the Stats instrumentation so experiments can compare
 // signals, wake-ups, and futile wake-ups (the context-switch proxy of
 // Fig. 15) on equal footing.
+//
+// Waiters are first-class: a *Wait handle (Predicate.Arm, Cond.Arm, or
+// any mechanism's ArmFunc) registers with the condition manager exactly
+// like a blocking wait but delivers its notification by closing a
+// channel, so one goroutine can multiplex any number of armed waits with
+// select. In the automatic monitor the blocking waits are thin wrappers
+// over the same waiter objects — relay signaling, tag structures, and
+// cancellation all operate on them; the comparison mechanisms keep their
+// native condition-variable parking (that parking IS what they measure)
+// and run the handle lists alongside.
 package core

@@ -2,24 +2,25 @@ package core
 
 import (
 	"container/list"
-	"sync"
 
 	"repro/internal/dnf"
 	"repro/internal/expr"
 	"repro/internal/tag"
 )
 
-// entry is one registered (globalized) predicate with its condition
-// variable — a row of the predicate table in Fig. 7. Threads waiting on
-// syntactically equivalent predicates share an entry (§5.2).
+// entry is one registered (globalized) predicate — a row of the predicate
+// table in Fig. 7. Threads waiting on syntactically equivalent predicates
+// share an entry (§5.2). Its waiters are standalone *Wait objects: parked
+// goroutines and armed handles are the same representation, and relay
+// signaling delivers a notification by closing a waiter's channel rather
+// than unparking a particular goroutine.
 type entry struct {
 	canon  string // canonical globalized DNF string; identity key
 	static bool   // shared predicate: registered once, never evicted
 	active bool
 
-	cond     *sync.Cond
-	waiters  int // threads currently waiting on this entry
-	signaled int // signals issued to this entry not yet consumed
+	waiters    []*Wait // registered waiters, parked and armed alike
+	unnotified int     // waiters with no notification in flight
 
 	evalFn   func() bool // whole-predicate evaluation against the cells
 	conjTags []tag.Tag   // tag analysis per conjunction (for registration)
@@ -29,17 +30,24 @@ type entry struct {
 
 	lruElem *list.Element // position in the inactive LRU, nil while active
 
-	funcOnly bool // one-shot AwaitFunc entry; never cached
+	funcOnly bool // one-shot AwaitFunc/ArmFunc entry; never cached
 }
 
-// newCond creates a condition variable bound to the monitor lock.
-func newCond(m *Monitor) *sync.Cond { return sync.NewCond(&m.mu) }
+// signalable reports whether the entry has a waiter without a pending
+// notification. Entries whose every waiter is already notified are skipped
+// by the relay search: notifying them again could only produce a futile
+// wake-up.
+func (e *entry) signalable() bool { return e.unnotified > 0 }
 
-// signalable reports whether the entry has a waiter that has not already
-// been signaled. Entries whose every waiter has a pending signal are
-// skipped by the relay search: signaling them again could only produce a
-// futile wake-up.
-func (e *entry) signalable() bool { return e.waiters > e.signaled }
+// firstUnnotified returns a waiter eligible for signal delivery.
+func (e *entry) firstUnnotified() *Wait {
+	for _, w := range e.waiters {
+		if !w.notified {
+			return w
+		}
+	}
+	return nil
+}
 
 // buildEntry compiles the globalized predicate and analyzes its tags.
 // Called under the monitor lock.
@@ -47,7 +55,6 @@ func (m *Monitor) buildEntry(canon string, glob dnf.DNF, static bool) (*entry, e
 	e := &entry{
 		canon:   canon,
 		static:  static,
-		cond:    sync.NewCond(&m.mu),
 		noneIdx: -1,
 	}
 	conjFns := make([]expr.BoolFn, len(glob.Conjs))
@@ -77,15 +84,14 @@ func (m *Monitor) buildEntry(canon string, glob dnf.DNF, static bool) (*entry, e
 	return e, nil
 }
 
-// funcEntry wraps a closure predicate from AwaitFunc. The closure may
-// capture the calling goroutine's locals: they cannot change while it
-// waits (Proposition 1), so evaluation by other threads under the monitor
-// lock is sound. Closure predicates are opaque, so they always carry the
-// None tag and are scanned exhaustively.
+// funcEntry wraps a closure predicate from AwaitFunc or ArmFunc. The
+// closure may capture the calling goroutine's locals: they cannot change
+// while it waits (Proposition 1), so evaluation by other threads under the
+// monitor lock is sound. Closure predicates are opaque, so they always
+// carry the None tag and are scanned exhaustively.
 func (m *Monitor) funcEntry(f func() bool) *entry {
 	return &entry{
 		canon:    "<func>",
-		cond:     sync.NewCond(&m.mu),
 		evalFn:   f,
 		conjTags: []tag.Tag{{Kind: tag.None}},
 		noneIdx:  -1,

@@ -12,20 +12,28 @@ import (
 // paper's evaluation. The programmer associates predicates with conditions
 // and must signal the right condition at the right time — exactly the
 // burden (and bug source) AutoSynch removes.
+//
+// Blocking waits park on each condition's sync.Cond exactly as the
+// comparison point demands; armed handles (Cond.Arm, ArmFunc) ride
+// alongside on per-condition waiter lists whose channels Signal and
+// Broadcast also notify, so explicit monitors offer the full Mechanism
+// handle surface without perturbing the measured signaling discipline.
 type Explicit struct {
 	mu      sync.Mutex
 	profile bool
 	in      bool
-	waiting int // goroutines currently parked in Cond.Await or AwaitFunc
+	waiting int // registered waiters: parked waits plus armed handles
 	stats   Stats
 
-	// any is the condition behind the Mechanism-interface AwaitFunc: a
-	// generic waiter with no condition variable of its own parks here and
-	// is woken whenever the program signals or broadcasts any of the
-	// monitor's conditions. anyWaiters gates the extra broadcast so
-	// signal-heavy workloads that never use AwaitFunc pay nothing.
+	// any is the condition behind the Mechanism-interface AwaitFunc and
+	// ArmFunc: a generic waiter with no condition variable of its own
+	// parks here and is woken whenever the program signals or broadcasts
+	// any of the monitor's conditions. anyWaiters and the armed list's
+	// emptiness gate the extra broadcast so signal-heavy workloads that
+	// never use the generic forms pay nothing.
 	any        *sync.Cond
 	anyWaiters int
+	anyArmed   waitList
 }
 
 // NewExplicit constructs an explicit-signal monitor.
@@ -67,10 +75,14 @@ func (e *Explicit) Do(f func()) {
 	f()
 }
 
-// notifyAny wakes the generic AwaitFunc waiters after a manual signal.
+// notifyAny wakes the generic AwaitFunc/ArmFunc waiters after a manual
+// signal.
 func (e *Explicit) notifyAny() {
 	if e.anyWaiters > 0 {
 		e.any.Broadcast()
+	}
+	if len(e.anyArmed.ws) > 0 {
+		e.anyArmed.broadcast(nil)
 	}
 }
 
@@ -148,6 +160,72 @@ func (e *Explicit) waitLoop(ctx context.Context, cond *sync.Cond, pred func() bo
 	return nil
 }
 
+// ArmFunc registers a generic any-signal waiter without blocking and
+// returns its handle: any manual Signal or Broadcast on any of the
+// monitor's conditions notifies it, and Claim re-validates the closure
+// under the lock. See Wait for the select-composition contract. ArmFunc
+// acquires the monitor internally: call it outside Enter/Exit.
+func (e *Explicit) ArmFunc(pred func() bool) *Wait {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.armOn(&e.anyArmed, pred)
+}
+
+// armOn registers a handle on a waiter list, with the immediate
+// notification when the predicate already holds. Runs under the lock.
+func (e *Explicit) armOn(l *waitList, pred func() bool) *Wait {
+	e.stats.Arms++
+	w := newWait(e)
+	w.pred = pred
+	l.add(w)
+	e.waiting++
+	if pred() {
+		w.notify()
+	}
+	return w
+}
+
+// TryFunc is the non-blocking degenerate case of AwaitFunc: one
+// evaluation inside the monitor, no parking, no arming.
+func (e *Explicit) TryFunc(pred func() bool) bool {
+	if !e.in {
+		panic("autosynch: TryFunc outside the monitor; call Enter first")
+	}
+	return pred()
+}
+
+// lockWait and unlockWait expose the monitor lock to the handle methods.
+func (e *Explicit) lockWait()   { e.mu.Lock() }
+func (e *Explicit) unlockWait() { e.mu.Unlock() }
+
+// claimLocked re-validates a handle's closure; on success the claimer
+// holds the monitor, on failure the handle is re-armed for the next
+// signal of its condition (or any signal, for ArmFunc handles). The
+// re-armed handle rotates behind its list's later registrants, matching a
+// condition queue's FIFO fairness.
+func (e *Explicit) claimLocked(w *Wait) error {
+	if w.pred() {
+		e.stats.Claims++
+		w.state = waitClaimed
+		w.list.remove(w)
+		e.waiting--
+		e.in = true
+		return nil
+	}
+	e.stats.FutileClaims++
+	w.rearm()
+	w.list.requeue(w)
+	return ErrNotReady
+}
+
+// cancelLocked drops a cancelled handle from its condition's list; the
+// manual signaling discipline needs no further repair.
+func (e *Explicit) cancelLocked(w *Wait) {
+	e.stats.Abandons++
+	w.list.remove(w)
+	e.waiting--
+}
+
 // Stats returns a snapshot of the counters.
 func (e *Explicit) Stats() Stats {
 	e.mu.Lock()
@@ -162,9 +240,9 @@ func (e *Explicit) ResetStats() {
 	e.stats = Stats{}
 }
 
-// Waiting returns the number of goroutines currently parked in Cond.Await
-// across all of the monitor's conditions; tests poll it instead of
-// sleeping to know waiters have parked.
+// Waiting returns the number of registered waiters across all of the
+// monitor's conditions (parked waits plus armed handles); tests poll it
+// instead of sleeping, and assert zero to prove no handle leaked.
 func (e *Explicit) Waiting() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -173,8 +251,9 @@ func (e *Explicit) Waiting() int {
 
 // Cond is an explicit condition variable bound to its monitor's lock.
 type Cond struct {
-	m    *Explicit
-	cond *sync.Cond
+	m     *Explicit
+	cond  *sync.Cond
+	armed waitList // armed handles routed to this condition
 }
 
 // NewCond creates a condition variable on the monitor.
@@ -213,10 +292,26 @@ func (c *Cond) await(ctx context.Context, pred func() bool) error {
 	return c.m.waitLoop(ctx, c.cond, pred)
 }
 
-// Signal wakes one thread waiting on the condition.
+// Arm registers a waiter on this condition without blocking and returns
+// its handle: Signal and Broadcast on this condition notify it, and Claim
+// re-validates the closure under the lock — the handle analog of the
+// while-loop around Condition.await. Arm acquires the monitor internally:
+// call it outside Enter/Exit.
+func (c *Cond) Arm(pred func() bool) *Wait {
+	c.m.mu.Lock()
+	defer c.m.mu.Unlock()
+	return c.m.armOn(&c.armed, pred)
+}
+
+// Signal wakes one thread waiting on the condition. A signal reaches both
+// waiter populations: one parked goroutine (if any) and one armed handle
+// — the handle re-validates at claim time, so the at-most-one-consumer
+// contract of the underlying state is preserved by the predicates
+// themselves, as everywhere in an explicit monitor.
 func (c *Cond) Signal() {
 	c.m.stats.Signals++
 	c.cond.Signal()
+	c.armed.signalOne()
 	c.m.notifyAny()
 }
 
@@ -224,5 +319,8 @@ func (c *Cond) Signal() {
 func (c *Cond) Broadcast() {
 	c.m.stats.Broadcasts++
 	c.cond.Broadcast()
+	if len(c.armed.ws) > 0 {
+		c.armed.broadcast(nil)
+	}
 	c.m.notifyAny()
 }

@@ -20,7 +20,7 @@ type condManager struct {
 	groups map[string]*sharedGroup // tag structures by canonical shared expression
 	none   []*entry                // entries needing exhaustive search
 
-	pending int // signals issued and not yet consumed by a woken waiter
+	pending int // signals issued and not yet consumed by a woken or claiming waiter
 }
 
 func newCondManager(m *Monitor) *condManager {
@@ -195,10 +195,12 @@ func (cm *condManager) removeNone(e *entry) {
 
 // relaySignal implements the relay signaling rule (§4.2): if no signal is
 // already pending, find one waiter whose globalized predicate is true and
-// signal it. A pending signal means an active thread already exists
-// (Definition 3 counts signaled threads as active), so relay invariance
-// holds without a second search — and the signaled thread itself relays
-// again before it re-waits (Fig. 6), keeping the chain alive.
+// signal it — by closing that waiter's ready channel, which unparks a
+// blocked Await or fires an armed handle's select case. A pending signal
+// means an active waiter already exists (Definition 3 counts signaled
+// threads as active), so relay invariance holds without a second search —
+// and the signaled waiter itself relays again before it re-waits (Fig. 6),
+// or on the Exit/re-arm that ends its Claim, keeping the chain alive.
 func (cm *condManager) relaySignal() {
 	cm.m.stats.RelayCalls++
 	if cm.pending > 0 {
@@ -207,12 +209,54 @@ func (cm *condManager) relaySignal() {
 	start := cm.m.profileStart()
 	e := cm.findTrue()
 	if e != nil {
-		e.signaled++
+		w := e.firstUnnotified()
+		w.viaRelay = true
 		cm.pending++
 		cm.m.stats.Signals++
-		e.cond.Signal()
+		cm.notify(w)
 	}
 	cm.m.profileEndRelay(start)
+}
+
+// notify delivers a notification to one waiter, keeping the entry's
+// signalable accounting exact.
+func (cm *condManager) notify(w *Wait) {
+	w.notify()
+	w.e.unnotified--
+}
+
+// register attaches a waiter to its entry and updates the per-group
+// waiter totals and the monitor-wide Waiting count.
+func (cm *condManager) register(w *Wait) {
+	e := w.e
+	w.idx = len(e.waiters)
+	e.waiters = append(e.waiters, w)
+	e.unnotified++
+	for _, n := range e.nodes {
+		n.group.waiters++
+	}
+	cm.m.waiting++
+}
+
+// unregister detaches a waiter from its entry. An entry's node set is
+// stable while it has waiters (deactivation requires an empty waiter
+// list), so the group bookkeeping is exact.
+func (cm *condManager) unregister(w *Wait) {
+	e := w.e
+	last := len(e.waiters) - 1
+	moved := e.waiters[last]
+	e.waiters[w.idx] = moved
+	moved.idx = w.idx
+	e.waiters[last] = nil
+	e.waiters = e.waiters[:last]
+	w.idx = -1
+	if !w.notified {
+		e.unnotified--
+	}
+	for _, n := range e.nodes {
+		n.group.waiters--
+	}
+	cm.m.waiting--
 }
 
 // findTrue locates a signalable entry whose predicate currently holds.
@@ -244,24 +288,6 @@ func (cm *condManager) findTrue() *entry {
 		}
 	}
 	return cm.firstTrue(cm.none)
-}
-
-// addWaiter and removeWaiter keep the per-group waiter totals in sync with
-// an entry's waiter count. An entry's node set is stable while it has
-// waiters (deactivation requires waiters == 0), so the bookkeeping is
-// exact.
-func (cm *condManager) addWaiter(e *entry) {
-	e.waiters++
-	for _, n := range e.nodes {
-		n.group.waiters++
-	}
-}
-
-func (cm *condManager) removeWaiter(e *entry) {
-	e.waiters--
-	for _, n := range e.nodes {
-		n.group.waiters--
-	}
 }
 
 // firstTrue returns the first signalable entry whose predicate evaluates

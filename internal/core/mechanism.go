@@ -9,13 +9,15 @@ import "context"
 // code.
 //
 // The closure wait is the portable common denominator: every mechanism
-// can park a waiter on an opaque predicate and re-check it on wake-up.
-// How wake-ups happen stays mechanism-specific — Monitor relays a signal
+// can park a waiter on an opaque predicate and re-check it on wake-up —
+// blocking (AwaitFunc), non-blocking (TryFunc), or as a first-class armed
+// handle (ArmFunc) whose notification arrives on a channel. How
+// notifications happen stays mechanism-specific — Monitor relays a signal
 // exactly when the predicate is true, Baseline broadcasts on every exit,
-// and Explicit wakes its generic waiters on any manual signal (see
-// Explicit.AwaitFunc). Monitor's string and compiled-predicate waits
-// (Await/AwaitPred) remain on the concrete type: they are what the other
-// mechanisms, by design, cannot offer.
+// and Explicit wakes its generic waiters on any manual signal. Monitor's
+// string and compiled-predicate waits (Await/AwaitPred/Predicate.Arm)
+// remain on the concrete type: they are what the other mechanisms, by
+// design, cannot offer.
 type Mechanism interface {
 	// Enter acquires the monitor and Exit releases it (relaying or
 	// broadcasting per the mechanism's discipline); Do wraps both.
@@ -29,16 +31,30 @@ type Mechanism interface {
 	AwaitFunc(pred func() bool)
 	AwaitFuncCtx(ctx context.Context, pred func() bool) error
 
+	// ArmFunc registers a waiter without blocking and returns its
+	// first-class handle: select on Ready, then Claim (re-validating
+	// Mesa-style) or Cancel. Called outside the monitor — it locks
+	// internally. TryFunc is the non-blocking degenerate case: one
+	// in-monitor evaluation, no parking, no arming.
+	ArmFunc(pred func() bool) *Wait
+	TryFunc(pred func() bool) bool
+
 	// Stats/ResetStats expose the shared instrumentation; Waiting reports
-	// the parked-waiter count tests poll instead of sleeping.
+	// the registered-waiter count (parked waits plus armed handles) that
+	// tests poll instead of sleeping, and assert zero for leak checks.
 	Stats() Stats
 	ResetStats()
 	Waiting() int
 }
 
-// The three mechanisms implement the interface.
+// The three mechanisms implement the interface, and each doubles as the
+// host of its own handles.
 var (
 	_ Mechanism = (*Monitor)(nil)
 	_ Mechanism = (*Baseline)(nil)
 	_ Mechanism = (*Explicit)(nil)
+
+	_ waitHost = (*Monitor)(nil)
+	_ waitHost = (*Baseline)(nil)
+	_ waitHost = (*Explicit)(nil)
 )

@@ -33,7 +33,7 @@ type Monitor struct {
 	cm    *condManager
 	in    bool // a thread is inside the monitor (diagnostics only)
 
-	waiting int // goroutines currently parked in Await/AwaitFunc
+	waiting int // registered waiters: parked Awaits plus armed handles
 	stats   Stats
 }
 
@@ -298,111 +298,86 @@ func (m *Monitor) awaitFunc(ctx context.Context, pred func() bool) error {
 	return m.wait(ctx, e)
 }
 
-// ctxWaiter is the cancellation state of one AwaitCtx waiter. Both fields
-// are written and read only under the monitor lock.
-type ctxWaiter struct {
-	cancelled bool // the watcher observed ctx.Done before the wait finished
-	finished  bool // the wait completed normally; the watcher must not act
-}
-
-// watchCtx spawns the cancellation watcher for one waiter, shared by all
-// three mechanisms: when ctx is done before the wait finishes, it marks
-// the waiter cancelled under mu and broadcasts wake (waking every waiter
-// of that condition; the cancelled one abandons, the rest re-check and
-// re-park). The returned stop function retires the watcher; the caller
-// defers it from the wait loop, where it runs holding mu — the watcher
-// then either loses the select race (and exits via stop) or observes
-// finished and does nothing.
-func watchCtx(ctx context.Context, mu *sync.Mutex, cw *ctxWaiter, wake *sync.Cond) (stop func()) {
-	ch := make(chan struct{})
-	go func() {
-		select {
-		case <-ctx.Done():
-			mu.Lock()
-			if !cw.finished {
-				cw.cancelled = true
-				wake.Broadcast()
-			}
-			mu.Unlock()
-		case <-ch:
-		}
-	}()
-	return func() { close(ch) }
-}
-
-// wait is the waituntil loop of Fig. 6: relay a signal to some other
-// true-condition waiter, sleep, and on wake-up re-check the predicate.
-// With a non-nil ctx the wait is cancelable: a watcher goroutine broadcasts
-// the entry's condition when ctx is done, and the abandoned waiter
+// wait is the waituntil loop of Fig. 6, expressed over a first-class
+// waiter: register a *Wait on the entry, relay a signal to some other
+// true-condition waiter, park on the handle's ready channel, and on
+// notification consume the signal and re-check the predicate Mesa-style.
+// The blocking Await is thus a thin wrapper around the same waiter object
+// the handle API exposes; only the parking differs. With a non-nil ctx
+// the park is a select against ctx.Done(), and the abandoned waiter
 // unregisters itself and restores relay invariance before returning
 // ctx.Err().
 func (m *Monitor) wait(ctx context.Context, e *entry) error {
-	m.cm.addWaiter(e)
-	m.waiting++
-
-	var cw *ctxWaiter
-	if ctx != nil && ctx.Done() != nil {
-		cw = &ctxWaiter{}
-		defer watchCtx(ctx, &m.mu, cw, e.cond)()
-	}
+	w := newWait(m)
+	w.e = e
+	m.cm.register(w)
 
 	for {
 		m.cm.relaySignal()
-		if m.cfg.profile {
-			t0 := time.Now()
-			e.cond.Wait()
-			m.stats.AwaitNs += time.Since(t0).Nanoseconds()
+		ready := w.ready
+		t0 := m.profileStart()
+		m.mu.Unlock()
+		if ctx == nil {
+			<-ready
+			m.mu.Lock()
 		} else {
-			e.cond.Wait()
+			select {
+			case <-ready:
+				m.mu.Lock()
+			case <-ctx.Done():
+				m.mu.Lock()
+				m.profileEndAwait(t0)
+				return m.abandonWait(ctx, w)
+			}
 		}
-		if cw != nil && cw.cancelled {
-			return m.abandonWait(ctx, e)
-		}
-		if e.signaled == 0 {
-			// Woken by a cancellation broadcast aimed at another waiter of
-			// this entry, not by a relay signal: nothing to consume.
-			continue
-		}
+		m.profileEndAwait(t0)
 		m.stats.Wakeups++
-		e.signaled--
-		m.cm.pending--
+		m.consumeSignal(w)
 		m.stats.PredicateEvals++
 		if e.evalFn() {
 			break
 		}
 		m.stats.FutileWakeups++
+		m.rearmWaiter(w)
 	}
-	m.waiting--
-	m.cm.removeWaiter(e)
+	m.cm.unregister(w)
 	m.retireIfIdle(e)
 	m.in = true
-	if cw != nil {
-		cw.finished = true
-	}
 	return nil
 }
 
-// abandonWait unwinds a waiter whose context was cancelled. Called with
-// the monitor lock held, right after the cancellation broadcast woke the
-// waiter. The waiter is removed from the entry (and the entry, if now
-// waiterless, from the predicate table and tag structures); a signal that
-// was in flight to the abandoned waiter with no remaining consumer is
-// reconciled; and relaySignal runs so the signaling chain moves to the
-// next waiter whose predicate holds — relay invariance survives the
-// abandonment.
-func (m *Monitor) abandonWait(ctx context.Context, e *entry) error {
-	m.stats.Abandons++
-	m.waiting--
-	m.cm.removeWaiter(e)
-	if e.signaled > e.waiters {
-		// The abandoned waiter was signaled but never consumed it, and no
-		// remaining waiter of this entry can: drop the orphaned signal so
-		// the pending count cannot wedge the relay search.
-		orphans := e.signaled - e.waiters
-		e.signaled -= orphans
-		m.cm.pending -= orphans
+// consumeSignal settles the in-flight-signal accounting when a notified
+// waiter proceeds (by wake-up or claim). Runs under the monitor lock.
+func (m *Monitor) consumeSignal(w *Wait) {
+	if w.viaRelay {
+		w.viaRelay = false
+		m.cm.pending--
 	}
-	m.retireIfIdle(e)
+}
+
+// rearmWaiter returns a still-registered waiter to the signalable pool
+// with a fresh ready channel. Only a waiter that consumed a notification
+// re-enters the unnotified count — an early Claim re-arms a waiter that
+// was never notified, whose registration count still stands. Runs under
+// the monitor lock.
+func (m *Monitor) rearmWaiter(w *Wait) {
+	if w.notified {
+		w.e.unnotified++
+	}
+	w.rearm()
+}
+
+// abandonWait unwinds a waiter whose context was cancelled. Called with
+// the monitor lock held. The waiter is removed from the entry (and the
+// entry, if now waiterless, from the predicate table and tag structures);
+// a signal that was in flight to the abandoned waiter is reconciled; and
+// relaySignal runs so the signaling chain moves to the next waiter whose
+// predicate holds — relay invariance survives the abandonment.
+func (m *Monitor) abandonWait(ctx context.Context, w *Wait) error {
+	m.stats.Abandons++
+	m.consumeSignal(w)
+	m.cm.unregister(w)
+	m.retireIfIdle(w.e)
 	m.cm.relaySignal()
 	m.in = true
 	return ctx.Err()
@@ -410,7 +385,7 @@ func (m *Monitor) abandonWait(ctx context.Context, e *entry) error {
 
 // retireIfIdle parks or discards an entry that no longer has waiters.
 func (m *Monitor) retireIfIdle(e *entry) {
-	if e.waiters != 0 {
+	if len(e.waiters) != 0 {
 		return
 	}
 	if e.funcOnly {
@@ -437,10 +412,11 @@ func (m *Monitor) ResetStats() {
 	m.stats = Stats{}
 }
 
-// Waiting returns the number of goroutines currently parked in Await or
-// AwaitFunc. The count becomes visible only once the waiter is fully
-// registered (it is updated under the monitor lock), so tests can poll it
-// to know a waiter has parked instead of sleeping for a guessed duration.
+// Waiting returns the number of registered waiters: goroutines parked in
+// Await or AwaitFunc plus armed, unclaimed handles. The count becomes
+// visible only once the waiter is fully registered (it is updated under
+// the monitor lock), so tests can poll it to know a waiter has parked —
+// and assert it returns to zero to prove no handle leaked.
 func (m *Monitor) Waiting() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -480,4 +456,152 @@ func (m *Monitor) profileEndRelay(t0 time.Time) {
 		return
 	}
 	m.stats.RelayNs += time.Since(t0).Nanoseconds()
+}
+
+func (m *Monitor) profileEndAwait(t0 time.Time) {
+	if !m.cfg.profile || t0.IsZero() {
+		return
+	}
+	m.stats.AwaitNs += time.Since(t0).Nanoseconds()
+}
+
+// ---------------------------------------------------------------------------
+// Select-composable wait handles.
+
+// ArmFunc registers a closure-predicate waiter without blocking and
+// returns its handle; it is the Mechanism-interface form of
+// Predicate.Arm. Like AwaitFunc, the closure is evaluated by other
+// threads under the monitor lock, so it must only read state guarded by
+// this monitor and values that cannot change while the handle is armed;
+// closure predicates are opaque to tagging and are scanned exhaustively.
+//
+// ArmFunc acquires the monitor internally: call it outside Enter/Exit.
+func (m *Monitor) ArmFunc(pred func() bool) *Wait {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Arms++
+	e := m.funcEntry(pred)
+	e.noneIdx = len(m.cm.none)
+	m.cm.none = append(m.cm.none, e)
+	return m.armEntry(e)
+}
+
+// armEntry registers a fresh handle on an entry, delivering an immediate
+// notification when the predicate already holds (the non-blocking analog
+// of the Await fast path — the claim re-validates anyway). Runs under the
+// monitor lock.
+func (m *Monitor) armEntry(e *entry) *Wait {
+	w := newWait(m)
+	w.e = e
+	m.cm.register(w)
+	m.stats.PredicateEvals++
+	if e.evalFn() {
+		// A free notification: no relay signal is consumed, so other
+		// waiters' signaling is unaffected and Claim settles the truth.
+		m.cm.notify(w)
+	}
+	return w
+}
+
+// lockWait and unlockWait expose the monitor lock to the generic handle
+// methods.
+func (m *Monitor) lockWait()   { m.mu.Lock() }
+func (m *Monitor) unlockWait() { m.mu.Unlock() }
+
+// claimLocked re-validates an armed handle's predicate under the monitor
+// lock. On success the waiter is unregistered, the handle is spent, and
+// the monitor stays HELD for the caller; on failure the handle is
+// re-armed and any relay signal it held is passed onward, so relay
+// invariance survives the futile claim.
+func (m *Monitor) claimLocked(w *Wait) error {
+	if w.e == nil {
+		// The globalization folded to constant true at arm time: the
+		// predicate holds in every state, no entry was registered.
+		m.stats.Claims++
+		w.state = waitClaimed
+		m.in = true
+		return nil
+	}
+	wasRelay := w.viaRelay
+	m.consumeSignal(w)
+	m.stats.PredicateEvals++
+	if w.e.evalFn() {
+		m.stats.Claims++
+		w.state = waitClaimed
+		m.cm.unregister(w)
+		m.retireIfIdle(w.e)
+		m.in = true
+		return nil
+	}
+	m.stats.FutileClaims++
+	m.rearmWaiter(w)
+	if wasRelay {
+		// The falsifying mutation's own exit saw this waiter as signaled
+		// and relayed nowhere; now that the orphan is reconciled, move the
+		// signaling chain to the next waiter whose predicate holds.
+		m.cm.relaySignal()
+	}
+	return ErrNotReady
+}
+
+// cancelLocked unregisters a cancelled handle and restores relay
+// invariance, exactly as context abandonment does for a blocking wait.
+func (m *Monitor) cancelLocked(w *Wait) {
+	m.stats.Abandons++
+	if w.e == nil {
+		return
+	}
+	m.consumeSignal(w)
+	m.cm.unregister(w)
+	m.retireIfIdle(w.e)
+	m.cm.relaySignal()
+}
+
+// TryFunc is the non-blocking degenerate case of AwaitFunc: it evaluates
+// the closure once inside the monitor and reports whether it holds,
+// never parking and never arming.
+func (m *Monitor) TryFunc(pred func() bool) bool {
+	if !m.in {
+		panic("autosynch: TryFunc outside the monitor; call Enter first")
+	}
+	m.stats.PredicateEvals++
+	return pred()
+}
+
+// TryAwait is the non-blocking degenerate case of Await: it validates and
+// snapshots the bindings and reports whether the predicate holds right
+// now, never parking. Like Await it must be called inside the monitor.
+func (m *Monitor) TryAwait(pred string, binds ...Binding) (bool, error) {
+	if !m.in {
+		panic("autosynch: TryAwait outside the monitor; call Enter first")
+	}
+	p, err := m.compile(pred)
+	if err != nil {
+		return false, err
+	}
+	return m.tryPred(p, binds)
+}
+
+// TryPred is TryAwait for a compiled predicate; see Predicate.Try.
+func (m *Monitor) TryPred(p *Predicate, binds ...Binding) (bool, error) {
+	if !m.in {
+		panic("autosynch: TryPred outside the monitor; call Enter first")
+	}
+	return m.tryPred(p, binds)
+}
+
+// tryPred validates the predicate and bindings and evaluates once.
+// Called under the monitor lock.
+func (m *Monitor) tryPred(p *Predicate, binds []Binding) (bool, error) {
+	if p == nil {
+		return false, &PredicateError{Src: "<nil>", Msg: "nil predicate"}
+	}
+	if p.m != m {
+		return false, predErrf(p.src, "predicate was compiled by a different monitor")
+	}
+	if err := p.setBinds(binds); err != nil {
+		return false, err
+	}
+	m.stats.PredicateEvals++
+	return p.fast(), nil
 }

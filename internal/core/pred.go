@@ -57,6 +57,50 @@ func (p *Predicate) AwaitCtx(ctx context.Context, binds ...Binding) error {
 	return p.m.awaitPred(ctx, p, binds)
 }
 
+// Arm registers a waiter for the predicate without blocking and returns
+// its first-class handle: Ready fires when relay signaling finds the
+// predicate true, Claim re-enters the monitor and re-validates it
+// Mesa-style (re-arming transparently if a racing mutation falsified it),
+// and Cancel abandons the registration. One goroutine can therefore
+// multiplex any number of resources by selecting over armed handles,
+// where each blocking Await would cost a parked goroutine; see Wait.
+//
+// The bindings are snapshotted now, exactly as Await would. Arming errors
+// — binding mismatches, a globalization that is constant false
+// (ErrNeverTrue) — are delivered through the handle: Ready is already
+// closed and Claim/Err report the error, so a select loop needs no
+// separate error path.
+//
+// Arm acquires the monitor internally: call it outside Enter/Exit.
+func (p *Predicate) Arm(binds ...Binding) *Wait {
+	m := p.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Arms++
+	if err := p.setBinds(binds); err != nil {
+		return failedWait(err)
+	}
+	e, err := m.entryFor(p)
+	if err != nil {
+		return failedWait(err)
+	}
+	if e == nil {
+		// Globalization folded to constant true: the handle is born ready
+		// and Claim always succeeds.
+		w := newWait(m)
+		w.notify()
+		return w
+	}
+	return m.armEntry(e)
+}
+
+// Try is the non-blocking degenerate case of Await: it binds and
+// evaluates once inside the monitor, reporting whether the predicate
+// holds right now; see Monitor.TryPred.
+func (p *Predicate) Try(binds ...Binding) (bool, error) {
+	return p.m.TryPred(p, binds...)
+}
+
 // PredicateError reports a malformed predicate or a binding mismatch.
 // Every predicate-shaped failure — parse errors, type errors, DNF blow-up,
 // bind-time arity/name/type mismatches, and unsatisfiable globalizations —

@@ -22,7 +22,12 @@ type Stats struct {
 	// Wake-ups observed by waiters.
 	Wakeups       uint64 // returns from a condition wait
 	FutileWakeups uint64 // wake-ups that found the predicate still false
-	Abandons      uint64 // waiters that left early because their context was cancelled
+	Abandons      uint64 // waiters that left early: context cancelled or handle Cancel
+
+	// First-class wait handles (Arm/ArmFunc/Claim).
+	Arms         uint64 // handles armed, including arm failures
+	Claims       uint64 // successful Claim calls (wait completed, monitor handed off)
+	FutileClaims uint64 // claims that found the predicate falsified; handle re-armed
 
 	// Condition-manager work (automatic mechanisms only).
 	RelayCalls     uint64 // relaySignal invocations
@@ -45,10 +50,14 @@ func (s Stats) ContextSwitches() uint64 { return s.Wakeups }
 
 // String renders a compact single-line summary.
 func (s Stats) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"awaits=%d fast=%d signals=%d broadcasts=%d wakeups=%d futile=%d relay=%d evals=%d tags=%d reg=%d reuse=%d",
 		s.Awaits, s.FastPath, s.Signals, s.Broadcasts, s.Wakeups, s.FutileWakeups,
 		s.RelayCalls, s.PredicateEvals, s.TagChecks, s.Registrations, s.Reuses)
+	if s.Arms > 0 {
+		out += fmt.Sprintf(" arms=%d claims=%d futile-claims=%d", s.Arms, s.Claims, s.FutileClaims)
+	}
+	return out
 }
 
 // Profile renders the Table 1 style time breakdown.
@@ -69,6 +78,9 @@ func (s Stats) Add(o Stats) Stats {
 		Wakeups:        s.Wakeups + o.Wakeups,
 		FutileWakeups:  s.FutileWakeups + o.FutileWakeups,
 		Abandons:       s.Abandons + o.Abandons,
+		Arms:           s.Arms + o.Arms,
+		Claims:         s.Claims + o.Claims,
+		FutileClaims:   s.FutileClaims + o.FutileClaims,
 		RelayCalls:     s.RelayCalls + o.RelayCalls,
 		PredicateEvals: s.PredicateEvals + o.PredicateEvals,
 		TagChecks:      s.TagChecks + o.TagChecks,

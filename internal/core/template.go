@@ -293,7 +293,6 @@ func (m *Monitor) templateEntry(p *Predicate) (*entry, error) {
 		return &entry{
 			canon:    canon,
 			static:   p.isShared(),
-			cond:     newCond(m),
 			noneIdx:  -1,
 			evalFn:   t.makeEval(frozen),
 			conjTags: t.tags(frozen),

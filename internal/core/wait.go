@@ -1,0 +1,272 @@
+package core
+
+import "errors"
+
+// Handle lifecycle sentinels. ErrNotReady is the expected return of a
+// futile Claim (the handle has been re-armed and will fire again);
+// ErrClaimed and ErrCancelled report misuse of a finished handle.
+var (
+	// ErrNotReady is returned by Wait.Claim when a racing mutation
+	// falsified the predicate between notification and the claim. The
+	// handle has been transparently re-armed: Ready returns a fresh
+	// channel and the claim loop simply selects again.
+	ErrNotReady = errors.New("autosynch: predicate no longer holds; wait handle re-armed")
+
+	// ErrClaimed is returned by Wait.Claim on a handle that was already
+	// claimed successfully.
+	ErrClaimed = errors.New("autosynch: wait handle already claimed")
+
+	// ErrCancelled is reported by Wait.Err and Wait.Claim after Cancel.
+	ErrCancelled = errors.New("autosynch: wait handle cancelled")
+)
+
+// waitState is the lifecycle of a handle: armed (registered, waiting to
+// be notified or re-validated), claimed (the wait completed; the claimer
+// holds the monitor), or cancelled (unregistered without completing —
+// by Cancel or because arming itself failed).
+type waitState uint8
+
+const (
+	waitArmed waitState = iota
+	waitClaimed
+	waitCancelled
+)
+
+// waitHost is the mechanism half of a handle: each monitor type supplies
+// its own lock plus the registration-aware claim and cancel steps, so one
+// Wait type serves Monitor, Baseline, and Explicit uniformly.
+type waitHost interface {
+	lockWait()
+	unlockWait()
+	// claimLocked runs under the host lock with the handle armed. On nil
+	// it has marked the handle claimed, unregistered it, and left the
+	// monitor HELD for the caller; on ErrNotReady it has re-armed the
+	// handle and the generic wrapper releases the lock.
+	claimLocked(w *Wait) error
+	// cancelLocked unregisters an armed handle and restores the host's
+	// signaling invariants. The generic wrapper has already moved the
+	// handle to waitCancelled and closed its channel.
+	cancelLocked(w *Wait)
+}
+
+// Wait is a first-class armed waiter: the waituntil of the paper without
+// the parked goroutine. Predicate.Arm (and the per-mechanism ArmFunc)
+// registers the waiter with the condition manager exactly like a blocking
+// Await, but delivers the notification by closing a channel instead of
+// unparking a goroutine — so one goroutine can multiplex any number of
+// armed waits with select:
+//
+//	w := notEmpty.Arm()
+//	select {
+//	case <-w.Ready():
+//	    if err := w.Claim(); err == autosynch.ErrNotReady {
+//	        continue // falsified by a racing mutation; handle re-armed
+//	    }
+//	    // predicate true, monitor held: consume, then Exit.
+//	    take()
+//	    m.Exit()
+//	case <-other:
+//	    ...
+//	}
+//
+// Ready fires when the mechanism decides this waiter's predicate has
+// become true (relay signaling for Monitor, a broadcast for Baseline, a
+// manual signal for Explicit). Notification is decoupled from monitor
+// handoff: the claimer re-enters the monitor and re-validates Mesa-style,
+// because the state may have changed since the channel was closed.
+//
+// An armed handle counts toward Waiting() and, for Monitor, may hold the
+// mechanism's single in-flight relay signal; a handle that fires must be
+// claimed or cancelled promptly, and every armed handle must eventually
+// be claimed or cancelled, or its monitor's signaling stalls (exactly as
+// if a signaled thread were never scheduled again).
+//
+// All methods are safe for concurrent use, but Claim and Cancel acquire
+// the monitor internally — do not call them while holding it.
+type Wait struct {
+	host waitHost
+
+	// All remaining fields are guarded by the host's monitor lock.
+	ready    chan struct{} // closed to notify; replaced on re-arm
+	state    waitState
+	notified bool  // ready is closed for the current arm cycle
+	viaRelay bool  // the notification is an in-flight relay signal (Monitor)
+	err      error // terminal error: arm failure or ErrCancelled
+	e        *entry
+	pred     func() bool // Baseline/Explicit re-validation closure
+	list     *waitList   // registration list for list-based hosts
+	idx      int         // position in e.waiters or list.ws
+}
+
+// newWait constructs an armed handle for a host; registration is the
+// host's job.
+func newWait(h waitHost) *Wait {
+	return &Wait{host: h, ready: make(chan struct{}), idx: -1}
+}
+
+// failedWait is a handle whose arming failed: Ready is already closed,
+// Claim and Err report the error, Cancel is a no-op.
+func failedWait(err error) *Wait {
+	w := &Wait{state: waitCancelled, err: err, ready: make(chan struct{}), idx: -1}
+	close(w.ready)
+	w.notified = true
+	return w
+}
+
+// notify closes the ready channel for the current arm cycle. Idempotent;
+// runs under the host lock.
+func (w *Wait) notify() {
+	if w.notified {
+		return
+	}
+	w.notified = true
+	close(w.ready)
+}
+
+// rearm resets the handle for another notification cycle: a fresh channel
+// and cleared delivery flags. Runs under the host lock; the caller settles
+// any in-flight-signal accounting first.
+func (w *Wait) rearm() {
+	w.notified = false
+	w.viaRelay = false
+	w.ready = make(chan struct{})
+}
+
+// Ready returns the channel that is closed when the waiter is notified.
+// After a futile Claim the handle is re-armed with a fresh channel, so a
+// select loop must call Ready again on each iteration rather than caching
+// the first channel.
+func (w *Wait) Ready() <-chan struct{} {
+	if w.host == nil {
+		return w.ready
+	}
+	w.host.lockWait()
+	ch := w.ready
+	w.host.unlockWait()
+	return ch
+}
+
+// Claim completes the wait: it re-enters the monitor and re-validates the
+// predicate Mesa-style. On nil the caller HOLDS the monitor with the
+// predicate true — the handle is spent, and the usual critical section
+// ends with Exit. If a racing mutation falsified the predicate, Claim
+// re-arms the handle transparently and returns ErrNotReady without the
+// monitor; select on Ready again. A cancelled or arm-failed handle
+// returns its terminal error, an already-claimed one ErrClaimed.
+//
+// Claim may be called before Ready fires; it then simply answers whether
+// the predicate holds right now (claiming eagerly, or re-arming).
+func (w *Wait) Claim() error {
+	if w.host == nil {
+		return w.err
+	}
+	w.host.lockWait()
+	switch w.state {
+	case waitClaimed:
+		w.host.unlockWait()
+		return ErrClaimed
+	case waitCancelled:
+		err := w.err
+		w.host.unlockWait()
+		return err
+	}
+	err := w.host.claimLocked(w)
+	if err != nil {
+		w.host.unlockWait()
+	}
+	return err
+}
+
+// Cancel abandons an armed handle: it is unregistered from the predicate
+// table and tag structures, any in-flight signal addressed to it is
+// reconciled and relayed onward (relay invariance survives, exactly as
+// for a context-cancelled Await), and Ready is closed so a selecting
+// goroutine unblocks. Err reports ErrCancelled afterwards. Cancelling a
+// claimed, failed, or already-cancelled handle is a no-op.
+func (w *Wait) Cancel() {
+	if w.host == nil {
+		return
+	}
+	w.host.lockWait()
+	defer w.host.unlockWait()
+	if w.state != waitArmed {
+		return
+	}
+	w.state = waitCancelled
+	w.err = ErrCancelled
+	// Unregister before closing the channel: the host's bookkeeping (the
+	// entry's unnotified count, for Monitor) distinguishes delivered
+	// notifications from the cancellation's courtesy close.
+	w.host.cancelLocked(w)
+	w.notify()
+}
+
+// Err returns the handle's terminal error: nil while armed or after a
+// successful claim, ErrCancelled after Cancel, or the arming error for a
+// handle whose Arm failed (malformed bindings, ErrNeverTrue, …).
+func (w *Wait) Err() error {
+	if w.host == nil {
+		return w.err
+	}
+	w.host.lockWait()
+	err := w.err
+	w.host.unlockWait()
+	return err
+}
+
+// waitList is the waiter registry of the broadcast- and signal-based
+// mechanisms (Baseline, Explicit): an order-indifferent set with O(1)
+// add/remove and notification sweeps. All methods run under the owning
+// monitor's lock.
+type waitList struct {
+	ws []*Wait
+}
+
+func (l *waitList) add(w *Wait) {
+	w.list = l
+	w.idx = len(l.ws)
+	l.ws = append(l.ws, w)
+}
+
+func (l *waitList) remove(w *Wait) {
+	last := len(l.ws) - 1
+	moved := l.ws[last]
+	l.ws[w.idx] = moved
+	moved.idx = w.idx
+	l.ws[last] = nil
+	l.ws = l.ws[:last]
+	w.idx = -1
+	w.list = nil
+}
+
+// broadcast notifies every registered waiter except skip (a waiter about
+// to park must not wake itself with its own pre-wait broadcast).
+func (l *waitList) broadcast(skip *Wait) {
+	for _, w := range l.ws {
+		if w != skip {
+			w.notify()
+		}
+	}
+}
+
+// signalOne notifies one not-yet-notified waiter, mirroring
+// sync.Cond.Signal; returns false when every waiter is already notified
+// (or the list is empty).
+func (l *waitList) signalOne() bool {
+	for _, w := range l.ws {
+		if !w.notified {
+			w.notify()
+			return true
+		}
+	}
+	return false
+}
+
+// requeue moves a futile-woken waiter behind the waiters registered after
+// it, mirroring a condition variable's FIFO rotation: a waiter whose
+// predicate stays false cannot absorb every future signal while a
+// runnable waiter starves behind it.
+func (l *waitList) requeue(w *Wait) {
+	l.remove(w)
+	l.add(w)
+}

@@ -29,7 +29,7 @@ func DefaultConfig() Config {
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(Config) string
+	Run   func(Config) Report
 }
 
 // Experiments lists every experiment: the paper's figures and tables in
@@ -69,7 +69,7 @@ func ProblemExperiments() []Experiment {
 		exps = append(exps, Experiment{
 			ID:    "prob-" + spec.Name,
 			Title: title,
-			Run:   func(cfg Config) string { return ProblemSweep(spec, cfg) },
+			Run:   func(cfg Config) Report { return ProblemSweep(spec, cfg) },
 		})
 	}
 	return exps
@@ -77,7 +77,7 @@ func ProblemExperiments() []Experiment {
 
 // ProblemSweep renders the generic figure for one scenario: mean runtime
 // per mechanism over a doubling thread axis.
-func ProblemSweep(spec problems.Spec, cfg Config) string {
+func ProblemSweep(spec problems.Spec, cfg Config) Report {
 	xs := doubling(2, cfg.MaxThreads)
 	f := Figure{
 		ID: "prob-" + spec.Name, Title: spec.Name, XLabel: "# threads",
@@ -85,7 +85,7 @@ func ProblemSweep(spec problems.Spec, cfg Config) string {
 		Series: sweep(cfg.Protocol, spec.Runner, spec.Mechanisms(), xs, cfg.TotalOps, meanSeconds),
 		Notes:  []string{"check: " + spec.CheckDesc},
 	}
-	return f.Render()
+	return f.report()
 }
 
 // Find returns the experiment with the given ID.
@@ -105,7 +105,7 @@ func Find(id string) (Experiment, bool) {
 func spec(name string) problems.Spec { return problems.MustLookup(name) }
 
 // Fig8 reproduces the bounded-buffer series.
-func Fig8(cfg Config) string {
+func Fig8(cfg Config) Report {
 	s := spec("bounded-buffer")
 	xs := doubling(2, cfg.MaxThreads)
 	f := Figure{
@@ -116,11 +116,11 @@ func Fig8(cfg Config) string {
 			"expected shape: baseline grows with thread count; explicit, autosynch-t and autosynch stay comparable (constant number of shared predicates).",
 		},
 	}
-	return f.Render()
+	return f.report()
 }
 
 // Fig9 reproduces the H2O series.
-func Fig9(cfg Config) string {
+func Fig9(cfg Config) Report {
 	s := spec("h2o")
 	xs := doubling(2, cfg.MaxThreads)
 	f := Figure{
@@ -131,11 +131,11 @@ func Fig9(cfg Config) string {
 			"expected shape: baseline degrades sharply; the other three stay comparable.",
 		},
 	}
-	return f.Render()
+	return f.report()
 }
 
 // Fig10 reproduces the sleeping-barber series.
-func Fig10(cfg Config) string {
+func Fig10(cfg Config) Report {
 	s := spec("sleeping-barber")
 	xs := doubling(2, cfg.MaxThreads)
 	f := Figure{
@@ -146,11 +146,11 @@ func Fig10(cfg Config) string {
 			"expected shape: all four comparable — the baseline's broadcasts rarely wake threads whose condition is false here (§6.4).",
 		},
 	}
-	return f.Render()
+	return f.report()
 }
 
 // Fig11 reproduces the round-robin series.
-func Fig11(cfg Config) string {
+func Fig11(cfg Config) Report {
 	s := spec("round-robin")
 	xs := doubling(2, cfg.MaxThreads)
 	f := Figure{
@@ -162,12 +162,12 @@ func Fig11(cfg Config) string {
 			"baseline omitted as in the paper (off scale).",
 		},
 	}
-	return f.Render()
+	return f.report()
 }
 
 // Fig12 reproduces the readers/writers series. The x-axis doubles the
 // writer count with five readers per writer (2/10 … 64/320).
-func Fig12(cfg Config) string {
+func Fig12(cfg Config) Report {
 	s := spec("readers-writers")
 	maxW := cfg.MaxThreads / 4
 	if maxW < 2 {
@@ -185,11 +185,11 @@ func Fig12(cfg Config) string {
 			"expected shape: explicit steady; autosynch-t grows; autosynch approaches explicit as the thread count grows (tag maintenance amortizes).",
 		},
 	}
-	return f.Render()
+	return f.report()
 }
 
 // Fig13 reproduces the dining-philosophers series.
-func Fig13(cfg Config) string {
+func Fig13(cfg Config) Report {
 	s := spec("dining-philosophers")
 	xs := doubling(2, cfg.MaxThreads)
 	f := Figure{
@@ -200,11 +200,11 @@ func Fig13(cfg Config) string {
 			"expected shape: explicit's edge stays small — each philosopher competes with two neighbours regardless of table size (§6.4).",
 		},
 	}
-	return f.Render()
+	return f.report()
 }
 
 // Fig14 reproduces the parameterized bounded-buffer runtime series.
-func Fig14(cfg Config) string {
+func Fig14(cfg Config) Report {
 	s := spec("parameterized-buffer")
 	xs := doubling(2, cfg.MaxThreads)
 	f := Figure{
@@ -215,13 +215,13 @@ func Fig14(cfg Config) string {
 			"expected shape: explicit degrades as consumers multiply (broadcast storms); autosynch stays flat and wins big at the right end (paper: 26.9x at 256).",
 		},
 	}
-	return f.Render()
+	return f.report()
 }
 
 // Fig15 reproduces the context-switch counts for the same workload. The
 // repo counts wake-ups (goroutine unpark→park round trips) as the
 // context-switch proxy.
-func Fig15(cfg Config) string {
+func Fig15(cfg Config) Report {
 	s := spec("parameterized-buffer")
 	xs := doubling(2, cfg.MaxThreads)
 	f := Figure{
@@ -233,13 +233,13 @@ func Fig15(cfg Config) string {
 			"expected shape: explicit wake-ups grow steeply with consumers; autosynch stays near-flat (paper: ~2.7M vs ~5.4K at 256).",
 		},
 	}
-	return f.Render()
+	return f.report()
 }
 
 // Table1 reproduces the CPU-usage breakdown for the round-robin pattern
 // with 128 threads: time in await, lock acquisition, relaySignal, and tag
 // management, per mechanism.
-func Table1(cfg Config) string {
+func Table1(cfg Config) Report {
 	const threads = 128
 	mechs := []problems.Mechanism{problems.Explicit, problems.AutoSynchT, problems.AutoSynch}
 	var sb strings.Builder
@@ -258,13 +258,13 @@ func Table1(cfg Config) string {
 			time.Duration(s.RelayNs), time.Duration(s.TagMgmtNs), relayPct)
 	}
 	sb.WriteString("expected shape: tagging cuts relaySignal time by an order of magnitude or more vs. autosynch-t, at a small tagMgr cost (paper: −95%).\n")
-	return sb.String()
+	return textReport("table1", sb.String())
 }
 
 // AblationTagKinds measures the relay search cost per tag kind: waiters
 // with equivalence-taggable, threshold-taggable, and untaggable (None)
 // predicates under identical traffic.
-func AblationTagKinds(cfg Config) string {
+func AblationTagKinds(cfg Config) Report {
 	type shape struct {
 		name string
 		pred string // predicate template over shared x and local k
@@ -290,7 +290,7 @@ func AblationTagKinds(cfg Config) string {
 			sh.name, stats.FormatSeconds(m.MeanSeconds), s.PredicateEvals, s.TagChecks, s.FutileWakeups)
 	}
 	sb.WriteString("expected shape: equivalence ≤ threshold < none in predicate evaluations per signal.\n")
-	return sb.String()
+	return textReport("abl-tags", sb.String())
 }
 
 // runTagShape parks `waiters` unsatisfiable waiters of one predicate
@@ -336,7 +336,7 @@ func runTagShape(pred string, waiters, totalOps int) problems.Result {
 // readers/writers workload, whose ticket predicates are never reused —
 // maximal churn — versus the parameterized buffer, whose batch predicates
 // recur.
-func AblationInactiveList(cfg Config) string {
+func AblationInactiveList(cfg Config) Report {
 	limits := []int{0, 16, 128, 1024}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "abl-inactive: predicate cache effectiveness (parameterized buffer, %d consumers, %d ops)\n",
@@ -351,7 +351,7 @@ func AblationInactiveList(cfg Config) string {
 			lim, stats.FormatSeconds(m.MeanSeconds), s.Registrations, s.Reuses, s.Evictions)
 	}
 	sb.WriteString("expected shape: reuses rise and registrations collapse once the limit covers the key space (256 distinct batch predicates).\n")
-	return sb.String()
+	return textReport("abl-inactive", sb.String())
 }
 
 // runParamBBLimit is the parameterized-buffer auto workload with a custom
@@ -425,7 +425,7 @@ func runParamBBLimit(limit, consumers, totalOps int) problems.Result {
 // per wait, the compiled form skips it, and the closure form is the
 // tag-opaque reference point. Profiling is enabled so the Table-1 phase
 // timers confirm the difference is in the await path, not lock traffic.
-func AblationCompiledPredicates(cfg Config) string {
+func AblationCompiledPredicates(cfg Config) Report {
 	const pred = "count + k <= cap || stop"
 	type mode struct {
 		name string
@@ -470,7 +470,7 @@ func AblationCompiledPredicates(cfg Config) string {
 			md.name, stats.FormatSeconds(meas.MeanSeconds), nsPerOp, meas.Last.Stats.FastPath)
 	}
 	sb.WriteString("expected shape: compiled < string (the gap is the per-wait predicate-cache lookup); see BenchmarkAwaitStringVsCompiled for the benchstat view.\n")
-	return sb.String()
+	return textReport("abl-compile", sb.String())
 }
 
 // IDs returns all experiment IDs in paper order, for CLI listings.

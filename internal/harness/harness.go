@@ -58,19 +58,40 @@ func (p Protocol) Measure(run func() problems.Result) Measurement {
 
 // Series is one curve of a figure.
 type Series struct {
-	Label  string
-	Points []float64 // aligned with the figure's XS
+	Label  string    `json:"label"`
+	Points []float64 `json:"points"` // aligned with the figure's XS
 }
 
-// Figure is a rendered-as-text reproduction of one of the paper's plots.
+// Figure is a reproduction of one of the paper's plots: Render draws it
+// as an aligned text table, and the struct itself marshals to JSON for
+// machine consumption (cmd/autosynch-bench -json).
 type Figure struct {
-	ID     string // "fig8", …
-	Title  string
-	XLabel string
-	YLabel string
-	XS     []int
-	Series []Series
-	Notes  []string
+	ID     string   `json:"id"` // "fig8", …
+	Title  string   `json:"title"`
+	XLabel string   `json:"xlabel"`
+	YLabel string   `json:"ylabel"`
+	XS     []int    `json:"xs"`
+	Series []Series `json:"series"`
+	Notes  []string `json:"notes,omitempty"`
+}
+
+// Report is the outcome of one experiment run: the rendered text that the
+// CLI prints plus, for figure-shaped experiments, the structured series
+// points. Table- and ablation-shaped experiments carry text only.
+type Report struct {
+	ID     string  `json:"id"`
+	Text   string  `json:"text"`
+	Figure *Figure `json:"figure,omitempty"`
+}
+
+// report wraps a figure into its Report.
+func (f Figure) report() Report {
+	return Report{ID: f.ID, Text: f.Render(), Figure: &f}
+}
+
+// textReport is a Report with no structured figure.
+func textReport(id, text string) Report {
+	return Report{ID: id, Text: text}
 }
 
 // Render produces an aligned text table of the figure, one row per x.

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -117,11 +118,51 @@ func TestExperimentsRegistryComplete(t *testing.T) {
 
 func TestProblemSweepRendersEveryMechanism(t *testing.T) {
 	s := problems.MustLookup("unisex-bathroom")
-	out := ProblemSweep(s, tiny())
+	rep := ProblemSweep(s, tiny())
 	for _, want := range []string{"prob-unisex-bathroom", "explicit", "baseline", "autosynch-t", "autosynch", "check: "} {
-		if !strings.Contains(out, want) {
-			t.Errorf("sweep output missing %q:\n%s", want, out)
+		if !strings.Contains(rep.Text, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, rep.Text)
 		}
+	}
+	if rep.Figure == nil || len(rep.Figure.Series) != len(s.Mechanisms()) {
+		t.Fatalf("sweep report lacks its structured figure: %+v", rep.Figure)
+	}
+}
+
+// TestReportJSONRoundTrip pins the -json contract of cmd/autosynch-bench:
+// a figure-shaped report marshals with its id and series points and
+// unmarshals back to the same values.
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := Fig8(tiny())
+	if rep.ID != "fig8" || rep.Figure == nil {
+		t.Fatalf("Fig8 report incomplete: id=%q figure=%v", rep.ID, rep.Figure)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != rep.ID || back.Figure == nil ||
+		len(back.Figure.Series) != len(rep.Figure.Series) ||
+		len(back.Figure.XS) != len(rep.Figure.XS) {
+		t.Errorf("round trip lost structure:\n%s", raw)
+	}
+	for i, s := range back.Figure.Series {
+		if len(s.Points) != len(rep.Figure.Series[i].Points) {
+			t.Errorf("series %q lost points", s.Label)
+		}
+	}
+	// Text-only experiments must still marshal, with the figure omitted.
+	tr := textReport("table1", "body")
+	raw, err = json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "figure") {
+		t.Errorf("text report marshaled a figure: %s", raw)
 	}
 }
 
@@ -138,12 +179,16 @@ func TestAllExperimentsRunTiny(t *testing.T) {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			t.Parallel()
-			out := e.Run(tiny())
+			rep := e.Run(tiny())
+			out := rep.Text
 			if !strings.Contains(out, e.ID[:3]) && !strings.Contains(out, e.ID) {
 				t.Errorf("%s output lacks its id:\n%s", e.ID, out)
 			}
 			if strings.Contains(out, "-1") && strings.Contains(out, "seconds") {
 				t.Errorf("%s reported a conservation failure:\n%s", e.ID, out)
+			}
+			if rep.ID == "" {
+				t.Errorf("%s report has no id", e.ID)
 			}
 		})
 	}

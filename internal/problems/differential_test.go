@@ -40,7 +40,7 @@ func TestDifferentialCrossMechanism(t *testing.T) {
 	}
 }
 
-// TestRegistryShape pins the registry's contract: the thirteen expected
+// TestRegistryShape pins the registry's contract: the fourteen expected
 // scenarios are present, and every spec is complete enough for the
 // consumers that iterate the registry blindly.
 func TestRegistryShape(t *testing.T) {
@@ -49,9 +49,10 @@ func TestRegistryShape(t *testing.T) {
 		"readers-writers", "dining-philosophers", "parameterized-buffer",
 		"cigarette-smokers", "unisex-bathroom", "river-crossing",
 		"fifo-barrier", "ticketed-elevator", "resource-allocator",
+		"dispatcher",
 	}
-	if len(Registry) < 13 {
-		t.Errorf("registry holds %d scenarios, want >= 13", len(Registry))
+	if len(Registry) < 14 {
+		t.Errorf("registry holds %d scenarios, want >= 14", len(Registry))
 	}
 	for _, name := range want {
 		spec, ok := Lookup(name)

@@ -1,0 +1,176 @@
+package problems
+
+import (
+	"reflect"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// DispatcherBufCap is each buffer's capacity in the dispatcher workload:
+// small, so producers genuinely block and both wait directions (blocking
+// producer waits, armed dispatcher handles) are exercised.
+const DispatcherBufCap = 4
+
+func init() {
+	Register(Spec{
+		Name:           "dispatcher",
+		Runner:         RunDispatcher,
+		DefaultThreads: 16,
+		CheckDesc:      "all items drained, no buffer occupancy or armed handle left",
+		Figure:         "",
+	})
+}
+
+// RunDispatcher is the select-multiplexing workload behind the handle
+// API: threads independent bounded buffers (each its own monitor, as a
+// server would keep per-resource locks), one producer goroutine per
+// buffer, and a SINGLE dispatcher goroutine that drains all of them by
+// arming one not-empty wait handle per buffer and selecting over the
+// ready channels. Where every other scenario spends a parked goroutine
+// per waiter, the dispatcher holds N armed waits at once from one
+// goroutine — the handle redesign is what makes the pattern expressible
+// at all. totalOps is the number of items pushed through, split across
+// the buffers; Check is the final occupancy plus any waiter still
+// registered after the dispatcher cancels its handles (a handle leak).
+func RunDispatcher(mech Mechanism, threads, totalOps int) Result {
+	if threads < 1 {
+		threads = 1
+	}
+	perBuf := split(totalOps, threads)
+
+	// buffer is one resource: the mechanism-specific monitor plus the
+	// produce step, the armed-handle constructor, and the drain step the
+	// dispatcher runs under a successful claim (returning items taken).
+	type buffer struct {
+		mech    core.Mechanism
+		produce func(ops int)
+		arm     func() *core.Wait
+		drain   func() int64
+	}
+	bufs := make([]*buffer, threads)
+	for i := range bufs {
+		switch mech {
+		case Explicit:
+			m := core.NewExplicit()
+			notFull := m.NewCond()
+			notEmpty := m.NewCond()
+			count := 0
+			bufs[i] = &buffer{
+				mech: m,
+				produce: func(ops int) {
+					for op := 0; op < ops; op++ {
+						m.Enter()
+						notFull.Await(func() bool { return count < DispatcherBufCap })
+						count++
+						notEmpty.Signal()
+						m.Exit()
+					}
+				},
+				arm: func() *core.Wait {
+					return notEmpty.Arm(func() bool { return count > 0 })
+				},
+				drain: func() int64 {
+					n := int64(count)
+					count = 0
+					notFull.Signal()
+					return n
+				},
+			}
+		case Baseline:
+			m := core.NewBaseline()
+			count := 0
+			bufs[i] = &buffer{
+				mech: m,
+				produce: func(ops int) {
+					for op := 0; op < ops; op++ {
+						m.Enter()
+						m.Await(func() bool { return count < DispatcherBufCap })
+						count++
+						m.Exit()
+					}
+				},
+				arm: func() *core.Wait {
+					return m.ArmFunc(func() bool { return count > 0 })
+				},
+				drain: func() int64 {
+					n := int64(count)
+					count = 0
+					return n
+				},
+			}
+		default:
+			m := newAuto(mech)
+			count := m.NewInt("count", 0)
+			m.NewInt("cap", DispatcherBufCap)
+			notFull := m.MustCompile("count < cap")
+			notEmpty := m.MustCompile("count > 0")
+			bufs[i] = &buffer{
+				mech: m,
+				produce: func(ops int) {
+					for op := 0; op < ops; op++ {
+						m.Enter()
+						await(notFull)
+						count.Add(1)
+						m.Exit()
+					}
+				},
+				arm:   func() *core.Wait { return notEmpty.Arm() },
+				drain: func() int64 { n := count.Get(); count.Set(0); return n },
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, b := range bufs {
+		wg.Add(1)
+		go func(b *buffer, ops int) {
+			defer wg.Done()
+			b.produce(ops)
+		}(b, perBuf[i])
+	}
+
+	// The dispatcher: arm one handle per buffer, select over all ready
+	// channels with reflect.Select (the dynamic form of the select
+	// statement, sized by data rather than by source text), claim, drain,
+	// re-arm. A futile claim — possible in principle if a mechanism
+	// notified spuriously — just re-selects: the handle re-armed itself.
+	handles := make([]*core.Wait, threads)
+	cases := make([]reflect.SelectCase, threads)
+	for i, b := range bufs {
+		handles[i] = b.arm()
+		cases[i] = reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(handles[i].Ready())}
+	}
+	var drained int64
+	for drained < int64(totalOps) {
+		i, _, _ := reflect.Select(cases)
+		if err := handles[i].Claim(); err != nil {
+			if err == core.ErrNotReady {
+				cases[i].Chan = reflect.ValueOf(handles[i].Ready())
+				continue
+			}
+			panic(err)
+		}
+		drained += bufs[i].drain()
+		bufs[i].mech.Exit()
+		handles[i] = bufs[i].arm()
+		cases[i].Chan = reflect.ValueOf(handles[i].Ready())
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Tear down: every still-armed handle is cancelled, and any waiter
+	// left registered afterwards — a leaked handle or a stuck producer —
+	// fails the conservation check.
+	var check int64
+	var agg core.Stats
+	for i, b := range bufs {
+		handles[i].Cancel()
+		b.mech.Do(func() { check += bufs[i].drain() })
+		check += int64(b.mech.Waiting())
+		agg = agg.Add(b.mech.Stats())
+	}
+	return Result{Mechanism: mech, Elapsed: elapsed, Stats: agg, Ops: drained, Check: check}
+}
