@@ -113,6 +113,21 @@
 //     canonical shared expressions, so the waiter to relay to is found
 //     without scanning every predicate.
 //
+// # Sharding
+//
+// One Monitor is one lock and one condition manager, and the relay
+// search on every exit considers every waiting condition registered with
+// it — tagging prunes within a condition's group, not across groups.
+// When state and waiters partition by key, a Sharded monitor (NewSharded)
+// splits them across S inner Monitors: keyed operations on different
+// shards run concurrently, all the guarantees above hold per shard, and
+// genuinely cross-shard conditions ("total free across all shards ≥ n")
+// are expressed with an AggregateCounter, whose per-shard deltas batch
+// under the shard lock and publish to a summary monitor where the bound
+// is an ordinary threshold-tagged predicate. See internal/shard and the
+// sharding section of EXPERIMENTS.md (scale-shards) for the protocol and
+// the measured scaling.
+//
 // The package also exports the paper's comparison mechanisms — Baseline
 // (one condition variable + signalAll) and Explicit (instrumented manual
 // condition variables) — and the AutoSynch-T variant (WithoutTagging), so

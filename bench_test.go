@@ -262,6 +262,45 @@ func BenchmarkMultiplexedWaiters(b *testing.B) {
 	})
 }
 
+// BenchmarkShardScaling is the scaling proof of the sharded monitor: the
+// sharded-kv workload at a fixed 256 goroutines, swept over partition
+// counts, with shards=1 as the single-core.Monitor reference. A single
+// monitor pays the relay search across every resident per-key predicate
+// group on every exit, plus all the lock traffic; 16 shards divide both
+// by 16. Compare ns/op across the sub-benchmarks (benchstat), or read the
+// ops/s metric directly; the scale-shards experiment is the multi-trial
+// sweep with the same series:
+//
+//	go test -bench 'ShardScaling' -benchtime 3x
+func BenchmarkShardScaling(b *testing.B) {
+	const threads = 256
+	for _, shards := range []int{1, 4, 16} {
+		shards := shards
+		b.Run(fmt.Sprintf("autosynch/shards=%d/threads=%d", shards, threads), func(b *testing.B) {
+			var ops int64
+			var wakeups, futile float64
+			var elapsed time.Duration
+			for i := 0; i < b.N; i++ {
+				r := problems.RunShardedKVShards(problems.AutoSynch, threads, benchOps, shards)
+				if r.Check != 0 {
+					b.Fatalf("conservation check failed: %d", r.Check)
+				}
+				ops += r.Ops
+				elapsed += r.Elapsed
+				wakeups += float64(r.Stats.Wakeups)
+				futile += float64(r.Stats.FutileWakeups)
+			}
+			if elapsed > 0 {
+				b.ReportMetric(float64(ops)/elapsed.Seconds(), "ops/s")
+			}
+			if ops > 0 {
+				b.ReportMetric(wakeups/float64(ops), "wakeups/op")
+				b.ReportMetric(futile/float64(ops), "futile/op")
+			}
+		})
+	}
+}
+
 // BenchmarkAblationTagKinds isolates the relay search cost by predicate
 // shape: an equivalence-taggable predicate (hash probe), a threshold-
 // taggable one (heap root), and an untaggable one (exhaustive scan).

@@ -9,6 +9,8 @@
 //	autosynch-bench -experiment all -quick -json
 //	autosynch-bench -problem river-crossing -ops 50000
 //	autosynch-bench -problem fifo-barrier -mech autosynch,explicit -threads 64
+//	autosynch-bench -problem sharded-kv -threads 256 -shards 16
+//	autosynch-bench -experiment scale-shards -ops 50000 -maxthreads 256
 //
 // With -json every experiment additionally writes BENCH_<experiment>.json
 // (the harness.Report with its structured figure series), and -problem
@@ -41,6 +43,7 @@ func main() {
 		problem    = flag.String("problem", "", "run one registered scenario directly (see -list)")
 		mechList   = flag.String("mech", "", "comma-separated mechanisms for -problem (default: the scenario's lineup)")
 		threads    = flag.Int("threads", 0, "thread count for -problem (default: the scenario's representative count)")
+		shards     = flag.Int("shards", 0, "partition count for -problem runs of sharded scenarios (default: 8)")
 		trials     = flag.Int("trials", 5, "trials per configuration (paper: 25)")
 		drop       = flag.Int("drop", 1, "best/worst trials dropped per side (paper: 1)")
 		ops        = flag.Int("ops", 20000, "operation budget per configuration point")
@@ -66,6 +69,12 @@ func main() {
 		if *threads != 0 {
 			usageError("-threads only applies to -problem runs (experiments sweep a thread axis; see -maxthreads)")
 		}
+		if *shards != 0 {
+			usageError("-shards only applies to -problem runs (the scale-shards experiment sweeps its own shard axis)")
+		}
+	}
+	if *shards < 0 {
+		usageError("-shards must be positive")
 	}
 	if flag.NArg() > 0 {
 		usageError(fmt.Sprintf("unexpected arguments: %s", strings.Join(flag.Args(), " ")))
@@ -82,7 +91,11 @@ func main() {
 			if fig == "" {
 				fig = "beyond the paper"
 			}
-			fmt.Printf("  %-26s %s [%s]\n", s.Name, s.CheckDesc, fig)
+			sharded := ""
+			if s.Sharded {
+				sharded = " [sharded]" // accepts -shards
+			}
+			fmt.Printf("  %-26s %s [%s]%s\n", s.Name, s.CheckDesc, fig, sharded)
 		}
 		return
 	}
@@ -101,7 +114,7 @@ func main() {
 	}
 
 	if *problem != "" {
-		runProblem(*problem, *mechList, *threads, cfg, *jsonOut)
+		runProblem(*problem, *mechList, *threads, *shards, cfg, *jsonOut)
 		return
 	}
 
@@ -159,6 +172,7 @@ func writeJSON(path string, v any) {
 type problemReport struct {
 	Scenario string              `json:"scenario"`
 	Threads  int                 `json:"threads"`
+	Shards   int                 `json:"shards,omitempty"` // sharded scenarios only
 	Ops      int                 `json:"ops"`
 	Trials   int                 `json:"trials"`
 	Check    string              `json:"check"`
@@ -172,11 +186,17 @@ type problemMechResult struct {
 
 // runProblem executes one registered scenario at a single configuration
 // point and prints a per-mechanism result table.
-func runProblem(name, mechList string, threads int, cfg harness.Config, jsonOut bool) {
+func runProblem(name, mechList string, threads, shards int, cfg harness.Config, jsonOut bool) {
 	spec, ok := problems.Lookup(name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown scenario %q; use -list\n", name)
 		os.Exit(2)
+	}
+	if shards != 0 && !spec.Sharded {
+		usageError(fmt.Sprintf("-shards does not apply to scenario %q (not a sharded workload; see -list)", name))
+	}
+	if shards != 0 {
+		problems.SetShardCount(shards)
 	}
 	mechs := spec.Mechanisms()
 	if mechList != "" {
@@ -193,12 +213,18 @@ func runProblem(name, mechList string, threads int, cfg harness.Config, jsonOut 
 	if threads <= 0 {
 		threads = spec.DefaultThreads
 	}
-	fmt.Printf("%s: %d threads, %d ops, %d trials (check: %s)\n",
-		spec.Name, threads, cfg.TotalOps, cfg.Protocol.Trials, spec.CheckDesc)
+	shardNote := ""
+	reportShards := 0
+	if spec.Sharded {
+		reportShards = problems.ShardCount()
+		shardNote = fmt.Sprintf(", %d shards", reportShards)
+	}
+	fmt.Printf("%s: %d threads%s, %d ops, %d trials (check: %s)\n",
+		spec.Name, threads, shardNote, cfg.TotalOps, cfg.Protocol.Trials, spec.CheckDesc)
 	fmt.Printf("%-12s %12s %12s %10s %10s %10s %10s\n",
 		"mechanism", "mean", "ops/s", "wakeups", "futile", "signals", "bcasts")
-	report := problemReport{Scenario: spec.Name, Threads: threads, Ops: cfg.TotalOps,
-		Trials: cfg.Protocol.Trials, Check: spec.CheckDesc}
+	report := problemReport{Scenario: spec.Name, Threads: threads, Shards: reportShards,
+		Ops: cfg.TotalOps, Trials: cfg.Protocol.Trials, Check: spec.CheckDesc}
 	for _, mech := range mechs {
 		mech := mech
 		m := cfg.Protocol.Measure(func() problems.Result {

@@ -21,6 +21,22 @@
 // `dispatcher` scenario and BenchmarkMultiplexedWaiters for the 1024-way
 // version).
 //
+// The third act is sharding: one monitor is one lock and one condition
+// manager, and the relay search on every exit considers every waiting
+// condition registered with it — tags prune within a condition's group,
+// not across groups, so a monitor carrying hundreds of independent
+// waiters pays a sweep per exit however good the tags are. When state
+// and waiters partition by key, a Sharded monitor splits them across S
+// inner monitors (each with its own lock, condition manager, and tag
+// index): keyed operations on different shards run concurrently, relay
+// invariance holds per shard exactly as before, and genuinely global
+// conditions ("total free slots across ALL shards ≥ n") live on an
+// AggregateCounter — per-shard deltas batch under the shard lock and
+// publish to a small summary monitor, where the bound is an ordinary
+// threshold-tagged predicate. The sharded-kv, striped-semaphore, and
+// work-stealing-pool scenarios plus BenchmarkShardScaling are the
+// full-size versions.
+//
 // Run with:
 //
 //	go run ./examples/quickstart
@@ -154,6 +170,7 @@ func main() {
 	fmt.Println("no signal or signalAll call appears anywhere in this program.")
 
 	dispatchDemo()
+	shardedDemo()
 }
 
 // dispatchDemo multiplexes two buffers from one goroutine with armed wait
@@ -214,4 +231,70 @@ func dispatchDemo() {
 func (b *BoundedBuffer) takeOneLocked() {
 	b.take = (b.take + 1) % len(b.buf)
 	b.count.Add(-1)
+}
+
+// shardedDemo is a miniature striped resource pool: 4 shards each hold a
+// "slots" cell, keyed borrowers take from their key's shard, and one
+// goroutine waits on the CROSS-SHARD aggregate "total free ≥ 6" — a
+// condition no single shard can express — through an AggregateCounter.
+func shardedDemo() {
+	const shards = 4
+	slots := make([]*autosynch.IntCell, shards)
+	sm := autosynch.NewSharded(shards,
+		autosynch.WithShardSetup(func(s int, m *autosynch.Monitor) {
+			slots[s] = m.NewInt("slots", 0) // pool starts empty
+		}))
+	// "slots >= 1" compiles once per shard; waits route by key.
+	available := sm.MustCompile("slots >= 1")
+	// The aggregate: shard-local deltas batch (threshold 2) and publish
+	// into the counter's summary monitor, where "total >= n" is an
+	// ordinary threshold-tagged predicate.
+	free := sm.NewCounter("free", 2)
+
+	// A filler drips two slots into every shard. Filling is a per-shard
+	// maintenance sweep, so it addresses shards by index (DoShard) — keys
+	// hash, so "one key per shard" would NOT visit every shard.
+	go func() {
+		for round := 0; round < 2; round++ {
+			for s := 0; s < shards; s++ {
+				sm.DoShard(s, func(*autosynch.Monitor) {
+					slots[s].Add(1)
+					free.Add(s, 1)
+				})
+			}
+		}
+	}()
+
+	// A keyed borrower parks shard-locally: only its shard's exits are
+	// considered for its wake-up, not the other shards' traffic.
+	borrowed := make(chan int)
+	go func() {
+		key := autosynch.ShardStringKey("user:42")
+		sm.Enter(key)
+		if err := sm.AwaitPred(key, available); err != nil {
+			panic(err)
+		}
+		slots[sm.Index(key)].Add(-1)
+		free.Add(sm.Index(key), -1)
+		sm.Exit(key)
+		borrowed <- sm.Index(key)
+	}()
+
+	// The aggregate waiter escalates to the summary monitor: Watch-then-
+	// flush inside AwaitAtLeast guarantees the batched deltas cannot hide
+	// the bound from it.
+	if err := free.AwaitAtLeast(6); err != nil {
+		panic(err)
+	}
+	from := <-borrowed
+	// The aggregate waiter parked on the counter's summary monitor, so
+	// merge its stats too — exactly how the sharded scenarios report.
+	s := sm.Stats().Add(free.Summary().Stats())
+	fmt.Printf("sharded pool: aggregate reached %d free (published in %d batches), borrower took a slot from shard %d\n",
+		free.Total(), free.Publishes(), from)
+	fmt.Printf("merged shard stats: signals=%d broadcasts=%d wakeups=%d; per-shard waiters now %v\n",
+		s.Signals, s.Broadcasts, s.Wakeups, sm.WaitingByShard())
+	if s.Broadcasts != 0 {
+		panic("sharded AutoSynch must never broadcast either")
+	}
 }

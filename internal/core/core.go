@@ -24,4 +24,31 @@
 // cancellation all operate on them; the comparison mechanisms keep their
 // native condition-variable parking (that parking IS what they measure)
 // and run the handle lists alongside.
+//
+// # When to shard
+//
+// One Monitor is one lock and one condition manager: every entry and
+// exit serializes, and the relay search on each exit considers every
+// shared-expression group with a signalable waiter. Predicate tagging
+// makes the search within a group O(1)-ish, but it cannot prune across
+// groups — a monitor carrying N independent waiting conditions (per-key
+// watchers, per-session completion waits) pays an O(N) sweep on every
+// exit no matter how good the tags are. When state partitions cleanly by
+// key and waiters are keyed too, use a sharded monitor (internal/shard,
+// re-exported as autosynch.Sharded): S inner Monitors, each with its own
+// lock, condition manager, and tag index, so both the lock traffic and
+// the standing group population divide by S. Every per-shard guarantee
+// of this package survives unchanged, because each shard IS a Monitor:
+// relay invariance holds shard-locally, signals are relayed (never
+// broadcast), and tags prune within each shard's groups.
+//
+// Conditions spanning shards ("total free slots across all shards ≥ n")
+// cannot be a predicate of any single shard. The shard package's Counter
+// gives them a home: per-shard deltas batch under the shard lock and
+// publish into a small summary Monitor when they cross a threshold, and
+// the aggregate bound is an ordinary compiled predicate on that summary
+// — threshold-tagged, relay-signaled. Waiters escalate to the summary
+// only after shard-local probing fails, and a watch protocol (precise
+// publication plus a flush, ordered before the park) guarantees the
+// batching never hides the update a parked aggregate waiter needs.
 package core

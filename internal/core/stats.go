@@ -48,13 +48,21 @@ type Stats struct {
 // ContextSwitches returns the wake-up count, the Fig. 15 quantity.
 func (s Stats) ContextSwitches() uint64 { return s.Wakeups }
 
-// String renders a compact single-line summary.
+// String renders a compact single-line summary. Together with Profile it
+// covers every field, a contract pinned by TestStatsCompleteness: a field
+// that neither renders would silently vanish from experiment output.
 func (s Stats) String() string {
 	out := fmt.Sprintf(
 		"awaits=%d fast=%d signals=%d broadcasts=%d wakeups=%d futile=%d relay=%d evals=%d tags=%d reg=%d reuse=%d",
 		s.Awaits, s.FastPath, s.Signals, s.Broadcasts, s.Wakeups, s.FutileWakeups,
 		s.RelayCalls, s.PredicateEvals, s.TagChecks, s.Registrations, s.Reuses)
-	if s.Arms > 0 {
+	if s.Abandons > 0 {
+		out += fmt.Sprintf(" abandons=%d", s.Abandons)
+	}
+	if s.Evictions > 0 {
+		out += fmt.Sprintf(" evict=%d", s.Evictions)
+	}
+	if s.Arms > 0 || s.Claims > 0 || s.FutileClaims > 0 {
 		out += fmt.Sprintf(" arms=%d claims=%d futile-claims=%d", s.Arms, s.Claims, s.FutileClaims)
 	}
 	return out

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStatsCompleteness walks the Stats struct by reflection and pins two
+// contracts for every field, present and future (the shard package merges
+// per-shard Stats with Add, so a field dropped there would silently
+// disappear from every sharded experiment):
+//
+//   - Add must propagate it: summing a stats value with itself must
+//     double every field.
+//   - String or Profile must render it: setting the field alone must
+//     change the combined text output.
+func TestStatsCompleteness(t *testing.T) {
+	typ := reflect.TypeOf(Stats{})
+	baseline := Stats{}.String() + "\n" + Stats{}.Profile()
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+
+		var s Stats
+		fv := reflect.ValueOf(&s).Elem().Field(i)
+		switch f.Type.Kind() {
+		case reflect.Uint64:
+			fv.SetUint(3)
+		case reflect.Int64:
+			fv.SetInt(3)
+		default:
+			t.Fatalf("field %s has unhandled kind %s; extend this test", f.Name, f.Type.Kind())
+		}
+
+		sum := reflect.ValueOf(s.Add(s)).Field(i)
+		switch f.Type.Kind() {
+		case reflect.Uint64:
+			if sum.Uint() != 6 {
+				t.Errorf("Add drops field %s: 3+3 = %d", f.Name, sum.Uint())
+			}
+		case reflect.Int64:
+			if sum.Int() != 6 {
+				t.Errorf("Add drops field %s: 3+3 = %d", f.Name, sum.Int())
+			}
+		}
+
+		if out := s.String() + "\n" + s.Profile(); out == baseline {
+			t.Errorf("field %s appears in neither String nor Profile", f.Name)
+		}
+	}
+}
+
+// TestStatsAddCommutes pins that Add is a plain field-wise sum with no
+// hidden normalization.
+func TestStatsAddCommutes(t *testing.T) {
+	a := Stats{Awaits: 1, Wakeups: 2, RelayNs: 3, Abandons: 4, Evictions: 5}
+	b := Stats{Awaits: 10, Wakeups: 20, RelayNs: 30, Arms: 7}
+	if a.Add(b) != b.Add(a) {
+		t.Error("Add is not commutative")
+	}
+	if got := a.Add(Stats{}); got != a {
+		t.Errorf("Add identity violated: %+v", got)
+	}
+}

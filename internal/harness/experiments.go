@@ -51,6 +51,7 @@ func Experiments() []Experiment {
 		{"abl-tags", "Ablation: relay cost by tag kind (equivalence/threshold/none)", AblationTagKinds},
 		{"abl-inactive", "Ablation: inactive-list limit vs. registration churn", AblationInactiveList},
 		{"abl-compile", "Ablation: string Await vs compiled AwaitPred wait-path overhead", AblationCompiledPredicates},
+		{"scale-shards", "Scaling: sharded-kv runtime vs shard count at fixed goroutines", ScaleShards},
 	}
 	return append(exps, ProblemExperiments()...)
 }
@@ -471,6 +472,50 @@ func AblationCompiledPredicates(cfg Config) Report {
 	}
 	sb.WriteString("expected shape: compiled < string (the gap is the per-wait predicate-cache lookup); see BenchmarkAwaitStringVsCompiled for the benchstat view.\n")
 	return textReport("abl-compile", sb.String())
+}
+
+// ScaleShards sweeps the partition count of the sharded-kv scenario at a
+// fixed goroutine count (the top of the configured thread axis): the
+// beyond-the-paper scaling experiment. A single monitor pays the relay
+// search over every resident per-key predicate group on every exit plus
+// all the lock traffic; each doubling of the shard count divides both, so
+// runtime falls until the partitions outnumber the independent keys in
+// flight. The 1-shard point is the single-core.Monitor reference the
+// speedups are quoted against.
+func ScaleShards(cfg Config) Report {
+	threads := cfg.MaxThreads
+	if threads < 8 {
+		threads = 8
+	}
+	xs := []int{1, 2, 4, 8, 16}
+	f := Figure{
+		ID:     "scale-shards",
+		Title:  fmt.Sprintf("sharded-kv: shard-count sweep at %d goroutines", threads),
+		XLabel: "# shards", YLabel: "runtime (seconds)", XS: xs,
+	}
+	for _, mech := range []problems.Mechanism{problems.AutoSynch, problems.AutoSynchT} {
+		mech := mech
+		ser := Series{Label: mech.String()}
+		for _, shards := range xs {
+			shards := shards
+			m := cfg.Protocol.Measure(func() problems.Result {
+				return problems.RunShardedKVShards(mech, threads, cfg.TotalOps, shards)
+			})
+			val := m.MeanSeconds
+			if m.CheckFailed {
+				val = -1 // sentinel: conservation violated; must never happen
+			}
+			ser.Points = append(ser.Points, val)
+		}
+		f.Series = append(f.Series, ser)
+	}
+	if as := f.Series[0].Points; len(as) == len(xs) && as[0] > 0 && as[len(as)-1] > 0 {
+		f.Notes = append(f.Notes, fmt.Sprintf(
+			"autosynch speedup at %d shards vs the single monitor: %.2fx", xs[len(xs)-1], as[0]/as[len(as)-1]))
+	}
+	f.Notes = append(f.Notes,
+		"expected shape: runtime falls as shards divide the lock traffic and the per-exit relay search; BenchmarkShardScaling is the go-test view.")
+	return f.report()
 }
 
 // IDs returns all experiment IDs in paper order, for CLI listings.

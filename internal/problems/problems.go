@@ -72,6 +72,35 @@ func newAuto(mech Mechanism, opts ...core.Option) *core.Monitor {
 	return core.New(opts...)
 }
 
+// autoOpts returns the core options selecting one of the two automatic
+// variants, for runners that construct monitors indirectly (the sharded
+// scenarios hand these to shard.New).
+func autoOpts(mech Mechanism) []core.Option {
+	if mech == AutoSynchT {
+		return []core.Option{core.WithoutTagging()}
+	}
+	return nil
+}
+
+// DefaultShards is the partition count the sharded scenarios use unless
+// overridden (cmd/autosynch-bench -shards, or the scale-shards sweep).
+const DefaultShards = 8
+
+// shardCount is read by the sharded runners; set it once before runs.
+var shardCount = DefaultShards
+
+// SetShardCount overrides the partition count for subsequent runs of the
+// sharded scenarios (specs with Sharded: true). Non-positive counts are
+// ignored. Not safe to call concurrently with running scenarios.
+func SetShardCount(n int) {
+	if n > 0 {
+		shardCount = n
+	}
+}
+
+// ShardCount returns the partition count the sharded scenarios run with.
+func ShardCount() int { return shardCount }
+
 // Result is the outcome of one problem run.
 type Result struct {
 	Mechanism Mechanism
@@ -102,6 +131,17 @@ type Runner func(mech Mechanism, threads, totalOps int) Result
 // final check reads, so the measurement excludes them.
 func finish(mech Mechanism, m core.Mechanism, elapsed time.Duration, ops, check int64) Result {
 	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(), Ops: ops, Check: check}
+}
+
+// stripeStats merges the counters of hand-striped monitors (the explicit
+// and baseline variants of the sharded scenarios), mirroring
+// shard.Monitor.Stats for the automatic ones.
+func stripeStats(ms ...core.Mechanism) core.Stats {
+	var s core.Stats
+	for _, m := range ms {
+		s = s.Add(m.Stats())
+	}
+	return s
 }
 
 // await panics on a wait error: scenario predicates are statically known

@@ -23,6 +23,7 @@ type Spec struct {
 	CheckDesc      string      // what Check == 0 certifies
 	Figure         string      // paper figure/table id, "" for beyond-paper workloads
 	OpsVary        bool        // Ops legitimately differs across mechanisms (e.g. balking)
+	Sharded        bool        // the runner stripes state across ShardCount() partitions
 }
 
 // Mechanisms returns the presentation lineup, defaulting to All.

@@ -1,0 +1,450 @@
+package problems
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+func init() {
+	Register(Spec{
+		Name:           "striped-semaphore",
+		Runner:         RunStripedSemaphore,
+		DefaultThreads: 64,
+		CheckDesc:      "all permits returned to the stripes and the aggregate",
+		Sharded:        true,
+	})
+}
+
+// semMaxN is the largest batch one acquire requests.
+const semMaxN = 4
+
+// RunStripedSemaphore is a counting semaphore striped across
+// ShardCount() partitions: the permit pool is split into per-stripe
+// "free" cells, an acquire(n) takes all n permits from a single stripe —
+// its home stripe when possible, any other by work-stealing sweep — and
+// only when no single visit can satisfy it does it escalate to the
+// cross-shard aggregate: a Counter tracks total free permits with batched
+// publication, and the slow path waits on the aggregate predicate
+// "total free ≥ n" before collecting permits stripe by stripe into its
+// pocket. Collection is serialized by a ticket on the summary monitor so
+// concurrent collectors cannot livelock, and a failed collection returns
+// its pocket and re-waits with an epoch-fenced bound (AwaitAtLeastSince),
+// so it wakes only when the aggregate both covers the request and has
+// changed since the failed sweep.
+//
+// threads goroutines each run acquire(n)/release(n) cycles with random
+// n ∈ [1,semMaxN], releasing to a rotating stripe so permits migrate and
+// the aggregate stays busy. The pool holds max(8, 2·threads) permits.
+// Ops counts completed cycles; Check is the final permit imbalance
+// (stripe cells, then the flushed aggregate — both must match the pool).
+func RunStripedSemaphore(mech Mechanism, threads, totalOps int) Result {
+	return runStripedSemaphoreShards(mech, threads, totalOps, ShardCount())
+}
+
+func runStripedSemaphoreShards(mech Mechanism, threads, totalOps, shards int) Result {
+	permits := 2 * threads
+	if permits < 8 {
+		permits = 8
+	}
+	perOps := split(totalOps, threads)
+	switch mech {
+	case Explicit:
+		return runSemExplicit(threads, perOps, permits, shards)
+	case Baseline:
+		return runSemBaseline(threads, perOps, permits, shards)
+	default:
+		return runSemAuto(mech, threads, perOps, permits, shards)
+	}
+}
+
+// semShares spreads the permit pool round-robin across stripes.
+func semShares(permits, shards int) []int64 {
+	shares := make([]int64, shards)
+	for p := 0; p < permits; p++ {
+		shares[p%shards]++
+	}
+	return shares
+}
+
+func runSemAuto(mech Mechanism, threads int, perOps []int, permits, shards int) Result {
+	shares := semShares(permits, shards)
+	free := make([]*core.IntCell, shards)
+	sm := shard.New(shards,
+		shard.WithMonitorOptions(autoOpts(mech)...),
+		shard.WithSetup(func(s int, m *core.Monitor) {
+			free[s] = m.NewInt("free", shares[s])
+		}))
+	cnt := sm.NewCounter("free-permits", semMaxN)
+	for s := 0; s < shards; s++ {
+		s := s
+		sm.DoShard(s, func(*core.Monitor) { cnt.Add(s, shares[s]) })
+	}
+	// The collector ticket lives on the counter's summary monitor, beside
+	// the aggregate cells it guards.
+	sum := cnt.Summary()
+	tk := sum.NewInt("tk", 0)
+	tkFree := sum.MustCompile("tk == 0")
+
+	// collect sweeps the stripes from home, pocketing up to n permits; on
+	// a short sweep the pocket is returned to the home stripe. Runs only
+	// under the ticket.
+	collect := func(home int, n int64) bool {
+		var pocket int64
+		for off := 0; off < shards; off++ {
+			s := (home + off) % shards
+			sm.DoShard(s, func(*core.Monitor) {
+				take := free[s].Get()
+				if take > n-pocket {
+					take = n - pocket
+				}
+				if take > 0 {
+					free[s].Add(-take)
+					cnt.Add(s, -take)
+					pocket += take
+				}
+			})
+			if pocket == n {
+				return true
+			}
+		}
+		if pocket > 0 {
+			sm.DoShard(home, func(*core.Monitor) {
+				free[home].Add(pocket)
+				cnt.Add(home, pocket)
+			})
+		}
+		return false
+	}
+
+	acquire := func(home int, n int64) {
+		if _, ok := sm.TrySteal(home, func(_ *core.Monitor, s int) bool {
+			if free[s].Get() >= n {
+				free[s].Add(-n)
+				cnt.Add(s, -n)
+				return true
+			}
+			return false
+		}); ok {
+			return
+		}
+		// Slow path: take the collector ticket, then alternate
+		// epoch-fenced aggregate waits with pocket collection.
+		sum.Enter()
+		await(tkFree)
+		tk.Set(1)
+		sum.Exit()
+		for {
+			e := cnt.Epoch()
+			if collect(home, n) {
+				break
+			}
+			if err := cnt.AwaitAtLeastSince(nil, n, e); err != nil {
+				panic(err)
+			}
+		}
+		sum.Do(func() { tk.Set(0) })
+	}
+
+	release := func(s int, n int64) {
+		sm.DoShard(s, func(*core.Monitor) {
+			free[s].Add(n)
+			cnt.Add(s, n)
+		})
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t, ops int) {
+			defer wg.Done()
+			home := t % shards
+			rng := newRand(uint64(t)*971 + 13)
+			for j := 0; j < ops; j++ {
+				n := rng.intn(semMaxN)
+				acquire(home, n)
+				release((home+j)%shards, n)
+			}
+		}(t, perOps[t])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var sumFree int64
+	for s := 0; s < shards; s++ {
+		s := s
+		sm.DoShard(s, func(*core.Monitor) { sumFree += free[s].Get() })
+	}
+	check := sumFree - int64(permits)
+	if check == 0 {
+		check = cnt.Total() - int64(permits)
+	}
+	return Result{Mechanism: mech, Elapsed: elapsed,
+		Stats: sm.Stats().Add(sum.Stats()), Ops: opsSum(perOps), Check: check}
+}
+
+// runSemExplicit is the hand-striped explicit-signal variant: the
+// programmer maintains the aggregate by publishing every stripe mutation
+// into a summary monitor (no batching — precise publication is the
+// explicit discipline) and broadcasts its change condition, since waiters
+// hold different bounds. The same ticket/collect/epoch protocol, signaled
+// by hand.
+func runSemExplicit(threads int, perOps []int, permits, shards int) Result {
+	shares := semShares(permits, shards)
+	stripes := make([]*core.Explicit, shards)
+	free := make([]int64, shards)
+	for s := range stripes {
+		stripes[s] = core.NewExplicit()
+		free[s] = shares[s]
+	}
+	summary := core.NewExplicit()
+	tkCond := summary.NewCond()
+	chCond := summary.NewCond()
+	var total, ep, tk int64
+	total = int64(permits)
+
+	// publish folds a stripe's delta into the summary; called while
+	// holding the stripe, nesting the summary inside (stripe → summary
+	// lock order, as the automatic variant's Counter.Add).
+	publish := func(d int64) {
+		summary.Enter()
+		total += d
+		ep++
+		chCond.Broadcast()
+		summary.Exit()
+	}
+
+	collect := func(home int, n int64) bool {
+		var pocket int64
+		for off := 0; off < shards; off++ {
+			s := (home + off) % shards
+			stripes[s].Enter()
+			take := free[s]
+			if take > n-pocket {
+				take = n - pocket
+			}
+			if take > 0 {
+				free[s] -= take
+				publish(-take)
+				pocket += take
+			}
+			stripes[s].Exit()
+			if pocket == n {
+				return true
+			}
+		}
+		if pocket > 0 {
+			stripes[home].Enter()
+			free[home] += pocket
+			publish(pocket)
+			stripes[home].Exit()
+		}
+		return false
+	}
+
+	acquire := func(home int, n int64) {
+		for off := 0; off < shards; off++ {
+			s := (home + off) % shards
+			stripes[s].Enter()
+			if free[s] >= n {
+				free[s] -= n
+				publish(-n)
+				stripes[s].Exit()
+				return
+			}
+			stripes[s].Exit()
+		}
+		summary.Enter()
+		tkCond.Await(func() bool { return tk == 0 })
+		tk = 1
+		summary.Exit()
+		for {
+			var e int64
+			summary.Enter()
+			e = ep
+			summary.Exit()
+			if collect(home, n) {
+				break
+			}
+			summary.Enter()
+			chCond.Await(func() bool { return total >= n && ep > e })
+			summary.Exit()
+		}
+		summary.Enter()
+		tk = 0
+		tkCond.Signal()
+		summary.Exit()
+	}
+
+	release := func(s int, n int64) {
+		stripes[s].Enter()
+		free[s] += n
+		publish(n)
+		stripes[s].Exit()
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t, ops int) {
+			defer wg.Done()
+			home := t % shards
+			rng := newRand(uint64(t)*971 + 13)
+			for j := 0; j < ops; j++ {
+				n := rng.intn(semMaxN)
+				acquire(home, n)
+				release((home+j)%shards, n)
+			}
+		}(t, perOps[t])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var sumFree int64
+	ms := make([]core.Mechanism, 0, shards+1)
+	for s := range stripes {
+		stripes[s].Enter()
+		sumFree += free[s]
+		stripes[s].Exit()
+		ms = append(ms, stripes[s])
+	}
+	ms = append(ms, summary)
+	check := sumFree - int64(permits)
+	if check == 0 {
+		summary.Enter()
+		check = total - int64(permits)
+		summary.Exit()
+	}
+	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: stripeStats(ms...),
+		Ops: opsSum(perOps), Check: check}
+}
+
+// runSemBaseline stripes the pool across baseline monitors: the same
+// protocol with closure waits, every exit a broadcast.
+func runSemBaseline(threads int, perOps []int, permits, shards int) Result {
+	shares := semShares(permits, shards)
+	stripes := make([]*core.Baseline, shards)
+	free := make([]int64, shards)
+	for s := range stripes {
+		stripes[s] = core.NewBaseline()
+		free[s] = shares[s]
+	}
+	summary := core.NewBaseline()
+	var total, ep, tk int64
+	total = int64(permits)
+
+	publish := func(d int64) {
+		summary.Enter()
+		total += d
+		ep++
+		summary.Exit()
+	}
+
+	collect := func(home int, n int64) bool {
+		var pocket int64
+		for off := 0; off < shards; off++ {
+			s := (home + off) % shards
+			stripes[s].Enter()
+			take := free[s]
+			if take > n-pocket {
+				take = n - pocket
+			}
+			if take > 0 {
+				free[s] -= take
+				publish(-take)
+				pocket += take
+			}
+			stripes[s].Exit()
+			if pocket == n {
+				return true
+			}
+		}
+		if pocket > 0 {
+			stripes[home].Enter()
+			free[home] += pocket
+			publish(pocket)
+			stripes[home].Exit()
+		}
+		return false
+	}
+
+	acquire := func(home int, n int64) {
+		for off := 0; off < shards; off++ {
+			s := (home + off) % shards
+			stripes[s].Enter()
+			if free[s] >= n {
+				free[s] -= n
+				publish(-n)
+				stripes[s].Exit()
+				return
+			}
+			stripes[s].Exit()
+		}
+		summary.Enter()
+		summary.Await(func() bool { return tk == 0 })
+		tk = 1
+		summary.Exit()
+		for {
+			var e int64
+			summary.Enter()
+			e = ep
+			summary.Exit()
+			if collect(home, n) {
+				break
+			}
+			summary.Enter()
+			summary.Await(func() bool { return total >= n && ep > e })
+			summary.Exit()
+		}
+		summary.Enter()
+		tk = 0
+		summary.Exit()
+	}
+
+	release := func(s int, n int64) {
+		stripes[s].Enter()
+		free[s] += n
+		publish(n)
+		stripes[s].Exit()
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t, ops int) {
+			defer wg.Done()
+			home := t % shards
+			rng := newRand(uint64(t)*971 + 13)
+			for j := 0; j < ops; j++ {
+				n := rng.intn(semMaxN)
+				acquire(home, n)
+				release((home+j)%shards, n)
+			}
+		}(t, perOps[t])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var sumFree int64
+	ms := make([]core.Mechanism, 0, shards+1)
+	for s := range stripes {
+		stripes[s].Enter()
+		sumFree += free[s]
+		stripes[s].Exit()
+		ms = append(ms, stripes[s])
+	}
+	ms = append(ms, summary)
+	check := sumFree - int64(permits)
+	if check == 0 {
+		summary.Enter()
+		check = total - int64(permits)
+		summary.Exit()
+	}
+	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: stripeStats(ms...),
+		Ops: opsSum(perOps), Check: check}
+}

@@ -1,0 +1,614 @@
+package problems
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+func init() {
+	Register(Spec{
+		Name:           "work-stealing-pool",
+		Runner:         RunWorkPool,
+		DefaultThreads: 64,
+		CheckDesc:      "every submitted task executed exactly once, queues drained",
+		Sharded:        true,
+	})
+}
+
+// RunWorkPool is a work-stealing task pool striped across ShardCount()
+// partitions: producers submit unit tasks to rotating shards, workers
+// take from their home shard when they can and sweep the other shards —
+// stealing — before ever parking. A worker that finds every queue empty
+// parks shard-locally: it arms a wait handle on its home shard's
+// "tasks >= 1 || done" predicate, then pokes the aggregate's epoch so the
+// rebalance supervisor learns a queue went deep (arm first, then poke —
+// the supervisor either sees the registration or is woken after it, so
+// the park cannot be lost). The supervisor, parked on the epoch-fenced
+// summary, moves queued tasks to starved shards — shards with parked
+// waiters and an empty queue — whenever the aggregate changes; the move
+// itself is silent (it does not change the total), and the deposit's own
+// monitor exit relays to the parked handle.
+//
+// A Counter with threshold 1 tracks total queued tasks, so every submit
+// and take publishes: the supervisor wakes on each, and the driver's
+// drain wait (total ≤ 0) fires exactly when all submitted work is done.
+//
+// threads splits into producers (a quarter, at least one) and workers
+// (the rest); totalOps tasks are submitted in total. Ops counts tasks
+// executed; Check is executed-minus-submitted plus any queue residue and
+// the flushed aggregate (all must be zero).
+func RunWorkPool(mech Mechanism, threads, totalOps int) Result {
+	return runWorkPoolShards(mech, threads, totalOps, ShardCount())
+}
+
+func runWorkPoolShards(mech Mechanism, threads, totalOps, shards int) Result {
+	producers := threads / 4
+	if producers == 0 {
+		producers = 1
+	}
+	workers := threads - producers
+	if workers == 0 {
+		workers = 1
+	}
+	prodOps := split(totalOps, producers)
+	switch mech {
+	case Explicit:
+		return runPoolExplicit(producers, workers, prodOps, shards)
+	case Baseline:
+		return runPoolBaseline(producers, workers, prodOps, shards)
+	default:
+		return runPoolAuto(mech, producers, workers, prodOps, shards)
+	}
+}
+
+func runPoolAuto(mech Mechanism, producers, workers int, prodOps []int, shards int) Result {
+	tasks := make([]*core.IntCell, shards)
+	done := make([]*core.BoolCell, shards)
+	sm := shard.New(shards,
+		shard.WithMonitorOptions(autoOpts(mech)...),
+		shard.WithSetup(func(s int, m *core.Monitor) {
+			tasks[s] = m.NewInt("tasks", 0)
+			done[s] = m.NewBool("done", false)
+		}))
+	ready := sm.MustCompile("tasks >= 1 || done")
+	cnt := sm.NewCounter("queued", 1)
+	sum := cnt.Summary()
+	sdone := sum.NewInt("sdone", 0)
+	advanced := sum.MustCompile("ep > e || sdone == 1")
+
+	// The rebalance supervisor: woken by every publication (and by worker
+	// pokes), it moves queued tasks onto starved shards — parked waiters,
+	// empty queue. Moves are silent in the aggregate; the deposit's exit
+	// relays to the shard's parked handles.
+	rebalance := func() {
+		depths := sm.WaitingByShard()
+		counts := make([]int64, shards)
+		for s := 0; s < shards; s++ {
+			s := s
+			sm.DoShard(s, func(*core.Monitor) { counts[s] = tasks[s].Get() })
+		}
+		for a := 0; a < shards; a++ {
+			if depths[a] == 0 || counts[a] > 0 {
+				continue
+			}
+			for b := 0; b < shards; b++ {
+				if b == a || counts[b] == 0 {
+					continue
+				}
+				var moved int64
+				sm.DoShard(b, func(*core.Monitor) {
+					moved = tasks[b].Get()
+					if moved > int64(depths[a]) {
+						moved = int64(depths[a])
+					}
+					tasks[b].Add(-moved)
+				})
+				if moved > 0 {
+					sm.DoShard(a, func(*core.Monitor) { tasks[a].Add(moved) })
+					counts[a] += moved
+					counts[b] -= moved
+					break
+				}
+			}
+		}
+	}
+	svDone := make(chan struct{})
+	go func() {
+		defer close(svDone)
+		for {
+			e := cnt.Epoch()
+			rebalance()
+			sum.Enter()
+			await(advanced, core.BindInt("e", e))
+			stop := sdone.Get() == 1
+			sum.Exit()
+			if stop {
+				return
+			}
+		}
+	}()
+
+	executed := make([]int64, workers)
+	var pwg, wwg sync.WaitGroup
+	start := time.Now()
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(p, n int) {
+			defer pwg.Done()
+			for j := 0; j < n; j++ {
+				kk := uint64(j*producers + p)
+				sm.Do(kk, func(*core.Monitor) {
+					s := sm.Index(kk)
+					tasks[s].Add(1)
+					cnt.Add(s, 1)
+				})
+			}
+		}(p, prodOps[p])
+	}
+	for w := 0; w < workers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			hk := uint64(w)
+			home := sm.Index(hk)
+			for {
+				if _, ok := sm.TrySteal(home, func(_ *core.Monitor, s int) bool {
+					if tasks[s].Get() >= 1 {
+						tasks[s].Add(-1)
+						cnt.Add(s, -1)
+						return true
+					}
+					return false
+				}); ok {
+					executed[w]++
+					continue
+				}
+				// Nothing anywhere: park shard-locally on the compiled
+				// per-shard predicate, advertised to the supervisor.
+				h := sm.Arm(hk, ready)
+				cnt.Poke()
+				for {
+					<-h.Ready()
+					err := h.Claim()
+					if err == nil {
+						break
+					}
+					if err != core.ErrNotReady {
+						panic(err)
+					}
+				}
+				// Claim succeeded: home shard held, predicate true.
+				took := false
+				if tasks[home].Get() >= 1 {
+					tasks[home].Add(-1)
+					cnt.Add(home, -1)
+					took = true
+				}
+				finished := !took && done[home].Get()
+				sm.Shard(home).Exit()
+				if took {
+					executed[w]++
+					continue
+				}
+				if finished {
+					return
+				}
+			}
+		}(w)
+	}
+	pwg.Wait()
+	if err := cnt.AwaitAtMost(0); err != nil {
+		panic(err)
+	}
+	sum.Do(func() { sdone.Set(1) })
+	for s := 0; s < shards; s++ {
+		s := s
+		sm.DoShard(s, func(*core.Monitor) { done[s].Set(true) })
+	}
+	wwg.Wait()
+	<-svDone
+	elapsed := time.Since(start)
+
+	var submitted, ran, residue int64
+	for _, n := range prodOps {
+		submitted += int64(n)
+	}
+	for _, e := range executed {
+		ran += e
+	}
+	for s := 0; s < shards; s++ {
+		s := s
+		sm.DoShard(s, func(*core.Monitor) { residue += tasks[s].Get() })
+	}
+	check := (ran - submitted) + residue
+	if check == 0 {
+		check = cnt.Total()
+	}
+	return Result{Mechanism: mech, Elapsed: elapsed,
+		Stats: sm.Stats().Add(sum.Stats()), Ops: ran, Check: check}
+}
+
+// runPoolExplicit is the hand-striped explicit-signal pool: one condition
+// per stripe for its queue, a summary monitor whose change condition the
+// supervisor and the drain wait park on, and every mutation published and
+// signaled by hand (no batching — precise publication is the explicit
+// discipline). Workers park with Cond.Arm handles so the arm-then-poke
+// advertisement works exactly as in the automatic variant.
+func runPoolExplicit(producers, workers int, prodOps []int, shards int) Result {
+	stripes := make([]*core.Explicit, shards)
+	tcond := make([]*core.Cond, shards)
+	tasks := make([]int64, shards)
+	done := make([]bool, shards)
+	for s := range stripes {
+		stripes[s] = core.NewExplicit()
+		tcond[s] = stripes[s].NewCond()
+	}
+	summary := core.NewExplicit()
+	chCond := summary.NewCond()
+	var total, ep, sdone int64
+
+	// publish folds a queue delta into the summary while the stripe is
+	// held (stripe → summary lock order, as Counter.Add).
+	publish := func(d int64) {
+		summary.Enter()
+		total += d
+		ep++
+		chCond.Broadcast()
+		summary.Exit()
+	}
+	poke := func() {
+		summary.Enter()
+		ep++
+		chCond.Broadcast()
+		summary.Exit()
+	}
+
+	waitingAt := func(s int) int { return stripes[s].Waiting() }
+	rebalance := func() {
+		counts := make([]int64, shards)
+		depths := make([]int, shards)
+		for s := 0; s < shards; s++ {
+			depths[s] = waitingAt(s)
+			stripes[s].Enter()
+			counts[s] = tasks[s]
+			stripes[s].Exit()
+		}
+		for a := 0; a < shards; a++ {
+			if depths[a] == 0 || counts[a] > 0 {
+				continue
+			}
+			for b := 0; b < shards; b++ {
+				if b == a || counts[b] == 0 {
+					continue
+				}
+				var moved int64
+				stripes[b].Enter()
+				moved = tasks[b]
+				if moved > int64(depths[a]) {
+					moved = int64(depths[a])
+				}
+				tasks[b] -= moved
+				stripes[b].Exit()
+				if moved > 0 {
+					stripes[a].Enter()
+					tasks[a] += moved
+					tcond[a].Broadcast()
+					stripes[a].Exit()
+					counts[a] += moved
+					counts[b] -= moved
+					break
+				}
+			}
+		}
+	}
+	svDone := make(chan struct{})
+	go func() {
+		defer close(svDone)
+		for {
+			summary.Enter()
+			e := ep
+			summary.Exit()
+			rebalance()
+			summary.Enter()
+			chCond.Await(func() bool { return ep > e || sdone == 1 })
+			stop := sdone == 1
+			summary.Exit()
+			if stop {
+				return
+			}
+		}
+	}()
+
+	executed := make([]int64, workers)
+	var pwg, wwg sync.WaitGroup
+	start := time.Now()
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(p, n int) {
+			defer pwg.Done()
+			for j := 0; j < n; j++ {
+				s := shard.IndexFor(uint64(j*producers+p), shards)
+				stripes[s].Enter()
+				tasks[s]++
+				tcond[s].Signal()
+				publish(1)
+				stripes[s].Exit()
+			}
+		}(p, prodOps[p])
+	}
+	for w := 0; w < workers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			home := shard.IndexFor(uint64(w), shards)
+			for {
+				took := false
+				for off := 0; off < shards; off++ {
+					s := (home + off) % shards
+					stripes[s].Enter()
+					if tasks[s] >= 1 {
+						tasks[s]--
+						publish(-1)
+						took = true
+					}
+					stripes[s].Exit()
+					if took {
+						break
+					}
+				}
+				if took {
+					executed[w]++
+					continue
+				}
+				h := tcond[home].Arm(func() bool { return tasks[home] >= 1 || done[home] })
+				poke()
+				for {
+					<-h.Ready()
+					err := h.Claim()
+					if err == nil {
+						break
+					}
+					if err != core.ErrNotReady {
+						panic(err)
+					}
+				}
+				if tasks[home] >= 1 {
+					tasks[home]--
+					publish(-1)
+					took = true
+				}
+				finished := !took && done[home]
+				stripes[home].Exit()
+				if took {
+					executed[w]++
+					continue
+				}
+				if finished {
+					return
+				}
+			}
+		}(w)
+	}
+	pwg.Wait()
+	summary.Enter()
+	chCond.Await(func() bool { return total <= 0 })
+	summary.Exit()
+	summary.Enter()
+	sdone = 1
+	chCond.Broadcast()
+	summary.Exit()
+	for s := 0; s < shards; s++ {
+		stripes[s].Enter()
+		done[s] = true
+		tcond[s].Broadcast()
+		stripes[s].Exit()
+	}
+	wwg.Wait()
+	<-svDone
+	elapsed := time.Since(start)
+
+	var submitted, ran, residue int64
+	for _, n := range prodOps {
+		submitted += int64(n)
+	}
+	for _, e := range executed {
+		ran += e
+	}
+	ms := make([]core.Mechanism, 0, shards+1)
+	for s := range stripes {
+		stripes[s].Enter()
+		residue += tasks[s]
+		stripes[s].Exit()
+		ms = append(ms, stripes[s])
+	}
+	ms = append(ms, summary)
+	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: stripeStats(ms...),
+		Ops: ran, Check: (ran - submitted) + residue}
+}
+
+// runPoolBaseline stripes the pool across baseline monitors: closure
+// waits, a broadcast on every exit, armed handles notified by the same
+// broadcasts. The protocol is identical; only the signaling is the
+// strawman's.
+func runPoolBaseline(producers, workers int, prodOps []int, shards int) Result {
+	stripes := make([]*core.Baseline, shards)
+	tasks := make([]int64, shards)
+	done := make([]bool, shards)
+	for s := range stripes {
+		stripes[s] = core.NewBaseline()
+	}
+	summary := core.NewBaseline()
+	var total, ep, sdone int64
+
+	publish := func(d int64) {
+		summary.Enter()
+		total += d
+		ep++
+		summary.Exit()
+	}
+	poke := func() {
+		summary.Enter()
+		ep++
+		summary.Exit()
+	}
+
+	rebalance := func() {
+		counts := make([]int64, shards)
+		depths := make([]int, shards)
+		for s := 0; s < shards; s++ {
+			depths[s] = stripes[s].Waiting()
+			stripes[s].Enter()
+			counts[s] = tasks[s]
+			stripes[s].Exit()
+		}
+		for a := 0; a < shards; a++ {
+			if depths[a] == 0 || counts[a] > 0 {
+				continue
+			}
+			for b := 0; b < shards; b++ {
+				if b == a || counts[b] == 0 {
+					continue
+				}
+				var moved int64
+				stripes[b].Enter()
+				moved = tasks[b]
+				if moved > int64(depths[a]) {
+					moved = int64(depths[a])
+				}
+				tasks[b] -= moved
+				stripes[b].Exit()
+				if moved > 0 {
+					stripes[a].Enter()
+					tasks[a] += moved
+					stripes[a].Exit()
+					counts[a] += moved
+					counts[b] -= moved
+					break
+				}
+			}
+		}
+	}
+	svDone := make(chan struct{})
+	go func() {
+		defer close(svDone)
+		for {
+			summary.Enter()
+			e := ep
+			summary.Exit()
+			rebalance()
+			summary.Enter()
+			summary.Await(func() bool { return ep > e || sdone == 1 })
+			stop := sdone == 1
+			summary.Exit()
+			if stop {
+				return
+			}
+		}
+	}()
+
+	executed := make([]int64, workers)
+	var pwg, wwg sync.WaitGroup
+	start := time.Now()
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(p, n int) {
+			defer pwg.Done()
+			for j := 0; j < n; j++ {
+				s := shard.IndexFor(uint64(j*producers+p), shards)
+				stripes[s].Enter()
+				tasks[s]++
+				publish(1)
+				stripes[s].Exit()
+			}
+		}(p, prodOps[p])
+	}
+	for w := 0; w < workers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			home := shard.IndexFor(uint64(w), shards)
+			for {
+				took := false
+				for off := 0; off < shards; off++ {
+					s := (home + off) % shards
+					stripes[s].Enter()
+					if tasks[s] >= 1 {
+						tasks[s]--
+						publish(-1)
+						took = true
+					}
+					stripes[s].Exit()
+					if took {
+						break
+					}
+				}
+				if took {
+					executed[w]++
+					continue
+				}
+				h := stripes[home].ArmFunc(func() bool { return tasks[home] >= 1 || done[home] })
+				poke()
+				for {
+					<-h.Ready()
+					err := h.Claim()
+					if err == nil {
+						break
+					}
+					if err != core.ErrNotReady {
+						panic(err)
+					}
+				}
+				if tasks[home] >= 1 {
+					tasks[home]--
+					publish(-1)
+					took = true
+				}
+				finished := !took && done[home]
+				stripes[home].Exit()
+				if took {
+					executed[w]++
+					continue
+				}
+				if finished {
+					return
+				}
+			}
+		}(w)
+	}
+	pwg.Wait()
+	summary.Enter()
+	summary.Await(func() bool { return total <= 0 })
+	summary.Exit()
+	summary.Enter()
+	sdone = 1
+	summary.Exit()
+	for s := 0; s < shards; s++ {
+		stripes[s].Enter()
+		done[s] = true
+		stripes[s].Exit()
+	}
+	wwg.Wait()
+	<-svDone
+	elapsed := time.Since(start)
+
+	var submitted, ran, residue int64
+	for _, n := range prodOps {
+		submitted += int64(n)
+	}
+	for _, e := range executed {
+		ran += e
+	}
+	ms := make([]core.Mechanism, 0, shards+1)
+	for s := range stripes {
+		stripes[s].Enter()
+		residue += tasks[s]
+		stripes[s].Exit()
+		ms = append(ms, stripes[s])
+	}
+	ms = append(ms, summary)
+	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: stripeStats(ms...),
+		Ops: ran, Check: (ran - submitted) + residue}
+}

@@ -1,0 +1,240 @@
+package shard
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Counter is a cross-shard aggregate: a logical integer whose increments
+// land on whichever shard the mutating operation already holds, so the
+// hot path never takes a second lock. Each shard accumulates a pending
+// delta under its own monitor; when the delta's magnitude reaches the
+// publication threshold — or immediately, while anyone is watching the
+// aggregate — it is published into a dedicated summary monitor:
+//
+//	total — the published aggregate value ("total" cell)
+//	ep    — the publication epoch, bumped once per published batch
+//
+// Aggregate predicates ("total free slots across all shards ≥ n") are
+// therefore ordinary compiled predicates on the summary monitor, with the
+// full relay/tagging machinery behind them: AwaitAtLeast parks exactly
+// like any threshold-tagged waiter, and publication exits relay to it.
+//
+// Batching trades staleness for throughput: with threshold t and S shards
+// the published total lags the true value by at most S·(t−1) in each
+// direction. The watch protocol removes the staleness exactly when it
+// matters: a waiter first enters precise mode (every subsequent Add
+// publishes immediately), then flushes all pending deltas, then parks.
+// Any mutation is thus either captured by the flush or published on its
+// own — no wake-up is lost — and batching resumes when the last watcher
+// leaves. Waiters park on the summary only after shard-local state could
+// not satisfy them; that escalation order is the point: shard-local work
+// stays shard-local, and only genuinely global conditions touch the
+// summary.
+//
+// Lock order is shard → summary, everywhere: Add publishes while holding
+// one shard's monitor; summary waiters hold no shard. Never call Add or
+// Flush while holding the summary monitor.
+type Counter struct {
+	sm        *Monitor
+	name      string
+	threshold int64
+
+	summary *core.Monitor
+	total   *core.IntCell
+	ep      *core.IntCell
+
+	atLeast      *core.Predicate // total >= n
+	atMost       *core.Predicate // total <= n
+	atLeastSince *core.Predicate // total >= n && ep > e
+
+	pend []int64 // pending delta per shard; guarded by that shard's monitor
+
+	watchers  atomic.Int64 // precise mode while > 0
+	publishes atomic.Uint64
+	flushes   atomic.Uint64
+}
+
+// NewCounter creates an aggregate counter named for diagnostics, starting
+// at zero, publishing batches of magnitude ≥ threshold (threshold 1
+// publishes every change — precise mode permanently). The summary monitor
+// is built with the same core options as the shards, so an AutoSynch-T
+// sharded monitor is AutoSynch-T end to end.
+func (sm *Monitor) NewCounter(name string, threshold int64) *Counter {
+	if threshold < 1 {
+		threshold = 1
+	}
+	c := &Counter{
+		sm:        sm,
+		name:      name,
+		threshold: threshold,
+		summary:   core.New(sm.monOpts...),
+		pend:      make([]int64, len(sm.shards)),
+	}
+	c.total = c.summary.NewInt("total", 0)
+	c.ep = c.summary.NewInt("ep", 0)
+	c.atLeast = c.summary.MustCompile("total >= n")
+	c.atMost = c.summary.MustCompile("total <= n")
+	c.atLeastSince = c.summary.MustCompile("total >= n && ep > e")
+	return c
+}
+
+// Name returns the counter's diagnostic name.
+func (c *Counter) Name() string { return c.name }
+
+// Summary returns the summary monitor. Custom aggregate conditions are
+// composed here — declare extra cells on it before first use and compile
+// predicates mixing them with "total" and "ep" — combined with Watch
+// around any park so publication stays precise while waiting.
+func (c *Counter) Summary() *core.Monitor { return c.summary }
+
+// Add adjusts the aggregate by d from shard i. The caller must hold shard
+// i's monitor (the mutation this delta accounts for happened there); the
+// delta folds into the shard's pending batch and publishes when the batch
+// reaches the threshold, or immediately while the counter is watched.
+func (c *Counter) Add(i int, d int64) {
+	if d == 0 {
+		return
+	}
+	c.pend[i] += d
+	p := c.pend[i]
+	if p < 0 {
+		p = -p
+	}
+	if p >= c.threshold || c.watchers.Load() > 0 {
+		c.publish(i)
+	}
+}
+
+// publish moves shard i's pending delta into the summary, bumping the
+// epoch. Caller holds shard i's monitor; the summary's exit relays to any
+// aggregate waiter whose bound just became true.
+func (c *Counter) publish(i int) {
+	d := c.pend[i]
+	if d == 0 {
+		return
+	}
+	c.pend[i] = 0
+	c.publishes.Add(1)
+	c.summary.Do(func() {
+		c.total.Add(d)
+		c.ep.Add(1)
+	})
+}
+
+// Flush publishes every shard's pending delta, visiting each shard in
+// turn. Call with no monitor held.
+func (c *Counter) Flush() {
+	c.flushes.Add(1)
+	for i := range c.sm.shards {
+		i := i
+		c.sm.DoShard(i, func(*core.Monitor) { c.publish(i) })
+	}
+}
+
+// Approx returns the published total without flushing: stale by at most
+// S·(threshold−1) in each direction.
+func (c *Counter) Approx() int64 {
+	var v int64
+	c.summary.Do(func() { v = c.total.Get() })
+	return v
+}
+
+// Epoch returns the current publication epoch. Snapshot it before probing
+// shard state, then wait with AwaitAtLeastSince: any mutation after the
+// probe publishes past the snapshot, so the retry cannot miss it.
+func (c *Counter) Epoch() int64 {
+	var e int64
+	c.summary.Do(func() { e = c.ep.Get() })
+	return e
+}
+
+// Total flushes and returns the aggregate. Exact once mutators are
+// quiescent (the conservation-check read); a best-effort snapshot while
+// they run. Call with no monitor held.
+func (c *Counter) Total() int64 {
+	c.Flush()
+	return c.Approx()
+}
+
+// Poke bumps the publication epoch without changing the total. A waiter
+// that has just registered shard-locally (an armed handle on its home
+// shard) advertises itself to epoch-fenced watchers — a rebalance
+// supervisor parked on "ep > e" would otherwise never learn that a queue
+// went deep, because registrations publish nothing. Arm first, then Poke:
+// the supervisor then either sees the registration or is woken after it.
+// Callable with no monitor held (it touches only the summary).
+func (c *Counter) Poke() {
+	c.summary.Do(func() { c.ep.Add(1) })
+}
+
+// Publishes returns how many batches have been published; Flushes how
+// many full flush sweeps ran. The batching ablation: publishes ≪ Adds is
+// the threshold doing its job.
+func (c *Counter) Publishes() uint64 { return c.publishes.Load() }
+
+// Flushes returns the flush-sweep count.
+func (c *Counter) Flushes() uint64 { return c.flushes.Load() }
+
+// Watch enters precise mode and flushes, returning the leave function:
+// between the two calls every Add publishes immediately and nothing is
+// pending, so a summary-monitor wait started after Watch cannot miss an
+// update. Use it around custom waits on Summary(); the built-in Await
+// forms call it internally.
+//
+//	defer c.Watch()()
+//	s := c.Summary()
+//	s.Enter()
+//	err := s.AwaitPredCtx(ctx, myAggregatePred, binds...)
+//	s.Exit()
+func (c *Counter) Watch() func() {
+	c.watchers.Add(1)
+	c.Flush()
+	return func() { c.watchers.Add(-1) }
+}
+
+// AwaitAtLeast blocks until the aggregate is at least n. On return the
+// bound held at the moment the summary monitor was released; shard-local
+// state may have moved since, so consumers re-verify under shard locks
+// and re-wait with AwaitAtLeastSince on failure.
+func (c *Counter) AwaitAtLeast(n int64) error {
+	return c.awaitBound(nil, c.atLeast, core.BindInt("n", n))
+}
+
+// AwaitAtLeastCtx is AwaitAtLeast with cancellation.
+func (c *Counter) AwaitAtLeastCtx(ctx context.Context, n int64) error {
+	return c.awaitBound(ctx, c.atLeast, core.BindInt("n", n))
+}
+
+// AwaitAtMost blocks until the aggregate is at most n (drain waits).
+func (c *Counter) AwaitAtMost(n int64) error {
+	return c.awaitBound(nil, c.atMost, core.BindInt("n", n))
+}
+
+// AwaitAtMostCtx is AwaitAtMost with cancellation.
+func (c *Counter) AwaitAtMostCtx(ctx context.Context, n int64) error {
+	return c.awaitBound(ctx, c.atMost, core.BindInt("n", n))
+}
+
+// AwaitAtLeastSince blocks until the aggregate is at least n AND the
+// epoch has advanced past since — the retry-loop form: snapshot the epoch
+// (Epoch), probe the shards, and on failure wait here; the epoch conjunct
+// suppresses wake-ups for states the caller has already inspected, while
+// any mutation after the snapshot necessarily publishes past it.
+func (c *Counter) AwaitAtLeastSince(ctx context.Context, n, since int64) error {
+	return c.awaitBound(ctx, c.atLeastSince, core.BindInt("n", n), core.BindInt("e", since))
+}
+
+// awaitBound is the shared park: precise mode, flush, then an ordinary
+// compiled-predicate wait on the summary monitor.
+func (c *Counter) awaitBound(ctx context.Context, p *core.Predicate, binds ...core.Binding) error {
+	defer c.Watch()()
+	c.summary.Enter()
+	defer c.summary.Exit()
+	if ctx == nil {
+		return c.summary.AwaitPred(p, binds...)
+	}
+	return c.summary.AwaitPredCtx(ctx, p, binds...)
+}

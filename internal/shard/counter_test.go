@@ -1,0 +1,231 @@
+package shard_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+	"repro/internal/testutil"
+)
+
+func newCounter(t *testing.T, shards int, threshold int64) (*shard.Monitor, *shard.Counter) {
+	t.Helper()
+	sm := shard.New(shards)
+	return sm, sm.NewCounter("c", threshold)
+}
+
+func TestCounterBatchingThreshold(t *testing.T) {
+	sm, c := newCounter(t, 4, 10)
+	// Deltas below the threshold stay pending on their shard: nothing
+	// published, the approximate total still zero.
+	for s := 0; s < 4; s++ {
+		s := s
+		sm.DoShard(s, func(*core.Monitor) { c.Add(s, 3) })
+	}
+	if got := c.Approx(); got != 0 {
+		t.Errorf("Approx = %d with all deltas sub-threshold, want 0", got)
+	}
+	if p := c.Publishes(); p != 0 {
+		t.Errorf("published %d batches below threshold", p)
+	}
+	// Crossing the threshold on one shard publishes that shard's batch only.
+	sm.DoShard(0, func(*core.Monitor) { c.Add(0, 7) }) // 3+7 = 10
+	if got := c.Approx(); got != 10 {
+		t.Errorf("Approx = %d after one threshold crossing, want 10", got)
+	}
+	if p := c.Publishes(); p != 1 {
+		t.Errorf("publishes = %d, want 1", p)
+	}
+	// Flush drains the rest; Total is then exact.
+	if got := c.Total(); got != 19 {
+		t.Errorf("Total = %d, want 19", got)
+	}
+	if c.Name() != "c" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	// A zero delta is a no-op, not a publication.
+	p := c.Publishes()
+	sm.DoShard(1, func(*core.Monitor) { c.Add(1, 0) })
+	if c.Publishes() != p {
+		t.Error("Add(0) published")
+	}
+}
+
+func TestCounterWatchMakesPrecise(t *testing.T) {
+	sm, c := newCounter(t, 4, 100)
+	sm.DoShard(2, func(*core.Monitor) { c.Add(2, 5) })
+	done := c.Watch()
+	// Watch flushed the pending delta...
+	if got := c.Approx(); got != 5 {
+		t.Errorf("Approx = %d after Watch flush, want 5", got)
+	}
+	// ...and while watched, every Add publishes immediately.
+	sm.DoShard(3, func(*core.Monitor) { c.Add(3, 1) })
+	if got := c.Approx(); got != 6 {
+		t.Errorf("Approx = %d with watcher, want 6", got)
+	}
+	done()
+	// Batching resumes once the last watcher leaves.
+	sm.DoShard(3, func(*core.Monitor) { c.Add(3, 1) })
+	if got := c.Approx(); got != 6 {
+		t.Errorf("Approx = %d after unwatch, want 6 (batched)", got)
+	}
+}
+
+func TestCounterAwaitAtLeastSeesBatchedDeltas(t *testing.T) {
+	sm, c := newCounter(t, 4, 1000) // threshold never crossed by the adds
+	got := make(chan int64, 1)
+	go func() {
+		if err := c.AwaitAtLeast(5); err != nil {
+			panic(err)
+		}
+		got <- c.Approx()
+	}()
+	testutil.WaitFor(t, 5*time.Second, 0, func() bool { return c.Summary().Waiting() >= 1 },
+		"aggregate waiter parked")
+	// Sub-threshold adds on scattered shards: the parked watcher forces
+	// precise publication, so the bound is reached without any flush.
+	for i := 0; i < 5; i++ {
+		s := i % 4
+		sm.DoShard(s, func(*core.Monitor) { c.Add(s, 1) })
+	}
+	select {
+	case v := <-got:
+		if v < 5 {
+			t.Errorf("waiter released at published total %d < bound 5", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("aggregate waiter missed batched deltas")
+	}
+	if w := c.Summary().Waiting(); w != 0 {
+		t.Errorf("summary leaked %d waiters", w)
+	}
+}
+
+func TestCounterAwaitAtMostAndCtx(t *testing.T) {
+	sm, c := newCounter(t, 2, 1)
+	sm.DoShard(0, func(*core.Monitor) { c.Add(0, 3) })
+	done := make(chan struct{})
+	go func() {
+		if err := c.AwaitAtMost(0); err != nil {
+			panic(err)
+		}
+		close(done)
+	}()
+	testutil.WaitFor(t, 5*time.Second, 0, func() bool { return c.Summary().Waiting() >= 1 }, "drain waiter parked")
+	sm.DoShard(1, func(*core.Monitor) { c.Add(1, -3) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain waiter never released")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.AwaitAtLeastCtx(ctx, 1<<40) }()
+	testutil.WaitFor(t, 5*time.Second, 0, func() bool { return c.Summary().Waiting() >= 1 }, "ctx waiter parked")
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("AwaitAtLeastCtx = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled aggregate waiter stuck")
+	}
+	if w := c.Summary().Waiting(); w != 0 {
+		t.Errorf("summary leaked %d waiters after cancel", w)
+	}
+}
+
+func TestCounterEpochFencingAndPoke(t *testing.T) {
+	_, c := newCounter(t, 2, 1)
+	e := c.Epoch()
+	// The bound (total >= 0) already holds, but the epoch fence keeps the
+	// waiter parked until something is published after the snapshot.
+	done := make(chan struct{})
+	go func() {
+		if err := c.AwaitAtLeastSince(nil, 0, e); err != nil {
+			panic(err)
+		}
+		close(done)
+	}()
+	testutil.WaitFor(t, 5*time.Second, 0, func() bool { return c.Summary().Waiting() >= 1 }, "fenced waiter parked")
+	select {
+	case <-done:
+		t.Fatal("epoch fence did not hold")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Poke bumps the epoch without touching the total and releases it.
+	c.Poke()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("poked waiter never released")
+	}
+	if c.Epoch() <= e {
+		t.Error("Poke did not advance the epoch")
+	}
+}
+
+// TestCounterConcurrentConformance is the aggregate-predicate conformance
+// test: many goroutines mutate the counter through random shards while
+// bounded waiters come and go; every waiter must observe its bound in the
+// published total at release, the final total must be exact, and nothing
+// may leak. Run under -race in CI.
+func TestCounterConcurrentConformance(t *testing.T) {
+	const (
+		shards   = 8
+		adders   = 8
+		opsEach  = 300
+		waiters  = 6
+		perAdder = opsEach // each adder nets +opsEach
+	)
+	sm, c := newCounter(t, shards, 5)
+	var wg sync.WaitGroup
+	for a := 0; a < adders; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			rng := uint64(a)*6364136223846793005 + 1442695040888963407
+			for i := 0; i < opsEach; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				s := int(rng % shards)
+				// +2 then −1 in separate sections: the counter dips and
+				// climbs, netting +1 per iteration.
+				sm.DoShard(s, func(*core.Monitor) { c.Add(s, 2) })
+				s2 := int((rng >> 8) % shards)
+				sm.DoShard(s2, func(*core.Monitor) { c.Add(s2, -1) })
+			}
+		}(a)
+	}
+	for w := 0; w < waiters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each bound is eventually exceeded for good (the count climbs
+			// to adders·perAdder); the waiter releasing at all is the
+			// assertion — a lost batched delta would strand it forever.
+			bound := int64((w + 1) * adders * perAdder / (waiters + 1))
+			if err := c.AwaitAtLeast(bound); err != nil {
+				panic(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := c.Total(), int64(adders*perAdder); got != want {
+		t.Errorf("final Total = %d, want %d", got, want)
+	}
+	if w := c.Summary().Waiting(); w != 0 {
+		t.Errorf("summary leaked %d waiters", w)
+	}
+	if w := sm.Waiting(); w != 0 {
+		t.Errorf("shards leaked %d waiters", w)
+	}
+}

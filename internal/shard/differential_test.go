@@ -1,0 +1,202 @@
+package shard_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/problems"
+	"repro/internal/shard"
+)
+
+// kvHost abstracts "a monitor with per-key counters and per-key
+// threshold waiters" so the exact same workload drives a sharded monitor
+// and a single bare core.Monitor, and the end states can be diffed.
+type kvHost interface {
+	bump(k int)                  // +1 to key k's cell, inside the owner monitor
+	awaitAtLeast(k int, r int64) // block until key k's cell ≥ r
+	value(k int) int64
+	waiting() int
+	stats() core.Stats
+}
+
+type shardedHost struct {
+	sm    *shard.Monitor
+	cells []*core.IntCell
+	preds []*core.Predicate
+}
+
+func newShardedHost(shards, keys int) *shardedHost {
+	h := &shardedHost{cells: make([]*core.IntCell, keys), preds: make([]*core.Predicate, keys)}
+	h.sm = shard.New(shards, shard.WithSetup(func(s int, m *core.Monitor) {
+		for k := 0; k < keys; k++ {
+			if shard.IndexFor(uint64(k), shards) == s {
+				h.cells[k] = m.NewInt(fmt.Sprintf("v%d", k), 0)
+			}
+		}
+	}))
+	for k := 0; k < keys; k++ {
+		h.preds[k] = h.sm.MustCompileAt(uint64(k), fmt.Sprintf("v%d >= r", k))
+	}
+	return h
+}
+
+func (h *shardedHost) bump(k int) {
+	h.sm.Do(uint64(k), func(*core.Monitor) { h.cells[k].Add(1) })
+}
+
+func (h *shardedHost) awaitAtLeast(k int, r int64) {
+	h.sm.Enter(uint64(k))
+	if err := h.preds[k].Await(core.BindInt("r", r)); err != nil {
+		panic(err)
+	}
+	h.sm.Exit(uint64(k))
+}
+
+func (h *shardedHost) value(k int) int64 {
+	var v int64
+	h.sm.Do(uint64(k), func(*core.Monitor) { v = h.cells[k].Get() })
+	return v
+}
+
+func (h *shardedHost) waiting() int      { return h.sm.Waiting() }
+func (h *shardedHost) stats() core.Stats { return h.sm.Stats() }
+
+type singleHost struct {
+	m     *core.Monitor
+	cells []*core.IntCell
+	preds []*core.Predicate
+}
+
+func newSingleHost(keys int) *singleHost {
+	h := &singleHost{m: core.New(), cells: make([]*core.IntCell, keys), preds: make([]*core.Predicate, keys)}
+	for k := 0; k < keys; k++ {
+		h.cells[k] = h.m.NewInt(fmt.Sprintf("v%d", k), 0)
+	}
+	for k := 0; k < keys; k++ {
+		h.preds[k] = h.m.MustCompile(fmt.Sprintf("v%d >= r", k))
+	}
+	return h
+}
+
+func (h *singleHost) bump(k int) { h.m.Do(func() { h.cells[k].Add(1) }) }
+
+func (h *singleHost) awaitAtLeast(k int, r int64) {
+	h.m.Enter()
+	if err := h.preds[k].Await(core.BindInt("r", r)); err != nil {
+		panic(err)
+	}
+	h.m.Exit()
+}
+
+func (h *singleHost) value(k int) int64 {
+	var v int64
+	h.m.Do(func() { v = h.cells[k].Get() })
+	return v
+}
+
+func (h *singleHost) waiting() int      { return h.m.Waiting() }
+func (h *singleHost) stats() core.Stats { return h.m.Stats() }
+
+// driveKV runs the deterministic watch-store workload: pairs of
+// publisher/subscriber goroutines over a seeded shared key sequence (the
+// subscriber waits for exactly the versions its publisher creates).
+// Returns the number of await calls issued, which is deterministic.
+func driveKV(h kvHost, pairs, opsPer, keys int) uint64 {
+	var wg sync.WaitGroup
+	for i := 0; i < pairs; i++ {
+		seed := uint64(i)*2654435761 + 17
+		wg.Add(1)
+		go func() { // publisher
+			defer wg.Done()
+			rng := seed
+			for j := 0; j < opsPer; j++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				h.bump(int(rng % uint64(keys)))
+			}
+		}()
+		wg.Add(1)
+		go func() { // subscriber
+			defer wg.Done()
+			rng := seed
+			seen := map[int]int64{}
+			for j := 0; j < opsPer; j++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				k := int(rng % uint64(keys))
+				seen[k]++
+				h.awaitAtLeast(k, seen[k])
+			}
+		}()
+	}
+	wg.Wait()
+	return uint64(pairs) * uint64(opsPer)
+}
+
+// TestShardedVsSingleMonitorConformance is the differential conformance
+// test of the sharding layer: the identical keyed workload runs against a
+// sharded monitor and a single core.Monitor, and everything observable
+// must agree — the final value of every key cell, the await counts, zero
+// leaked waiters, and zero broadcasts on either side. Wake-up and relay
+// counts legitimately differ (that is the point of sharding); state must
+// not. Run under -race in CI.
+func TestShardedVsSingleMonitorConformance(t *testing.T) {
+	const (
+		shards = 8
+		keys   = 48
+		pairs  = 6
+		opsPer = 250
+	)
+	sharded := newShardedHost(shards, keys)
+	single := newSingleHost(keys)
+	awaitsSharded := driveKV(sharded, pairs, opsPer, keys)
+	awaitsSingle := driveKV(single, pairs, opsPer, keys)
+
+	if awaitsSharded != awaitsSingle {
+		t.Errorf("op counts diverge: sharded=%d single=%d", awaitsSharded, awaitsSingle)
+	}
+	for k := 0; k < keys; k++ {
+		if sv, gv := sharded.value(k), single.value(k); sv != gv {
+			t.Errorf("key %d: sharded cell = %d, single cell = %d", k, sv, gv)
+		}
+	}
+	for name, h := range map[string]kvHost{"sharded": sharded, "single": single} {
+		if w := h.waiting(); w != 0 {
+			t.Errorf("%s monitor leaked %d waiters", name, w)
+		}
+		s := h.stats()
+		if s.Broadcasts != 0 {
+			t.Errorf("%s monitor broadcast %d times", name, s.Broadcasts)
+		}
+		if s.Awaits != awaitsSingle {
+			t.Errorf("%s monitor counted %d awaits, want %d", name, s.Awaits, awaitsSingle)
+		}
+	}
+}
+
+// TestShardedKVScenarioShardSweep runs the registered sharded-kv scenario
+// across partition counts, including the single-monitor degenerate case:
+// conservation and operation counts must be invariant under the shard
+// count — sharding changes performance, never outcomes.
+func TestShardedKVScenarioShardSweep(t *testing.T) {
+	const threads, ops = 8, 600
+	var baseOps int64
+	for i, shards := range []int{1, 2, 8, 16} {
+		r := problems.RunShardedKVShards(problems.AutoSynch, threads, ops, shards)
+		if r.Check != 0 {
+			t.Errorf("shards=%d: check = %d, want 0", shards, r.Check)
+		}
+		if i == 0 {
+			baseOps = r.Ops
+		} else if r.Ops != baseOps {
+			t.Errorf("shards=%d: ops = %d, want %d (invariant under sharding)", shards, r.Ops, baseOps)
+		}
+		if b := r.Stats.Broadcasts; b != 0 {
+			t.Errorf("shards=%d: %d broadcasts", shards, b)
+		}
+	}
+}

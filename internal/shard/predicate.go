@@ -1,0 +1,64 @@
+package shard
+
+import "repro/internal/core"
+
+// Predicate is a waiting condition compiled once on every shard: the
+// sharded analog of core.Predicate for conditions whose cells are
+// declared uniformly (the same names on each shard, via WithSetup).
+// Compilation cost — parse, type inference, DNF, tag templates — is paid
+// S times at setup; each wait then routes by key to the shard-resident
+// compiled form and pays only bind-and-enqueue, exactly as AwaitPred on a
+// single monitor.
+type Predicate struct {
+	src string
+	ps  []*core.Predicate
+}
+
+// Compile compiles src on every shard. It requires the predicate's shared
+// variables to be declared on all shards (WithSetup with uniform names);
+// per-key cells that live on a single shard are compiled with CompileAt
+// instead.
+func (sm *Monitor) Compile(src string) (*Predicate, error) {
+	ps := make([]*core.Predicate, len(sm.shards))
+	for i, m := range sm.shards {
+		p, err := m.Compile(src)
+		if err != nil {
+			return nil, err
+		}
+		ps[i] = p
+	}
+	return &Predicate{src: src, ps: ps}, nil
+}
+
+// MustCompile is Compile for predicates known to be well-formed; it
+// panics on error (scenario setup, static tables).
+func (sm *Monitor) MustCompile(src string) *Predicate {
+	p, err := sm.Compile(src)
+	if err != nil {
+		panic("shard: MustCompile: " + err.Error())
+	}
+	return p
+}
+
+// CompileAt compiles src on the shard owning key, for predicates over
+// cells that exist only there (per-key state declared on the owner
+// shard). The returned core.Predicate is bound to that shard's monitor:
+// wait on it while holding Enter(key) of the same key.
+func (sm *Monitor) CompileAt(key uint64, src string) (*core.Predicate, error) {
+	return sm.Of(key).Compile(src)
+}
+
+// MustCompileAt is CompileAt, panicking on error.
+func (sm *Monitor) MustCompileAt(key uint64, src string) *core.Predicate {
+	p, err := sm.CompileAt(key, src)
+	if err != nil {
+		panic("shard: MustCompileAt: " + err.Error())
+	}
+	return p
+}
+
+// Src returns the predicate's source text.
+func (p *Predicate) Src() string { return p.src }
+
+// On returns the compiled form resident on shard i.
+func (p *Predicate) On(i int) *core.Predicate { return p.ps[i] }

@@ -1,0 +1,343 @@
+package shard_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+	"repro/internal/testutil"
+)
+
+// newCounted builds a sharded monitor with one uniform "x" cell per
+// shard, returning the cell handles.
+func newCounted(t *testing.T, shards int, opts ...shard.Option) (*shard.Monitor, []*core.IntCell) {
+	t.Helper()
+	cells := make([]*core.IntCell, shards)
+	opts = append(opts, shard.WithSetup(func(s int, m *core.Monitor) {
+		cells[s] = m.NewInt("x", 0)
+	}))
+	return shard.New(shards, opts...), cells
+}
+
+func TestRoutingDeterministicAndCovering(t *testing.T) {
+	sm, _ := newCounted(t, 8)
+	seen := map[int]bool{}
+	for k := uint64(0); k < 512; k++ {
+		i := sm.Index(k)
+		if i != sm.Index(k) {
+			t.Fatalf("Index(%d) unstable", k)
+		}
+		if i != shard.IndexFor(k, 8) {
+			t.Fatalf("Index(%d) = %d disagrees with IndexFor = %d", k, i, shard.IndexFor(k, 8))
+		}
+		if sm.Of(k) != sm.Shard(i) {
+			t.Fatalf("Of(%d) is not Shard(Index(%d))", k, k)
+		}
+		seen[i] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("512 keys hit only %d of 8 shards", len(seen))
+	}
+	if shard.StringKey("alpha") == shard.StringKey("beta") {
+		t.Error("StringKey collides on trivially distinct strings")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	shard.New(0)
+}
+
+func TestShardIsolationAndDo(t *testing.T) {
+	sm, cells := newCounted(t, 4)
+	// Mutating through one key touches only its owner shard's cell.
+	key := uint64(7)
+	owner := sm.Index(key)
+	sm.Do(key, func(m *core.Monitor) { cells[owner].Add(3) })
+	for s := 0; s < 4; s++ {
+		s := s
+		var got int64
+		sm.DoShard(s, func(*core.Monitor) { got = cells[s].Get() })
+		want := int64(0)
+		if s == owner {
+			want = 3
+		}
+		if got != want {
+			t.Errorf("shard %d cell = %d, want %d", s, got, want)
+		}
+	}
+	// Enter returns the owning monitor, and Exit routes back to it.
+	m := sm.Enter(key)
+	if m != sm.Shard(owner) {
+		t.Error("Enter(key) returned a foreign shard")
+	}
+	cells[owner].Add(1)
+	sm.Exit(key)
+	if got := sm.Stats().Awaits; got != 0 {
+		t.Errorf("plain Do/Enter traffic produced %d awaits", got)
+	}
+}
+
+func TestUniformPredicateWaitAndRelay(t *testing.T) {
+	sm, cells := newCounted(t, 4)
+	atLeast := sm.MustCompile("x >= n")
+	key := uint64(42)
+	owner := sm.Index(key)
+
+	released := make(chan struct{})
+	go func() {
+		sm.Enter(key)
+		if err := sm.AwaitPred(key, atLeast, core.BindInt("n", 5)); err != nil {
+			panic(err)
+		}
+		sm.Exit(key)
+		close(released)
+	}()
+	testutil.WaitFor(t, 5*time.Second, 0, func() bool { return sm.Waiting() == 1 }, "waiter parked")
+	if d := sm.WaitingByShard(); d[owner] != 1 {
+		t.Fatalf("WaitingByShard = %v, want the waiter on shard %d", d, owner)
+	}
+	if h := sm.Hottest(); h != owner {
+		t.Errorf("Hottest = %d, want %d", h, owner)
+	}
+	// A mutation on a DIFFERENT shard must not wake it; on the owner it must.
+	other := uint64(0)
+	for sm.Index(other) == owner {
+		other++
+	}
+	sm.Do(other, func(*core.Monitor) { cells[sm.Index(other)].Add(10) })
+	select {
+	case <-released:
+		t.Fatal("waiter released by a foreign shard's mutation")
+	case <-time.After(20 * time.Millisecond):
+	}
+	sm.Do(key, func(*core.Monitor) { cells[owner].Add(5) })
+	select {
+	case <-released:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter not released by its own shard's mutation")
+	}
+	if w := sm.Waiting(); w != 0 {
+		t.Errorf("Waiting = %d after release", w)
+	}
+	if b := sm.Stats().Broadcasts; b != 0 {
+		t.Errorf("sharded monitor broadcast %d times", b)
+	}
+}
+
+func TestAwaitPredCtxAbandon(t *testing.T) {
+	sm, _ := newCounted(t, 4)
+	never := sm.MustCompile("x >= n")
+	key := uint64(3)
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		sm.Enter(key)
+		err := sm.AwaitPredCtx(ctx, key, never, core.BindInt("n", 1<<40))
+		sm.Exit(key) // cancellation returns holding the shard
+		errCh <- err
+	}()
+	testutil.WaitFor(t, 5*time.Second, 0, func() bool { return sm.Waiting() == 1 }, "ctx waiter parked")
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter never returned")
+	}
+	if w := sm.Waiting(); w != 0 {
+		t.Errorf("abandoned waiter leaked: Waiting = %d", w)
+	}
+}
+
+func TestArmedHandlesOnShards(t *testing.T) {
+	sm, cells := newCounted(t, 4)
+	hit := sm.MustCompile("x == n")
+	// One handle per shard-distinct key, claimed from one goroutine.
+	keys := []uint64{1, 2, 4, 8}
+	handles := make(map[uint64]*core.Wait, len(keys))
+	for _, k := range keys {
+		handles[k] = sm.Arm(k, hit, core.BindInt("n", int64(k)))
+	}
+	if w := sm.Waiting(); w != len(keys) {
+		t.Fatalf("armed %d handles, Waiting = %d", len(keys), w)
+	}
+	for _, k := range keys {
+		k := k
+		sm.Do(k, func(*core.Monitor) { cells[sm.Index(k)].Set(int64(k)) })
+		<-handles[k].Ready()
+		if err := handles[k].Claim(); err != nil {
+			t.Fatalf("claim for key %d: %v", k, err)
+		}
+		cells[sm.Index(k)].Set(0)
+		sm.Exit(k)
+	}
+	if w := sm.Waiting(); w != 0 {
+		t.Errorf("handles leaked: Waiting = %d", w)
+	}
+	// ArmFunc rides the same machinery with a closure.
+	k := uint64(16)
+	fw := sm.ArmFunc(k, func() bool { return cells[sm.Index(k)].Get() > 0 })
+	sm.Do(k, func(*core.Monitor) { cells[sm.Index(k)].Add(1) })
+	<-fw.Ready()
+	if err := fw.Claim(); err != nil {
+		t.Fatalf("ArmFunc claim: %v", err)
+	}
+	sm.Exit(k)
+	if w := sm.Waiting(); w != 0 {
+		t.Errorf("func handle leaked: Waiting = %d", w)
+	}
+}
+
+func TestTryFormsAndSteal(t *testing.T) {
+	sm, cells := newCounted(t, 4)
+	pos := sm.MustCompile("x > 0")
+	key := uint64(9)
+	sm.Enter(key)
+	if ok, err := sm.TryPred(key, pos); err != nil || ok {
+		t.Errorf("TryPred on zero cell = %v, %v", ok, err)
+	}
+	if sm.TryFunc(key, func() bool { return true }) != true {
+		t.Error("TryFunc lied")
+	}
+	sm.Exit(key)
+
+	// Seed exactly one non-home shard and steal from home 0.
+	target := 2
+	sm.DoShard(target, func(*core.Monitor) { cells[target].Set(1) })
+	got, ok := sm.TrySteal(0, func(_ *core.Monitor, s int) bool {
+		if cells[s].Get() > 0 {
+			cells[s].Add(-1)
+			return true
+		}
+		return false
+	})
+	if !ok || got != target {
+		t.Errorf("TrySteal = (%d, %v), want (%d, true)", got, ok, target)
+	}
+	// Nothing left anywhere: the sweep reports failure.
+	if s, ok := sm.TrySteal(1, func(_ *core.Monitor, s int) bool { return cells[s].Get() > 0 }); ok {
+		t.Errorf("TrySteal found phantom work on shard %d", s)
+	}
+}
+
+func TestStatsMergeResetByShard(t *testing.T) {
+	sm, cells := newCounted(t, 3)
+	for k := uint64(0); k < 30; k++ {
+		k := k
+		sm.Do(k, func(*core.Monitor) { cells[sm.Index(k)].Add(1) })
+	}
+	per := sm.StatsByShard()
+	var manual core.Stats
+	for _, s := range per {
+		manual = manual.Add(s)
+	}
+	if merged := sm.Stats(); merged != manual {
+		t.Errorf("Stats() = %+v differs from the Add-merge of StatsByShard", merged)
+	}
+	if sm.Stats().RelayCalls == 0 {
+		t.Error("no relay calls recorded across 30 exits")
+	}
+	sm.ResetStats()
+	if s := sm.Stats(); s != (core.Stats{}) {
+		t.Errorf("ResetStats left %+v", s)
+	}
+}
+
+func TestCompileErrorsAndCompileAt(t *testing.T) {
+	sm := shard.New(2, shard.WithSetup(func(s int, m *core.Monitor) {
+		m.NewInt("x", 0)
+		if s == 1 {
+			m.NewInt("only1", 0)
+		}
+	}))
+	if _, err := sm.Compile("x >"); err == nil {
+		t.Error("Compile of malformed source succeeded")
+	}
+	// A cell present on one shard only compiles everywhere — undeclared
+	// names become thread-locals, as in core.Compile — but the compiled
+	// forms then disagree about what must be bound: that is the hazard
+	// CompileAt exists to avoid.
+	nonuniform, err := sm.Compile("only1 >= 1")
+	if err != nil {
+		t.Fatalf("Compile of a non-uniform cell: %v", err)
+	}
+	if locals := nonuniform.On(0).Locals(); len(locals) != 1 || locals[0] != "only1" {
+		t.Errorf("shard 0 treats undeclared only1 as locals %v, want [only1]", locals)
+	}
+	if locals := nonuniform.On(1).Locals(); len(locals) != 0 {
+		t.Errorf("shard 1 owns only1 but compiled locals %v", locals)
+	}
+	var k1 uint64
+	for sm.Index(k1) != 1 {
+		k1++
+	}
+	if _, err := sm.CompileAt(k1, "only1 >= 1"); err != nil {
+		t.Errorf("CompileAt on the owner shard failed: %v", err)
+	}
+	p := sm.MustCompile("x >= 1")
+	if p.Src() != "x >= 1" {
+		t.Errorf("Src = %q", p.Src())
+	}
+	if p.On(0) == p.On(1) {
+		t.Error("per-shard compiled predicates alias one monitor")
+	}
+}
+
+// TestParallelKeyedTraffic drives random keyed increments from many
+// goroutines with per-key waiters and checks conservation plus leak-free
+// shutdown — the -race exercise of the routing layer.
+func TestParallelKeyedTraffic(t *testing.T) {
+	const (
+		shards  = 8
+		keys    = 64
+		workers = 16
+		opsEach = 200
+	)
+	cells := make([]*core.IntCell, keys)
+	sm := shard.New(shards, shard.WithSetup(func(s int, m *core.Monitor) {
+		for k := 0; k < keys; k++ {
+			if shard.IndexFor(uint64(k), shards) == s {
+				cells[k] = m.NewInt(fmt.Sprintf("k%d", k), 0)
+			}
+		}
+	}))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := uint64(w)*0x9e3779b97f4a7c15 + 1
+			for i := 0; i < opsEach; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				k := rng % keys
+				sm.Do(k, func(*core.Monitor) { cells[k].Add(1) })
+			}
+		}(w)
+	}
+	wg.Wait()
+	var sum int64
+	for k := 0; k < keys; k++ {
+		k := k
+		sm.Do(uint64(k), func(*core.Monitor) { sum += cells[k].Get() })
+	}
+	if want := int64(workers * opsEach); sum != want {
+		t.Errorf("conservation: cells sum to %d, want %d", sum, want)
+	}
+	if w := sm.Waiting(); w != 0 {
+		t.Errorf("Waiting = %d after quiesce", w)
+	}
+}
