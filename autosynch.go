@@ -83,6 +83,40 @@
 // waiter object and park on its channel. Arms, Claims, and FutileClaims
 // are accounted in Stats uniformly across all three mechanisms.
 //
+// # Guarded regions and selective waiting
+//
+// The unit of the paper's API is the conditional critical region — enter,
+// waituntil(P), mutate, exit — and When reifies it as a first-class
+// value. A Guard packages the predicate (with its bindings snapshotted)
+// and the monitor; Do runs the whole region atomically with a panic-safe
+// unlock, DoCtx adds cancellation, Try is the non-blocking form:
+//
+//	hasItems := m.MustCompile("count >= num")
+//	take := m.When(hasItems, autosynch.Bind("num", 3))
+//	if err := take.Do(func() { count.Add(-3) }); err != nil { ... }
+//
+// Guards are reusable, valid on every mechanism (WhenFunc on a closure
+// predicate for Baseline and Explicit, Cond.When for one explicit
+// condition, keyed When/WhenFunc on a Sharded monitor), and — the point —
+// they compose. Select waits on any number of guards spanning arbitrary
+// monitors and mechanisms, parks the goroutine once, claims the first
+// predicate to become true (re-validating Mesa-style and transparently
+// re-arming if a racing mutation falsified it), cancels the losers with
+// no leaked waiters, and runs the winning case's body under that guard's
+// monitor:
+//
+//	idx, err := autosynch.Select(
+//		notEmptyA.When().Then(func() { drainA() }),
+//		notEmptyB.When().Then(func() { drainB() }),
+//	)
+//
+// The initial poll starts at a random case for fairness; SelectOrdered
+// makes the case order a priority order instead, and a Default case makes
+// the whole Select non-blocking, exactly like a select statement's
+// default. Guard construction errors (bad bindings, ErrNeverTrue) are
+// surfaced from Guard.Err and from Select before anything parks. See the
+// `dispatcher` and `selective-server` scenarios and BenchmarkSelect.
+//
 // # Cancellation
 //
 // Every wait has a context-aware variant: Monitor.AwaitCtx/AwaitPredCtx/
@@ -137,6 +171,8 @@
 package autosynch
 
 import (
+	"context"
+
 	"repro/internal/core"
 )
 
@@ -188,6 +224,18 @@ type BoolExpr = core.BoolExpr
 // and the ArmFunc of every mechanism.
 type Wait = core.Wait
 
+// Guard is a guarded region — the conditional critical region as a
+// first-class value: Do/DoCtx/Try atomically enter, await the predicate,
+// run the body, and exit with a panic-safe unlock. Produced by
+// Monitor.When, Predicate.When, Cond.When, the WhenFunc of every
+// mechanism, and the keyed When/WhenFunc of a Sharded monitor; guards
+// compose across monitors and mechanisms with Select.
+type Guard = core.Guard
+
+// Case pairs a guard with the body to run if it wins a Select; build
+// cases with Guard.Then and Default.
+type Case = core.Case
+
 // Binding supplies one thread-local variable value to a wait.
 type Binding = core.Binding
 
@@ -210,6 +258,38 @@ var ErrClaimed = core.ErrClaimed
 
 // ErrCancelled is reported by Wait.Err and Wait.Claim after Wait.Cancel.
 var ErrCancelled = core.ErrCancelled
+
+// ErrNoCases is returned by Select when no guard case was supplied.
+var ErrNoCases = core.ErrNoCases
+
+// ErrNilGuard reports a Select case whose guard is nil.
+var ErrNilGuard = core.ErrNilGuard
+
+// ErrManyDefaults reports a Select with more than one Default case.
+var ErrManyDefaults = core.ErrManyDefaults
+
+// Select waits until the first of the cases' guard predicates becomes
+// true and runs that case's body inside its guard's monitor, returning
+// the winning index. The guards may span arbitrary monitors and
+// mechanisms; the goroutine parks once (no goroutine per guard), claims
+// Mesa-style with transparent re-arming, and cancels the losers with no
+// leaked waiters. See the package documentation and core.Select.
+func Select(cases ...Case) (int, error) { return core.Select(cases...) }
+
+// SelectCtx is Select with cancellation: when ctx is done first, every
+// armed guard is cancelled and SelectCtx returns ctx.Err() with index -1.
+func SelectCtx(ctx context.Context, cases ...Case) (int, error) {
+	return core.SelectCtx(ctx, cases...)
+}
+
+// SelectOrdered is Select with the case order as a priority order among
+// simultaneously ready guards (the initial poll and arming prefer
+// earlier cases); once parked, the first predicate to become true wins.
+func SelectOrdered(cases ...Case) (int, error) { return core.SelectOrdered(cases...) }
+
+// Default makes a Select non-blocking: if no guard is immediately true,
+// the default body runs outside any monitor and Select returns its index.
+func Default(body func()) Case { return core.Default(body) }
 
 // New constructs an automatic-signal monitor (the full AutoSynch
 // mechanism; use WithoutTagging for the AutoSynch-T variant).

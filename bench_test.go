@@ -18,6 +18,7 @@ import (
 	"time"
 
 	autosynch "repro"
+	"repro/internal/harness"
 	"repro/internal/problems"
 	"repro/internal/testutil"
 )
@@ -260,6 +261,51 @@ func BenchmarkMultiplexedWaiters(b *testing.B) {
 			<-done
 		}
 	})
+}
+
+// BenchmarkSelect prices the three ways one goroutine can wait on N
+// predicates across N distinct monitors, at a fan-out of 16. Each
+// iteration deposits one token on a rotating monitor and consumes it:
+//
+//   - select-guards: autosynch.Select over N reusable guards — the
+//     guarded-region API unit. Each call arms N handles, parks once on a
+//     single shared channel (no reflect walk), claims Mesa-style, and
+//     cancels the losers, so its per-op cost is the honest price of
+//     leak-free arming and teardown.
+//   - reflect-handles: the pre-guard spelling this PR removed from the
+//     dispatcher scenario — persistent armed handles multiplexed with
+//     reflect.Select, re-armed one at a time. Cheaper per op (no re-arm
+//     churn) but the loop is hand-assembled, leak-prone, and pays
+//     reflect.Select's O(N) case walk on every park.
+//   - goroutine-per-guard: the pre-handle answer — one goroutine parked
+//     in Guard.Do per monitor, a channel ack per consumption; the cost
+//     of goroutine-per-waiter multiplexing.
+//
+// The three modes share one harness, harness.RunSelectFan — the same
+// code the sel-fanout experiment sweeps — so the re-arm and teardown
+// protocols exist in exactly one copy; read the ns/item metric for the
+// per-delivery cost (raw ns/op is one whole benchOps-sized run).
+func BenchmarkSelect(b *testing.B) {
+	const fan = 16
+	for _, mode := range []string{"select-guards", "reflect-handles", "goroutine-per-guard"} {
+		mode := mode
+		b.Run(fmt.Sprintf("%s-%d", mode, fan), func(b *testing.B) {
+			var elapsed time.Duration
+			var ops int64
+			for i := 0; i < b.N; i++ {
+				r := harness.RunSelectFan(mode, fan, benchOps)
+				if r.Check != 0 {
+					b.Fatalf("%d waiters leaked", r.Check)
+				}
+				elapsed += r.Elapsed
+				ops += r.Ops
+			}
+			if ops > 0 {
+				b.ReportMetric(float64(elapsed.Nanoseconds())/float64(ops), "ns/item")
+				b.ReportMetric(float64(ops)/elapsed.Seconds(), "items/s")
+			}
+		})
+	}
 }
 
 // BenchmarkShardScaling is the scaling proof of the sharded monitor: the

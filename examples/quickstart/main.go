@@ -21,6 +21,10 @@
 // `dispatcher` scenario and BenchmarkMultiplexedWaiters for the 1024-way
 // version).
 //
+// The second act's Take also shows the guarded-region form: the whole
+// enter / waituntil / mutate / exit unit as one value (Monitor.When →
+// Guard.Do), with the unlock guaranteed even if the body panics.
+//
 // The third act is sharding: one monitor is one lock and one condition
 // manager, and the relay search on every exit considers every waiting
 // condition registered with it — tags prune within a condition's group,
@@ -36,6 +40,16 @@
 // threshold-tagged predicate. The sharded-kv, striped-semaphore, and
 // work-stealing-pool scenarios plus BenchmarkShardScaling are the
 // full-size versions.
+//
+// The fourth act is guarded regions and selective waiting: When reifies
+// the conditional critical region as a first-class Guard, and Select
+// waits on guards spanning DIFFERENT monitors at once — parking the
+// goroutine a single time, claiming the first predicate to become true,
+// running the winning body under that monitor, and cancelling the losers
+// with no leaked waiters. SelectOrdered makes the case order a priority
+// order and Default makes the whole thing non-blocking, exactly like a
+// select statement. The `selective-server` scenario and BenchmarkSelect
+// are the full-size versions.
 //
 // Run with:
 //
@@ -94,20 +108,24 @@ func (b *BoundedBuffer) Put(items []int) {
 	b.count.Add(int64(len(items)))
 }
 
-// Take removes and returns num items, waiting until they exist.
+// Take removes and returns num items, waiting until they exist. It is
+// written as a guarded region: When packages enter + waituntil + exit
+// into one unit, and Do runs the body inside the monitor with the
+// predicate true — the unlock is deferred, so even a panicking body
+// cannot leak the lock. (Put above spells the same structure by hand.)
 func (b *BoundedBuffer) Take(num int) []int {
-	b.mon.Enter()
-	defer b.mon.Exit()
+	out := make([]int, num)
 	// waituntil(count >= num)
-	if err := b.hasItems.Await(autosynch.Bind("num", int64(num))); err != nil {
+	err := b.mon.When(b.hasItems, autosynch.Bind("num", int64(num))).Do(func() {
+		for i := range out {
+			out[i] = b.buf[b.take]
+			b.take = (b.take + 1) % len(b.buf)
+		}
+		b.count.Add(int64(-num))
+	})
+	if err != nil {
 		panic(err)
 	}
-	out := make([]int, num)
-	for i := range out {
-		out[i] = b.buf[b.take]
-		b.take = (b.take + 1) % len(b.buf)
-	}
-	b.count.Add(int64(-num))
 	return out
 }
 
@@ -171,6 +189,7 @@ func main() {
 
 	dispatchDemo()
 	shardedDemo()
+	selectiveDemo()
 }
 
 // dispatchDemo multiplexes two buffers from one goroutine with armed wait
@@ -297,4 +316,70 @@ func shardedDemo() {
 	if s.Broadcasts != 0 {
 		panic("sharded AutoSynch must never broadcast either")
 	}
+}
+
+// selectiveDemo is a miniature selective server: two request classes on
+// SEPARATE monitors (gold outranks bronze), one server goroutine waiting
+// on both with a single SelectOrdered — no goroutine per class, the
+// winning batch served under that class's own lock, priority whenever
+// both classes are ready at once.
+func selectiveDemo() {
+	const requests = 150
+	gold, bronze := autosynch.New(), autosynch.New()
+	goldQ := gold.NewInt("q", 0)
+	bronzeQ := bronze.NewInt("q", 0)
+	gold.NewInt("cap", 8)
+	bronze.NewInt("cap", 8)
+	// Each class's admission and service predicates live on its own
+	// monitor; the guards below are reusable values.
+	goldRoom := gold.When(gold.MustCompile("q < cap"))
+	bronzeRoom := bronze.When(bronze.MustCompile("q < cap"))
+	hasGold := gold.When(gold.MustCompile("q > 0"))
+	hasBronze := bronze.When(bronze.MustCompile("q > 0"))
+
+	for _, c := range []struct {
+		room *autosynch.Guard
+		q    *autosynch.IntCell
+	}{{goldRoom, goldQ}, {bronzeRoom, bronzeQ}} {
+		go func(room *autosynch.Guard, q *autosynch.IntCell) {
+			for i := 0; i < requests; i++ {
+				// The guarded region: enter, waituntil(q < cap), enqueue,
+				// exit — one call, panic-safe.
+				if err := room.Do(func() { q.Add(1) }); err != nil {
+					panic(err)
+				}
+			}
+		}(c.room, c.q)
+	}
+
+	var servedGold, servedBronze, goldWins, selections int64
+	for servedGold+servedBronze < 2*requests {
+		selections++
+		// Case order is priority order: when both queues are non-empty at
+		// a decision point, gold is served first. A lone ready bronze is
+		// served immediately — priority never starves the only ready class.
+		idx, err := autosynch.SelectOrdered(
+			hasGold.Then(func() { servedGold += goldQ.Get(); goldQ.Set(0) }),
+			hasBronze.Then(func() { servedBronze += bronzeQ.Get(); bronzeQ.Set(0) }),
+		)
+		if err != nil {
+			panic(err)
+		}
+		if idx == 0 {
+			goldWins++
+		}
+	}
+
+	// Both queues are drained; a non-blocking Select (a Default case)
+	// proves it without parking anything.
+	idx, err := autosynch.Select(
+		hasGold.Then(func() {}),
+		hasBronze.Then(func() {}),
+		autosynch.Default(func() {}),
+	)
+	if err != nil || idx != 2 {
+		panic(fmt.Sprintf("queues not drained: case %d, err %v", idx, err))
+	}
+	fmt.Printf("selective server: served %d gold + %d bronze with one goroutine; gold won %d of %d selections; %d waiters left\n",
+		servedGold, servedBronze, goldWins, selections, gold.Waiting()+bronze.Waiting())
 }

@@ -25,6 +25,14 @@
 // native condition-variable parking (that parking IS what they measure)
 // and run the handle lists alongside.
 //
+// Guarded regions are first-class too: When (on a compiled predicate, a
+// closure, or an explicit condition) returns a *Guard whose Do/DoCtx/Try
+// run the whole enter-waituntil-mutate-exit unit atomically with a
+// panic-safe unlock, and Select waits on any number of guards across
+// monitors and mechanisms — parking once on a shared delivery channel,
+// claiming the first true predicate Mesa-style, and cancelling the
+// losers with the usual relay repair, so no wake-up and no waiter leaks.
+//
 // # When to shard
 //
 // One Monitor is one lock and one condition manager: every entry and

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/testutil"
+)
+
+// guardFixture is one guarded region per mechanism over equivalent
+// state: a token counter the guard waits on (tokens > 0). deposit adds a
+// token from outside; take consumes one from inside a guard body (the
+// monitor is held there); tokens reads the counter (call under the
+// monitor, e.g. inside a body).
+type guardFixture struct {
+	name    string
+	mech    Mechanism
+	guard   *Guard // tokens > 0
+	deposit func()
+	take    func()
+	tokens  func() int64
+}
+
+func guardFixtures() []*guardFixture {
+	var fs []*guardFixture
+
+	m := New()
+	tok := m.NewInt("tokens", 0)
+	fs = append(fs, &guardFixture{
+		name:    "monitor-pred",
+		mech:    m,
+		guard:   m.MustCompile("tokens > 0").When(),
+		deposit: func() { m.Do(func() { tok.Add(1) }) },
+		take:    func() { tok.Add(-1) },
+		tokens:  tok.Get,
+	})
+
+	m2 := New()
+	tok2 := m2.NewInt("tokens", 0)
+	fs = append(fs, &guardFixture{
+		name:    "monitor-func",
+		mech:    m2,
+		guard:   m2.WhenFunc(func() bool { return tok2.Get() > 0 }),
+		deposit: func() { m2.Do(func() { tok2.Add(1) }) },
+		take:    func() { tok2.Add(-1) },
+		tokens:  tok2.Get,
+	})
+
+	b := NewBaseline()
+	var tokB int64
+	fs = append(fs, &guardFixture{
+		name:    "baseline",
+		mech:    b,
+		guard:   b.WhenFunc(func() bool { return tokB > 0 }),
+		deposit: func() { b.Do(func() { tokB++ }) },
+		take:    func() { tokB-- },
+		tokens:  func() int64 { return tokB },
+	})
+
+	e := NewExplicit()
+	hasTok := e.NewCond()
+	var tokE int64
+	fs = append(fs, &guardFixture{
+		name:  "explicit-cond",
+		mech:  e,
+		guard: hasTok.When(func() bool { return tokE > 0 }),
+		deposit: func() {
+			e.Do(func() {
+				tokE++
+				hasTok.Signal()
+			})
+		},
+		take:   func() { tokE-- },
+		tokens: func() int64 { return tokE },
+	})
+
+	e2 := NewExplicit()
+	c2 := e2.NewCond()
+	var tokE2 int64
+	fs = append(fs, &guardFixture{
+		name: "explicit-func",
+		mech: e2,
+		guard: e2.WhenFunc(func() bool {
+			return tokE2 > 0
+		}),
+		deposit: func() {
+			e2.Do(func() {
+				tokE2++
+				c2.Signal() // any manual signal wakes the generic guard
+			})
+		},
+		take:   func() { tokE2-- },
+		tokens: func() int64 { return tokE2 },
+	})
+
+	return fs
+}
+
+// TestGuardDoConsumesTokens: a consumer loop of Guard.Do against a
+// producer, per mechanism; every token is consumed exactly once, the
+// body only ever sees the predicate true, and Waiting drains to zero.
+func TestGuardDoConsumesTokens(t *testing.T) {
+	for _, f := range guardFixtures() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			t.Parallel()
+			const rounds = 200
+			var consumed int64
+			done := make(chan error, 1)
+			go func() {
+				for i := 0; i < rounds; i++ {
+					if err := f.guard.Do(func() {
+						if f.tokens() <= 0 {
+							panic("guard body ran with predicate false")
+						}
+						consumed++
+						f.take()
+					}); err != nil {
+						done <- err
+						return
+					}
+				}
+				done <- nil
+			}()
+			for i := 0; i < rounds; i++ {
+				f.deposit()
+			}
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("guard.Do: %v", err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("consumer did not finish: lost wake-up")
+			}
+			if consumed != rounds {
+				t.Fatalf("consumed %d of %d", consumed, rounds)
+			}
+			testutil.WaitFor(t, 5*time.Second, 0, func() bool { return f.mech.Waiting() == 0 },
+				"no waiter left registered")
+		})
+	}
+}
+
+// TestGuardTry: the body runs iff the predicate holds right now, and the
+// monitor is always released.
+func TestGuardTry(t *testing.T) {
+	for _, f := range guardFixtures() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			ran := false
+			if f.guard.Try(func() { ran = true }) || ran {
+				t.Fatal("Try ran the body with the predicate false")
+			}
+			f.deposit()
+			if !f.guard.Try(func() { ran = true; f.take() }) || !ran {
+				t.Fatal("Try did not run the body with the predicate true")
+			}
+			if w := f.mech.Waiting(); w != 0 {
+				t.Fatalf("Try left %d waiters registered", w)
+			}
+		})
+	}
+}
+
+// TestGuardDoCtx: a done context abandons the wait with the monitor
+// released and no waiter leaked; the guard stays reusable afterwards.
+func TestGuardDoCtx(t *testing.T) {
+	for _, f := range guardFixtures() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			go func() { done <- f.guard.DoCtx(ctx, func() { t.Error("body ran after cancellation") }) }()
+			testutil.WaitFor(t, 10*time.Second, 0, func() bool { return f.mech.Waiting() == 1 },
+				"guard waiter parked")
+			cancel()
+			select {
+			case err := <-done:
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("DoCtx = %v, want context.Canceled", err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("DoCtx did not observe cancellation")
+			}
+			testutil.WaitFor(t, 5*time.Second, 0, func() bool { return f.mech.Waiting() == 0 },
+				"abandoned waiter unregistered")
+			// The monitor must be free and the guard reusable.
+			f.deposit()
+			if err := f.guard.DoCtx(context.Background(), func() { f.take() }); err != nil {
+				t.Fatalf("DoCtx after cancel: %v", err)
+			}
+		})
+	}
+}
+
+// TestGuardPanicSafety: a panicking body must release the monitor on
+// every path — Do, DoCtx, Try — for every mechanism. Afterwards the
+// monitor is usable and no waiter is left registered.
+func TestGuardPanicSafety(t *testing.T) {
+	for _, f := range guardFixtures() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			f.deposit()
+			boom := func(run func()) (recovered any) {
+				defer func() { recovered = recover() }()
+				run()
+				return nil
+			}
+			if r := boom(func() { _ = f.guard.Do(func() { panic("do") }) }); r != "do" {
+				t.Fatalf("Do panic = %v, want to propagate", r)
+			}
+			if r := boom(func() { _ = f.guard.DoCtx(context.Background(), func() { panic("doctx") }) }); r != "doctx" {
+				t.Fatalf("DoCtx panic = %v, want to propagate", r)
+			}
+			if r := boom(func() { _ = f.guard.Try(func() { panic("try") }) }); r != "try" {
+				t.Fatalf("Try panic = %v, want to propagate", r)
+			}
+			// The monitor must not be left held or dirty: a full guarded
+			// round trip still works and nothing stays registered.
+			if !f.guard.Try(func() { f.take() }) {
+				t.Fatal("monitor unusable after body panics")
+			}
+			if w := f.mech.Waiting(); w != 0 {
+				t.Fatalf("%d waiters left after panics", w)
+			}
+		})
+	}
+}
+
+// TestMechanismDoPanicSafety: the plain Do of every mechanism must
+// release the monitor when f panics — the same audit as the guard paths,
+// at the Mechanism level.
+func TestMechanismDoPanicSafety(t *testing.T) {
+	mechs := []struct {
+		name string
+		mech Mechanism
+	}{
+		{"monitor", New()},
+		{"baseline", NewBaseline()},
+		{"explicit", NewExplicit()},
+	}
+	for _, tc := range mechs {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			r := func() (r any) {
+				defer func() { r = recover() }()
+				tc.mech.Do(func() { panic("body") })
+				return nil
+			}()
+			if r != "body" {
+				t.Fatalf("panic = %v, want to propagate", r)
+			}
+			// The monitor must be free: a plain round trip succeeds.
+			done := make(chan struct{})
+			go func() { tc.mech.Do(func() {}); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatal("monitor left held after Do body panic")
+			}
+		})
+	}
+}
+
+// TestGuardErrSurfacesBeforeParking: malformed bindings and never-true
+// globalizations are *PredicateError values carried by the guard, and
+// Do/DoCtx/Try never park on them — the PR 2 error contract, pulled
+// forward to guard construction.
+func TestGuardErrSurfacesBeforeParking(t *testing.T) {
+	m := New()
+	m.NewInt("count", 0)
+	p := m.MustCompile("count >= num")
+
+	bad := m.When(p) // missing binding
+	var perr *PredicateError
+	if err := bad.Err(); err == nil || !errors.As(err, &perr) {
+		t.Fatalf("Err = %v, want *PredicateError", bad.Err())
+	}
+	if err := bad.Do(func() { t.Error("body ran") }); !errors.As(err, &perr) {
+		t.Fatalf("Do = %v, want *PredicateError", err)
+	}
+	if err := bad.DoCtx(context.Background(), func() { t.Error("body ran") }); !errors.As(err, &perr) {
+		t.Fatalf("DoCtx = %v, want *PredicateError", err)
+	}
+	if bad.Try(func() { t.Error("body ran") }) {
+		t.Fatal("Try succeeded on a malformed guard")
+	}
+
+	if err := m.When(p, BindInt("num", 1), BindInt("num", 2)).Err(); err == nil || !errors.As(err, &perr) {
+		t.Fatalf("duplicate binding Err = %v", err)
+	}
+	if err := m.When(p, BindBool("num", true)).Err(); err == nil || !errors.As(err, &perr) {
+		t.Fatalf("mistyped binding Err = %v", err)
+	}
+	if err := m.When(p, BindInt("num", 1), BindInt("other", 2)).Err(); err == nil || !errors.As(err, &perr) {
+		t.Fatalf("unknown binding Err = %v", err)
+	}
+
+	if err := m.When(m.MustCompile("num < num"), BindInt("num", 1)).Err(); !errors.Is(err, ErrNeverTrue) {
+		t.Fatalf("never-true Err = %v, want ErrNeverTrue", err)
+	}
+
+	other := New()
+	other.NewInt("count", 0)
+	if err := other.When(p).Err(); err == nil || !errors.As(err, &perr) {
+		t.Fatalf("foreign-monitor Err = %v", err)
+	}
+
+	var nilP *Predicate
+	if err := nilP.When().Err(); err == nil || !errors.As(err, &perr) {
+		t.Fatalf("nil-predicate Err = %v", err)
+	}
+	if err := m.When(nil).Err(); err == nil || !errors.As(err, &perr) {
+		t.Fatalf("When(nil) Err = %v", err)
+	}
+
+	if w := m.Waiting(); w != 0 {
+		t.Fatalf("malformed guards registered %d waiters", w)
+	}
+}
+
+// TestGuardBindingSnapshot: the guard snapshots its binding values at
+// construction, so concurrent waits on the same Predicate with other
+// bindings cannot corrupt its bound.
+func TestGuardBindingSnapshot(t *testing.T) {
+	m := New()
+	x := m.NewInt("x", 0)
+	p := m.MustCompile("x >= k")
+	g3 := m.When(p, BindInt("k", 3))
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := g3.Do(func() {
+			if x.Get() < 3 {
+				panic("guard body ran before x reached its own bound")
+			}
+		}); err != nil {
+			panic(err)
+		}
+	}()
+	testutil.WaitFor(t, 10*time.Second, 0, func() bool { return m.Waiting() == 1 }, "g3 parked")
+	// A competing wait on the same predicate with a smaller k must not
+	// drag g3's bound down.
+	m.Enter()
+	if err := m.AwaitPred(p, BindInt("k", 0)); err != nil {
+		t.Fatal(err)
+	}
+	m.Exit()
+	m.Do(func() { x.Set(3) })
+	wg.Wait()
+	if w := m.Waiting(); w != 0 {
+		t.Fatalf("%d waiters left", w)
+	}
+}
+
+// TestShardedGuardAcrossShards is in the shard package; here we pin that
+// a guard constructed from a constant-true globalization (entry folds
+// away) still runs its body immediately and leaves nothing registered.
+func TestGuardConstantTrue(t *testing.T) {
+	m := New()
+	m.NewInt("x", 0)
+	g := m.When(m.MustCompile("k >= k"), BindInt("k", 7))
+	if err := g.Err(); err != nil {
+		t.Fatalf("constant-true guard Err = %v", err)
+	}
+	ran := false
+	if err := g.Do(func() { ran = true }); err != nil || !ran {
+		t.Fatalf("Do = %v, ran = %v", err, ran)
+	}
+	if idx, err := Select(g.Then(func() {})); idx != 0 || err != nil {
+		t.Fatalf("Select on constant-true guard = %d, %v", idx, err)
+	}
+	if w := m.Waiting(); w != 0 {
+		t.Fatalf("%d waiters left", w)
+	}
+}

@@ -39,6 +39,14 @@ type Mechanism interface {
 	ArmFunc(pred func() bool) *Wait
 	TryFunc(pred func() bool) bool
 
+	// WhenFunc returns the guarded region on a closure predicate: the
+	// conditional critical section as one unit. Guard.Do atomically
+	// enters, awaits the predicate, runs the body, and exits with a
+	// panic-safe unlock; guards on different monitors and mechanisms
+	// compose with Select. Monitor additionally offers When for compiled
+	// predicates (and Cond.When targets one explicit condition).
+	WhenFunc(pred func() bool) *Guard
+
 	// Stats/ResetStats expose the shared instrumentation; Waiting reports
 	// the registered-waiter count (parked waits plus armed handles) that
 	// tests poll instead of sleeping, and assert zero for leak checks.

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+)
+
+// Select sentinels. Guard construction errors (*PredicateError) are
+// surfaced through the erring case's index instead.
+var (
+	// ErrNoCases is returned by Select when no guard case was supplied
+	// (a Default-only Select runs the default instead).
+	ErrNoCases = errors.New("autosynch: Select with no guard cases")
+
+	// ErrNilGuard reports a non-default case whose guard is nil.
+	ErrNilGuard = errors.New("autosynch: Select case has a nil guard")
+
+	// ErrManyDefaults reports more than one Default case.
+	ErrManyDefaults = errors.New("autosynch: Select with more than one Default case")
+)
+
+// Case pairs a guard with the body to run if the guard wins a Select.
+// Build cases with Guard.Then and Default.
+type Case struct {
+	guard *Guard
+	body  func()
+	dflt  bool
+}
+
+// Default returns the non-blocking case of a Select: if no guard's
+// predicate is true at the initial poll, the default body runs — outside
+// any monitor — and Select returns the default's index without arming or
+// parking anything, exactly like the default clause of a select
+// statement.
+func Default(body func()) Case {
+	return Case{body: body, dflt: true}
+}
+
+// Select is the cross-monitor waituntil-select: it waits until the first
+// of the cases' guard predicates becomes true and runs that case's body
+// inside its guard's monitor, with the predicate true. The guards may
+// live on arbitrary monitors and arbitrary mechanisms — an automatic
+// monitor, a baseline, explicit conditions, shards of a sharded monitor —
+// and one Select composes them the way a select statement composes
+// channels. It returns the index of the case that ran.
+//
+// The initial poll scans the cases from a randomized start index, so two
+// perpetually-ready guards win alternately rather than by position; use
+// SelectOrdered when the case order is a priority order. If no guard is
+// immediately true, every guard is armed (the arm-time evaluation closes
+// the window between poll and park: a predicate that becomes true in it
+// is notified at arm time) and the goroutine parks ONCE on a single
+// delivery channel shared by all handles — no goroutine per guard, no
+// reflect.Select walk. A notification is claimed Mesa-style under its
+// monitor: if a racing mutation falsified the predicate the handle is
+// transparently re-armed and the Select keeps waiting. Once a claim
+// succeeds the losers are cancelled — with the mechanism's usual relay
+// repair, so no signal and no waiter is leaked — and the body runs under
+// the winner's monitor; the exit and the loser cancellation are deferred,
+// so a panicking body unwinds with every monitor released and every
+// handle cancelled.
+//
+// Errors surface before anything parks: a guard constructed from bad
+// bindings or a never-true globalization returns its *PredicateError
+// together with that case's index (errors.Is/As work as for Await).
+//
+// Select enters the cases' monitors internally: call it outside any
+// Enter/Exit of a monitor one of its guards lives on (monitors are not
+// reentrant, so selecting inside such a critical section deadlocks).
+func Select(cases ...Case) (int, error) {
+	return selectCases(nil, false, cases)
+}
+
+// SelectCtx is Select with cancellation: if ctx is done before any guard
+// wins, every armed handle is cancelled and SelectCtx returns ctx.Err()
+// with index -1. Unlike the single-monitor AwaitCtx, the caller holds no
+// monitor afterwards.
+func SelectCtx(ctx context.Context, cases ...Case) (int, error) {
+	return selectCases(ctx, false, cases)
+}
+
+// SelectOrdered is Select with the case order as a priority order: the
+// initial poll and the arming sequence prefer earlier cases, so whenever
+// several guards are ready at the same decision point the lowest index
+// wins. Once parked, the first predicate to BECOME true wins regardless
+// of position — priority selects among the simultaneously ready, it does
+// not starve a ready low-priority guard behind a false high-priority one.
+func SelectOrdered(cases ...Case) (int, error) {
+	return selectCases(nil, true, cases)
+}
+
+// selectCases implements Select. ordered pins the scan start to 0;
+// otherwise it is randomized for fairness.
+func selectCases(ctx context.Context, ordered bool, cases []Case) (int, error) {
+	dflt := -1
+	guards := 0
+	for i := range cases {
+		c := &cases[i]
+		if c.dflt {
+			if dflt >= 0 {
+				return i, ErrManyDefaults
+			}
+			dflt = i
+			continue
+		}
+		if c.guard == nil {
+			return i, ErrNilGuard
+		}
+		if err := c.guard.err; err != nil {
+			return i, err
+		}
+		guards++
+	}
+	// Cancellation wins over everything that has not already run,
+	// including a Default-only Select: once ctx is done, no body runs.
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return -1, err
+		}
+	}
+	if guards == 0 {
+		if dflt >= 0 {
+			cases[dflt].body()
+			return dflt, nil
+		}
+		return -1, ErrNoCases
+	}
+	start := 0
+	if !ordered {
+		start = rand.IntN(len(cases))
+	}
+
+	// Initial poll: one Try per guard in scan order. A hit runs that
+	// case's body under its monitor and returns without arming anything,
+	// so the common already-ready case pays one lock acquisition instead
+	// of N arms and N−1 cancels. A miss is safe: arming below re-evaluates
+	// each predicate under its monitor, so a predicate that becomes true
+	// between the poll and the arm is notified at arm time.
+	for off := 0; off < len(cases); off++ {
+		i := (start + off) % len(cases)
+		c := &cases[i]
+		if c.dflt {
+			continue
+		}
+		if c.guard.Try(c.body) {
+			return i, nil
+		}
+	}
+	if dflt >= 0 {
+		// Non-blocking form: nothing was ready, run the default. Nothing
+		// was armed, so nothing can leak.
+		cases[dflt].body()
+		return dflt, nil
+	}
+
+	// Blocking form: arm every guard in scan order and subscribe each
+	// handle to one shared delivery channel. Arming evaluates the
+	// predicate under its monitor and notifies immediately when already
+	// true, so the immediate deliveries arrive in arming order — which is
+	// how SelectOrdered's priority materializes among the already-ready.
+	ch := make(chan int, guards)
+	handles := make([]*Wait, len(cases))
+	claimed := -1
+	defer func() {
+		for i, h := range handles {
+			if h != nil && i != claimed {
+				h.Cancel()
+			}
+		}
+	}()
+	for off := 0; off < len(cases); off++ {
+		i := (start + off) % len(cases)
+		c := &cases[i]
+		w := c.guard.arm()
+		handles[i] = w
+		w.subscribe(ch, i)
+	}
+
+	for {
+		var i int
+		if ctx == nil {
+			i = <-ch
+		} else {
+			select {
+			case i = <-ch:
+			case <-ctx.Done():
+				return -1, ctx.Err()
+			}
+		}
+		err := handles[i].Claim()
+		if err == nil {
+			// Claim succeeded: the winner's monitor is HELD and the
+			// predicate true. Run the body with the exit deferred; the
+			// loser cancellation (deferred above) runs after the exit, so
+			// no two monitor locks are ever held at once.
+			claimed = i
+			defer cases[i].guard.mech.Exit()
+			cases[i].body()
+			return i, nil
+		}
+		if err == ErrNotReady {
+			// Falsified between notification and claim; the handle was
+			// transparently re-armed and its subscription will deliver
+			// again when the predicate next becomes true.
+			continue
+		}
+		// Cancelled or double-claimed handles cannot occur here — the
+		// handles are private to this Select — but fail loudly rather
+		// than spinning if the invariant is ever broken.
+		return i, err
+	}
+}

@@ -96,6 +96,15 @@ type Wait struct {
 	pred     func() bool // Baseline/Explicit re-validation closure
 	list     *waitList   // registration list for list-based hosts
 	idx      int         // position in e.waiters or list.ws
+
+	// Select subscription: when set, every notification additionally
+	// delivers selIdx on selCh, so one goroutine can park on a single
+	// channel shared by any number of handles (across monitors and
+	// mechanisms) instead of reflect.Select's O(N) case walk. The
+	// subscription survives re-arming: a futile claim re-arms the handle
+	// and the next notification delivers again.
+	selCh  chan int
+	selIdx int
 }
 
 // newWait constructs an armed handle for a host; registration is the
@@ -121,6 +130,17 @@ func (w *Wait) notify() {
 	}
 	w.notified = true
 	close(w.ready)
+	if w.selCh != nil {
+		// At most one delivery is outstanding per handle (notify is gated
+		// by the notified flag and re-arming happens under the subscriber's
+		// own claim), so a buffered channel sized to the subscription count
+		// never drops; the non-blocking send only discards post-teardown
+		// courtesy closes from Cancel.
+		select {
+		case w.selCh <- w.selIdx:
+		default:
+		}
+	}
 }
 
 // rearm resets the handle for another notification cycle: a fresh channel
@@ -130,6 +150,30 @@ func (w *Wait) rearm() {
 	w.notified = false
 	w.viaRelay = false
 	w.ready = make(chan struct{})
+}
+
+// subscribe attaches a shared Select delivery channel to the handle: the
+// current and every future notification (the subscription survives
+// re-arming) sends idx on ch. A handle that is already notified — or
+// whose arming failed, leaving it born-notified — delivers immediately,
+// so a subscriber can never miss the arm-time evaluation.
+func (w *Wait) subscribe(ch chan int, idx int) {
+	if w.host == nil {
+		select {
+		case ch <- idx:
+		default:
+		}
+		return
+	}
+	w.host.lockWait()
+	w.selCh, w.selIdx = ch, idx
+	if w.notified {
+		select {
+		case ch <- idx:
+		default:
+		}
+	}
+	w.host.unlockWait()
 }
 
 // Ready returns the channel that is closed when the waiter is notified.

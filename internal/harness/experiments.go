@@ -2,7 +2,9 @@ package harness
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -52,6 +54,7 @@ func Experiments() []Experiment {
 		{"abl-inactive", "Ablation: inactive-list limit vs. registration churn", AblationInactiveList},
 		{"abl-compile", "Ablation: string Await vs compiled AwaitPred wait-path overhead", AblationCompiledPredicates},
 		{"scale-shards", "Scaling: sharded-kv runtime vs shard count at fixed goroutines", ScaleShards},
+		{"sel-fanout", "Selective waiting: cost per delivered item vs fan-out (Select / reflect handles / goroutine-per-guard)", SelectFanout},
 	}
 	return append(exps, ProblemExperiments()...)
 }
@@ -516,6 +519,169 @@ func ScaleShards(cfg Config) Report {
 	f.Notes = append(f.Notes,
 		"expected shape: runtime falls as shards divide the lock traffic and the per-exit relay search; BenchmarkShardScaling is the go-test view.")
 	return f.report()
+}
+
+// SelectFanout prices the three ways one goroutine can wait on N
+// predicates across N distinct monitors, swept over the fan-out: the
+// guarded-region Select (arms, parks once on a shared channel, claims,
+// cancels the losers — the leak-free API unit), the hand-assembled
+// persistent-handle loop over reflect.Select that the dispatcher
+// scenario used before guards existed, and a parked goroutine per
+// monitor. Each operation deposits one token on a rotating monitor and
+// waits for its consumption, so the measured quantity is the end-to-end
+// multiplexing cost per delivered item. BenchmarkSelect is the go-test
+// view at fan-out 16.
+func SelectFanout(cfg Config) Report {
+	xs := []int{2, 8, 32, 128}
+	ops := cfg.TotalOps
+	f := Figure{
+		ID:     "sel-fanout",
+		Title:  "selective waiting: cost per delivered item vs fan-out",
+		XLabel: "# guards (one monitor each)", YLabel: "ns/op", XS: xs,
+	}
+	for _, mode := range []string{"select-guards", "reflect-handles", "goroutine-per-guard"} {
+		mode := mode
+		ser := Series{Label: mode}
+		for _, fan := range xs {
+			fan := fan
+			m := cfg.Protocol.Measure(func() problems.Result { return RunSelectFan(mode, fan, ops) })
+			ser.Points = append(ser.Points, m.MeanSeconds*1e9/float64(ops))
+		}
+		f.Series = append(f.Series, ser)
+	}
+	f.Notes = append(f.Notes,
+		"select-guards polls before arming, so a ready guard costs ~one Try; only a Select that actually parks pays the N arms and N-1 cancels of the leak-free unit;",
+		"reflect-handles keeps N handles armed (hand-rolled, leak-prone, and O(N) inside reflect.Select on every delivery);",
+		"goroutine-per-guard parks a goroutine per monitor — flat in N but a stack per waiter, see BenchmarkMultiplexedWaiters for where it loses.")
+	return f.report()
+}
+
+// RunSelectFan is one sel-fanout point: fan monitors, totalOps rounds of
+// deposit-then-consume through the given multiplexing mode
+// ("select-guards", "reflect-handles", or "goroutine-per-guard").
+// Check counts waiters still registered afterwards (must be 0).
+// Exported so BenchmarkSelect drives the exact same harness — one copy
+// of the re-arm and teardown protocols, as BenchmarkShardScaling does
+// with problems.RunShardedKVShards.
+func RunSelectFan(mode string, fan, totalOps int) problems.Result {
+	type buf struct {
+		m        *core.Monitor
+		x        *core.IntCell
+		stop     *core.BoolCell
+		notEmpty *core.Predicate
+	}
+	bufs := make([]*buf, fan)
+	for i := range bufs {
+		m := core.New()
+		bufs[i] = &buf{
+			m:        m,
+			x:        m.NewInt("x", 0),
+			stop:     m.NewBool("stop", false),
+			notEmpty: m.MustCompile("x >= 1"),
+		}
+	}
+	produce := func(i int) {
+		bf := bufs[i%fan]
+		bf.m.Do(func() { bf.x.Add(1) })
+	}
+	stats := func(elapsed time.Duration) problems.Result {
+		var agg core.Stats
+		var leaked int64
+		for _, bf := range bufs {
+			agg = agg.Add(bf.m.Stats())
+			leaked += int64(bf.m.Waiting())
+		}
+		return problems.Result{Mechanism: problems.AutoSynch, Elapsed: elapsed,
+			Stats: agg, Ops: int64(totalOps), Check: leaked}
+	}
+
+	switch mode {
+	case "select-guards":
+		cases := make([]core.Case, fan)
+		for i, bf := range bufs {
+			bf := bf
+			cases[i] = bf.m.When(bf.notEmpty).Then(func() { bf.x.Add(-1) })
+		}
+		start := time.Now()
+		for i := 0; i < totalOps; i++ {
+			produce(i)
+			if _, err := core.Select(cases...); err != nil {
+				panic(err)
+			}
+		}
+		return stats(time.Since(start))
+
+	case "reflect-handles":
+		handles := make([]*core.Wait, fan)
+		cases := make([]reflect.SelectCase, fan)
+		for i, bf := range bufs {
+			handles[i] = bf.notEmpty.Arm()
+			cases[i] = reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(handles[i].Ready())}
+		}
+		start := time.Now()
+		for i := 0; i < totalOps; i++ {
+			produce(i)
+			for {
+				idx, _, _ := reflect.Select(cases)
+				if err := handles[idx].Claim(); err != nil {
+					if err == core.ErrNotReady {
+						cases[idx].Chan = reflect.ValueOf(handles[idx].Ready())
+						continue
+					}
+					panic(err)
+				}
+				bufs[idx].x.Add(-1)
+				bufs[idx].m.Exit()
+				handles[idx] = bufs[idx].notEmpty.Arm()
+				cases[idx].Chan = reflect.ValueOf(handles[idx].Ready())
+				break
+			}
+		}
+		elapsed := time.Since(start)
+		for _, h := range handles {
+			h.Cancel()
+		}
+		return stats(elapsed)
+
+	case "goroutine-per-guard":
+		ack := make(chan struct{}, fan)
+		var wg sync.WaitGroup
+		for _, bf := range bufs {
+			wg.Add(1)
+			g := bf.m.When(bf.m.MustCompile("x >= 1 || stop"))
+			go func(bf *buf, g *core.Guard) {
+				defer wg.Done()
+				for {
+					quit := false
+					if err := g.Do(func() {
+						if bf.stop.Get() {
+							quit = true
+							return
+						}
+						bf.x.Add(-1)
+					}); err != nil {
+						panic(err)
+					}
+					if quit {
+						return
+					}
+					ack <- struct{}{}
+				}
+			}(bf, g)
+		}
+		start := time.Now()
+		for i := 0; i < totalOps; i++ {
+			produce(i)
+			<-ack
+		}
+		elapsed := time.Since(start)
+		for _, bf := range bufs {
+			bf.m.Do(func() { bf.stop.Set(true) })
+		}
+		wg.Wait()
+		return stats(elapsed)
+	}
+	panic("unknown sel-fanout mode " + mode)
 }
 
 // IDs returns all experiment IDs in paper order, for CLI listings.

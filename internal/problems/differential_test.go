@@ -40,7 +40,7 @@ func TestDifferentialCrossMechanism(t *testing.T) {
 	}
 }
 
-// TestRegistryShape pins the registry's contract: the seventeen expected
+// TestRegistryShape pins the registry's contract: the eighteen expected
 // scenarios are present, and every spec is complete enough for the
 // consumers that iterate the registry blindly.
 func TestRegistryShape(t *testing.T) {
@@ -49,10 +49,11 @@ func TestRegistryShape(t *testing.T) {
 		"readers-writers", "dining-philosophers", "parameterized-buffer",
 		"cigarette-smokers", "unisex-bathroom", "river-crossing",
 		"fifo-barrier", "ticketed-elevator", "resource-allocator",
-		"dispatcher", "sharded-kv", "striped-semaphore", "work-stealing-pool",
+		"dispatcher", "selective-server",
+		"sharded-kv", "striped-semaphore", "work-stealing-pool",
 	}
-	if len(Registry) < 17 {
-		t.Errorf("registry holds %d scenarios, want >= 17", len(Registry))
+	if len(Registry) < 18 {
+		t.Errorf("registry holds %d scenarios, want >= 18", len(Registry))
 	}
 	for _, name := range []string{"sharded-kv", "striped-semaphore", "work-stealing-pool"} {
 		if !MustLookup(name).Sharded {

@@ -1,7 +1,6 @@
 package problems
 
 import (
-	"reflect"
 	"sync"
 	"time"
 
@@ -10,7 +9,7 @@ import (
 
 // DispatcherBufCap is each buffer's capacity in the dispatcher workload:
 // small, so producers genuinely block and both wait directions (blocking
-// producer waits, armed dispatcher handles) are exercised.
+// producer waits, the dispatcher's selected guards) are exercised.
 const DispatcherBufCap = 4
 
 func init() {
@@ -18,22 +17,25 @@ func init() {
 		Name:           "dispatcher",
 		Runner:         RunDispatcher,
 		DefaultThreads: 16,
-		CheckDesc:      "all items drained, no buffer occupancy or armed handle left",
+		CheckDesc:      "all items drained, no buffer occupancy or registered waiter left",
 		Figure:         "",
 	})
 }
 
-// RunDispatcher is the select-multiplexing workload behind the handle
-// API: threads independent bounded buffers (each its own monitor, as a
-// server would keep per-resource locks), one producer goroutine per
-// buffer, and a SINGLE dispatcher goroutine that drains all of them by
-// arming one not-empty wait handle per buffer and selecting over the
-// ready channels. Where every other scenario spends a parked goroutine
-// per waiter, the dispatcher holds N armed waits at once from one
-// goroutine — the handle redesign is what makes the pattern expressible
-// at all. totalOps is the number of items pushed through, split across
-// the buffers; Check is the final occupancy plus any waiter still
-// registered after the dispatcher cancels its handles (a handle leak).
+// RunDispatcher is the select-multiplexing workload behind the guarded
+// regions: threads independent bounded buffers (each its own monitor, as
+// a server would keep per-resource locks), one producer goroutine per
+// buffer, and a SINGLE dispatcher goroutine that drains all of them with
+// core.Select over one not-empty guard per buffer. Where every other
+// scenario spends a parked goroutine per waiter, the dispatcher parks
+// once across N predicates on N distinct monitors — first-true-wins,
+// with the drain body running under the winning buffer's lock and every
+// losing guard cancelled leak-free. (The pre-guard version of this
+// scenario hand-assembled the same loop from armed handles and
+// reflect.Select; BenchmarkSelect keeps that spelling as a comparator.)
+// totalOps is the number of items pushed through, split across the
+// buffers; Check is the final occupancy plus any waiter still registered
+// after the run (a leaked guard or a stuck producer).
 func RunDispatcher(mech Mechanism, threads, totalOps int) Result {
 	if threads < 1 {
 		threads = 1
@@ -41,12 +43,12 @@ func RunDispatcher(mech Mechanism, threads, totalOps int) Result {
 	perBuf := split(totalOps, threads)
 
 	// buffer is one resource: the mechanism-specific monitor plus the
-	// produce step, the armed-handle constructor, and the drain step the
-	// dispatcher runs under a successful claim (returning items taken).
+	// produce step, the not-empty guard the dispatcher selects on, and
+	// the drain step its winning body runs (returning items taken).
 	type buffer struct {
 		mech    core.Mechanism
 		produce func(ops int)
-		arm     func() *core.Wait
+		guard   *core.Guard
 		drain   func() int64
 	}
 	bufs := make([]*buffer, threads)
@@ -68,9 +70,7 @@ func RunDispatcher(mech Mechanism, threads, totalOps int) Result {
 						m.Exit()
 					}
 				},
-				arm: func() *core.Wait {
-					return notEmpty.Arm(func() bool { return count > 0 })
-				},
+				guard: notEmpty.When(func() bool { return count > 0 }),
 				drain: func() int64 {
 					n := int64(count)
 					count = 0
@@ -91,9 +91,7 @@ func RunDispatcher(mech Mechanism, threads, totalOps int) Result {
 						m.Exit()
 					}
 				},
-				arm: func() *core.Wait {
-					return m.ArmFunc(func() bool { return count > 0 })
-				},
+				guard: m.WhenFunc(func() bool { return count > 0 }),
 				drain: func() int64 {
 					n := int64(count)
 					count = 0
@@ -116,7 +114,7 @@ func RunDispatcher(mech Mechanism, threads, totalOps int) Result {
 						m.Exit()
 					}
 				},
-				arm:   func() *core.Wait { return notEmpty.Arm() },
+				guard: notEmpty.When(),
 				drain: func() int64 { n := count.Get(); count.Set(0); return n },
 			}
 		}
@@ -132,43 +130,33 @@ func RunDispatcher(mech Mechanism, threads, totalOps int) Result {
 		}(b, perBuf[i])
 	}
 
-	// The dispatcher: arm one handle per buffer, select over all ready
-	// channels with reflect.Select (the dynamic form of the select
-	// statement, sized by data rather than by source text), claim, drain,
-	// re-arm. A futile claim — possible in principle if a mechanism
-	// notified spuriously — just re-selects: the handle re-armed itself.
-	handles := make([]*core.Wait, threads)
-	cases := make([]reflect.SelectCase, threads)
-	for i, b := range bufs {
-		handles[i] = b.arm()
-		cases[i] = reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(handles[i].Ready())}
-	}
+	// The dispatcher: one Select per delivery over the same N reusable
+	// guards. Each call arms the guards, parks once on a shared channel,
+	// claims the first buffer whose not-empty predicate holds (a futile
+	// claim after a racing mutation just keeps waiting — the handle
+	// re-armed itself), runs the drain under that buffer's lock, and
+	// cancels the losers, so no handle outlives the call.
 	var drained int64
+	cases := make([]core.Case, threads)
+	for i, b := range bufs {
+		b := b
+		cases[i] = b.guard.Then(func() { drained += b.drain() })
+	}
 	for drained < int64(totalOps) {
-		i, _, _ := reflect.Select(cases)
-		if err := handles[i].Claim(); err != nil {
-			if err == core.ErrNotReady {
-				cases[i].Chan = reflect.ValueOf(handles[i].Ready())
-				continue
-			}
+		if _, err := core.Select(cases...); err != nil {
 			panic(err)
 		}
-		drained += bufs[i].drain()
-		bufs[i].mech.Exit()
-		handles[i] = bufs[i].arm()
-		cases[i].Chan = reflect.ValueOf(handles[i].Ready())
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	// Tear down: every still-armed handle is cancelled, and any waiter
-	// left registered afterwards — a leaked handle or a stuck producer —
-	// fails the conservation check.
+	// Tear down: any occupancy left in a buffer, and any waiter still
+	// registered — a leaked guard handle or a stuck producer — fails the
+	// conservation check.
 	var check int64
 	var agg core.Stats
-	for i, b := range bufs {
-		handles[i].Cancel()
-		b.mech.Do(func() { check += bufs[i].drain() })
+	for _, b := range bufs {
+		b.mech.Do(func() { check += b.drain() })
 		check += int64(b.mech.Waiting())
 		agg = agg.Add(b.mech.Stats())
 	}

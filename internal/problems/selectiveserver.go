@@ -1,0 +1,197 @@
+package problems
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// SelectiveQueueCap bounds each class's request queue: small, so clients
+// genuinely block on queue room and the server's draining cadence feeds
+// back into admission.
+const SelectiveQueueCap = 4
+
+// selectiveClientsPerClass is how many client goroutines share one
+// class; requests within a class interleave, so the ticket predicates
+// (done >= t) genuinely overlap.
+const selectiveClientsPerClass = 2
+
+func init() {
+	Register(Spec{
+		Name:           "selective-server",
+		Runner:         RunSelectiveServer,
+		DefaultThreads: 8,
+		CheckDesc:      "every request served, queues empty, no registered waiter left",
+		Figure:         "",
+	})
+}
+
+// RunSelectiveServer is the guarded-region selective server: threads
+// client CLASSES, each with its own monitor (per-tenant locks, as a
+// server would shard its sessions), and ONE server goroutine that serves
+// all of them with SelectOrdered over one has-requests guard per class —
+// class 0 is the highest priority, so whenever several classes have
+// requests pending at a decision point the earliest class is served
+// first, while a lone ready class never starves behind an idle
+// higher-priority one. Each request is synchronous: a client takes a
+// ticket, enqueues, and waits — inside the same critical section, across
+// the released monitor — until the server's batch advances the class's
+// done watermark past its ticket (a threshold-tagged predicate per
+// outstanding ticket). The server's winning body drains the class queue
+// under that class's lock; admission is bounded by SelectiveQueueCap.
+// totalOps is the number of requests, split across classes and then
+// across each class's clients; Check is the unserved backlog plus any
+// waiter still registered after the run.
+func RunSelectiveServer(mech Mechanism, threads, totalOps int) Result {
+	classes := threads
+	if classes < 1 {
+		classes = 1
+	}
+	perClass := split(totalOps, classes)
+
+	// class is one tenant: the mechanism-specific monitor, the client
+	// request loop, the has-requests guard the server selects on, and
+	// the serve step its winning body runs (returning requests served).
+	type class struct {
+		mech    core.Mechanism
+		request func(n int)
+		guard   *core.Guard
+		serve   func() int64
+	}
+	cls := make([]*class, classes)
+	for i := range cls {
+		switch mech {
+		case Explicit:
+			m := core.NewExplicit()
+			notFull := m.NewCond()
+			notEmpty := m.NewCond()
+			servedC := m.NewCond()
+			pending, issued, done := 0, 0, 0
+			cls[i] = &class{
+				mech: m,
+				request: func(n int) {
+					for op := 0; op < n; op++ {
+						m.Enter()
+						notFull.Await(func() bool { return pending < SelectiveQueueCap })
+						t := issued
+						issued++
+						pending++
+						notEmpty.Signal()
+						servedC.Await(func() bool { return done > t })
+						m.Exit()
+					}
+				},
+				guard: notEmpty.When(func() bool { return pending > 0 }),
+				serve: func() int64 {
+					n := pending
+					pending = 0
+					done += n
+					// A whole batch was admitted and a whole batch
+					// completed: several clients may proceed on each side,
+					// so this is inherently a signalAll moment for the
+					// explicit monitor.
+					notFull.Broadcast()
+					servedC.Broadcast()
+					return int64(n)
+				},
+			}
+		case Baseline:
+			m := core.NewBaseline()
+			pending, issued, done := 0, 0, 0
+			cls[i] = &class{
+				mech: m,
+				request: func(n int) {
+					for op := 0; op < n; op++ {
+						m.Enter()
+						m.Await(func() bool { return pending < SelectiveQueueCap })
+						t := issued
+						issued++
+						pending++
+						m.Await(func() bool { return done > t })
+						m.Exit()
+					}
+				},
+				guard: m.WhenFunc(func() bool { return pending > 0 }),
+				serve: func() int64 {
+					n := pending
+					pending = 0
+					done += n
+					return int64(n)
+				},
+			}
+		default:
+			m := newAuto(mech)
+			pending := m.NewInt("pending", 0)
+			m.NewInt("qcap", SelectiveQueueCap)
+			done := m.NewInt("done", 0)
+			issued := int64(0) // monitor-guarded: touched only between Enter/Exit
+			room := m.MustCompile("pending < qcap")
+			ticketDone := m.MustCompile("done >= t")
+			cls[i] = &class{
+				mech: m,
+				request: func(n int) {
+					for op := 0; op < n; op++ {
+						m.Enter()
+						await(room)
+						t := issued
+						issued++
+						pending.Add(1)
+						await(ticketDone, core.BindInt("t", t+1))
+						m.Exit()
+					}
+				},
+				guard: m.MustCompile("pending > 0").When(),
+				serve: func() int64 {
+					n := pending.Get()
+					pending.Set(0)
+					done.Add(n)
+					return n
+				},
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c, cl := range cls {
+		for _, share := range split(perClass[c], selectiveClientsPerClass) {
+			wg.Add(1)
+			go func(cl *class, n int) {
+				defer wg.Done()
+				cl.request(n)
+			}(cl, share)
+		}
+	}
+
+	// The server: one goroutine, one SelectOrdered per batch over the
+	// same reusable guards — class order is priority order. The winning
+	// body serves under that class's lock; its exit relays the done
+	// watermark to the waiting ticket holders, and the losing guards are
+	// cancelled leak-free.
+	var served int64
+	cases := make([]core.Case, classes)
+	for c, cl := range cls {
+		cl := cl
+		cases[c] = cl.guard.Then(func() { served += cl.serve() })
+	}
+	for served < int64(totalOps) {
+		if _, err := core.SelectOrdered(cases...); err != nil {
+			panic(err)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Conservation: every class queue drained, every issued ticket
+	// served, and nobody — parked client or armed guard — left
+	// registered anywhere.
+	var check int64
+	var agg core.Stats
+	for _, cl := range cls {
+		cl.mech.Do(func() { check += cl.serve() })
+		check += int64(cl.mech.Waiting())
+		agg = agg.Add(cl.mech.Stats())
+	}
+	return Result{Mechanism: mech, Elapsed: elapsed, Stats: agg, Ops: served, Check: check}
+}

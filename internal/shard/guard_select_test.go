@@ -1,0 +1,113 @@
+package shard_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+	"repro/internal/testutil"
+)
+
+// twoShardKeys returns two keys owned by different shards.
+func twoShardKeys(sm *shard.Monitor) (uint64, uint64) {
+	a := uint64(0)
+	for b := uint64(1); ; b++ {
+		if sm.Index(b) != sm.Index(a) {
+			return a, b
+		}
+	}
+}
+
+// TestShardedWhenRoutesByKey: a keyed guard waits on its key's shard
+// only, and Do runs the body under that shard's monitor.
+func TestShardedWhenRoutesByKey(t *testing.T) {
+	sm, cells := newCounted(t, 4)
+	avail := sm.MustCompile("x > 0")
+	ka, kb := twoShardKeys(sm)
+
+	done := make(chan error, 1)
+	go func() { done <- sm.When(ka, avail).Do(func() { cells[sm.Index(ka)].Add(-1) }) }()
+	testutil.WaitFor(t, 10*time.Second, 0,
+		func() bool { return sm.Shard(sm.Index(ka)).Waiting() == 1 },
+		"guard parked on ka's shard")
+	if w := sm.Shard(sm.Index(kb)).Waiting(); w != 0 {
+		t.Fatalf("guard registered %d waiters on the wrong shard", w)
+	}
+	// A deposit on the OTHER shard must not satisfy it.
+	sm.Do(kb, func(*core.Monitor) { cells[sm.Index(kb)].Add(1) })
+	sm.Do(ka, func(*core.Monitor) { cells[sm.Index(ka)].Add(1) })
+	if err := <-done; err != nil {
+		t.Fatalf("keyed guard Do: %v", err)
+	}
+	sm.Do(kb, func(*core.Monitor) { cells[sm.Index(kb)].Add(-1) })
+	if w := sm.Waiting(); w != 0 {
+		t.Fatalf("%d waiters left", w)
+	}
+}
+
+// TestSelectAcrossShards: one Select over guards on two different shards
+// of the same sharded monitor — two genuinely distinct inner monitors.
+// The shard whose key receives the token wins; nothing leaks on either.
+func TestSelectAcrossShards(t *testing.T) {
+	sm, cells := newCounted(t, 4)
+	avail := sm.MustCompile("x > 0")
+	ka, kb := twoShardKeys(sm)
+	ia, ib := sm.Index(ka), sm.Index(kb)
+
+	for round, key := range []uint64{ka, kb, ka} {
+		res := make(chan int, 1)
+		go func() {
+			idx, err := core.Select(
+				sm.When(ka, avail).Then(func() { cells[ia].Add(-1) }),
+				sm.When(kb, avail).Then(func() { cells[ib].Add(-1) }),
+			)
+			if err != nil {
+				t.Error(err)
+			}
+			res <- idx
+		}()
+		testutil.WaitFor(t, 10*time.Second, 0,
+			func() bool { return sm.Shard(ia).Waiting() == 1 && sm.Shard(ib).Waiting() == 1 },
+			"both shard guards armed (round %d)", round)
+		sm.Do(key, func(m *core.Monitor) { cells[sm.Index(key)].Add(1) })
+		want := 0
+		if key == kb {
+			want = 1
+		}
+		if got := <-res; got != want {
+			t.Fatalf("round %d: winner = %d, want %d", round, got, want)
+		}
+		testutil.WaitFor(t, 5*time.Second, 0, func() bool { return sm.Waiting() == 0 },
+			"losers cancelled (round %d)", round)
+	}
+}
+
+// TestShardedWhenFuncAndWhenShard cover the closure-guard routes: by key
+// and by shard index.
+func TestShardedWhenFuncAndWhenShard(t *testing.T) {
+	sm, cells := newCounted(t, 4)
+	ka, _ := twoShardKeys(sm)
+	ia := sm.Index(ka)
+
+	gk := sm.WhenFunc(ka, func() bool { return cells[ia].Get() > 0 })
+	gs := sm.WhenShard(ia, func() bool { return cells[ia].Get() > 1 })
+	if gk.Try(func() {}) || gs.Try(func() {}) {
+		t.Fatal("closure guards ran with predicates false")
+	}
+	sm.Do(ka, func(*core.Monitor) { cells[ia].Add(2) })
+	if !gk.Try(func() { cells[ia].Add(-1) }) {
+		t.Fatal("keyed closure guard did not fire")
+	}
+	// x is now 1: the shard-index guard (x > 1) must stay false.
+	if gs.Try(func() {}) {
+		t.Fatal("shard-index guard fired with predicate false")
+	}
+	sm.DoShard(ia, func(*core.Monitor) { cells[ia].Add(1) })
+	if !gs.Try(func() { cells[ia].Add(-2) }) {
+		t.Fatal("shard-index guard did not fire")
+	}
+	if w := sm.Waiting(); w != 0 {
+		t.Fatalf("%d waiters left", w)
+	}
+}

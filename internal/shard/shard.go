@@ -176,6 +176,30 @@ func (sm *Monitor) Arm(key uint64, p *Predicate, binds ...core.Binding) *core.Wa
 	return p.On(sm.Index(key)).Arm(binds...)
 }
 
+// When returns the guarded region for a sharded predicate on key's
+// shard: Do atomically enters that shard, awaits the predicate, runs the
+// body, and exits with a panic-safe unlock. Guards of different keys may
+// live on different shards — different inner monitors — and compose with
+// core.Select exactly like guards of unrelated monitors, so one
+// goroutine can serve many keys with first-true-wins selection and no
+// parked goroutine per key.
+func (sm *Monitor) When(key uint64, p *Predicate, binds ...core.Binding) *core.Guard {
+	i := sm.Index(key)
+	return sm.shards[i].When(p.On(i), binds...)
+}
+
+// WhenFunc is When for a closure predicate on key's shard; the closure
+// must only read state guarded by that shard's monitor.
+func (sm *Monitor) WhenFunc(key uint64, pred func() bool) *core.Guard {
+	return sm.Of(key).WhenFunc(pred)
+}
+
+// WhenShard is WhenFunc by shard index rather than key (maintenance
+// sweeps and rebalancers address shards directly, as with DoShard).
+func (sm *Monitor) WhenShard(i int, pred func() bool) *core.Guard {
+	return sm.shards[i].WhenFunc(pred)
+}
+
 // TryPred evaluates a sharded predicate once on key's shard; caller
 // inside the shard's monitor.
 func (sm *Monitor) TryPred(key uint64, p *Predicate, binds ...core.Binding) (bool, error) {

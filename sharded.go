@@ -7,8 +7,11 @@ import "repro/internal/shard"
 // condition manager, and tag index, so operations on independent keys
 // proceed in parallel and the relay search on every exit walks only one
 // shard's predicate groups. Cross-shard conditions are expressed with an
-// AggregateCounter. See the sharding section of the package documentation
-// and internal/shard for details.
+// AggregateCounter. The keyed When/WhenFunc return Guards on the owning
+// shard, so guarded regions of different keys — different inner
+// monitors — compose with Select like guards of unrelated monitors. See
+// the sharding section of the package documentation and internal/shard
+// for details.
 type Sharded = shard.Monitor
 
 // ShardedPredicate is a waiting condition compiled once on every shard of
