@@ -423,6 +423,17 @@ func (m *Monitor) Waiting() int {
 	return m.waiting
 }
 
+// PendingSignals returns the number of relay signals issued and not yet
+// consumed by a woken or claiming waiter — the pending count of the
+// relay rule (at most 1 under the single-signal discipline). Protocol
+// tests observe it to place a schedule precisely: a waiter holding the
+// in-flight signal is exactly the window cancellation repair exists for.
+func (m *Monitor) PendingSignals() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cm.pending
+}
+
 // Tagging reports whether predicate tagging is enabled (false for the
 // AutoSynch-T variant).
 func (m *Monitor) Tagging() bool { return m.cfg.tagging }

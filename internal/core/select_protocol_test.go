@@ -1,0 +1,268 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/testutil"
+)
+
+// Real-implementation mirrors of the simcheck blocking-bug corpus
+// (internal/simcheck/corpus.go): each model program whose exhaustive
+// exploration proves a protocol property has a concrete regression here,
+// run under -race, with PendingSignals pinning the in-flight-signal
+// windows the model reasons about.
+
+const protoWait = 5 * time.Second
+
+// TestPendingSignalsTracksInflightRelay pins the new observability hook
+// against the one deterministic in-flight window: an armed handle is
+// notified by a relay and holds the monitor's single signal until it
+// claims — or until cancellation reconciles it.
+func TestPendingSignalsTracksInflightRelay(t *testing.T) {
+	m := New()
+	x := m.NewInt("x", 0)
+	avail := m.MustCompile("x > 0")
+
+	if got := m.PendingSignals(); got != 0 {
+		t.Fatalf("idle monitor has %d pending signals", got)
+	}
+
+	h := avail.Arm()
+	m.Do(func() { x.Set(1) }) // exit relays to the only waiter: the handle
+	if got := m.PendingSignals(); got != 1 {
+		t.Fatalf("after relay to armed handle: %d pending signals, want 1", got)
+	}
+	select {
+	case <-h.Ready():
+	case <-time.After(protoWait):
+		t.Fatal("relay signal never reached the armed handle")
+	}
+
+	if err := h.Claim(); err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	x.Add(-1)
+	m.Exit()
+	if got := m.PendingSignals(); got != 0 {
+		t.Fatalf("after claim: %d pending signals, want 0", got)
+	}
+
+	// The same window resolved by cancellation: the reconciled signal
+	// has no eligible waiter left, so pending drops to zero.
+	x.Set(0)
+	h2 := avail.Arm()
+	m.Do(func() { x.Set(1) })
+	if got := m.PendingSignals(); got != 1 {
+		t.Fatalf("after second relay: %d pending signals, want 1", got)
+	}
+	h2.Cancel()
+	if got := m.PendingSignals(); got != 0 {
+		t.Fatalf("after cancel reconciled the signal: %d pending, want 0", got)
+	}
+	if w := m.Waiting(); w != 0 {
+		t.Fatalf("%d waiters leaked", w)
+	}
+}
+
+// TestCorpusDoubleClaim mirrors the "double-claim" program: claiming a
+// spent handle must be the ErrClaimed no-op, never a second consumption.
+func TestCorpusDoubleClaim(t *testing.T) {
+	m := New()
+	x := m.NewInt("x", 0)
+	avail := m.MustCompile("x > 0")
+
+	h := avail.Arm()
+	m.Do(func() { x.Set(1) })
+	select {
+	case <-h.Ready():
+	case <-time.After(protoWait):
+		t.Fatal("handle never notified")
+	}
+	if err := h.Claim(); err != nil {
+		t.Fatalf("first Claim: %v", err)
+	}
+	x.Add(-1)
+	m.Exit()
+
+	if err := h.Claim(); !errors.Is(err, ErrClaimed) {
+		t.Fatalf("second Claim: %v, want ErrClaimed", err)
+	}
+	var v int64
+	m.Do(func() { v = x.Get() })
+	if v != 0 {
+		t.Fatalf("spent handle consumed again: x = %d, want 0", v)
+	}
+}
+
+// TestCorpusCancelPassesInflightSignal mirrors "cancel-inflight": when
+// the armed handle holds the in-flight relay signal and a blocking
+// waiter needs the same resource, Cancel must pass the signal onward or
+// the waiter starves. The relay's target choice is the scheduler's, so
+// the scenario loops; PendingSignals and Ready tell which path each
+// iteration took, and the waiter must complete on every one.
+func TestCorpusCancelPassesInflightSignal(t *testing.T) {
+	handlePath := 0
+	for i := 0; i < 50; i++ {
+		m := New()
+		x := m.NewInt("x", 0)
+		avail := m.MustCompile("x > 0")
+
+		h := avail.Arm() // registered first: a plausible relay target
+
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			m.Enter()
+			defer m.Exit()
+			if err := m.AwaitPred(avail); err != nil {
+				panic(err)
+			}
+			x.Add(-1)
+		}()
+		testutil.WaitFor(t, protoWait, 0, func() bool { return m.Waiting() == 2 },
+			"handle and waiter registered")
+
+		m.Do(func() { x.Set(1) }) // exit relays to handle or waiter
+
+		select {
+		case <-h.Ready():
+			// The handle holds the signal; the waiter is parked with a
+			// true predicate. This is the window: Cancel must repair.
+			handlePath++
+			h.Cancel()
+		case <-done:
+		case <-time.After(protoWait):
+			t.Fatal("neither handle nor waiter was woken by the relay")
+		}
+		h.Cancel() // idempotent on both paths
+
+		select {
+		case <-done:
+		case <-time.After(protoWait):
+			t.Fatal("waiter starved: cancellation did not pass the in-flight signal on")
+		}
+		if w := m.Waiting(); w != 0 {
+			t.Fatalf("iteration %d: %d waiters leaked", i, w)
+		}
+		if p := m.PendingSignals(); p != 0 {
+			t.Fatalf("iteration %d: %d signals still pending at quiescence", i, p)
+		}
+	}
+	t.Logf("relay chose the armed handle in %d/50 iterations", handlePath)
+}
+
+// TestCorpusBargeFalsify mirrors "barge-falsify": a TryFunc barger may
+// falsify a notified waiter's predicate before it re-enters; the waiter
+// must re-wait and be released by the next production. Conservation is
+// the assertion: each produced item is consumed exactly once.
+func TestCorpusBargeFalsify(t *testing.T) {
+	m := New()
+	x := m.NewInt("x", 0)
+	avail := m.MustCompile("x > 0")
+
+	var got, barge int64
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // waiter: exactly one item
+		defer wg.Done()
+		m.Enter()
+		defer m.Exit()
+		if err := m.AwaitPred(avail); err != nil {
+			panic(err)
+		}
+		x.Add(-1)
+		got++
+	}()
+	go func() { // barger: at most one item, never blocks (Guard.Try)
+		defer wg.Done()
+		m.WhenFunc(func() bool { return x.Get() > 0 }).Try(func() {
+			x.Add(-1)
+			barge++
+		})
+	}()
+	go func() { // producer: two items
+		defer wg.Done()
+		m.Do(func() { x.Add(1) })
+		m.Do(func() { x.Add(1) })
+	}()
+	wg.Wait()
+
+	var rest int64
+	m.Do(func() { rest = x.Get() })
+	if got != 1 {
+		t.Fatalf("waiter consumed %d items, want exactly 1", got)
+	}
+	if rest != 1-barge {
+		t.Fatalf("conservation broken: %d produced, waiter 1, barger %d, left %d", 2, barge, rest)
+	}
+	if w := m.Waiting(); w != 0 {
+		t.Fatalf("%d waiters leaked", w)
+	}
+}
+
+// TestCorpusSelectLoserCancelRepair mirrors "select-loser-cancel": a
+// selector across two monitors wins on one while its losing case may
+// hold the other monitor's relay signal; loser cancellation must hand
+// that signal to the blocking waiter parked behind it. Looped, since the
+// window placement is the scheduler's.
+func TestCorpusSelectLoserCancelRepair(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		m0, m1 := New(), New()
+		x := m0.NewInt("x", 0)
+		y := m1.NewInt("y", 0)
+		xAvail := m0.MustCompile("x > 0")
+		yAvail := m1.MustCompile("y > 0")
+
+		var wg sync.WaitGroup
+		wg.Add(4)
+		go func() { // selector
+			defer wg.Done()
+			_, err := SelectOrdered(
+				m0.When(xAvail).Then(func() { x.Add(-1) }),
+				m1.When(yAvail).Then(func() { y.Add(-1) }),
+			)
+			if err != nil {
+				panic(err)
+			}
+		}()
+		go func() { // blocking waiter on m1
+			defer wg.Done()
+			m1.Enter()
+			defer m1.Exit()
+			if err := m1.AwaitPred(yAvail); err != nil {
+				panic(err)
+			}
+			y.Add(-1)
+		}()
+		go func() { defer wg.Done(); m0.Do(func() { x.Add(1) }) }()
+		go func() { // two y items: one for waiter or selector each way
+			defer wg.Done()
+			m1.Do(func() { y.Add(1) })
+			m1.Do(func() { y.Add(1) })
+		}()
+
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(protoWait):
+			t.Fatalf("iteration %d: scenario hung — a cancelled loser swallowed a signal", i)
+		}
+
+		var rx, ry int64
+		m0.Do(func() { rx = x.Get() })
+		m1.Do(func() { ry = y.Get() })
+		if rx+ry != 1 {
+			t.Fatalf("iteration %d: conservation broken: x=%d y=%d, want one leftover", i, rx, ry)
+		}
+		if w := m0.Waiting() + m1.Waiting(); w != 0 {
+			t.Fatalf("iteration %d: %d waiters leaked", i, w)
+		}
+		if p := m0.PendingSignals() + m1.PendingSignals(); p != 0 {
+			t.Fatalf("iteration %d: %d signals pending at quiescence", i, p)
+		}
+	}
+}

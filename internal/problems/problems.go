@@ -82,6 +82,26 @@ func autoOpts(mech Mechanism) []core.Option {
 	return nil
 }
 
+// AutoOptions is autoOpts for external consumers (the simcheck
+// differential shapes build sharded monitors per mechanism): the core
+// options selecting mech's variant of an automatic monitor.
+func AutoOptions(mech Mechanism) []core.Option { return autoOpts(mech) }
+
+// NewMechanism constructs a fresh monitor of the given mechanism behind
+// the shared core.Mechanism interface, with any extra core options
+// applied. This is the one place the mechanism enum maps to concrete
+// constructors; differential harnesses build their rigs through it.
+func NewMechanism(mech Mechanism, opts ...core.Option) core.Mechanism {
+	switch mech {
+	case Explicit:
+		return core.NewExplicit(opts...)
+	case Baseline:
+		return core.NewBaseline(opts...)
+	default:
+		return newAuto(mech, opts...)
+	}
+}
+
 // DefaultShards is the partition count the sharded scenarios use unless
 // overridden (cmd/autosynch-bench -shards, or the scale-shards sweep).
 const DefaultShards = 8

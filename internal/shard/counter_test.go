@@ -172,6 +172,48 @@ func TestCounterEpochFencingAndPoke(t *testing.T) {
 	}
 }
 
+// TestCounterWatchCorpusMirror is the real-implementation mirror of the
+// simcheck "counter-watch" corpus program (2 shards, threshold 3, two
+// sub-threshold adders racing a bound waiter). The model's exhaustive
+// exploration proves the watch protocol — watch++ then flush-all-shards
+// then park, with watched adds publishing immediately — releases the
+// waiter on every schedule; this loops the concrete race under -race so
+// a regression in that handshake shows up as a hang here.
+func TestCounterWatchCorpusMirror(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		sm, c := newCounter(t, 2, 3)
+		var wg sync.WaitGroup
+		wg.Add(3)
+		released := make(chan struct{})
+		go func() { // watcher: bound 2 is only reachable via precise publication
+			defer wg.Done()
+			if err := c.AwaitAtLeast(2); err != nil {
+				panic(err)
+			}
+			close(released)
+		}()
+		for s := 0; s < 2; s++ {
+			s := s
+			go func() { // adder: one sub-threshold delta on its own shard
+				defer wg.Done()
+				sm.DoShard(s, func(*core.Monitor) { c.Add(s, 1) })
+			}()
+		}
+		select {
+		case <-testutil.Done(&wg):
+		case <-time.After(5 * time.Second):
+			t.Fatalf("iteration %d: watcher stranded on batched deltas", i)
+		}
+		<-released
+		if got := c.Total(); got != 2 {
+			t.Fatalf("iteration %d: Total = %d, want 2", i, got)
+		}
+		if w := c.Summary().Waiting() + sm.Waiting(); w != 0 {
+			t.Fatalf("iteration %d: %d waiters leaked", i, w)
+		}
+	}
+}
+
 // TestCounterConcurrentConformance is the aggregate-predicate conformance
 // test: many goroutines mutate the counter through random shards while
 // bounded waiters come and go; every waiter must observe its bound in the

@@ -1,0 +1,264 @@
+package simcheck
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The corpus: named model programs covering the protocol surface, in the
+// spirit of the goker blocking-bug collections — each entry is either a
+// workload whose every schedule must be clean, or the minimal shape of a
+// historical protocol bug kept as a permanent regression. Tests explore
+// them exhaustively; the -simcheck.replay flag resolves names back to
+// programs, so a failure printed by any test replays from its one line.
+var corpus = map[string]func() Program{
+	"bounded-buffer":      func() Program { return BoundedBuffer(1, 2, 2, 3) },
+	"handoff":             handoffProgram,
+	"ring":                ringProgram,
+	"double-claim":        doubleClaimProgram,
+	"cancel-inflight":     cancelInflightProgram,
+	"barge-falsify":       bargeFalsifyProgram,
+	"handle-multiplex":    handleMultiplexProgram,
+	"select-2x2":          select2x2Program,
+	"select-loser-cancel": selectLoserCancelProgram,
+	"counter-watch":       counterWatchProgram,
+}
+
+// Programs lists the corpus names, sorted.
+func Programs() []string {
+	names := make([]string, 0, len(corpus))
+	for n := range corpus {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MustProgram returns the named corpus program, panicking on an unknown
+// name (the replay flag's error path reports the valid names first).
+func MustProgram(name string) Program {
+	mk, ok := corpus[name]
+	if !ok {
+		panic(fmt.Sprintf("simcheck: no corpus program %q (have %v)", name, Programs()))
+	}
+	return mk()
+}
+
+// BoundedBuffer builds the classic producer/consumer workload on one
+// monitor: producers wait for space, consumers for items.
+func BoundedBuffer(capacity int64, producers, consumers, opsEach int) Program {
+	p := Program{Init: State{"count": 0, "cap": capacity}}
+	space := func(s State) bool { return s["count"] < s["cap"] }
+	items := func(s State) bool { return s["count"] > 0 }
+	for i := 0; i < producers; i++ {
+		var ops []Op
+		for j := 0; j < opsEach; j++ {
+			ops = append(ops, Wait("put", space, func(s State) { s["count"]++ }))
+		}
+		p.Threads = append(p.Threads, Thread{Name: "producer", Ops: ops})
+	}
+	for i := 0; i < consumers; i++ {
+		var ops []Op
+		for j := 0; j < opsEach; j++ {
+			ops = append(ops, Wait("take", items, func(s State) { s["count"]-- }))
+		}
+		p.Threads = append(p.Threads, Thread{Name: "consumer", Ops: ops})
+	}
+	return p
+}
+
+// handoffProgram is the paper's §4.2 running example: a consumer needs 32
+// items, 24 exist, a producer adds 16 — the producer's exit must relay.
+func handoffProgram() Program {
+	return Program{
+		Init: State{"count": 24},
+		Threads: []Thread{
+			{Name: "consumer", Ops: []Op{
+				Wait("take32", func(s State) bool { return s["count"] >= 32 },
+					func(s State) { s["count"] -= 32 }),
+			}},
+			{Name: "producer", Ops: []Op{
+				Step("put16", func(s State) { s["count"] += 16 }),
+			}},
+		},
+	}
+}
+
+// ringProgram is a three-thread round-robin: every relay must reach the
+// unique eligible waiter or the ring stalls.
+func ringProgram() Program {
+	mk := func(id int64) Thread {
+		var ops []Op
+		for j := 0; j < 2; j++ {
+			ops = append(ops, Wait("turn", func(s State) bool { return s["turn"] == id },
+				func(s State) { s["turn"] = (s["turn"] + 1) % 3 }))
+		}
+		return Thread{Name: fmt.Sprintf("rr%d", id), Ops: ops}
+	}
+	return Program{Init: State{"turn": 0}, Threads: []Thread{mk(0), mk(1), mk(2)}}
+}
+
+// doubleClaimProgram arms one handle and claims it twice: the second
+// claim must be the ErrClaimed no-op on a spent slot, never a second
+// consumption.
+func doubleClaimProgram() Program {
+	return Program{
+		Init: State{"x": 0, "got": 0},
+		Threads: []Thread{
+			{Name: "holder", Ops: []Op{
+				Arm("arm", "h", func(s State) bool { return s["x"] > 0 }),
+				Claim("claim", "h", func(s State) { s["x"]--; s["got"]++ }),
+				Claim("reclaim", "h", func(s State) { s["got"] += 100 }), // must never run
+			}},
+			{Name: "producer", Ops: []Op{
+				Step("produce", func(s State) { s["x"]++ }),
+			}},
+		},
+	}
+}
+
+// cancelInflightProgram is the signal-to-cancelled-waiter shape: the
+// armed handle is first in registration order, so a relay signal can land
+// on it while a blocking waiter needs the same resource; Cancel must
+// reconcile the in-flight signal and relay it onward. With
+// DisableCancelRepair the waiter starves — the checker's deadlock.
+func cancelInflightProgram() Program {
+	avail := func(s State) bool { return s["x"] > 0 }
+	return Program{
+		Init: State{"x": 0},
+		Threads: []Thread{
+			{Name: "holder", Ops: []Op{
+				Arm("arm", "h", avail),
+				Cancel("cancel", "h"),
+			}},
+			{Name: "waiter", Ops: []Op{
+				Wait("wait", avail, func(s State) { s["x"]-- }),
+			}},
+			{Name: "producer", Ops: []Op{
+				Step("produce", func(s State) { s["x"]++ }),
+			}},
+		},
+	}
+}
+
+// bargeFalsifyProgram exercises the Fig. 6 do-while: a Try can barge in
+// between a waiter's notification and its re-entry, falsifying the
+// predicate; the waiter must re-wait (futile wake), and the second
+// production must release it.
+func bargeFalsifyProgram() Program {
+	avail := func(s State) bool { return s["x"] > 0 }
+	return Program{
+		Init: State{"x": 0, "got": 0, "barge": 0},
+		Threads: []Thread{
+			{Name: "waiter", Ops: []Op{
+				Wait("wait", avail, func(s State) { s["x"]--; s["got"]++ }),
+			}},
+			{Name: "barger", Ops: []Op{
+				Try("barge", avail, func(s State) { s["x"]--; s["barge"]++ }, nil),
+			}},
+			{Name: "producer", Ops: []Op{
+				Step("produce", func(s State) { s["x"]++ }),
+				Step("produce", func(s State) { s["x"]++ }),
+			}},
+		},
+	}
+}
+
+// handleMultiplexProgram arms handles on two monitors and claims them in
+// sequence — the waiter-per-monitor bookkeeping must keep the handles
+// independent.
+func handleMultiplexProgram() Program {
+	xAvail := func(s State) bool { return s["x"] > 0 }
+	yAvail := func(s State) bool { return s["y"] > 0 }
+	return Program{
+		Init: State{"x": 0, "y": 0},
+		Threads: []Thread{
+			{Name: "holder", Ops: []Op{
+				Arm("armX", "hx", xAvail).On(0),
+				Arm("armY", "hy", yAvail).On(1),
+				Claim("claimX", "hx", func(s State) { s["x"]-- }),
+				Claim("claimY", "hy", func(s State) { s["y"]-- }),
+			}},
+			{Name: "px", Ops: []Op{Step("fx", func(s State) { s["x"]++ }).On(0)}},
+			{Name: "py", Ops: []Op{Step("fy", func(s State) { s["y"]++ }).On(1)}},
+		},
+	}
+}
+
+// select2x2Program: two selectors race for one resource on each of two
+// monitors. Every schedule must end with both resources consumed, one by
+// each selector — the shared-delivery claim protocol must neither lose a
+// case nor double-deliver one.
+func select2x2Program() Program {
+	xAvail := func(s State) bool { return s["x"] > 0 }
+	yAvail := func(s State) bool { return s["y"] > 0 }
+	sel := func(name, won string) Thread {
+		return Thread{Name: name, Ops: []Op{
+			Select("pick",
+				Case(0, "cx", xAvail, func(s State) { s["x"]--; s[won] = 1 }),
+				Case(1, "cy", yAvail, func(s State) { s["y"]--; s[won] = 2 }),
+			),
+		}}
+	}
+	return Program{
+		Init: State{"x": 0, "y": 0, "w1": 0, "w2": 0},
+		Threads: []Thread{
+			sel("sel1", "w1"),
+			sel("sel2", "w2"),
+			{Name: "px", Ops: []Op{Step("fx", func(s State) { s["x"]++ }).On(0)}},
+			{Name: "py", Ops: []Op{Step("fy", func(s State) { s["y"]++ }).On(1)}},
+		},
+	}
+}
+
+// selectLoserCancelProgram is the cross-monitor Select with an in-flight
+// relay: the selector's y-case can hold monitor 1's relay signal when the
+// selector wins on x, and the loser cancellation must pass that signal to
+// the blocked waiter. With DisableCancelRepair the waiter starves.
+func selectLoserCancelProgram() Program {
+	xAvail := func(s State) bool { return s["x"] > 0 }
+	yAvail := func(s State) bool { return s["y"] > 0 }
+	return Program{
+		Init: State{"x": 0, "y": 0, "sel": 0},
+		Threads: []Thread{
+			{Name: "selector", Ops: []Op{
+				Select("pick",
+					Case(0, "cx", xAvail, func(s State) { s["x"]--; s["sel"] = 1 }),
+					Case(1, "cy", yAvail, func(s State) { s["y"]--; s["sel"] = 2 }),
+				),
+			}},
+			{Name: "waiter", Ops: []Op{
+				Wait("wait", yAvail, func(s State) { s["y"]-- }).On(1),
+			}},
+			{Name: "px", Ops: []Op{Step("fx", func(s State) { s["x"]++ }).On(0)}},
+			{Name: "py", Ops: []Op{
+				Step("fy", func(s State) { s["y"]++ }).On(1),
+				Step("fy", func(s State) { s["y"]++ }).On(1),
+			}},
+		},
+	}
+}
+
+// counterWatchProgram models the shard.Counter watch protocol: deltas of
+// 1 against a threshold of 3 never publish on their own, so the
+// aggregate waiter's watch/flush/park sequence is the only thing keeping
+// it from sleeping forever on stale batches.
+func counterWatchProgram() Program {
+	return Program{
+		Init: State{"adds": 0},
+		Counters: []CounterSpec{
+			{Name: "c", ShardMons: []int{0, 1}, Threshold: 3},
+		},
+		Threads: []Thread{
+			{Name: "addA", Ops: []Op{
+				CounterAdd("add", "c", 0, 1, func(s State) { s["adds"]++ }),
+			}},
+			{Name: "addB", Ops: []Op{
+				CounterAdd("add", "c", 1, 1, func(s State) { s["adds"]++ }),
+			}},
+			{Name: "watcher", Ops: []Op{
+				CounterAwait("await2", "c", 2),
+			}},
+		},
+	}
+}

@@ -1,0 +1,76 @@
+package simcheck
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/problems"
+)
+
+// TestDifferentialShapes runs every Shape both ways: the model program
+// explored exhaustively with nondeterministic relay targets (so the
+// model's terminal set over-approximates anything the real tag
+// structures may do), and the concrete scenario against the real
+// mechanisms under the race detector. Every real outcome must be a
+// model-reachable terminal state.
+func TestDifferentialShapes(t *testing.T) {
+	const runsPerMech = 5
+
+	for _, shape := range Shapes() {
+		shape := shape
+		t.Run(shape.Name, func(t *testing.T) {
+			res, err := Explore(shape.Model, Options{RelayNondet: true})
+			if err != nil {
+				t.Fatalf("model exploration: %v", err)
+			}
+			terminals := res.TerminalSet()
+			if len(terminals) == 0 {
+				t.Fatal("model reached no terminal state")
+			}
+			t.Logf("model: %d states, %d terminals", res.States, len(terminals))
+
+			mechs := shape.Mechs
+			if mechs == nil {
+				mechs = problems.All
+			}
+			for _, mech := range mechs {
+				mech := mech
+				t.Run(mech.String(), func(t *testing.T) {
+					t.Parallel()
+					for run := 0; run < runsPerMech; run++ {
+						outcome := runWithWatchdog(t, shape, mech)
+						if _, ok := terminals[outcome.key()]; !ok {
+							t.Fatalf("run %d: real outcome %s is not a model-reachable terminal; model has %v",
+								run, outcome.key(), keysOf(terminals))
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// runWithWatchdog runs the shape's concrete scenario, failing the test
+// if it does not complete — a hang here is exactly the class of bug the
+// model checks for, so report it as such instead of letting the test
+// binary time out.
+func runWithWatchdog(t *testing.T, shape Shape, mech problems.Mechanism) State {
+	t.Helper()
+	done := make(chan State, 1)
+	go func() { done <- shape.Run(mech) }()
+	select {
+	case s := <-done:
+		return s
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s on %s: real scenario did not terminate (blocked goroutine?)", shape.Name, mech)
+		return nil
+	}
+}
+
+func keysOf(set map[string]State) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package simcheck
+
+import (
+	"fmt"
+	"strings"
+)
+
+// explorer runs the exhaustive DFS over schedules: every enabled thread
+// at every configuration, every internal choice (via the chooser
+// odometer), memoized on the 128-bit configuration hash and pruned with
+// sleep-set partial-order reduction.
+type explorer struct {
+	mc   *machine
+	res  *Result
+	memo map[[16]byte][][]int
+}
+
+func (mc *machine) explore() (*Result, error) {
+	e := &explorer{mc: mc, res: &Result{}, memo: map[[16]byte][][]int{}}
+	err := e.dfs(newConfig(mc), 0, nil, nil, nil)
+	return e.res, err
+}
+
+func memberOf(set []int, ti int) bool {
+	for _, v := range set {
+		if v == ti {
+			return true
+		}
+	}
+	return false
+}
+
+func subsetOf(a, b []int) bool {
+	for _, v := range a {
+		if !memberOf(b, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// covered reports whether an earlier visit already explored at least as
+// much as this arrival would: some recorded sleep set is a subset of the
+// current one (a smaller sleep set means more successors were taken).
+func covered(recorded [][]int, sleep []int) bool {
+	for _, r := range recorded {
+		if subsetOf(r, sleep) {
+			return true
+		}
+	}
+	return false
+}
+
+// record adds sleep to the state's antichain of explored sleep sets,
+// dropping any recorded superset it now dominates.
+func (e *explorer) record(h [16]byte, sleep []int) {
+	kept := e.memo[h][:0]
+	for _, r := range e.memo[h] {
+		if !subsetOf(sleep, r) {
+			kept = append(kept, r)
+		}
+	}
+	e.memo[h] = append(kept, append([]int(nil), sleep...))
+}
+
+// nextScript advances the choice odometer: the lexicographically next
+// script after a run that took the recorded choices, or nil when that
+// run's choices were all at their maxima.
+func nextScript(taken, arity []int) []int {
+	for i := len(taken) - 1; i >= 0; i-- {
+		if taken[i]+1 < arity[i] {
+			out := append([]int(nil), taken[:i]...)
+			return append(out, taken[i]+1)
+		}
+	}
+	return nil
+}
+
+// token renders one schedule entry: the thread index, plus any internal
+// choices the step took.
+func token(ti int, taken []int) string {
+	if len(taken) == 0 {
+		return fmt.Sprintf("%d", ti)
+	}
+	parts := make([]string, len(taken))
+	for i, v := range taken {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return fmt.Sprintf("%d:%s", ti, strings.Join(parts, "."))
+}
+
+// dfs explores every schedule from c. trace holds human-readable step
+// labels, sched the machine-readable tokens, sleep the sleep set carried
+// into this configuration.
+func (e *explorer) dfs(c *config, depth int, trace, sched []string, sleep []int) error {
+	var enabled []int
+	unfinished := false
+	for ti := range c.threads {
+		if !c.threads[ti].done() {
+			unfinished = true
+		}
+		if e.mc.runnable(c, ti) {
+			enabled = append(enabled, ti)
+		}
+	}
+
+	if len(enabled) == 0 {
+		if unfinished {
+			var stuck []string
+			for ti := range c.threads {
+				if !c.threads[ti].done() {
+					stuck = append(stuck, e.mc.prog.Threads[ti].Name)
+				}
+			}
+			return &Violation{
+				Kind:     fmt.Sprintf("deadlock freedom: threads [%s] blocked with no runnable thread", strings.Join(stuck, " ")),
+				Trace:    trace,
+				Schedule: strings.Join(sched, ","),
+				State:    c.state.clone(),
+			}
+		}
+		if v := e.mc.terminalViolation(c); v != nil {
+			v.Trace = trace
+			v.Schedule = strings.Join(sched, ",")
+			return v
+		}
+		e.res.addTerminal(e.mc.observe(c.state))
+		return nil
+	}
+
+	if depth >= e.mc.opts.MaxDepth {
+		return &Violation{
+			Kind:     fmt.Sprintf("depth bound: schedule reached %d steps without terminating (livelock, or raise Options.MaxDepth)", depth),
+			Trace:    trace,
+			Schedule: strings.Join(sched, ","),
+			State:    c.state.clone(),
+		}
+	}
+
+	if !e.mc.opts.DisableMemo {
+		h := e.mc.hash(c)
+		if covered(e.memo[h], sleep) {
+			e.res.Revisits++
+			return nil
+		}
+		e.record(h, sleep)
+	}
+	e.res.States++
+	if e.res.States > e.mc.opts.MaxStates {
+		return fmt.Errorf("simcheck: state budget exhausted (over %d configurations; raise Options.MaxStates)", e.mc.opts.MaxStates)
+	}
+	if depth > e.res.DeepestTrace {
+		e.res.DeepestTrace = depth
+	}
+
+	var done []int // threads already explored from this configuration
+	for _, ti := range enabled {
+		if !e.mc.opts.DisableSleepSets && memberOf(sleep, ti) {
+			e.res.SleepSkips++
+			continue
+		}
+
+		// The successor's sleep set: every thread slept here or already
+		// explored here whose next step is independent of ti's.
+		var childSleep []int
+		if !e.mc.opts.DisableSleepSets {
+			for _, u := range sleep {
+				if u != ti && e.mc.independent(c, u, ti) {
+					childSleep = append(childSleep, u)
+				}
+			}
+			for _, u := range done {
+				if u != ti && !memberOf(childSleep, u) && e.mc.independent(c, u, ti) {
+					childSleep = append(childSleep, u)
+				}
+			}
+		}
+
+		// Enumerate every internal choice of this step via the odometer.
+		var script []int
+		for {
+			child := c.clone()
+			ch := &chooser{script: script}
+			label, viol := e.mc.exec(child, ti, ch)
+			e.res.Transitions++
+			if e.res.Transitions > e.mc.opts.MaxTransitions {
+				return fmt.Errorf("simcheck: transition budget exhausted (over %d steps; raise Options.MaxTransitions)", e.mc.opts.MaxTransitions)
+			}
+			ctrace := append(trace[:len(trace):len(trace)], label)
+			csched := append(sched[:len(sched):len(sched)], token(ti, ch.taken))
+			if viol != nil {
+				viol.Trace = ctrace
+				viol.Schedule = strings.Join(csched, ",")
+				return viol
+			}
+			if err := e.dfs(child, depth+1, ctrace, csched, childSleep); err != nil {
+				return err
+			}
+			if script = nextScript(ch.taken, ch.arity); script == nil {
+				break
+			}
+		}
+		done = append(done, ti)
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package simcheck
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+)
+
+// FuzzOptions configures the random-priority scheduler.
+type FuzzOptions struct {
+	// Runs is the number of independent schedules to sample (default 200).
+	Runs int
+	// Seed makes the whole campaign reproducible: run r uses the PCG
+	// stream (Seed, r). Always log it.
+	Seed uint64
+	// Steps bounds each run's schedule length (default 10 000).
+	Steps int
+	// ChangePoints is the number of priority-change points injected per
+	// run (the d−1 of PCT, default 3): at each, the highest-priority
+	// runnable thread is demoted below every other, covering bugs of
+	// depth up to d.
+	ChangePoints int
+	// Check carries the semantic options (RelayNondet is implied: the
+	// fuzzer resolves every internal choice randomly).
+	Check Options
+}
+
+func (fo FuzzOptions) withDefaults() FuzzOptions {
+	if fo.Runs == 0 {
+		fo.Runs = 200
+	}
+	if fo.Steps == 0 {
+		fo.Steps = 10000
+	}
+	if fo.ChangePoints == 0 {
+		fo.ChangePoints = 3
+	}
+	return fo
+}
+
+// FuzzReport summarizes a fuzz campaign.
+type FuzzReport struct {
+	Runs        int // schedules completed without violation
+	Transitions int
+	Seed        uint64
+}
+
+// Fuzz samples schedules of p under a seeded random-priority (PCT-style)
+// scheduler: each run assigns random thread priorities, always steps the
+// highest-priority runnable thread, and demotes the current leader at a
+// few random change points — biasing toward the adversarial orderings an
+// uninstrumented scheduler rarely produces. Internal choices (relay
+// targets under RelayNondet, Select claim order) are resolved randomly
+// and recorded, so a violation's Schedule replays deterministically. It
+// returns the first violation as the error.
+func Fuzz(p Program, fo FuzzOptions) (*FuzzReport, error) {
+	fo = fo.withDefaults()
+	rep := &FuzzReport{Seed: fo.Seed}
+	mc, err := compile(p, fo.Check.withDefaults())
+	if err != nil {
+		return rep, err
+	}
+	for run := 0; run < fo.Runs; run++ {
+		rng := rand.New(rand.NewPCG(fo.Seed, uint64(run)))
+		if err := mc.fuzzOnce(rng, fo, rep); err != nil {
+			return rep, err
+		}
+		rep.Runs++
+	}
+	return rep, nil
+}
+
+func (mc *machine) fuzzOnce(rng *rand.Rand, fo FuzzOptions, rep *FuzzReport) error {
+	c := newConfig(mc)
+	n := len(c.threads)
+	prio := make([]int, n)
+	for i, v := range rng.Perm(n) {
+		prio[i] = v + n // leave room below for demotions
+	}
+	floor := n
+	change := map[int]bool{}
+	for i := 0; i < fo.ChangePoints; i++ {
+		change[rng.IntN(fo.Steps)] = true
+	}
+
+	var trace, sched []string
+	for step := 0; ; step++ {
+		var enabled []int
+		unfinished := false
+		for ti := 0; ti < n; ti++ {
+			if !c.threads[ti].done() {
+				unfinished = true
+			}
+			if mc.runnable(c, ti) {
+				enabled = append(enabled, ti)
+			}
+		}
+		if len(enabled) == 0 {
+			if unfinished {
+				var stuck []string
+				for ti := 0; ti < n; ti++ {
+					if !c.threads[ti].done() {
+						stuck = append(stuck, mc.prog.Threads[ti].Name)
+					}
+				}
+				return &Violation{
+					Kind:     fmt.Sprintf("deadlock freedom: threads [%s] blocked with no runnable thread", strings.Join(stuck, " ")),
+					Trace:    trace,
+					Schedule: strings.Join(sched, ","),
+					State:    c.state.clone(),
+				}
+			}
+			if v := mc.terminalViolation(c); v != nil {
+				v.Trace = trace
+				v.Schedule = strings.Join(sched, ",")
+				return v
+			}
+			return nil
+		}
+		if step >= fo.Steps {
+			return &Violation{
+				Kind:     fmt.Sprintf("depth bound: fuzz run reached %d steps without terminating (livelock, or raise FuzzOptions.Steps)", step),
+				Trace:    trace,
+				Schedule: strings.Join(sched, ","),
+				State:    c.state.clone(),
+			}
+		}
+
+		best := enabled[0]
+		for _, ti := range enabled[1:] {
+			if prio[ti] > prio[best] {
+				best = ti
+			}
+		}
+		if change[step] {
+			floor--
+			prio[best] = floor // demote the leader below everyone
+			best = enabled[0]
+			for _, ti := range enabled[1:] {
+				if prio[ti] > prio[best] {
+					best = ti
+				}
+			}
+		}
+
+		ch := &chooser{rand: rng.IntN}
+		label, viol := mc.exec(c, best, ch)
+		rep.Transitions++
+		trace = append(trace, label)
+		sched = append(sched, token(best, ch.taken))
+		if viol != nil {
+			viol.Trace = trace
+			viol.Schedule = strings.Join(sched, ",")
+			return viol
+		}
+	}
+}

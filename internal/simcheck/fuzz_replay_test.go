@@ -1,0 +1,176 @@
+package simcheck
+
+import (
+	"flag"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+var replayFlag = flag.String("simcheck.replay", "",
+	"replay one schedule against a corpus program: 'name[flags]:schedule', as printed by a failing exploration or fuzz test")
+
+// TestReplayFlag re-runs exactly the schedule given on the command line:
+//
+//	go test ./internal/simcheck -run TestReplayFlag -simcheck.replay='bounded-buffer[!norelay]:0,1,2,3'
+//
+// It fails iff the replayed schedule produces a violation, printing it —
+// so a schedule string from any CI failure reproduces deterministically.
+func TestReplayFlag(t *testing.T) {
+	if *replayFlag == "" {
+		t.Skip("no -simcheck.replay argument")
+	}
+	name, opts, sched, err := ParseReplayArg(*replayFlag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Replay(MustProgram(name), sched, opts); err != nil {
+		t.Fatalf("replayed schedule fails:\n%v", err)
+	}
+}
+
+func TestLostWakeupMutationCaughtAndReplays(t *testing.T) {
+	// Acceptance: disabling the relay rule plants a lost wake-up in the
+	// bounded buffer; exhaustive exploration must catch it, and the
+	// reported schedule must replay to the identical violation — twice,
+	// and through the replay-flag plumbing (ReplayArg/ParseReplayArg).
+	opts := Options{DisableRelay: true}
+	err := Check(MustProgram("bounded-buffer"), opts)
+	if err == nil {
+		t.Fatal("lost-wakeup mutation not caught")
+	}
+	v, ok := err.(*Violation)
+	if !ok {
+		t.Fatalf("expected *Violation, got %T: %v", err, err)
+	}
+	if !strings.Contains(v.Kind, "relay invariance") && !strings.Contains(v.Kind, "deadlock") {
+		t.Fatalf("unexpected violation kind: %v", v)
+	}
+	if v.Schedule == "" {
+		t.Fatal("violation carries no schedule")
+	}
+
+	arg := ReplayArg("bounded-buffer", opts, v.Schedule)
+	for i := 0; i < 2; i++ {
+		name, popts, sched, err := ParseReplayArg(arg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name != "bounded-buffer" || !popts.DisableRelay || sched != v.Schedule {
+			t.Fatalf("replay arg did not round-trip: %q -> %q %+v %q", arg, name, popts, sched)
+		}
+		rerr := Replay(MustProgram(name), sched, popts)
+		if rerr == nil {
+			t.Fatal("replay of the failing schedule passed")
+		}
+		rv, ok := rerr.(*Violation)
+		if !ok {
+			t.Fatalf("replay returned %T: %v", rerr, rerr)
+		}
+		if rv.Kind != v.Kind || rv.State.key() != v.State.key() {
+			t.Fatalf("replay diverged on run %d:\n exploration: %s / %s\n replay:      %s / %s",
+				i, v.Kind, v.State.key(), rv.Kind, rv.State.key())
+		}
+	}
+}
+
+func TestReplayDivergenceDetected(t *testing.T) {
+	// A schedule recorded under one semantics must not silently replay
+	// under another: scheduling a thread that is not runnable is reported
+	// as divergence, not executed.
+	err := Replay(MustProgram("handoff"), "0,0,1", Options{})
+	if err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("expected divergence error, got %v", err)
+	}
+}
+
+func TestReplayArgParseErrors(t *testing.T) {
+	if _, _, _, err := ParseReplayArg("no-brackets"); err == nil {
+		t.Error("malformed arg accepted")
+	}
+	if _, _, _, err := ParseReplayArg("name[!bogus]:0,1"); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestFuzzCleanCorpus(t *testing.T) {
+	// A short seeded campaign over the corpus: every sampled schedule of
+	// every clean program must pass. Deterministic seed — this is the
+	// regression net; the long randomized pass is TestFuzzLong.
+	for _, name := range Programs() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			rep, err := Fuzz(MustProgram(name), FuzzOptions{
+				Runs:  50,
+				Seed:  1,
+				Check: Options{RelayNondet: true},
+			})
+			if err != nil {
+				t.Fatalf("seed %d: %v", rep.Seed, err)
+			}
+		})
+	}
+}
+
+func TestFuzzCatchesMutationWithReplayableSchedule(t *testing.T) {
+	// The fuzzer must find the lost wake-up too, and its randomized
+	// schedule — internal choices included — must replay exactly.
+	opts := Options{DisableRelay: true, RelayNondet: true}
+	rep, err := Fuzz(MustProgram("bounded-buffer"), FuzzOptions{Runs: 200, Seed: 7, Check: opts})
+	if err == nil {
+		t.Fatalf("fuzzer missed the lost-wakeup mutation in %d runs", rep.Runs)
+	}
+	v, ok := err.(*Violation)
+	if !ok {
+		t.Fatalf("expected *Violation, got %T: %v", err, err)
+	}
+	rerr := Replay(MustProgram("bounded-buffer"), v.Schedule, opts)
+	if rerr == nil {
+		t.Fatal("replay of the fuzzer's failing schedule passed")
+	}
+	rv, ok := rerr.(*Violation)
+	if !ok {
+		t.Fatalf("replay returned %T: %v", rerr, rerr)
+	}
+	if rv.Kind != v.Kind || rv.State.key() != v.State.key() {
+		t.Fatalf("replay diverged:\n fuzzer: %s / %s\n replay: %s / %s",
+			v.Kind, v.State.key(), rv.Kind, rv.State.key())
+	}
+}
+
+// TestFuzzLong is the opt-in long-budget pass CI runs on demand: set
+// SIMCHECK_FUZZ_RUNS to enable (and SIMCHECK_FUZZ_SEED to pin a seed —
+// the chosen seed is always logged for reproduction).
+func TestFuzzLong(t *testing.T) {
+	runsEnv := os.Getenv("SIMCHECK_FUZZ_RUNS")
+	if runsEnv == "" {
+		t.Skip("SIMCHECK_FUZZ_RUNS not set; short corpus fuzz is TestFuzzCleanCorpus")
+	}
+	runs, err := strconv.Atoi(runsEnv)
+	if err != nil || runs <= 0 {
+		t.Fatalf("SIMCHECK_FUZZ_RUNS=%q is not a positive integer", runsEnv)
+	}
+	seed := testutil.SeedFromEnv(t, "SIMCHECK_FUZZ_SEED")
+	for _, name := range Programs() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			rep, err := Fuzz(MustProgram(name), FuzzOptions{
+				Runs:  runs,
+				Seed:  seed,
+				Check: Options{RelayNondet: true},
+			})
+			if err != nil {
+				v, _ := err.(*Violation)
+				if v != nil {
+					t.Fatalf("seed %d: %v\nreplay with: -simcheck.replay='%s'",
+						seed, err, ReplayArg(name, Options{RelayNondet: true}, v.Schedule))
+				}
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			t.Logf("%s: %d runs, %d transitions, seed %d", name, rep.Runs, rep.Transitions, rep.Seed)
+		})
+	}
+}

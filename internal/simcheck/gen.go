@@ -1,0 +1,277 @@
+package simcheck
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/problems"
+	"repro/internal/shard"
+)
+
+// This file closes the loop between the model and the real
+// implementation: each Shape is one small scenario emitted twice — as a
+// simcheck Program whose terminal states are enumerated exhaustively
+// (with RelayNondet, since the real tag structures may relay to any
+// eligible waiter), and as a concrete goroutine scenario run against a
+// real mechanism under -race. The differential check is terminal-state
+// membership: every real outcome must be a model-reachable terminal.
+
+// Rig is one concrete monitor under differential test: the mechanism
+// plus a pulse that manual-signaling mechanisms need after every
+// mutation (a Cond broadcast for Explicit, a no-op elsewhere — the
+// model's relay rule is what the automatic mechanisms replace it with).
+type Rig struct {
+	Mech  core.Mechanism
+	Pulse func()
+}
+
+// NewRig builds a fresh monitor of the given mechanism.
+func NewRig(mech problems.Mechanism) Rig {
+	m := problems.NewMechanism(mech)
+	r := Rig{Mech: m, Pulse: func() {}}
+	if e, ok := m.(*core.Explicit); ok {
+		cond := e.NewCond()
+		r.Pulse = cond.Broadcast
+	}
+	return r
+}
+
+// Shape pairs a model program with its concrete scenario.
+type Shape struct {
+	Name  string
+	Model Program
+	// Run drives the real scenario to completion against mech and
+	// returns the observed terminal state, in the model's Observe
+	// projection. It must only return once every goroutine it started
+	// has finished.
+	Run func(mech problems.Mechanism) State
+	// Mechs restricts the mechanisms the shape runs against (nil = all
+	// four).
+	Mechs []problems.Mechanism
+}
+
+// Shapes returns the differential scenarios.
+func Shapes() []Shape {
+	return []Shape{
+		bufferShape(),
+		handoffShape(),
+		raceTakeShape(),
+		cancelRepairShape(),
+		select2Shape(),
+		counterShape(),
+	}
+}
+
+// bufferShape: the capacity-1 bounded buffer, 2×2 threads × 2 ops.
+// Terminal is always count=0; the differential content is that no
+// mechanism deadlocks or overfills on any real schedule.
+func bufferShape() Shape {
+	run := func(mech problems.Mechanism) State {
+		r := NewRig(mech)
+		var count int64
+		var wg sync.WaitGroup
+		work := func(pred func() bool, mut func()) {
+			defer wg.Done()
+			for i := 0; i < 2; i++ {
+				r.Mech.Enter()
+				r.Mech.AwaitFunc(pred)
+				mut()
+				r.Pulse()
+				r.Mech.Exit()
+			}
+		}
+		wg.Add(4)
+		for i := 0; i < 2; i++ {
+			go work(func() bool { return count < 1 }, func() { count++ })
+			go work(func() bool { return count > 0 }, func() { count-- })
+		}
+		wg.Wait()
+		return State{"count": count, "cap": 1}
+	}
+	return Shape{Name: "buffer", Model: BoundedBuffer(1, 2, 2, 2), Run: run}
+}
+
+// handoffShape: the §4.2 parameterized handoff — the producer's exit
+// must relay to the threshold waiter.
+func handoffShape() Shape {
+	run := func(mech problems.Mechanism) State {
+		r := NewRig(mech)
+		count := int64(24)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			r.Mech.Enter()
+			r.Mech.AwaitFunc(func() bool { return count >= 32 })
+			count -= 32
+			r.Pulse()
+			r.Mech.Exit()
+		}()
+		go func() {
+			defer wg.Done()
+			r.Mech.Do(func() { count += 16; r.Pulse() })
+		}()
+		wg.Wait()
+		return State{"count": count}
+	}
+	return Shape{Name: "handoff", Model: MustProgram("handoff"), Run: run}
+}
+
+// raceTakeShape: two non-blocking Try takers race one producer. The
+// outcome is genuinely nondeterministic — either taker, or neither, gets
+// the item — so membership in the model's terminal set is the whole
+// assertion.
+func raceTakeShape() Shape {
+	avail := func(s State) bool { return s["x"] > 0 }
+	model := Program{
+		Init: State{"x": 0, "a": 0, "b": 0},
+		Threads: []Thread{
+			{Name: "takerA", Ops: []Op{Try("tryA", avail, func(s State) { s["x"]--; s["a"] = 1 }, nil)}},
+			{Name: "takerB", Ops: []Op{Try("tryB", avail, func(s State) { s["x"]--; s["b"] = 1 }, nil)}},
+			{Name: "producer", Ops: []Op{Step("produce", func(s State) { s["x"]++ })}},
+		},
+	}
+	run := func(mech problems.Mechanism) State {
+		r := NewRig(mech)
+		var x, a, b int64
+		var wg sync.WaitGroup
+		take := func(flag *int64) {
+			defer wg.Done()
+			r.Mech.WhenFunc(func() bool { return x > 0 }).Try(func() {
+				x--
+				*flag = 1
+				r.Pulse()
+			})
+		}
+		wg.Add(3)
+		go take(&a)
+		go take(&b)
+		go func() {
+			defer wg.Done()
+			r.Mech.Do(func() { x++; r.Pulse() })
+		}()
+		wg.Wait()
+		return State{"x": x, "a": a, "b": b}
+	}
+	return Shape{Name: "race-take", Model: model, Run: run}
+}
+
+// cancelRepairShape mirrors the cancel-inflight corpus program: an armed
+// handle that may be holding the in-flight signal is cancelled while a
+// blocking waiter needs it; Cancel's relay repair must keep the waiter
+// alive on every schedule.
+func cancelRepairShape() Shape {
+	run := func(mech problems.Mechanism) State {
+		r := NewRig(mech)
+		var x int64
+		var wg sync.WaitGroup
+		wg.Add(3)
+		go func() { // holder: arm, then cancel
+			defer wg.Done()
+			h := r.Mech.ArmFunc(func() bool { return x > 0 })
+			h.Cancel()
+		}()
+		go func() { // waiter
+			defer wg.Done()
+			r.Mech.Enter()
+			r.Mech.AwaitFunc(func() bool { return x > 0 })
+			x--
+			r.Pulse()
+			r.Mech.Exit()
+		}()
+		go func() { // producer
+			defer wg.Done()
+			r.Mech.Do(func() { x++; r.Pulse() })
+		}()
+		wg.Wait()
+		return State{"x": x}
+	}
+	return Shape{Name: "cancel-repair", Model: MustProgram("cancel-inflight"), Run: run}
+}
+
+// select2Shape: one selector over guards on two monitors, one feeder
+// each. The selector consumes exactly one resource; which one is the
+// scheduler's choice, so the model's terminal set has both outcomes.
+func select2Shape() Shape {
+	xAvail := func(s State) bool { return s["x"] > 0 }
+	yAvail := func(s State) bool { return s["y"] > 0 }
+	model := Program{
+		Init: State{"x": 0, "y": 0, "sel": 0},
+		Threads: []Thread{
+			{Name: "selector", Ops: []Op{
+				Select("pick",
+					Case(0, "cx", xAvail, func(s State) { s["x"]--; s["sel"] = 1 }),
+					Case(1, "cy", yAvail, func(s State) { s["y"]--; s["sel"] = 2 }),
+				),
+			}},
+			{Name: "px", Ops: []Op{Step("fx", func(s State) { s["x"]++ }).On(0)}},
+			{Name: "py", Ops: []Op{Step("fy", func(s State) { s["y"]++ }).On(1)}},
+		},
+	}
+	run := func(mech problems.Mechanism) State {
+		r0, r1 := NewRig(mech), NewRig(mech)
+		var x, y, sel int64
+		var wg sync.WaitGroup
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			_, err := core.SelectOrdered(
+				r0.Mech.WhenFunc(func() bool { return x > 0 }).Then(func() { x--; sel = 1; r0.Pulse() }),
+				r1.Mech.WhenFunc(func() bool { return y > 0 }).Then(func() { y--; sel = 2; r1.Pulse() }),
+			)
+			if err != nil {
+				panic(err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			r0.Mech.Do(func() { x++; r0.Pulse() })
+		}()
+		go func() {
+			defer wg.Done()
+			r1.Mech.Do(func() { y++; r1.Pulse() })
+		}()
+		wg.Wait()
+		return State{"x": x, "y": y, "sel": sel}
+	}
+	return Shape{Name: "select2", Model: model, Run: run}
+}
+
+// counterShape: the shard.Counter watch protocol — two sub-threshold
+// adds on different shards, one aggregate waiter. Only the automatic
+// mechanisms have sharded counters.
+func counterShape() Shape {
+	model := MustProgram("counter-watch")
+	model.Observe = func(s State) State {
+		return State{"adds": s["adds"], "total": s["#c.total"]}
+	}
+	run := func(mech problems.Mechanism) State {
+		sm := shard.New(2, shard.WithMonitorOptions(problems.AutoOptions(mech)...))
+		c := sm.NewCounter("c", 3)
+		var adds atomic.Int64 // incremented under two different shard monitors
+		var wg sync.WaitGroup
+		wg.Add(3)
+		for i := 0; i < 2; i++ {
+			i := i
+			go func() {
+				defer wg.Done()
+				sm.DoShard(i, func(*core.Monitor) {
+					adds.Add(1)
+					c.Add(i, 1)
+				})
+			}()
+		}
+		var total int64
+		go func() {
+			defer wg.Done()
+			if err := c.AwaitAtLeast(2); err != nil {
+				panic(err)
+			}
+			total = c.Total()
+		}()
+		wg.Wait()
+		return State{"adds": adds.Load(), "total": total}
+	}
+	return Shape{Name: "counter", Model: model, Run: run, Mechs: problems.Automatic}
+}

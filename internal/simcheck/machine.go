@@ -1,0 +1,865 @@
+package simcheck
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// machine is a compiled program: ops with counter monitors resolved, the
+// monitor count, counter runtime metadata, and the canonical variable
+// order that makes state hashing stable.
+type machine struct {
+	prog     Program
+	threads  [][]Op
+	numMons  int
+	counters map[string]*counterRT
+	vars     []string
+	opts     Options
+}
+
+// counterRT is the resolved runtime view of a CounterSpec: its summary
+// monitor id and the reserved state keys holding its batching state.
+type counterRT struct {
+	spec     CounterSpec
+	summary  int
+	pendKeys []string
+	totalKey string
+	epKey    string
+	watchKey string
+}
+
+func compile(p Program, opts Options) (*machine, error) {
+	mc := &machine{prog: p, opts: opts, counters: map[string]*counterRT{}}
+	maxMon := 0
+	note := func(m int) {
+		if m > maxMon {
+			maxMon = m
+		}
+	}
+	for _, t := range p.Threads {
+		for _, op := range t.Ops {
+			note(op.Mon)
+			for _, cs := range op.Cases {
+				note(cs.Mon)
+			}
+		}
+	}
+	for _, cs := range p.Counters {
+		for _, m := range cs.ShardMons {
+			note(m)
+		}
+	}
+	mc.numMons = maxMon + 1
+
+	state := p.Init.clone()
+	for _, cs := range p.Counters {
+		if cs.Name == "" || len(cs.ShardMons) == 0 {
+			return nil, fmt.Errorf("simcheck: counter needs a name and shard monitors")
+		}
+		if _, dup := mc.counters[cs.Name]; dup {
+			return nil, fmt.Errorf("simcheck: counter %q declared twice", cs.Name)
+		}
+		if cs.Threshold < 1 {
+			cs.Threshold = 1
+		}
+		rt := &counterRT{
+			spec:     cs,
+			summary:  mc.numMons,
+			totalKey: "#" + cs.Name + ".total",
+			epKey:    "#" + cs.Name + ".ep",
+			watchKey: "#" + cs.Name + ".watch",
+		}
+		mc.numMons++
+		for i := range cs.ShardMons {
+			k := fmt.Sprintf("#%s.pend%d", cs.Name, i)
+			rt.pendKeys = append(rt.pendKeys, k)
+			state[k] = 0
+		}
+		state[rt.totalKey] = 0
+		state[rt.epKey] = 0
+		state[rt.watchKey] = 0
+		mc.counters[cs.Name] = rt
+	}
+	mc.prog.Init = state
+
+	for ti, t := range p.Threads {
+		ops := append([]Op(nil), t.Ops...)
+		for oi := range ops {
+			op := &ops[oi]
+			switch op.Kind {
+			case OpCounterAdd, OpCounterWait:
+				rt, ok := mc.counters[op.Counter]
+				if !ok {
+					return nil, fmt.Errorf("simcheck: thread %d op %q uses undeclared counter %q", ti, op.Name, op.Counter)
+				}
+				if op.Kind == OpCounterAdd {
+					if op.Shard < 0 || op.Shard >= len(rt.pendKeys) {
+						return nil, fmt.Errorf("simcheck: thread %d op %q: counter %q has no shard %d", ti, op.Name, op.Counter, op.Shard)
+					}
+					op.Mon = rt.spec.ShardMons[op.Shard]
+				}
+			case OpSelect:
+				if len(op.Cases) == 0 {
+					return nil, fmt.Errorf("simcheck: thread %d op %q: Select with no cases", ti, op.Name)
+				}
+			}
+		}
+		mc.threads = append(mc.threads, ops)
+	}
+
+	mc.vars = make([]string, 0, len(state))
+	for k := range state {
+		mc.vars = append(mc.vars, k)
+	}
+	sort.Strings(mc.vars)
+	return mc, nil
+}
+
+// observe projects a terminal state for comparison: the program's
+// Observe hook, or by default everything except '#'-internal keys.
+func (mc *machine) observe(s State) State {
+	if mc.prog.Observe != nil {
+		return mc.prog.Observe(s)
+	}
+	out := State{}
+	for k, v := range s {
+		if len(k) > 0 && k[0] == '#' {
+			continue
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// phase is where a thread stands between atomic steps.
+type phase uint8
+
+const (
+	phRun       phase = iota // execute the op at pc
+	phBlocked                // parked on a blocking wait
+	phSelPoll                // Select: polling case sub
+	phSelArm                 // Select: arming case sub
+	phSelPark                // Select: parked on the shared delivery
+	phSelCancel              // Select: cancelling losers (sub scans cases)
+	phCwFlush                // counter wait: flushing shard sub
+	phCwTry                  // counter wait: first summary evaluation
+	phCwBlocked              // counter wait: parked on the summary
+	phDone                   // program finished
+	phPanicked               // terminated by a panicking body
+)
+
+// threadStatus tracks one virtual thread through the exploration.
+type threadStatus struct {
+	pc     int
+	ph     phase
+	sub    int // case / shard index within a multi-section op
+	winner int // Select winner case during phSelCancel
+}
+
+func (t threadStatus) done() bool { return t.ph == phDone || t.ph == phPanicked }
+
+// waiter is one registered waiter of one monitor: a parked blocking
+// wait, an armed handle, or an armed Select case. Registration order is
+// the slice order in config.waiters — the deterministic relay pick.
+type waiter struct {
+	mon      int
+	thread   int
+	pc       int
+	caseIdx  int    // Select case index; -1 otherwise
+	slot     string // handle slot; "" otherwise
+	pred     Pred
+	notified bool
+	viaRelay bool // this notification is the monitor's in-flight relay signal
+}
+
+// config is one node of the interleaving tree.
+type config struct {
+	state   State
+	threads []threadStatus
+	waiters []waiter
+}
+
+func newConfig(mc *machine) *config {
+	c := &config{state: mc.prog.Init.clone(), threads: make([]threadStatus, len(mc.threads))}
+	for ti := range c.threads {
+		c.threads[ti].winner = -1
+		if len(mc.threads[ti]) == 0 {
+			c.threads[ti].ph = phDone
+		}
+	}
+	return c
+}
+
+func (c *config) clone() *config {
+	ts := make([]threadStatus, len(c.threads))
+	copy(ts, c.threads)
+	ws := make([]waiter, len(c.waiters))
+	copy(ws, c.waiters)
+	return &config{state: c.state.clone(), threads: ts, waiters: ws}
+}
+
+// hash is the 128-bit memoization key over the canonical encoding of
+// state, thread statuses, and the waiter table.
+func (mc *machine) hash(c *config) [16]byte {
+	h := fnv.New128a()
+	var buf [8]byte
+	putU64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, k := range mc.vars {
+		putU64(uint64(c.state[k]))
+	}
+	for _, t := range c.threads {
+		putU64(uint64(t.pc)<<32 | uint64(t.ph)<<16 | uint64(uint8(t.sub))<<8 | uint64(uint8(t.winner+1)))
+	}
+	for _, w := range c.waiters {
+		bits := uint64(w.mon)<<40 | uint64(w.thread)<<24 | uint64(w.pc)<<8
+		if w.notified {
+			bits |= 2
+		}
+		if w.viaRelay {
+			bits |= 1
+		}
+		putU64(bits)
+		putU64(uint64(w.caseIdx + 1))
+	}
+	var out [16]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// findWaiter locates a thread's waiter: by slot for handles, by case
+// index (with slot "") for Select and blocking waits (caseIdx -1).
+func (c *config) findWaiter(thread int, slot string, caseIdx int) int {
+	for i := range c.waiters {
+		w := &c.waiters[i]
+		if w.thread == thread && w.slot == slot && w.caseIdx == caseIdx {
+			return i
+		}
+	}
+	return -1
+}
+
+func (c *config) removeWaiter(i int) {
+	c.waiters = append(c.waiters[:i:i], c.waiters[i+1:]...)
+}
+
+func (c *config) register(w waiter) {
+	c.waiters = append(c.waiters[:len(c.waiters):len(c.waiters)], w)
+}
+
+// pending reports whether a relay signal is in flight on mon.
+func (c *config) pending(mon int) bool {
+	for i := range c.waiters {
+		if c.waiters[i].mon == mon && c.waiters[i].viaRelay {
+			return true
+		}
+	}
+	return false
+}
+
+// chooser resolves a step's internal nondeterminism (relay targets,
+// Select claim order): scripted picks first, then the fallback — 0 for
+// DFS enumeration (the odometer rewrites the script), the rng for
+// fuzzing. Every pick is recorded in taken, so any executed step can be
+// replayed exactly.
+type chooser struct {
+	script []int
+	pos    int
+	taken  []int
+	arity  []int
+	rand   func(n int) int
+}
+
+func (ch *chooser) pick(n int) int {
+	if n <= 0 {
+		panic("simcheck: chooser.pick with no options")
+	}
+	v := 0
+	if ch.pos < len(ch.script) {
+		v = ch.script[ch.pos]
+		if v >= n {
+			v = n - 1
+		}
+	} else if ch.rand != nil {
+		v = ch.rand(n)
+	}
+	ch.pos++
+	ch.taken = append(ch.taken, v)
+	ch.arity = append(ch.arity, n)
+	return v
+}
+
+// consume settles the in-flight-signal accounting when a notified waiter
+// proceeds or is reconciled; it reports whether the waiter held the
+// relay signal.
+func consume(w *waiter) bool {
+	was := w.viaRelay
+	w.viaRelay = false
+	return was
+}
+
+// relay applies the relay-signaling rule on mon: if no signal is in
+// flight and some unnotified waiter's predicate is true, signal exactly
+// one such waiter. The deterministic pick is registration order; with
+// RelayNondet every eligible target is a branch.
+func (mc *machine) relay(c *config, mon int, ch *chooser) {
+	if mc.opts.DisableRelay {
+		return
+	}
+	if c.pending(mon) {
+		return
+	}
+	var cands []int
+	for i := range c.waiters {
+		w := &c.waiters[i]
+		if w.mon == mon && !w.notified && w.pred(c.state) {
+			cands = append(cands, i)
+			if !mc.opts.RelayNondet {
+				break
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	pick := cands[0]
+	if mc.opts.RelayNondet && len(cands) > 1 {
+		pick = cands[ch.pick(len(cands))]
+	}
+	c.waiters[pick].notified = true
+	c.waiters[pick].viaRelay = true
+}
+
+// cancelWaiter unregisters waiter i with the real Cancel's relay repair:
+// reconcile any in-flight signal addressed to it, then relay onward.
+func (mc *machine) cancelWaiter(c *config, i int, ch *chooser) {
+	w := &c.waiters[i]
+	mon := w.mon
+	consume(w)
+	c.removeWaiter(i)
+	if !mc.opts.DisableCancelRepair {
+		mc.relay(c, mon, ch)
+	}
+}
+
+// runnable reports whether thread ti can take a step in c.
+func (mc *machine) runnable(c *config, ti int) bool {
+	t := c.threads[ti]
+	if t.done() {
+		return false
+	}
+	ref := mc.opts.Reference
+	switch t.ph {
+	case phRun:
+		op := mc.threads[ti][t.pc]
+		if op.Kind == OpClaim {
+			wi := c.findWaiter(ti, op.Slot, -1)
+			if wi < 0 {
+				return true // spent slot: the ErrClaimed no-op
+			}
+			w := &c.waiters[wi]
+			return w.notified || (ref && w.pred(c.state))
+		}
+		return true
+	case phSelPoll, phSelArm, phSelCancel, phCwFlush, phCwTry:
+		return true
+	case phBlocked, phCwBlocked:
+		wi := c.findWaiter(ti, "", -1)
+		if wi < 0 {
+			return false
+		}
+		w := &c.waiters[wi]
+		return w.notified || (ref && w.pred(c.state))
+	case phSelPark:
+		return len(mc.claimable(c, ti)) > 0
+	}
+	return false
+}
+
+// claimable lists the Select cases of thread ti whose waiters may be
+// claimed now: notified ones (delivery order is a scheduler choice), or
+// any true-predicate one under the reference semantics.
+func (mc *machine) claimable(c *config, ti int) []int {
+	t := c.threads[ti]
+	op := mc.threads[ti][t.pc]
+	var out []int
+	for k := range op.Cases {
+		wi := c.findWaiter(ti, "", k)
+		if wi < 0 {
+			continue
+		}
+		w := &c.waiters[wi]
+		if w.notified || (mc.opts.Reference && w.pred(c.state)) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// footprint returns the monitors (and counters) thread ti's next step
+// can touch, for the sleep-set independence relation. Conservative: a
+// multi-section op reports the union over its sections.
+type footprint struct {
+	mons     []int
+	counters []string
+	vars     []string
+}
+
+func (mc *machine) footprint(c *config, ti int) footprint {
+	t := c.threads[ti]
+	if t.done() {
+		return footprint{}
+	}
+	op := mc.threads[ti][t.pc]
+	switch op.Kind {
+	case OpSelect:
+		var mons []int
+		for _, cs := range op.Cases {
+			mons = append(mons, cs.Mon)
+		}
+		return footprint{mons: mons, vars: op.Vars}
+	case OpCounterAdd:
+		rt := mc.counters[op.Counter]
+		return footprint{mons: []int{op.Mon, rt.summary}, counters: []string{op.Counter}, vars: op.Vars}
+	case OpCounterWait:
+		rt := mc.counters[op.Counter]
+		mons := append(append([]int(nil), rt.spec.ShardMons...), rt.summary)
+		return footprint{mons: mons, counters: []string{op.Counter}, vars: op.Vars}
+	case OpClaim, OpCancel:
+		mon := op.Mon
+		if wi := c.findWaiter(ti, op.Slot, -1); wi >= 0 {
+			mon = c.waiters[wi].mon
+		}
+		return footprint{mons: []int{mon}, vars: op.Vars}
+	default:
+		return footprint{mons: []int{op.Mon}, vars: op.Vars}
+	}
+}
+
+func intersects(a, b []int) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func intersectsStr(a, b []string) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// independent reports whether the next steps of two threads commute:
+// disjoint monitor sets, disjoint counters, disjoint declared extras.
+func (mc *machine) independent(c *config, ta, tb int) bool {
+	fa, fb := mc.footprint(c, ta), mc.footprint(c, tb)
+	return !intersects(fa.mons, fb.mons) &&
+		!intersectsStr(fa.counters, fb.counters) &&
+		!intersectsStr(fa.vars, fb.vars)
+}
+
+// counterPublish moves shard slot si's pending delta of counter rt into
+// the summary monitor (total, epoch) and relays there — the model of
+// Counter.publish, running under the shard's monitor.
+func (mc *machine) counterPublish(c *config, rt *counterRT, si int, ch *chooser) {
+	d := c.state[rt.pendKeys[si]]
+	if d == 0 {
+		return
+	}
+	c.state[rt.pendKeys[si]] = 0
+	c.state[rt.totalKey] += d
+	c.state[rt.epKey]++
+	mc.relay(c, rt.summary, ch)
+}
+
+// exec runs one atomic step of thread ti, mutating c, and returns the
+// trace label plus any invariant violation detected inside the step.
+// The caller has verified runnable(c, ti).
+func (mc *machine) exec(c *config, ti int, ch *chooser) (string, *Violation) {
+	t := &c.threads[ti]
+	ops := mc.threads[ti]
+	op := ops[t.pc]
+	name := mc.prog.Threads[ti].Name + ": " + op.Name
+
+	advance := func() {
+		t.pc++
+		t.sub = 0
+		t.winner = -1
+		if op.Panics {
+			t.ph = phPanicked
+		} else if t.pc >= len(ops) {
+			t.ph = phDone
+		} else {
+			t.ph = phRun
+		}
+	}
+	runBody := func(b Action) {
+		if b != nil {
+			b(c.state)
+		}
+	}
+
+	var label string
+	switch t.ph {
+	case phRun:
+		switch op.Kind {
+		case OpStep:
+			runBody(op.Body)
+			mc.relay(c, op.Mon, ch)
+			advance()
+			label = name
+
+		case OpWait:
+			if op.Guard(c.state) {
+				runBody(op.Body)
+				advance()
+				mc.relay(c, op.Mon, ch)
+				label = name
+				break
+			}
+			c.register(waiter{mon: op.Mon, thread: ti, pc: t.pc, caseIdx: -1, pred: op.Guard})
+			mc.relay(c, op.Mon, ch) // the pre-wait relay of Fig. 6
+			t.ph = phBlocked
+			label = name + " (parked)"
+
+		case OpTry:
+			if op.Guard(c.state) {
+				runBody(op.Body)
+				label = name + " (hit)"
+			} else {
+				runBody(op.Else)
+				label = name + " (miss)"
+			}
+			mc.relay(c, op.Mon, ch)
+			advance()
+
+		case OpArm:
+			w := waiter{mon: op.Mon, thread: ti, pc: t.pc, caseIdx: -1, slot: op.Slot, pred: op.Guard}
+			label = name + " (armed)"
+			if op.Guard(c.state) {
+				// The arm-time free notification: no relay signal is
+				// consumed, and ArmFunc's raw unlock does not relay.
+				w.notified = true
+				label = name + " (armed, ready)"
+			}
+			c.register(w)
+			advance()
+
+		case OpClaim:
+			wi := c.findWaiter(ti, op.Slot, -1)
+			if wi < 0 {
+				advance()
+				label = name + " (spent)"
+				break
+			}
+			w := &c.waiters[wi]
+			mon := w.mon
+			wasRelay := consume(w)
+			if w.pred(c.state) {
+				c.removeWaiter(wi)
+				runBody(op.Body)
+				advance()
+				mc.relay(c, mon, ch)
+				label = name + " (claimed)"
+				break
+			}
+			w.notified = false // transparent re-arm: ErrNotReady
+			if wasRelay {
+				mc.relay(c, mon, ch)
+			}
+			label = name + " (futile claim)"
+
+		case OpCancel:
+			if wi := c.findWaiter(ti, op.Slot, -1); wi >= 0 {
+				mc.cancelWaiter(c, wi, ch)
+			}
+			advance()
+			label = name + " (cancelled)"
+
+		case OpSelect:
+			// First scheduler slot of a Select is its first poll.
+			t.ph = phSelPoll
+			t.sub = 0
+			return mc.execSelect(c, ti, ch, name)
+
+		case OpCounterAdd:
+			rt := mc.counters[op.Counter]
+			runBody(op.Body)
+			c.state[rt.pendKeys[op.Shard]] += op.Delta
+			p := c.state[rt.pendKeys[op.Shard]]
+			if p < 0 {
+				p = -p
+			}
+			if p >= rt.spec.Threshold || c.state[rt.watchKey] > 0 {
+				mc.counterPublish(c, rt, op.Shard, ch)
+			}
+			mc.relay(c, op.Mon, ch)
+			advance()
+			label = name
+
+		case OpCounterWait:
+			// Enter precise mode; flushing and parking follow as
+			// separate sections, exactly like Watch + Flush + Await.
+			rt := mc.counters[op.Counter]
+			c.state[rt.watchKey]++
+			t.ph = phCwFlush
+			t.sub = 0
+			label = name + " (watch)"
+		}
+
+	case phBlocked:
+		wi := c.findWaiter(ti, "", -1)
+		w := &c.waiters[wi]
+		mon := w.mon
+		consume(w)
+		if op.Guard(c.state) {
+			c.removeWaiter(wi)
+			runBody(op.Body)
+			advance()
+			mc.relay(c, mon, ch)
+			label = name + " (resumed)"
+			break
+		}
+		// Futile wake-up: a barging thread falsified the predicate
+		// between signal and re-entry. Re-wait through the Fig. 6
+		// do-while: re-arm and relay before parking again.
+		w.notified = false
+		mc.relay(c, mon, ch)
+		label = name + " (futile wake)"
+
+	case phSelPoll, phSelArm, phSelPark, phSelCancel:
+		return mc.execSelect(c, ti, ch, name)
+
+	case phCwFlush:
+		rt := mc.counters[op.Counter]
+		si := t.sub
+		mc.counterPublish(c, rt, si, ch)
+		mc.relay(c, rt.spec.ShardMons[si], ch) // the DoShard exit
+		t.sub++
+		if t.sub >= len(rt.pendKeys) {
+			t.ph = phCwTry
+			t.sub = 0
+		}
+		label = fmt.Sprintf("%s (flush %d)", name, si)
+
+	case phCwTry:
+		rt := mc.counters[op.Counter]
+		if c.state[rt.totalKey] >= op.Bound {
+			c.state[rt.watchKey]--
+			advance()
+			mc.relay(c, rt.summary, ch)
+			label = name + " (ready)"
+			break
+		}
+		bound := op.Bound
+		totalKey := rt.totalKey
+		c.register(waiter{mon: rt.summary, thread: ti, pc: t.pc, caseIdx: -1,
+			pred: func(s State) bool { return s[totalKey] >= bound }})
+		mc.relay(c, rt.summary, ch)
+		t.ph = phCwBlocked
+		label = name + " (parked)"
+
+	case phCwBlocked:
+		rt := mc.counters[op.Counter]
+		wi := c.findWaiter(ti, "", -1)
+		w := &c.waiters[wi]
+		consume(w)
+		if c.state[rt.totalKey] >= op.Bound {
+			c.removeWaiter(wi)
+			c.state[rt.watchKey]--
+			advance()
+			mc.relay(c, rt.summary, ch)
+			label = name + " (resumed)"
+			break
+		}
+		w.notified = false
+		mc.relay(c, rt.summary, ch)
+		label = name + " (futile wake)"
+	}
+
+	return label, mc.invariants(c)
+}
+
+// execSelect runs one atomic section of a Select: a poll, an arm, a
+// claim attempt, or one loser cancellation.
+func (mc *machine) execSelect(c *config, ti int, ch *chooser, name string) (string, *Violation) {
+	t := &c.threads[ti]
+	op := mc.threads[ti][t.pc]
+
+	finish := func() {
+		pc := t.pc + 1
+		if op.Panics {
+			t.ph = phPanicked
+		} else if pc >= len(mc.threads[ti]) {
+			t.ph = phDone
+		} else {
+			t.ph = phRun
+		}
+		t.pc = pc
+		t.sub = 0
+		t.winner = -1
+	}
+
+	var label string
+	switch t.ph {
+	case phSelPoll:
+		cs := op.Cases[t.sub]
+		if cs.Pred(c.state) {
+			// Poll hit: nothing was armed, nothing to cancel.
+			if cs.Body != nil {
+				cs.Body(c.state)
+			}
+			finish()
+			mc.relay(c, cs.Mon, ch)
+			label = fmt.Sprintf("%s (poll %s hit)", name, cs.Name)
+			break
+		}
+		// A missed Try still exits its monitor — and the exit relays.
+		mc.relay(c, cs.Mon, ch)
+		label = fmt.Sprintf("%s (poll %s miss)", name, cs.Name)
+		t.sub++
+		if t.sub >= len(op.Cases) {
+			t.ph = phSelArm
+			t.sub = 0
+		}
+
+	case phSelArm:
+		cs := op.Cases[t.sub]
+		w := waiter{mon: cs.Mon, thread: ti, pc: t.pc, caseIdx: t.sub, pred: cs.Pred}
+		label = fmt.Sprintf("%s (arm %s)", name, cs.Name)
+		if cs.Pred(c.state) {
+			w.notified = true // arm-time free notification
+			label = fmt.Sprintf("%s (arm %s, ready)", name, cs.Name)
+		}
+		c.register(w)
+		t.sub++
+		if t.sub >= len(op.Cases) {
+			t.ph = phSelPark
+			t.sub = 0
+		}
+
+	case phSelPark:
+		cands := mc.claimable(c, ti)
+		k := cands[0]
+		if len(cands) > 1 {
+			k = cands[ch.pick(len(cands))]
+		}
+		cs := op.Cases[k]
+		wi := c.findWaiter(ti, "", k)
+		w := &c.waiters[wi]
+		mon := w.mon
+		wasRelay := consume(w)
+		if w.pred(c.state) {
+			// Winner: claim succeeds with the monitor held, the body
+			// runs, the deferred exit relays; losers are cancelled in
+			// subsequent sections — after the exit, as in selectCases.
+			c.removeWaiter(wi)
+			if cs.Body != nil {
+				cs.Body(c.state)
+			}
+			mc.relay(c, mon, ch)
+			t.ph = phSelCancel
+			t.sub = 0
+			t.winner = k
+			label = fmt.Sprintf("%s (claim %s)", name, cs.Name)
+			break
+		}
+		w.notified = false // transparent re-arm; subscription survives
+		if wasRelay {
+			mc.relay(c, mon, ch)
+		}
+		label = fmt.Sprintf("%s (futile claim %s)", name, cs.Name)
+
+	case phSelCancel:
+		k := t.sub
+		for k < len(op.Cases) && (k == t.winner || c.findWaiter(ti, "", k) < 0) {
+			k++
+		}
+		if k >= len(op.Cases) {
+			// No loser left to cancel (e.g. a two-case select whose
+			// loser was already reaped): complete in this section.
+			finish()
+			label = name + " (done)"
+			break
+		}
+		wi := c.findWaiter(ti, "", k)
+		mc.cancelWaiter(c, wi, ch)
+		t.sub = k + 1
+		label = fmt.Sprintf("%s (cancel %s)", name, op.Cases[k].Name)
+		// If that was the last loser, the select is complete; the next
+		// section would be a no-op, so finish now.
+		done := true
+		for j := t.sub; j < len(op.Cases); j++ {
+			if j != t.winner && c.findWaiter(ti, "", j) >= 0 {
+				done = false
+				break
+			}
+		}
+		if done {
+			finish()
+		}
+	}
+
+	return label, mc.invariants(c)
+}
+
+// invariants checks relay invariance (Definition 4) in its local
+// inductive form after a step: for every monitor, if some unnotified
+// waiter's predicate is true, a relay signal must be in flight there.
+// Skipped under the reference semantics, where signaling is advisory.
+func (mc *machine) invariants(c *config) *Violation {
+	if mc.opts.Reference {
+		return nil
+	}
+	for i := range c.waiters {
+		w := &c.waiters[i]
+		if w.notified || !w.pred(c.state) {
+			continue
+		}
+		if !c.pending(w.mon) {
+			return &Violation{
+				Kind: fmt.Sprintf("relay invariance (Definition 4): waiter of %q on monitor %d has a true predicate but no signal is in flight",
+					mc.prog.Threads[w.thread].Name, w.mon),
+				State: c.state.clone(),
+			}
+		}
+	}
+	return nil
+}
+
+// terminalViolation checks the leak invariants once every thread is
+// done: no registered waiter, no in-flight signal, no counter left in
+// precise mode.
+func (mc *machine) terminalViolation(c *config) *Violation {
+	if len(c.waiters) > 0 {
+		w := c.waiters[0]
+		return &Violation{
+			Kind: fmt.Sprintf("leaked waiter: %q left a registered waiter on monitor %d at termination",
+				mc.prog.Threads[w.thread].Name, w.mon),
+			State: c.state.clone(),
+		}
+	}
+	for _, rt := range mc.counters {
+		if c.state[rt.watchKey] != 0 {
+			return &Violation{
+				Kind:  fmt.Sprintf("leaked watcher: counter %q still in precise mode at termination", rt.spec.Name),
+				State: c.state.clone(),
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,237 @@
+package simcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// terminalKeys explores p and returns the canonical renderings of its
+// terminal set.
+func terminalKeys(t *testing.T, p Program, opts Options) map[string]State {
+	t.Helper()
+	res, err := Explore(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.TerminalSet()
+}
+
+func wantTerminals(t *testing.T, got map[string]State, want ...State) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("terminal set has %d states, want %d:\n got %v", len(got), len(want), got)
+	}
+	for _, s := range want {
+		if _, ok := got[s.key()]; !ok {
+			t.Errorf("terminal %s not reached; got %v", s.key(), got)
+		}
+	}
+}
+
+func TestCorpusExploresClean(t *testing.T) {
+	// Every corpus program must explore to completion with zero
+	// violations under both the deterministic and the nondeterministic
+	// relay pick — except the two programs whose only purpose is to fail
+	// under a seeded mutation; those are clean unmutated too.
+	for _, name := range Programs() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			if err := Check(MustProgram(name), Options{}); err != nil {
+				t.Fatalf("deterministic relay: %v", err)
+			}
+			if err := Check(MustProgram(name), Options{RelayNondet: true}); err != nil {
+				t.Fatalf("nondeterministic relay: %v", err)
+			}
+		})
+	}
+}
+
+func TestCorpusLinearizable(t *testing.T) {
+	// Every relay-reachable terminal state must be reachable under the
+	// sequential reference semantics: the relay rule restricts outcomes,
+	// it never invents one.
+	for _, name := range Programs() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			if _, err := CheckLinearizable(MustProgram(name), Options{RelayNondet: true}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDoubleClaimTerminal(t *testing.T) {
+	// The second claim of a spent handle must be a no-op: got stays 1 on
+	// every schedule (the +100 branch never runs).
+	got := terminalKeys(t, MustProgram("double-claim"), Options{})
+	wantTerminals(t, got, State{"x": 0, "got": 1})
+}
+
+func TestBargeFalsifyTerminals(t *testing.T) {
+	// The barger either loses every race (barge 0, one item left) or
+	// steals one item; the waiter always gets exactly one.
+	got := terminalKeys(t, MustProgram("barge-falsify"), Options{})
+	wantTerminals(t, got,
+		State{"x": 1, "got": 1, "barge": 0},
+		State{"x": 0, "got": 1, "barge": 1},
+	)
+}
+
+func TestCancelInflightTerminal(t *testing.T) {
+	got := terminalKeys(t, MustProgram("cancel-inflight"), Options{})
+	wantTerminals(t, got, State{"x": 0})
+}
+
+func TestHandleMultiplexTerminal(t *testing.T) {
+	got := terminalKeys(t, MustProgram("handle-multiplex"), Options{})
+	wantTerminals(t, got, State{"x": 0, "y": 0})
+}
+
+func TestCounterWatchTerminal(t *testing.T) {
+	// The watch protocol must release the aggregate waiter on every
+	// schedule even though both deltas are below the batching threshold.
+	got := terminalKeys(t, MustProgram("counter-watch"), Options{})
+	wantTerminals(t, got, State{"adds": 2})
+}
+
+func TestGuardBodyPanicStillRelays(t *testing.T) {
+	// A panicking guarded body models Guard.Do's deferred unlock: the
+	// exit relay must still run, so the waiter behind it is released on
+	// every schedule even though the panicking thread dies.
+	p := Program{
+		Init: State{"x": 0, "y": 0, "got": 0},
+		Threads: []Thread{
+			{Name: "dying", Ops: []Op{
+				Wait("boom", func(s State) bool { return s["x"] > 0 },
+					func(s State) { s["x"]--; s["y"] += 2 }).Panicking(),
+			}},
+			{Name: "waiter", Ops: []Op{
+				Wait("wait", func(s State) bool { return s["y"] > 0 },
+					func(s State) { s["y"]--; s["got"]++ }),
+			}},
+			{Name: "producer", Ops: []Op{
+				Step("produce", func(s State) { s["x"]++ }),
+			}},
+		},
+	}
+	got := terminalKeys(t, p, Options{})
+	wantTerminals(t, got, State{"x": 0, "y": 1, "got": 1})
+}
+
+func TestCancelRepairMutationCaught(t *testing.T) {
+	// With the relay repair removed from Cancel, the cancel-inflight
+	// shape has a schedule where the armed handle swallows the in-flight
+	// signal and the blocking waiter starves. The checker must find it.
+	err := Check(MustProgram("cancel-inflight"), Options{DisableCancelRepair: true})
+	if err == nil {
+		t.Fatal("cancel-repair mutation not caught")
+	}
+	// The local inductive check catches it the moment the cancel drops
+	// the signal (relay invariance); without that check it would surface
+	// later as the starved waiter's deadlock. Either way it must fail.
+	if !strings.Contains(err.Error(), "relay invariance") && !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("unexpected violation kind: %v", err)
+	}
+}
+
+func TestMemoizationPinsBoundedBuffer(t *testing.T) {
+	// Satellite pin: on the base bounded-buffer instance, memoized
+	// exploration must visit fewer than 10% of the arrivals a
+	// memoization-free DFS re-explores.
+	p := BoundedBuffer(1, 2, 2, 2)
+	memo, err := Explore(p, Options{DisableSleepSets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nomemo, err := Explore(p, Options{DisableMemo: true, DisableSleepSets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("memoized: %d states (%d revisits pruned); unmemoized: %d arrivals",
+		memo.States, memo.Revisits, nomemo.States)
+	if memo.States == 0 || nomemo.States == 0 {
+		t.Fatal("exploration did not run")
+	}
+	if 10*memo.States >= nomemo.States {
+		t.Errorf("memoization too weak: %d distinct states vs %d arrivals (want <10%%)",
+			memo.States, nomemo.States)
+	}
+}
+
+func TestSleepSetsPreserveTerminalsAndPrune(t *testing.T) {
+	// Two disjoint producer/consumer pairs on two monitors: their steps
+	// commute, so sleep sets must prune transitions — and must not change
+	// the terminal set or the verdict.
+	pair := func(mon int, item string) []Thread {
+		avail := func(s State) bool { return s[item] > 0 }
+		return []Thread{
+			{Name: "p" + item, Ops: []Op{
+				Step("put", func(s State) { s[item]++ }).On(mon).Touching(item),
+				Step("put", func(s State) { s[item]++ }).On(mon).Touching(item),
+			}},
+			{Name: "c" + item, Ops: []Op{
+				Wait("take", avail, func(s State) { s[item]-- }).On(mon).Touching(item),
+				Wait("take", avail, func(s State) { s[item]-- }).On(mon).Touching(item),
+			}},
+		}
+	}
+	p := Program{Init: State{"x": 0, "y": 0}}
+	p.Threads = append(p.Threads, pair(0, "x")...)
+	p.Threads = append(p.Threads, pair(1, "y")...)
+
+	with, err := Explore(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Explore(p, Options{DisableSleepSets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("with sleep sets: %d transitions (%d skipped); without: %d transitions",
+		with.Transitions, with.SleepSkips, without.Transitions)
+	if with.SleepSkips == 0 {
+		t.Error("sleep sets skipped nothing on a program with independent threads")
+	}
+	if with.Transitions >= without.Transitions {
+		t.Errorf("sleep sets did not reduce transitions: %d vs %d", with.Transitions, without.Transitions)
+	}
+	ws, wos := with.TerminalSet(), without.TerminalSet()
+	if len(ws) != len(wos) {
+		t.Fatalf("terminal sets differ: %d vs %d states", len(ws), len(wos))
+	}
+	for k := range wos {
+		if _, ok := ws[k]; !ok {
+			t.Errorf("terminal %s lost under sleep sets", k)
+		}
+	}
+}
+
+func TestRelayNondetExploresMoreChoices(t *testing.T) {
+	// Two waiters eligible for the same relay: the deterministic pick
+	// explores one target, RelayNondet both. Both must be clean; the
+	// nondeterministic run must branch at least as much.
+	avail := func(s State) bool { return s["x"] > 0 }
+	p := Program{
+		Init: State{"x": 0},
+		Threads: []Thread{
+			{Name: "w1", Ops: []Op{Wait("take", avail, func(s State) { s["x"]-- })}},
+			{Name: "w2", Ops: []Op{Wait("take", avail, func(s State) { s["x"]-- })}},
+			{Name: "p", Ops: []Op{
+				Step("put", func(s State) { s["x"]++ }),
+				Step("put", func(s State) { s["x"]++ }),
+			}},
+		},
+	}
+	det, err := Explore(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nondet, err := Explore(p, Options{RelayNondet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nondet.Transitions < det.Transitions {
+		t.Errorf("RelayNondet explored fewer transitions (%d) than the deterministic pick (%d)",
+			nondet.Transitions, det.Transitions)
+	}
+}

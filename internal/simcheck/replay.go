@@ -1,0 +1,139 @@
+package simcheck
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Replay re-runs exactly one schedule of p and reports what that single
+// interleaving produces: the violation it hits (with the same Kind and
+// state every time — the machine is deterministic given the schedule),
+// or nil if the scheduled prefix runs clean. A schedule is the
+// comma-joined token list of Violation.Schedule: each token is a thread
+// index, optionally suffixed with the step's internal choices
+// ("3" or "3:1.0"). If the schedule ends with threads still blocked and
+// nothing runnable, the deadlock is reported just as exploration would.
+func Replay(p Program, schedule string, opts Options) error {
+	mc, err := compile(p, opts.withDefaults())
+	if err != nil {
+		return err
+	}
+	c := newConfig(mc)
+	var trace, sched []string
+
+	tokens := strings.Split(schedule, ",")
+	if schedule == "" {
+		tokens = nil
+	}
+	for pos, tok := range tokens {
+		ti, script, err := parseToken(tok)
+		if err != nil {
+			return fmt.Errorf("simcheck: replay token %d: %w", pos, err)
+		}
+		if ti < 0 || ti >= len(c.threads) {
+			return fmt.Errorf("simcheck: replay token %d: no thread %d", pos, ti)
+		}
+		if !mc.runnable(c, ti) {
+			return fmt.Errorf("simcheck: replay diverged at token %d: thread %d (%s) is not runnable — schedule and program/options disagree",
+				pos, ti, mc.prog.Threads[ti].Name)
+		}
+		ch := &chooser{script: script}
+		label, viol := mc.exec(c, ti, ch)
+		trace = append(trace, label)
+		sched = append(sched, token(ti, ch.taken))
+		if viol != nil {
+			viol.Trace = trace
+			viol.Schedule = strings.Join(sched, ",")
+			return viol
+		}
+	}
+
+	// End of schedule: report the configuration it left behind.
+	anyRunnable, unfinished := false, false
+	for ti := range c.threads {
+		if !c.threads[ti].done() {
+			unfinished = true
+		}
+		if mc.runnable(c, ti) {
+			anyRunnable = true
+		}
+	}
+	if unfinished && !anyRunnable {
+		var stuck []string
+		for ti := range c.threads {
+			if !c.threads[ti].done() {
+				stuck = append(stuck, mc.prog.Threads[ti].Name)
+			}
+		}
+		return &Violation{
+			Kind:     fmt.Sprintf("deadlock freedom: threads [%s] blocked with no runnable thread", strings.Join(stuck, " ")),
+			Trace:    trace,
+			Schedule: strings.Join(sched, ","),
+			State:    c.state.clone(),
+		}
+	}
+	if !unfinished {
+		if v := mc.terminalViolation(c); v != nil {
+			v.Trace = trace
+			v.Schedule = strings.Join(sched, ",")
+			return v
+		}
+	}
+	return nil
+}
+
+func parseToken(tok string) (ti int, script []int, err error) {
+	head, rest, hasChoices := strings.Cut(tok, ":")
+	ti, err = strconv.Atoi(strings.TrimSpace(head))
+	if err != nil {
+		return 0, nil, fmt.Errorf("bad thread index %q", head)
+	}
+	if hasChoices {
+		for _, part := range strings.Split(rest, ".") {
+			v, err := strconv.Atoi(part)
+			if err != nil {
+				return 0, nil, fmt.Errorf("bad choice %q in token %q", part, tok)
+			}
+			script = append(script, v)
+		}
+	}
+	return ti, script, nil
+}
+
+// ReplayArg packages a corpus program name, the semantic options, and a
+// schedule into the single string the -simcheck.replay test flag takes:
+// "name[flags]:schedule". Violations printed by the exploration and fuzz
+// tests use this form, so a CI failure line pastes straight back into
+//
+//	go test ./internal/simcheck -run TestReplayFlag -simcheck.replay='...'
+func ReplayArg(name string, opts Options, schedule string) string {
+	return name + "[" + opts.flags() + "]:" + schedule
+}
+
+// ParseReplayArg is the inverse of ReplayArg.
+func ParseReplayArg(arg string) (name string, opts Options, schedule string, err error) {
+	open := strings.Index(arg, "[")
+	close_ := strings.Index(arg, "]:")
+	if open < 0 || close_ < open {
+		return "", Options{}, "", fmt.Errorf("simcheck: replay arg %q is not name[flags]:schedule", arg)
+	}
+	name = arg[:open]
+	schedule = arg[close_+2:]
+	for _, f := range strings.Split(arg[open+1:close_], "!") {
+		switch f {
+		case "":
+		case "rnd":
+			opts.RelayNondet = true
+		case "ref":
+			opts.Reference = true
+		case "norelay":
+			opts.DisableRelay = true
+		case "norepair":
+			opts.DisableCancelRepair = true
+		default:
+			return "", Options{}, "", fmt.Errorf("simcheck: unknown replay flag %q in %q", f, arg)
+		}
+	}
+	return name, opts, schedule, nil
+}

@@ -1,0 +1,143 @@
+package simcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSelect2x2Exhaustive(t *testing.T) {
+	// Acceptance: the 2-guard/2-monitor instance explores to completion
+	// with zero violations, and the claim protocol gives each selector
+	// exactly one of the two resources — both assignments reachable,
+	// nothing else.
+	res, err := Explore(MustProgram("select-2x2"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("select-2x2: %d states, %d transitions", res.States, res.Transitions)
+	wantTerminals(t, res.TerminalSet(),
+		State{"x": 0, "y": 0, "w1": 1, "w2": 2},
+		State{"x": 0, "y": 0, "w1": 2, "w2": 1},
+	)
+	// The relay-nondeterministic run must reach the same terminal set.
+	nd, err := Explore(MustProgram("select-2x2"), Options{RelayNondet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := nd.TerminalSet(), res.TerminalSet()
+	if len(got) != len(want) {
+		t.Fatalf("RelayNondet changed the terminal set: %v vs %v", got, want)
+	}
+	for k := range want {
+		if _, ok := got[k]; !ok {
+			t.Errorf("terminal %s lost under RelayNondet", k)
+		}
+	}
+}
+
+func TestSelectLoserCancelExhaustive(t *testing.T) {
+	// The in-flight-relay shape: the selector consumes x or one of the
+	// two y items, the blocking waiter always gets a y. Every schedule —
+	// including the one where the loser's cancellation must hand the
+	// in-flight y-signal to the waiter — terminates cleanly.
+	res, err := Explore(MustProgram("select-loser-cancel"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTerminals(t, res.TerminalSet(),
+		State{"x": 0, "y": 1, "sel": 1}, // selector took x; waiter one y
+		State{"x": 1, "y": 0, "sel": 2}, // selector took a y; waiter the other
+	)
+}
+
+func TestSelectLoserCancelRepairMutationCaught(t *testing.T) {
+	// Remove the relay repair from loser cancellation and the schedule
+	// where the selector's losing y-case holds monitor 1's signal while
+	// winning on x starves the blocked waiter. The checker must catch it
+	// and the reported schedule must replay to the same violation.
+	p := MustProgram("select-loser-cancel")
+	opts := Options{DisableCancelRepair: true}
+	err := Check(p, opts)
+	if err == nil {
+		t.Fatal("loser-cancel repair mutation not caught")
+	}
+	v, ok := err.(*Violation)
+	if !ok {
+		t.Fatalf("expected *Violation, got %T: %v", err, err)
+	}
+	if !strings.Contains(v.Kind, "relay invariance") && !strings.Contains(v.Kind, "deadlock") {
+		t.Fatalf("unexpected violation kind: %v", v)
+	}
+
+	for i := 0; i < 2; i++ {
+		rerr := Replay(MustProgram("select-loser-cancel"), v.Schedule, opts)
+		if rerr == nil {
+			t.Fatal("replay of the failing schedule passed")
+		}
+		rv, ok := rerr.(*Violation)
+		if !ok {
+			t.Fatalf("replay returned %T: %v", rerr, rerr)
+		}
+		if rv.Kind != v.Kind || rv.State.key() != v.State.key() {
+			t.Fatalf("replay diverged:\n exploration: %s / %s\n replay:      %s / %s",
+				v.Kind, v.State.key(), rv.Kind, rv.State.key())
+		}
+	}
+}
+
+func TestSelectPollHitRunsNoArm(t *testing.T) {
+	// When a case is already true at the initial poll, the Select must
+	// complete without arming anything: the terminal waiter table is
+	// empty (checked by the machine) and only one resource is consumed.
+	xAvail := func(s State) bool { return s["x"] > 0 }
+	yAvail := func(s State) bool { return s["y"] > 0 }
+	p := Program{
+		Init: State{"x": 1, "y": 1, "sel": 0},
+		Threads: []Thread{
+			{Name: "selector", Ops: []Op{
+				Select("pick",
+					Case(0, "cx", xAvail, func(s State) { s["x"]--; s["sel"] = 1 }),
+					Case(1, "cy", yAvail, func(s State) { s["y"]--; s["sel"] = 2 }),
+				),
+			}},
+		},
+	}
+	got := terminalKeys(t, p, Options{})
+	// The ordered poll always hits the first case.
+	wantTerminals(t, got, State{"x": 0, "y": 1, "sel": 1})
+}
+
+func TestSelectWinnerPanicUnwinds(t *testing.T) {
+	// A panicking winner body must still exit with a relay and cancel
+	// the losers with repair: the waiter parked behind the losing case's
+	// monitor is released on every schedule, and no waiter leaks.
+	xAvail := func(s State) bool { return s["x"] > 0 }
+	yAvail := func(s State) bool { return s["y"] > 0 }
+	p := Program{
+		Init: State{"x": 0, "y": 0, "got": 0},
+		Threads: []Thread{
+			{Name: "selector", Ops: []Op{
+				Select("pick",
+					Case(0, "cx", xAvail, func(s State) { s["x"]-- }),
+					Case(1, "cy", yAvail, func(s State) { s["y"]-- }),
+				).Panicking(),
+			}},
+			{Name: "waiter", Ops: []Op{
+				Wait("wait", yAvail, func(s State) { s["y"]--; s["got"]++ }).On(1),
+			}},
+			{Name: "px", Ops: []Op{Step("fx", func(s State) { s["x"]++ }).On(0)}},
+			{Name: "py", Ops: []Op{
+				Step("fy", func(s State) { s["y"]++ }).On(1),
+				Step("fy", func(s State) { s["y"]++ }).On(1),
+			}},
+		},
+	}
+	res, err := Explore(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTerminals(t, res.TerminalSet(),
+		State{"x": 0, "y": 1, "got": 1}, // selector died on x; waiter got one y
+		State{"x": 1, "y": 0, "got": 1}, // selector died on a y; waiter the other
+	)
+}

@@ -1,29 +1,94 @@
-// Package simcheck model-checks the AutoSynch signaling algorithm.
+// Package simcheck model-checks the AutoSynch protocol surface by
+// systematic schedule exploration.
 //
-// The production runtime (internal/core) rides on sync.Mutex and
-// sync.Cond, whose scheduling cannot be controlled from a test, so its
-// correctness arguments — Proposition 1 (globalization is sound),
-// Proposition 2 (the relay rule preserves relay invariance), and the
-// no-lost-wakeup liveness that follows — are exercised there only
-// probabilistically. This package re-implements the monitor discipline as
-// a deterministic state machine over virtual threads and exhaustively
-// explores every interleaving of small programs (DFS over scheduler
-// choices), checking after every step:
+// The production runtime (internal/core, internal/shard) rides on
+// sync.Mutex and channels, whose scheduling cannot be controlled from a
+// test, so its correctness arguments — Proposition 1 (globalization is
+// sound), Proposition 2 (the relay rule preserves relay invariance), the
+// no-lost-wakeup liveness of the Fig. 6 do-while, and the handle/Select
+// claim/cancel/relay-repair protocol built on top — are exercised there
+// only probabilistically. This package re-implements the whole signaling
+// discipline as a deterministic state machine over virtual threads and
+// explores interleavings of small programs, checking after every step.
 //
-//   - mutual exclusion: monitor sections are atomic by construction;
-//   - signal soundness: relays target only waiters whose globalized
-//     predicate is true at signal time; a signaled thread that finds its
-//     predicate falsified by a barging thread re-waits through the
-//     Fig. 6 do-while (modeled as a futile wake), never proceeds;
-//   - relay invariance (Definition 4): if some waiter's predicate is
-//     true, at least one thread is active (running, ready, or signaled);
-//   - deadlock freedom: if any thread can still move, some thread moves,
-//     and all programs that should terminate do, on every schedule.
+// # What is modeled
 //
-// Threads are written as sequences of atomic monitor sections
-// (Step/Wait), mirroring how member functions decompose around waituntil.
-// The scheduler is the adversary: at every decision point it forks one
-// branch per runnable thread.
+// Threads are sequences of atomic monitor sections, mirroring how member
+// functions decompose around waituntil. Beyond the base Step/Wait ops of
+// the original checker, the machine models the full post-handle surface:
+//
+//   - multiple monitors, each with its own waiter set, single in-flight
+//     relay signal, and exit-relay discipline (relaySignal of §4.2);
+//   - armed wait handles: Arm registers a first-class waiter (with the
+//     arm-time free notification when the predicate already holds),
+//     Claim re-enters and re-validates Mesa-style (a falsified claim
+//     re-arms transparently and passes an in-flight relay signal
+//     onward), Cancel unregisters with relay repair;
+//   - cross-monitor Select: the ordered initial poll (each Try exits
+//     with a relay, exactly like the real Guard.Try), per-case arming
+//     with arm-time notification, a shared-delivery park that claims a
+//     notified case first-true Mesa-style, transparent re-arm on
+//     falsification, and loser cancellation with relay repair after the
+//     winner's exit — including the panic-unwinding order (body, exit
+//     relay, loser cancels, then the thread dies);
+//   - guarded regions: Wait/Step bodies may be marked Panicking, which
+//     models Guard.Do's deferred unlock — the relay still runs, the
+//     thread terminates by panic;
+//   - epoch-batched aggregate counters (shard.Counter): per-shard
+//     pending deltas folded under the shard monitor, threshold or
+//     precise-mode publication into a summary monitor (bumping the
+//     epoch and relaying there), and the watch protocol around
+//     aggregate waits (enter precise mode, flush every shard, then park
+//     on the summary) that guarantees batching never hides an update.
+//
+// # What is checked
+//
+// After every atomic step:
+//
+//   - relay invariance (Definition 4), in its local inductive form: for
+//     every monitor, if some unnotified waiter's globalized predicate is
+//     true, a relay signal is in flight on that monitor;
+//   - signal soundness by construction: relays target only waiters
+//     whose predicate is true at signal time, and a signaled thread that
+//     finds its predicate falsified by a barging thread re-waits (the
+//     futile wake of Fig. 6) or re-arms (a futile claim), never
+//     proceeds;
+//   - deadlock freedom / no lost wake-up: if any thread can still move,
+//     some thread moves, and every program terminates on every explored
+//     schedule (a depth bound catches livelock);
+//   - no leaked waiter: at full termination the waiter table is empty —
+//     every armed handle was claimed or cancelled, no signal is in
+//     flight, and no counter is left in precise mode;
+//   - terminal-state soundness: CheckLinearizable re-explores the
+//     program under a reference semantics (a parked thread may proceed
+//     whenever its predicate is true, signaling ignored — the
+//     obviously-correct broadcast discipline) and asserts that every
+//     terminal state reachable under relay signaling is also reachable
+//     sequentially under the reference, i.e. the relay rule can only
+//     restrict outcomes, never invent them.
+//
+// # Proven vs. sampled
+//
+// Explore is exhaustive: DFS over every scheduler choice (and, with
+// RelayNondet, every relay-target choice), memoized on a 128-bit state
+// hash and pruned with sleep-set partial-order reduction over declared
+// monitor footprints. Within the instance sizes and bounds given, its
+// verdict is a proof about the model. Fuzz is a seeded random-priority
+// (PCT-style) scheduler for instances too large to exhaust; it samples.
+// Both emit a replayable schedule on failure (Violation.Schedule) that
+// Replay — or the -simcheck.replay test flag — re-runs deterministically.
+// The differential shapes in gen.go close the loop to the real
+// implementation: each small program runs both as a model and as a
+// concrete scenario against the four real mechanisms, with the real
+// outcomes checked for membership in the model's terminal set.
+//
+// The model's faithfulness contract: a predicate registered on monitor M
+// must read only variables mutated under M (exactly as real compiled
+// predicates read only their monitor's cells), and scheduler-visible
+// nondeterminism beyond thread choice — relay targets, Select claim
+// order — is either fixed deterministically (registration order, lowest
+// case) or explored exhaustively (Options.RelayNondet; claim order is
+// always explored).
 package simcheck
 
 import (
@@ -33,7 +98,10 @@ import (
 )
 
 // State is the shared monitor state of a simulated program: a fixed set
-// of integer variables (booleans are 0/1 by convention).
+// of integer variables (booleans are 0/1 by convention). Every variable
+// must be declared in Program.Init — actions must not invent keys, or
+// state hashing would be unstable. Keys beginning with '#' are reserved
+// for counter internals.
 type State map[string]int64
 
 func (s State) clone() State {
@@ -44,7 +112,8 @@ func (s State) clone() State {
 	return c
 }
 
-// key renders the state deterministically for memoization.
+// key renders the state deterministically, for messages and terminal-set
+// comparison.
 func (s State) key() string {
 	names := make([]string, 0, len(s))
 	for n := range s {
@@ -59,31 +128,153 @@ func (s State) key() string {
 }
 
 // Pred is a globalized predicate over the shared state. Implementations
-// must be pure functions of the state.
+// must be pure functions of the state, and a predicate registered on
+// monitor M must read only variables mutated under M.
 type Pred func(State) bool
 
-// Action is one atomic monitor section: it runs with the (virtual)
+// Action is one atomic monitor section body: it runs with the (virtual)
 // monitor held and mutates the shared state.
 type Action func(State)
 
+// OpKind discriminates the step types a thread program is built from.
+type OpKind uint8
+
+// The op kinds. Build ops with the constructors below rather than by
+// struct literal; the zero Op is invalid.
+const (
+	OpStep        OpKind = iota // unguarded atomic section
+	OpWait                      // blocking waituntil + body
+	OpTry                       // non-blocking guarded section (Guard.Try)
+	OpArm                       // arm a wait handle into a named slot
+	OpClaim                     // claim the slot's handle (Wait.Claim)
+	OpCancel                    // cancel the slot's handle (Wait.Cancel)
+	OpSelect                    // cross-monitor select over guard cases
+	OpCounterAdd                // fold a delta into an aggregate counter
+	OpCounterWait               // aggregate wait: watch, flush, park
+)
+
+// SelCase is one guard case of a Select op: a predicate on a monitor and
+// the body to run under that monitor if the case wins.
+type SelCase struct {
+	Mon  int
+	Name string
+	Pred Pred
+	Body Action
+}
+
+// Case builds a Select guard case.
+func Case(mon int, name string, pred Pred, body Action) SelCase {
+	return SelCase{Mon: mon, Name: name, Pred: pred, Body: body}
+}
+
 // Op is one step of a thread's program.
 type Op struct {
-	// Guard, when non-nil, is a waituntil: the thread blocks until the
-	// predicate holds, then atomically runs Body (still in the monitor).
+	Kind OpKind
+	// Name labels the op in counterexample traces.
+	Name string
+	// Mon is the monitor the op runs on (default 0). Claim/Cancel must
+	// name the same monitor as the Arm that created their slot.
+	Mon int
+	// Guard is the waituntil predicate (OpWait, OpTry, OpArm, OpClaim
+	// re-validation uses the armed predicate).
 	Guard Pred
 	// Body mutates the state inside the monitor. May be nil.
 	Body Action
-	// Name labels the op in counterexample traces.
-	Name string
+	// Else runs (inside the monitor) when an OpTry guard is false.
+	Else Action
+	// Panics marks the body as panicking after it runs: the modeled
+	// guarded region unwinds — exit relay, loser cancellation for
+	// Select — and the thread terminates by panic.
+	Panics bool
+	// Slot names the handle for OpArm/OpClaim/OpCancel.
+	Slot string
+	// Cases are the guards of an OpSelect.
+	Cases []SelCase
+	// Counter/Shard/Delta/Bound parameterize the counter ops.
+	Counter string
+	Shard   int
+	Delta   int64
+	Bound   int64
+	// Vars optionally declares extra variables this op reads or writes
+	// beyond its monitor's own state, for partial-order reduction.
+	Vars []string
 }
 
-// Step is an unguarded atomic monitor section.
-func Step(name string, body Action) Op { return Op{Name: name, Body: body} }
+// On returns the op rebound to monitor mon.
+func (o Op) On(mon int) Op { o.Mon = mon; return o }
+
+// Touching declares extra shared variables for partial-order reduction.
+func (o Op) Touching(vars ...string) Op { o.Vars = vars; return o }
+
+// Panicking marks the op's body as panicking after it runs.
+func (o Op) Panicking() Op { o.Panics = true; return o }
+
+// Step is an unguarded atomic monitor section on monitor 0; rebind with
+// On.
+func Step(name string, body Action) Op {
+	return Op{Kind: OpStep, Name: name, Body: body}
+}
 
 // Wait is a waituntil(P) followed by body, run atomically once P holds —
 // exactly the shape of a member function that waits and then acts.
 func Wait(name string, pred Pred, body Action) Op {
-	return Op{Name: name, Guard: pred, Body: body}
+	return Op{Kind: OpWait, Name: name, Guard: pred, Body: body}
+}
+
+// Try is the non-blocking guarded section: evaluate pred once inside the
+// monitor, run then if it holds, els (which may be nil) otherwise —
+// Guard.Try with an else branch.
+func Try(name string, pred Pred, then, els Action) Op {
+	return Op{Kind: OpTry, Name: name, Guard: pred, Body: then, Else: els}
+}
+
+// Arm registers a wait handle on pred into the thread's named slot
+// without blocking, delivering the arm-time free notification when pred
+// already holds — ArmFunc/Predicate.Arm.
+func Arm(name, slot string, pred Pred) Op {
+	return Op{Kind: OpArm, Name: name, Slot: slot, Guard: pred}
+}
+
+// Claim claims the slot's handle once it is notified: re-enter the
+// monitor, re-validate Mesa-style, run body with the predicate true. A
+// falsified claim re-arms the handle transparently (ErrNotReady) and the
+// thread retries when re-notified. Claiming a spent slot is the
+// ErrClaimed/ErrCancelled no-op.
+func Claim(name, slot string, body Action) Op {
+	return Op{Kind: OpClaim, Name: name, Slot: slot, Body: body}
+}
+
+// Cancel cancels the slot's armed handle: unregister, reconcile any
+// in-flight signal addressed to it, and relay onward (relay repair).
+func Cancel(name, slot string) Op {
+	return Op{Kind: OpCancel, Name: name, Slot: slot}
+}
+
+// Select is the cross-monitor waituntil-select over the cases, modeled
+// on SelectOrdered: an ordered initial poll (each miss exits with a
+// relay), per-case arming, a shared-delivery park claiming notified
+// cases Mesa-style, and loser cancellation with relay repair after the
+// winner's body and exit. Panicking applies to the winner's body.
+func Select(name string, cases ...SelCase) Op {
+	return Op{Kind: OpSelect, Name: name, Cases: cases}
+}
+
+// CounterAdd folds delta into the named counter from the given shard,
+// running body (which may be nil) first under the shard's monitor —
+// shard.Counter.Add from inside a mutating section. Publication follows
+// the real protocol: when the shard's pending batch reaches the
+// counter's threshold, or immediately while any watcher is in precise
+// mode, the batch publishes into the summary monitor (total, epoch) and
+// relays there.
+func CounterAdd(name, counter string, shard int, delta int64, body Action) Op {
+	return Op{Kind: OpCounterAdd, Name: name, Counter: counter, Shard: shard, Delta: delta, Body: body}
+}
+
+// CounterAwait blocks until the named counter's aggregate is at least
+// bound, via the real watch protocol: enter precise mode, flush every
+// shard (one atomic section each), then park on the summary monitor.
+func CounterAwait(name, counter string, bound int64) Op {
+	return Op{Kind: OpCounterWait, Name: name, Counter: counter, Bound: bound}
 }
 
 // Thread is a named sequence of ops.
@@ -92,227 +283,191 @@ type Thread struct {
 	Ops  []Op
 }
 
-// Program is a set of threads over an initial state.
+// CounterSpec declares an aggregate counter: its shard monitors (the
+// pend slot of CounterAdd's Shard i lives under ShardMons[i]) and the
+// publication threshold. The summary monitor is allocated automatically
+// after the program's own monitors.
+type CounterSpec struct {
+	Name      string
+	ShardMons []int
+	Threshold int64
+}
+
+// Program is a set of threads over an initial state, with optional
+// aggregate counters and an optional observation projection.
 type Program struct {
-	Init    State
-	Threads []Thread
+	Init     State
+	Threads  []Thread
+	Counters []CounterSpec
+	// Observe projects a terminal state for linearizability and
+	// differential comparison. Nil strips the '#'-prefixed counter
+	// internals and keeps everything else.
+	Observe func(State) State
 }
 
-// threadStatus tracks one virtual thread through the exploration.
-type threadStatus struct {
-	pc       int  // next op index
-	waiting  bool // parked on its current op's guard
-	signaled bool // woken by a relay, not yet re-entered
+// Options bound and configure the exploration.
+type Options struct {
+	MaxDepth       int // maximum schedule length (default 10 000)
+	MaxStates      int // distinct-state budget (default 1 000 000)
+	MaxTransitions int // executed-step budget (default 20 000 000)
+
+	// DisableMemo turns off state-hash memoization: every arrival is
+	// explored. Only for measuring what memoization saves.
+	DisableMemo bool
+	// DisableSleepSets turns off the sleep-set partial-order reduction.
+	DisableSleepSets bool
+	// RelayNondet explores every choice of relay target (any waiter
+	// whose predicate is true) instead of the deterministic
+	// registration-order pick. Required for the differential tests:
+	// the real tag structures may relay to any eligible waiter.
+	RelayNondet bool
+	// Reference switches to the reference semantics used as the
+	// linearizability baseline: a parked thread (or claimable handle)
+	// may proceed whenever its predicate is true, signaling ignored.
+	// Relay-invariance checking is off in this mode.
+	Reference bool
+
+	// DisableRelay is a seeded mutation: the relay rule never fires.
+	// The checker must catch the resulting lost wake-ups.
+	DisableRelay bool
+	// DisableCancelRepair is a seeded mutation: Cancel (and Select
+	// loser cancellation) skips the relay repair.
+	DisableCancelRepair bool
 }
 
-// config is one node of the interleaving tree.
-type config struct {
-	state   State
-	threads []threadStatus
+func (o Options) withDefaults() Options {
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 10000
+	}
+	if o.MaxStates == 0 {
+		o.MaxStates = 1_000_000
+	}
+	if o.MaxTransitions == 0 {
+		o.MaxTransitions = 20_000_000
+	}
+	return o
 }
 
-func (c *config) clone() *config {
-	ts := make([]threadStatus, len(c.threads))
-	copy(ts, c.threads)
-	return &config{state: c.state.clone(), threads: ts}
-}
-
-func (c *config) key() string {
+// flags renders the semantics-affecting options for replay arguments.
+func (o Options) flags() string {
 	var sb strings.Builder
-	sb.WriteString(c.state.key())
-	for _, t := range c.threads {
-		fmt.Fprintf(&sb, "|%d,%t,%t", t.pc, t.waiting, t.signaled)
+	if o.RelayNondet {
+		sb.WriteString("!rnd")
+	}
+	if o.Reference {
+		sb.WriteString("!ref")
+	}
+	if o.DisableRelay {
+		sb.WriteString("!norelay")
+	}
+	if o.DisableCancelRepair {
+		sb.WriteString("!norepair")
 	}
 	return sb.String()
 }
 
 // Violation describes a failed check with the schedule that produced it.
 type Violation struct {
-	Kind  string
-	Trace []string
-	State State
+	Kind     string
+	Trace    []string // human-readable step labels
+	Schedule string   // machine-readable schedule; feed to Replay
+	State    State
 }
 
 func (v *Violation) Error() string {
-	return fmt.Sprintf("simcheck: %s violated\nstate: %s\ntrace:\n  %s",
-		v.Kind, v.State.key(), strings.Join(v.Trace, "\n  "))
+	msg := fmt.Sprintf("simcheck: %s violated\nstate: %s", v.Kind, v.State.key())
+	if v.Schedule != "" {
+		msg += "\nschedule: " + v.Schedule
+	}
+	if len(v.Trace) > 0 {
+		msg += "\ntrace:\n  " + strings.Join(v.Trace, "\n  ")
+	}
+	return msg
 }
 
-// Options bound the exploration.
-type Options struct {
-	MaxDepth  int // maximum schedule length (default 10 000)
-	MaxStates int // memoized-state budget (default 1 000 000)
+// Result reports what an exploration covered.
+type Result struct {
+	// States counts configurations explored — distinct ones under
+	// memoization, every arrival with DisableMemo.
+	States int
+	// Transitions counts executed atomic steps.
+	Transitions int
+	// Revisits counts arrivals pruned by memoization (covered by an
+	// earlier visit).
+	Revisits int
+	// SleepSkips counts enabled transitions pruned by sleep sets.
+	SleepSkips int
+	// DeepestTrace is the longest schedule explored.
+	DeepestTrace int
+	// Terminals are the distinct projected terminal states.
+	Terminals []State
+
+	terminalKeys map[string]bool
 }
 
-// Check exhaustively explores every interleaving of the program under the
-// relay-signaling discipline and returns the first violation found, or
-// nil if every schedule satisfies the invariants and terminates.
+// TerminalSet returns the projected terminal states keyed by their
+// canonical rendering.
+func (r *Result) TerminalSet() map[string]State {
+	set := make(map[string]State, len(r.Terminals))
+	for _, s := range r.Terminals {
+		set[s.key()] = s
+	}
+	return set
+}
+
+func (r *Result) addTerminal(s State) {
+	if r.terminalKeys == nil {
+		r.terminalKeys = map[string]bool{}
+	}
+	k := s.key()
+	if r.terminalKeys[k] {
+		return
+	}
+	r.terminalKeys[k] = true
+	r.Terminals = append(r.Terminals, s)
+}
+
+// Check exhaustively explores every interleaving of the program under
+// the relay-signaling discipline and returns the first violation found,
+// or nil if every schedule satisfies the invariants and terminates.
 func Check(p Program, opts Options) error {
-	if opts.MaxDepth == 0 {
-		opts.MaxDepth = 10000
-	}
-	if opts.MaxStates == 0 {
-		opts.MaxStates = 1_000_000
-	}
-	init := &config{state: p.Init.clone(), threads: make([]threadStatus, len(p.Threads))}
-	e := &explorer{prog: p, opts: opts, seen: map[string]bool{}}
-	return e.dfs(init, nil)
+	_, err := Explore(p, opts)
+	return err
 }
 
-type explorer struct {
-	prog Program
-	opts Options
-	seen map[string]bool
+// Explore is Check returning coverage statistics alongside the verdict.
+// The Result is valid even when err is non-nil (partial coverage up to
+// the violation or budget).
+func Explore(p Program, opts Options) (*Result, error) {
+	mc, err := compile(p, opts.withDefaults())
+	if err != nil {
+		return &Result{}, err
+	}
+	return mc.explore()
 }
 
-// runnable reports whether thread i can take a step in c: it has ops left
-// and is not parked (parked threads move only via relay signals, which
-// happen inside steps, not as scheduler choices — matching the runtime,
-// where a signaled thread becomes ready).
-func (e *explorer) runnable(c *config, i int) bool {
-	t := c.threads[i]
-	if t.pc >= len(e.prog.Threads[i].Ops) {
-		return false
+// CheckLinearizable explores the program under both the relay semantics
+// and the reference semantics and verifies that every relay-reachable
+// terminal state is reference-reachable: the relay rule only restricts
+// outcomes. It returns the relay-side result.
+func CheckLinearizable(p Program, opts Options) (*Result, error) {
+	res, err := Explore(p, opts)
+	if err != nil {
+		return res, err
 	}
-	return !t.waiting || t.signaled
-}
-
-func (e *explorer) dfs(c *config, trace []string) error {
-	if len(trace) > e.opts.MaxDepth {
-		return &Violation{Kind: "depth bound exceeded (livelock?)", Trace: trace, State: c.state}
+	refOpts := opts
+	refOpts.Reference = true
+	refOpts.DisableRelay = false
+	refOpts.DisableCancelRepair = false
+	ref, err := Explore(p, refOpts)
+	if err != nil {
+		return res, fmt.Errorf("simcheck: reference exploration failed: %w", err)
 	}
-	k := c.key()
-	if e.seen[k] {
-		return nil
-	}
-	if len(e.seen) >= e.opts.MaxStates {
-		return fmt.Errorf("simcheck: state budget (%d) exhausted", e.opts.MaxStates)
-	}
-	e.seen[k] = true
-
-	anyRunnable := false
-	anyUnfinished := false
-	for i := range c.threads {
-		if c.threads[i].pc < len(e.prog.Threads[i].Ops) {
-			anyUnfinished = true
-		}
-		if e.runnable(c, i) {
-			anyRunnable = true
+	refSet := ref.TerminalSet()
+	for _, s := range res.Terminals {
+		if _, ok := refSet[s.key()]; !ok {
+			return res, fmt.Errorf("simcheck: terminal state %s reachable under relay signaling but not under the sequential reference", s.key())
 		}
 	}
-	if !anyUnfinished {
-		return nil // full termination on this schedule: success leaf
-	}
-	if !anyRunnable {
-		return &Violation{Kind: "deadlock (threads waiting, none signaled)", Trace: trace, State: c.state}
-	}
-
-	for i := range c.threads {
-		if !e.runnable(c, i) {
-			continue
-		}
-		next := c.clone()
-		label, err := e.step(next, i)
-		step := fmt.Sprintf("%s: %s", e.prog.Threads[i].Name, label)
-		if err != nil {
-			if v, ok := err.(*Violation); ok {
-				v.Trace = append(append([]string{}, trace...), step)
-				return v
-			}
-			return err
-		}
-		if err := e.dfs(next, append(trace, step)); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// step executes one atomic move of thread i in c: entering the monitor,
-// evaluating its guard, running its body or parking, and applying the
-// relay-signaling rule on the way out. The entire move is atomic — the
-// monitor is held throughout — so scheduler choices happen only between
-// monitor sections, exactly as in the runtime.
-func (e *explorer) step(c *config, i int) (string, error) {
-	t := &c.threads[i]
-	op := e.prog.Threads[i].Ops[t.pc]
-
-	if t.waiting {
-		// The thread was signaled: it re-enters and re-checks its guard.
-		t.signaled = false
-		if !op.Guard(c.state) {
-			// Futile wake-up: the predicate was true when the signal was
-			// sent, but a thread that never blocked barged in first and
-			// falsified it. The Fig. 6 do-while handles this: relay (the
-			// pre-wait relay) and park again.
-			e.relay(c)
-			return op.Name + " (futile wake)", e.invariants(c)
-		}
-		t.waiting = false
-		if op.Body != nil {
-			op.Body(c.state)
-		}
-		t.pc++
-		e.relay(c)
-		return op.Name + " (resumed)", e.invariants(c)
-	}
-
-	if op.Guard != nil && !op.Guard(c.state) {
-		// waituntil with a false predicate: relay (the pre-wait relay of
-		// Fig. 6), then park.
-		t.waiting = true
-		e.relay(c)
-		return op.Name + " (parked)", e.invariants(c)
-	}
-	if op.Body != nil {
-		op.Body(c.state)
-	}
-	t.pc++
-	e.relay(c)
-	return op.Name, e.invariants(c)
-}
-
-// relay applies the relay-signaling rule: if no signal is pending and
-// some parked thread's guard is true, signal exactly one such thread.
-func (e *explorer) relay(c *config) {
-	for i := range c.threads {
-		if c.threads[i].waiting && c.threads[i].signaled {
-			return // a signal is already pending: an active thread exists
-		}
-	}
-	for i := range c.threads {
-		t := &c.threads[i]
-		if !t.waiting || t.signaled {
-			continue
-		}
-		if e.prog.Threads[i].Ops[t.pc].Guard(c.state) {
-			t.signaled = true
-			return
-		}
-	}
-}
-
-// invariants checks relay invariance (Definition 4): if any waiter's
-// predicate is true, some thread is active — not waiting, or signaled.
-func (e *explorer) invariants(c *config) error {
-	waiterTrue := false
-	active := false
-	for i := range c.threads {
-		t := c.threads[i]
-		done := t.pc >= len(e.prog.Threads[i].Ops)
-		switch {
-		case t.waiting && t.signaled:
-			active = true
-		case t.waiting:
-			if e.prog.Threads[i].Ops[t.pc].Guard(c.state) {
-				waiterTrue = true
-			}
-		case !done:
-			active = true
-		}
-	}
-	if waiterTrue && !active {
-		return &Violation{Kind: "relay invariance (Definition 4)", State: c.state.clone()}
-	}
-	return nil
+	return res, nil
 }

@@ -5,40 +5,18 @@ import (
 	"testing"
 )
 
-// boundedBuffer builds a producer/consumer program over a buffer of the
-// given capacity: producers wait for space, consumers for items.
-func boundedBuffer(capacity int64, producers, consumers, opsEach int) Program {
-	p := Program{Init: State{"count": 0, "cap": capacity}}
-	space := func(s State) bool { return s["count"] < s["cap"] }
-	items := func(s State) bool { return s["count"] > 0 }
-	for i := 0; i < producers; i++ {
-		var ops []Op
-		for j := 0; j < opsEach; j++ {
-			ops = append(ops, Wait("put", space, func(s State) { s["count"]++ }))
-		}
-		p.Threads = append(p.Threads, Thread{Name: "producer", Ops: ops})
-	}
-	for i := 0; i < consumers; i++ {
-		var ops []Op
-		for j := 0; j < opsEach; j++ {
-			ops = append(ops, Wait("take", items, func(s State) { s["count"]-- }))
-		}
-		p.Threads = append(p.Threads, Thread{Name: "consumer", Ops: ops})
-	}
-	return p
-}
-
 func TestBoundedBufferAllInterleavings(t *testing.T) {
 	// 2 producers × 2 consumers × 3 ops each, capacity 1: the tightest
 	// coupling. Every interleaving must terminate with the invariants
-	// intact.
-	if err := Check(boundedBuffer(1, 2, 2, 3), Options{}); err != nil {
+	// intact. (The builder lives in corpus.go; "bounded-buffer" names
+	// this exact instance.)
+	if err := Check(BoundedBuffer(1, 2, 2, 3), Options{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestBoundedBufferLargerCapacity(t *testing.T) {
-	if err := Check(boundedBuffer(2, 2, 2, 4), Options{}); err != nil {
+	if err := Check(BoundedBuffer(2, 2, 2, 4), Options{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -199,7 +177,7 @@ func TestDepthBound(t *testing.T) {
 }
 
 func TestStateBudget(t *testing.T) {
-	p := boundedBuffer(2, 2, 2, 4)
+	p := BoundedBuffer(2, 2, 2, 4)
 	err := Check(p, Options{MaxStates: 10})
 	if err == nil || !strings.Contains(err.Error(), "state budget") {
 		t.Fatalf("expected state-budget error, got %v", err)

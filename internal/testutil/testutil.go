@@ -7,6 +7,9 @@ package testutil
 
 import (
 	"fmt"
+	"os"
+	"strconv"
+	"sync"
 	"testing"
 	"time"
 )
@@ -25,6 +28,35 @@ func WaitFor(t testing.TB, timeout, poll time.Duration, pred func() bool, format
 	if !Eventually(timeout, poll, pred) {
 		t.Fatalf("WaitFor(%s): condition not met within %v", fmt.Sprintf(format, args...), timeout)
 	}
+}
+
+// SeedFromEnv returns the seed for a randomized test: the decimal value
+// of the named environment variable if it is set (a CI re-run pins the
+// failing seed that way), otherwise one derived from the wall clock. The
+// chosen seed is always logged, so every failure report carries what is
+// needed to reproduce it.
+func SeedFromEnv(t testing.TB, name string) uint64 {
+	t.Helper()
+	seed := uint64(time.Now().UnixNano())
+	if v := os.Getenv(name); v != "" {
+		parsed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			t.Fatalf("%s=%q is not a uint64 seed: %v", name, v, err)
+		}
+		seed = parsed
+	}
+	t.Logf("seed: %d (pin with %s=%d)", seed, name, seed)
+	return seed
+}
+
+// Done converts a WaitGroup into a channel that closes when the group
+// finishes, so tests can race completion against a watchdog timeout in a
+// select. The spawned goroutine leaks if the group never finishes — which
+// is fine, since the caller is about to fail the test.
+func Done(wg *sync.WaitGroup) <-chan struct{} {
+	ch := make(chan struct{})
+	go func() { wg.Wait(); close(ch) }()
+	return ch
 }
 
 // Eventually is WaitFor without a test handle: it reports whether pred
