@@ -6,6 +6,7 @@ import (
 
 	autosynch "repro"
 	"repro/internal/problems"
+	"repro/internal/stats"
 	"repro/internal/testutil"
 )
 
@@ -151,6 +152,44 @@ func benchParamBBLimit(limit int) problems.Result {
 	return problems.Result{Stats: m.Stats(), Ops: consumers * takesEach}
 }
 
+// benchWakeToClaim arms `waiters` equivalence-keyed handles on one
+// monitor, all subscribed to a single delivery channel, and drives `ops`
+// publishes through them; each delivery is timed from channel dequeue to
+// a successful Claim — the same wake-to-claim interval the watchd daemon
+// histograms — and recorded into the returned histogram. One publish
+// satisfies exactly one handle (distinct k per handle), so the claim
+// never races and every op contributes one observation.
+func benchWakeToClaim(waiters, ops int) stats.Histogram {
+	m := autosynch.New()
+	x := m.NewInt("x", 0)
+	hit := m.MustCompile("x == k")
+	handles := make([]*autosynch.Wait, waiters)
+	ch := make(chan int, waiters)
+	for k := range handles {
+		handles[k] = hit.Arm(autosynch.Bind("k", int64(k+1)))
+		handles[k].Subscribe(ch, k)
+	}
+	var hist stats.Histogram
+	for i := 0; i < ops; i++ {
+		k := int64(i%waiters) + 1
+		m.Do(func() { x.Set(k) })
+		idx := <-ch
+		t0 := time.Now()
+		if err := handles[idx].Claim(); err != nil {
+			panic(err)
+		}
+		hist.Observe(time.Since(t0))
+		x.Set(0)
+		m.Exit()
+		handles[idx] = hit.Arm(autosynch.Bind("k", int64(idx+1)))
+		handles[idx].Subscribe(ch, idx)
+	}
+	for _, h := range handles {
+		h.Cancel()
+	}
+	return hist
+}
+
 // TestBenchHelpers keeps the helpers honest under plain `go test`.
 func TestBenchHelpers(t *testing.T) {
 	r := benchParamBBLimit(128)
@@ -159,5 +198,13 @@ func TestBenchHelpers(t *testing.T) {
 	}
 	if r.Stats.Broadcasts != 0 {
 		t.Error("AutoSynch broadcast in bench helper")
+	}
+	const ops = 200
+	h := benchWakeToClaim(16, ops)
+	if h.Count() != ops {
+		t.Errorf("wake-to-claim recorded %d observations, want %d", h.Count(), ops)
+	}
+	if h.P50() <= 0 || h.P99() < h.P50() || h.P999() < h.P99() {
+		t.Errorf("wake-to-claim percentiles not monotone: %s", h.String())
 	}
 }

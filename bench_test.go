@@ -20,6 +20,7 @@ import (
 	autosynch "repro"
 	"repro/internal/harness"
 	"repro/internal/problems"
+	"repro/internal/stats"
 	"repro/internal/testutil"
 )
 
@@ -343,6 +344,35 @@ func BenchmarkShardScaling(b *testing.B) {
 				b.ReportMetric(wakeups/float64(ops), "wakeups/op")
 				b.ReportMetric(futile/float64(ops), "futile/op")
 			}
+		})
+	}
+}
+
+// BenchmarkWakeToClaim prices the delivery interval the watchd daemon
+// histograms: from the moment a relay notification is dequeued to the
+// moment Claim returns holding the monitor. ns/op is the full
+// publish-deliver-claim round trip; the reported p50/p99/p999 metrics
+// are the claim interval alone, so the tail of the monitor re-entry
+// (lock handoff plus Mesa re-validation) is visible separately from the
+// mean. The fan-out axis shows how the claim tail grows with the number
+// of concurrently armed handles on the monitor:
+//
+//	go test -bench 'WakeToClaim' -benchtime 2s
+func BenchmarkWakeToClaim(b *testing.B) {
+	for _, waiters := range []int{16, 256} {
+		waiters := waiters
+		b.Run(fmt.Sprintf("waiters=%d", waiters), func(b *testing.B) {
+			var hist stats.Histogram
+			b.ResetTimer()
+			h := benchWakeToClaim(waiters, b.N)
+			b.StopTimer()
+			hist.Merge(&h)
+			if hist.Count() != uint64(b.N) {
+				b.Fatalf("recorded %d observations, want %d", hist.Count(), b.N)
+			}
+			b.ReportMetric(float64(hist.P50()), "p50-ns")
+			b.ReportMetric(float64(hist.P99()), "p99-ns")
+			b.ReportMetric(float64(hist.P999()), "p999-ns")
 		})
 	}
 }

@@ -1,0 +1,244 @@
+// Command watchd soak-tests the keyed watch-service daemon: it holds a
+// standing population of watch sessions over a sharded automatic-signal
+// monitor while churn generators replace sessions and publishers bump
+// key versions, then drains and verifies nothing leaked — no goroutines,
+// no zombie notifications, no registered waiters.
+//
+// Usage:
+//
+//	watchd -sessions 100000 -duration 60s
+//	watchd -quick -json
+//	watchd -sessions 10000 -duration 20s -max-idle 9000 -min-evictions 1 -json
+//
+// The exit status is the verdict: 0 means the population was sustained,
+// the drain was clean, and the eviction floor (if any) was met; 1 means
+// an invariant failed; 2 is a usage error. With -json the full result —
+// wake-to-claim latency histogram with p50/p99/p999, delivery and
+// eviction counters, sustained-population bracket — is written to -out
+// (default BENCH_watchd.json) even when the run fails, so CI keeps the
+// artifact of a bad run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/watchd"
+)
+
+// options is the parsed flag set. Keeping validation and config mapping
+// as pure methods on this struct makes the flag contract testable
+// without exec-ing the binary.
+type options struct {
+	sessions     int
+	duration     time.Duration
+	keys         int
+	shards       int
+	maxIdle      int
+	maxSessions  int
+	churners     int
+	churnEvery   time.Duration
+	publishers   int
+	publishEvery time.Duration
+	seed         int64
+	minEvictions uint64
+	quick        bool
+	jsonOut      bool
+	out          string
+}
+
+// validate rejects contradictory or meaningless flag combinations.
+// set holds the names of flags the user passed explicitly; a conflicting
+// combination is a usage error, not a silent preference, because the run
+// that would have happened is ambiguous.
+func (o options) validate(set map[string]bool) error {
+	if o.quick && (set["sessions"] || set["duration"]) {
+		return fmt.Errorf("-quick chooses its own population and interval; drop -sessions/-duration or drop -quick")
+	}
+	if o.sessions < 1 {
+		return fmt.Errorf("-sessions must be at least 1, got %d", o.sessions)
+	}
+	if o.duration <= 0 {
+		return fmt.Errorf("-duration must be positive, got %v", o.duration)
+	}
+	if o.keys < 0 || o.shards < 0 {
+		return fmt.Errorf("-keys and -shards must be non-negative (0 means the daemon default)")
+	}
+	if o.maxIdle < 0 {
+		return fmt.Errorf("-max-idle must be non-negative (0 derives eviction pressure from -sessions)")
+	}
+	if o.maxSessions < 0 {
+		return fmt.Errorf("-max-sessions must be non-negative (0 leaves admission headroom above -sessions)")
+	}
+	if o.maxSessions > 0 && o.maxSessions < o.sessions && !o.quick {
+		return fmt.Errorf("-max-sessions %d below -sessions %d would reject the initial fill", o.maxSessions, o.sessions)
+	}
+	if o.churners < 0 || o.publishers < 0 {
+		return fmt.Errorf("-churners and -publishers must be non-negative (0 means the soak default)")
+	}
+	if o.churnEvery < 0 || o.publishEvery < 0 {
+		return fmt.Errorf("-churn-every and -publish-every must be non-negative")
+	}
+	if o.out == "" {
+		return fmt.Errorf("-out must name a file")
+	}
+	return nil
+}
+
+// resolve applies -quick and derives the eviction threshold. MaxIdle
+// defaults to seven eighths of the population so the LRU evictor is
+// exercised on every run; pass -max-idle at or above -sessions to turn
+// eviction pressure off.
+func (o options) resolve() options {
+	if o.quick {
+		o.sessions = 5000
+		o.duration = 3 * time.Second
+	}
+	if o.maxIdle == 0 {
+		o.maxIdle = o.sessions - o.sessions/8
+	}
+	return o
+}
+
+// soakConfig maps the resolved options onto the soak harness.
+func (o options) soakConfig() watchd.SoakConfig {
+	return watchd.SoakConfig{
+		Daemon: watchd.Config{
+			Keys:        o.keys,
+			Shards:      o.shards,
+			MaxIdle:     o.maxIdle,
+			MaxSessions: o.maxSessions,
+		},
+		Sessions:     o.sessions,
+		Duration:     o.duration,
+		Churners:     o.churners,
+		ChurnEvery:   o.churnEvery,
+		Publishers:   o.publishers,
+		PublishEvery: o.publishEvery,
+		Seed:         o.seed,
+	}
+}
+
+// report is the -json artifact: the flags that shaped the run, the full
+// soak result (histogram included), and the failure if there was one.
+type report struct {
+	Config struct {
+		Sessions     int    `json:"sessions"`
+		DurationNs   int64  `json:"duration_ns"`
+		Keys         int    `json:"keys,omitempty"`
+		Shards       int    `json:"shards,omitempty"`
+		MaxIdle      int    `json:"max_idle"`
+		MaxSessions  int    `json:"max_sessions,omitempty"`
+		Churners     int    `json:"churners,omitempty"`
+		Publishers   int    `json:"publishers,omitempty"`
+		Seed         int64  `json:"seed,omitempty"`
+		MinEvictions uint64 `json:"min_evictions,omitempty"`
+	} `json:"config"`
+	Result watchd.SoakResult `json:"result"`
+	Error  string            `json:"error,omitempty"`
+}
+
+func main() {
+	var o options
+	flag.IntVar(&o.sessions, "sessions", 100000, "standing watch-session population")
+	flag.DurationVar(&o.duration, "duration", 30*time.Second, "measurement interval after the fill")
+	flag.IntVar(&o.keys, "keys", 0, "watchable key space (0: daemon default)")
+	flag.IntVar(&o.shards, "shards", 0, "monitor shard count (0: daemon default)")
+	flag.IntVar(&o.maxIdle, "max-idle", 0, "armed-session threshold before LRU eviction (0: 7/8 of -sessions)")
+	flag.IntVar(&o.maxSessions, "max-sessions", 0, "admission-control session limit (0: headroom above -sessions)")
+	flag.IntVar(&o.churners, "churners", 0, "session-replacement generators (0: soak default)")
+	flag.DurationVar(&o.churnEvery, "churn-every", 0, "per-churner replacement pacing (0: soak default)")
+	flag.IntVar(&o.publishers, "publishers", 0, "version-bump generators (0: soak default)")
+	flag.DurationVar(&o.publishEvery, "publish-every", 0, "per-publisher pacing (0: soak default)")
+	flag.Int64Var(&o.seed, "seed", 0, "generator seed (0: fixed default)")
+	flag.Uint64Var(&o.minEvictions, "min-evictions", 1, "fail unless at least this many evictions occurred (0: don't check)")
+	flag.BoolVar(&o.quick, "quick", false, "small smoke configuration (5000 sessions, 3s)")
+	flag.BoolVar(&o.jsonOut, "json", false, "write the structured result to -out")
+	flag.StringVar(&o.out, "out", "BENCH_watchd.json", "path of the -json artifact")
+	flag.Parse()
+
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if flag.NArg() > 0 {
+		usageError(fmt.Sprintf("unexpected arguments: %s", strings.Join(flag.Args(), " ")))
+	}
+	if err := o.validate(set); err != nil {
+		usageError(err.Error())
+	}
+	os.Exit(run(o.resolve(), os.Stdout))
+}
+
+// usageError reports a flag error and exits with the usage status.
+func usageError(msg string) {
+	fmt.Fprintf(os.Stderr, "watchd: %s\n", msg)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// run executes one soak and reports the verdict as an exit code. It is
+// main minus flag parsing and os.Exit, so tests drive it directly.
+func run(o options, w *os.File) int {
+	fmt.Fprintf(w, "watchd soak: %d sessions for %v (max-idle %d)\n", o.sessions, o.duration, o.maxIdle)
+	start := time.Now()
+	res, soakErr := watchd.Soak(o.soakConfig())
+	fmt.Fprintf(w, "sustained %d–%d sessions; published %d, churned %d, in %v\n",
+		res.SustainedMin, res.SustainedMax, res.Published, res.Churned,
+		time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(w, "%s\n", res.Stats.String())
+
+	code := 0
+	if soakErr != nil {
+		fmt.Fprintf(os.Stderr, "watchd: FAILED: %v\n", soakErr)
+		code = 1
+	}
+	if o.minEvictions > 0 && res.Stats.Evicted < o.minEvictions {
+		fmt.Fprintf(os.Stderr, "watchd: FAILED: %d evictions, want at least %d (eviction pressure not exercised)\n",
+			res.Stats.Evicted, o.minEvictions)
+		code = 1
+	}
+	if o.jsonOut {
+		var rep report
+		rep.Config.Sessions = o.sessions
+		rep.Config.DurationNs = int64(o.duration)
+		rep.Config.Keys = o.keys
+		rep.Config.Shards = o.shards
+		rep.Config.MaxIdle = o.maxIdle
+		rep.Config.MaxSessions = o.maxSessions
+		rep.Config.Churners = o.churners
+		rep.Config.Publishers = o.publishers
+		rep.Config.Seed = o.seed
+		rep.Config.MinEvictions = o.minEvictions
+		rep.Result = res
+		if soakErr != nil {
+			rep.Error = soakErr.Error()
+		}
+		if err := writeJSON(o.out, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "watchd: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(w, "[wrote %s]\n", o.out)
+	}
+	if code == 0 {
+		fmt.Fprintf(w, "PASS: drained clean (p50=%v p99=%v p999=%v)\n",
+			res.Stats.WakeToClaim.P50(), res.Stats.WakeToClaim.P99(), res.Stats.WakeToClaim.P999())
+	}
+	return code
+}
+
+// writeJSON marshals v into path. A missing artifact is a broken
+// contract with CI, so the error propagates to a non-zero exit.
+func writeJSON(path string, v any) error {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal %s: %w", path, err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
+}

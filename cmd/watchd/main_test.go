@@ -1,0 +1,157 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// base is a valid flag set tests perturb one field at a time.
+func base() options {
+	return options{
+		sessions: 1000,
+		duration: time.Second,
+		out:      "BENCH_watchd.json",
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*options)
+		set     map[string]bool
+		wantErr string // empty means valid
+	}{
+		{name: "defaults valid", mutate: func(o *options) {}},
+		{name: "quick alone valid", mutate: func(o *options) { o.quick = true }},
+		{name: "quick vs sessions", mutate: func(o *options) { o.quick = true },
+			set: map[string]bool{"sessions": true}, wantErr: "-quick"},
+		{name: "quick vs duration", mutate: func(o *options) { o.quick = true },
+			set: map[string]bool{"duration": true}, wantErr: "-quick"},
+		{name: "zero sessions", mutate: func(o *options) { o.sessions = 0 }, wantErr: "-sessions"},
+		{name: "negative duration", mutate: func(o *options) { o.duration = -time.Second }, wantErr: "-duration"},
+		{name: "negative keys", mutate: func(o *options) { o.keys = -1 }, wantErr: "-keys"},
+		{name: "negative shards", mutate: func(o *options) { o.shards = -4 }, wantErr: "-keys and -shards"},
+		{name: "negative max-idle", mutate: func(o *options) { o.maxIdle = -1 }, wantErr: "-max-idle"},
+		{name: "negative max-sessions", mutate: func(o *options) { o.maxSessions = -1 }, wantErr: "-max-sessions"},
+		{name: "limit below fill", mutate: func(o *options) { o.maxSessions = 10 }, wantErr: "reject the initial fill"},
+		{name: "limit above fill valid", mutate: func(o *options) { o.maxSessions = 2000 }},
+		{name: "negative churners", mutate: func(o *options) { o.churners = -2 }, wantErr: "-churners"},
+		{name: "negative pacing", mutate: func(o *options) { o.publishEvery = -time.Millisecond }, wantErr: "-publish-every"},
+		{name: "empty out", mutate: func(o *options) { o.out = "" }, wantErr: "-out"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			o := base()
+			tc.mutate(&o)
+			err := o.validate(tc.set)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestResolve(t *testing.T) {
+	o := base()
+	o.quick = true
+	r := o.resolve()
+	if r.sessions != 5000 || r.duration != 3*time.Second {
+		t.Errorf("quick resolved to %d sessions / %v", r.sessions, r.duration)
+	}
+	// Default eviction pressure: max-idle derives to 7/8 of the population.
+	if want := r.sessions - r.sessions/8; r.maxIdle != want {
+		t.Errorf("derived maxIdle = %d, want %d", r.maxIdle, want)
+	}
+	// An explicit threshold survives resolution untouched.
+	o = base()
+	o.maxIdle = 999999
+	if r := o.resolve(); r.maxIdle != 999999 {
+		t.Errorf("explicit maxIdle overridden to %d", r.maxIdle)
+	}
+}
+
+func TestSoakConfigMapping(t *testing.T) {
+	o := options{
+		sessions: 123, duration: 7 * time.Second,
+		keys: 64, shards: 4, maxIdle: 100, maxSessions: 200,
+		churners: 3, churnEvery: time.Millisecond,
+		publishers: 5, publishEvery: 2 * time.Millisecond, seed: 42,
+	}
+	c := o.soakConfig()
+	if c.Sessions != 123 || c.Duration != 7*time.Second || c.Seed != 42 ||
+		c.Churners != 3 || c.ChurnEvery != time.Millisecond ||
+		c.Publishers != 5 || c.PublishEvery != 2*time.Millisecond {
+		t.Errorf("soak fields lost: %+v", c)
+	}
+	if c.Daemon.Keys != 64 || c.Daemon.Shards != 4 ||
+		c.Daemon.MaxIdle != 100 || c.Daemon.MaxSessions != 200 {
+		t.Errorf("daemon fields lost: %+v", c.Daemon)
+	}
+}
+
+// TestRunSmoke drives run() end to end at a tiny scale: the soak must
+// pass, evictions must occur under the derived max-idle pressure, and
+// the -json artifact must round-trip with a populated histogram.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak smoke is not short")
+	}
+	o := base()
+	o.sessions = 400
+	o.duration = 600 * time.Millisecond
+	o.minEvictions = 1
+	o.jsonOut = true
+	o.out = filepath.Join(t.TempDir(), "BENCH_watchd.json")
+	o = o.resolve()
+	if code := run(o, os.Stdout); code != 0 {
+		t.Fatalf("run() = %d, want 0", code)
+	}
+	raw, err := os.ReadFile(o.out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	if rep.Error != "" {
+		t.Errorf("artifact records an error: %s", rep.Error)
+	}
+	if rep.Result.Stats.Evicted < 1 {
+		t.Errorf("no evictions under max-idle %d with %d sessions", o.maxIdle, o.sessions)
+	}
+	if rep.Result.Stats.WakeToClaim.Count() == 0 || rep.Result.Stats.WakeToClaim.P50() <= 0 {
+		t.Errorf("artifact histogram empty: %s", rep.Result.Stats.WakeToClaim.String())
+	}
+	if rep.Result.LeakedGoroutines != 0 || rep.Result.ResidualWaiters != 0 {
+		t.Errorf("leaks recorded: %d goroutines, %d waiters",
+			rep.Result.LeakedGoroutines, rep.Result.ResidualWaiters)
+	}
+}
+
+// TestRunEnforcesEvictionFloor pins the exit code: a run whose eviction
+// pressure is disabled must fail the -min-evictions gate.
+func TestRunEnforcesEvictionFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak smoke is not short")
+	}
+	o := base()
+	o.sessions = 64
+	o.duration = 150 * time.Millisecond
+	o.maxIdle = 1 << 20 // far above the population: evictor never fires
+	o.minEvictions = 1
+	if code := run(o, os.Stdout); code != 1 {
+		t.Fatalf("run() = %d, want 1 (eviction floor unmet)", code)
+	}
+}

@@ -51,6 +51,12 @@
 // select statement. The `selective-server` scenario and BenchmarkSelect
 // are the full-size versions.
 //
+// Where these patterns end up at production scale is `cmd/watchd`: a
+// watch-service daemon holding 10⁵+ keyed sessions as armed handles
+// over a Sharded monitor (no goroutine per session), with admission
+// control, LRU eviction, and p50/p99/p999 wake-to-claim histograms —
+// `go run ./cmd/watchd -quick` soaks it and verifies a leak-free drain.
+//
 // Run with:
 //
 //	go run ./examples/quickstart

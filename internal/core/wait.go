@@ -176,6 +176,29 @@ func (w *Wait) subscribe(ch chan int, idx int) {
 	w.host.unlockWait()
 }
 
+// Subscribe attaches a standing delivery channel to the handle: the
+// current and every future notification (the subscription survives the
+// transparent re-arm after a futile Claim) sends idx on ch, so one
+// goroutine can multiplex any number of armed handles by receiving from
+// a single channel — the mechanism behind Select, exposed for daemons
+// that hold long-lived handle populations (internal/watchd).
+//
+// The contract that makes delivery lossless: ch must be buffered, and the
+// subscriber must guarantee capacity for every notification that can be
+// outstanding at once. A handle sends at most once per arm cycle (the
+// notified flag gates it), and a new cycle begins only after the previous
+// notification was consumed — via Claim (success starts no cycle; a
+// futile claim re-arms) — so a population of N live handles needs
+// capacity N, plus one slot per cancelled handle whose final notification
+// (Cancel's courtesy delivery) has not yet been received. Sends never
+// block: a notification that finds the channel full is dropped, which
+// the sizing rule above must make impossible for live handles.
+//
+// A handle already notified — or born notified because arming failed —
+// delivers immediately, so a subscriber cannot miss the arm-time
+// evaluation. Subscribing again replaces the previous subscription.
+func (w *Wait) Subscribe(ch chan int, idx int) { w.subscribe(ch, idx) }
+
 // Ready returns the channel that is closed when the waiter is notified.
 // After a futile Claim the handle is re-armed with a fresh channel, so a
 // select loop must call Ready again on each iteration rather than caching

@@ -6,12 +6,15 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
 
 // TestWaitHandleLifecycle walks one handle through the full happy path:
 // armed, notified by a relay signal, claimed with the monitor held.
 func TestWaitHandleLifecycle(t *testing.T) {
 	m := New()
+	defer testutil.NoLeaks(t, m)()
 	count := m.NewInt("count", 0)
 	need := m.MustCompile("count >= k")
 
@@ -198,6 +201,7 @@ func TestWaitHandleConstantTrue(t *testing.T) {
 // Run with -race.
 func TestWaitHandleArmCancelVsRelayRace(t *testing.T) {
 	m := New()
+	defer testutil.NoLeaks(t, m)()
 	count := m.NewInt("count", 0)
 	need := m.MustCompile("count >= k")
 
@@ -292,6 +296,7 @@ func TestWaitHandleSharedEntryWithBlockingWaiter(t *testing.T) {
 // At the end no signal may be in flight and the monitor must be empty.
 func TestWaitHandleStress(t *testing.T) {
 	m := New()
+	defer testutil.NoLeaks(t, m)()
 	count := m.NewInt("count", 0)
 	need := m.MustCompile("count >= k")
 

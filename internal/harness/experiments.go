@@ -55,6 +55,7 @@ func Experiments() []Experiment {
 		{"abl-compile", "Ablation: string Await vs compiled AwaitPred wait-path overhead", AblationCompiledPredicates},
 		{"scale-shards", "Scaling: sharded-kv runtime vs shard count at fixed goroutines", ScaleShards},
 		{"sel-fanout", "Selective waiting: cost per delivered item vs fan-out (Select / reflect handles / goroutine-per-guard)", SelectFanout},
+		{"watchd", "Watch service soak: wake-to-claim latency percentiles vs standing sessions", WatchdSoak},
 	}
 	return append(exps, ProblemExperiments()...)
 }

@@ -32,6 +32,11 @@ type Measurement struct {
 	MaxSeconds  float64
 	Last        problems.Result // per-run stats from the final trial
 	CheckFailed bool            // any trial finished with Check != 0
+
+	// Latency merges the wake-to-claim histograms of every trial that
+	// recorded one (merging is associative, so trial order is immaterial);
+	// empty when the workload reports throughput only.
+	Latency stats.Histogram
 }
 
 // Measure runs the workload Trials times and aggregates.
@@ -49,6 +54,7 @@ func (p Protocol) Measure(run func() problems.Result) Measurement {
 		if r.Check != 0 {
 			m.CheckFailed = true
 		}
+		m.Latency.Merge(r.Latency)
 	}
 	m.MeanSeconds = stats.TrimmedMean(secs, p.Drop)
 	m.MinSeconds = stats.Min(secs)
@@ -82,6 +88,11 @@ type Report struct {
 	ID     string  `json:"id"`
 	Text   string  `json:"text"`
 	Figure *Figure `json:"figure,omitempty"`
+
+	// Latency carries the experiment's wake-to-claim histogram when the
+	// workload measures one (the watch-service soak), so BENCH artifacts
+	// capture tail percentiles alongside the throughput series.
+	Latency *stats.Histogram `json:"latency,omitempty"`
 }
 
 // report wraps a figure into its Report.

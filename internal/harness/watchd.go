@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/problems"
+	"repro/internal/watchd"
+)
+
+// watchdPointDuration is the per-point soak interval of the experiment
+// sweep: long enough for the churn and publish generators to produce
+// thousands of deliveries per point, short enough that the doubling axis
+// finishes in seconds. cmd/watchd runs arbitrary durations directly.
+const watchdPointDuration = 400 * time.Millisecond
+
+// watchdPoint runs one soak and returns both views: the problems.Result
+// the measurement protocol consumes (drain checks folded into Check, the
+// merged histogram in Latency) and the raw soak result for the
+// daemon-level counters the figure notes quote.
+func watchdPoint(sessions int, duration time.Duration) (problems.Result, watchd.SoakResult) {
+	// Key space scales with the population (as in the watch-service
+	// scenario) so publishes land on watched keys at every point; the
+	// daemon default of 4096 keys would leave small populations starved
+	// of deliveries.
+	keys := sessions / 4
+	if keys < 64 {
+		keys = 64
+	}
+	res, err := watchd.Soak(watchd.SoakConfig{
+		Sessions: sessions,
+		Duration: duration,
+		Daemon: watchd.Config{
+			Keys: keys,
+			// Eviction pressure: MaxIdle below the standing population
+			// keeps the LRU evictor working for the whole interval.
+			MaxIdle: sessions - sessions/8,
+		},
+	})
+	check := int64(res.LeakedGoroutines) + int64(res.ResidualWaiters)
+	if err != nil && check == 0 {
+		check = 1 // population collapse or drain failure without a leak count
+	}
+	hist := res.Stats.WakeToClaim
+	return problems.Result{
+		Mechanism: problems.AutoSynch,
+		Elapsed:   duration,
+		Stats:     res.Stats.Monitor,
+		Ops:       int64(res.Stats.Delivered) + int64(res.Published),
+		Check:     check,
+		Latency:   &hist,
+	}, res
+}
+
+// RunWatchdSoak is watchdPoint for external consumers (the cmd-level
+// smoke tests): one soak of the given population under the experiment's
+// standard eviction and churn configuration.
+func RunWatchdSoak(sessions int, duration time.Duration) problems.Result {
+	r, _ := watchdPoint(sessions, duration)
+	return r
+}
+
+// WatchdSoak is the watch-service soak experiment: wake-to-claim latency
+// percentiles over a doubling standing-session axis, each point a full
+// soak with client churn, publish traffic, admission control, and LRU
+// eviction pressure, drained leak-free between points. The figure plots
+// p50/p99/p999 in microseconds; the report carries the largest point's
+// merged histogram so the BENCH artifact captures the full tail.
+func WatchdSoak(cfg Config) Report {
+	from := cfg.MaxThreads
+	if from < 32 {
+		from = 32
+	}
+	xs := doubling(from, 16*from)
+	f := Figure{
+		ID:     "watchd",
+		Title:  fmt.Sprintf("watchd soak: wake-to-claim latency vs standing sessions (%v per point)", watchdPointDuration),
+		XLabel: "# sessions", YLabel: "wake-to-claim (µs)", XS: xs,
+	}
+	quantiles := []struct {
+		label string
+		f     func(Measurement) float64
+	}{
+		{"p50", func(m Measurement) float64 { return float64(m.Latency.P50()) / 1e3 }},
+		{"p99", func(m Measurement) float64 { return float64(m.Latency.P99()) / 1e3 }},
+		{"p999", func(m Measurement) float64 { return float64(m.Latency.P999()) / 1e3 }},
+	}
+	series := make([]Series, len(quantiles))
+	for i, q := range quantiles {
+		series[i].Label = q.label
+	}
+	var (
+		last       Measurement
+		lastSoak   watchd.SoakResult
+		deliveries uint64
+	)
+	for _, sessions := range xs {
+		sessions := sessions
+		m := cfg.Protocol.Measure(func() problems.Result {
+			r, sres := watchdPoint(sessions, watchdPointDuration)
+			lastSoak = sres
+			return r
+		})
+		for i, q := range quantiles {
+			val := q.f(m)
+			if m.CheckFailed {
+				val = -1 // sentinel: the soak leaked; must never happen
+			}
+			series[i].Points = append(series[i].Points, val)
+		}
+		last = m
+		deliveries += m.Latency.Count()
+	}
+	f.Series = series
+	f.Notes = append(f.Notes,
+		fmt.Sprintf("deliveries measured across all points: %d", deliveries),
+		fmt.Sprintf("top point, final trial: sustained %d–%d of %d sessions, %d churned, %d evicted, %d rejected",
+			lastSoak.SustainedMin, lastSoak.SustainedMax, lastSoak.Sessions,
+			lastSoak.Churned, lastSoak.Stats.Evicted, lastSoak.Stats.Rejected),
+		"every point drains to zero sessions, zombies, and registered waiters before the next starts; -1 marks a leaked point.",
+		"expected shape: p50 stays flat in the session count (per-key shard relay, dispatcher fan-in); the tail grows with eviction and churn pressure.")
+	rep := f.report()
+	rep.Latency = &last.Latency
+	return rep
+}

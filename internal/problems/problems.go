@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/stats"
 )
 
 // Mechanism selects a signaling mechanism for a problem run.
@@ -128,6 +129,12 @@ type Result struct {
 	Stats     core.Stats
 	Ops       int64 // completed operations (problem-specific unit)
 	Check     int64 // problem-specific conservation value; see each problem
+
+	// Latency, when non-nil, is the run's wake-to-claim histogram:
+	// notification received to claim completed, recorded per delivery.
+	// Only scenarios with an observable delivery path (the watch service)
+	// populate it; pure-throughput scenarios leave it nil.
+	Latency *stats.Histogram
 }
 
 // Throughput returns operations per second.

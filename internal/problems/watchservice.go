@@ -1,0 +1,311 @@
+package problems
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+	"repro/internal/stats"
+	"repro/internal/watchd"
+)
+
+func init() {
+	// Presentation drops the baseline like the other standing-watch
+	// scenarios (its exit broadcast re-wakes the whole session population
+	// on every publish); the differential test still runs it at small
+	// scale.
+	Register(Spec{
+		Name:           "watch-service",
+		Runner:         RunWatchService,
+		DefaultThreads: 256,
+		Mechs:          NoBaseline,
+		CheckDesc:      "daemon drained: zero residual sessions, zombies, and registered waiters",
+		OpsVary:        true,
+		Sharded:        true,
+	})
+}
+
+// RunWatchService is the watchd daemon as a registry scenario: threads
+// standing watch sessions are held over a striped key space while
+// publishers bump random keys, every delivery immediately renews its
+// session (the auto-renewing consumer of the soak harness), and the run
+// drains to nothing at the end. This is the armed-handle counterpart of
+// sharded-kv's parked watches: no goroutine blocks per session; a few
+// dispatchers multiplex every handle.
+//
+// The automatic variants run the real watchd.Daemon over a sharded
+// monitor; the explicit and baseline variants are the hand-built striped
+// engine a programmer would write — per-key conditions with explicit
+// broadcasts (or the baseline's exit broadcast), armed handles
+// multiplexed per stripe. All four report wake-to-claim latency in
+// Result.Latency.
+//
+// totalOps counts publishes; Ops is publishes plus deliveries (delivery
+// counts are schedule-dependent — renews coalesce versions — so the spec
+// declares OpsVary). Check sums residual sessions, zombie notifications,
+// and registered waiters after the drain; zero certifies leak freedom.
+func RunWatchService(mech Mechanism, threads, totalOps int) Result {
+	sessions := threads
+	if sessions < 1 {
+		sessions = 1
+	}
+	keys := sessions / 4
+	if keys < 32 {
+		keys = 32
+	}
+	publishers := 4
+	if publishers > totalOps {
+		publishers = 1
+	}
+	pubOps := split(totalOps, publishers)
+	switch mech {
+	case Explicit, Baseline:
+		return runWatchStriped(mech, sessions, keys, pubOps, ShardCount())
+	default:
+		return runWatchAuto(mech, sessions, keys, pubOps, ShardCount())
+	}
+}
+
+// watchSeed decorrelates the publishers' key sequences.
+func watchSeed(p int) uint64 { return uint64(p)*0x9e3779b97f4a7c15 + 11 }
+
+// runWatchAuto drives the real daemon under mech's monitor variant.
+func runWatchAuto(mech Mechanism, sessions, keys int, pubOps []int, shards int) Result {
+	d := watchd.New(watchd.Config{
+		Keys:           keys,
+		Shards:         shards,
+		MaxSessions:    sessions + 16,
+		MonitorOptions: autoOpts(mech),
+		OnEvent:        func(ev watchd.Event) { ev.Session.Renew() },
+	})
+	for i := 0; i < sessions; i++ {
+		if _, err := d.Register(uint64(i % keys)); err != nil {
+			panic(fmt.Sprintf("watch-service fill: %v", err))
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for p, n := range pubOps {
+		wg.Add(1)
+		go func(p, n int) {
+			defer wg.Done()
+			rng := newRand(watchSeed(p))
+			for j := 0; j < n; j++ {
+				k := uint64(rng.intn(int64(keys)) - 1)
+				if _, err := d.Publish(k); err != nil {
+					panic(err)
+				}
+			}
+		}(p, n)
+	}
+	wg.Wait()
+	// Quiesce: every delivery renews its session, so the armed population
+	// returns to full strength once the last in-flight claims finalize.
+	for d.ArmedSessions() < int64(sessions) {
+		time.Sleep(50 * time.Microsecond)
+	}
+	elapsed := time.Since(start)
+
+	closeErr := d.Close()
+	st := d.Stats()
+	var totalPub int64
+	for _, n := range pubOps {
+		totalPub += int64(n)
+	}
+	check := st.Active + st.Zombies + int64(st.Waiting)
+	if closeErr != nil && check == 0 {
+		check = 1
+	}
+	hist := st.WakeToClaim
+	return Result{Mechanism: mech, Elapsed: elapsed, Stats: st.Monitor,
+		Ops: totalPub + int64(st.Delivered), Check: check, Latency: &hist}
+}
+
+// watchSession is one standing watch of the hand-striped engine.
+type watchSession struct {
+	key  int
+	want int64
+	w    *core.Wait
+	done bool
+}
+
+// runWatchStriped is the engine a programmer builds without the automatic
+// machinery: versions striped across explicit or baseline monitors, one
+// dispatcher goroutine per stripe multiplexing its sessions' armed
+// handles. The explicit variant keeps a condition per key and broadcasts
+// it on publish (watchers hold different thresholds, so signal-one is not
+// sufficient); the baseline variant arms any-signal handles and relies on
+// the exit broadcast. Termination is by flush: after the publishers
+// finish, a stop flag is raised and every key is bumped once more, so
+// every armed handle fires, claims its final version, and retires without
+// re-arming — no cancels, so the delivery channels drain exactly.
+func runWatchStriped(mech Mechanism, sessions, keys int, pubOps []int, shards int) Result {
+	type stripe struct {
+		m     core.Mechanism
+		enter func()
+		exit  func()
+		stop  bool // set under the stripe lock before the flush bumps
+	}
+	stripes := make([]*stripe, shards)
+	vers := make([]int64, keys)
+	var vcond []*core.Cond // explicit only: per-key condition
+	for s := range stripes {
+		stripes[s] = &stripe{}
+	}
+	switch mech {
+	case Explicit:
+		vcond = make([]*core.Cond, keys)
+		for s := range stripes {
+			e := core.NewExplicit()
+			stripes[s].m = e
+			stripes[s].enter = e.Enter
+			stripes[s].exit = e.Exit
+		}
+		for k := range vcond {
+			vcond[k] = stripes[shard.IndexFor(uint64(k), shards)].m.(*core.Explicit).NewCond()
+		}
+	default:
+		for s := range stripes {
+			b := core.NewBaseline()
+			stripes[s].m = b
+			stripes[s].enter = b.Enter
+			stripes[s].exit = b.Exit
+		}
+	}
+	owner := func(k int) *stripe { return stripes[shard.IndexFor(uint64(k), shards)] }
+
+	// Sessions grouped per stripe, each stripe with its own dispatcher and
+	// delivery channel; capacity covers one outstanding notification per
+	// session (a handle sends at most once per arm cycle, and the flush
+	// protocol never cancels).
+	perStripe := make([][]*watchSession, shards)
+	for i := 0; i < sessions; i++ {
+		k := i % keys
+		s := shard.IndexFor(uint64(k), shards)
+		perStripe[s] = append(perStripe[s], &watchSession{key: k, want: 1})
+	}
+	arm := func(st *stripe, ws *watchSession) {
+		pred := func() bool { return vers[ws.key] >= ws.want }
+		if mech == Explicit {
+			ws.w = vcond[ws.key].Arm(pred)
+		} else {
+			ws.w = st.m.ArmFunc(pred)
+		}
+	}
+
+	var (
+		wg, dwg   sync.WaitGroup
+		histMu    sync.Mutex
+		hist      stats.Histogram
+		delivered int64
+	)
+	for s := range stripes {
+		st := stripes[s]
+		group := perStripe[s]
+		ch := make(chan int, len(group)+8)
+		for i, ws := range group {
+			arm(st, ws)
+			ws.w.Subscribe(ch, i)
+		}
+		dwg.Add(1)
+		go func(st *stripe, group []*watchSession, ch chan int) {
+			defer dwg.Done()
+			var local stats.Histogram
+			var nDelivered int64
+			remaining := len(group)
+			for remaining > 0 {
+				i := <-ch
+				t0 := time.Now()
+				ws := group[i]
+				if ws.done {
+					continue
+				}
+				err := ws.w.Claim()
+				if err == core.ErrNotReady {
+					continue
+				}
+				if err != nil {
+					panic(err)
+				}
+				// Claim succeeded: the stripe monitor is held.
+				v := vers[ws.key]
+				local.Observe(time.Since(t0))
+				nDelivered++
+				ws.want = v + 1
+				if st.stop {
+					ws.done = true
+					remaining--
+				} else {
+					// Renew in place: re-arm for the next version on the
+					// same subscription. Arm acquires the stripe lock, so
+					// exit first.
+					st.exit()
+					arm(st, ws)
+					ws.w.Subscribe(ch, i)
+					continue
+				}
+				st.exit()
+			}
+			histMu.Lock()
+			hist.Merge(&local)
+			delivered += nDelivered
+			histMu.Unlock()
+		}(st, group, ch)
+	}
+
+	start := time.Now()
+	for p, n := range pubOps {
+		wg.Add(1)
+		go func(p, n int) {
+			defer wg.Done()
+			rng := newRand(watchSeed(p))
+			for j := 0; j < n; j++ {
+				k := int(rng.intn(int64(keys)) - 1)
+				st := owner(k)
+				st.enter()
+				vers[k]++
+				if mech == Explicit {
+					vcond[k].Broadcast()
+				}
+				st.exit()
+			}
+		}(p, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Flush: raise stop under each stripe lock, then bump every key once;
+	// every armed session's threshold is at most vers[key]+1, so every
+	// handle fires and retires on its next claim.
+	for _, st := range stripes {
+		st.enter()
+		st.stop = true
+		st.exit()
+	}
+	for k := 0; k < keys; k++ {
+		st := owner(k)
+		st.enter()
+		vers[k]++
+		if mech == Explicit {
+			vcond[k].Broadcast()
+		}
+		st.exit()
+	}
+	dwg.Wait()
+
+	var totalPub int64
+	for _, n := range pubOps {
+		totalPub += int64(n)
+	}
+	ms := make([]core.Mechanism, len(stripes))
+	check := int64(0)
+	for s, st := range stripes {
+		ms[s] = st.m
+		check += int64(st.m.Waiting())
+	}
+	return Result{Mechanism: mech, Elapsed: elapsed, Stats: stripeStats(ms...),
+		Ops: totalPub + delivered, Check: check, Latency: &hist}
+}

@@ -228,6 +228,7 @@ func TestCounterConcurrentConformance(t *testing.T) {
 		perAdder = opsEach // each adder nets +opsEach
 	)
 	sm, c := newCounter(t, shards, 5)
+	defer testutil.NoLeaks(t, sm, c.Summary())()
 	var wg sync.WaitGroup
 	for a := 0; a < adders; a++ {
 		wg.Add(1)

@@ -163,6 +163,7 @@ func TestAwaitPredCtxAbandon(t *testing.T) {
 
 func TestArmedHandlesOnShards(t *testing.T) {
 	sm, cells := newCounted(t, 4)
+	defer testutil.NoLeaks(t, sm)()
 	hit := sm.MustCompile("x == n")
 	// One handle per shard-distinct key, claimed from one goroutine.
 	keys := []uint64{1, 2, 4, 8}
@@ -313,6 +314,7 @@ func TestParallelKeyedTraffic(t *testing.T) {
 			}
 		}
 	}))
+	defer testutil.NoLeaks(t, sm)()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)

@@ -1,0 +1,263 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Histogram bucket geometry. Values are nanosecond durations placed into
+// base-2 log-scale buckets with histSub linear sub-buckets per power of
+// two (the HDR layout): values below histSub land in exact unit buckets,
+// and every larger bucket spans a 1/histSub fraction of its power of two,
+// so the relative quantization error is bounded by 1/histSub (~3%) across
+// the full uint64 range. The layout is fixed — every Histogram has the
+// same buckets — which is what makes Merge a plain element-wise add and
+// quantiles of merged worker histograms exact up to bucket width.
+const (
+	histSubBits = 5                                // log2 of sub-buckets per power of two
+	histSub     = 1 << histSubBits                 // 32 sub-buckets
+	histBuckets = (64 - histSubBits + 1) * histSub // 1920 buckets cover all uint64 ns
+)
+
+// bucketIndex maps a nanosecond value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // 2^exp <= v < 2^(exp+1)
+	// The top histSubBits bits below the leading one select the
+	// sub-bucket; the shifted block index selects the power of two.
+	sub := int(v>>(uint(exp)-histSubBits)) - histSub
+	return (exp-histSubBits+1)<<histSubBits + sub
+}
+
+// bucketBounds returns the inclusive [low, high] nanosecond range of a
+// bucket.
+func bucketBounds(idx int) (low, high uint64) {
+	if idx < histSub {
+		return uint64(idx), uint64(idx)
+	}
+	block := uint(idx >> histSubBits) // >= 1
+	pos := uint64(idx & (histSub - 1))
+	shift := block - 1
+	low = (histSub + pos) << shift
+	high = low + 1<<shift - 1
+	return low, high
+}
+
+// Histogram is a fixed-bucket log-scale latency histogram: Observe places
+// nanosecond durations into base-2 buckets with bounded relative error
+// (see the geometry constants above), Quantile answers p50/p99/p999
+// queries, and Merge combines histograms element-wise — workers record
+// into private histograms with no synchronization and the collector merges
+// them, so the hot path never contends on measurement state.
+//
+// The zero value is an empty histogram ready for use. A Histogram is not
+// safe for concurrent mutation; merge per-worker copies instead.
+type Histogram struct {
+	count  uint64
+	sum    uint64 // total observed nanoseconds
+	min    uint64 // valid only when count > 0
+	max    uint64
+	counts [histBuckets]uint64
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	v := uint64(0)
+	if d > 0 {
+		v = uint64(d)
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.counts[bucketIndex(v)]++
+}
+
+// Merge adds every observation of o into h. o is unchanged; merging is
+// commutative and associative, so any tree of worker merges yields the
+// same histogram.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	for i, c := range o.counts {
+		if c != 0 {
+			h.counts[i] += c
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() time.Duration { return time.Duration(h.min) }
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Mean returns the arithmetic mean observation (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.count)
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) by the nearest-rank rule:
+// the bucket holding the ceil(q*count)-th smallest observation, reported
+// as the bucket midpoint clamped to the observed [min, max]. The exact
+// rank statistic is guaranteed to lie inside the returned value's bucket,
+// so the relative error is bounded by the bucket width (~1/32). Returns 0
+// for an empty histogram.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= rank {
+			low, high := bucketBounds(i)
+			mid := low + (high-low)/2
+			if mid < h.min {
+				mid = h.min
+			}
+			if mid > h.max {
+				mid = h.max
+			}
+			return time.Duration(mid)
+		}
+	}
+	return time.Duration(h.max) // unreachable when counts and count agree
+}
+
+// P50 is Quantile(0.50), the median wake-to-claim latency.
+func (h *Histogram) P50() time.Duration { return h.Quantile(0.50) }
+
+// P99 is Quantile(0.99).
+func (h *Histogram) P99() time.Duration { return h.Quantile(0.99) }
+
+// P999 is Quantile(0.999), the tail a production service is judged by.
+func (h *Histogram) P999() time.Duration { return h.Quantile(0.999) }
+
+// Equal reports whether two histograms hold identical state (same
+// observations up to bucket resolution).
+func (h *Histogram) Equal(o *Histogram) bool {
+	if h.count != o.count || h.sum != o.sum {
+		return false
+	}
+	if h.count > 0 && (h.min != o.min || h.max != o.max) {
+		return false
+	}
+	return h.counts == o.counts
+}
+
+// String renders the summary a soak report prints.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v p999=%v max=%v",
+		h.count, h.Mean(), h.P50(), h.P99(), h.P999(), h.Max())
+}
+
+// histogramJSON is the wire form: sparse buckets keyed by index, plus the
+// derived percentiles so BENCH artifacts carry tail latency without the
+// consumer re-implementing the bucket geometry. Unmarshal reads only the
+// state fields; the derived p50/p99/p999 are recomputed on demand.
+type histogramJSON struct {
+	Count   uint64            `json:"count"`
+	SumNs   uint64            `json:"sum_ns"`
+	MinNs   uint64            `json:"min_ns"`
+	MaxNs   uint64            `json:"max_ns"`
+	P50Ns   uint64            `json:"p50_ns"`
+	P99Ns   uint64            `json:"p99_ns"`
+	P999Ns  uint64            `json:"p999_ns"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// MarshalJSON emits the sparse wire form. The receiver is a value so the
+// encoder finds the method even for non-addressable Histogram fields
+// (e.g. Measurement.Latency inside a marshaled report).
+func (h Histogram) MarshalJSON() ([]byte, error) {
+	out := histogramJSON{
+		Count: h.count, SumNs: h.sum, MinNs: h.min, MaxNs: h.max,
+		P50Ns: uint64(h.P50()), P99Ns: uint64(h.P99()), P999Ns: uint64(h.P999()),
+	}
+	for i, c := range h.counts {
+		if c != 0 {
+			if out.Buckets == nil {
+				out.Buckets = make(map[string]uint64)
+			}
+			out.Buckets[strconv.Itoa(i)] = c
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a histogram from its wire form; the quantile
+// fields are derived and ignored on input.
+func (h *Histogram) UnmarshalJSON(raw []byte) error {
+	var in histogramJSON
+	if err := json.Unmarshal(raw, &in); err != nil {
+		return err
+	}
+	*h = Histogram{count: in.Count, sum: in.SumNs, min: in.MinNs, max: in.MaxNs}
+	for k, c := range in.Buckets {
+		i, err := strconv.Atoi(k)
+		if err != nil || i < 0 || i >= histBuckets {
+			return fmt.Errorf("stats: histogram bucket key %q out of range", k)
+		}
+		h.counts[i] = c
+	}
+	return nil
+}
+
+// ExactQuantile is the sort-based nearest-rank reference the histogram is
+// tested against: the ceil(q*n)-th smallest of xs. It is exported for the
+// accuracy tests and for small sample sets where exact answers are cheap.
+func ExactQuantile(xs []time.Duration, q float64) time.Duration {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), xs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

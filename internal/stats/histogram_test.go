@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// fill builds a histogram from a sample set.
+func fill(xs []time.Duration) *Histogram {
+	var h Histogram
+	for _, x := range xs {
+		h.Observe(x)
+	}
+	return &h
+}
+
+// TestBucketGeometry pins the layout invariants every other property
+// relies on: the index function and the bounds function are inverses, the
+// buckets tile the value space in order, and the relative width bound
+// holds.
+func TestBucketGeometry(t *testing.T) {
+	prevHigh := uint64(0)
+	for i := 0; i < histBuckets; i++ {
+		low, high := bucketBounds(i)
+		if low > high {
+			t.Fatalf("bucket %d: low %d > high %d", i, low, high)
+		}
+		if i > 0 && low != prevHigh+1 {
+			t.Fatalf("bucket %d does not tile: low %d, previous high %d", i, low, prevHigh)
+		}
+		if got := bucketIndex(low); got != i {
+			t.Fatalf("bucketIndex(low=%d) = %d, want %d", low, got, i)
+		}
+		if got := bucketIndex(high); got != i {
+			t.Fatalf("bucketIndex(high=%d) = %d, want %d", high, got, i)
+		}
+		if low >= histSub && float64(high-low) > float64(low)/histSub {
+			t.Fatalf("bucket %d [%d,%d] wider than the 1/%d relative bound", i, low, high, histSub)
+		}
+		prevHigh = high
+	}
+	if bucketIndex(^uint64(0)) != histBuckets-1 {
+		t.Fatalf("max uint64 lands in bucket %d, want %d", bucketIndex(^uint64(0)), histBuckets-1)
+	}
+}
+
+// quantileAgrees asserts the histogram quantile lands in the same bucket
+// as the exact sort-based quantile — the precision the geometry promises.
+func quantileAgrees(t *testing.T, xs []time.Duration, q float64) {
+	t.Helper()
+	h := fill(xs)
+	got := h.Quantile(q)
+	exact := ExactQuantile(xs, q)
+	if bucketIndex(uint64(got)) != bucketIndex(uint64(exact)) {
+		t.Errorf("q=%g over %d samples: histogram %v (bucket %d), exact %v (bucket %d)",
+			q, len(xs), got, bucketIndex(uint64(got)), exact, bucketIndex(uint64(exact)))
+	}
+}
+
+func TestQuantileFixedDistributions(t *testing.T) {
+	fixed := map[string][]time.Duration{
+		"single":   {1500 * time.Nanosecond},
+		"uniform":  {1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		"repeated": {100, 100, 100, 100, 100, 100},
+		"bimodal": {time.Microsecond, time.Microsecond, time.Microsecond,
+			time.Millisecond, time.Millisecond, 50 * time.Millisecond},
+		"heavy-tail": {10, 12, 11, 10, 13, 9, 10, 11, 10 * time.Second},
+		"zeros":      {0, 0, 0, time.Nanosecond},
+	}
+	for name, xs := range fixed {
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1.0} {
+			t.Run(name, func(t *testing.T) { quantileAgrees(t, xs, q) })
+		}
+	}
+}
+
+// TestQuantileRandomized drives the same agreement property over
+// log-uniform random samples via testing/quick: the interesting latencies
+// span nanoseconds to seconds, so the generator picks a random magnitude
+// first.
+func TestQuantileRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	prop := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]time.Duration, int(n)+1)
+		for i := range xs {
+			mag := uint(r.Intn(34)) // up to ~17s
+			xs[i] = time.Duration(r.Int63n(1 << mag))
+		}
+		for _, q := range []float64{0.5, 0.99, 0.999} {
+			h := fill(xs)
+			got, exact := h.Quantile(q), ExactQuantile(xs, q)
+			if bucketIndex(uint64(got)) != bucketIndex(uint64(exact)) {
+				t.Logf("seed %d n %d q %g: got %v exact %v", seed, n, q, got, exact)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMergeAssociative checks (a⊕b)⊕c == a⊕(b⊕c) and that merging worker
+// histograms equals observing the concatenated stream — the property the
+// per-dispatcher collection in watchd depends on.
+func TestMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	gen := func(seed int64, n uint8) ([]time.Duration, []time.Duration, []time.Duration) {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() []time.Duration {
+			xs := make([]time.Duration, r.Intn(int(n)+1))
+			for i := range xs {
+				xs[i] = time.Duration(r.Int63n(1 << uint(r.Intn(30))))
+			}
+			return xs
+		}
+		return mk(), mk(), mk()
+	}
+	prop := func(seed int64, n uint8) bool {
+		a, b, c := gen(seed, n)
+		left := fill(a)
+		ab := fill(b)
+		left.Merge(ab) // (a⊕b)
+		left.Merge(fill(c))
+		right := fill(b)
+		right.Merge(fill(c)) // (b⊕c)
+		ha := fill(a)
+		ha.Merge(right)
+		whole := fill(append(append(append([]time.Duration{}, a...), b...), c...))
+		return left.Equal(ha) && left.Equal(whole)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+	// Merging an empty or nil histogram is the identity.
+	h := fill([]time.Duration{5, 10})
+	before := *h
+	h.Merge(&Histogram{})
+	h.Merge(nil)
+	if !h.Equal(&before) {
+		t.Error("merging empty/nil histograms changed state")
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := fill([]time.Duration{0, 17, 430 * time.Nanosecond, 12 * time.Microsecond,
+		12 * time.Microsecond, 3 * time.Millisecond, 2 * time.Second})
+	raw, err := json.Marshal(h)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !h.Equal(&back) {
+		t.Fatalf("round trip lost state:\n  in:  %v\n  out: %v", h, &back)
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if h.Quantile(q) != back.Quantile(q) {
+			t.Errorf("q=%g differs after round trip: %v vs %v", q, h.Quantile(q), back.Quantile(q))
+		}
+	}
+	// The derived percentile fields must be present for artifact
+	// consumers that do not know the bucket geometry.
+	var wire map[string]any
+	if err := json.Unmarshal(raw, &wire); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"count", "p50_ns", "p99_ns", "p999_ns", "buckets"} {
+		if _, ok := wire[k]; !ok {
+			t.Errorf("wire form missing %q: %s", k, raw)
+		}
+	}
+	// An empty histogram round-trips too (no buckets key).
+	raw, err = json.Marshal(&Histogram{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var empty Histogram
+	if err := json.Unmarshal(raw, &empty); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Count() != 0 || empty.Quantile(0.5) != 0 {
+		t.Errorf("empty histogram round trip: %v", &empty)
+	}
+}
+
+func TestHistogramSummaryAccessors(t *testing.T) {
+	h := fill([]time.Duration{100, 200, 300, 400})
+	if h.Count() != 4 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Min() != 100 || h.Max() != 400 {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	if h.Mean() != 250 {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	h.Observe(-5 * time.Second) // clamps to zero
+	if h.Min() != 0 {
+		t.Errorf("negative observation did not clamp: Min = %v", h.Min())
+	}
+	if got := (&Histogram{}).String(); got != "n=0" {
+		t.Errorf("empty String = %q", got)
+	}
+	if got := h.String(); got == "" || got == "n=0" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -8,6 +8,7 @@ package testutil
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -57,6 +58,55 @@ func Done(wg *sync.WaitGroup) <-chan struct{} {
 	ch := make(chan struct{})
 	go func() { wg.Wait(); close(ch) }()
 	return ch
+}
+
+// Waiter is anything that can report its registered-waiter count — the
+// monitor types and the sharded/watchd aggregates all satisfy it.
+type Waiter interface {
+	Waiting() int
+}
+
+// NoLeaks captures the current goroutine count and returns a check to
+// defer: at test end it polls (with a deadline) until the goroutine count
+// is back at the baseline and every supplied Waiter has drained to zero
+// registered waiters, and fails the test otherwise. Tests that used to
+// hand-roll drain assertions use this instead:
+//
+//	defer testutil.NoLeaks(t, m)()
+//
+// The goroutine baseline tolerates counts below the starting point
+// (earlier tests' stragglers exiting mid-test) but not above it.
+func NoLeaks(t testing.TB, ws ...Waiter) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		const timeout = 5 * time.Second
+		ok := Eventually(timeout, 0, func() bool {
+			if runtime.NumGoroutine() > base {
+				return false
+			}
+			for _, w := range ws {
+				if w.Waiting() != 0 {
+					return false
+				}
+			}
+			return true
+		})
+		if ok {
+			return
+		}
+		if n := runtime.NumGoroutine(); n > base {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Errorf("goroutine leak: %d at start, %d after drain deadline\n%s", base, n, buf)
+		}
+		for i, w := range ws {
+			if n := w.Waiting(); n != 0 {
+				t.Errorf("waiter %d leaked %d registered waiters after %v", i, n, timeout)
+			}
+		}
+	}
 }
 
 // Eventually is WaitFor without a test handle: it reports whether pred

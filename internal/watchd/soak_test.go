@@ -1,0 +1,82 @@
+package watchd
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSoakShort is a miniature of the CI soak smoke: a standing
+// population under churn and publish load for a fraction of a second,
+// with eviction pressure configured, verifying the full acceptance
+// surface — sustained population, non-zero latency percentiles, at least
+// one eviction, and leak-free drain.
+func TestSoakShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak in -short mode")
+	}
+	cfg := SoakConfig{
+		Sessions:     400,
+		Duration:     600 * time.Millisecond,
+		Churners:     2,
+		ChurnEvery:   500 * time.Microsecond,
+		Publishers:   2,
+		PublishEvery: 100 * time.Microsecond,
+		Daemon: Config{
+			Keys:   128,
+			Shards: 4,
+			// Eviction pressure: the armed population sits above MaxIdle,
+			// so the LRU evicts idle sessions throughout the run.
+			MaxIdle: 300,
+		},
+	}
+	res, err := Soak(cfg)
+	if err != nil {
+		t.Fatalf("soak: %v (result %+v)", err, res)
+	}
+	if res.SustainedMin < int64(cfg.Sessions)/2 {
+		t.Errorf("sustained minimum %d below half the population", res.SustainedMin)
+	}
+	if res.Stats.Delivered == 0 {
+		t.Error("soak delivered nothing")
+	}
+	h := res.Stats.WakeToClaim
+	if h.Count() == 0 || h.P50() <= 0 || h.P99() <= 0 || h.P999() <= 0 {
+		t.Errorf("latency percentiles not populated: %s", h.String())
+	}
+	if res.Stats.Evicted == 0 {
+		t.Error("eviction pressure configured but zero evictions")
+	}
+	if res.LeakedGoroutines != 0 || res.ResidualWaiters != 0 {
+		t.Errorf("leaks: %d goroutines, %d waiters", res.LeakedGoroutines, res.ResidualWaiters)
+	}
+	if res.Published == 0 || res.Churned == 0 {
+		t.Errorf("generators idle: published=%d churned=%d", res.Published, res.Churned)
+	}
+}
+
+// TestSoakDefaultsAndFailure: zero-value config resolves to a valid run,
+// and an impossible fill (MaxSessions below Sessions) reports an error
+// rather than hanging.
+func TestSoakDefaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak in -short mode")
+	}
+	res, err := Soak(SoakConfig{Sessions: 50, Duration: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("default soak: %v (%+v)", err, res)
+	}
+	if res.Stats.Delivered == 0 {
+		t.Error("default soak delivered nothing")
+	}
+}
+
+func TestSoakFillRejection(t *testing.T) {
+	cfg := SoakConfig{
+		Sessions: 100,
+		Duration: 50 * time.Millisecond,
+		Daemon:   Config{Keys: 16, MaxSessions: 10},
+	}
+	if _, err := Soak(cfg); err == nil {
+		t.Fatal("fill beyond MaxSessions succeeded")
+	}
+}
