@@ -49,6 +49,35 @@
 // first use), so it costs one cache lookup per wait where AwaitPred costs
 // none.
 //
+// # Generated predicate evaluators (minisynchc)
+//
+// Compiled predicates normally evaluate through a closure tree built by
+// the expression compiler. The minisynchc compiler removes that last
+// layer of interpretation: it emits, per predicate, a monomorphic Go
+// evaluator that reads the monitor's cells directly (plus key functions
+// matching the predicate's tag template) and registers both in a
+// process-global registry via RegisterGenerated. Add a go:generate
+// directive next to a predicate manifest listing each monitor's shared
+// variables and predicate sources:
+//
+//	//go:generate go run repro/cmd/minisynchc -manifest -pkg mypkg -o zz_generated_preds.go preds.manifest
+//
+// (or run minisynchc -emit preds over a MiniSynch source file). Linking
+// the generated file is all it takes: Compile and CompileExpr consult the
+// registry, and any predicate whose canonical source, shared-variable
+// types, and local-variable types match a registration is transparently
+// served by the generated evaluator — same DNF analysis, same tag
+// template, same entry identities, so signaling behavior is unchanged and
+// only evaluation gets cheaper. Anything without a matching registration
+// (or on a monitor constructed with WithoutGenerated) falls back to the
+// closure path. Stats reports which path served: GenPreds counts
+// predicates bound to generated code, GenMisses counts fallbacks, and
+// GenEntries counts waiting-condition entries whose evaluation ran
+// generated. The differential tests in internal/codegen and
+// internal/problems pin generated ≡ interpreted (result and tags) over
+// the whole scenario registry plus a fuzzed predicate corpus, and the CI
+// drift gate regenerates every zz_generated file and fails on diff.
+//
 // # Select-composable wait handles
 //
 // Every blocking wait parks its goroutine, so a server multiplexing many
@@ -245,6 +274,23 @@ type Stats = core.Stats
 // Option configures New, NewBaseline, or NewExplicit.
 type Option = core.Option
 
+// GeneratedPred is a generated predicate evaluator registered by
+// minisynchc-emitted files; see RegisterGenerated.
+type GeneratedPred = core.GeneratedPred
+
+// GenVar names one typed variable of a generated predicate.
+type GenVar = core.GenVar
+
+// GenCells is the resolved shared-cell view passed to generated
+// evaluators.
+type GenCells = core.GenCells
+
+// GenEval is a generated whole-predicate evaluator.
+type GenEval = core.GenEval
+
+// GenKeyFn is a generated tag-key computation over the local bindings.
+type GenKeyFn = core.GenKeyFn
+
 // ErrNeverTrue is the sentinel reported (inside a *PredicateError) when
 // the globalized predicate is constant false (waiting would deadlock).
 var ErrNeverTrue = core.ErrNeverTrue
@@ -327,8 +373,28 @@ func Or(ps ...BoolExpr) BoolExpr { return core.Or(ps...) }
 // Not negates a typed predicate.
 func Not(p BoolExpr) BoolExpr { return core.Not(p) }
 
+// RegisterGenerated installs a generated predicate evaluator in the
+// process-global registry; monitors compiled afterwards dispatch to it
+// whenever source and variable types match. Called from init() of
+// zz_generated_preds.go files emitted by `//go:generate minisynchc`.
+func RegisterGenerated(g GeneratedPred) { core.RegisterGenerated(g) }
+
+// GeneratedCount reports how many generated predicates are registered.
+func GeneratedCount() int { return core.GeneratedCount() }
+
+// GenDiv is the generated-code division helper: division by zero
+// evaluates to 0 ("not yet true"), matching compiled predicates.
+func GenDiv(a, b int64) int64 { return core.GenDiv(a, b) }
+
+// GenMod is the generated-code modulus helper; see GenDiv.
+func GenMod(a, b int64) int64 { return core.GenMod(a, b) }
+
 // WithoutTagging disables predicate tagging (the AutoSynch-T mechanism).
 func WithoutTagging() Option { return core.WithoutTagging() }
+
+// WithoutGenerated disables generated-evaluator dispatch for one monitor;
+// the closure-compiled path serves even when a registration matches.
+func WithoutGenerated() Option { return core.WithoutGenerated() }
 
 // WithProfiling enables the Table 1 phase timers (await / lock /
 // relaySignal / tag manager).

@@ -47,10 +47,14 @@ func benchTagShape(b *testing.B, pred string) {
 	}
 }
 
-// benchAwaitMode drives the no-park await path through one of the three
-// API forms — the string predicate (cache lookup per wait), the compiled
-// *Predicate (no lookup), or the typed builder lowered to the same
-// compiled predicate. The shared monitor state keeps the predicate true
+// benchAwaitMode drives the no-park await path through one of the API
+// forms — the string predicate (cache lookup per wait), the compiled
+// *Predicate (no lookup), the typed builder lowered to the same compiled
+// predicate, or the compiled predicate served by its minisynchc-generated
+// evaluator. The problems package (linked by this test binary) registers
+// generated code for this very predicate at init, so the interpreter
+// modes opt out with WithoutGenerated and only the "generated" mode keeps
+// the default dispatch. The shared monitor state keeps the predicate true
 // throughout, so every iteration takes the fast path and the measured
 // ns/op is pure per-wait API overhead.
 func benchAwaitMode(b *testing.B, mode string, profile bool) {
@@ -59,6 +63,9 @@ func benchAwaitMode(b *testing.B, mode string, profile bool) {
 	if profile {
 		opts = append(opts, autosynch.WithProfiling())
 	}
+	if mode != "generated" {
+		opts = append(opts, autosynch.WithoutGenerated())
+	}
 	m := autosynch.New(opts...)
 	count := m.NewInt("count", 1)
 	capacity := m.NewInt("cap", 1<<40)
@@ -66,12 +73,15 @@ func benchAwaitMode(b *testing.B, mode string, profile bool) {
 	const pred = "count + k <= cap || stop"
 	var compiled *autosynch.Predicate
 	switch mode {
-	case "compiled":
+	case "compiled", "generated":
 		compiled = m.MustCompile(pred)
 	case "builder":
 		compiled = m.MustCompileExpr(autosynch.Or(
 			count.Expr().Plus(autosynch.Local("k")).AtMost(capacity.Expr()),
 			stop.IsTrue()))
+	}
+	if mode == "generated" && m.Stats().GenPreds == 0 {
+		b.Fatal("generated mode bound no generated evaluator (registration missing?)")
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -123,15 +123,17 @@ func BenchmarkTable1CPUBreakdown(b *testing.B) {
 // compiled-predicate API. The predicate is always satisfied, so no
 // iteration parks and ns/op is exactly the await-path overhead: the
 // string form re-hashes the source text against the predicate cache on
-// every wait, AwaitPred skips the lookup entirely, and the typed-builder
-// form compiles to the same *Predicate as the string. The profiled
+// every wait, AwaitPred skips the lookup entirely, the typed-builder
+// form compiles to the same *Predicate as the string, and the generated
+// form runs the same AwaitPred loop with the minisynchc-generated
+// evaluator dispatched in place of the closure tree. The profiled
 // variants run the same loop with the Table-1 phase timers enabled,
 // confirming the reduction shows up under profiling too:
 //
 //	go test -bench 'AwaitStringVsCompiled' -benchtime 2s
 func BenchmarkAwaitStringVsCompiled(b *testing.B) {
 	for _, profile := range []bool{false, true} {
-		for _, mode := range []string{"string", "compiled", "builder"} {
+		for _, mode := range []string{"string", "compiled", "builder", "generated"} {
 			name := mode
 			if profile {
 				name += "-profiled"

@@ -1,84 +1,290 @@
-// Command minisynchc is the MiniSynch preprocessor: it translates a
-// monitor-class dialect with waituntil statements into plain Go code that
-// targets the autosynch runtime — the role the JavaCC preprocessor plays
-// in the paper's framework (Fig. 2).
+// Command minisynchc is the MiniSynch compiler: it translates a
+// monitor-class dialect with waituntil statements into plain Go targeting
+// the autosynch runtime — the role the JavaCC preprocessor plays in the
+// paper's framework (Fig. 2) — and, as the second half of that role,
+// compiles waituntil predicates to specialized Go evaluators. The -emit
+// preds, -manifest, and -corpus modes emit a zz_generated_preds.go-style
+// file whose init function calls autosynch.RegisterGenerated for every
+// predicate, so monitors compiled at runtime transparently dispatch to
+// monomorphic generated code instead of the closure interpreter.
 //
 // Usage:
 //
 //	minisynchc -pkg mypkg -o buffer_gen.go buffer.ms
-//	minisynchc buffer.ms            # writes <input>_gen.go next to the input
-//	cat buffer.ms | minisynchc -    # reads stdin, writes stdout
-//	minisynchc -fmt buffer.ms       # canonical formatting to stdout
+//	minisynchc buffer.ms              # writes <input>_gen.go next to the input
+//	cat buffer.ms | minisynchc -      # reads stdin, writes stdout
+//	minisynchc -fmt buffer.ms         # canonical formatting to stdout
+//	minisynchc -emit preds buffer.ms  # predicate registrations from waituntils
+//	minisynchc -manifest preds.manifest
+//	minisynchc -corpus 1:48 -pkg codegen -o zz_generated_corpus.go
+//
+// The predicate-emitting modes are meant to run under go:generate; their
+// output is deterministic for fixed inputs so CI can regenerate and diff.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
+	"repro/internal/codegen"
 	"repro/internal/preproc"
 )
 
-func main() {
-	var (
-		pkg    = flag.String("pkg", "main", "package name for the generated file")
-		out    = flag.String("o", "", "output path (default: <input>_gen.go, or stdout for stdin input)")
-		format = flag.Bool("fmt", false, "format the MiniSynch source to stdout instead of compiling")
-	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: minisynchc [-pkg name] [-o file] <input.ms | ->")
-		os.Exit(2)
-	}
-	in := flag.Arg(0)
+// options holds the parsed and validated command line.
+type options struct {
+	pkg      string
+	out      string
+	emit     string // "monitor" or "preds"
+	manifest bool
+	corpus   string // "seed:n" when set
+	format   bool
+	input    string // positional input path, "-" for stdin, "" in corpus mode
 
-	var src []byte
-	var err error
-	if in == "-" {
-		src, err = io.ReadAll(os.Stdin)
-	} else {
-		src, err = os.ReadFile(in)
-	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "minisynchc: %v\n", err)
-		os.Exit(1)
-	}
+	// resolved from corpus by validate.
+	corpusSeed uint64
+	corpusN    int
+}
 
-	if *format {
-		formatted, err := preproc.FormatSource(string(src))
+func defaultOptions() options {
+	return options{pkg: "main", emit: "monitor"}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage:
+  minisynchc [-pkg name] [-o file] <input.ms | ->    translate monitor classes to Go
+  minisynchc -emit preds [...] <input.ms | ->        predicate registrations from waituntils
+  minisynchc -manifest [...] <manifest | ->          predicate registrations from a manifest
+  minisynchc -corpus seed:n [...]                    predicate registrations for the fuzz corpus
+  minisynchc -fmt <input.ms | ->                     canonical formatting to stdout
+`)
+}
+
+// parseOptions parses args into options and validates them. It returns
+// flag.ErrHelp for -h/-help; any other error is a usage error.
+func parseOptions(args []string) (options, error) {
+	o := defaultOptions()
+	fs := flag.NewFlagSet("minisynchc", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fs.StringVar(&o.pkg, "pkg", o.pkg, "package name for the generated file")
+	fs.StringVar(&o.out, "o", "", "output path (- for stdout)")
+	fs.StringVar(&o.emit, "emit", o.emit, "what to emit from a .ms input: monitor or preds")
+	fs.BoolVar(&o.manifest, "manifest", false, "treat the input as a predicate manifest")
+	fs.StringVar(&o.corpus, "corpus", "", "emit registrations for the deterministic corpus (seed:n); takes no input")
+	fs.BoolVar(&o.format, "fmt", false, "format the MiniSynch source to stdout instead of compiling")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		o.input = fs.Arg(0)
+	default:
+		return o, fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args()[1:], " "))
+	}
+	if err := o.validate(set); err != nil {
+		return o, err
+	}
+	return o, nil
+}
+
+// validate rejects contradictory flag combinations; set records which
+// flags were given explicitly.
+func (o *options) validate(set map[string]bool) error {
+	if o.format {
+		for _, f := range []string{"emit", "manifest", "corpus", "o", "pkg"} {
+			if set[f] {
+				return fmt.Errorf("-fmt formats to stdout and cannot be combined with -%s", f)
+			}
+		}
+	}
+	if o.manifest && set["corpus"] {
+		return errors.New("-manifest and -corpus are mutually exclusive")
+	}
+	if set["emit"] && (o.manifest || set["corpus"]) {
+		return errors.New("-emit applies to .ms inputs only; -manifest and -corpus always emit predicate registrations")
+	}
+	switch o.emit {
+	case "monitor", "preds":
+	default:
+		return fmt.Errorf("invalid -emit value %q (want monitor or preds)", o.emit)
+	}
+	if o.pkg == "" {
+		return errors.New("-pkg must not be empty")
+	}
+	if set["corpus"] {
+		if o.input != "" {
+			return fmt.Errorf("-corpus takes no input file (got %q)", o.input)
+		}
+		seed, n, err := parseCorpusSpec(o.corpus)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "minisynchc: %s: %v\n", in, err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Print(formatted)
-		return
+		o.corpusSeed, o.corpusN = seed, n
+		return nil
 	}
+	if o.input == "" {
+		return errors.New("missing input file (use - for stdin)")
+	}
+	return nil
+}
 
-	code, err := preproc.Generate(string(src), *pkg)
+// parseCorpusSpec parses a "seed:n" corpus specification.
+func parseCorpusSpec(spec string) (uint64, int, error) {
+	seedStr, nStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("invalid -corpus spec %q (want seed:n)", spec)
+	}
+	seed, err := strconv.ParseUint(seedStr, 10, 64)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "minisynchc: %s: %v\n", in, err)
-		os.Exit(1)
+		return 0, 0, fmt.Errorf("invalid -corpus seed %q: %v", seedStr, err)
+	}
+	n, err := strconv.Atoi(nStr)
+	if err != nil || n < 1 {
+		return 0, 0, fmt.Errorf("invalid -corpus size %q (want a positive count)", nStr)
+	}
+	return seed, n, nil
+}
+
+// inputName is the input's base name, used in error positions and in the
+// generated file's provenance line — base only, so output does not depend
+// on where the tree is checked out.
+func (o options) inputName() string {
+	if o.input == "-" {
+		return "stdin"
+	}
+	return filepath.Base(o.input)
+}
+
+// outputPath resolves the destination; "" means stdout.
+func (o options) outputPath() string {
+	if o.out == "-" {
+		return ""
+	}
+	if o.out != "" {
+		return o.out
+	}
+	if o.corpus != "" || o.input == "-" {
+		return ""
+	}
+	dir := filepath.Dir(o.input)
+	if o.manifest || o.emit == "preds" {
+		return filepath.Join(dir, "zz_generated_preds.go")
+	}
+	base := strings.TrimSuffix(filepath.Base(o.input), filepath.Ext(o.input))
+	return filepath.Join(dir, base+"_gen.go")
+}
+
+// run executes the compile; it returns the process exit code (0 success,
+// 1 runtime failure) so tests can drive it without exec.
+func run(o options, stdin io.Reader, stdout, stderr io.Writer) int {
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "minisynchc: "+format+"\n", args...)
+		return 1
 	}
 
-	dest := *out
-	if dest == "" {
-		if in == "-" {
-			fmt.Print(code)
-			return
+	var code string
+	if o.corpus != "" {
+		in := codegen.Corpus(o.corpusSeed, o.corpusN)
+		out, err := codegen.Generate(codegen.Options{
+			Pkg:    o.pkg,
+			Source: fmt.Sprintf("minisynchc -corpus %d:%d", o.corpusSeed, o.corpusN),
+		}, []codegen.Input{in})
+		if err != nil {
+			return fail("%v", err)
 		}
-		base := strings.TrimSuffix(filepath.Base(in), filepath.Ext(in))
-		dest = filepath.Join(filepath.Dir(in), base+"_gen.go")
+		code = out
+	} else {
+		src, err := readInput(o.input, stdin)
+		if err != nil {
+			return fail("%v", err)
+		}
+		switch {
+		case o.format:
+			formatted, err := preproc.FormatSource(src)
+			if err != nil {
+				return fail("%s: %v", o.inputName(), err)
+			}
+			fmt.Fprint(stdout, formatted)
+			return 0
+		case o.manifest:
+			inputs, err := codegen.ParseManifest(o.inputName(), src)
+			if err != nil {
+				return fail("%v", err)
+			}
+			code, err = codegen.Generate(codegen.Options{
+				Pkg:    o.pkg,
+				Source: "minisynchc -manifest " + o.inputName(),
+			}, inputs)
+			if err != nil {
+				return fail("%v", err)
+			}
+		case o.emit == "preds":
+			prog, err := preproc.Parse(src)
+			if err != nil {
+				return fail("%s: %v", o.inputName(), err)
+			}
+			checked, err := preproc.Check(prog)
+			if err != nil {
+				return fail("%s: %v", o.inputName(), err)
+			}
+			inputs := codegen.FromChecked(checked)
+			if len(inputs) == 0 {
+				return fail("%s: no waituntil predicates to generate", o.inputName())
+			}
+			code, err = codegen.Generate(codegen.Options{
+				Pkg:    o.pkg,
+				Source: "minisynchc -emit preds " + o.inputName(),
+			}, inputs)
+			if err != nil {
+				return fail("%v", err)
+			}
+		default:
+			code, err = preproc.Generate(src, o.pkg)
+			if err != nil {
+				return fail("%s: %v", o.inputName(), err)
+			}
+		}
 	}
-	if dest == "-" {
-		fmt.Print(code)
-		return
+
+	dest := o.outputPath()
+	if dest == "" {
+		fmt.Fprint(stdout, code)
+		return 0
 	}
 	if err := os.WriteFile(dest, []byte(code), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "minisynchc: %v\n", err)
-		os.Exit(1)
+		return fail("%v", err)
 	}
-	fmt.Fprintf(os.Stderr, "minisynchc: wrote %s\n", dest)
+	fmt.Fprintf(stderr, "minisynchc: wrote %s\n", dest)
+	return 0
+}
+
+func readInput(path string, stdin io.Reader) (string, error) {
+	if path == "-" {
+		b, err := io.ReadAll(stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func main() {
+	o, err := parseOptions(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			usage(os.Stdout)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "minisynchc: %v\n", err)
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	os.Exit(run(o, os.Stdin, os.Stdout, os.Stderr))
 }

@@ -4,7 +4,8 @@
 // paper. This program drives the generated monitor and then shows the
 // translation pipeline end to end on a second monitor held in a string.
 //
-// Regenerate buffer_gen.go with:
+// Regenerate buffer_gen.go with `go generate ./examples/minisynch`, or
+// directly:
 //
 //	go run ./cmd/minisynchc -pkg main examples/minisynch/buffer.ms
 //
@@ -13,6 +14,8 @@
 //	go run ./examples/minisynch
 package main
 
+//go:generate go run repro/cmd/minisynchc -pkg main buffer.ms
+
 import (
 	"fmt"
 	"sync"
@@ -20,9 +23,14 @@ import (
 	"repro/internal/preproc"
 )
 
+// Constructor parameters are constructor-only scope in MiniSynch —
+// function bodies see shared variables and their own parameters — so
+// the limit is captured into a shared variable, as buffer.ms does with
+// its capacity.
 const gateSrc = `
-monitor Gate(limit int) {
+monitor Gate(n int) {
     var inside int
+    var limit int = n
     var open bool = true
 
     func Enter() {

@@ -1,0 +1,142 @@
+package codegen
+
+import (
+	"repro/internal/core"
+	"repro/internal/expr"
+)
+
+// The fuzzed half of the differential acceptance test. Go code cannot be
+// generated at runtime, so "randomized predicates" are a deterministic
+// seeded corpus: minisynchc -corpus seed:n re-enumerates the exact same
+// predicates at generation time (writing zz_generated_corpus.go) and at
+// test time (comparing every one against the closure interpreter and the
+// AST-interpreting oracle over fuzzed states). Determinism is load-
+// bearing — the CI drift gate regenerates the file and diffs.
+
+// CorpusShared is the fixed shared-variable pool every corpus predicate
+// draws from: two ints and a bool, mirroring the registry's typical
+// monitor shapes.
+var CorpusShared = []SharedVar{
+	{Name: "cx"},
+	{Name: "cy"},
+	{Name: "cf", Bool: true},
+}
+
+// corpus local pool: two int locals and a bool local.
+var corpusIntLocals = []string{"lk", "ln"}
+
+const corpusBoolLocal = "lb"
+
+// rng is the xorshift64* generator used everywhere the repo needs cheap
+// deterministic randomness.
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// intNode draws a random integer expression of the given depth budget.
+func (r *rng) intNode(depth int) expr.Node {
+	if depth <= 0 {
+		switch r.intn(4) {
+		case 0:
+			return expr.I(int64(r.intn(13) - 4)) // constants in [-4, 8]
+		case 1:
+			return expr.V(CorpusShared[r.intn(2)].Name) // cx or cy
+		default:
+			return expr.V(corpusIntLocals[r.intn(len(corpusIntLocals))])
+		}
+	}
+	switch r.intn(7) {
+	case 0:
+		return expr.Neg(r.intNode(depth - 1))
+	case 1:
+		return expr.Bin(expr.OpMul, r.intNode(depth-1), expr.I(int64(r.intn(5)-2)))
+	case 2:
+		return expr.Bin(expr.OpDiv, r.intNode(depth-1), r.intNode(depth-1))
+	case 3:
+		return expr.Bin(expr.OpMod, r.intNode(depth-1), r.intNode(depth-1))
+	case 4:
+		return expr.Bin(expr.OpSub, r.intNode(depth-1), r.intNode(depth-1))
+	default:
+		return expr.Bin(expr.OpAdd, r.intNode(depth-1), r.intNode(depth-1))
+	}
+}
+
+// boolNode draws a random boolean expression.
+func (r *rng) boolNode(depth int) expr.Node {
+	if depth <= 0 {
+		if r.intn(3) == 0 {
+			if r.intn(2) == 0 {
+				return expr.V("cf")
+			}
+			return expr.V(corpusBoolLocal)
+		}
+		ops := []expr.Op{expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe, expr.OpEq, expr.OpNe}
+		return expr.Bin(ops[r.intn(len(ops))], r.intNode(1), r.intNode(1))
+	}
+	switch r.intn(7) {
+	case 0:
+		return expr.Not(r.boolNode(depth - 1))
+	case 1, 2:
+		return expr.Bin(expr.OpAnd, r.boolNode(depth-1), r.boolNode(depth-1))
+	case 3, 4:
+		return expr.Bin(expr.OpOr, r.boolNode(depth-1), r.boolNode(depth-1))
+	case 5:
+		// Boolean equality, the "flag == b" shape.
+		op := expr.OpEq
+		if r.intn(2) == 0 {
+			op = expr.OpNe
+		}
+		return expr.Bin(op, r.boolNode(0), r.boolNode(0))
+	default:
+		ops := []expr.Op{expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe, expr.OpEq, expr.OpNe}
+		return expr.Bin(ops[r.intn(len(ops))], r.intNode(depth-1), r.intNode(depth-1))
+	}
+}
+
+// Corpus enumerates the deterministic predicate corpus for a seed: n
+// distinct predicates (by canonical source) that compile cleanly against
+// the CorpusShared monitor. Draws that fail to compile (DNF blow-up) or
+// duplicate an earlier canon are skipped, so the sequence depends only on
+// the seed.
+func Corpus(seed uint64, n int) Input {
+	r := newRng(seed)
+	m := core.New(core.WithoutGenerated())
+	for _, v := range CorpusShared {
+		if v.Bool {
+			m.NewBool(v.Name, false)
+		} else {
+			m.NewInt(v.Name, 0)
+		}
+	}
+	in := Input{Monitor: "corpus"}
+	in.Shared = append(in.Shared, CorpusShared...)
+	seen := map[string]bool{}
+	for len(in.Preds) < n {
+		node := r.boolNode(1 + r.intn(3))
+		p, err := m.Compile(node.String())
+		if err != nil {
+			continue
+		}
+		canon := p.GenSpec().Canon
+		if seen[canon] {
+			continue
+		}
+		seen[canon] = true
+		in.Preds = append(in.Preds, canon)
+	}
+	return in
+}

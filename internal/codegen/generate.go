@@ -1,0 +1,17 @@
+package codegen
+
+// The checked-in corpus registrations are produced by the directive below;
+// the CI drift gate (`go generate ./... && git diff --exit-code`) keeps the
+// file in lock-step with the corpus enumeration. The seed/size constants
+// exist so the differential test re-enumerates exactly the generated set —
+// keep them in sync with the -corpus argument.
+
+//go:generate go run repro/cmd/minisynchc -corpus 1:48 -pkg codegen -o zz_generated_corpus.go
+
+// DefaultCorpusSeed and DefaultCorpusSize pin the generated fuzz corpus;
+// they must match the -corpus seed:n in the go:generate directive above
+// (TestCorpusFileUpToDate enforces it).
+const (
+	DefaultCorpusSeed = 1
+	DefaultCorpusSize = 48
+)

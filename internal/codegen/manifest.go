@@ -1,0 +1,114 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// A predicate manifest is the package-level input to minisynchc -manifest:
+// it declares, per monitor, the shared variables in scope and the
+// predicate sources to generate evaluators for. The format is line-based:
+//
+//	# bounded buffer (§6.3)
+//	monitor buffer {
+//	    shared count int
+//	    shared cap   int
+//	    shared stop  bool
+//	    pred count + k <= cap || stop
+//	    pred count > 0
+//	}
+//
+// Blank lines and #-comments are ignored anywhere. A pred line's source
+// runs to the end of the line. Monitors whose predicates share variable
+// names and types may repeat predicates freely; Generate dedups by
+// signature.
+
+// ParseManifest parses a manifest; name is used in error positions
+// ("preds.manifest:7: ...").
+func ParseManifest(name, src string) ([]Input, error) {
+	var (
+		inputs []Input
+		cur    *Input
+	)
+	errAt := func(line int, format string, args ...any) error {
+		return fmt.Errorf("%s:%d: %s", name, line, fmt.Sprintf(format, args...))
+	}
+	for i, raw := range strings.Split(src, "\n") {
+		lineNo := i + 1
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "monitor":
+			if cur != nil {
+				return nil, errAt(lineNo, "monitor %q not closed before new monitor", cur.Monitor)
+			}
+			if len(fields) != 3 || fields[2] != "{" {
+				return nil, errAt(lineNo, "want `monitor <name> {`, got %q", line)
+			}
+			if !validName(fields[1]) {
+				return nil, errAt(lineNo, "invalid monitor name %q", fields[1])
+			}
+			cur = &Input{Monitor: fields[1]}
+		case "shared":
+			if cur == nil {
+				return nil, errAt(lineNo, "shared declaration outside a monitor block")
+			}
+			if len(cur.Preds) > 0 {
+				return nil, errAt(lineNo, "shared declarations must precede pred lines")
+			}
+			if len(fields) != 3 {
+				return nil, errAt(lineNo, "want `shared <name> int|bool`, got %q", line)
+			}
+			var isBool bool
+			switch fields[2] {
+			case "int":
+			case "bool":
+				isBool = true
+			default:
+				return nil, errAt(lineNo, "shared %q has unknown type %q (want int or bool)", fields[1], fields[2])
+			}
+			if !validName(fields[1]) {
+				return nil, errAt(lineNo, "invalid shared variable name %q", fields[1])
+			}
+			for _, v := range cur.Shared {
+				if v.Name == fields[1] {
+					return nil, errAt(lineNo, "shared variable %q declared twice", fields[1])
+				}
+			}
+			cur.Shared = append(cur.Shared, SharedVar{Name: fields[1], Bool: isBool})
+		case "pred":
+			if cur == nil {
+				return nil, errAt(lineNo, "pred outside a monitor block")
+			}
+			src := strings.TrimSpace(strings.TrimPrefix(line, "pred"))
+			if src == "" {
+				return nil, errAt(lineNo, "empty pred")
+			}
+			cur.Preds = append(cur.Preds, src)
+		case "}":
+			if cur == nil {
+				return nil, errAt(lineNo, "unmatched }")
+			}
+			if len(fields) != 1 {
+				return nil, errAt(lineNo, "trailing input after }: %q", line)
+			}
+			if len(cur.Preds) == 0 {
+				return nil, errAt(lineNo, "monitor %q declares no predicates", cur.Monitor)
+			}
+			inputs = append(inputs, *cur)
+			cur = nil
+		default:
+			return nil, errAt(lineNo, "unknown directive %q (want monitor/shared/pred/})", fields[0])
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("%s: monitor %q not closed at end of file", name, cur.Monitor)
+	}
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("%s: no monitors declared", name)
+	}
+	return inputs, nil
+}

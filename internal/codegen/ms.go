@@ -1,0 +1,42 @@
+package codegen
+
+import (
+	"repro/internal/expr"
+	"repro/internal/preproc"
+)
+
+// FromChecked extracts generation inputs from a checked MiniSynch
+// program: one Input per monitor that contains at least one waituntil,
+// with the monitor's shared variables (declaration order) and every
+// waituntil predicate in source order — the minisynchc -emit preds path,
+// which lets a .ms file double as its own predicate manifest.
+func FromChecked(c *preproc.Checked) []Input {
+	var ins []Input
+	for _, cm := range c.Monitors {
+		in := Input{Monitor: cm.Decl.Name}
+		for _, v := range cm.Decl.Vars {
+			in.Shared = append(in.Shared, SharedVar{Name: v.Name, Bool: v.Type == expr.TypeBool})
+		}
+		var walk func(stmts []preproc.Stmt)
+		walk = func(stmts []preproc.Stmt) {
+			for _, s := range stmts {
+				switch s := s.(type) {
+				case *preproc.WaitStmt:
+					in.Preds = append(in.Preds, s.Pred.String())
+				case *preproc.IfStmt:
+					walk(s.Then)
+					walk(s.Else)
+				case *preproc.WhileStmt:
+					walk(s.Body)
+				}
+			}
+		}
+		for _, f := range cm.Decl.Funcs {
+			walk(f.Body)
+		}
+		if len(in.Preds) > 0 {
+			ins = append(ins, in)
+		}
+	}
+	return ins
+}

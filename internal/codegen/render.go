@@ -1,0 +1,263 @@
+package codegen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+)
+
+// renderer turns a type-checked predicate tree into Go source against the
+// GenCells/locals calling convention. Every composite subexpression is
+// parenthesized — go/format keeps the parens, and correctness never rides
+// on reproducing Go precedence.
+type renderer struct {
+	shared map[string]cellRef // shared variable → typed cell index
+	local  map[string]localRef
+	// rawLocals renders every local as its int64 slot regardless of
+	// declared type — the key-expression convention, where boolean
+	// locals participate in arithmetic as 0/1 (exactly how the runtime
+	// compiles template keys).
+	rawLocals bool
+}
+
+type cellRef struct {
+	boolTyped bool
+	idx       int
+}
+
+type localRef struct {
+	boolTyped bool
+	idx       int
+}
+
+// newRenderer lays out the GenCells indices exactly as the runtime's
+// resolveGenCells does: Shared is sorted by name, ints and bools each
+// keeping that order within their slice.
+func newRenderer(spec core.GenSpec) *renderer {
+	r := &renderer{shared: map[string]cellRef{}, local: map[string]localRef{}}
+	var ints, bools int
+	for _, v := range spec.Shared {
+		if v.Bool {
+			r.shared[v.Name] = cellRef{boolTyped: true, idx: bools}
+			bools++
+		} else {
+			r.shared[v.Name] = cellRef{idx: ints}
+			ints++
+		}
+	}
+	for i, v := range spec.Locals {
+		r.local[v.Name] = localRef{boolTyped: v.Bool, idx: i}
+	}
+	return r
+}
+
+// typeOf classifies a subexpression; the tree is already type-checked, so
+// unknown names or ill-typed shapes are internal errors.
+func (r *renderer) typeOf(n expr.Node) (expr.Type, error) {
+	switch n := n.(type) {
+	case expr.IntLit:
+		return expr.TypeInt, nil
+	case expr.BoolLit:
+		return expr.TypeBool, nil
+	case expr.Var:
+		if c, ok := r.shared[n.Name]; ok {
+			if c.boolTyped {
+				return expr.TypeBool, nil
+			}
+			return expr.TypeInt, nil
+		}
+		if l, ok := r.local[n.Name]; ok {
+			if l.boolTyped && !r.rawLocals {
+				return expr.TypeBool, nil
+			}
+			return expr.TypeInt, nil
+		}
+		return expr.TypeInvalid, fmt.Errorf("unresolved variable %q", n.Name)
+	case expr.Unary:
+		if n.Op == expr.OpNot {
+			return expr.TypeBool, nil
+		}
+		return expr.TypeInt, nil
+	case expr.Binary:
+		switch n.Op {
+		case expr.OpAnd, expr.OpOr, expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe, expr.OpEq, expr.OpNe:
+			return expr.TypeBool, nil
+		}
+		return expr.TypeInt, nil
+	}
+	return expr.TypeInvalid, fmt.Errorf("unknown node %T", n)
+}
+
+// boolExpr renders a boolean-typed subexpression.
+func (r *renderer) boolExpr(n expr.Node) (string, error) {
+	switch n := n.(type) {
+	case expr.BoolLit:
+		if n.Value {
+			return "true", nil
+		}
+		return "false", nil
+	case expr.Var:
+		if c, ok := r.shared[n.Name]; ok {
+			if !c.boolTyped {
+				return "", fmt.Errorf("int variable %q in bool position", n.Name)
+			}
+			return fmt.Sprintf("c.B[%d].Get()", c.idx), nil
+		}
+		if l, ok := r.local[n.Name]; ok {
+			if !l.boolTyped {
+				return "", fmt.Errorf("int local %q in bool position", n.Name)
+			}
+			return fmt.Sprintf("(locals[%d] != 0)", l.idx), nil
+		}
+		return "", fmt.Errorf("unresolved variable %q", n.Name)
+	case expr.Unary:
+		if n.Op != expr.OpNot {
+			return "", fmt.Errorf("%s in bool position", n.Op)
+		}
+		x, err := r.boolExpr(n.X)
+		if err != nil {
+			return "", err
+		}
+		return "(!" + x + ")", nil
+	case expr.Binary:
+		switch n.Op {
+		case expr.OpAnd, expr.OpOr:
+			l, err := r.boolExpr(n.L)
+			if err != nil {
+				return "", err
+			}
+			rr, err := r.boolExpr(n.R)
+			if err != nil {
+				return "", err
+			}
+			return "(" + l + " " + n.Op.String() + " " + rr + ")", nil
+		case expr.OpEq, expr.OpNe:
+			lt, err := r.typeOf(n.L)
+			if err != nil {
+				return "", err
+			}
+			if lt == expr.TypeBool {
+				l, err := r.boolExpr(n.L)
+				if err != nil {
+					return "", err
+				}
+				rr, err := r.boolExpr(n.R)
+				if err != nil {
+					return "", err
+				}
+				return "(" + l + " " + n.Op.String() + " " + rr + ")", nil
+			}
+			fallthrough
+		case expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe:
+			l, err := r.intExpr(n.L)
+			if err != nil {
+				return "", err
+			}
+			rr, err := r.intExpr(n.R)
+			if err != nil {
+				return "", err
+			}
+			return "(" + l + " " + n.Op.String() + " " + rr + ")", nil
+		}
+		return "", fmt.Errorf("%s in bool position", n.Op)
+	}
+	return "", fmt.Errorf("%T in bool position", n)
+}
+
+// intExpr renders an integer-typed subexpression. Division and modulus go
+// through the GenDiv/GenMod helpers so a zero divisor evaluates the
+// predicate to "not yet true" exactly as the closure compiler does.
+func (r *renderer) intExpr(n expr.Node) (string, error) {
+	switch n := n.(type) {
+	case expr.IntLit:
+		if n.Value < 0 {
+			return "(" + strconv.FormatInt(n.Value, 10) + ")", nil
+		}
+		return strconv.FormatInt(n.Value, 10), nil
+	case expr.Var:
+		if c, ok := r.shared[n.Name]; ok {
+			if c.boolTyped {
+				return "", fmt.Errorf("bool variable %q in int position", n.Name)
+			}
+			return fmt.Sprintf("c.I[%d].Get()", c.idx), nil
+		}
+		if l, ok := r.local[n.Name]; ok {
+			if l.boolTyped && !r.rawLocals {
+				return "", fmt.Errorf("bool local %q in int position", n.Name)
+			}
+			return fmt.Sprintf("locals[%d]", l.idx), nil
+		}
+		return "", fmt.Errorf("unresolved variable %q", n.Name)
+	case expr.Unary:
+		if n.Op != expr.OpNeg {
+			return "", fmt.Errorf("%s in int position", n.Op)
+		}
+		x, err := r.intExpr(n.X)
+		if err != nil {
+			return "", err
+		}
+		return "(-" + x + ")", nil
+	case expr.Binary:
+		l, err := r.intExpr(n.L)
+		if err != nil {
+			return "", err
+		}
+		rr, err := r.intExpr(n.R)
+		if err != nil {
+			return "", err
+		}
+		switch n.Op {
+		case expr.OpAdd, expr.OpSub, expr.OpMul:
+			return "(" + l + " " + n.Op.String() + " " + rr + ")", nil
+		case expr.OpDiv:
+			return "autosynch.GenDiv(" + l + ", " + rr + ")", nil
+		case expr.OpMod:
+			return "autosynch.GenMod(" + l + ", " + rr + ")", nil
+		}
+		return "", fmt.Errorf("%s in int position", n.Op)
+	}
+	return "", fmt.Errorf("%T in int position", n)
+}
+
+// keyExpr renders one template key expression: locals-only, every local
+// read as its raw int64 slot.
+func (r *renderer) keyExpr(n expr.Node) (string, error) {
+	saved := r.rawLocals
+	r.rawLocals = true
+	defer func() { r.rawLocals = saved }()
+	if len(r.shared) > 0 {
+		// Key expressions never reference shared state; verify rather
+		// than trust, since an emitted key silently overrides the
+		// runtime's compiled one.
+		for _, name := range expr.Vars(n) {
+			if _, ok := r.shared[name]; ok {
+				return "", fmt.Errorf("key expression references shared variable %q", name)
+			}
+		}
+	}
+	return r.intExpr(n)
+}
+
+// genVarsLiteral renders a []autosynch.GenVar literal.
+func genVarsLiteral(vars []core.GenVar) string {
+	if len(vars) == 0 {
+		return "nil"
+	}
+	var b strings.Builder
+	b.WriteString("[]autosynch.GenVar{")
+	for i, v := range vars {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if v.Bool {
+			fmt.Fprintf(&b, "{Name: %q, Bool: true}", v.Name)
+		} else {
+			fmt.Fprintf(&b, "{Name: %q}", v.Name)
+		}
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/testutil"
+)
+
+// testGenPred registers a hand-written generated evaluator for
+// "count + k <= cap || stop" whose tag derivation is taken from the
+// runtime's own GenSpec, exactly as minisynchc does, and returns the
+// registered form. Shared vars sorted: cap(int), count(int), stop(bool)
+// → I[0]=cap, I[1]=count, B[0]=stop; locals: k.
+func testGenPred(t *testing.T) GeneratedPred {
+	t.Helper()
+	probe := New(WithoutGenerated())
+	probe.NewInt("count", 0)
+	probe.NewInt("cap", 0)
+	probe.NewBool("stop", false)
+	spec := probe.MustCompile("count + k <= cap || stop").GenSpec()
+	if spec.TagCanon == "" || len(spec.KeyNodes) != 1 {
+		t.Fatalf("unexpected GenSpec template: canon=%q keys=%d", spec.TagCanon, len(spec.KeyNodes))
+	}
+	g := GeneratedPred{
+		Src:      spec.Canon,
+		Shared:   spec.Shared,
+		Locals:   spec.Locals,
+		TagCanon: spec.TagCanon,
+		Eval: func(c *GenCells, locals []int64) bool {
+			return c.I[1].Get()+locals[0] <= c.I[0].Get() || c.B[0].Get()
+		},
+		// The template sign-normalizes count - cap to cap - count and
+		// negates the residual key back: cap - count >= k, so key = k.
+		Keys: []GenKeyFn{func(locals []int64) int64 { return locals[0] }},
+	}
+	RegisterGenerated(g)
+	return g
+}
+
+func newGenTestMonitor(opts ...Option) *Monitor {
+	m := New(opts...)
+	m.NewInt("count", 1)
+	m.NewInt("cap", 10)
+	m.NewBool("stop", false)
+	return m
+}
+
+func TestGeneratedDispatch(t *testing.T) {
+	testGenPred(t)
+	m := newGenTestMonitor()
+	p := m.MustCompile("count + k <= cap || stop")
+	if !p.Generated() {
+		t.Fatal("registered generated evaluator was not bound")
+	}
+	if s := m.Stats(); s.GenPreds != 1 {
+		t.Errorf("GenPreds = %d, want 1", s.GenPreds)
+	}
+	m.Enter()
+	ok, err := p.Try(BindInt("k", 9))
+	if err != nil || !ok {
+		m.Exit()
+		t.Fatalf("Try(k=9) = %v, %v; want true", ok, err)
+	}
+	ok, err = p.Try(BindInt("k", 10))
+	m.Exit()
+	if err != nil || ok {
+		t.Fatalf("Try(k=10) = %v, %v; want false", ok, err)
+	}
+
+	// The generated path must agree with the closure fallback on the
+	// full registration probe: identity, evaluator verdict, and tags.
+	fb := newGenTestMonitor(WithoutGenerated())
+	pf := fb.MustCompile("count + k <= cap || stop")
+	if pf.Generated() {
+		t.Fatal("WithoutGenerated monitor bound a generated evaluator")
+	}
+	for k := int64(-3); k <= 12; k++ {
+		got, err := m.ProbeEntry(p, BindInt("k", k))
+		if err != nil {
+			t.Fatalf("ProbeEntry(gen, k=%d): %v", k, err)
+		}
+		want, err := fb.ProbeEntry(pf, BindInt("k", k))
+		if err != nil {
+			t.Fatalf("ProbeEntry(fallback, k=%d): %v", k, err)
+		}
+		if got.Fast != want.Fast || got.Folded != want.Folded || got.Canon != want.Canon || got.Eval != want.Eval {
+			t.Errorf("k=%d: probe diverged: gen=%+v fallback=%+v", k, got, want)
+		}
+		if len(got.Tags) != len(want.Tags) {
+			t.Fatalf("k=%d: tag count %d vs %d", k, len(got.Tags), len(want.Tags))
+		}
+		for i := range got.Tags {
+			if got.Tags[i].String() != want.Tags[i].String() {
+				t.Errorf("k=%d tag[%d]: %s vs %s", k, i, got.Tags[i], want.Tags[i])
+			}
+		}
+	}
+}
+
+func TestGeneratedEntryServesWait(t *testing.T) {
+	testGenPred(t)
+	m := newGenTestMonitor()
+	p := m.MustCompile("count + k <= cap || stop")
+	done := make(chan error, 1)
+	go func() {
+		m.Enter()
+		err := m.AwaitPred(p, BindInt("k", 100)) // 1+100 > 10: parks
+		m.Exit()
+		done <- err
+	}()
+	testutil.WaitFor(t, 10*time.Second, 0, func() bool { return m.Waiting() == 1 }, "waiter parked")
+	m.Do(func() { m.vars["cap"].ic.Set(1000) })
+	if err := <-done; err != nil {
+		t.Fatalf("await: %v", err)
+	}
+	s := m.Stats()
+	if s.GenEntries == 0 {
+		t.Error("parked wait did not build a generated entry")
+	}
+}
+
+func TestGeneratedSignatureMismatchFallsBack(t *testing.T) {
+	testGenPred(t)
+	// Same source, but "stop" declared as an int: the typed signature
+	// differs, so the closure path must serve.
+	m := New()
+	m.NewInt("count", 1)
+	m.NewInt("cap", 10)
+	m.NewInt("stop", 0)
+	p, err := m.Compile("count + k <= cap || stop > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Generated() {
+		t.Fatal("bound a generated evaluator across a type mismatch")
+	}
+	if s := m.Stats(); s.GenMisses != 1 {
+		t.Errorf("GenMisses = %d, want 1", s.GenMisses)
+	}
+	m.Enter()
+	ok, err := p.Try(BindInt("k", 3))
+	m.Exit()
+	if err != nil || !ok {
+		t.Fatalf("fallback Try = %v, %v", ok, err)
+	}
+}
+
+func TestGeneratedBuilderSharesRegistration(t *testing.T) {
+	testGenPred(t)
+	m := newGenTestMonitor()
+	count, capacity := m.vars["count"].ic, m.vars["cap"].ic
+	var stop *BoolCell = m.vars["stop"].bc
+	p, err := m.CompileExpr(Or(
+		count.Expr().Plus(Local("k")).AtMost(capacity.Expr()),
+		stop.IsTrue()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Generated() {
+		t.Error("builder-compiled predicate did not bind the generated evaluator")
+	}
+}

@@ -257,7 +257,18 @@ func (m *Monitor) entryFor(p *Predicate) (*entry, error) {
 	}
 	canon := glob.String()
 	return m.cm.getEntry(canon, func() (*entry, error) {
-		return m.buildEntry(canon, glob, p.isShared())
+		e, err := m.buildEntry(canon, glob, p.isShared())
+		if err != nil {
+			return nil, err
+		}
+		// The entry is keyed by the globalized DNF, so the generated
+		// evaluator under the frozen bindings computes the same truth
+		// function; swap it in for the per-conjunction closures.
+		if genEval := p.genEntryEval(); genEval != nil {
+			e.evalFn = genEval
+			m.stats.GenEntries++
+		}
+		return e, nil
 	})
 }
 

@@ -11,6 +11,7 @@ const DefaultInactiveLimit = 512
 type config struct {
 	tagging       bool
 	profile       bool
+	generated     bool
 	inactiveLimit int
 	dnfLimit      int
 }
@@ -18,6 +19,7 @@ type config struct {
 func defaultConfig() config {
 	return config{
 		tagging:       true,
+		generated:     true,
 		inactiveLimit: DefaultInactiveLimit,
 		dnfLimit:      0, // 0 → dnf.DefaultMaxConjunctions
 	}
@@ -39,6 +41,15 @@ func WithoutTagging() Option {
 // reads around each phase, so leave it off in throughput benchmarks.
 func WithProfiling() Option {
 	return func(c *config) { c.profile = true }
+}
+
+// WithoutGenerated disables generated-evaluator dispatch: Compile keeps
+// the closure-compiled evaluators even when a matching registration
+// exists (see RegisterGenerated). This is the ablation baseline for the
+// codegen experiments, and the escape hatch if a stale generated file is
+// ever suspect.
+func WithoutGenerated() Option {
+	return func(c *config) { c.generated = false }
 }
 
 // WithInactiveLimit bounds the inactive predicate list. Zero disables

@@ -36,6 +36,9 @@ type Predicate struct {
 
 	tmpl        *predTmpl // globalization fast path; nil → generic Subst path
 	staticEntry *entry    // cached entry for shared (local-free) predicates
+
+	gen      *GeneratedPred // registered generated evaluator; nil → closure path
+	genCells *GenCells      // resolved cell layout for gen, nil with it
 }
 
 // Src returns the predicate's canonical source text.
@@ -265,6 +268,7 @@ func (m *Monitor) compileNode(src string, node expr.Node) (*Predicate, error) {
 	}
 	p.fast = fast
 	p.tmpl = m.buildTemplate(p)
+	m.bindGenerated(p)
 	return p, nil
 }
 

@@ -37,6 +37,12 @@ type Stats struct {
 	Reuses         uint64 // entries reactivated from the inactive list
 	Evictions      uint64 // inactive entries dropped by the LRU limit
 
+	// Generated-evaluator dispatch (internal/codegen): which path served
+	// each Compile, and how many entries run a generated evaluator.
+	GenPreds   uint64 // compiled predicates bound to a registered generated evaluator
+	GenMisses  uint64 // compiled predicates with no registration; closure fallback
+	GenEntries uint64 // predicate entries built with a generated evaluator
+
 	// Profiling (populated only with WithProfiling): cumulative
 	// nanoseconds, the Table 1 breakdown.
 	AwaitNs   int64 // blocked in condition waits
@@ -64,6 +70,9 @@ func (s Stats) String() string {
 	}
 	if s.Arms > 0 || s.Claims > 0 || s.FutileClaims > 0 {
 		out += fmt.Sprintf(" arms=%d claims=%d futile-claims=%d", s.Arms, s.Claims, s.FutileClaims)
+	}
+	if s.GenPreds > 0 || s.GenMisses > 0 || s.GenEntries > 0 {
+		out += fmt.Sprintf(" gen=%d gen-miss=%d gen-entries=%d", s.GenPreds, s.GenMisses, s.GenEntries)
 	}
 	return out
 }
@@ -95,6 +104,9 @@ func (s Stats) Add(o Stats) Stats {
 		Registrations:  s.Registrations + o.Registrations,
 		Reuses:         s.Reuses + o.Reuses,
 		Evictions:      s.Evictions + o.Evictions,
+		GenPreds:       s.GenPreds + o.GenPreds,
+		GenMisses:      s.GenMisses + o.GenMisses,
+		GenEntries:     s.GenEntries + o.GenEntries,
 		AwaitNs:        s.AwaitNs + o.AwaitNs,
 		LockNs:         s.LockNs + o.LockNs,
 		RelayNs:        s.RelayNs + o.RelayNs,

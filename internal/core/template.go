@@ -42,9 +42,10 @@ type conjTmpl struct {
 
 // predTmpl is the per-predicate analysis.
 type predTmpl struct {
-	conjs  []conjTmpl
-	keyFns []expr.IntFn // key computations over the local binding slots
-	canon  string       // template identity with $i key placeholders
+	conjs    []conjTmpl
+	keyFns   []expr.IntFn // key computations over the local binding slots
+	keyNodes []expr.Node  // the key expressions themselves, for codegen
+	canon    string       // template identity with $i key placeholders
 }
 
 // buildTemplate analyzes p's DNF into a template, or returns nil when the
@@ -149,7 +150,8 @@ func (m *Monitor) buildAtom(p *Predicate, t *predTmpl, a expr.Node) (atomTmpl, b
 		if sign < 0 {
 			keyNode = expr.Neg(keyNode)
 		}
-		keyFn, err := expr.CompileInt(expr.Fold(keyNode), func(name string) (expr.Getter, expr.Type, bool) {
+		folded := expr.Fold(keyNode)
+		keyFn, err := expr.CompileInt(folded, func(name string) (expr.Getter, expr.Type, bool) {
 			i, ok := p.localIdx[name]
 			if !ok {
 				return nil, expr.TypeInvalid, false
@@ -164,6 +166,7 @@ func (m *Monitor) buildAtom(p *Predicate, t *predTmpl, a expr.Node) (atomTmpl, b
 		}
 		at.keyIdx = len(t.keyFns)
 		t.keyFns = append(t.keyFns, keyFn)
+		t.keyNodes = append(t.keyNodes, folded)
 		return at, true
 	}
 	return atomTmpl{}, false
@@ -290,11 +293,16 @@ func (m *Monitor) templateEntry(p *Predicate) (*entry, error) {
 	}
 	e, err := m.cm.getEntry(canon, func() (*entry, error) {
 		frozen := append([]int64(nil), keys...)
+		evalFn := t.makeEval(frozen)
+		if genEval := p.genEntryEval(); genEval != nil {
+			evalFn = genEval
+			m.stats.GenEntries++
+		}
 		return &entry{
 			canon:    canon,
 			static:   p.isShared(),
 			noneIdx:  -1,
-			evalFn:   t.makeEval(frozen),
+			evalFn:   evalFn,
 			conjTags: t.tags(frozen),
 		}, nil
 	})

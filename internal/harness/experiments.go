@@ -427,37 +427,52 @@ func runParamBBLimit(limit, consumers, totalOps int) problems.Result {
 // predicate API forms. The predicate is always true, so no wait ever
 // parks and each operation pays exactly the bind-and-check path: the
 // string form adds one predicate-cache lookup (hashing the source text)
-// per wait, the compiled form skips it, and the closure form is the
-// tag-opaque reference point. Profiling is enabled so the Table-1 phase
-// timers confirm the difference is in the await path, not lock traffic.
+// per wait, the compiled form skips it, the codegen form swaps the
+// closure-tree evaluator for the minisynchc-generated monomorphic one
+// (registered by internal/problems' zz_generated_preds.go, which this
+// package links), and the closure form is the tag-opaque reference
+// point. The interpreter arms opt out of generated dispatch with
+// WithoutGenerated — the registration is process-global, so without the
+// opt-out they would silently measure the generated path too. The run is
+// unprofiled: the Table-1 phase timers cost more per wait than the whole
+// evaluator and would drown the arms' differences (the benchmark's
+// -profiled variants cover that view).
 func AblationCompiledPredicates(cfg Config) Report {
 	const pred = "count + k <= cap || stop"
 	type mode struct {
 		name string
+		opts []core.Option
 		wait func(m *core.Monitor, p *core.Predicate, k int64) error
 	}
+	interpOnly := []core.Option{core.WithoutGenerated()}
+	awaitString := func(m *core.Monitor, _ *core.Predicate, k int64) error {
+		return m.Await(pred, core.BindInt("k", k))
+	}
+	awaitPred := func(m *core.Monitor, p *core.Predicate, k int64) error {
+		return m.AwaitPred(p, core.BindInt("k", k))
+	}
 	modes := []mode{
-		{"string", func(m *core.Monitor, _ *core.Predicate, k int64) error {
-			return m.Await(pred, core.BindInt("k", k))
-		}},
-		{"compiled", func(m *core.Monitor, p *core.Predicate, k int64) error {
-			return m.AwaitPred(p, core.BindInt("k", k))
-		}},
-		{"closure", func(m *core.Monitor, _ *core.Predicate, k int64) error {
+		{"string", interpOnly, awaitString},
+		{"compiled", interpOnly, awaitPred},
+		{"codegen", nil, awaitPred},
+		{"closure", interpOnly, func(m *core.Monitor, _ *core.Predicate, k int64) error {
 			m.AwaitFunc(func() bool { return true })
 			return nil
 		}},
 	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "abl-compile: per-wait API overhead on an always-true predicate (%d ops)\n", cfg.TotalOps)
-	fmt.Fprintf(&sb, "%-10s %12s %12s %10s\n", "mode", "runtime", "ns/op", "fastpath")
+	fmt.Fprintf(&sb, "%-10s %12s %12s %10s %5s\n", "mode", "runtime", "ns/op", "fastpath", "gen")
 	for _, md := range modes {
 		meas := cfg.Protocol.Measure(func() problems.Result {
-			m := core.New(core.WithProfiling())
+			m := core.New(md.opts...)
 			m.NewInt("count", 1)
 			m.NewInt("cap", 1<<40)
 			m.NewBool("stop", false)
 			p := m.MustCompile(pred)
+			if md.name == "codegen" && !p.Generated() {
+				panic("abl-compile: codegen arm found no registered evaluator (is internal/problems linked?)")
+			}
 			start := time.Now()
 			for i := 0; i < cfg.TotalOps; i++ {
 				m.Enter()
@@ -471,10 +486,11 @@ func AblationCompiledPredicates(cfg Config) Report {
 				Stats: m.Stats(), Ops: int64(cfg.TotalOps)}
 		})
 		nsPerOp := meas.MeanSeconds * 1e9 / float64(cfg.TotalOps)
-		fmt.Fprintf(&sb, "%-10s %12s %12.1f %10d\n",
-			md.name, stats.FormatSeconds(meas.MeanSeconds), nsPerOp, meas.Last.Stats.FastPath)
+		fmt.Fprintf(&sb, "%-10s %12s %12.1f %10d %5d\n",
+			md.name, stats.FormatSeconds(meas.MeanSeconds), nsPerOp,
+			meas.Last.Stats.FastPath, meas.Last.Stats.GenPreds)
 	}
-	sb.WriteString("expected shape: compiled < string (the gap is the per-wait predicate-cache lookup); see BenchmarkAwaitStringVsCompiled for the benchstat view.\n")
+	sb.WriteString("expected shape: codegen < compiled < string (compiled-vs-string is the per-wait predicate-cache lookup; codegen-vs-compiled is the closure tree); see BenchmarkAwaitStringVsCompiled for the benchstat view.\n")
 	return textReport("abl-compile", sb.String())
 }
 

@@ -1,0 +1,173 @@
+package preproc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// roundTripCorpus collects the sources the formatting tests exercise; the
+// fixed-point test runs the full parse→format→parse cycle over all of
+// them.
+var roundTripCorpus = []string{
+	bufferSrc,
+	`
+monitor   BoundedBuffer ( n int )  {
+  var count int;
+  var cap int=n
+
+  func Put( k int ){waituntil(count+k<=cap); count+=k}
+  func Take(k int) { waituntil(count >= k)
+      count -= k }
+  func Size() int { return count }
+}
+`,
+	`monitor M(a int, b bool) {
+		var x int = a * 2
+		var f bool = b
+		func G(k int) int {
+			y := k + 1
+			if x > y {
+				x--
+			} else if f {
+				while x < 10 { x++ }
+			} else {
+				return 0 - y
+			}
+			waituntil(x == k || f)
+			return x
+		}
+	}`,
+	`monitor M() {
+		var x int
+		func F() {
+			x = 5
+			x += 2
+			x -= 3
+			x++
+			x--
+			waituntil(x != 0)
+			while x > 0 { x -= 1 }
+			if x == 0 { x = 1 } else { x = 2 }
+			return
+		}
+	}`,
+	`monitor M() {
+		var x int
+		func F() {
+			if x == 0 { x = 1 } else if x == 1 { x = 2 } else if x == 2 { x = 3 } else { x = 0 }
+		}
+	}`,
+	`monitor A() { var x int } monitor B() { var y bool }`,
+}
+
+// TestFormatParseFixedPoint pins the parser/formatter round trip: for
+// every corpus source, formatting reaches a fixed point after one pass
+// (parse(format(src)) formats to the same text), and the formatted text
+// still checks cleanly when the original did.
+func TestFormatParseFixedPoint(t *testing.T) {
+	for i, src := range roundTripCorpus {
+		once, err := FormatSource(src)
+		if err != nil {
+			t.Fatalf("corpus[%d]: format: %v", i, err)
+		}
+		reparsed, err := Parse(once)
+		if err != nil {
+			t.Fatalf("corpus[%d]: formatted output does not re-parse: %v\n%s", i, err, once)
+		}
+		twice := Format(reparsed)
+		if once != twice {
+			t.Errorf("corpus[%d]: not a fixed point:\n--- once ---\n%s--- twice ---\n%s", i, once, twice)
+		}
+		if _, err := Parse(twice); err != nil {
+			t.Errorf("corpus[%d]: second formatting does not re-parse: %v", i, err)
+		}
+		// Semantic preservation: if the original checks, so must the
+		// formatted text, and generation must agree.
+		if orig, err := Generate(src, "p"); err == nil {
+			viaFormat, err := Generate(once, "p")
+			if err != nil {
+				t.Errorf("corpus[%d]: formatted source no longer generates: %v", i, err)
+			} else if orig != viaFormat {
+				t.Errorf("corpus[%d]: generation differs after formatting", i)
+			}
+		}
+	}
+}
+
+// TestCheckWaituntilErrorPositions asserts that ill-typed waituntil
+// bodies are rejected with the position of the waituntil statement, not
+// a position-less error — the compiler surface minisynchc prints.
+func TestCheckWaituntilErrorPositions(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		wantLine int
+		wantMsg  string
+	}{
+		{
+			name: "bool in arithmetic",
+			src: "monitor M() {\n" + // 1
+				"\tvar x int\n" + // 2
+				"\tvar f bool\n" + // 3
+				"\tfunc F() {\n" + // 4
+				"\t\twaituntil(x + f > 0)\n" + // 5
+				"\t}\n}",
+			wantLine: 5,
+			wantMsg:  "waituntil:",
+		},
+		{
+			name: "int predicate",
+			src: "monitor M() {\n" + // 1
+				"\tvar x int\n" + // 2
+				"\tfunc F() {\n" + // 3
+				"\t\twaituntil(x + 1)\n" + // 4
+				"\t}\n}",
+			wantLine: 4,
+			wantMsg:  "waituntil:",
+		},
+		{
+			name: "undeclared variable",
+			src: "monitor M() {\n" + // 1
+				"\tvar x int\n" + // 2
+				"\tfunc F() {\n" + // 3
+				"\t\tx = 1\n" + // 4
+				"\t\twaituntil(x >= ghost)\n" + // 5
+				"\t}\n}",
+			wantLine: 5,
+			wantMsg:  "waituntil:",
+		},
+		{
+			name: "bool compared to int",
+			src: "monitor M() {\n" + // 1
+				"\tvar f bool\n" + // 2
+				"\tfunc F(k int) {\n" + // 3
+				"\t\twaituntil(f == k)\n" + // 4
+				"\t}\n}",
+			wantLine: 4,
+			wantMsg:  "waituntil:",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := Parse(tc.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			_, err = Check(prog)
+			if err == nil {
+				t.Fatal("Check accepted an ill-typed waituntil")
+			}
+			var perr *Error
+			if !errors.As(err, &perr) {
+				t.Fatalf("error is %T, want *preproc.Error: %v", err, err)
+			}
+			if perr.Pos.Line != tc.wantLine {
+				t.Errorf("error at line %d, want %d: %v", perr.Pos.Line, tc.wantLine, err)
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Errorf("error %q does not mention %q", err, tc.wantMsg)
+			}
+		})
+	}
+}

@@ -1,0 +1,194 @@
+package problems
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/expr"
+)
+
+// loadManifest parses the checked-in predicate inventory.
+func loadManifest(t *testing.T) []codegen.Input {
+	t.Helper()
+	src, err := os.ReadFile("preds.manifest")
+	if err != nil {
+		t.Fatalf("read manifest: %v", err)
+	}
+	inputs, err := codegen.ParseManifest("preds.manifest", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inputs
+}
+
+// TestGeneratedFileUpToDate is the in-repo drift gate for the registry's
+// generated evaluators: zz_generated_preds.go must be byte-identical to
+// what the manifest generates today.
+func TestGeneratedFileUpToDate(t *testing.T) {
+	want, err := codegen.Generate(codegen.Options{
+		Pkg:    "problems",
+		Source: "minisynchc -manifest preds.manifest",
+	}, loadManifest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile("zz_generated_preds.go")
+	if err != nil {
+		t.Fatalf("read generated file: %v", err)
+	}
+	if string(got) != want {
+		t.Error("zz_generated_preds.go is stale; run `go generate ./internal/problems`")
+	}
+}
+
+// TestGeneratedManifestDifferential compiles every manifest predicate on a
+// generated-dispatch monitor and a closure-interpreter monitor with the
+// manifest's own shared declarations, then pins result, entry canon, and
+// tags to each other — and the result to the AST oracle — over fuzzed
+// shared states and bindings. This is the registry half of the keystone
+// differential (internal/codegen carries the fuzzed-corpus half).
+func TestGeneratedManifestDifferential(t *testing.T) {
+	rng := xorshift64(0xabcde)
+	trials := 32
+	if testing.Short() {
+		trials = 8
+	}
+	for _, in := range loadManifest(t) {
+		in := in
+		t.Run(in.Monitor, func(t *testing.T) {
+			gm := core.New()
+			fm := core.New(core.WithoutGenerated())
+			gInts := map[string]*core.IntCell{}
+			gBools := map[string]*core.BoolCell{}
+			fInts := map[string]*core.IntCell{}
+			fBools := map[string]*core.BoolCell{}
+			for _, v := range in.Shared {
+				if v.Bool {
+					gBools[v.Name] = gm.NewBool(v.Name, false)
+					fBools[v.Name] = fm.NewBool(v.Name, false)
+				} else {
+					gInts[v.Name] = gm.NewInt(v.Name, 0)
+					fInts[v.Name] = fm.NewInt(v.Name, 0)
+				}
+			}
+			for _, src := range in.Preds {
+				gp, err := gm.Compile(src)
+				if err != nil {
+					t.Fatalf("compile %q: %v", src, err)
+				}
+				fp, err := fm.Compile(src)
+				if err != nil {
+					t.Fatalf("compile %q (fallback): %v", src, err)
+				}
+				if !gp.Generated() {
+					t.Errorf("%q: no generated evaluator bound (manifest drift?)", src)
+					continue
+				}
+				spec := fp.GenSpec()
+				node := expr.MustParse(src)
+				for trial := 0; trial < trials; trial++ {
+					env := map[string]expr.Value{}
+					for name, c := range gInts {
+						v := int64(rng.intn(9) - 2)
+						c.Set(v)
+						fInts[name].Set(v)
+						env[name] = expr.IntValue(v)
+					}
+					for name, c := range gBools {
+						v := rng.intn(2) == 1
+						c.Set(v)
+						fBools[name].Set(v)
+						env[name] = expr.BoolValue(v)
+					}
+					binds := make([]core.Binding, 0, len(spec.Locals))
+					for _, l := range spec.Locals {
+						if l.Bool {
+							v := rng.intn(2) == 1
+							binds = append(binds, core.BindBool(l.Name, v))
+							env[l.Name] = expr.BoolValue(v)
+						} else {
+							v := int64(rng.intn(9) - 2)
+							binds = append(binds, core.BindInt(l.Name, v))
+							env[l.Name] = expr.IntValue(v)
+						}
+					}
+					gotGen, gErr := gm.ProbeEntry(gp, binds...)
+					gotInt, fErr := fm.ProbeEntry(fp, binds...)
+					if (gErr != nil) != (fErr != nil) {
+						t.Fatalf("%q: probe errors diverge: %v vs %v", src, gErr, fErr)
+					}
+					if gErr != nil {
+						continue
+					}
+					if gotGen.Fast != gotInt.Fast || gotGen.Eval != gotInt.Eval ||
+						gotGen.Folded != gotInt.Folded || gotGen.Canon != gotInt.Canon {
+						t.Fatalf("%q: generated %+v != interpreted %+v (env %v)", src, gotGen, gotInt, env)
+					}
+					if len(gotGen.Tags) != len(gotInt.Tags) {
+						t.Fatalf("%q: tag count %d != %d", src, len(gotGen.Tags), len(gotInt.Tags))
+					}
+					for i := range gotGen.Tags {
+						if gotGen.Tags[i].String() != gotInt.Tags[i].String() {
+							t.Fatalf("%q: tag[%d] %s != %s", src, i, gotGen.Tags[i], gotInt.Tags[i])
+						}
+					}
+					want, err := expr.EvalBool(node, expr.MapEnv(env))
+					if err != nil {
+						if errors.Is(err, expr.ErrDivByZero) {
+							continue
+						}
+						t.Fatalf("%q: oracle: %v", src, err)
+					}
+					if gotGen.Eval != want {
+						t.Fatalf("%q: generated eval %t, oracle %t (env %v)", src, gotGen.Eval, want, env)
+					}
+				}
+			}
+			if s := gm.Stats(); s.GenMisses != 0 {
+				t.Errorf("manifest monitor %q recorded %d generated-dispatch misses", in.Monitor, s.GenMisses)
+			}
+		})
+	}
+}
+
+// TestGeneratedRegistryCoverage runs every registered scenario on the full
+// automatic mechanism and asserts the generated dispatch path actually
+// served it: every statically-known predicate must bind a generated
+// evaluator (GenMisses == 0), and only the scenarios that build predicate
+// sources dynamically with fmt.Sprintf are allowed to fall back.
+func TestGeneratedRegistryCoverage(t *testing.T) {
+	// Predicates formatted per-instance at runtime; the registry cannot
+	// know them statically, so the closure interpreter serves them.
+	dynamic := map[string]bool{
+		"dining-philosophers": true, // "!c%d && !c%d" per seat
+		"sharded-kv":          true, // "v%d >= r" etc. per key/pair
+		"watch-service":       true, // "v%d >= want" per watched key
+	}
+	const threads, totalOps = 6, 360
+	for _, name := range Names() {
+		spec := MustLookup(name)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res := spec.Runner(AutoSynch, threads, totalOps)
+			if res.Check != 0 {
+				t.Fatalf("conservation check = %d, want 0", res.Check)
+			}
+			s := res.Stats
+			if dynamic[name] {
+				if s.GenMisses == 0 {
+					t.Errorf("expected dynamic predicates to miss generated dispatch (GenMisses = 0)")
+				}
+				return
+			}
+			if s.GenPreds == 0 {
+				t.Errorf("no generated evaluators bound (GenPreds = 0); manifest out of date?")
+			}
+			if s.GenMisses != 0 {
+				t.Errorf("%d predicates missed generated dispatch; manifest signatures drifted", s.GenMisses)
+			}
+		})
+	}
+}

@@ -1,0 +1,11 @@
+package problems
+
+// zz_generated_preds.go holds the generated evaluators for every static
+// predicate the scenario registry compiles (inventory: preds.manifest).
+// Linking this package is what turns the registry's monitors onto the
+// generated dispatch path; the differential tests in this package pin the
+// generated evaluators and tags to the closure interpreter, and the CI
+// drift gate (`go generate ./... && git diff --exit-code`) keeps the file
+// in lock-step with the manifest.
+
+//go:generate go run repro/cmd/minisynchc -manifest -pkg problems -o zz_generated_preds.go preds.manifest
