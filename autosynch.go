@@ -160,6 +160,45 @@
 // observed; a waiter may still return nil if its predicate became true
 // before the cancellation was delivered.
 //
+// # Deadlines
+//
+// Every wait also has a deadline-shaped variant, the timer peer of the
+// context forms: Monitor.AwaitDeadline/AwaitTimeout (and the
+// AwaitPredDeadline / AwaitFuncDeadline / AwaitFuncTimeout spellings on
+// every mechanism), Predicate.AwaitDeadline, Cond.AwaitDeadline, and
+// Wait.Deadline/Timeout on an armed handle. If the predicate has not
+// become true by the deadline the wait returns ErrDeadline — holding the
+// monitor, fully unregistered, with the same relay-invariance repair as
+// cancellation; an expiry observed on wake-up likewise takes priority
+// even if the predicate just became true. Use a deadline when the give-up
+// time is known in advance ("acquire a connection within 50ms"): it costs
+// no context allocation and no watcher goroutine, because all of a
+// monitor's deadlines ride one timer wheel whose single service goroutine
+// starts on demand and exits when no deadline is pending. Use AwaitCtx
+// when cancellation is driven by an external event or an inherited
+// request context.
+//
+// # Wake policies and starvation accounting
+//
+// When several waiters are eligible at once, the runtime normally wakes
+// the first one the tag-pruned relay search happens to visit — cheapest,
+// but unspecified. WithPolicy makes the choice explicit: FIFO wakes the
+// longest-registered eligible waiter (bounded bypass, predictable tail
+// latency), LIFO the newest (deepest cache affinity, unbounded bypass),
+// and Priority(rank) the highest-ranked, computing each waiter's rank
+// from its binding snapshot at registration time (sound because locals
+// cannot change while a thread waits — Proposition 1). A policy-governed
+// relay scan compares every eligible waiter instead of stopping at the
+// first, so it costs the exhaustive search of AutoSynch-T; leave the
+// policy nil where throughput matters more than wake order.
+// Predicate.UsePolicy overrides the pick among that predicate's own
+// waiters. Fairness becomes measurable alongside: Stats.MaxWaitNs tracks
+// the longest completed wait, WithStarvationThreshold makes Stats.Starved
+// count completions that waited longer than the threshold, and
+// Stats.PolicyWakes counts signals whose target a policy chose — under a
+// priority storm, FIFO shows bounded MaxWaitNs while Priority shows
+// nonzero Starved, which is exactly the trade the policy names.
+//
 // # Mechanisms
 //
 // Three mechanisms from the paper make automatic signaling efficient:
@@ -201,8 +240,10 @@ package autosynch
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/policy"
 )
 
 // Monitor is an automatic-signal monitor; see the package documentation.
@@ -305,6 +346,11 @@ var ErrClaimed = core.ErrClaimed
 // ErrCancelled is reported by Wait.Err and Wait.Claim after Wait.Cancel.
 var ErrCancelled = core.ErrCancelled
 
+// ErrDeadline is returned by the deadline-aware waits (AwaitDeadline,
+// AwaitTimeout, AwaitFuncDeadline, …) and reported by an armed handle
+// whose Wait.Deadline passed before it was claimed.
+var ErrDeadline = core.ErrDeadline
+
 // ErrNoCases is returned by Select when no guard case was supplied.
 var ErrNoCases = core.ErrNoCases
 
@@ -405,3 +451,28 @@ func WithInactiveLimit(n int) Option { return core.WithInactiveLimit(n) }
 
 // WithDNFLimit bounds the DNF blow-up allowed per predicate.
 func WithDNFLimit(n int) Option { return core.WithDNFLimit(n) }
+
+// Policy is a pluggable wake policy: when several waiters are eligible,
+// it decides which one a signal picks. See the package documentation
+// ("Wake policies and starvation accounting") for the trade-offs.
+type Policy = policy.Policy
+
+// FIFO wakes the longest-registered eligible waiter (bounded bypass).
+var FIFO = policy.FIFO
+
+// LIFO wakes the most recently registered eligible waiter.
+var LIFO = policy.LIFO
+
+// Priority builds a policy that wakes the highest-ranked eligible
+// waiter, computing each waiter's rank from its binding snapshot (by
+// local-variable name) at registration time; ties break FIFO.
+func Priority(rank func(binds map[string]int64) int64) Policy { return policy.Priority(rank) }
+
+// WithPolicy selects the monitor's wake policy; nil (the default) keeps
+// the unspecified first-found pick of the plain relay search.
+func WithPolicy(p Policy) Option { return core.WithPolicy(p) }
+
+// WithStarvationThreshold makes Stats.Starved count completed waits that
+// waited longer than d; zero disables the counter (Stats.MaxWaitNs is
+// tracked regardless).
+func WithStarvationThreshold(d time.Duration) Option { return core.WithStarvationThreshold(d) }

@@ -40,6 +40,7 @@ type options struct {
 	shards       int
 	maxIdle      int
 	maxSessions  int
+	idleExpiry   time.Duration
 	churners     int
 	churnEvery   time.Duration
 	publishers   int
@@ -83,6 +84,9 @@ func (o options) validate(set map[string]bool) error {
 	if o.churnEvery < 0 || o.publishEvery < 0 {
 		return fmt.Errorf("-churn-every and -publish-every must be non-negative")
 	}
+	if o.idleExpiry < 0 {
+		return fmt.Errorf("-idle-expiry must be non-negative (0 disables the idle deadline)")
+	}
 	if o.out == "" {
 		return fmt.Errorf("-out must name a file")
 	}
@@ -112,6 +116,7 @@ func (o options) soakConfig() watchd.SoakConfig {
 			Shards:      o.shards,
 			MaxIdle:     o.maxIdle,
 			MaxSessions: o.maxSessions,
+			IdleExpiry:  o.idleExpiry,
 		},
 		Sessions:     o.sessions,
 		Duration:     o.duration,
@@ -133,6 +138,7 @@ type report struct {
 		Shards       int    `json:"shards,omitempty"`
 		MaxIdle      int    `json:"max_idle"`
 		MaxSessions  int    `json:"max_sessions,omitempty"`
+		IdleExpiryNs int64  `json:"idle_expiry_ns,omitempty"`
 		Churners     int    `json:"churners,omitempty"`
 		Publishers   int    `json:"publishers,omitempty"`
 		Seed         int64  `json:"seed,omitempty"`
@@ -150,6 +156,7 @@ func main() {
 	flag.IntVar(&o.shards, "shards", 0, "monitor shard count (0: daemon default)")
 	flag.IntVar(&o.maxIdle, "max-idle", 0, "armed-session threshold before LRU eviction (0: 7/8 of -sessions)")
 	flag.IntVar(&o.maxSessions, "max-sessions", 0, "admission-control session limit (0: headroom above -sessions)")
+	flag.DurationVar(&o.idleExpiry, "idle-expiry", 0, "idle deadline before a session expires with ErrExpired (0: disabled)")
 	flag.IntVar(&o.churners, "churners", 0, "session-replacement generators (0: soak default)")
 	flag.DurationVar(&o.churnEvery, "churn-every", 0, "per-churner replacement pacing (0: soak default)")
 	flag.IntVar(&o.publishers, "publishers", 0, "version-bump generators (0: soak default)")
@@ -208,6 +215,7 @@ func run(o options, w *os.File) int {
 		rep.Config.Shards = o.shards
 		rep.Config.MaxIdle = o.maxIdle
 		rep.Config.MaxSessions = o.maxSessions
+		rep.Config.IdleExpiryNs = int64(o.idleExpiry)
 		rep.Config.Churners = o.churners
 		rep.Config.Publishers = o.publishers
 		rep.Config.Seed = o.seed

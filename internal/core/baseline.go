@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"repro/internal/policy"
 )
 
 // Baseline is the reference automatic-signal monitor of the paper's
@@ -27,6 +29,11 @@ type Baseline struct {
 	in      bool
 	waiting int // registered waiters: parked Awaits plus armed handles
 	stats   Stats
+
+	pol      policy.Policy // wake policy: accounting only (broadcasts wake everyone)
+	starveNs int64         // starvation threshold; 0 disables Starved
+	seq      uint64        // arrival counter for armed handles
+	wheel    *timerWheel   // deadline wheel, created on first deadline'd wait
 }
 
 // NewBaseline constructs a baseline monitor. Profiling enables the lock
@@ -36,7 +43,7 @@ func NewBaseline(opts ...Option) *Baseline {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	b := &Baseline{profile: cfg.profile}
+	b := &Baseline{profile: cfg.profile, pol: cfg.policy, starveNs: cfg.starveNs}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
@@ -84,7 +91,7 @@ func (b *Baseline) Do(f func()) {
 // state and the caller's locals. Before each wait the monitor broadcasts,
 // because the caller may have changed the state since entering.
 func (b *Baseline) Await(pred func() bool) {
-	_ = b.await(nil, pred)
+	_ = b.await(nil, time.Time{}, pred)
 }
 
 // AwaitCtx is Await with cancellation: if ctx is done before the
@@ -92,22 +99,39 @@ func (b *Baseline) Await(pred func() bool) {
 // holding the monitor (the baseline's broadcast discipline needs no
 // further repair — every state change wakes every waiter anyway).
 func (b *Baseline) AwaitCtx(ctx context.Context, pred func() bool) error {
-	return b.await(ctx, pred)
+	return b.await(ctx, time.Time{}, pred)
 }
 
 // AwaitFunc and AwaitFuncCtx adapt Await to the Mechanism interface.
-func (b *Baseline) AwaitFunc(pred func() bool) { _ = b.await(nil, pred) }
+func (b *Baseline) AwaitFunc(pred func() bool) { _ = b.await(nil, time.Time{}, pred) }
 
 // AwaitFuncCtx is AwaitCtx under the Mechanism interface's name.
 func (b *Baseline) AwaitFuncCtx(ctx context.Context, pred func() bool) error {
-	return b.await(ctx, pred)
+	return b.await(ctx, time.Time{}, pred)
 }
 
-// ctxWaiter is the cancellation state of one baseline AwaitCtx waiter.
-// Both fields are written and read only under the monitor lock.
+// AwaitFuncDeadline is AwaitFunc with an absolute deadline: if the
+// predicate has not become true by then the waiter gives up and returns
+// ErrDeadline, still holding the monitor. The expiry rides the monitor's
+// timer wheel — one goroutine for every pending deadline, started on
+// demand — and, like cancellation, wins a race against the predicate
+// once observed.
+func (b *Baseline) AwaitFuncDeadline(deadline time.Time, pred func() bool) error {
+	return b.await(nil, deadline, pred)
+}
+
+// AwaitFuncTimeout is AwaitFuncDeadline with a relative duration.
+func (b *Baseline) AwaitFuncTimeout(d time.Duration, pred func() bool) error {
+	return b.await(nil, time.Now().Add(d), pred)
+}
+
+// ctxWaiter is the give-up state of one cond-parked waiter with a
+// context or a deadline. All fields are written and read only under the
+// monitor lock.
 type ctxWaiter struct {
-	cancelled bool // the watcher observed ctx.Done before the wait finished
-	finished  bool // the wait completed normally; the watcher must not act
+	cancelled bool  // a watcher (ctx or deadline) fired before the wait finished
+	finished  bool  // the wait completed normally; watchers must not act
+	err       error // the error to return: ctx.Err() or ErrDeadline
 }
 
 // watchCtx spawns the cancellation watcher for one cond-parked waiter:
@@ -123,8 +147,9 @@ func watchCtx(ctx context.Context, mu *sync.Mutex, cw *ctxWaiter, wake *sync.Con
 		select {
 		case <-ctx.Done():
 			mu.Lock()
-			if !cw.finished {
+			if !cw.finished && !cw.cancelled {
 				cw.cancelled = true
+				cw.err = ctx.Err()
 				wake.Broadcast()
 			}
 			mu.Unlock()
@@ -134,7 +159,24 @@ func watchCtx(ctx context.Context, mu *sync.Mutex, cw *ctxWaiter, wake *sync.Con
 	return func() { close(ch) }
 }
 
-func (b *Baseline) await(ctx context.Context, pred func() bool) error {
+// watchDeadline arms a wheel item that marks the waiter expired and
+// broadcasts when the deadline passes first. The caller defers the
+// returned stop, which runs holding mu — the lock order (monitor lock,
+// then wheel lock) matches every other wheel call.
+func watchDeadline(tw *timerWheel, deadline time.Time, mu *sync.Mutex, cw *ctxWaiter, wake *sync.Cond) (stop func()) {
+	it := tw.add(deadline, func() {
+		mu.Lock()
+		if !cw.finished && !cw.cancelled {
+			cw.cancelled = true
+			cw.err = ErrDeadline
+			wake.Broadcast()
+		}
+		mu.Unlock()
+	})
+	return it.stop
+}
+
+func (b *Baseline) await(ctx context.Context, deadline time.Time, pred func() bool) error {
 	if !b.in {
 		panic("autosynch: Await outside the monitor; call Enter first")
 	}
@@ -143,6 +185,10 @@ func (b *Baseline) await(ctx context.Context, pred func() bool) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+	}
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		b.stats.Expired++
+		return ErrDeadline
 	}
 	if pred() {
 		b.stats.FastPath++
@@ -153,6 +199,13 @@ func (b *Baseline) await(ctx context.Context, pred func() bool) error {
 		cw = &ctxWaiter{}
 		defer watchCtx(ctx, &b.mu, cw, b.cond)()
 	}
+	if !deadline.IsZero() {
+		if cw == nil {
+			cw = &ctxWaiter{}
+		}
+		defer watchDeadline(b.timers(), deadline, &b.mu, cw, b.cond)()
+	}
+	since := time.Now().UnixNano()
 	b.waiting++
 	for {
 		b.broadcastLocked()
@@ -164,10 +217,13 @@ func (b *Baseline) await(ctx context.Context, pred func() bool) error {
 			b.cond.Wait()
 		}
 		if cw != nil && cw.cancelled {
+			if cw.err == ErrDeadline {
+				b.stats.Expired++
+			}
 			b.stats.Abandons++
 			b.waiting--
 			b.in = true
-			return ctx.Err()
+			return cw.err
 		}
 		b.stats.Wakeups++
 		if pred() {
@@ -180,8 +236,37 @@ func (b *Baseline) await(ctx context.Context, pred func() bool) error {
 	if cw != nil {
 		cw.finished = true
 	}
+	b.observeWait(since)
 	return nil
 }
+
+// observeWait folds a completed wait's duration into the fairness
+// counters. Runs under the monitor lock.
+func (b *Baseline) observeWait(since int64) {
+	if since == 0 {
+		return
+	}
+	ns := time.Now().UnixNano() - since
+	if ns > b.stats.MaxWaitNs {
+		b.stats.MaxWaitNs = ns
+	}
+	if b.starveNs > 0 && ns > b.starveNs {
+		b.stats.Starved++
+	}
+}
+
+// timers lazily creates the monitor's deadline wheel. Runs under the
+// monitor lock.
+func (b *Baseline) timers() *timerWheel {
+	if b.wheel == nil {
+		b.wheel = newTimerWheel()
+	}
+	return b.wheel
+}
+
+// statExpired counts a handle that ended at its deadline. Runs under the
+// monitor lock.
+func (b *Baseline) statExpired() { b.stats.Expired++ }
 
 // ArmFunc registers a closure-predicate waiter without blocking and
 // returns its handle: every broadcast (that is, every monitor exit)
@@ -194,6 +279,12 @@ func (b *Baseline) ArmFunc(pred func() bool) *Wait {
 	b.stats.Arms++
 	w := newWait(b)
 	w.pred = pred
+	b.seq++
+	w.seq = b.seq
+	w.since = time.Now().UnixNano()
+	if b.pol != nil {
+		w.rank = b.pol.Rank(nil)
+	}
 	b.armed.add(w)
 	b.waiting++
 	if pred() {
@@ -222,6 +313,7 @@ func (b *Baseline) claimLocked(w *Wait) error {
 	if w.pred() {
 		b.stats.Claims++
 		w.state = waitClaimed
+		b.observeWait(w.since)
 		b.armed.remove(w)
 		b.waiting--
 		b.in = true

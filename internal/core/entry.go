@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dnf"
 	"repro/internal/expr"
+	"repro/internal/policy"
 	"repro/internal/tag"
 )
 
@@ -31,6 +32,11 @@ type entry struct {
 	lruElem *list.Element // position in the inactive LRU, nil while active
 
 	funcOnly bool // one-shot AwaitFunc/ArmFunc entry; never cached
+
+	// policy is the per-predicate wake-policy override (Predicate.
+	// UsePolicy): it refines which of THIS entry's waiters a signal
+	// picks, taking precedence over the monitor policy within the entry.
+	policy policy.Policy
 }
 
 // signalable reports whether the entry has a waiter without a pending
@@ -47,6 +53,27 @@ func (e *entry) firstUnnotified() *Wait {
 		}
 	}
 	return nil
+}
+
+// pickUnnotified returns the waiter the given policy prefers among the
+// entry's unnotified waiters, or the first found when pol is nil. The
+// waiters slice uses swap-remove and so carries no arrival order; the
+// policy compares the monitor-global arrival seq (and precomputed rank)
+// captured on each Wait at registration.
+func (e *entry) pickUnnotified(pol policy.Policy) *Wait {
+	if pol == nil {
+		return e.firstUnnotified()
+	}
+	var best *Wait
+	for _, w := range e.waiters {
+		if w.notified {
+			continue
+		}
+		if best == nil || pol.Better(cand(w), cand(best)) {
+			best = w
+		}
+	}
+	return best
 }
 
 // buildEntry compiles the globalized predicate and analyzes its tags.

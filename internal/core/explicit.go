@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"repro/internal/policy"
 )
 
 // Explicit is the instrumented explicit-signal monitor: a mutex with
@@ -34,6 +36,11 @@ type Explicit struct {
 	any        *sync.Cond
 	anyWaiters int
 	anyArmed   waitList
+
+	pol      policy.Policy // wake policy for armed-handle Signal picks
+	starveNs int64         // starvation threshold; 0 disables Starved
+	seq      uint64        // arrival counter for armed handles
+	wheel    *timerWheel   // deadline wheel, created on first deadline'd wait
 }
 
 // NewExplicit constructs an explicit-signal monitor.
@@ -42,7 +49,7 @@ func NewExplicit(opts ...Option) *Explicit {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	e := &Explicit{profile: cfg.profile}
+	e := &Explicit{profile: cfg.profile, pol: cfg.policy, starveNs: cfg.starveNs}
 	e.any = sync.NewCond(&e.mu)
 	return e
 }
@@ -94,16 +101,31 @@ func (e *Explicit) notifyAny() {
 // signaled — use NewCond and precise signals in real explicit-monitor
 // code.
 func (e *Explicit) AwaitFunc(pred func() bool) {
-	_ = e.awaitAny(nil, pred)
+	_ = e.awaitAny(nil, time.Time{}, pred)
 }
 
 // AwaitFuncCtx is AwaitFunc with cancellation; on a done context the
 // waiter returns ctx.Err() still holding the monitor.
 func (e *Explicit) AwaitFuncCtx(ctx context.Context, pred func() bool) error {
-	return e.awaitAny(ctx, pred)
+	return e.awaitAny(ctx, time.Time{}, pred)
 }
 
-func (e *Explicit) awaitAny(ctx context.Context, pred func() bool) error {
+// AwaitFuncDeadline is AwaitFunc with an absolute deadline: if the
+// predicate has not become true by then the waiter gives up and returns
+// ErrDeadline, still holding the monitor. The expiry broadcast wakes the
+// condition's other waiters too, which re-check and re-park as after any
+// broadcast; like cancellation, an observed expiry wins a race against
+// the predicate becoming true.
+func (e *Explicit) AwaitFuncDeadline(deadline time.Time, pred func() bool) error {
+	return e.awaitAny(nil, deadline, pred)
+}
+
+// AwaitFuncTimeout is AwaitFuncDeadline with a relative duration.
+func (e *Explicit) AwaitFuncTimeout(d time.Duration, pred func() bool) error {
+	return e.awaitAny(nil, time.Now().Add(d), pred)
+}
+
+func (e *Explicit) awaitAny(ctx context.Context, deadline time.Time, pred func() bool) error {
 	if !e.in {
 		panic("autosynch: AwaitFunc outside the monitor; call Enter first")
 	}
@@ -113,24 +135,35 @@ func (e *Explicit) awaitAny(ctx context.Context, pred func() bool) error {
 			return err
 		}
 	}
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		e.stats.Expired++
+		return ErrDeadline
+	}
 	if pred() {
 		e.stats.FastPath++
 		return nil
 	}
 	e.anyWaiters++
 	defer func() { e.anyWaiters-- }()
-	return e.waitLoop(ctx, e.any, pred)
+	return e.waitLoop(ctx, deadline, e.any, pred)
 }
 
 // waitLoop is the shared wake/re-check loop for Cond.Await and AwaitFunc,
-// with optional context cancellation. Runs (and returns) with the monitor
-// lock held.
-func (e *Explicit) waitLoop(ctx context.Context, cond *sync.Cond, pred func() bool) error {
+// with optional context cancellation and deadline expiry. Runs (and
+// returns) with the monitor lock held.
+func (e *Explicit) waitLoop(ctx context.Context, deadline time.Time, cond *sync.Cond, pred func() bool) error {
 	var cw *ctxWaiter
 	if ctx != nil && ctx.Done() != nil {
 		cw = &ctxWaiter{}
 		defer watchCtx(ctx, &e.mu, cw, cond)()
 	}
+	if !deadline.IsZero() {
+		if cw == nil {
+			cw = &ctxWaiter{}
+		}
+		defer watchDeadline(e.timers(), deadline, &e.mu, cw, cond)()
+	}
+	since := time.Now().UnixNano()
 	e.waiting++
 	for {
 		if e.profile {
@@ -141,10 +174,13 @@ func (e *Explicit) waitLoop(ctx context.Context, cond *sync.Cond, pred func() bo
 			cond.Wait()
 		}
 		if cw != nil && cw.cancelled {
+			if cw.err == ErrDeadline {
+				e.stats.Expired++
+			}
 			e.stats.Abandons++
 			e.waiting--
 			e.in = true
-			return ctx.Err()
+			return cw.err
 		}
 		e.stats.Wakeups++
 		if pred() {
@@ -157,8 +193,37 @@ func (e *Explicit) waitLoop(ctx context.Context, cond *sync.Cond, pred func() bo
 	if cw != nil {
 		cw.finished = true
 	}
+	e.observeWait(since)
 	return nil
 }
+
+// observeWait folds a completed wait's duration into the fairness
+// counters. Runs under the monitor lock.
+func (e *Explicit) observeWait(since int64) {
+	if since == 0 {
+		return
+	}
+	ns := time.Now().UnixNano() - since
+	if ns > e.stats.MaxWaitNs {
+		e.stats.MaxWaitNs = ns
+	}
+	if e.starveNs > 0 && ns > e.starveNs {
+		e.stats.Starved++
+	}
+}
+
+// timers lazily creates the monitor's deadline wheel. Runs under the
+// monitor lock.
+func (e *Explicit) timers() *timerWheel {
+	if e.wheel == nil {
+		e.wheel = newTimerWheel()
+	}
+	return e.wheel
+}
+
+// statExpired counts a handle that ended at its deadline. Runs under the
+// monitor lock.
+func (e *Explicit) statExpired() { e.stats.Expired++ }
 
 // ArmFunc registers a generic any-signal waiter without blocking and
 // returns its handle: any manual Signal or Broadcast on any of the
@@ -177,6 +242,12 @@ func (e *Explicit) armOn(l *waitList, pred func() bool) *Wait {
 	e.stats.Arms++
 	w := newWait(e)
 	w.pred = pred
+	e.seq++
+	w.seq = e.seq
+	w.since = time.Now().UnixNano()
+	if e.pol != nil {
+		w.rank = e.pol.Rank(nil)
+	}
 	l.add(w)
 	e.waiting++
 	if pred() {
@@ -207,6 +278,7 @@ func (e *Explicit) claimLocked(w *Wait) error {
 	if w.pred() {
 		e.stats.Claims++
 		w.state = waitClaimed
+		e.observeWait(w.since)
 		w.list.remove(w)
 		e.waiting--
 		e.in = true
@@ -264,7 +336,7 @@ func (e *Explicit) NewCond() *Cond {
 // Await blocks until pred() holds, re-checking after every wake-up — the
 // standard while-loop idiom around Condition.await.
 func (c *Cond) Await(pred func() bool) {
-	_ = c.await(nil, pred)
+	_ = c.await(nil, time.Time{}, pred)
 }
 
 // AwaitCtx is Await with cancellation: a waiter whose context is done
@@ -272,10 +344,21 @@ func (c *Cond) Await(pred func() bool) {
 // the monitor. The cancellation wakes the condition's other waiters too;
 // they re-check their predicates and park again, as after any broadcast.
 func (c *Cond) AwaitCtx(ctx context.Context, pred func() bool) error {
-	return c.await(ctx, pred)
+	return c.await(ctx, time.Time{}, pred)
 }
 
-func (c *Cond) await(ctx context.Context, pred func() bool) error {
+// AwaitDeadline is Await with an absolute deadline; see
+// Explicit.AwaitFuncDeadline for the expiry semantics.
+func (c *Cond) AwaitDeadline(deadline time.Time, pred func() bool) error {
+	return c.await(nil, deadline, pred)
+}
+
+// AwaitTimeout is AwaitDeadline with a relative duration.
+func (c *Cond) AwaitTimeout(d time.Duration, pred func() bool) error {
+	return c.await(nil, time.Now().Add(d), pred)
+}
+
+func (c *Cond) await(ctx context.Context, deadline time.Time, pred func() bool) error {
 	if !c.m.in {
 		panic("autosynch: Cond.Await outside the monitor; call Enter first")
 	}
@@ -285,11 +368,15 @@ func (c *Cond) await(ctx context.Context, pred func() bool) error {
 			return err
 		}
 	}
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		c.m.stats.Expired++
+		return ErrDeadline
+	}
 	if pred() {
 		c.m.stats.FastPath++
 		return nil
 	}
-	return c.m.waitLoop(ctx, c.cond, pred)
+	return c.m.waitLoop(ctx, deadline, c.cond, pred)
 }
 
 // Arm registers a waiter on this condition without blocking and returns
@@ -311,7 +398,9 @@ func (c *Cond) Arm(pred func() bool) *Wait {
 func (c *Cond) Signal() {
 	c.m.stats.Signals++
 	c.cond.Signal()
-	c.armed.signalOne()
+	if c.armed.signalOne(c.m.pol) && c.m.pol != nil {
+		c.m.stats.PolicyWakes++
+	}
 	c.m.notifyAny()
 }
 

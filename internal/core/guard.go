@@ -1,6 +1,9 @@
 package core
 
-import "context"
+import (
+	"context"
+	"time"
+)
 
 // Guard is a guarded region: the paper's waituntil-guarded critical
 // section reified as a first-class value. Where the primitive API makes
@@ -136,7 +139,7 @@ func (e *Explicit) WhenFunc(pred func() bool) *Guard { return whenFunc(e, pred) 
 func (c *Cond) When(pred func() bool) *Guard {
 	return &Guard{
 		mech:  c.m,
-		await: func(ctx context.Context) error { return c.await(ctx, pred) },
+		await: func(ctx context.Context) error { return c.await(ctx, time.Time{}, pred) },
 		try:   func() bool { return c.m.TryFunc(pred) },
 		arm:   func() *Wait { return c.Arm(pred) },
 	}
@@ -156,7 +159,7 @@ func (m *Monitor) When(p *Predicate, binds ...Binding) *Guard {
 	if g.err = m.vetPred(p, bs); g.err != nil {
 		return g
 	}
-	g.await = func(ctx context.Context) error { return m.awaitPred(ctx, p, bs) }
+	g.await = func(ctx context.Context) error { return m.awaitPred(ctx, time.Time{}, p, bs) }
 	g.try = func() bool {
 		ok, err := m.tryPred(p, bs)
 		return err == nil && ok

@@ -2,8 +2,10 @@ package core
 
 import (
 	"container/list"
+	"time"
 
 	"repro/internal/expr"
+	"repro/internal/policy"
 	"repro/internal/tag"
 )
 
@@ -207,15 +209,66 @@ func (cm *condManager) relaySignal() {
 		return
 	}
 	start := cm.m.profileStart()
-	e := cm.findTrue()
-	if e != nil {
-		w := e.firstUnnotified()
+	var w *Wait
+	if pol := cm.m.cfg.policy; pol != nil {
+		w = cm.policyPick(pol)
+	} else if e := cm.findTrue(); e != nil {
+		// Per-predicate policies still apply without a monitor policy:
+		// the tag-pruned search picks the entry, the entry's own policy
+		// picks the waiter within it.
+		w = e.pickUnnotified(e.policy)
+	}
+	if w != nil {
 		w.viaRelay = true
 		cm.pending++
 		cm.m.stats.Signals++
+		if cm.m.cfg.policy != nil || w.e.policy != nil {
+			cm.m.stats.PolicyWakes++
+		}
 		cm.notify(w)
 	}
 	cm.m.profileEndRelay(start)
+}
+
+// policyPick is the exhaustive relay scan used when a monitor-wide wake
+// policy is configured. Tag pruning is built to find *a* true waiter
+// early, but a policy must compare *all* of them, so the scan visits
+// every active entry — the predicate table plus the closure entries of
+// the None list (closure entries are never in the table) — evaluates
+// each signalable one, and keeps the policy-best eligible waiter. A
+// per-entry override governs the pick within its entry; the monitor
+// policy arbitrates across entries.
+func (cm *condManager) policyPick(pol policy.Policy) *Wait {
+	var best *Wait
+	consider := func(e *entry) {
+		if !e.signalable() {
+			return
+		}
+		cm.m.stats.PredicateEvals++
+		if !e.evalFn() {
+			return
+		}
+		epol := e.policy
+		if epol == nil {
+			epol = pol
+		}
+		w := e.pickUnnotified(epol)
+		if w == nil {
+			return
+		}
+		if best == nil || pol.Better(cand(w), cand(best)) {
+			best = w
+		}
+	}
+	for _, e := range cm.table {
+		consider(e)
+	}
+	for _, e := range cm.none {
+		if e.funcOnly {
+			consider(e)
+		}
+	}
+	return best
 }
 
 // notify delivers a notification to one waiter, keeping the entry's
@@ -226,8 +279,19 @@ func (cm *condManager) notify(w *Wait) {
 }
 
 // register attaches a waiter to its entry and updates the per-group
-// waiter totals and the monitor-wide Waiting count.
+// waiter totals and the monitor-wide Waiting count. First registration
+// stamps the waiter's arrival seq (the FIFO/LIFO sort key — the waiters
+// slice itself is swap-removed and order-free) and its wait-start time;
+// both survive futile-wake re-registration so a policy cannot demote a
+// waiter for having been woken uselessly.
 func (cm *condManager) register(w *Wait) {
+	if w.seq == 0 {
+		cm.m.seq++
+		w.seq = cm.m.seq
+	}
+	if w.since == 0 {
+		w.since = time.Now().UnixNano()
+	}
 	e := w.e
 	w.idx = len(e.waiters)
 	e.waiters = append(e.waiters, w)

@@ -1,6 +1,9 @@
 package core
 
-import "context"
+import (
+	"context"
+	"time"
+)
 
 // Mechanism is the driving surface shared by the three monitor types —
 // Monitor (and its AutoSynch-T variant), Baseline, and Explicit — so
@@ -30,6 +33,16 @@ type Mechanism interface {
 	// the context is done, still holding the monitor.
 	AwaitFunc(pred func() bool)
 	AwaitFuncCtx(ctx context.Context, pred func() bool) error
+
+	// AwaitFuncDeadline and AwaitFuncTimeout are the timer-shaped peers
+	// of AwaitFuncCtx: if the predicate has not become true by the
+	// deadline, the wait is abandoned with ErrDeadline, still holding
+	// the monitor. Expiries ride a per-monitor timer wheel (one service
+	// goroutine for all pending deadlines, none when idle) rather than a
+	// context and goroutine per wait, and an observed expiry wins a race
+	// against the predicate becoming true, exactly like cancellation.
+	AwaitFuncDeadline(deadline time.Time, pred func() bool) error
+	AwaitFuncTimeout(d time.Duration, pred func() bool) error
 
 	// ArmFunc registers a waiter without blocking and returns its
 	// first-class handle: select on Ready, then Claim (re-validating

@@ -35,6 +35,9 @@ type Monitor struct {
 
 	waiting int // registered waiters: parked Awaits plus armed handles
 	stats   Stats
+
+	seq   uint64      // arrival counter stamped on waiters; policy sort key
+	wheel *timerWheel // deadline wheel, created on first deadline-aware wait
 }
 
 // New constructs a monitor.
@@ -157,7 +160,7 @@ func (m *Monitor) Do(f func()) {
 // binding mismatches, or a globalized predicate that is constant false
 // (errors.Is(err, ErrNeverTrue)); no error paths block.
 func (m *Monitor) Await(pred string, binds ...Binding) error {
-	return m.await(nil, pred, binds)
+	return m.await(nil, time.Time{}, pred, binds)
 }
 
 // AwaitCtx is Await with cancellation: if ctx is done before the predicate
@@ -172,10 +175,28 @@ func (m *Monitor) Await(pred string, binds ...Binding) error {
 // takes priority once observed: a waiter woken by a cancellation returns
 // ctx.Err() even if its predicate has just become true.
 func (m *Monitor) AwaitCtx(ctx context.Context, pred string, binds ...Binding) error {
-	return m.await(ctx, pred, binds)
+	return m.await(ctx, time.Time{}, pred, binds)
 }
 
-func (m *Monitor) await(ctx context.Context, pred string, binds []Binding) error {
+// AwaitDeadline is Await with an absolute deadline: if the predicate has
+// not become true by then, the waiter is abandoned and AwaitDeadline
+// returns ErrDeadline. Deadlines are the timer-shaped peer of AwaitCtx —
+// same return-holding-the-monitor contract, same unregistration and
+// relay-invariance repair, same priority rule (an expiry observed on
+// wake-up wins even if the predicate just became true) — but they are
+// served by a per-monitor timer wheel instead of a per-wait context, so
+// a deadline'd wait costs no extra goroutine. A deadline already in the
+// past fails immediately without evaluating the predicate.
+func (m *Monitor) AwaitDeadline(deadline time.Time, pred string, binds ...Binding) error {
+	return m.await(nil, deadline, pred, binds)
+}
+
+// AwaitTimeout is AwaitDeadline with a relative duration.
+func (m *Monitor) AwaitTimeout(d time.Duration, pred string, binds ...Binding) error {
+	return m.await(nil, time.Now().Add(d), pred, binds)
+}
+
+func (m *Monitor) await(ctx context.Context, deadline time.Time, pred string, binds []Binding) error {
 	if !m.in {
 		panic("autosynch: Await outside the monitor; call Enter first")
 	}
@@ -184,7 +205,7 @@ func (m *Monitor) await(ctx context.Context, pred string, binds []Binding) error
 		m.stats.Awaits++
 		return err
 	}
-	return m.awaitPred(ctx, p, binds)
+	return m.awaitPred(ctx, deadline, p, binds)
 }
 
 // AwaitPred waits on a predicate compiled with Compile or CompileExpr.
@@ -192,16 +213,22 @@ func (m *Monitor) await(ctx context.Context, pred string, binds []Binding) error
 // snapshots the bindings, checks the fast path, and enqueues — this is
 // the hot-path form of Await.
 func (m *Monitor) AwaitPred(p *Predicate, binds ...Binding) error {
-	return m.awaitPred(nil, p, binds)
+	return m.awaitPred(nil, time.Time{}, p, binds)
 }
 
 // AwaitPredCtx is AwaitPred with cancellation; see AwaitCtx for the
 // abandonment semantics.
 func (m *Monitor) AwaitPredCtx(ctx context.Context, p *Predicate, binds ...Binding) error {
-	return m.awaitPred(ctx, p, binds)
+	return m.awaitPred(ctx, time.Time{}, p, binds)
 }
 
-func (m *Monitor) awaitPred(ctx context.Context, p *Predicate, binds []Binding) error {
+// AwaitPredDeadline is AwaitPred with an absolute deadline; see
+// AwaitDeadline for the expiry semantics.
+func (m *Monitor) AwaitPredDeadline(deadline time.Time, p *Predicate, binds ...Binding) error {
+	return m.awaitPred(nil, deadline, p, binds)
+}
+
+func (m *Monitor) awaitPred(ctx context.Context, deadline time.Time, p *Predicate, binds []Binding) error {
 	if !m.in {
 		panic("autosynch: Await outside the monitor; call Enter first")
 	}
@@ -216,6 +243,10 @@ func (m *Monitor) awaitPred(ctx context.Context, p *Predicate, binds []Binding) 
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+	}
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		m.stats.Expired++
+		return ErrDeadline
 	}
 	if err := p.setBinds(binds); err != nil {
 		return err
@@ -234,14 +265,28 @@ func (m *Monitor) awaitPred(ctx context.Context, p *Predicate, binds []Binding) 
 		m.stats.FastPath++
 		return nil
 	}
-	return m.wait(ctx, e)
+	var rank int64
+	if e.policy != nil || m.cfg.policy != nil {
+		rank = m.rankFor(e, p.localsMap())
+	}
+	return m.wait(ctx, deadline, e, rank)
 }
 
 // entryFor resolves the predicate plus its current bindings to a
 // registered entry: the template fast path when the predicate fits the
 // template shape, otherwise globalization by substitution (Definition 2).
 // A nil entry with a nil error means the globalization folded to true.
+// The predicate's per-predicate wake policy, if any, is attached to the
+// entry here, so it governs every waiter sharing the entry.
 func (m *Monitor) entryFor(p *Predicate) (*entry, error) {
+	e, err := m.resolveEntry(p)
+	if e != nil && p.policy != nil {
+		e.policy = p.policy
+	}
+	return e, err
+}
+
+func (m *Monitor) resolveEntry(p *Predicate) (*entry, error) {
 	if p.tmpl != nil {
 		return m.templateEntry(p)
 	}
@@ -279,16 +324,27 @@ func (m *Monitor) entryFor(p *Predicate) (*entry, error) {
 // are opaque to tagging and are scanned exhaustively; prefer Await with a
 // predicate string where possible.
 func (m *Monitor) AwaitFunc(pred func() bool) {
-	_ = m.awaitFunc(nil, pred)
+	_ = m.awaitFunc(nil, time.Time{}, pred)
 }
 
 // AwaitFuncCtx is AwaitFunc with cancellation; see AwaitCtx for the
 // abandonment semantics.
 func (m *Monitor) AwaitFuncCtx(ctx context.Context, pred func() bool) error {
-	return m.awaitFunc(ctx, pred)
+	return m.awaitFunc(ctx, time.Time{}, pred)
 }
 
-func (m *Monitor) awaitFunc(ctx context.Context, pred func() bool) error {
+// AwaitFuncDeadline is AwaitFunc with an absolute deadline; see
+// AwaitDeadline for the expiry semantics.
+func (m *Monitor) AwaitFuncDeadline(deadline time.Time, pred func() bool) error {
+	return m.awaitFunc(nil, deadline, pred)
+}
+
+// AwaitFuncTimeout is AwaitFuncDeadline with a relative duration.
+func (m *Monitor) AwaitFuncTimeout(d time.Duration, pred func() bool) error {
+	return m.awaitFunc(nil, time.Now().Add(d), pred)
+}
+
+func (m *Monitor) awaitFunc(ctx context.Context, deadline time.Time, pred func() bool) error {
 	if !m.in {
 		panic("autosynch: AwaitFunc outside the monitor; call Enter first")
 	}
@@ -298,6 +354,10 @@ func (m *Monitor) awaitFunc(ctx context.Context, pred func() bool) error {
 			return err
 		}
 	}
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		m.stats.Expired++
+		return ErrDeadline
+	}
 	m.stats.PredicateEvals++
 	if pred() {
 		m.stats.FastPath++
@@ -306,7 +366,7 @@ func (m *Monitor) awaitFunc(ctx context.Context, pred func() bool) error {
 	e := m.funcEntry(pred)
 	e.noneIdx = len(m.cm.none)
 	m.cm.none = append(m.cm.none, e)
-	return m.wait(ctx, e)
+	return m.wait(ctx, deadline, e, m.rankFor(e, nil))
 }
 
 // wait is the waituntil loop of Fig. 6, expressed over a first-class
@@ -317,11 +377,18 @@ func (m *Monitor) awaitFunc(ctx context.Context, pred func() bool) error {
 // the handle API exposes; only the parking differs. With a non-nil ctx
 // the park is a select against ctx.Done(), and the abandoned waiter
 // unregisters itself and restores relay invariance before returning
-// ctx.Err().
-func (m *Monitor) wait(ctx context.Context, e *entry) error {
+// ctx.Err(). With a non-zero deadline a wheel item marks the waiter
+// expired and notifies it; the expiry is observed on wake-up — before
+// the Mesa re-check, so like cancellation it wins a race against the
+// predicate becoming true — and unwinds through the same abandon path.
+func (m *Monitor) wait(ctx context.Context, deadline time.Time, e *entry, rank int64) error {
 	w := newWait(m)
 	w.e = e
+	w.rank = rank
 	m.cm.register(w)
+	if !deadline.IsZero() {
+		w.timer = m.timers().add(deadline, func() { m.expireWait(w) })
+	}
 
 	for {
 		m.cm.relaySignal()
@@ -338,11 +405,15 @@ func (m *Monitor) wait(ctx context.Context, e *entry) error {
 			case <-ctx.Done():
 				m.mu.Lock()
 				m.profileEndAwait(t0)
-				return m.abandonWait(ctx, w)
+				return m.abandon(w, ctx.Err())
 			}
 		}
 		m.profileEndAwait(t0)
 		m.stats.Wakeups++
+		if w.expired {
+			m.stats.Expired++
+			return m.abandon(w, ErrDeadline)
+		}
 		m.consumeSignal(w)
 		m.stats.PredicateEvals++
 		if e.evalFn() {
@@ -351,10 +422,31 @@ func (m *Monitor) wait(ctx context.Context, e *entry) error {
 		m.stats.FutileWakeups++
 		m.rearmWaiter(w)
 	}
+	w.stopTimer()
+	m.observeWaitDone(w)
 	m.cm.unregister(w)
 	m.retireIfIdle(e)
 	m.in = true
 	return nil
+}
+
+// expireWait runs from the timer wheel when a parked deadline'd wait
+// reaches its deadline: mark the waiter expired and wake it; the waiter
+// unwinds itself. An unnotified waiter gets a direct notification (not a
+// relay signal — no signal is pending on its account); a waiter already
+// holding a notification is merely flagged, and the expiry is observed
+// when it wakes. A waiter that already completed (idx < 0) is left
+// alone — its stop() lost the race to the wheel's sweep, harmlessly.
+func (m *Monitor) expireWait(w *Wait) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if w.idx < 0 || w.expired {
+		return
+	}
+	w.expired = true
+	if !w.notified {
+		m.cm.notify(w)
+	}
 }
 
 // consumeSignal settles the in-flight-signal accounting when a notified
@@ -378,20 +470,58 @@ func (m *Monitor) rearmWaiter(w *Wait) {
 	w.rearm()
 }
 
-// abandonWait unwinds a waiter whose context was cancelled. Called with
-// the monitor lock held. The waiter is removed from the entry (and the
-// entry, if now waiterless, from the predicate table and tag structures);
-// a signal that was in flight to the abandoned waiter is reconciled; and
-// relaySignal runs so the signaling chain moves to the next waiter whose
-// predicate holds — relay invariance survives the abandonment.
-func (m *Monitor) abandonWait(ctx context.Context, w *Wait) error {
+// abandon unwinds a waiter whose context was cancelled or whose deadline
+// expired, returning err. Called with the monitor lock held. The waiter
+// is removed from the entry (and the entry, if now waiterless, from the
+// predicate table and tag structures); a signal that was in flight to
+// the abandoned waiter is reconciled; and relaySignal runs so the
+// signaling chain moves to the next waiter whose predicate holds — relay
+// invariance survives the abandonment. Every expiry is also an abandon
+// (Expired never exceeds Abandons).
+func (m *Monitor) abandon(w *Wait, err error) error {
 	m.stats.Abandons++
+	w.stopTimer()
 	m.consumeSignal(w)
 	m.cm.unregister(w)
 	m.retireIfIdle(w.e)
 	m.cm.relaySignal()
 	m.in = true
-	return ctx.Err()
+	return err
+}
+
+// observeWaitDone folds a completing waiter's wait time into the
+// fairness counters: MaxWaitNs keeps the longest registration-to-
+// completion wait, and Starved counts completions past the configured
+// threshold. Runs under the monitor lock; waiters that never registered
+// (fast paths, folded-true arms) have since == 0 and are skipped.
+func (m *Monitor) observeWaitDone(w *Wait) {
+	if w.since == 0 {
+		return
+	}
+	ns := time.Now().UnixNano() - w.since
+	if ns > m.stats.MaxWaitNs {
+		m.stats.MaxWaitNs = ns
+	}
+	if m.cfg.starveNs > 0 && ns > m.cfg.starveNs {
+		m.stats.Starved++
+	}
+}
+
+// rankFor computes a waiter's policy rank once, at registration time:
+// the caller's locals cannot change while it waits (Proposition 1), so a
+// rank taken from the binding snapshot stays valid for the wait's whole
+// lifetime. binds may be nil (closure predicates carry no named locals).
+// The per-entry override, when present, is the policy whose Better will
+// compare this waiter within its entry, so its Rank is the one captured.
+func (m *Monitor) rankFor(e *entry, binds map[string]int64) int64 {
+	pol := e.policy
+	if pol == nil {
+		pol = m.cfg.policy
+	}
+	if pol == nil {
+		return 0
+	}
+	return pol.Rank(binds)
 }
 
 // retireIfIdle parks or discards an entry that no longer has waiters.
@@ -505,16 +635,17 @@ func (m *Monitor) ArmFunc(pred func() bool) *Wait {
 	e := m.funcEntry(pred)
 	e.noneIdx = len(m.cm.none)
 	m.cm.none = append(m.cm.none, e)
-	return m.armEntry(e)
+	return m.armEntry(e, m.rankFor(e, nil))
 }
 
 // armEntry registers a fresh handle on an entry, delivering an immediate
 // notification when the predicate already holds (the non-blocking analog
 // of the Await fast path — the claim re-validates anyway). Runs under the
 // monitor lock.
-func (m *Monitor) armEntry(e *entry) *Wait {
+func (m *Monitor) armEntry(e *entry, rank int64) *Wait {
 	w := newWait(m)
 	w.e = e
+	w.rank = rank
 	m.cm.register(w)
 	m.stats.PredicateEvals++
 	if e.evalFn() {
@@ -529,6 +660,19 @@ func (m *Monitor) armEntry(e *entry) *Wait {
 // methods.
 func (m *Monitor) lockWait()   { m.mu.Lock() }
 func (m *Monitor) unlockWait() { m.mu.Unlock() }
+
+// timers lazily creates the monitor's deadline wheel. Runs under the
+// monitor lock.
+func (m *Monitor) timers() *timerWheel {
+	if m.wheel == nil {
+		m.wheel = newTimerWheel()
+	}
+	return m.wheel
+}
+
+// statExpired counts a handle that ended at its deadline. Runs under the
+// monitor lock.
+func (m *Monitor) statExpired() { m.stats.Expired++ }
 
 // claimLocked re-validates an armed handle's predicate under the monitor
 // lock. On success the waiter is unregistered, the handle is spent, and
@@ -550,6 +694,7 @@ func (m *Monitor) claimLocked(w *Wait) error {
 	if w.e.evalFn() {
 		m.stats.Claims++
 		w.state = waitClaimed
+		m.observeWaitDone(w)
 		m.cm.unregister(w)
 		m.retireIfIdle(w.e)
 		m.in = true

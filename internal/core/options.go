@@ -1,5 +1,11 @@
 package core
 
+import (
+	"time"
+
+	"repro/internal/policy"
+)
+
 // DefaultInactiveLimit is the default length bound of the inactive
 // predicate list (§5.2: predicates with no waiting thread are parked for
 // reuse; the oldest are dropped when the list exceeds a threshold). The
@@ -14,6 +20,8 @@ type config struct {
 	generated     bool
 	inactiveLimit int
 	dnfLimit      int
+	policy        policy.Policy // wake policy; nil keeps the first-found relay pick
+	starveNs      int64         // starvation threshold; 0 disables Starved accounting
 }
 
 func defaultConfig() config {
@@ -67,6 +75,37 @@ func WithDNFLimit(n int) Option {
 	return func(c *config) {
 		if n > 0 {
 			c.dnfLimit = n
+		}
+	}
+}
+
+// WithPolicy selects the monitor's wake policy (policy.FIFO, policy.LIFO,
+// policy.Priority, or a custom total order): whenever the relay rule — or
+// an Explicit condition's Signal — has several eligible waiters, the
+// policy decides which one wakes. Without a policy the runtime keeps the
+// paper's behavior: the first eligible waiter the (tag-pruned) scan
+// visits, which is cheapest but unspecified.
+//
+// A policy-governed relay scan is exhaustive across entries (tag pruning
+// can find *a* true waiter early, but the policy must compare *all* of
+// them), so expect the relay cost of AutoSynch-T plus a comparison per
+// candidate. Per-predicate overrides (Predicate.UsePolicy) refine the
+// pick within that predicate's waiters only. For Baseline the policy has
+// no blocking-wait effect — its broadcast discipline wakes everyone and
+// the lock queue arbitrates — but the wait-time accounting (Starved,
+// MaxWaitNs) still applies.
+func WithPolicy(p policy.Policy) Option {
+	return func(c *config) { c.policy = p }
+}
+
+// WithStarvationThreshold sets the wait duration past which a completed
+// wait counts into Stats.Starved, making starvation a counted quantity
+// instead of an anecdote. Zero (the default) disables the counter;
+// MaxWaitNs is tracked regardless.
+func WithStarvationThreshold(d time.Duration) Option {
+	return func(c *config) {
+		if d > 0 {
+			c.starveNs = int64(d)
 		}
 	}
 }

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/dnf"
 	"repro/internal/expr"
+	"repro/internal/policy"
 )
 
 // Predicate is a compiled waiting condition: the per-source analysis of an
@@ -39,6 +41,8 @@ type Predicate struct {
 
 	gen      *GeneratedPred // registered generated evaluator; nil → closure path
 	genCells *GenCells      // resolved cell layout for gen, nil with it
+
+	policy policy.Policy // per-predicate wake policy; nil → monitor policy
 }
 
 // Src returns the predicate's canonical source text.
@@ -52,12 +56,47 @@ func (p *Predicate) Locals() []string {
 
 // Await waits on the compiled predicate; see Monitor.AwaitPred.
 func (p *Predicate) Await(binds ...Binding) error {
-	return p.m.awaitPred(nil, p, binds)
+	return p.m.awaitPred(nil, time.Time{}, p, binds)
 }
 
 // AwaitCtx is Await with cancellation; see Monitor.AwaitPredCtx.
 func (p *Predicate) AwaitCtx(ctx context.Context, binds ...Binding) error {
-	return p.m.awaitPred(ctx, p, binds)
+	return p.m.awaitPred(ctx, time.Time{}, p, binds)
+}
+
+// AwaitDeadline is Await with an absolute deadline; see
+// Monitor.AwaitDeadline.
+func (p *Predicate) AwaitDeadline(deadline time.Time, binds ...Binding) error {
+	return p.m.awaitPred(nil, deadline, p, binds)
+}
+
+// UsePolicy attaches a wake policy to this predicate and returns the
+// predicate for chaining. The policy decides which of the predicate's
+// waiters a signal picks, overriding the monitor policy within this
+// predicate's entry; across entries the monitor policy (if any) still
+// arbitrates. Call it from setup code before waiting begins — the
+// policy is attached to the underlying table entry as waits arrive.
+func (p *Predicate) UsePolicy(pol policy.Policy) *Predicate {
+	p.m.mu.Lock()
+	defer p.m.mu.Unlock()
+	p.policy = pol
+	if p.staticEntry != nil {
+		p.staticEntry.policy = pol
+	}
+	return p
+}
+
+// localsMap snapshots the current binding values by name for policy rank
+// computation. Called under the monitor lock after setBinds.
+func (p *Predicate) localsMap() map[string]int64 {
+	if len(p.localNames) == 0 {
+		return nil
+	}
+	binds := make(map[string]int64, len(p.localNames))
+	for i, name := range p.localNames {
+		binds[name] = p.localVals[i]
+	}
+	return binds
 }
 
 // Arm registers a waiter for the predicate without blocking and returns
@@ -94,7 +133,11 @@ func (p *Predicate) Arm(binds ...Binding) *Wait {
 		w.notify()
 		return w
 	}
-	return m.armEntry(e)
+	var rank int64
+	if e.policy != nil || m.cfg.policy != nil {
+		rank = m.rankFor(e, p.localsMap())
+	}
+	return m.armEntry(e, rank)
 }
 
 // Try is the non-blocking degenerate case of Await: it binds and

@@ -43,6 +43,15 @@ type Stats struct {
 	GenMisses  uint64 // compiled predicates with no registration; closure fallback
 	GenEntries uint64 // predicate entries built with a generated evaluator
 
+	// Wake policies and deadline waits. A monitor runs one policy, so
+	// PolicyWakes aggregated per monitor is the per-policy wake count;
+	// experiments comparing policies run one monitor per policy and read
+	// it per arm. MaxWaitNs merges by maximum in Add, not by sum.
+	PolicyWakes uint64 // signals whose target a configured wake policy picked
+	Starved     uint64 // completed waits that exceeded the starvation threshold
+	Expired     uint64 // waits and handles that ended at their deadline (ErrDeadline)
+	MaxWaitNs   int64  // longest registration-to-completion wait observed
+
 	// Profiling (populated only with WithProfiling): cumulative
 	// nanoseconds, the Table 1 breakdown.
 	AwaitNs   int64 // blocked in condition waits
@@ -74,6 +83,15 @@ func (s Stats) String() string {
 	if s.GenPreds > 0 || s.GenMisses > 0 || s.GenEntries > 0 {
 		out += fmt.Sprintf(" gen=%d gen-miss=%d gen-entries=%d", s.GenPreds, s.GenMisses, s.GenEntries)
 	}
+	if s.PolicyWakes > 0 || s.Starved > 0 {
+		out += fmt.Sprintf(" policy-wakes=%d starved=%d", s.PolicyWakes, s.Starved)
+	}
+	if s.Expired > 0 {
+		out += fmt.Sprintf(" expired=%d", s.Expired)
+	}
+	if s.MaxWaitNs > 0 {
+		out += fmt.Sprintf(" max-wait=%v", time.Duration(s.MaxWaitNs))
+	}
 	return out
 }
 
@@ -84,9 +102,15 @@ func (s Stats) Profile() string {
 		time.Duration(s.RelayNs), time.Duration(s.TagMgmtNs))
 }
 
-// Add returns the field-wise sum of two stats, used when aggregating
-// several monitors of one experiment.
+// Add merges two stats, used when aggregating several monitors of one
+// experiment: counters sum field-wise, and MaxWaitNs — a maximum, not a
+// total — merges by max, so the aggregate reports the single longest
+// wait observed anywhere.
 func (s Stats) Add(o Stats) Stats {
+	maxWait := s.MaxWaitNs
+	if o.MaxWaitNs > maxWait {
+		maxWait = o.MaxWaitNs
+	}
 	return Stats{
 		Awaits:         s.Awaits + o.Awaits,
 		FastPath:       s.FastPath + o.FastPath,
@@ -107,6 +131,10 @@ func (s Stats) Add(o Stats) Stats {
 		GenPreds:       s.GenPreds + o.GenPreds,
 		GenMisses:      s.GenMisses + o.GenMisses,
 		GenEntries:     s.GenEntries + o.GenEntries,
+		PolicyWakes:    s.PolicyWakes + o.PolicyWakes,
+		Starved:        s.Starved + o.Starved,
+		Expired:        s.Expired + o.Expired,
+		MaxWaitNs:      maxWait,
 		AwaitNs:        s.AwaitNs + o.AwaitNs,
 		LockNs:         s.LockNs + o.LockNs,
 		RelayNs:        s.RelayNs + o.RelayNs,

@@ -5,13 +5,21 @@ import (
 	"testing"
 )
 
+// maxMerged names the Stats fields Add merges by maximum instead of
+// summing; every other field is a counter and must sum. A new max-merged
+// field must be listed here or the completeness test flags it.
+var maxMerged = map[string]bool{
+	"MaxWaitNs": true,
+}
+
 // TestStatsCompleteness walks the Stats struct by reflection and pins two
 // contracts for every field, present and future (the shard package merges
 // per-shard Stats with Add, so a field dropped there would silently
 // disappear from every sharded experiment):
 //
-//   - Add must propagate it: summing a stats value with itself must
-//     double every field.
+//   - Add must propagate it with the right merge: counters sum (3+5 = 8),
+//     max-merged fields keep the maximum (max(3, 5) = 5). Either way, a
+//     field Add drops would come back 0 and fail both expectations.
 //   - String or Profile must render it: setting the field alone must
 //     change the combined text output.
 func TestStatsCompleteness(t *testing.T) {
@@ -20,44 +28,55 @@ func TestStatsCompleteness(t *testing.T) {
 	for i := 0; i < typ.NumField(); i++ {
 		f := typ.Field(i)
 
-		var s Stats
-		fv := reflect.ValueOf(&s).Elem().Field(i)
+		var a, b Stats
+		av := reflect.ValueOf(&a).Elem().Field(i)
+		bv := reflect.ValueOf(&b).Elem().Field(i)
 		switch f.Type.Kind() {
 		case reflect.Uint64:
-			fv.SetUint(3)
+			av.SetUint(3)
+			bv.SetUint(5)
 		case reflect.Int64:
-			fv.SetInt(3)
+			av.SetInt(3)
+			bv.SetInt(5)
 		default:
 			t.Fatalf("field %s has unhandled kind %s; extend this test", f.Name, f.Type.Kind())
 		}
 
-		sum := reflect.ValueOf(s.Add(s)).Field(i)
+		want := int64(8)
+		if maxMerged[f.Name] {
+			want = 5
+		}
+		merged := reflect.ValueOf(a.Add(b)).Field(i)
+		var got int64
 		switch f.Type.Kind() {
 		case reflect.Uint64:
-			if sum.Uint() != 6 {
-				t.Errorf("Add drops field %s: 3+3 = %d", f.Name, sum.Uint())
-			}
+			got = int64(merged.Uint())
 		case reflect.Int64:
-			if sum.Int() != 6 {
-				t.Errorf("Add drops field %s: 3+3 = %d", f.Name, sum.Int())
-			}
+			got = merged.Int()
+		}
+		if got != want {
+			t.Errorf("Add mishandles field %s: merge(3, 5) = %d, want %d", f.Name, got, want)
 		}
 
-		if out := s.String() + "\n" + s.Profile(); out == baseline {
+		if out := a.String() + "\n" + a.Profile(); out == baseline {
 			t.Errorf("field %s appears in neither String nor Profile", f.Name)
 		}
 	}
 }
 
-// TestStatsAddCommutes pins that Add is a plain field-wise sum with no
-// hidden normalization.
+// TestStatsAddCommutes pins that Add has no hidden normalization: it is a
+// plain field-wise sum for counters and a field-wise max for MaxWaitNs,
+// both of which commute and have the zero value as identity.
 func TestStatsAddCommutes(t *testing.T) {
-	a := Stats{Awaits: 1, Wakeups: 2, RelayNs: 3, Abandons: 4, Evictions: 5}
-	b := Stats{Awaits: 10, Wakeups: 20, RelayNs: 30, Arms: 7}
+	a := Stats{Awaits: 1, Wakeups: 2, RelayNs: 3, Abandons: 4, Evictions: 5, MaxWaitNs: 70}
+	b := Stats{Awaits: 10, Wakeups: 20, RelayNs: 30, Arms: 7, MaxWaitNs: 40}
 	if a.Add(b) != b.Add(a) {
 		t.Error("Add is not commutative")
 	}
 	if got := a.Add(Stats{}); got != a {
 		t.Errorf("Add identity violated: %+v", got)
+	}
+	if got := a.Add(b).MaxWaitNs; got != 70 {
+		t.Errorf("MaxWaitNs merged to %d, want the maximum 70", got)
 	}
 }

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// timerTick is the bucket width of the deadline wheel. Deadlines are
+// rounded UP to the next tick, so an expiry never fires early; the cost
+// is up to one tick of lateness, far below goroutine scheduling jitter.
+const timerTick = int64(time.Millisecond)
+
+// timerWheel is a per-monitor deadline wheel: every deadline-aware wait
+// and every Wait.Deadline registers one item, and a single lazily-started
+// goroutine services them all — never one time.Timer goroutine per
+// waiter. Items hash into tick-width buckets; the service goroutine
+// sleeps until the earliest live bucket, fires every due item (outside
+// the wheel lock, so fire callbacks may take the monitor lock), and
+// exits as soon as no items remain, so an idle monitor holds no
+// goroutine and testutil.NoLeaks sees a clean baseline.
+//
+// Lock order: host monitor lock → wheel lock (add/stop are called with
+// the monitor held). The fire path inverts the data flow, not the locks:
+// due items are collected and detached under the wheel lock, which is
+// released before any fire callback runs.
+type timerWheel struct {
+	mu      sync.Mutex
+	slots   map[int64][]*timerItem // live items by deadline tick
+	n       int                    // live (not yet fired or stopped) items
+	running bool                   // service goroutine exists
+	kick    chan struct{}          // wakes the goroutine early: new earlier item, or drained
+}
+
+// timerItem is one armed deadline. done flips exactly once — under the
+// wheel lock, by stop or by the collection sweep — so an expiry and a
+// concurrent completion race to it and the loser becomes a no-op.
+type timerItem struct {
+	wheel *timerWheel
+	fire  func()
+	done  bool
+}
+
+func newTimerWheel() *timerWheel {
+	return &timerWheel{slots: map[int64][]*timerItem{}, kick: make(chan struct{}, 1)}
+}
+
+// add registers fire to run at (or one tick after) deadline and returns
+// the item so the caller can stop it on normal completion.
+func (tw *timerWheel) add(deadline time.Time, fire func()) *timerItem {
+	slot := (deadline.UnixNano() + timerTick - 1) / timerTick
+	it := &timerItem{wheel: tw, fire: fire}
+	tw.mu.Lock()
+	tw.slots[slot] = append(tw.slots[slot], it)
+	tw.n++
+	if !tw.running {
+		tw.running = true
+		go tw.run()
+	} else {
+		tw.kickLocked()
+	}
+	tw.mu.Unlock()
+	return it
+}
+
+func (tw *timerWheel) kickLocked() {
+	select {
+	case tw.kick <- struct{}{}:
+	default:
+	}
+}
+
+// stop disarms the item: the fire callback will not run. Safe on nil
+// items and after firing (both no-ops), and safe to call while holding
+// the host monitor lock. Draining the last item kicks the service
+// goroutine so it exits promptly rather than sleeping out a far future
+// deadline as a leaked goroutine.
+func (it *timerItem) stop() {
+	if it == nil {
+		return
+	}
+	tw := it.wheel
+	tw.mu.Lock()
+	if !it.done {
+		it.done = true
+		tw.n--
+		if tw.n == 0 {
+			tw.kickLocked()
+		}
+	}
+	tw.mu.Unlock()
+}
+
+// run is the wheel's service loop: sleep until the earliest live bucket,
+// fire everything due, exit when empty. Stale kicks only cause a
+// harmless re-scan.
+func (tw *timerWheel) run() {
+	for {
+		tw.mu.Lock()
+		if tw.n == 0 {
+			tw.running = false
+			tw.slots = map[int64][]*timerItem{}
+			tw.mu.Unlock()
+			return
+		}
+		next := int64(0)
+		for s, items := range tw.slots {
+			live := false
+			for _, it := range items {
+				if !it.done {
+					live = true
+					break
+				}
+			}
+			if !live {
+				delete(tw.slots, s) // every item stopped; drop the spent bucket
+				continue
+			}
+			if next == 0 || s < next {
+				next = s
+			}
+		}
+		now := time.Now().UnixNano()
+		if wait := next*timerTick - now; wait > 0 {
+			tw.mu.Unlock()
+			t := time.NewTimer(time.Duration(wait))
+			select {
+			case <-t.C:
+			case <-tw.kick:
+				t.Stop()
+			}
+			continue
+		}
+		var due []*timerItem
+		for s, items := range tw.slots {
+			if s*timerTick > now {
+				continue
+			}
+			for _, it := range items {
+				if !it.done {
+					it.done = true
+					tw.n--
+					due = append(due, it)
+				}
+			}
+			delete(tw.slots, s)
+		}
+		tw.mu.Unlock()
+		for _, it := range due {
+			it.fire()
+		}
+	}
+}

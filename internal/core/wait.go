@@ -1,6 +1,11 @@
 package core
 
-import "errors"
+import (
+	"errors"
+	"time"
+
+	"repro/internal/policy"
+)
 
 // Handle lifecycle sentinels. ErrNotReady is the expected return of a
 // futile Claim (the handle has been re-armed and will fire again);
@@ -18,6 +23,16 @@ var (
 
 	// ErrCancelled is reported by Wait.Err and Wait.Claim after Cancel.
 	ErrCancelled = errors.New("autosynch: wait handle cancelled")
+
+	// ErrDeadline is returned by the deadline-aware waits
+	// (AwaitDeadline/AwaitTimeout/AwaitFuncDeadline) and reported by a
+	// handle whose Wait.Deadline passed before it was claimed. Like a
+	// context cancellation, expiry takes priority once observed: a waiter
+	// woken by its deadline returns ErrDeadline even if its predicate has
+	// just become true, and relay invariance is restored before it
+	// returns (the in-flight signal, if it held one, is reconciled and
+	// relayed onward).
+	ErrDeadline = errors.New("autosynch: wait deadline exceeded")
 )
 
 // waitState is the lifecycle of a handle: armed (registered, waiting to
@@ -47,6 +62,11 @@ type waitHost interface {
 	// signaling invariants. The generic wrapper has already moved the
 	// handle to waitCancelled and closed its channel.
 	cancelLocked(w *Wait)
+	// timers returns the host's deadline wheel, creating it lazily.
+	// Called under the host lock.
+	timers() *timerWheel
+	// statExpired counts one deadline expiry under the host lock.
+	statExpired()
 }
 
 // Wait is a first-class armed waiter: the waituntil of the paper without
@@ -91,11 +111,23 @@ type Wait struct {
 	state    waitState
 	notified bool  // ready is closed for the current arm cycle
 	viaRelay bool  // the notification is an in-flight relay signal (Monitor)
-	err      error // terminal error: arm failure or ErrCancelled
+	err      error // terminal error: arm failure, ErrCancelled, or ErrDeadline
 	e        *entry
 	pred     func() bool // Baseline/Explicit re-validation closure
 	list     *waitList   // registration list for list-based hosts
 	idx      int         // position in e.waiters or list.ws
+
+	// Wake-policy and deadline state. seq is the host-global arrival
+	// sequence and rank the registration-time policy rank — together the
+	// policy.Candidate the wake policy compares. since is the
+	// registration wall time feeding MaxWaitNs/Starved; timer the armed
+	// deadline item, if any; expired flags a blocking waiter whose
+	// deadline fired (checked before the predicate on wake-up).
+	seq     uint64
+	rank    int64
+	since   int64
+	timer   *timerItem
+	expired bool
 
 	// Select subscription: when set, every notification additionally
 	// delivers selIdx on selCh, so one goroutine can park on a single
@@ -240,9 +272,65 @@ func (w *Wait) Claim() error {
 	err := w.host.claimLocked(w)
 	if err != nil {
 		w.host.unlockWait()
+		return err
 	}
-	return err
+	w.stopTimer()
+	return nil
 }
+
+// Deadline arms a deadline on the handle: if it is still armed when t
+// passes, the handle is cancelled with ErrDeadline — Ready fires (so a
+// selecting goroutine unblocks), Claim and Err report ErrDeadline, and
+// the host's signaling invariants are restored exactly as by Cancel (an
+// in-flight relay signal is reconciled and relayed onward). A successful
+// Claim or an explicit Cancel first disarms the timer. Arming a second
+// deadline replaces the first. Deadline returns its receiver so it chains
+// off Arm: p.Arm(binds...).Deadline(t). The expiry machinery is the
+// host's timer wheel — one goroutine per monitor, not one per handle —
+// and that goroutine exits whenever no deadline is pending.
+func (w *Wait) Deadline(t time.Time) *Wait {
+	if w.host == nil {
+		return w
+	}
+	w.host.lockWait()
+	if w.state != waitArmed {
+		w.host.unlockWait()
+		return w
+	}
+	w.timer.stop()
+	w.timer = w.host.timers().add(t, func() { w.expire() })
+	w.host.unlockWait()
+	return w
+}
+
+// Timeout is Deadline relative to now.
+func (w *Wait) Timeout(d time.Duration) *Wait { return w.Deadline(time.Now().Add(d)) }
+
+// expire is the timer wheel's fire path for a handle deadline: cancel
+// the handle with ErrDeadline. Racing claims are settled by the host
+// lock — a handle claimed or cancelled first makes this a no-op.
+func (w *Wait) expire() {
+	w.host.lockWait()
+	defer w.host.unlockWait()
+	if w.state != waitArmed {
+		return
+	}
+	w.state = waitCancelled
+	w.err = ErrDeadline
+	w.host.statExpired()
+	w.host.cancelLocked(w)
+	w.notify()
+}
+
+// stopTimer disarms the handle's deadline, if any. Runs under the host
+// lock.
+func (w *Wait) stopTimer() {
+	w.timer.stop()
+	w.timer = nil
+}
+
+// cand is the waiter's identity for wake-policy comparisons.
+func cand(w *Wait) policy.Candidate { return policy.Candidate{Seq: w.seq, Rank: w.rank} }
 
 // Cancel abandons an armed handle: it is unregistered from the predicate
 // table and tag structures, any in-flight signal addressed to it is
@@ -261,6 +349,7 @@ func (w *Wait) Cancel() {
 	}
 	w.state = waitCancelled
 	w.err = ErrCancelled
+	w.stopTimer()
 	// Unregister before closing the channel: the host's bookkeeping (the
 	// entry's unnotified count, for Monitor) distinguishes delivered
 	// notifications from the cancellation's courtesy close.
@@ -318,15 +407,28 @@ func (l *waitList) broadcast(skip *Wait) {
 
 // signalOne notifies one not-yet-notified waiter, mirroring
 // sync.Cond.Signal; returns false when every waiter is already notified
-// (or the list is empty).
-func (l *waitList) signalOne() bool {
+// (or the list is empty). Without a policy the pick is list order; with
+// one, the policy compares every eligible handle and the best wakes —
+// the explicit-monitor half of the pluggable wake policies.
+func (l *waitList) signalOne(pol policy.Policy) bool {
+	var best *Wait
 	for _, w := range l.ws {
-		if !w.notified {
+		if w.notified {
+			continue
+		}
+		if pol == nil {
 			w.notify()
 			return true
 		}
+		if best == nil || pol.Better(cand(w), cand(best)) {
+			best = w
+		}
 	}
-	return false
+	if best == nil {
+		return false
+	}
+	best.notify()
+	return true
 }
 
 // requeue moves a futile-woken waiter behind the waiters registered after

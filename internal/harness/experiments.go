@@ -56,6 +56,7 @@ func Experiments() []Experiment {
 		{"scale-shards", "Scaling: sharded-kv runtime vs shard count at fixed goroutines", ScaleShards},
 		{"sel-fanout", "Selective waiting: cost per delivered item vs fan-out (Select / reflect handles / goroutine-per-guard)", SelectFanout},
 		{"watchd", "Watch service soak: wake-to-claim latency percentiles vs standing sessions", WatchdSoak},
+		{"wake-policy", "Wake policies: wait-latency percentiles and starvation spread (FIFO/LIFO/priority)", WakePolicy},
 	}
 	return append(exps, ProblemExperiments()...)
 }

@@ -85,7 +85,7 @@ func TestDoubling(t *testing.T) {
 }
 
 func TestExperimentsRegistryComplete(t *testing.T) {
-	paper := []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table1", "abl-tags", "abl-inactive", "abl-compile", "scale-shards", "sel-fanout", "watchd"}
+	paper := []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table1", "abl-tags", "abl-inactive", "abl-compile", "scale-shards", "sel-fanout", "watchd", "wake-policy"}
 	ids := IDs()
 	// Every registered scenario contributes a prob-* sweep on top of the
 	// paper experiments.

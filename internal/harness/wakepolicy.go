@@ -1,0 +1,189 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/problems"
+	"repro/internal/stats"
+)
+
+// wakePolicyClasses is the number of priority classes in the storm:
+// waiter w carries priority w % wakePolicyClasses, so every class is
+// populated at every point of the doubling axis.
+const wakePolicyClasses = 4
+
+// wakePolicyStarveAfter is the starvation threshold for the experiment's
+// monitors: far above a FIFO round trip through the whole wait list
+// (hundreds of microseconds, with scheduler outliers in the low
+// milliseconds) and far below the time an unfair policy makes its victim
+// wait for the favored waiters' entire quotas (tens of milliseconds), so
+// Starved separates the policies instead of measuring the machine.
+const wakePolicyStarveAfter = 2 * time.Millisecond
+
+// wakePolicyArms are the policies under comparison. The priority arm
+// ranks by the waiter's bound "prio" local — higher class wins every
+// relay, which is exactly what starves the low class.
+var wakePolicyArms = []struct {
+	name string
+	pol  policy.Policy
+}{
+	{"fifo", policy.FIFO},
+	{"lifo", policy.LIFO},
+	{"priority", policy.Priority(func(binds map[string]int64) int64 { return binds["prio"] })},
+}
+
+// wakePolicyPoint runs one storm: `waiters` threads with cyclic priority
+// classes and fixed grant quotas compete for totalOps single-token
+// grants. The coordinator mints one token per round and — crucially —
+// spins until every still-active waiter is parked before minting, so the
+// wait list is saturated at every relay and each grant is a pure policy
+// decision (a free-running handoff chain instead lets the just-served
+// waiter barge back in through the Mesa fast path, washing the policy
+// out of the measurement). Client-observed wait latency (monitor entry
+// to grant) lands in the histogram; conservation is grants minus mints
+// plus the residual token.
+func wakePolicyPoint(pol policy.Policy, waiters, totalOps int) problems.Result {
+	m := core.New(core.WithPolicy(pol), core.WithStarvationThreshold(wakePolicyStarveAfter))
+	tokens := m.NewInt("tokens", 0)
+	// The prio conjunct constant-folds at globalization (prio >= 0 is
+	// always true), so every waiter shares one canonical predicate while
+	// the binding still carries the class to Priority.Rank.
+	grant := m.MustCompile("tokens >= 1 && prio >= 0")
+
+	quota := make([]int, waiters)
+	for i, left := 0, totalOps; i < waiters; i++ {
+		share := left / (waiters - i)
+		quota[i] = share
+		left -= share
+	}
+
+	granted := make([]int64, waiters)
+	hists := make([]stats.Histogram, waiters)
+	served := make(chan int, waiters)
+	active := 0
+	for _, q := range quota {
+		if q > 0 {
+			active++
+		}
+	}
+
+	start := time.Now()
+	for w := 0; w < waiters; w++ {
+		go func(w, n int) {
+			pr := int64(w % wakePolicyClasses)
+			for i := 0; i < n; i++ {
+				t0 := time.Now()
+				m.Enter()
+				if err := m.AwaitPred(grant, core.BindInt("prio", pr)); err != nil {
+					panic(err)
+				}
+				hists[w].Observe(time.Since(t0))
+				tokens.Add(-1)
+				granted[w]++
+				m.Exit()
+				served <- w
+			}
+		}(w, quota[w])
+	}
+	remaining := append([]int(nil), quota...)
+	wedge := time.Now().Add(2 * time.Minute)
+	for issued := 0; issued < totalOps; issued++ {
+		for m.Waiting() != active {
+			if time.Now().After(wedge) {
+				panic(fmt.Sprintf("wake-policy storm wedged: %d/%d parked after grant %d",
+					m.Waiting(), active, issued))
+			}
+			runtime.Gosched()
+		}
+		m.Do(func() { tokens.Add(1) }) // one token: the relay's policy decides
+		w := <-served
+		remaining[w]--
+		if remaining[w] == 0 {
+			active--
+		}
+	}
+	elapsed := time.Since(start)
+
+	var got int64
+	merged := &stats.Histogram{}
+	for w := 0; w < waiters; w++ {
+		got += granted[w]
+		merged.Merge(&hists[w])
+	}
+	var residue int64
+	m.Do(func() { residue = tokens.Get() })
+	return problems.Result{
+		Mechanism: problems.AutoSynch,
+		Elapsed:   elapsed,
+		Stats:     m.Stats(),
+		Ops:       got,
+		Check:     (got - int64(totalOps)) + residue,
+		Latency:   merged,
+	}
+}
+
+// WakePolicy is the wake-policy comparison experiment: the same
+// single-token storm measured under FIFO, LIFO, and priority wake
+// policies across a doubling waiter axis. The figure plots p50 and p99
+// client-observed wait latency per policy in microseconds; the notes
+// carry each policy's starvation accounting (Starved, MaxWaitNs,
+// PolicyWakes) at the top point — the spread between FIFO's bounded
+// max-wait and the unfair policies' starved victims is the result.
+func WakePolicy(cfg Config) Report {
+	maxW := cfg.MaxThreads
+	if maxW > 64 {
+		maxW = 64 // past this the axis measures the scheduler, not the policy
+	}
+	if maxW < 8 {
+		maxW = 8
+	}
+	xs := doubling(8, maxW)
+	f := Figure{
+		ID:     "wake-policy",
+		Title:  fmt.Sprintf("wake policy storm: wait latency vs #waiters (%d classes, %d grants per point)", wakePolicyClasses, cfg.TotalOps),
+		XLabel: "# waiters", YLabel: "wait latency (µs)", XS: xs,
+	}
+	series := make([]Series, 0, 2*len(wakePolicyArms))
+	for _, arm := range wakePolicyArms {
+		series = append(series,
+			Series{Label: arm.name + "-p50"},
+			Series{Label: arm.name + "-p99"})
+	}
+	lasts := make([]Measurement, len(wakePolicyArms))
+	for _, waiters := range xs {
+		waiters := waiters
+		for ai, arm := range wakePolicyArms {
+			arm := arm
+			m := cfg.Protocol.Measure(func() problems.Result {
+				return wakePolicyPoint(arm.pol, waiters, cfg.TotalOps)
+			})
+			p50 := float64(m.Latency.P50()) / 1e3
+			p99 := float64(m.Latency.P99()) / 1e3
+			if m.CheckFailed {
+				p50, p99 = -1, -1 // sentinel: a grant was lost; must never happen
+			}
+			series[2*ai].Points = append(series[2*ai].Points, p50)
+			series[2*ai+1].Points = append(series[2*ai+1].Points, p99)
+			lasts[ai] = m
+		}
+	}
+	f.Series = series
+	for ai, arm := range wakePolicyArms {
+		s := lasts[ai].Last.Stats
+		f.Notes = append(f.Notes, fmt.Sprintf(
+			"%s @ %d waiters: starved=%d max-wait=%v policy-wakes=%d (threshold %v)",
+			arm.name, xs[len(xs)-1], s.Starved, time.Duration(s.MaxWaitNs),
+			s.PolicyWakes, wakePolicyStarveAfter))
+	}
+	f.Notes = append(f.Notes,
+		"expected shape: fifo serves in park order, so max-wait stays within a small factor of the mean; priority starves the low class and lifo the oldest parker (starved > 0, max-wait ~ point runtime).")
+	rep := f.report()
+	// The priority arm's top-point histogram carries the widest tail —
+	// that is the spread the BENCH artifact should capture.
+	rep.Latency = &lasts[len(lasts)-1].Latency
+	return rep
+}

@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// TestWakePolicyStarvationBound is the starvation-bound assertion behind
+// the wake-policy experiment: under the same storm, FIFO's worst
+// client-observed wait must stay within a constant factor of its mean
+// (with an absolute floor absorbing scheduler noise on loaded machines),
+// while the priority policy must trip the starvation accounting — the
+// low class waits for the higher classes' entire quota.
+func TestWakePolicyStarvationBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("storm points are not short")
+	}
+	fifo := wakePolicyPoint(policy.FIFO, 16, 4000)
+	if fifo.Check != 0 {
+		t.Fatalf("fifo storm lost grants: check = %d", fifo.Check)
+	}
+	if fifo.Latency.Count() == 0 {
+		t.Fatal("fifo storm observed no waits")
+	}
+	if fifo.Stats.PolicyWakes == 0 {
+		t.Error("fifo storm recorded no policy-picked wakes")
+	}
+	bound := 200 * fifo.Latency.Mean()
+	if floor := 100 * time.Millisecond; bound < floor {
+		bound = floor
+	}
+	if max := fifo.Latency.Max(); max > bound {
+		t.Errorf("fifo max wait %v exceeds %v (200x mean %v): FIFO must bound waits",
+			max, bound, fifo.Latency.Mean())
+	}
+
+	prio := wakePolicyPoint(wakePolicyArms[2].pol, 16, 4000)
+	if prio.Check != 0 {
+		t.Fatalf("priority storm lost grants: check = %d", prio.Check)
+	}
+	if prio.Stats.Starved == 0 {
+		t.Errorf("priority storm starved no one (max-wait %v, threshold %v)",
+			time.Duration(prio.Stats.MaxWaitNs), wakePolicyStarveAfter)
+	}
+	if time.Duration(prio.Stats.MaxWaitNs) < wakePolicyStarveAfter {
+		t.Errorf("priority max wait %v below the starvation threshold %v",
+			time.Duration(prio.Stats.MaxWaitNs), wakePolicyStarveAfter)
+	}
+}
+
+// TestWakePolicyReportShape runs the experiment end to end at a tiny
+// configuration and pins the report contract: one p50 and one p99 series
+// per policy arm, per-arm starvation notes, and the attached histogram
+// the BENCH artifact serializes.
+func TestWakePolicyReportShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke runs are not short")
+	}
+	rep := WakePolicy(tiny())
+	if rep.ID != "wake-policy" {
+		t.Fatalf("report ID = %q", rep.ID)
+	}
+	if rep.Figure == nil {
+		t.Fatal("report lacks its figure")
+	}
+	if want := 2 * len(wakePolicyArms); len(rep.Figure.Series) != want {
+		t.Fatalf("figure has %d series, want %d", len(rep.Figure.Series), want)
+	}
+	for _, s := range rep.Figure.Series {
+		if len(s.Points) != len(rep.Figure.XS) {
+			t.Errorf("series %q has %d points for %d xs", s.Label, len(s.Points), len(rep.Figure.XS))
+		}
+		for _, p := range s.Points {
+			if p < 0 {
+				t.Errorf("series %q carries the check-failure sentinel: %v", s.Label, s.Points)
+				break
+			}
+		}
+	}
+	for _, arm := range wakePolicyArms {
+		if !strings.Contains(rep.Text, arm.name+"-p99") {
+			t.Errorf("report text missing series %s-p99:\n%s", arm.name, rep.Text)
+		}
+		found := false
+		for _, n := range rep.Figure.Notes {
+			if strings.HasPrefix(n, arm.name+" @ ") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("figure notes missing the %s starvation line: %v", arm.name, rep.Figure.Notes)
+		}
+	}
+	if rep.Latency == nil || rep.Latency.Count() == 0 {
+		t.Error("report lacks the attached latency histogram")
+	}
+}

@@ -1,0 +1,79 @@
+package policy
+
+import "testing"
+
+func c(seq uint64, rank int64) Candidate { return Candidate{Seq: seq, Rank: rank} }
+
+func TestPolicyFIFOOrder(t *testing.T) {
+	if !FIFO.Better(c(1, 0), c(2, 0)) || FIFO.Better(c(2, 0), c(1, 0)) {
+		t.Error("FIFO must prefer the smaller sequence")
+	}
+	if FIFO.Rank(map[string]int64{"p": 9}) != 0 {
+		t.Error("FIFO must not rank")
+	}
+	if FIFO.Name() != "fifo" {
+		t.Errorf("name = %q", FIFO.Name())
+	}
+}
+
+func TestPolicyLIFOOrder(t *testing.T) {
+	if !LIFO.Better(c(2, 0), c(1, 0)) || LIFO.Better(c(1, 0), c(2, 0)) {
+		t.Error("LIFO must prefer the larger sequence")
+	}
+	if LIFO.Name() != "lifo" {
+		t.Errorf("name = %q", LIFO.Name())
+	}
+}
+
+func TestPolicyPriorityOrder(t *testing.T) {
+	p := Priority(func(binds map[string]int64) int64 { return binds["prio"] })
+	if p.Rank(map[string]int64{"prio": 7}) != 7 {
+		t.Error("Priority.Rank must read the bindings")
+	}
+	if p.Rank(nil) != 0 {
+		t.Error("Priority.Rank(nil) must be the zero rank")
+	}
+	if !p.Better(c(9, 5), c(1, 3)) {
+		t.Error("higher rank must win regardless of arrival")
+	}
+	if !p.Better(c(1, 5), c(9, 5)) || p.Better(c(9, 5), c(1, 5)) {
+		t.Error("equal ranks must tie-break FIFO")
+	}
+	if Priority(nil).Rank(map[string]int64{"prio": 7}) != 0 {
+		t.Error("nil rank function must rank 0")
+	}
+}
+
+// TestPolicyTotalOrder pins the strict-total-order contract over a small
+// candidate universe: for candidates with distinct seqs (seq is a unique
+// per-monitor arrival stamp, so distinct candidates always differ in it)
+// exactly one of Better(a,b) / Better(b,a) holds, and neither holds
+// reflexively.
+func TestPolicyTotalOrder(t *testing.T) {
+	pols := []Policy{FIFO, LIFO, Priority(func(b map[string]int64) int64 { return b["p"] })}
+	var universe []Candidate
+	seq := uint64(0)
+	for i := 0; i < 4; i++ {
+		for rank := int64(-1); rank <= 1; rank++ {
+			seq++
+			universe = append(universe, c(seq, rank))
+		}
+	}
+	for _, pol := range pols {
+		for _, a := range universe {
+			if pol.Better(a, a) {
+				t.Errorf("%s: Better(a, a) for %+v", pol.Name(), a)
+			}
+			for _, b := range universe {
+				if a == b {
+					continue
+				}
+				ab, ba := pol.Better(a, b), pol.Better(b, a)
+				if ab == ba {
+					t.Errorf("%s: Better(%+v, %+v)=%t and Better(%+v, %+v)=%t — not a strict total order",
+						pol.Name(), a, b, ab, b, a, ba)
+				}
+			}
+		}
+	}
+}

@@ -40,9 +40,9 @@ func TestDifferentialCrossMechanism(t *testing.T) {
 	}
 }
 
-// TestRegistryShape pins the registry's contract: the eighteen expected
-// scenarios are present, and every spec is complete enough for the
-// consumers that iterate the registry blindly.
+// TestRegistryShape pins the registry's contract: the twenty-three
+// expected scenarios are present, and every spec is complete enough for
+// the consumers that iterate the registry blindly.
 func TestRegistryShape(t *testing.T) {
 	want := []string{
 		"bounded-buffer", "h2o", "sleeping-barber", "round-robin",
@@ -51,9 +51,12 @@ func TestRegistryShape(t *testing.T) {
 		"fifo-barrier", "ticketed-elevator", "resource-allocator",
 		"dispatcher", "selective-server",
 		"sharded-kv", "striped-semaphore", "work-stealing-pool",
+		"watch-service",
+		"token-bucket", "priority-scheduler", "connection-pool",
+		"pubsub-broker",
 	}
-	if len(Registry) < 18 {
-		t.Errorf("registry holds %d scenarios, want >= 18", len(Registry))
+	if len(Registry) < 23 {
+		t.Errorf("registry holds %d scenarios, want >= 23", len(Registry))
 	}
 	for _, name := range []string{"sharded-kv", "striped-semaphore", "work-stealing-pool"} {
 		if !MustLookup(name).Sharded {

@@ -1,0 +1,280 @@
+package problems
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+func init() {
+	Register(Spec{
+		Name:           "priority-scheduler",
+		Runner:         RunPriorityScheduler,
+		DefaultThreads: 16,
+		CheckDesc:      "every submitted job executed exactly once despite preemption requeues",
+	})
+}
+
+// RunPriorityScheduler is a two-class job scheduler with cooperative
+// preemption: submitters enqueue high- and low-priority jobs, workers
+// take whatever is runnable ("high >= 1 || low >= 1 || done") preferring
+// the high class, and a worker holding a low-priority job re-enters the
+// scheduler at its preemption point — if a high-priority job has arrived
+// meanwhile, the worker requeues its low job (a preemption) and serves
+// the high one first. Preempted jobs are requeued, not lost, so the
+// conservation check is exact however many times a job bounces.
+//
+// threads splits into submitters (a quarter, at least one) and workers
+// (the rest); totalOps jobs are submitted in total, alternating classes.
+// Ops counts executed jobs; Check is (executed − submitted) plus both
+// queue residues (all must be 0).
+func RunPriorityScheduler(mech Mechanism, threads, totalOps int) Result {
+	if threads < 2 {
+		threads = 2
+	}
+	submitters := threads / 4
+	if submitters == 0 {
+		submitters = 1
+	}
+	workers := threads - submitters
+	subOps := split(totalOps, submitters)
+	switch mech {
+	case Explicit:
+		return runPrioExplicit(subOps, workers)
+	case Baseline:
+		return runPrioBaseline(subOps, workers)
+	default:
+		return runPrioAuto(mech, subOps, workers)
+	}
+}
+
+func runPrioAuto(mech Mechanism, subOps []int, workers int) Result {
+	m := newAuto(mech)
+	high := m.NewInt("high", 0)
+	low := m.NewInt("low", 0)
+	done := m.NewBool("done", false)
+	runnable := m.MustCompile("high >= 1 || low >= 1 || done")
+	executed := make([]int64, workers)
+
+	var swg, wwg sync.WaitGroup
+	start := time.Now()
+	for i := range subOps {
+		swg.Add(1)
+		go func(i, n int) {
+			defer swg.Done()
+			for j := 0; j < n; j++ {
+				m.Enter()
+				if j%2 == 0 {
+					high.Add(1)
+				} else {
+					low.Add(1)
+				}
+				m.Exit()
+			}
+		}(i, subOps[i])
+	}
+	for w := 0; w < workers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			for {
+				m.Enter()
+				await(runnable)
+				var kind int // 0 none, 1 low, 2 high
+				if high.Get() >= 1 {
+					high.Add(-1)
+					kind = 2
+				} else if low.Get() >= 1 {
+					low.Add(-1)
+					kind = 1
+				}
+				m.Exit()
+				if kind == 0 {
+					return // done, both queues empty
+				}
+				if kind == 1 {
+					// Preemption point of the low-priority job: a high
+					// arrival takes the worker, the low job goes back.
+					m.Enter()
+					if high.Get() >= 1 {
+						high.Add(-1)
+						low.Add(1)
+						m.Exit()
+						executed[w]++ // the high job runs to completion
+						continue
+					}
+					m.Exit()
+				}
+				executed[w]++
+			}
+		}(w)
+	}
+	swg.Wait()
+	m.Do(func() { done.Set(true) })
+	wwg.Wait()
+	elapsed := time.Since(start)
+
+	var submitted, hres, lres int64
+	for _, n := range subOps {
+		submitted += int64(n)
+	}
+	m.Do(func() { hres, lres = high.Get(), low.Get() })
+	var ran int64
+	for _, e := range executed {
+		ran += e
+	}
+	return finish(mech, m, elapsed, ran, (ran-submitted)+hres+lres)
+}
+
+func runPrioExplicit(subOps []int, workers int) Result {
+	m := core.NewExplicit()
+	work := m.NewCond()
+	var high, low int64
+	var done bool
+	executed := make([]int64, workers)
+
+	var swg, wwg sync.WaitGroup
+	start := time.Now()
+	for i := range subOps {
+		swg.Add(1)
+		go func(n int) {
+			defer swg.Done()
+			for j := 0; j < n; j++ {
+				m.Enter()
+				if j%2 == 0 {
+					high++
+				} else {
+					low++
+				}
+				work.Signal()
+				m.Exit()
+			}
+		}(subOps[i])
+	}
+	for w := 0; w < workers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			for {
+				m.Enter()
+				work.Await(func() bool { return high >= 1 || low >= 1 || done })
+				var kind int
+				if high >= 1 {
+					high--
+					kind = 2
+				} else if low >= 1 {
+					low--
+					kind = 1
+				}
+				m.Exit()
+				if kind == 0 {
+					return
+				}
+				if kind == 1 {
+					m.Enter()
+					if high >= 1 {
+						high--
+						low++
+						work.Signal() // the requeued low job is runnable again
+						m.Exit()
+						executed[w]++
+						continue
+					}
+					m.Exit()
+				}
+				executed[w]++
+			}
+		}(w)
+	}
+	swg.Wait()
+	m.Enter()
+	done = true
+	work.Broadcast()
+	m.Exit()
+	wwg.Wait()
+	elapsed := time.Since(start)
+
+	var submitted int64
+	for _, n := range subOps {
+		submitted += int64(n)
+	}
+	var ran int64
+	for _, e := range executed {
+		ran += e
+	}
+	return finish(Explicit, m, elapsed, ran, (ran-submitted)+high+low)
+}
+
+func runPrioBaseline(subOps []int, workers int) Result {
+	m := core.NewBaseline()
+	var high, low int64
+	var done bool
+	executed := make([]int64, workers)
+
+	var swg, wwg sync.WaitGroup
+	start := time.Now()
+	for i := range subOps {
+		swg.Add(1)
+		go func(n int) {
+			defer swg.Done()
+			for j := 0; j < n; j++ {
+				m.Enter()
+				if j%2 == 0 {
+					high++
+				} else {
+					low++
+				}
+				m.Exit()
+			}
+		}(subOps[i])
+	}
+	for w := 0; w < workers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			for {
+				m.Enter()
+				m.Await(func() bool { return high >= 1 || low >= 1 || done })
+				var kind int
+				if high >= 1 {
+					high--
+					kind = 2
+				} else if low >= 1 {
+					low--
+					kind = 1
+				}
+				m.Exit()
+				if kind == 0 {
+					return
+				}
+				if kind == 1 {
+					m.Enter()
+					if high >= 1 {
+						high--
+						low++
+						m.Exit()
+						executed[w]++
+						continue
+					}
+					m.Exit()
+				}
+				executed[w]++
+			}
+		}(w)
+	}
+	swg.Wait()
+	m.Do(func() { done = true })
+	wwg.Wait()
+	elapsed := time.Since(start)
+
+	var submitted int64
+	for _, n := range subOps {
+		submitted += int64(n)
+	}
+	var ran int64
+	for _, e := range executed {
+		ran += e
+	}
+	return finish(Baseline, m, elapsed, ran, (ran-submitted)+high+low)
+}

@@ -1,0 +1,340 @@
+package problems
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Topics is the pub/sub broker's fixed topic count: one Select case per
+// topic, so the broker's multiplexing is static and every topic predicate
+// is statically known to the code generator.
+const Topics = 3
+
+func init() {
+	Register(Spec{
+		Name:           "pubsub-broker",
+		Runner:         RunPubSub,
+		DefaultThreads: 16,
+		CheckDesc:      "every published message fanned out to every subscriber exactly once",
+	})
+}
+
+// RunPubSub is a publish/subscribe broker multiplexed with Select:
+// publishers append messages to per-topic queues, and a single broker
+// thread Selects across the topic guards ("p0 >= 1", "p1 >= 1",
+// "p2 >= 1") plus a stop guard that only becomes true when publishing is
+// done and every topic has drained — so the broker parks on whichever
+// topic fires next instead of polling. Each relayed message fans out to
+// all subscribers by crediting the shared fan-out queue once per
+// subscriber; subscribers consume one credit at a time ("q >= 1 ||
+// flushed") and exit when the broker has flushed. Conservation counts
+// every hop: published × subscribers must equal consumed, with both the
+// topic queues and the fan-out queue empty.
+//
+// threads splits into subscribers (half, at least one), one broker, and
+// publishers (the rest); totalOps messages are published in total. Ops
+// counts fan-out deliveries consumed; Check is (consumed − published ×
+// subscribers) plus all queue residues (must be 0).
+func RunPubSub(mech Mechanism, threads, totalOps int) Result {
+	if threads < 3 {
+		threads = 3
+	}
+	subs := threads / 2
+	if subs < 1 {
+		subs = 1
+	}
+	pubs := threads - subs - 1 // one thread is the broker
+	if pubs < 1 {
+		pubs = 1
+	}
+	pubOps := split(totalOps, pubs)
+	switch mech {
+	case Explicit:
+		return runPubSubExplicit(pubOps, subs)
+	case Baseline:
+		return runPubSubBaseline(pubOps, subs)
+	default:
+		return runPubSubAuto(mech, pubOps, subs)
+	}
+}
+
+func runPubSubAuto(mech Mechanism, pubOps []int, subs int) Result {
+	m := newAuto(mech)
+	topics := []*core.IntCell{
+		m.NewInt("p0", 0), m.NewInt("p1", 0), m.NewInt("p2", 0),
+	}
+	q := m.NewInt("q", 0)
+	done := m.NewBool("done", false)
+	flushed := m.NewBool("flushed", false)
+	topicPreds := []*core.Predicate{
+		m.MustCompile("p0 >= 1"), m.MustCompile("p1 >= 1"), m.MustCompile("p2 >= 1"),
+	}
+	stopPred := m.MustCompile("done && p0 <= 0 && p1 <= 0 && p2 <= 0")
+	deliverable := m.MustCompile("q >= 1 || flushed")
+
+	consumed := make([]int64, subs)
+
+	var pwg, swg, bwg sync.WaitGroup
+	start := time.Now()
+	for i := range pubOps {
+		pwg.Add(1)
+		go func(i, n int) {
+			defer pwg.Done()
+			for j := 0; j < n; j++ {
+				t := (i + j) % Topics
+				m.Do(func() { topics[t].Add(1) })
+			}
+		}(i, pubOps[i])
+	}
+	bwg.Add(1)
+	go func() { // broker: one Select per relayed message
+		defer bwg.Done()
+		cases := make([]core.Case, 0, Topics+1)
+		stop := false
+		for t := 0; t < Topics; t++ {
+			t := t
+			cases = append(cases, m.When(topicPreds[t]).Then(func() {
+				topics[t].Add(-1)
+				q.Add(int64(subs)) // fan out: one credit per subscriber
+			}))
+		}
+		cases = append(cases, m.When(stopPred).Then(func() {
+			flushed.Set(true)
+			stop = true
+		}))
+		for !stop {
+			if _, err := core.Select(cases...); err != nil {
+				panic(err)
+			}
+		}
+	}()
+	for s := 0; s < subs; s++ {
+		swg.Add(1)
+		go func(s int) {
+			defer swg.Done()
+			for {
+				m.Enter()
+				await(deliverable)
+				if q.Get() >= 1 {
+					q.Add(-1)
+					consumed[s]++
+					m.Exit()
+					continue
+				}
+				fin := flushed.Get()
+				m.Exit()
+				if fin {
+					return
+				}
+			}
+		}(s)
+	}
+	pwg.Wait()
+	m.Do(func() { done.Set(true) })
+	bwg.Wait()
+	swg.Wait()
+	elapsed := time.Since(start)
+
+	var published int64
+	for _, n := range pubOps {
+		published += int64(n)
+	}
+	var got int64
+	for _, c := range consumed {
+		got += c
+	}
+	var residue int64
+	m.Do(func() {
+		residue = q.Get()
+		for _, tc := range topics {
+			residue += tc.Get()
+		}
+	})
+	return finish(mech, m, elapsed, got, (got-published*int64(subs))+residue)
+}
+
+func runPubSubExplicit(pubOps []int, subs int) Result {
+	m := core.NewExplicit()
+	topicCond := m.NewCond() // broker waits here, one cond for all topics + stop
+	subCond := m.NewCond()   // subscribers wait for fan-out credits
+	topics := make([]int64, Topics)
+	var q int64
+	var done, flushed bool
+
+	consumed := make([]int64, subs)
+
+	var pwg, swg, bwg sync.WaitGroup
+	start := time.Now()
+	for i := range pubOps {
+		pwg.Add(1)
+		go func(i, n int) {
+			defer pwg.Done()
+			for j := 0; j < n; j++ {
+				t := (i + j) % Topics
+				m.Enter()
+				topics[t]++
+				topicCond.Signal()
+				m.Exit()
+			}
+		}(i, pubOps[i])
+	}
+	bwg.Add(1)
+	go func() {
+		defer bwg.Done()
+		cases := make([]core.Case, 0, Topics+1)
+		stop := false
+		for t := 0; t < Topics; t++ {
+			t := t
+			cases = append(cases, topicCond.When(func() bool { return topics[t] >= 1 }).Then(func() {
+				topics[t]--
+				q += int64(subs)
+				for s := 0; s < subs; s++ {
+					subCond.Signal()
+				}
+			}))
+		}
+		cases = append(cases, topicCond.When(func() bool {
+			return done && topics[0] <= 0 && topics[1] <= 0 && topics[2] <= 0
+		}).Then(func() {
+			flushed = true
+			subCond.Broadcast()
+			stop = true
+		}))
+		for !stop {
+			if _, err := core.Select(cases...); err != nil {
+				panic(err)
+			}
+		}
+	}()
+	for s := 0; s < subs; s++ {
+		swg.Add(1)
+		go func(s int) {
+			defer swg.Done()
+			for {
+				m.Enter()
+				subCond.Await(func() bool { return q >= 1 || flushed })
+				if q >= 1 {
+					q--
+					consumed[s]++
+					m.Exit()
+					continue
+				}
+				fin := flushed
+				m.Exit()
+				if fin {
+					return
+				}
+			}
+		}(s)
+	}
+	pwg.Wait()
+	m.Enter()
+	done = true
+	topicCond.Broadcast()
+	m.Exit()
+	bwg.Wait()
+	swg.Wait()
+	elapsed := time.Since(start)
+
+	var published int64
+	for _, n := range pubOps {
+		published += int64(n)
+	}
+	var got int64
+	for _, c := range consumed {
+		got += c
+	}
+	residue := q
+	for _, tc := range topics {
+		residue += tc
+	}
+	return finish(Explicit, m, elapsed, got, (got-published*int64(subs))+residue)
+}
+
+func runPubSubBaseline(pubOps []int, subs int) Result {
+	m := core.NewBaseline()
+	topics := make([]int64, Topics)
+	var q int64
+	var done, flushed bool
+
+	consumed := make([]int64, subs)
+
+	var pwg, swg, bwg sync.WaitGroup
+	start := time.Now()
+	for i := range pubOps {
+		pwg.Add(1)
+		go func(i, n int) {
+			defer pwg.Done()
+			for j := 0; j < n; j++ {
+				t := (i + j) % Topics
+				m.Do(func() { topics[t]++ })
+			}
+		}(i, pubOps[i])
+	}
+	bwg.Add(1)
+	go func() {
+		defer bwg.Done()
+		cases := make([]core.Case, 0, Topics+1)
+		stop := false
+		for t := 0; t < Topics; t++ {
+			t := t
+			cases = append(cases, m.WhenFunc(func() bool { return topics[t] >= 1 }).Then(func() {
+				topics[t]--
+				q += int64(subs)
+			}))
+		}
+		cases = append(cases, m.WhenFunc(func() bool {
+			return done && topics[0] <= 0 && topics[1] <= 0 && topics[2] <= 0
+		}).Then(func() {
+			flushed = true
+			stop = true
+		}))
+		for !stop {
+			if _, err := core.Select(cases...); err != nil {
+				panic(err)
+			}
+		}
+	}()
+	for s := 0; s < subs; s++ {
+		swg.Add(1)
+		go func(s int) {
+			defer swg.Done()
+			for {
+				m.Enter()
+				m.Await(func() bool { return q >= 1 || flushed })
+				if q >= 1 {
+					q--
+					consumed[s]++
+					m.Exit()
+					continue
+				}
+				fin := flushed
+				m.Exit()
+				if fin {
+					return
+				}
+			}
+		}(s)
+	}
+	pwg.Wait()
+	m.Do(func() { done = true })
+	bwg.Wait()
+	swg.Wait()
+	elapsed := time.Since(start)
+
+	var published int64
+	for _, n := range pubOps {
+		published += int64(n)
+	}
+	var got int64
+	for _, c := range consumed {
+		got += c
+	}
+	residue := q
+	for _, tc := range topics {
+		residue += tc
+	}
+	return finish(Baseline, m, elapsed, got, (got-published*int64(subs))+residue)
+}

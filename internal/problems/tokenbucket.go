@@ -1,0 +1,185 @@
+package problems
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Parameters of the token-bucket rate limiter: a bucket of BucketCap
+// tokens refilled in batches of at most RefillBatch by a dedicated
+// refiller thread. RefillBatch ≤ BucketCap keeps every refill
+// satisfiable, so the workload cannot wedge.
+const (
+	BucketCap   = 32
+	RefillBatch = 8
+)
+
+func init() {
+	Register(Spec{
+		Name:           "token-bucket",
+		Runner:         RunTokenBucket,
+		DefaultThreads: 16,
+		CheckDesc:      "every minted token granted exactly once, bucket drained",
+	})
+}
+
+// RunTokenBucket is a token-bucket rate limiter: a refiller mints tokens
+// in batches, parking on bucket space ("tokens + b <= cap" — the batch
+// size is thread-local, so the explicit version must broadcast), while
+// client threads each take one token per operation ("tokens >= 1" — the
+// §4.3 threshold shape, pruned by the min-heap over tokens). The refiller
+// mints exactly totalOps tokens in total and the clients consume exactly
+// totalOps, so at the end the bucket must be empty: conservation is
+// granted − minted plus the residue.
+//
+// threads is the number of client threads (the refiller rides on top);
+// totalOps is the total number of grants. Ops counts grants; Check is
+// (granted − minted) + residual tokens (must be 0).
+func RunTokenBucket(mech Mechanism, threads, totalOps int) Result {
+	if threads < 1 {
+		threads = 1
+	}
+	ops := split(totalOps, threads)
+	switch mech {
+	case Explicit:
+		return runBucketExplicit(ops, totalOps)
+	case Baseline:
+		return runBucketBaseline(ops, totalOps)
+	default:
+		return runBucketAuto(mech, ops, totalOps)
+	}
+}
+
+func runBucketExplicit(ops []int, total int) Result {
+	m := core.NewExplicit()
+	spaceCond := m.NewCond() // refiller waits for batch room
+	grantCond := m.NewCond() // clients wait for a token
+	var tokens, minted, granted int64
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(1)
+	go func() { // refiller
+		defer wg.Done()
+		rng := newRand(0xb0cce7)
+		for minted < int64(total) {
+			b := rng.intn(RefillBatch)
+			if rest := int64(total) - minted; b > rest {
+				b = rest
+			}
+			m.Enter()
+			spaceCond.Await(func() bool { return tokens+b <= BucketCap })
+			tokens += b
+			minted += b
+			// Batch sizes and the clients' unit takes are different
+			// predicates: wake the whole grant side.
+			grantCond.Broadcast()
+			m.Exit()
+		}
+	}()
+	for i := range ops {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for op := 0; op < n; op++ {
+				m.Enter()
+				grantCond.Await(func() bool { return tokens >= 1 })
+				tokens--
+				granted++
+				spaceCond.Broadcast() // room for the refiller's next batch
+				m.Exit()
+			}
+		}(ops[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return finish(Explicit, m, elapsed, granted, (granted-minted)+tokens)
+}
+
+func runBucketBaseline(ops []int, total int) Result {
+	m := core.NewBaseline()
+	var tokens, minted, granted int64
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := newRand(0xb0cce7)
+		for minted < int64(total) {
+			b := rng.intn(RefillBatch)
+			if rest := int64(total) - minted; b > rest {
+				b = rest
+			}
+			m.Enter()
+			m.Await(func() bool { return tokens+b <= BucketCap })
+			tokens += b
+			minted += b
+			m.Exit()
+		}
+	}()
+	for i := range ops {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for op := 0; op < n; op++ {
+				m.Enter()
+				m.Await(func() bool { return tokens >= 1 })
+				tokens--
+				granted++
+				m.Exit()
+			}
+		}(ops[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return finish(Baseline, m, elapsed, granted, (granted-minted)+tokens)
+}
+
+func runBucketAuto(mech Mechanism, ops []int, total int) Result {
+	m := newAuto(mech)
+	tokens := m.NewInt("tokens", 0)
+	m.NewInt("cap", BucketCap)
+	hasRoom := m.MustCompile("tokens + b <= cap")
+	hasToken := m.MustCompile("tokens >= 1")
+	var minted, granted int64
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := newRand(0xb0cce7)
+		for minted < int64(total) {
+			b := rng.intn(RefillBatch)
+			if rest := int64(total) - minted; b > rest {
+				b = rest
+			}
+			m.Enter()
+			await(hasRoom, core.BindInt("b", b))
+			tokens.Add(b)
+			minted += b
+			m.Exit()
+		}
+	}()
+	for i := range ops {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for op := 0; op < n; op++ {
+				m.Enter()
+				await(hasToken)
+				tokens.Add(-1)
+				granted++
+				m.Exit()
+			}
+		}(ops[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var residue int64
+	m.Do(func() { residue = tokens.Get() })
+	return finish(mech, m, elapsed, granted, (granted-minted)+residue)
+}

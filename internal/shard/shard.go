@@ -23,6 +23,7 @@ package shard
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 )
@@ -161,6 +162,14 @@ func (sm *Monitor) AwaitPredCtx(ctx context.Context, key uint64, p *Predicate, b
 	return sm.shards[i].AwaitPredCtx(ctx, p.On(i), binds...)
 }
 
+// AwaitPredDeadline is AwaitPred with an absolute deadline; the expiry
+// rides the owning shard's timer wheel (each shard services its own
+// deadlines — no cross-shard timer traffic).
+func (sm *Monitor) AwaitPredDeadline(deadline time.Time, key uint64, p *Predicate, binds ...core.Binding) error {
+	i := sm.Index(key)
+	return sm.shards[i].AwaitPredDeadline(deadline, p.On(i), binds...)
+}
+
 // AwaitFunc blocks on key's shard until the closure holds; caller inside
 // the shard's monitor.
 func (sm *Monitor) AwaitFunc(key uint64, pred func() bool) { sm.Of(key).AwaitFunc(pred) }
@@ -168,6 +177,17 @@ func (sm *Monitor) AwaitFunc(key uint64, pred func() bool) { sm.Of(key).AwaitFun
 // AwaitFuncCtx is AwaitFunc with cancellation.
 func (sm *Monitor) AwaitFuncCtx(ctx context.Context, key uint64, pred func() bool) error {
 	return sm.Of(key).AwaitFuncCtx(ctx, pred)
+}
+
+// AwaitFuncDeadline is AwaitFunc with an absolute deadline on key's
+// shard; see core.Monitor.AwaitFuncDeadline for the expiry semantics.
+func (sm *Monitor) AwaitFuncDeadline(deadline time.Time, key uint64, pred func() bool) error {
+	return sm.Of(key).AwaitFuncDeadline(deadline, pred)
+}
+
+// AwaitFuncTimeout is AwaitFuncDeadline with a relative duration.
+func (sm *Monitor) AwaitFuncTimeout(d time.Duration, key uint64, pred func() bool) error {
+	return sm.Of(key).AwaitFuncTimeout(d, pred)
 }
 
 // Arm registers a handle for a sharded predicate on key's shard without

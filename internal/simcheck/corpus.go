@@ -22,6 +22,7 @@ var corpus = map[string]func() Program{
 	"select-2x2":          select2x2Program,
 	"select-loser-cancel": selectLoserCancelProgram,
 	"counter-watch":       counterWatchProgram,
+	"deadline-buffer":     deadlineBufferProgram,
 }
 
 // Programs lists the corpus names, sorted.
@@ -234,6 +235,33 @@ func selectLoserCancelProgram() Program {
 			{Name: "py", Ops: []Op{
 				Step("fy", func(s State) { s["y"]++ }).On(1),
 				Step("fy", func(s State) { s["y"]++ }).On(1),
+			}},
+		},
+	}
+}
+
+// deadlineBufferProgram is the deadline'd buffer: two consumers each
+// need one of the producer's two items, one of them on a deadline'd
+// wait. Because both items appear at once, the relay signal can be in
+// flight to the deadline'd consumer when its timer fires — expiry must
+// reconcile that signal and relay it to the plain waiter, or the waiter
+// loses its wake-up. With DisableCancelRepair the checker reports the
+// relay-invariance breach at exactly that step.
+func deadlineBufferProgram() Program {
+	items := func(s State) bool { return s["count"] > 0 }
+	return Program{
+		Init: State{"count": 0, "missed": 0},
+		Threads: []Thread{
+			{Name: "deadliner", Ops: []Op{
+				WaitDeadline("take", items,
+					func(s State) { s["count"]-- },
+					func(s State) { s["missed"]++ }),
+			}},
+			{Name: "waiter", Ops: []Op{
+				Wait("take", items, func(s State) { s["count"]-- }),
+			}},
+			{Name: "producer", Ops: []Op{
+				Step("put2", func(s State) { s["count"] += 2 }),
 			}},
 		},
 	}

@@ -1,0 +1,162 @@
+package simcheck
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestDeadlineRescuesDeadlock: a waiter whose predicate can never become
+// true is a guaranteed deadlock as a plain Wait (TestDetectsGenuineDeadlock)
+// — as a deadline'd wait, every schedule instead terminates through the
+// timer branch, the expiry action runs exactly once, and no waiter leaks.
+func TestDeadlineRescuesDeadlock(t *testing.T) {
+	p := Program{
+		Init: State{"x": 0, "missed": 0},
+		Threads: []Thread{
+			{Name: "stuck", Ops: []Op{
+				WaitDeadline("never", func(s State) bool { return s["x"] > 0 },
+					nil, func(s State) { s["missed"]++ }),
+			}},
+		},
+	}
+	res, err := Explore(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Terminals) != 1 {
+		t.Fatalf("terminal set = %v, want exactly the expired state", res.Terminals)
+	}
+	want := State{"x": 0, "missed": 1}
+	if res.Terminals[0].key() != want.key() {
+		t.Fatalf("terminal = %s, want %s", res.Terminals[0].key(), want.key())
+	}
+}
+
+// TestDeadlineFastPathHidesTimer: a deadline'd wait whose predicate holds
+// at entry completes on the fast path without ever exposing the timer —
+// one terminal state, the expiry action never runs.
+func TestDeadlineFastPathHidesTimer(t *testing.T) {
+	p := Program{
+		Init: State{"x": 1, "missed": 0},
+		Threads: []Thread{
+			{Name: "lucky", Ops: []Op{
+				WaitDeadline("take", func(s State) bool { return s["x"] > 0 },
+					func(s State) { s["x"]-- }, func(s State) { s["missed"]++ }),
+			}},
+		},
+	}
+	res, err := Explore(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := State{"x": 0, "missed": 0}
+	if len(res.Terminals) != 1 || res.Terminals[0].key() != want.key() {
+		t.Fatalf("terminal set = %v, want exactly %s", res.Terminals, want.key())
+	}
+}
+
+// TestDeadlineBufferAllInterleavings explores the deadline-buffer corpus
+// program exhaustively, deterministic and nondeterministic relay alike,
+// and pins the exact terminal set: the deadline'd consumer either takes
+// its item (count 0) or expires and leaves it (count 1, missed 1) — and
+// the plain waiter is served on every schedule, which is the relay-repair
+// obligation of the timer branch.
+func TestDeadlineBufferAllInterleavings(t *testing.T) {
+	for _, opts := range []Options{{}, {RelayNondet: true}} {
+		res, err := Explore(MustProgram("deadline-buffer"), opts)
+		if err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		set := res.TerminalSet()
+		took := State{"count": 0, "missed": 0}
+		expired := State{"count": 1, "missed": 1}
+		if len(set) != 2 {
+			t.Fatalf("opts %+v: terminal set %v, want {%s, %s}", opts, keysOf(set), took.key(), expired.key())
+		}
+		for _, want := range []State{took, expired} {
+			if _, ok := set[want.key()]; !ok {
+				t.Errorf("opts %+v: terminal %s unreachable", opts, want.key())
+			}
+		}
+	}
+}
+
+// TestDeadlineBufferLinearizable: every terminal reachable under relay
+// signaling with deadline expiries is also reachable under the sequential
+// reference — the timer branch restricts outcomes like every other relay
+// rule, it never invents one.
+func TestDeadlineBufferLinearizable(t *testing.T) {
+	if _, err := CheckLinearizable(MustProgram("deadline-buffer"), Options{RelayNondet: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeadlineRepairMutationCaught seeds the DisableCancelRepair
+// mutation: when the timer consumes an in-flight relay signal without
+// passing it onward, the plain waiter's wake-up is lost. The checker
+// must find the schedule (producer relays to the deadline'd consumer,
+// then its timer fires) and report it — as the relay-invariance breach
+// at the expiry step, or as the downstream starvation — and the printed
+// schedule must replay to the same verdict.
+func TestDeadlineRepairMutationCaught(t *testing.T) {
+	opts := Options{DisableCancelRepair: true}
+	err := Check(MustProgram("deadline-buffer"), opts)
+	if err == nil {
+		t.Fatal("DisableCancelRepair mutation survived the deadline-buffer exploration")
+	}
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("non-violation error: %v", err)
+	}
+	if !strings.Contains(v.Kind, "relay invariance") && !strings.Contains(v.Kind, "deadlock") {
+		t.Fatalf("unexpected violation kind: %v", err)
+	}
+	if v.Schedule == "" {
+		t.Fatal("violation carries no replayable schedule")
+	}
+	rerr := Replay(MustProgram("deadline-buffer"), v.Schedule, opts)
+	var rv *Violation
+	if !errors.As(rerr, &rv) || rv.Kind != v.Kind {
+		t.Fatalf("replay of %q = %v, want the original %q", v.Schedule, rerr, v.Kind)
+	}
+}
+
+// TestDeadlineBoundedBufferMix: deadline'd consumers inside the classic
+// bounded buffer — a producer refills behind a consumer that may expire,
+// so timer branches interleave with futile wakes and barging. Every
+// schedule must stay clean; accounting closes the books: takes plus
+// misses equals the consumers' demand.
+func TestDeadlineBoundedBufferMix(t *testing.T) {
+	space := func(s State) bool { return s["count"] < s["cap"] }
+	items := func(s State) bool { return s["count"] > 0 }
+	take := func(s State) { s["count"]--; s["takes"]++ }
+	miss := func(s State) { s["misses"]++ }
+	p := Program{
+		Init: State{"count": 0, "cap": 1, "takes": 0, "misses": 0},
+		Threads: []Thread{
+			{Name: "producer", Ops: []Op{
+				Wait("put", space, func(s State) { s["count"]++ }),
+				Wait("put", space, func(s State) { s["count"]++ }),
+			}},
+			{Name: "dl1", Ops: []Op{WaitDeadline("take", items, take, miss)}},
+			{Name: "dl2", Ops: []Op{WaitDeadline("take", items, take, miss)}},
+		},
+	}
+	// An expired consumer leaves its item in the buffer, so the producer's
+	// second put can block forever — cap it with a deadline'd observation:
+	// the terminal books must balance instead.
+	p.Threads[0].Ops[1] = WaitDeadline("put", space, func(s State) { s["count"]++ }, nil)
+	res, err := Explore(p, Options{RelayNondet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Terminals {
+		if s["takes"]+s["misses"] != 2 {
+			t.Errorf("books do not balance at terminal %s", s.key())
+		}
+	}
+	if _, err := CheckLinearizable(p, Options{RelayNondet: true}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,8 +1,10 @@
 package simcheck
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/problems"
@@ -60,6 +62,7 @@ func Shapes() []Shape {
 		cancelRepairShape(),
 		select2Shape(),
 		counterShape(),
+		deadlineShape(),
 	}
 }
 
@@ -236,6 +239,51 @@ func select2Shape() Shape {
 		return State{"x": x, "y": y, "sel": sel}
 	}
 	return Shape{Name: "select2", Model: model, Run: run}
+}
+
+// deadlineShape mirrors the deadline-buffer corpus program for real: a
+// short AwaitFuncTimeout races the producer and the plain waiter. The
+// deadline'd consumer either takes an item or expires with ErrDeadline
+// — and because an observed expiry wins the race against the predicate
+// becoming true, the expired-with-items-present outcome is real too.
+// The model's always-eligible timer branch enumerates exactly this set.
+func deadlineShape() Shape {
+	run := func(mech problems.Mechanism) State {
+		r := NewRig(mech)
+		var count, missed int64
+		var wg sync.WaitGroup
+		wg.Add(3)
+		go func() { // deadliner
+			defer wg.Done()
+			r.Mech.Enter()
+			err := r.Mech.AwaitFuncTimeout(500*time.Microsecond, func() bool { return count > 0 })
+			switch {
+			case err == nil:
+				count--
+			case errors.Is(err, core.ErrDeadline):
+				missed++
+			default:
+				panic(err)
+			}
+			r.Pulse()
+			r.Mech.Exit()
+		}()
+		go func() { // plain waiter
+			defer wg.Done()
+			r.Mech.Enter()
+			r.Mech.AwaitFunc(func() bool { return count > 0 })
+			count--
+			r.Pulse()
+			r.Mech.Exit()
+		}()
+		go func() { // producer
+			defer wg.Done()
+			r.Mech.Do(func() { count += 2; r.Pulse() })
+		}()
+		wg.Wait()
+		return State{"count": count, "missed": missed}
+	}
+	return Shape{Name: "deadline", Model: MustProgram("deadline-buffer"), Run: run}
 }
 
 // counterShape: the shard.Counter watch protocol — two sub-threshold

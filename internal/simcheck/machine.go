@@ -145,6 +145,7 @@ const (
 	phCwFlush                // counter wait: flushing shard sub
 	phCwTry                  // counter wait: first summary evaluation
 	phCwBlocked              // counter wait: parked on the summary
+	phExpired                // deadline wait: timer fired, expiry section pending
 	phDone                   // program finished
 	phPanicked               // terminated by a panicking body
 )
@@ -366,9 +367,12 @@ func (mc *machine) runnable(c *config, ti int) bool {
 			return w.notified || (ref && w.pred(c.state))
 		}
 		return true
-	case phSelPoll, phSelArm, phSelCancel, phCwFlush, phCwTry:
+	case phSelPoll, phSelArm, phSelCancel, phCwFlush, phCwTry, phExpired:
 		return true
 	case phBlocked, phCwBlocked:
+		if t.ph == phBlocked && mc.threads[ti][t.pc].Kind == OpWaitDeadline {
+			return true // the deadline timer is always eligible to fire
+		}
 		wi := c.findWaiter(ti, "", -1)
 		if wi < 0 {
 			return false
@@ -523,7 +527,7 @@ func (mc *machine) exec(c *config, ti int, ch *chooser) (string, *Violation) {
 			advance()
 			label = name
 
-		case OpWait:
+		case OpWait, OpWaitDeadline:
 			if op.Guard(c.state) {
 				runBody(op.Body)
 				advance()
@@ -624,6 +628,27 @@ func (mc *machine) exec(c *config, ti int, ch *chooser) (string, *Violation) {
 	case phBlocked:
 		wi := c.findWaiter(ti, "", -1)
 		w := &c.waiters[wi]
+		if op.Kind == OpWaitDeadline {
+			// A parked deadline'd waiter has up to two enabled branches:
+			// the signaled resume (when it would be runnable as a plain
+			// wait) and the timer firing. When both are enabled the pick
+			// is a scheduler choice — branch 1 is the timer winning the
+			// race against an already-delivered signal.
+			resumable := w.notified || (mc.opts.Reference && w.pred(c.state))
+			if !resumable || ch.pick(2) == 1 {
+				// Timer fires: unregister with Cancel's relay repair —
+				// reconcile any in-flight signal addressed to this
+				// waiter and relay it onward. The expiry continuation
+				// and its exit relay run as a separate section
+				// (phExpired), so a skipped repair's lost signal is
+				// visible to the invariant checker in between, exactly
+				// the window where the real bug loses a wake-up.
+				mc.cancelWaiter(c, wi, ch)
+				t.ph = phExpired
+				label = name + " (deadline)"
+				break
+			}
+		}
 		mon := w.mon
 		consume(w)
 		if op.Guard(c.state) {
@@ -640,6 +665,14 @@ func (mc *machine) exec(c *config, ti int, ch *chooser) (string, *Violation) {
 		w.notified = false
 		mc.relay(c, mon, ch)
 		label = name + " (futile wake)"
+
+	case phExpired:
+		// The expiry continuation: the caller's ErrDeadline fallback runs
+		// under the re-acquired monitor, then the monitor exit relays.
+		runBody(op.Else)
+		advance()
+		mc.relay(c, op.Mon, ch)
+		label = name + " (expired)"
 
 	case phSelPoll, phSelArm, phSelPark, phSelCancel:
 		return mc.execSelect(c, ti, ch, name)

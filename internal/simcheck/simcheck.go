@@ -31,6 +31,13 @@
 //     falsification, and loser cancellation with relay repair after the
 //     winner's exit — including the panic-unwinding order (body, exit
 //     relay, loser cancels, then the thread dies);
+//   - deadline-aware waits (AwaitDeadline): a parked deadline'd waiter
+//     has a second enabled transition — its timer firing — explored
+//     like any other scheduler choice, so every race between signal
+//     delivery and expiry is covered; expiry unregisters the waiter
+//     with Cancel's reconcile-and-relay repair (an orphaned in-flight
+//     signal is passed onward) and then runs the expiry continuation
+//     in its own atomic section;
 //   - guarded regions: Wait/Step bodies may be marked Panicking, which
 //     models Guard.Do's deferred unlock — the relay still runs, the
 //     thread terminates by panic;
@@ -142,15 +149,16 @@ type OpKind uint8
 // The op kinds. Build ops with the constructors below rather than by
 // struct literal; the zero Op is invalid.
 const (
-	OpStep        OpKind = iota // unguarded atomic section
-	OpWait                      // blocking waituntil + body
-	OpTry                       // non-blocking guarded section (Guard.Try)
-	OpArm                       // arm a wait handle into a named slot
-	OpClaim                     // claim the slot's handle (Wait.Claim)
-	OpCancel                    // cancel the slot's handle (Wait.Cancel)
-	OpSelect                    // cross-monitor select over guard cases
-	OpCounterAdd                // fold a delta into an aggregate counter
-	OpCounterWait               // aggregate wait: watch, flush, park
+	OpStep         OpKind = iota // unguarded atomic section
+	OpWait                       // blocking waituntil + body
+	OpTry                        // non-blocking guarded section (Guard.Try)
+	OpArm                        // arm a wait handle into a named slot
+	OpClaim                      // claim the slot's handle (Wait.Claim)
+	OpCancel                     // cancel the slot's handle (Wait.Cancel)
+	OpSelect                     // cross-monitor select over guard cases
+	OpCounterAdd                 // fold a delta into an aggregate counter
+	OpCounterWait                // aggregate wait: watch, flush, park
+	OpWaitDeadline               // deadline-aware waituntil (AwaitDeadline)
 )
 
 // SelCase is one guard case of a Select op: a predicate on a monitor and
@@ -180,7 +188,8 @@ type Op struct {
 	Guard Pred
 	// Body mutates the state inside the monitor. May be nil.
 	Body Action
-	// Else runs (inside the monitor) when an OpTry guard is false.
+	// Else runs (inside the monitor) when an OpTry guard is false, or as
+	// the expiry continuation of an OpWaitDeadline whose timer fired.
 	Else Action
 	// Panics marks the body as panicking after it runs: the modeled
 	// guarded region unwinds — exit relay, loser cancellation for
@@ -219,6 +228,24 @@ func Step(name string, body Action) Op {
 // exactly the shape of a member function that waits and then acts.
 func Wait(name string, pred Pred, body Action) Op {
 	return Op{Kind: OpWait, Name: name, Guard: pred, Body: body}
+}
+
+// WaitDeadline is the deadline-aware waituntil (AwaitDeadline /
+// AwaitFuncDeadline): it evaluates and parks exactly like Wait, but
+// while the thread is parked its deadline timer is a schedulable
+// transition of its own, always eligible — the model has no clock, so
+// exploration covers every race between signal delivery and expiry,
+// including the timer taking a waiter that already holds the in-flight
+// relay signal. When the timer branch is taken the waiter unregisters
+// with the same reconcile-and-relay repair as Cancel (an orphaned
+// signal must be passed onward, or a peer loses its wake-up), and the
+// expiry action then runs in its own atomic section — the caller's
+// ErrDeadline fallback under the re-acquired monitor — before the
+// thread continues past the op. A wait whose predicate already holds
+// at entry completes without ever exposing the timer, matching the
+// real fast path.
+func WaitDeadline(name string, pred Pred, body, expiry Action) Op {
+	return Op{Kind: OpWaitDeadline, Name: name, Guard: pred, Body: body, Else: expiry}
 }
 
 // Try is the non-blocking guarded section: evaluate pred once inside the
@@ -331,7 +358,7 @@ type Options struct {
 	// The checker must catch the resulting lost wake-ups.
 	DisableRelay bool
 	// DisableCancelRepair is a seeded mutation: Cancel (and Select
-	// loser cancellation) skips the relay repair.
+	// loser cancellation, and deadline expiry) skips the relay repair.
 	DisableCancelRepair bool
 }
 

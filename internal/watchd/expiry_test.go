@@ -1,0 +1,136 @@
+package watchd
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/testutil"
+)
+
+// TestIdleExpiry: armed sessions that see no activity for IdleExpiry are
+// cancelled by the janitor with ErrExpired — a cause distinct from
+// ErrEvicted — and counted in Stats.Expired, while the rest of the
+// daemon's accounting (armed population, drain) stays exact.
+func TestIdleExpiry(t *testing.T) {
+	cfg := smallConfig()
+	cfg.IdleExpiry = 20 * time.Millisecond
+	d := New(cfg)
+	defer testutil.NoLeaks(t, d)()
+	defer mustClose(t, d)
+
+	const n = 6
+	sessions := make([]*Session, n)
+	for i := range sessions {
+		s, err := d.Register(uint64(i))
+		if err != nil {
+			t.Fatalf("register %d: %v", i, err)
+		}
+		sessions[i] = s
+	}
+	// Nothing publishes, nothing renews: every session crosses the idle
+	// deadline and the janitor reaps the whole population.
+	testutil.WaitFor(t, 5*time.Second, 0, func() bool { return d.ArmedSessions() == 0 },
+		"armed population expired")
+	for i, s := range sessions {
+		if err := s.Err(); !errors.Is(err, ErrExpired) {
+			t.Errorf("session %d err = %v, want ErrExpired", i, err)
+		}
+		if errors.Is(s.Err(), ErrEvicted) {
+			t.Errorf("session %d expiry must not read as eviction", i)
+		}
+		if err := s.Renew(); !errors.Is(err, ErrExpired) {
+			t.Errorf("Renew on expired session %d = %v, want ErrExpired", i, err)
+		}
+	}
+	st := d.Stats()
+	if st.Expired != n {
+		t.Errorf("Stats.Expired = %d, want %d", st.Expired, n)
+	}
+	if st.Evicted != 0 {
+		t.Errorf("Stats.Evicted = %d, want 0 (no MaxIdle pressure configured)", st.Evicted)
+	}
+	if st.Active != 0 {
+		t.Errorf("Stats.Active = %d after full expiry", st.Active)
+	}
+}
+
+// TestIdleExpiryKeepAlive: Renew keep-alive touches and deliveries reset
+// the idle clock, so an active session outlives several expiry windows
+// while an abandoned one on the same daemon expires.
+func TestIdleExpiryKeepAlive(t *testing.T) {
+	cfg := smallConfig()
+	cfg.IdleExpiry = 40 * time.Millisecond
+	d := New(cfg)
+	defer testutil.NoLeaks(t, d)()
+	defer mustClose(t, d)
+
+	kept, err := d.Register(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abandoned, err := d.Register(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(4 * cfg.IdleExpiry)
+	for time.Now().Before(deadline) {
+		if err := kept.Renew(); err != nil {
+			t.Fatalf("keep-alive Renew: %v", err)
+		}
+		time.Sleep(cfg.IdleExpiry / 8)
+	}
+	if err := kept.Err(); err != nil {
+		t.Fatalf("kept session died across %v of keep-alives: %v", 4*cfg.IdleExpiry, err)
+	}
+	if !errors.Is(abandoned.Err(), ErrExpired) {
+		t.Fatalf("abandoned session err = %v, want ErrExpired", abandoned.Err())
+	}
+	// A delivery also counts as activity: publish, let the auto-renew-less
+	// session sit delivered (delivered sessions hold no armed waiter, so
+	// the janitor has nothing to reap), then renew and verify it is live.
+	if _, err := d.Publish(1); err != nil {
+		t.Fatal(err)
+	}
+	ev := recvEvent(t, kept)
+	if ev.Version < 1 {
+		t.Fatalf("delivered version = %d", ev.Version)
+	}
+	time.Sleep(2 * cfg.IdleExpiry)
+	if err := kept.Renew(); err != nil {
+		t.Fatalf("Renew after delivered dwell = %v", err)
+	}
+	kept.Cancel()
+}
+
+// TestIdleExpirySoak is the soak assertion for the time-based reaper:
+// a churned population under an idle deadline keeps expiring stragglers
+// (Expired > 0) while the churners refill the slots, and the run still
+// drains leak-free — expiry composes with cancellation, delivery, and
+// eviction bookkeeping instead of corrupting it.
+func TestIdleExpirySoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak runs are not short")
+	}
+	res, err := Soak(SoakConfig{
+		Sessions: 200,
+		Duration: 500 * time.Millisecond,
+		Churners: 2,
+		Daemon: Config{
+			// Default key space (4096) over 200 sessions: publishes rarely
+			// land on a watched key, so un-churned slots go idle and cross
+			// the deadline.
+			IdleExpiry: 100 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatalf("soak: %v\n%+v", err, res)
+	}
+	if res.Stats.Expired == 0 {
+		t.Fatalf("soak expired no sessions under a %v idle deadline: %s",
+			100*time.Millisecond, res.Stats.String())
+	}
+	if res.ResidualWaiters != 0 || res.LeakedGoroutines != 0 {
+		t.Fatalf("soak leaked: %d waiters, %d goroutines", res.ResidualWaiters, res.LeakedGoroutines)
+	}
+}

@@ -28,7 +28,10 @@
 // ErrSessionLimit, and when the armed-waiter population exceeds MaxIdle,
 // the least-recently-active idle sessions are evicted — their handles
 // cancelled with the mechanism's usual relay repair — so waiter memory
-// stays bounded under churn. Both are surfaced in Stats.
+// stays bounded under churn. An optional IdleExpiry deadline bounds
+// waiter lifetime by time the same way: a janitor expires armed sessions
+// (ErrExpired, distinct from ErrEvicted) that go a full deadline without
+// a delivery, Renew, or futile wake. All three are surfaced in Stats.
 //
 // # Delivery-channel accounting
 //
@@ -72,6 +75,13 @@ var (
 	// it sat idle while the armed-waiter population exceeded MaxIdle.
 	ErrEvicted = errors.New("watchd: session evicted under memory pressure")
 
+	// ErrExpired reports a session cancelled by the idle deadline: it went
+	// IdleExpiry without a delivery, Renew, or futile wake. Distinct from
+	// ErrEvicted — expiry is a per-session time contract, eviction is
+	// population-wide memory pressure — so clients can tell "come back
+	// later" from "you went away".
+	ErrExpired = errors.New("watchd: session expired after idle deadline")
+
 	// ErrCancelled reports a session cancelled by its client.
 	ErrCancelled = errors.New("watchd: session cancelled")
 
@@ -88,6 +98,12 @@ type Config struct {
 
 	MaxSessions int // admission gate; default 1<<17
 	MaxIdle     int // armed-waiter watermark for LRU eviction; 0 disables
+
+	// IdleExpiry, when positive, expires armed sessions that see no
+	// activity (delivery, Renew keep-alive, or futile wake) for this long:
+	// a janitor cancels them with ErrExpired. It bounds waiter lifetime by
+	// time the way MaxIdle bounds it by count.
+	IdleExpiry time.Duration
 
 	// OnEvent, when set, is called by the delivering dispatcher (outside
 	// all daemon locks) instead of sending on the session's Events
@@ -168,6 +184,7 @@ type Session struct {
 	events        chan Event
 	lruEl         *lruElem
 	lruEpoch      uint64
+	lastTouch     time.Time // guarded by d.lruMu; stamped on push/touch
 }
 
 // Key returns the watched key.
@@ -187,7 +204,7 @@ func (s *Session) Seen() int64 {
 func (s *Session) Events() <-chan Event { return s.events }
 
 // Err reports why the session ended: nil while live, ErrCancelled,
-// ErrEvicted, or ErrClosed afterwards.
+// ErrEvicted, ErrExpired, or ErrClosed afterwards.
 func (s *Session) Err() error {
 	s.dp.mu.Lock()
 	defer s.dp.mu.Unlock()
@@ -299,6 +316,8 @@ func (dp *dispatcher) removeLocked(s *Session, cause error) {
 	switch cause {
 	case ErrEvicted:
 		dp.d.evicted.Add(1)
+	case ErrExpired:
+		dp.d.expired.Add(1)
 	case ErrCancelled:
 		dp.d.cancelled.Add(1)
 	default:
@@ -442,6 +461,7 @@ type Daemon struct {
 	renewed    atomic.Uint64
 	cancelled  atomic.Uint64
 	evicted    atomic.Uint64
+	expired    atomic.Uint64
 	rejected   atomic.Uint64
 	closedOut  atomic.Uint64 // sessions cancelled by Close
 	delivered  atomic.Uint64
@@ -484,7 +504,56 @@ func New(cfg Config) *Daemon {
 		d.wg.Add(1)
 		go d.disp[i].run()
 	}
+	if cfg.IdleExpiry > 0 {
+		d.wg.Add(1)
+		go d.janitor()
+	}
 	return d
+}
+
+// janitor is the idle-expiry sweeper: at a fraction of IdleExpiry it
+// expires every armed session whose last activity is older than the
+// deadline. Scanning from the LRU tail terminates at the first
+// fresh-enough session, so a sweep costs O(expired), not O(armed).
+func (d *Daemon) janitor() {
+	defer d.wg.Done()
+	tick := d.cfg.IdleExpiry / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.quit:
+			return
+		case now := <-t.C:
+			d.expireIdle(now)
+		}
+	}
+}
+
+// expireIdle cancels (with ErrExpired) armed sessions untouched since
+// before now − IdleExpiry. The same pop-and-recheck discipline as
+// maybeEvict: the LRU pop is provisional, and only a session still armed,
+// not mid-claim, and untouched since the pop (epoch match) is expired —
+// anything else self-heals its LRU position on its next activity.
+func (d *Daemon) expireIdle(now time.Time) {
+	cutoff := now.Add(-d.cfg.IdleExpiry)
+	for {
+		d.lruMu.Lock()
+		if e := d.lru.tail; e == nil || e.s.lastTouch.After(cutoff) {
+			d.lruMu.Unlock()
+			return
+		}
+		s, epoch := d.lru.popOldest()
+		d.lruMu.Unlock()
+		s.dp.mu.Lock()
+		if s.state == sessionArmed && !s.claiming && s.lruEpoch == epoch {
+			s.dp.cancelLocked(s, ErrExpired)
+		}
+		s.dp.mu.Unlock()
+	}
 }
 
 // NumKeys returns the size of the watchable key space.
@@ -614,6 +683,7 @@ type Stats struct {
 	Renewed    uint64 `json:"renewed"`
 	Cancelled  uint64 `json:"cancelled"` // client cancels
 	Evicted    uint64 `json:"evicted"`   // memory-pressure evictions
+	Expired    uint64 `json:"expired"`   // idle-deadline expiries
 	Rejected   uint64 `json:"rejected"`  // admission-control rejections
 	ClosedOut  uint64 `json:"closed_out"`
 	Delivered  uint64 `json:"delivered"`
@@ -630,9 +700,9 @@ type Stats struct {
 // String renders the one-line summary soak reports print.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"active=%d armed=%d registered=%d renewed=%d delivered=%d cancelled=%d evicted=%d rejected=%d coalesced=%d futile=%d wake[%s]",
+		"active=%d armed=%d registered=%d renewed=%d delivered=%d cancelled=%d evicted=%d expired=%d rejected=%d coalesced=%d futile=%d wake[%s]",
 		s.Active, s.Armed, s.Registered, s.Renewed, s.Delivered,
-		s.Cancelled, s.Evicted, s.Rejected, s.Coalesced, s.Futile, s.WakeToClaim.String())
+		s.Cancelled, s.Evicted, s.Expired, s.Rejected, s.Coalesced, s.Futile, s.WakeToClaim.String())
 }
 
 // Stats snapshots the daemon.
@@ -644,6 +714,7 @@ func (d *Daemon) Stats() Stats {
 		Renewed:    d.renewed.Load(),
 		Cancelled:  d.cancelled.Load(),
 		Evicted:    d.evicted.Load(),
+		Expired:    d.expired.Load(),
 		Rejected:   d.rejected.Load(),
 		ClosedOut:  d.closedOut.Load(),
 		Delivered:  d.delivered.Load(),
@@ -778,6 +849,7 @@ func (d *Daemon) lruPush(s *Session) {
 		s.lruEl = &lruElem{s: s}
 	}
 	s.lruEpoch++
+	s.lastTouch = time.Now()
 	d.lru.pushFront(s.lruEl)
 	d.lruMu.Unlock()
 }
@@ -792,6 +864,7 @@ func (d *Daemon) lruTouch(s *Session) {
 		s.lruEl = &lruElem{s: s}
 	}
 	s.lruEpoch++
+	s.lastTouch = time.Now()
 	d.lru.pushFront(s.lruEl)
 	d.lruMu.Unlock()
 }
