@@ -11,12 +11,21 @@
 //	autosynch-bench -problem fifo-barrier -mech autosynch,explicit -threads 64
 //	autosynch-bench -problem sharded-kv -threads 256 -shards 16
 //	autosynch-bench -experiment scale-shards -ops 50000 -maxthreads 256
+//	autosynch-bench -experiment wake-policy -trace wake.trace
+//	autosynch-bench -analyze wake.trace
+//	autosynch-bench -experiment scale-shards -gomaxprocs 1,2,4 -json
 //
 // With -json every experiment additionally writes BENCH_<experiment>.json
 // (the harness.Report with its structured figure series), and -problem
 // writes BENCH_problem_<name>.json with the per-mechanism measurements,
 // so the perf trajectory is machine-readable; CI uploads the -quick -json
 // run as an artifact.
+//
+// -trace records the run in the internal/obs flight recorder and dumps
+// the merged event stream into a binary trace file; -analyze reloads such
+// a file and prints the wake-chain reconstruction (chain lengths, relay
+// hops, futile ratio, storm count). -gomaxprocs repeats the run once per
+// listed GOMAXPROCS value, suffixing JSON artifacts with -p<N>.
 //
 // Absolute runtimes will differ from the paper (goroutines on modern
 // hardware vs. Java threads on 2009 Xeons); the shapes — which mechanism
@@ -29,10 +38,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/problems"
 )
 
@@ -51,6 +63,9 @@ func main() {
 		quick      = flag.Bool("quick", false, "small smoke configuration (1 trial, 2000 ops, 32 threads)")
 		paper      = flag.Bool("paper", false, "the full §6.1 protocol (25 trials, drop best+worst)")
 		jsonOut    = flag.Bool("json", false, "additionally write BENCH_<experiment>.json files with the structured results")
+		traceFile  = flag.String("trace", "", "record the run in the flight recorder and write the event stream to this file")
+		analyze    = flag.String("analyze", "", "analyze a trace file written by -trace, print wake-chain tables, then exit")
+		procList   = flag.String("gomaxprocs", "", "comma-separated GOMAXPROCS values: repeat the run once per value (-p<N> json suffix)")
 	)
 	flag.Parse()
 
@@ -76,8 +91,20 @@ func main() {
 	if *shards < 0 {
 		usageError("-shards must be positive")
 	}
+	if *analyze != "" && (*experiment != "" || *problem != "" || *traceFile != "" || *procList != "") {
+		usageError("-analyze is a standalone mode: it reads a recorded trace and runs nothing")
+	}
+	procs, err := parseProcs(*procList)
+	if err != nil {
+		usageError(err.Error())
+	}
 	if flag.NArg() > 0 {
 		usageError(fmt.Sprintf("unexpected arguments: %s", strings.Join(flag.Args(), " ")))
+	}
+
+	if *analyze != "" {
+		runAnalyze(*analyze)
+		return
 	}
 
 	if *list {
@@ -113,34 +140,93 @@ func main() {
 		cfg.Protocol = harness.Paper
 	}
 
-	if *problem != "" {
-		runProblem(*problem, *mechList, *threads, *shards, cfg, *jsonOut)
-		return
+	// The recorder wraps the whole run (every GOMAXPROCS pass): monitors
+	// bind their rings at construction, so it must be active before any
+	// scenario builds one.
+	var rec *obs.Recorder
+	if *traceFile != "" {
+		rec = obs.Start(obs.DefaultRingSize)
 	}
 
-	exp := *experiment
-	if exp == "" {
-		exp = "all"
-	}
-	ids := []string{exp}
-	if exp == "all" {
-		ids = harness.IDs()
-	}
-	for _, id := range ids {
-		e, ok := harness.Find(id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
-			os.Exit(2)
+	for _, p := range procs {
+		suffix := ""
+		if p > 0 {
+			runtime.GOMAXPROCS(p)
+			suffix = fmt.Sprintf("-p%d", p)
+			fmt.Printf("[GOMAXPROCS=%d]\n", p)
 		}
-		start := time.Now()
-		rep := e.Run(cfg)
-		fmt.Println(rep.Text)
-		if *jsonOut {
-			writeJSON("BENCH_"+e.ID+".json", rep)
+		if *problem != "" {
+			runProblem(*problem, *mechList, *threads, *shards, cfg, *jsonOut, suffix)
+			continue
 		}
-		fmt.Printf("[%s completed in %v]\n\n%s\n", e.ID, time.Since(start).Round(time.Millisecond),
-			strings.Repeat("-", 72))
+
+		exp := *experiment
+		if exp == "" {
+			exp = "all"
+		}
+		ids := []string{exp}
+		if exp == "all" {
+			ids = harness.IDs()
+		}
+		for _, id := range ids {
+			e, ok := harness.Find(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+				os.Exit(2)
+			}
+			start := time.Now()
+			rep := e.Run(cfg)
+			fmt.Println(rep.Text)
+			if *jsonOut {
+				writeJSON("BENCH_"+e.ID+suffix+".json", rep)
+			}
+			fmt.Printf("[%s completed in %v]\n\n%s\n", e.ID, time.Since(start).Round(time.Millisecond),
+				strings.Repeat("-", 72))
+		}
 	}
+
+	if rec != nil {
+		obs.Stop()
+		events := rec.Events()
+		if err := obs.WriteFile(*traceFile, events, rec.Drops()); err != nil {
+			fmt.Fprintf(os.Stderr, "write trace %s: %v\n", *traceFile, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[wrote %s: %d events, %d rings, %d drops]\n",
+			*traceFile, len(events), len(rec.Rings()), rec.Drops())
+	}
+}
+
+// parseProcs parses the -gomaxprocs list; empty input means one pass at
+// the inherited GOMAXPROCS (encoded as the single value 0).
+func parseProcs(s string) ([]int, error) {
+	if s == "" {
+		return []int{0}, nil
+	}
+	var procs []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-gomaxprocs wants a comma-separated list of positive integers, got %q", part)
+		}
+		procs = append(procs, n)
+	}
+	return procs, nil
+}
+
+// runAnalyze loads a -trace file and prints the wake-chain view: the
+// aggregate analysis line, the chain-length distribution, and the
+// longest chains.
+func runAnalyze(path string) {
+	events, drops, err := obs.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "read trace %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d events\n", path, len(events))
+	an := obs.Analyze(events, drops)
+	fmt.Println(an.String())
+	fmt.Print(obs.LengthTable(obs.Chains(events)))
 }
 
 // usageError reports a flag-combination error and exits with the
@@ -186,7 +272,7 @@ type problemMechResult struct {
 
 // runProblem executes one registered scenario at a single configuration
 // point and prints a per-mechanism result table.
-func runProblem(name, mechList string, threads, shards int, cfg harness.Config, jsonOut bool) {
+func runProblem(name, mechList string, threads, shards int, cfg harness.Config, jsonOut bool, suffix string) {
 	spec, ok := problems.Lookup(name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown scenario %q; use -list\n", name)
@@ -244,6 +330,6 @@ func runProblem(name, mechList string, threads, shards int, cfg harness.Config, 
 		report.Results = append(report.Results, problemMechResult{Mechanism: mech.String(), Measurement: m})
 	}
 	if jsonOut {
-		writeJSON("BENCH_problem_"+spec.Name+".json", report)
+		writeJSON("BENCH_problem_"+spec.Name+suffix+".json", report)
 	}
 }

@@ -1,0 +1,196 @@
+// Command benchgate is the benchstat-style perf gate for the experiment
+// artifacts: it flattens the BENCH_<experiment>.json reports that
+// autosynch-bench -json writes into {"experiment/series/x": value} pairs
+// and compares them against a checked-in baseline, failing only on
+// order-of-magnitude regressions.
+//
+// Usage:
+//
+//	autosynch-bench -experiment all -quick -json
+//	benchgate -write              # record the current run as the baseline
+//	benchgate                     # gate the current run against it
+//
+// Only keys present in BOTH the baseline and the current run are
+// compared, so adding or removing an experiment never trips the gate;
+// and because CI machines, -quick budgets, and schedulers differ between
+// the machine that recorded the baseline and the one checking it, the
+// default tolerance is deliberately loose — a point fails only when it
+// is several times its baseline, which catches a broken relay search or
+// an accidental broadcast storm, not ordinary jitter. Points below the
+// noise floor (sub-millisecond quick-run values) are skipped entirely.
+//
+// Exit status: 0 when every compared point is within tolerance, 1 on a
+// regression or missing input, 2 on a usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+// baselineFile is the checked-in artifact: a flat map so diffs are
+// line-per-point and the gate's input is greppable.
+type baselineFile struct {
+	Note   string             `json:"note,omitempty"`
+	Values map[string]float64 `json:"values"`
+}
+
+func main() {
+	var (
+		dir       = flag.String("dir", ".", "directory holding the BENCH_<experiment>.json reports")
+		baseline  = flag.String("baseline", "BENCH_baseline.json", "baseline file to write (-write) or gate against")
+		write     = flag.Bool("write", false, "record the current reports as the new baseline instead of gating")
+		tolerance = flag.Float64("tolerance", 3.0, "fail a point only when current > tolerance x baseline")
+		floor     = flag.Float64("floor", 0.005, "skip points whose baseline value is below this (noise)")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: unexpected arguments: %s\n", strings.Join(flag.Args(), " "))
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *tolerance <= 1 {
+		fmt.Fprintf(os.Stderr, "benchgate: -tolerance must exceed 1, got %v\n", *tolerance)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	current, files, err := collect(*dir, *baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	if len(current) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no figure-shaped BENCH_*.json reports in %s (run autosynch-bench -json first)\n", *dir)
+		os.Exit(1)
+	}
+
+	if *write {
+		bf := baselineFile{
+			Note:   fmt.Sprintf("recorded by benchgate -write from %d reports; values are figure points (runtime seconds, latency µs, or counts) keyed experiment/series/x", files),
+			Values: current,
+		}
+		raw, err := json.MarshalIndent(bf, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: marshal baseline: %v\n", err)
+			os.Exit(1)
+		}
+		raw = append(raw, '\n')
+		if err := os.WriteFile(*baseline, raw, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchgate: wrote %s (%d points from %d reports)\n", *baseline, len(current), files)
+		return
+	}
+
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v (record one with -write)\n", err)
+		os.Exit(1)
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: parse %s: %v\n", *baseline, err)
+		os.Exit(1)
+	}
+
+	compared, skipped, regressions := gate(bf.Values, current, *tolerance, *floor)
+	for _, r := range regressions {
+		fmt.Printf("REGRESSION %-40s baseline %.4g -> current %.4g (%.2fx > %.2fx)\n",
+			r.key, r.base, r.cur, r.cur/r.base, *tolerance)
+	}
+	fmt.Printf("benchgate: %d points compared, %d below floor or sentinel, %d regressions (tolerance %.2fx)\n",
+		compared, skipped, len(regressions), *tolerance)
+	if len(regressions) > 0 {
+		os.Exit(1)
+	}
+}
+
+// collect flattens every figure-shaped report in dir into key->value
+// pairs; reports without a structured figure (text-only experiments,
+// problem runs, the watchd artifact, the baseline itself) are skipped.
+func collect(dir, baselinePath string) (map[string]float64, int, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, 0, err
+	}
+	values := make(map[string]float64)
+	files := 0
+	for _, path := range paths {
+		if filepath.Base(path) == filepath.Base(baselinePath) {
+			continue
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		var rep harness.Report
+		if err := json.Unmarshal(raw, &rep); err != nil || rep.ID == "" || rep.Figure == nil {
+			continue // not a figure-shaped experiment report
+		}
+		n := flatten(values, rep)
+		if n > 0 {
+			files++
+		}
+	}
+	return values, files, nil
+}
+
+// flatten adds one report's figure points under experiment/series/x keys
+// and returns how many it added.
+func flatten(into map[string]float64, rep harness.Report) int {
+	added := 0
+	for _, s := range rep.Figure.Series {
+		for i, x := range rep.Figure.XS {
+			if i >= len(s.Points) {
+				break
+			}
+			into[fmt.Sprintf("%s/%s/%d", rep.ID, s.Label, x)] = s.Points[i]
+			added++
+		}
+	}
+	return added
+}
+
+// regression is one point outside the tolerance band.
+type regression struct {
+	key       string
+	base, cur float64
+}
+
+// gate compares the shared keys of baseline and current. Points whose
+// baseline is below floor are noise; non-positive values are the
+// harness's conservation-failure sentinel (or an empty point) and are
+// never compared — conservation is the test suite's job, not the perf
+// gate's.
+func gate(base, current map[string]float64, tolerance, floor float64) (compared, skipped int, regs []regression) {
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b := base[k]
+		c, ok := current[k]
+		if !ok {
+			continue
+		}
+		if b <= floor || c <= 0 {
+			skipped++
+			continue
+		}
+		compared++
+		if c > tolerance*b {
+			regs = append(regs, regression{key: k, base: b, cur: c})
+		}
+	}
+	return compared, skipped, regs
+}

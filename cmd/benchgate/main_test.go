@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func TestGateTolerance(t *testing.T) {
+	base := map[string]float64{
+		"fig8/autosynch/2":   0.010,
+		"fig8/autosynch/4":   0.010,
+		"fig8/baseline/2":    0.004, // below floor: never compared
+		"fig9/autosynch/2":   0.010, // missing from current: never compared
+		"fig10/autosynch/2":  0.010, // sentinel in current: never compared
+		"wake-policy/p99/16": 100.0,
+	}
+	current := map[string]float64{
+		"fig8/autosynch/2":   0.029, // 2.9x: within the 3x band
+		"fig8/autosynch/4":   0.031, // 3.1x: regression
+		"fig8/baseline/2":    9.999,
+		"fig10/autosynch/2":  -1,
+		"wake-policy/p99/16": 90.0, // improvements never fail
+		"fig99/new/2":        5.0,  // not in baseline: never compared
+	}
+	compared, skipped, regs := gate(base, current, 3.0, 0.005)
+	if compared != 3 {
+		t.Errorf("compared = %d, want 3", compared)
+	}
+	if skipped != 2 {
+		t.Errorf("skipped = %d, want 2 (floor + sentinel)", skipped)
+	}
+	if len(regs) != 1 || regs[0].key != "fig8/autosynch/4" {
+		t.Fatalf("regressions = %+v, want exactly fig8/autosynch/4", regs)
+	}
+}
+
+func TestCollectFlattensFigureReports(t *testing.T) {
+	dir := t.TempDir()
+	rep := harness.Report{
+		ID: "fig8",
+		Figure: &harness.Figure{
+			ID: "fig8", XS: []int{2, 4},
+			Series: []harness.Series{
+				{Label: "autosynch", Points: []float64{0.1, 0.2}},
+				{Label: "explicit", Points: []float64{0.3}}, // short series: only x=2
+			},
+		},
+	}
+	writeFile := func(name string, v any) {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("BENCH_fig8.json", rep)
+	writeFile("BENCH_watchd.json", map[string]any{"config": map[string]any{}, "result": map[string]any{}})
+	writeFile("BENCH_baseline.json", baselineFile{Values: map[string]float64{"x/y/1": 1}})
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_garbage.json"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	values, files, err := collect(dir, "BENCH_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files != 1 {
+		t.Errorf("files = %d, want 1 (watchd, garbage, and the baseline are skipped)", files)
+	}
+	want := map[string]float64{
+		"fig8/autosynch/2": 0.1,
+		"fig8/autosynch/4": 0.2,
+		"fig8/explicit/2":  0.3,
+	}
+	if len(values) != len(want) {
+		t.Fatalf("values = %v, want %v", values, want)
+	}
+	for k, v := range want {
+		if values[k] != v {
+			t.Errorf("values[%q] = %v, want %v", k, values[k], v)
+		}
+	}
+}

@@ -9,6 +9,13 @@
 //	watchd -sessions 100000 -duration 60s
 //	watchd -quick -json
 //	watchd -sessions 10000 -duration 20s -max-idle 9000 -min-evictions 1 -json
+//	watchd -quick -trace watchd.trace -metrics-addr 127.0.0.1:8125
+//
+// -trace records the soak in the internal/obs flight recorder and dumps
+// the event stream to a binary file (analyze it with autosynch-bench
+// -analyze). -metrics-addr serves the live daemon gauges — population,
+// armed waiters, delivery counters, ring accounting — as expvar-style
+// JSON at /debug/vars for the soak's duration.
 //
 // The exit status is the verdict: 0 means the population was sustained,
 // the drain was clean, and the eviction floor (if any) was met; 1 means
@@ -23,10 +30,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/watchd"
 )
 
@@ -50,6 +60,8 @@ type options struct {
 	quick        bool
 	jsonOut      bool
 	out          string
+	trace        string
+	metricsAddr  string
 }
 
 // validate rejects contradictory or meaningless flag combinations.
@@ -166,6 +178,8 @@ func main() {
 	flag.BoolVar(&o.quick, "quick", false, "small smoke configuration (5000 sessions, 3s)")
 	flag.BoolVar(&o.jsonOut, "json", false, "write the structured result to -out")
 	flag.StringVar(&o.out, "out", "BENCH_watchd.json", "path of the -json artifact")
+	flag.StringVar(&o.trace, "trace", "", "record the run in the flight recorder and write the event stream to this file")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve expvar-style metrics at http://<addr>/debug/vars during the soak")
 	flag.Parse()
 
 	set := make(map[string]bool)
@@ -190,8 +204,46 @@ func usageError(msg string) {
 // main minus flag parsing and os.Exit, so tests drive it directly.
 func run(o options, w *os.File) int {
 	fmt.Fprintf(w, "watchd soak: %d sessions for %v (max-idle %d)\n", o.sessions, o.duration, o.maxIdle)
+
+	// The recorder must be active before the daemon is built: monitors
+	// bind their rings at construction.
+	var rec *obs.Recorder
+	if o.trace != "" {
+		rec = obs.Start(obs.DefaultRingSize)
+	}
+	var reg *obs.Registry
+	if o.metricsAddr != "" {
+		reg = obs.NewRegistry()
+		ln, err := net.Listen("tcp", o.metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "watchd: metrics listener: %v\n", err)
+			return 1
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/debug/vars", reg)
+		go http.Serve(ln, mux) //nolint:errcheck // dies with the process
+		fmt.Fprintf(w, "[metrics at http://%s/debug/vars]\n", ln.Addr())
+	}
+
+	scfg := o.soakConfig()
+	if reg != nil {
+		scfg.OnDaemon = func(d *watchd.Daemon) { registerGauges(reg, d, rec) }
+	}
+
 	start := time.Now()
-	res, soakErr := watchd.Soak(o.soakConfig())
+	res, soakErr := watchd.Soak(scfg)
+
+	if rec != nil {
+		obs.Stop()
+		events := rec.Events()
+		if err := obs.WriteFile(o.trace, events, rec.Drops()); err != nil {
+			fmt.Fprintf(os.Stderr, "watchd: write trace %s: %v\n", o.trace, err)
+			return 1
+		}
+		fmt.Fprintf(w, "[wrote %s: %d events, %d rings, %d drops]\n",
+			o.trace, len(events), len(rec.Rings()), rec.Drops())
+	}
 	fmt.Fprintf(w, "sustained %d–%d sessions; published %d, churned %d, in %v\n",
 		res.SustainedMin, res.SustainedMax, res.Published, res.Churned,
 		time.Since(start).Round(time.Millisecond))
@@ -235,6 +287,22 @@ func run(o options, w *os.File) int {
 			res.Stats.WakeToClaim.P50(), res.Stats.WakeToClaim.P99(), res.Stats.WakeToClaim.P999())
 	}
 	return code
+}
+
+// registerGauges exposes the daemon's live population and counters (and
+// the flight recorder's ring accounting, when tracing) as sampled-on-read
+// metrics variables; the daemon outlives its Close for reads, so the
+// gauges stay valid for the whole process.
+func registerGauges(reg *obs.Registry, d *watchd.Daemon, rec *obs.Recorder) {
+	reg.Register("watchd.keys", func() any { return d.NumKeys() })
+	reg.Register("watchd.active_sessions", func() any { return d.ActiveSessions() })
+	reg.Register("watchd.armed_sessions", func() any { return d.ArmedSessions() })
+	reg.Register("watchd.waiting", func() any { return d.Waiting() })
+	reg.Register("watchd.stats", func() any { return d.Stats() })
+	if rec != nil {
+		reg.Register("obs.ring_writes", func() any { return rec.Writes() })
+		reg.Register("obs.ring_drops", func() any { return rec.Drops() })
+	}
 }
 
 // writeJSON marshals v into path. A missing artifact is a broken

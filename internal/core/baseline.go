@@ -5,7 +5,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/policy"
+	"repro/internal/stats"
 )
 
 // Baseline is the reference automatic-signal monitor of the paper's
@@ -34,6 +36,9 @@ type Baseline struct {
 	starveNs int64         // starvation threshold; 0 disables Starved
 	seq      uint64        // arrival counter for armed handles
 	wheel    *timerWheel   // deadline wheel, created on first deadline'd wait
+
+	rec *obs.Ring        // flight recorder ring; nil unless recording was active at construction
+	lat *stats.Histogram // wake-to-claim latency, allocated on first completed wait
 }
 
 // NewBaseline constructs a baseline monitor. Profiling enables the lock
@@ -45,6 +50,9 @@ func NewBaseline(opts ...Option) *Baseline {
 	}
 	b := &Baseline{profile: cfg.profile, pol: cfg.policy, starveNs: cfg.starveNs}
 	b.cond = sync.NewCond(&b.mu)
+	if rec := obs.Active(); rec != nil {
+		b.rec = rec.NewRing("baseline")
+	}
 	return b
 }
 
@@ -57,6 +65,9 @@ func (b *Baseline) Enter() {
 	} else {
 		b.mu.Lock()
 	}
+	if b.rec != nil {
+		b.rec.Record(obs.KEnter, 0, 0)
+	}
 	b.in = true
 }
 
@@ -64,6 +75,9 @@ func (b *Baseline) Enter() {
 func (b *Baseline) Exit() {
 	if !b.in {
 		panic("autosynch: Exit without Enter")
+	}
+	if b.rec != nil {
+		b.rec.Record(obs.KExit, 0, 0)
 	}
 	b.broadcastLocked()
 	b.in = false
@@ -74,6 +88,9 @@ func (b *Baseline) Exit() {
 // and notify every armed handle.
 func (b *Baseline) broadcastLocked() {
 	b.stats.Broadcasts++
+	if b.rec != nil {
+		b.rec.Record(obs.KBroadcast, 0, 0)
+	}
 	b.cond.Broadcast()
 	if len(b.armed.ws) > 0 {
 		b.armed.broadcast(nil)
@@ -219,8 +236,14 @@ func (b *Baseline) await(ctx context.Context, deadline time.Time, pred func() bo
 		if cw != nil && cw.cancelled {
 			if cw.err == ErrDeadline {
 				b.stats.Expired++
+				if b.rec != nil {
+					b.rec.Record(obs.KExpire, 0, 0)
+				}
 			}
 			b.stats.Abandons++
+			if b.rec != nil {
+				b.rec.Record(obs.KCancel, 0, 0)
+			}
 			b.waiting--
 			b.in = true
 			return cw.err
@@ -230,19 +253,26 @@ func (b *Baseline) await(ctx context.Context, deadline time.Time, pred func() bo
 			break
 		}
 		b.stats.FutileWakeups++
+		if b.rec != nil {
+			b.rec.Record(obs.KFutileWake, 0, 0)
+		}
 	}
 	b.waiting--
 	b.in = true
 	if cw != nil {
 		cw.finished = true
 	}
-	b.observeWait(since)
+	if b.rec != nil {
+		b.rec.Record(obs.KClaim, 0, 0)
+	}
+	b.observeWait(since, 0)
 	return nil
 }
 
 // observeWait folds a completed wait's duration into the fairness
-// counters. Runs under the monitor lock.
-func (b *Baseline) observeWait(since int64) {
+// counters. Runs under the monitor lock; seq identifies the waiter in
+// recorded events (0 for parked waiters, which carry no seq).
+func (b *Baseline) observeWait(since int64, seq uint64) {
 	if since == 0 {
 		return
 	}
@@ -252,7 +282,14 @@ func (b *Baseline) observeWait(since int64) {
 	}
 	if b.starveNs > 0 && ns > b.starveNs {
 		b.stats.Starved++
+		if b.rec != nil {
+			b.rec.Record(obs.KStarved, seq, ns)
+		}
 	}
+	if b.lat == nil {
+		b.lat = new(stats.Histogram)
+	}
+	b.lat.Observe(time.Duration(ns))
 }
 
 // timers lazily creates the monitor's deadline wheel. Runs under the
@@ -266,7 +303,12 @@ func (b *Baseline) timers() *timerWheel {
 
 // statExpired counts a handle that ended at its deadline. Runs under the
 // monitor lock.
-func (b *Baseline) statExpired() { b.stats.Expired++ }
+func (b *Baseline) statExpired(w *Wait) {
+	b.stats.Expired++
+	if b.rec != nil {
+		b.rec.Record(obs.KExpire, w.seq, 0)
+	}
+}
 
 // ArmFunc registers a closure-predicate waiter without blocking and
 // returns its handle: every broadcast (that is, every monitor exit)
@@ -284,6 +326,9 @@ func (b *Baseline) ArmFunc(pred func() bool) *Wait {
 	w.since = time.Now().UnixNano()
 	if b.pol != nil {
 		w.rank = b.pol.Rank(nil)
+	}
+	if b.rec != nil {
+		b.rec.Record(obs.KArm, w.seq, w.rank)
 	}
 	b.armed.add(w)
 	b.waiting++
@@ -313,13 +358,19 @@ func (b *Baseline) claimLocked(w *Wait) error {
 	if w.pred() {
 		b.stats.Claims++
 		w.state = waitClaimed
-		b.observeWait(w.since)
+		if b.rec != nil {
+			b.rec.Record(obs.KClaim, w.seq, 0)
+		}
+		b.observeWait(w.since, w.seq)
 		b.armed.remove(w)
 		b.waiting--
 		b.in = true
 		return nil
 	}
 	b.stats.FutileClaims++
+	if b.rec != nil {
+		b.rec.Record(obs.KFutileClaim, w.seq, 0)
+	}
 	w.rearm()
 	return ErrNotReady
 }
@@ -328,15 +379,36 @@ func (b *Baseline) claimLocked(w *Wait) error {
 // no further repair.
 func (b *Baseline) cancelLocked(w *Wait) {
 	b.stats.Abandons++
+	if b.rec != nil {
+		b.rec.Record(obs.KCancel, w.seq, 0)
+	}
 	b.armed.remove(w)
 	b.waiting--
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters, with the flight-recorder
+// fields folded in from the ring.
 func (b *Baseline) Stats() Stats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.stats
+	s := b.stats
+	if b.rec != nil {
+		s.ObsEvents = b.rec.Writes()
+		s.ObsDrops = b.rec.Drops()
+	}
+	return s
+}
+
+// WaitLatency returns a copy of the wake-to-claim latency histogram, or
+// nil if no wait has completed.
+func (b *Baseline) WaitLatency() *stats.Histogram {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.lat == nil {
+		return nil
+	}
+	h := *b.lat
+	return &h
 }
 
 // ResetStats zeroes the counters.

@@ -5,7 +5,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/policy"
+	"repro/internal/stats"
 )
 
 // Explicit is the instrumented explicit-signal monitor: a mutex with
@@ -41,6 +43,9 @@ type Explicit struct {
 	starveNs int64         // starvation threshold; 0 disables Starved
 	seq      uint64        // arrival counter for armed handles
 	wheel    *timerWheel   // deadline wheel, created on first deadline'd wait
+
+	rec *obs.Ring        // flight recorder ring; nil unless recording was active at construction
+	lat *stats.Histogram // wake-to-claim latency, allocated on first completed wait
 }
 
 // NewExplicit constructs an explicit-signal monitor.
@@ -51,6 +56,9 @@ func NewExplicit(opts ...Option) *Explicit {
 	}
 	e := &Explicit{profile: cfg.profile, pol: cfg.policy, starveNs: cfg.starveNs}
 	e.any = sync.NewCond(&e.mu)
+	if rec := obs.Active(); rec != nil {
+		e.rec = rec.NewRing("explicit")
+	}
 	return e
 }
 
@@ -63,6 +71,9 @@ func (e *Explicit) Enter() {
 	} else {
 		e.mu.Lock()
 	}
+	if e.rec != nil {
+		e.rec.Record(obs.KEnter, 0, 0)
+	}
 	e.in = true
 }
 
@@ -70,6 +81,9 @@ func (e *Explicit) Enter() {
 func (e *Explicit) Exit() {
 	if !e.in {
 		panic("autosynch: Exit without Enter")
+	}
+	if e.rec != nil {
+		e.rec.Record(obs.KExit, 0, 0)
 	}
 	e.in = false
 	e.mu.Unlock()
@@ -176,8 +190,14 @@ func (e *Explicit) waitLoop(ctx context.Context, deadline time.Time, cond *sync.
 		if cw != nil && cw.cancelled {
 			if cw.err == ErrDeadline {
 				e.stats.Expired++
+				if e.rec != nil {
+					e.rec.Record(obs.KExpire, 0, 0)
+				}
 			}
 			e.stats.Abandons++
+			if e.rec != nil {
+				e.rec.Record(obs.KCancel, 0, 0)
+			}
 			e.waiting--
 			e.in = true
 			return cw.err
@@ -187,19 +207,26 @@ func (e *Explicit) waitLoop(ctx context.Context, deadline time.Time, cond *sync.
 			break
 		}
 		e.stats.FutileWakeups++
+		if e.rec != nil {
+			e.rec.Record(obs.KFutileWake, 0, 0)
+		}
 	}
 	e.waiting--
 	e.in = true
 	if cw != nil {
 		cw.finished = true
 	}
-	e.observeWait(since)
+	if e.rec != nil {
+		e.rec.Record(obs.KClaim, 0, 0)
+	}
+	e.observeWait(since, 0)
 	return nil
 }
 
 // observeWait folds a completed wait's duration into the fairness
-// counters. Runs under the monitor lock.
-func (e *Explicit) observeWait(since int64) {
+// counters. Runs under the monitor lock; seq identifies the waiter in
+// recorded events (0 for parked condition waiters, which carry no seq).
+func (e *Explicit) observeWait(since int64, seq uint64) {
 	if since == 0 {
 		return
 	}
@@ -209,7 +236,14 @@ func (e *Explicit) observeWait(since int64) {
 	}
 	if e.starveNs > 0 && ns > e.starveNs {
 		e.stats.Starved++
+		if e.rec != nil {
+			e.rec.Record(obs.KStarved, seq, ns)
+		}
 	}
+	if e.lat == nil {
+		e.lat = new(stats.Histogram)
+	}
+	e.lat.Observe(time.Duration(ns))
 }
 
 // timers lazily creates the monitor's deadline wheel. Runs under the
@@ -223,7 +257,12 @@ func (e *Explicit) timers() *timerWheel {
 
 // statExpired counts a handle that ended at its deadline. Runs under the
 // monitor lock.
-func (e *Explicit) statExpired() { e.stats.Expired++ }
+func (e *Explicit) statExpired(w *Wait) {
+	e.stats.Expired++
+	if e.rec != nil {
+		e.rec.Record(obs.KExpire, w.seq, 0)
+	}
+}
 
 // ArmFunc registers a generic any-signal waiter without blocking and
 // returns its handle: any manual Signal or Broadcast on any of the
@@ -247,6 +286,9 @@ func (e *Explicit) armOn(l *waitList, pred func() bool) *Wait {
 	w.since = time.Now().UnixNano()
 	if e.pol != nil {
 		w.rank = e.pol.Rank(nil)
+	}
+	if e.rec != nil {
+		e.rec.Record(obs.KArm, w.seq, w.rank)
 	}
 	l.add(w)
 	e.waiting++
@@ -278,13 +320,19 @@ func (e *Explicit) claimLocked(w *Wait) error {
 	if w.pred() {
 		e.stats.Claims++
 		w.state = waitClaimed
-		e.observeWait(w.since)
+		if e.rec != nil {
+			e.rec.Record(obs.KClaim, w.seq, 0)
+		}
+		e.observeWait(w.since, w.seq)
 		w.list.remove(w)
 		e.waiting--
 		e.in = true
 		return nil
 	}
 	e.stats.FutileClaims++
+	if e.rec != nil {
+		e.rec.Record(obs.KFutileClaim, w.seq, 0)
+	}
 	w.rearm()
 	w.list.requeue(w)
 	return ErrNotReady
@@ -294,15 +342,36 @@ func (e *Explicit) claimLocked(w *Wait) error {
 // manual signaling discipline needs no further repair.
 func (e *Explicit) cancelLocked(w *Wait) {
 	e.stats.Abandons++
+	if e.rec != nil {
+		e.rec.Record(obs.KCancel, w.seq, 0)
+	}
 	w.list.remove(w)
 	e.waiting--
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters, with the flight-recorder
+// fields folded in from the ring.
 func (e *Explicit) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.stats
+	s := e.stats
+	if e.rec != nil {
+		s.ObsEvents = e.rec.Writes()
+		s.ObsDrops = e.rec.Drops()
+	}
+	return s
+}
+
+// WaitLatency returns a copy of the wake-to-claim latency histogram, or
+// nil if no wait has completed.
+func (e *Explicit) WaitLatency() *stats.Histogram {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.lat == nil {
+		return nil
+	}
+	h := *e.lat
+	return &h
 }
 
 // ResetStats zeroes the counters.
@@ -398,8 +467,22 @@ func (c *Cond) Arm(pred func() bool) *Wait {
 func (c *Cond) Signal() {
 	c.m.stats.Signals++
 	c.cond.Signal()
-	if c.armed.signalOne(c.m.pol) && c.m.pol != nil {
+	picked := c.armed.signalOne(c.m.pol)
+	if picked != nil && c.m.pol != nil {
 		c.m.stats.PolicyWakes++
+	}
+	if r := c.m.rec; r != nil {
+		// Explicit monitors have no relay: every signal roots its own
+		// chain (origin 0); the seq is the picked armed handle's, or 0
+		// when only a parked (seq-less) goroutine can answer.
+		var seq uint64
+		if picked != nil {
+			seq = picked.seq
+		}
+		r.Record(obs.KSignal, seq, 0)
+		if picked != nil && c.m.pol != nil {
+			r.Record(obs.KPolicyWake, picked.seq, picked.rank)
+		}
 	}
 	c.m.notifyAny()
 }
@@ -407,6 +490,9 @@ func (c *Cond) Signal() {
 // Broadcast wakes every thread waiting on the condition (signalAll).
 func (c *Cond) Broadcast() {
 	c.m.stats.Broadcasts++
+	if r := c.m.rec; r != nil {
+		r.Record(obs.KBroadcast, 0, 0)
+	}
 	c.cond.Broadcast()
 	if len(c.armed.ws) > 0 {
 		c.armed.broadcast(nil)

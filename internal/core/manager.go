@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/tag"
 )
@@ -23,6 +24,13 @@ type condManager struct {
 	none   []*entry                // entries needing exhaustive search
 
 	pending int // signals issued and not yet consumed by a woken or claiming waiter
+
+	// relayOrigin is the seq of the waiter whose consumed notification the
+	// next relay signal continues — the wake-chain edge the flight
+	// recorder stamps on KSignal events. Maintained only while the
+	// monitor records (m.rec != nil): consumeSignal sets it, relay sites
+	// with no preceding consume (Exit, the pre-park relay) zero it.
+	relayOrigin uint64
 }
 
 func newCondManager(m *Monitor) *condManager {
@@ -222,8 +230,16 @@ func (cm *condManager) relaySignal() {
 		w.viaRelay = true
 		cm.pending++
 		cm.m.stats.Signals++
-		if cm.m.cfg.policy != nil || w.e.policy != nil {
+		policyPicked := cm.m.cfg.policy != nil || w.e.policy != nil
+		if policyPicked {
 			cm.m.stats.PolicyWakes++
+		}
+		if r := cm.m.rec; r != nil {
+			r.Record(obs.KSignal, w.seq, int64(cm.relayOrigin))
+			if policyPicked {
+				r.Record(obs.KPolicyWake, w.seq, w.rank)
+			}
+			cm.relayOrigin = 0 // baton handed to w; reset until its consume
 		}
 		cm.notify(w)
 	}
@@ -291,6 +307,9 @@ func (cm *condManager) register(w *Wait) {
 	}
 	if w.since == 0 {
 		w.since = time.Now().UnixNano()
+	}
+	if r := cm.m.rec; r != nil {
+		r.Record(obs.KArm, w.seq, w.rank)
 	}
 	e := w.e
 	w.idx = len(e.waiters)

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"time"
+
+	"repro/internal/stats"
 )
 
 // Mechanism is the driving surface shared by the three monitor types —
@@ -66,6 +68,14 @@ type Mechanism interface {
 	Stats() Stats
 	ResetStats()
 	Waiting() int
+
+	// WaitLatency returns a copy of the mechanism's wake-to-claim latency
+	// histogram — the registration-to-completion duration of every wait
+	// that actually parked or armed (fast-path awaits are excluded) — or
+	// nil if no wait has completed. The histogram is allocated lazily on
+	// the first completed wait, so mechanisms that never park report nil
+	// at zero cost.
+	WaitLatency() *stats.Histogram
 }
 
 // The three mechanisms implement the interface, and each doubles as the

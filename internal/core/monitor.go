@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"repro/internal/expr"
+	"repro/internal/obs"
+	"repro/internal/stats"
 )
 
 // ErrNeverTrue is the sentinel cause reported (wrapped in a
@@ -38,6 +40,17 @@ type Monitor struct {
 
 	seq   uint64      // arrival counter stamped on waiters; policy sort key
 	wheel *timerWheel // deadline wheel, created on first deadline-aware wait
+
+	// Flight recorder ring, bound once at construction when an obs
+	// recorder is active process-wide, nil otherwise. Every event site is
+	// gated by a plain nil check of this field — the field is set before
+	// the monitor is shared, so no atomics are needed and the disabled
+	// path costs one predictable branch.
+	rec *obs.Ring
+
+	// Wake-to-claim latency, allocated lazily on the first completed
+	// (non-fast-path) wait so monitors that never park stay alloc-free.
+	lat *stats.Histogram
 }
 
 // New constructs a monitor.
@@ -52,6 +65,9 @@ func New(opts ...Option) *Monitor {
 		preds: map[string]*Predicate{},
 	}
 	m.cm = newCondManager(m)
+	if rec := obs.Active(); rec != nil {
+		m.rec = rec.NewRing("monitor")
+	}
 	return m
 }
 
@@ -121,6 +137,9 @@ func (m *Monitor) Enter() {
 	} else {
 		m.mu.Lock()
 	}
+	if m.rec != nil {
+		m.rec.Record(obs.KEnter, 0, 0)
+	}
 	m.in = true
 }
 
@@ -130,6 +149,13 @@ func (m *Monitor) Enter() {
 func (m *Monitor) Exit() {
 	if !m.in {
 		panic("autosynch: Exit without Enter")
+	}
+	if m.rec != nil {
+		// A relay issued from a plain exit starts a fresh wake chain: the
+		// exiting thread consumed no notification, so any origin left by
+		// an earlier consume on this monitor is stale here.
+		m.cm.relayOrigin = 0
+		m.rec.Record(obs.KExit, 0, 0)
 	}
 	m.cm.relaySignal()
 	m.in = false
@@ -389,6 +415,13 @@ func (m *Monitor) wait(ctx context.Context, deadline time.Time, e *entry, rank i
 	if !deadline.IsZero() {
 		w.timer = m.timers().add(deadline, func() { m.expireWait(w) })
 	}
+	if m.rec != nil {
+		// The pre-park relay continues no one's notification: a fresh
+		// chain if it signals (stale origins otherwise survive here only
+		// when the prior relay found no true waiter, but keep attribution
+		// exact regardless).
+		m.cm.relayOrigin = 0
+	}
 
 	for {
 		m.cm.relaySignal()
@@ -412,6 +445,9 @@ func (m *Monitor) wait(ctx context.Context, deadline time.Time, e *entry, rank i
 		m.stats.Wakeups++
 		if w.expired {
 			m.stats.Expired++
+			if m.rec != nil {
+				m.rec.Record(obs.KExpire, w.seq, 0)
+			}
 			return m.abandon(w, ErrDeadline)
 		}
 		m.consumeSignal(w)
@@ -420,9 +456,15 @@ func (m *Monitor) wait(ctx context.Context, deadline time.Time, e *entry, rank i
 			break
 		}
 		m.stats.FutileWakeups++
+		if m.rec != nil {
+			m.rec.Record(obs.KFutileWake, w.seq, 0)
+		}
 		m.rearmWaiter(w)
 	}
 	w.stopTimer()
+	if m.rec != nil {
+		m.rec.Record(obs.KClaim, w.seq, 0)
+	}
 	m.observeWaitDone(w)
 	m.cm.unregister(w)
 	m.retireIfIdle(e)
@@ -452,6 +494,17 @@ func (m *Monitor) expireWait(w *Wait) {
 // consumeSignal settles the in-flight-signal accounting when a notified
 // waiter proceeds (by wake-up or claim). Runs under the monitor lock.
 func (m *Monitor) consumeSignal(w *Wait) {
+	if m.rec != nil {
+		// The consumer now holds the wake baton: a relay it triggers
+		// before re-parking (futile wake, futile claim, abandon) continues
+		// this waiter's chain. A consume with no notification in flight
+		// continues nothing.
+		if w.viaRelay {
+			m.cm.relayOrigin = w.seq
+		} else {
+			m.cm.relayOrigin = 0
+		}
+	}
 	if w.viaRelay {
 		w.viaRelay = false
 		m.cm.pending--
@@ -480,6 +533,9 @@ func (m *Monitor) rearmWaiter(w *Wait) {
 // (Expired never exceeds Abandons).
 func (m *Monitor) abandon(w *Wait, err error) error {
 	m.stats.Abandons++
+	if m.rec != nil {
+		m.rec.Record(obs.KCancel, w.seq, 0)
+	}
 	w.stopTimer()
 	m.consumeSignal(w)
 	m.cm.unregister(w)
@@ -504,7 +560,14 @@ func (m *Monitor) observeWaitDone(w *Wait) {
 	}
 	if m.cfg.starveNs > 0 && ns > m.cfg.starveNs {
 		m.stats.Starved++
+		if m.rec != nil {
+			m.rec.Record(obs.KStarved, w.seq, ns)
+		}
 	}
+	if m.lat == nil {
+		m.lat = new(stats.Histogram)
+	}
+	m.lat.Observe(time.Duration(ns))
 }
 
 // rankFor computes a waiter's policy rank once, at registration time:
@@ -538,11 +601,32 @@ func (m *Monitor) retireIfIdle(e *entry) {
 	m.cm.deactivate(e)
 }
 
-// Stats returns a snapshot of the monitor's counters.
+// Stats returns a snapshot of the monitor's counters. The flight-
+// recorder fields (ObsEvents/ObsDrops) are folded in from the ring here
+// rather than maintained per event, so they survive ResetStats as long
+// as the ring does.
 func (m *Monitor) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.stats
+	s := m.stats
+	if m.rec != nil {
+		s.ObsEvents = m.rec.Writes()
+		s.ObsDrops = m.rec.Drops()
+	}
+	return s
+}
+
+// WaitLatency returns a copy of the monitor's wake-to-claim latency
+// histogram — registration to completion of every non-fast-path wait —
+// or nil if no wait has completed.
+func (m *Monitor) WaitLatency() *stats.Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.lat == nil {
+		return nil
+	}
+	h := *m.lat
+	return &h
 }
 
 // ResetStats zeroes the counters (between benchmark warm-up and the
@@ -672,7 +756,12 @@ func (m *Monitor) timers() *timerWheel {
 
 // statExpired counts a handle that ended at its deadline. Runs under the
 // monitor lock.
-func (m *Monitor) statExpired() { m.stats.Expired++ }
+func (m *Monitor) statExpired(w *Wait) {
+	m.stats.Expired++
+	if m.rec != nil {
+		m.rec.Record(obs.KExpire, w.seq, 0)
+	}
+}
 
 // claimLocked re-validates an armed handle's predicate under the monitor
 // lock. On success the waiter is unregistered, the handle is spent, and
@@ -694,6 +783,9 @@ func (m *Monitor) claimLocked(w *Wait) error {
 	if w.e.evalFn() {
 		m.stats.Claims++
 		w.state = waitClaimed
+		if m.rec != nil {
+			m.rec.Record(obs.KClaim, w.seq, 0)
+		}
 		m.observeWaitDone(w)
 		m.cm.unregister(w)
 		m.retireIfIdle(w.e)
@@ -701,6 +793,9 @@ func (m *Monitor) claimLocked(w *Wait) error {
 		return nil
 	}
 	m.stats.FutileClaims++
+	if m.rec != nil {
+		m.rec.Record(obs.KFutileClaim, w.seq, 0)
+	}
 	m.rearmWaiter(w)
 	if wasRelay {
 		// The falsifying mutation's own exit saw this waiter as signaled
@@ -715,6 +810,9 @@ func (m *Monitor) claimLocked(w *Wait) error {
 // invariance, exactly as context abandonment does for a blocking wait.
 func (m *Monitor) cancelLocked(w *Wait) {
 	m.stats.Abandons++
+	if m.rec != nil {
+		m.rec.Record(obs.KCancel, w.seq, 0)
+	}
 	if w.e == nil {
 		return
 	}

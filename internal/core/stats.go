@@ -52,6 +52,13 @@ type Stats struct {
 	Expired     uint64 // waits and handles that ended at their deadline (ErrDeadline)
 	MaxWaitNs   int64  // longest registration-to-completion wait observed
 
+	// Flight recorder (internal/obs). Folded in from the monitor's ring
+	// at snapshot time, never incremented per event, so recording costs
+	// the hot path nothing beyond the ring write itself. Zero unless the
+	// monitor was constructed while a recorder was active.
+	ObsEvents uint64 // events published to the monitor's ring
+	ObsDrops  uint64 // events dropped by ring slot contention
+
 	// Profiling (populated only with WithProfiling): cumulative
 	// nanoseconds, the Table 1 breakdown.
 	AwaitNs   int64 // blocked in condition waits
@@ -91,6 +98,9 @@ func (s Stats) String() string {
 	}
 	if s.MaxWaitNs > 0 {
 		out += fmt.Sprintf(" max-wait=%v", time.Duration(s.MaxWaitNs))
+	}
+	if s.ObsEvents > 0 || s.ObsDrops > 0 {
+		out += fmt.Sprintf(" obs=%d obs-drops=%d", s.ObsEvents, s.ObsDrops)
 	}
 	return out
 }
@@ -135,6 +145,8 @@ func (s Stats) Add(o Stats) Stats {
 		Starved:        s.Starved + o.Starved,
 		Expired:        s.Expired + o.Expired,
 		MaxWaitNs:      maxWait,
+		ObsEvents:      s.ObsEvents + o.ObsEvents,
+		ObsDrops:       s.ObsDrops + o.ObsDrops,
 		AwaitNs:        s.AwaitNs + o.AwaitNs,
 		LockNs:         s.LockNs + o.LockNs,
 		RelayNs:        s.RelayNs + o.RelayNs,

@@ -65,8 +65,9 @@ type waitHost interface {
 	// timers returns the host's deadline wheel, creating it lazily.
 	// Called under the host lock.
 	timers() *timerWheel
-	// statExpired counts one deadline expiry under the host lock.
-	statExpired()
+	// statExpired counts one deadline expiry (of handle w) under the
+	// host lock.
+	statExpired(w *Wait)
 }
 
 // Wait is a first-class armed waiter: the waituntil of the paper without
@@ -317,7 +318,7 @@ func (w *Wait) expire() {
 	}
 	w.state = waitCancelled
 	w.err = ErrDeadline
-	w.host.statExpired()
+	w.host.statExpired(w)
 	w.host.cancelLocked(w)
 	w.notify()
 }
@@ -406,11 +407,12 @@ func (l *waitList) broadcast(skip *Wait) {
 }
 
 // signalOne notifies one not-yet-notified waiter, mirroring
-// sync.Cond.Signal; returns false when every waiter is already notified
-// (or the list is empty). Without a policy the pick is list order; with
-// one, the policy compares every eligible handle and the best wakes —
-// the explicit-monitor half of the pluggable wake policies.
-func (l *waitList) signalOne(pol policy.Policy) bool {
+// sync.Cond.Signal; returns the notified waiter, or nil when every
+// waiter is already notified (or the list is empty). Without a policy
+// the pick is list order; with one, the policy compares every eligible
+// handle and the best wakes — the explicit-monitor half of the
+// pluggable wake policies.
+func (l *waitList) signalOne(pol policy.Policy) *Wait {
 	var best *Wait
 	for _, w := range l.ws {
 		if w.notified {
@@ -418,17 +420,17 @@ func (l *waitList) signalOne(pol policy.Policy) bool {
 		}
 		if pol == nil {
 			w.notify()
-			return true
+			return w
 		}
 		if best == nil || pol.Better(cand(w), cand(best)) {
 			best = w
 		}
 	}
 	if best == nil {
-		return false
+		return nil
 	}
 	best.notify()
-	return true
+	return best
 }
 
 // requeue moves a futile-woken waiter behind the waiters registered after

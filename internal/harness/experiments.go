@@ -85,13 +85,14 @@ func ProblemExperiments() []Experiment {
 // per mechanism over a doubling thread axis.
 func ProblemSweep(spec problems.Spec, cfg Config) Report {
 	xs := doubling(2, cfg.MaxThreads)
+	series, lat := sweep(cfg.Protocol, spec.Runner, spec.Mechanisms(), xs, cfg.TotalOps, meanSeconds)
 	f := Figure{
 		ID: "prob-" + spec.Name, Title: spec.Name, XLabel: "# threads",
 		YLabel: "runtime (seconds)", XS: xs,
-		Series: sweep(cfg.Protocol, spec.Runner, spec.Mechanisms(), xs, cfg.TotalOps, meanSeconds),
+		Series: series,
 		Notes:  []string{"check: " + spec.CheckDesc},
 	}
-	return f.report()
+	return f.reportLatency(lat)
 }
 
 // Find returns the experiment with the given ID.
@@ -114,61 +115,65 @@ func spec(name string) problems.Spec { return problems.MustLookup(name) }
 func Fig8(cfg Config) Report {
 	s := spec("bounded-buffer")
 	xs := doubling(2, cfg.MaxThreads)
+	series, lat := sweep(cfg.Protocol, s.Runner, s.Mechanisms(), xs, cfg.TotalOps, meanSeconds)
 	f := Figure{
 		ID: "fig8", Title: "bounded-buffer problem", XLabel: "# producers/consumers",
 		YLabel: "runtime (seconds)", XS: xs,
-		Series: sweep(cfg.Protocol, s.Runner, s.Mechanisms(), xs, cfg.TotalOps, meanSeconds),
+		Series: series,
 		Notes: []string{
 			"expected shape: baseline grows with thread count; explicit, autosynch-t and autosynch stay comparable (constant number of shared predicates).",
 		},
 	}
-	return f.report()
+	return f.reportLatency(lat)
 }
 
 // Fig9 reproduces the H2O series.
 func Fig9(cfg Config) Report {
 	s := spec("h2o")
 	xs := doubling(2, cfg.MaxThreads)
+	series, lat := sweep(cfg.Protocol, s.Runner, s.Mechanisms(), xs, cfg.TotalOps, meanSeconds)
 	f := Figure{
 		ID: "fig9", Title: "H2O problem (one oxygen thread)", XLabel: "# H-atom threads",
 		YLabel: "runtime (seconds)", XS: xs,
-		Series: sweep(cfg.Protocol, s.Runner, s.Mechanisms(), xs, cfg.TotalOps, meanSeconds),
+		Series: series,
 		Notes: []string{
 			"expected shape: baseline degrades sharply; the other three stay comparable.",
 		},
 	}
-	return f.report()
+	return f.reportLatency(lat)
 }
 
 // Fig10 reproduces the sleeping-barber series.
 func Fig10(cfg Config) Report {
 	s := spec("sleeping-barber")
 	xs := doubling(2, cfg.MaxThreads)
+	series, lat := sweep(cfg.Protocol, s.Runner, s.Mechanisms(), xs, cfg.TotalOps, meanSeconds)
 	f := Figure{
 		ID: "fig10", Title: "sleeping barber problem", XLabel: "# customers",
 		YLabel: "runtime (seconds)", XS: xs,
-		Series: sweep(cfg.Protocol, s.Runner, s.Mechanisms(), xs, cfg.TotalOps, meanSeconds),
+		Series: series,
 		Notes: []string{
 			"expected shape: all four comparable — the baseline's broadcasts rarely wake threads whose condition is false here (§6.4).",
 		},
 	}
-	return f.report()
+	return f.reportLatency(lat)
 }
 
 // Fig11 reproduces the round-robin series.
 func Fig11(cfg Config) Report {
 	s := spec("round-robin")
 	xs := doubling(2, cfg.MaxThreads)
+	series, lat := sweep(cfg.Protocol, s.Runner, s.Mechanisms(), xs, cfg.TotalOps, meanSeconds)
 	f := Figure{
 		ID: "fig11", Title: "round-robin access pattern", XLabel: "# threads",
 		YLabel: "runtime (seconds)", XS: xs,
-		Series: sweep(cfg.Protocol, s.Runner, s.Mechanisms(), xs, cfg.TotalOps, meanSeconds),
+		Series: series,
 		Notes: []string{
 			"expected shape: explicit steady; autosynch-t grows with thread count (linear predicate scan); autosynch within a small factor of explicit and steady.",
 			"baseline omitted as in the paper (off scale).",
 		},
 	}
-	return f.report()
+	return f.reportLatency(lat)
 }
 
 // Fig12 reproduces the readers/writers series. The x-axis doubles the
@@ -183,45 +188,48 @@ func Fig12(cfg Config) Report {
 		maxW = 64
 	}
 	xs := doubling(2, maxW)
+	series, lat := sweep(cfg.Protocol, s.Runner, s.Mechanisms(), xs, cfg.TotalOps, meanSeconds)
 	f := Figure{
 		ID: "fig12", Title: "readers/writers problem (ticket order)", XLabel: "# writers (readers = 5x)",
 		YLabel: "runtime (seconds)", XS: xs,
-		Series: sweep(cfg.Protocol, s.Runner, s.Mechanisms(), xs, cfg.TotalOps, meanSeconds),
+		Series: series,
 		Notes: []string{
 			"expected shape: explicit steady; autosynch-t grows; autosynch approaches explicit as the thread count grows (tag maintenance amortizes).",
 		},
 	}
-	return f.report()
+	return f.reportLatency(lat)
 }
 
 // Fig13 reproduces the dining-philosophers series.
 func Fig13(cfg Config) Report {
 	s := spec("dining-philosophers")
 	xs := doubling(2, cfg.MaxThreads)
+	series, lat := sweep(cfg.Protocol, s.Runner, s.Mechanisms(), xs, cfg.TotalOps, meanSeconds)
 	f := Figure{
 		ID: "fig13", Title: "dining philosophers problem", XLabel: "# philosophers",
 		YLabel: "runtime (seconds)", XS: xs,
-		Series: sweep(cfg.Protocol, s.Runner, s.Mechanisms(), xs, cfg.TotalOps, meanSeconds),
+		Series: series,
 		Notes: []string{
 			"expected shape: explicit's edge stays small — each philosopher competes with two neighbours regardless of table size (§6.4).",
 		},
 	}
-	return f.report()
+	return f.reportLatency(lat)
 }
 
 // Fig14 reproduces the parameterized bounded-buffer runtime series.
 func Fig14(cfg Config) Report {
 	s := spec("parameterized-buffer")
 	xs := doubling(2, cfg.MaxThreads)
+	series, lat := sweep(cfg.Protocol, s.Runner, s.Mechanisms(), xs, cfg.TotalOps, meanSeconds)
 	f := Figure{
 		ID: "fig14", Title: "parameterized bounded-buffer (signalAll required in explicit)", XLabel: "# consumers",
 		YLabel: "runtime (seconds)", XS: xs,
-		Series: sweep(cfg.Protocol, s.Runner, s.Mechanisms(), xs, cfg.TotalOps, meanSeconds),
+		Series: series,
 		Notes: []string{
 			"expected shape: explicit degrades as consumers multiply (broadcast storms); autosynch stays flat and wins big at the right end (paper: 26.9x at 256).",
 		},
 	}
-	return f.report()
+	return f.reportLatency(lat)
 }
 
 // Fig15 reproduces the context-switch counts for the same workload. The
@@ -230,16 +238,17 @@ func Fig14(cfg Config) Report {
 func Fig15(cfg Config) Report {
 	s := spec("parameterized-buffer")
 	xs := doubling(2, cfg.MaxThreads)
+	series, lat := sweep(cfg.Protocol, s.Runner, s.Mechanisms(), xs, cfg.TotalOps,
+		func(m Measurement) float64 { return float64(m.Last.Stats.ContextSwitches()) / 1000 })
 	f := Figure{
 		ID: "fig15", Title: "parameterized bounded-buffer context switches", XLabel: "# consumers",
 		YLabel: "wake-ups (K)", XS: xs,
-		Series: sweep(cfg.Protocol, s.Runner, s.Mechanisms(), xs, cfg.TotalOps,
-			func(m Measurement) float64 { return float64(m.Last.Stats.ContextSwitches()) / 1000 }),
+		Series: series,
 		Notes: []string{
 			"expected shape: explicit wake-ups grow steeply with consumers; autosynch stays near-flat (paper: ~2.7M vs ~5.4K at 256).",
 		},
 	}
-	return f.report()
+	return f.reportLatency(lat)
 }
 
 // Table1 reproduces the CPU-usage breakdown for the round-robin pattern
@@ -514,6 +523,7 @@ func ScaleShards(cfg Config) Report {
 		Title:  fmt.Sprintf("sharded-kv: shard-count sweep at %d goroutines", threads),
 		XLabel: "# shards", YLabel: "runtime (seconds)", XS: xs,
 	}
+	var lat stats.Histogram
 	for _, mech := range []problems.Mechanism{problems.AutoSynch, problems.AutoSynchT} {
 		mech := mech
 		ser := Series{Label: mech.String()}
@@ -527,6 +537,7 @@ func ScaleShards(cfg Config) Report {
 				val = -1 // sentinel: conservation violated; must never happen
 			}
 			ser.Points = append(ser.Points, val)
+			lat.Merge(&m.Latency)
 		}
 		f.Series = append(f.Series, ser)
 	}
@@ -536,7 +547,7 @@ func ScaleShards(cfg Config) Report {
 	}
 	f.Notes = append(f.Notes,
 		"expected shape: runtime falls as shards divide the lock traffic and the per-exit relay search; BenchmarkShardScaling is the go-test view.")
-	return f.report()
+	return f.reportLatency(latPtr(lat))
 }
 
 // SelectFanout prices the three ways one goroutine can wait on N
@@ -557,6 +568,7 @@ func SelectFanout(cfg Config) Report {
 		Title:  "selective waiting: cost per delivered item vs fan-out",
 		XLabel: "# guards (one monitor each)", YLabel: "ns/op", XS: xs,
 	}
+	var lat stats.Histogram
 	for _, mode := range []string{"select-guards", "reflect-handles", "goroutine-per-guard"} {
 		mode := mode
 		ser := Series{Label: mode}
@@ -564,6 +576,7 @@ func SelectFanout(cfg Config) Report {
 			fan := fan
 			m := cfg.Protocol.Measure(func() problems.Result { return RunSelectFan(mode, fan, ops) })
 			ser.Points = append(ser.Points, m.MeanSeconds*1e9/float64(ops))
+			lat.Merge(&m.Latency)
 		}
 		f.Series = append(f.Series, ser)
 	}
@@ -571,7 +584,7 @@ func SelectFanout(cfg Config) Report {
 		"select-guards polls before arming, so a ready guard costs ~one Try; only a Select that actually parks pays the N arms and N-1 cancels of the leak-free unit;",
 		"reflect-handles keeps N handles armed (hand-rolled, leak-prone, and O(N) inside reflect.Select on every delivery);",
 		"goroutine-per-guard parks a goroutine per monitor — flat in N but a stack per waiter, see BenchmarkMultiplexedWaiters for where it loses.")
-	return f.report()
+	return f.reportLatency(latPtr(lat))
 }
 
 // RunSelectFan is one sel-fanout point: fan monitors, totalOps rounds of
@@ -602,15 +615,23 @@ func RunSelectFan(mode string, fan, totalOps int) problems.Result {
 		bf := bufs[i%fan]
 		bf.m.Do(func() { bf.x.Add(1) })
 	}
+	var lat *stats.Histogram // bound here: the closure below shadows the package name
 	stats := func(elapsed time.Duration) problems.Result {
 		var agg core.Stats
 		var leaked int64
 		for _, bf := range bufs {
 			agg = agg.Add(bf.m.Stats())
 			leaked += int64(bf.m.Waiting())
+			if h := bf.m.WaitLatency(); h != nil {
+				if lat == nil {
+					lat = h
+				} else {
+					lat.Merge(h)
+				}
+			}
 		}
 		return problems.Result{Mechanism: problems.AutoSynch, Elapsed: elapsed,
-			Stats: agg, Ops: int64(totalOps), Check: leaked}
+			Stats: agg, Ops: int64(totalOps), Check: leaked, Latency: lat}
 	}
 
 	switch mode {

@@ -100,6 +100,15 @@ func (f Figure) report() Report {
 	return Report{ID: f.ID, Text: f.Render(), Figure: &f}
 }
 
+// reportLatency wraps a figure into its Report with the sweep's merged
+// wake-to-claim histogram attached (nil is fine: the JSON field is
+// omitted).
+func (f Figure) reportLatency(lat *stats.Histogram) Report {
+	r := f.report()
+	r.Latency = lat
+	return r
+}
+
 // textReport is a Report with no structured figure.
 func textReport(id, text string) Report {
 	return Report{ID: id, Text: text}
@@ -153,10 +162,14 @@ func doubling(from, max int) []int {
 	return xs
 }
 
-// sweep fills one series per mechanism over xs.
+// sweep fills one series per mechanism over xs and merges every trial's
+// wake-to-claim histogram into one sweep-wide latency distribution (nil
+// when no run recorded latency), so figure reports carry tail percentiles
+// alongside the runtime series.
 func sweep(p Protocol, runner problems.Runner, mechs []problems.Mechanism, xs []int, totalOps int,
-	y func(Measurement) float64) []Series {
+	y func(Measurement) float64) ([]Series, *stats.Histogram) {
 	series := make([]Series, len(mechs))
+	var lat stats.Histogram
 	for i, mech := range mechs {
 		series[i].Label = mech.String()
 		for _, x := range xs {
@@ -167,9 +180,19 @@ func sweep(p Protocol, runner problems.Runner, mechs []problems.Mechanism, xs []
 				val = -1 // sentinel: conservation violated; must never happen
 			}
 			series[i].Points = append(series[i].Points, val)
+			lat.Merge(&m.Latency)
 		}
 	}
-	return series
+	return series, latPtr(lat)
+}
+
+// latPtr boxes a merged histogram for Report.Latency: nil when empty, so
+// JSON artifacts omit the field for latency-free workloads.
+func latPtr(lat stats.Histogram) *stats.Histogram {
+	if lat.Count() == 0 {
+		return nil
+	}
+	return &lat
 }
 
 func meanSeconds(m Measurement) float64 { return m.MeanSeconds }

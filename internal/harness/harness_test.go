@@ -196,10 +196,13 @@ func TestAllExperimentsRunTiny(t *testing.T) {
 
 func TestSweepSeriesShape(t *testing.T) {
 	xs := []int{2, 4}
-	series := sweep(Protocol{Trials: 1}, problems.RunBoundedBuffer,
+	series, lat := sweep(Protocol{Trials: 1}, problems.RunBoundedBuffer,
 		[]problems.Mechanism{problems.AutoSynch}, xs, 100, meanSeconds)
 	if len(series) != 1 || len(series[0].Points) != 2 {
 		t.Fatalf("sweep shape wrong: %+v", series)
+	}
+	if lat != nil && lat.Count() == 0 {
+		t.Errorf("sweep returned a non-nil empty latency histogram")
 	}
 	if series[0].Label != "autosynch" {
 		t.Errorf("label = %q", series[0].Label)

@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/policy"
+)
+
+// TestWakePolicyTraceAccountsPolicyWakes is the flight-recorder
+// acceptance check: a traced wake-policy storm must produce a ring whose
+// reconstructed wake chains account for every policy-picked wake the
+// monitor's own counters saw. The recorder is process-global, so this
+// test must not run in parallel with tests that build monitors.
+func TestWakePolicyTraceAccountsPolicyWakes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("storm points are not short")
+	}
+	rec := obs.Start(1 << 17)
+	defer obs.Stop()
+	res := wakePolicyPoint(policy.FIFO, 16, 4000)
+	obs.Stop()
+
+	if res.Check != 0 {
+		t.Fatalf("storm lost grants: check = %d", res.Check)
+	}
+	// The accounting below is exact only if the ring kept everything:
+	// no slot-contention drops and no wrap-around overwrites.
+	if d := rec.Drops(); d != 0 {
+		t.Fatalf("ring dropped %d events; size the ring to the storm", d)
+	}
+	for _, r := range rec.Rings() {
+		if r.Writes() > uint64(r.Cap()) {
+			t.Fatalf("ring %q wrapped (%d writes into %d slots); size the ring to the storm",
+				r.Label(), r.Writes(), r.Cap())
+		}
+	}
+
+	events := rec.Events()
+	if len(events) == 0 {
+		t.Fatal("traced storm recorded no events")
+	}
+	an := obs.Analyze(events, rec.Drops())
+	if res.Stats.PolicyWakes == 0 {
+		t.Fatal("storm recorded no policy-picked wakes")
+	}
+	if uint64(an.PolicyWakes) != res.Stats.PolicyWakes {
+		t.Errorf("trace accounts %d policy wakes, monitor counted %d",
+			an.PolicyWakes, res.Stats.PolicyWakes)
+	}
+	if an.Chains == 0 || an.Claimed == 0 {
+		t.Errorf("analysis reconstructed no closed chains: %+v", an)
+	}
+	if an.Signals < an.PolicyWakes {
+		t.Errorf("fewer signals (%d) than policy wakes (%d)", an.Signals, an.PolicyWakes)
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Registry is a pull-model metrics surface: named gauge functions
+// sampled at serve time, emitted as one expvar-compatible JSON object
+// (the /debug/vars shape, so existing expvar scrapers work unchanged).
+// It exists so a multi-minute watchd soak is observable while running —
+// session gauges, monitor Stats, latency percentiles, ring drop counts —
+// rather than only in the post-mortem artifact.
+//
+// Values are marshaled with encoding/json; register funcs returning
+// types with useful MarshalJSON (core.Stats, stats.Histogram) or plain
+// numbers. A value that fails to marshal is reported in place as an
+// error string rather than failing the whole snapshot.
+type Registry struct {
+	mu    sync.Mutex
+	vars  map[string]func() any
+	order []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{vars: make(map[string]func() any)}
+}
+
+// Register adds (or replaces) a named variable. The function is called
+// on every snapshot; it must be safe to call concurrently with the
+// system it observes.
+func (reg *Registry) Register(name string, f func() any) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if _, ok := reg.vars[name]; !ok {
+		reg.order = append(reg.order, name)
+	}
+	reg.vars[name] = f
+}
+
+// Names returns the registered variable names, sorted.
+func (reg *Registry) Names() []string {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	names := append([]string(nil), reg.order...)
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot samples every variable once and returns the name→value map.
+func (reg *Registry) Snapshot() map[string]any {
+	reg.mu.Lock()
+	funcs := make(map[string]func() any, len(reg.vars))
+	for name, f := range reg.vars {
+		funcs[name] = f
+	}
+	reg.mu.Unlock()
+	// Sample outside the lock: gauge funcs may take monitor locks and
+	// must not serialize against Register.
+	snap := make(map[string]any, len(funcs))
+	for name, f := range funcs {
+		snap[name] = f()
+	}
+	return snap
+}
+
+// ServeHTTP emits the snapshot as a single JSON object, one member per
+// registered variable, in sorted name order — the expvar /debug/vars
+// wire shape.
+func (reg *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	snap := reg.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n")
+	for i, name := range names {
+		if i > 0 {
+			fmt.Fprintf(w, ",\n")
+		}
+		val, err := json.Marshal(snap[name])
+		if err != nil {
+			val, _ = json.Marshal(fmt.Sprintf("marshal error: %v", err))
+		}
+		key, _ := json.Marshal(name)
+		fmt.Fprintf(w, "%s: %s", key, val)
+	}
+	fmt.Fprintf(w, "\n}\n")
+}

@@ -155,10 +155,13 @@ func RunDispatcher(mech Mechanism, threads, totalOps int) Result {
 	// conservation check.
 	var check int64
 	var agg core.Stats
+	mechs := make([]core.Mechanism, 0, len(bufs))
 	for _, b := range bufs {
 		b.mech.Do(func() { check += b.drain() })
 		check += int64(b.mech.Waiting())
 		agg = agg.Add(b.mech.Stats())
+		mechs = append(mechs, b.mech)
 	}
-	return Result{Mechanism: mech, Elapsed: elapsed, Stats: agg, Ops: drained, Check: check}
+	return Result{Mechanism: mech, Elapsed: elapsed, Stats: agg, Ops: drained, Check: check,
+		Latency: stripeLatency(mechs...)}
 }

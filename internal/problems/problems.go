@@ -157,7 +157,8 @@ type Runner func(mech Mechanism, threads, totalOps int) Result
 // core.Mechanism interface. elapsed is captured by the caller before any
 // final check reads, so the measurement excludes them.
 func finish(mech Mechanism, m core.Mechanism, elapsed time.Duration, ops, check int64) Result {
-	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(), Ops: ops, Check: check}
+	return Result{Mechanism: mech, Elapsed: elapsed, Stats: m.Stats(), Ops: ops, Check: check,
+		Latency: m.WaitLatency()}
 }
 
 // stripeStats merges the counters of hand-striped monitors (the explicit
@@ -169,6 +170,34 @@ func stripeStats(ms ...core.Mechanism) core.Stats {
 		s = s.Add(m.Stats())
 	}
 	return s
+}
+
+// stripeLatency merges the wake-to-claim histograms of hand-striped
+// monitors, mirroring shard.Monitor.WaitLatency for the automatic ones;
+// nil when no stripe completed a wait.
+func stripeLatency(ms ...core.Mechanism) *stats.Histogram {
+	hs := make([]*stats.Histogram, len(ms))
+	for i, m := range ms {
+		hs[i] = m.WaitLatency()
+	}
+	return mergeLatency(hs...)
+}
+
+// mergeLatency folds already-snapshotted histograms (WaitLatency returns
+// copies, so merging in place is safe); nil when every input is nil.
+func mergeLatency(hs ...*stats.Histogram) *stats.Histogram {
+	var merged *stats.Histogram
+	for _, h := range hs {
+		if h == nil {
+			continue
+		}
+		if merged == nil {
+			merged = h
+			continue
+		}
+		merged.Merge(h)
+	}
+	return merged
 }
 
 // await panics on a wait error: scenario predicates are statically known

@@ -188,10 +188,13 @@ func RunSelectiveServer(mech Mechanism, threads, totalOps int) Result {
 	// registered anywhere.
 	var check int64
 	var agg core.Stats
+	mechs := make([]core.Mechanism, 0, len(cls))
 	for _, cl := range cls {
 		cl.mech.Do(func() { check += cl.serve() })
 		check += int64(cl.mech.Waiting())
 		agg = agg.Add(cl.mech.Stats())
+		mechs = append(mechs, cl.mech)
 	}
-	return Result{Mechanism: mech, Elapsed: elapsed, Stats: agg, Ops: served, Check: check}
+	return Result{Mechanism: mech, Elapsed: elapsed, Stats: agg, Ops: served, Check: check,
+		Latency: stripeLatency(mechs...)}
 }

@@ -205,7 +205,8 @@ func runKVAuto(mech Mechanism, pairs int, pairOps []int, keys, shards int) Resul
 	}
 	return Result{Mechanism: mech, Elapsed: elapsed,
 		Stats: sm.Stats().Add(lag.Summary().Stats()),
-		Ops:   2 * totalPuts, Check: check}
+		Ops:   2 * totalPuts, Check: check,
+		Latency: mergeLatency(sm.WaitLatency(), lag.Summary().WaitLatency())}
 }
 
 // runKVExplicit is the hand-sharded explicit-signal variant: the
@@ -325,7 +326,7 @@ func runKVExplicit(pairs int, pairOps []int, keys, shards int) Result {
 		st.Exit()
 	}
 	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: stripeStats(ms...),
-		Ops: 2 * totalPuts, Check: sumV - totalPuts}
+		Ops: 2 * totalPuts, Check: sumV - totalPuts, Latency: stripeLatency(ms...)}
 }
 
 // runKVBaseline stripes the store across baseline monitors: every exit
@@ -428,5 +429,5 @@ func runKVBaseline(pairs int, pairOps []int, keys, shards int) Result {
 		st.Exit()
 	}
 	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: stripeStats(ms...),
-		Ops: 2 * totalPuts, Check: sumV - totalPuts}
+		Ops: 2 * totalPuts, Check: sumV - totalPuts, Latency: stripeLatency(ms...)}
 }

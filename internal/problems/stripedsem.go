@@ -183,7 +183,8 @@ func runSemAuto(mech Mechanism, threads int, perOps []int, permits, shards int) 
 		check = cnt.Total() - int64(permits)
 	}
 	return Result{Mechanism: mech, Elapsed: elapsed,
-		Stats: sm.Stats().Add(sum.Stats()), Ops: opsSum(perOps), Check: check}
+		Stats: sm.Stats().Add(sum.Stats()), Ops: opsSum(perOps), Check: check,
+		Latency: mergeLatency(sm.WaitLatency(), sum.WaitLatency())}
 }
 
 // runSemExplicit is the hand-striped explicit-signal variant: the
@@ -320,7 +321,7 @@ func runSemExplicit(threads int, perOps []int, permits, shards int) Result {
 		summary.Exit()
 	}
 	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: stripeStats(ms...),
-		Ops: opsSum(perOps), Check: check}
+		Ops: opsSum(perOps), Check: check, Latency: stripeLatency(ms...)}
 }
 
 // runSemBaseline stripes the pool across baseline monitors: the same
@@ -446,5 +447,5 @@ func runSemBaseline(threads int, perOps []int, permits, shards int) Result {
 		summary.Exit()
 	}
 	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: stripeStats(ms...),
-		Ops: opsSum(perOps), Check: check}
+		Ops: opsSum(perOps), Check: check, Latency: stripeLatency(ms...)}
 }

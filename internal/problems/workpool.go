@@ -228,7 +228,8 @@ func runPoolAuto(mech Mechanism, producers, workers int, prodOps []int, shards i
 		check = cnt.Total()
 	}
 	return Result{Mechanism: mech, Elapsed: elapsed,
-		Stats: sm.Stats().Add(sum.Stats()), Ops: ran, Check: check}
+		Stats: sm.Stats().Add(sum.Stats()), Ops: ran, Check: check,
+		Latency: mergeLatency(sm.WaitLatency(), sum.WaitLatency())}
 }
 
 // runPoolExplicit is the hand-striped explicit-signal pool: one condition
@@ -426,7 +427,7 @@ func runPoolExplicit(producers, workers int, prodOps []int, shards int) Result {
 	}
 	ms = append(ms, summary)
 	return Result{Mechanism: Explicit, Elapsed: elapsed, Stats: stripeStats(ms...),
-		Ops: ran, Check: (ran - submitted) + residue}
+		Ops: ran, Check: (ran - submitted) + residue, Latency: stripeLatency(ms...)}
 }
 
 // runPoolBaseline stripes the pool across baseline monitors: closure
@@ -610,5 +611,5 @@ func runPoolBaseline(producers, workers int, prodOps []int, shards int) Result {
 	}
 	ms = append(ms, summary)
 	return Result{Mechanism: Baseline, Elapsed: elapsed, Stats: stripeStats(ms...),
-		Ops: ran, Check: (ran - submitted) + residue}
+		Ops: ran, Check: (ran - submitted) + residue, Latency: stripeLatency(ms...)}
 }

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Counter is a cross-shard aggregate: a logical integer whose increments
@@ -55,6 +56,12 @@ type Counter struct {
 	watchers  atomic.Int64 // precise mode while > 0
 	publishes atomic.Uint64
 	flushes   atomic.Uint64
+
+	// rec, when the flight recorder was active at construction, receives a
+	// KCounterPublish event per publication (seq = source shard, arg =
+	// published delta). Publications from different shards write the ring
+	// concurrently — this is the multi-writer path of the ring protocol.
+	rec *obs.Ring
 }
 
 // NewCounter creates an aggregate counter named for diagnostics, starting
@@ -78,6 +85,9 @@ func (sm *Monitor) NewCounter(name string, threshold int64) *Counter {
 	c.atLeast = c.summary.MustCompile("total >= n")
 	c.atMost = c.summary.MustCompile("total <= n")
 	c.atLeastSince = c.summary.MustCompile("total >= n && ep > e")
+	if rec := obs.Active(); rec != nil {
+		c.rec = rec.NewRing("counter:" + name)
+	}
 	return c
 }
 
@@ -118,6 +128,9 @@ func (c *Counter) publish(i int) {
 	}
 	c.pend[i] = 0
 	c.publishes.Add(1)
+	if c.rec != nil {
+		c.rec.Record(obs.KCounterPublish, uint64(i), d)
+	}
 	c.summary.Do(func() {
 		c.total.Add(d)
 		c.ep.Add(1)

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/stats"
 )
 
 // config collects construction options.
@@ -266,6 +267,25 @@ func (sm *Monitor) Stats() core.Stats {
 		s = s.Add(m.Stats())
 	}
 	return s
+}
+
+// WaitLatency returns the merged wake-to-claim histogram across every
+// shard (see core.Mechanism.WaitLatency), or nil if no shard has
+// completed a parked wait.
+func (sm *Monitor) WaitLatency() *stats.Histogram {
+	var merged *stats.Histogram
+	for _, m := range sm.shards {
+		h := m.WaitLatency()
+		if h == nil {
+			continue
+		}
+		if merged == nil {
+			merged = h
+			continue
+		}
+		merged.Merge(h)
+	}
+	return merged
 }
 
 // StatsByShard returns each shard's counters (skew diagnostics).

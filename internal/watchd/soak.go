@@ -24,6 +24,12 @@ type SoakConfig struct {
 	PublishEvery time.Duration // per-publisher pacing; default 200µs
 
 	Seed int64 // publisher key-choice seed; 0 means a fixed default
+
+	// OnDaemon, when non-nil, receives the daemon right after construction
+	// and before the fill, so callers can register live gauges (cmd/watchd
+	// -metrics-addr) or otherwise observe it while the soak runs. The
+	// daemon is closed by the time Soak returns.
+	OnDaemon func(*Daemon)
 }
 
 func (c SoakConfig) withDefaults() SoakConfig {
@@ -92,6 +98,9 @@ func Soak(cfg SoakConfig) (SoakResult, error) {
 		dcfg.MaxSessions = cfg.Sessions + cfg.Sessions/8 + 16
 	}
 	d := New(dcfg)
+	if cfg.OnDaemon != nil {
+		cfg.OnDaemon(d)
+	}
 
 	sessions := make([]*Session, cfg.Sessions)
 	for i := range sessions {
